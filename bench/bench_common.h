@@ -1,0 +1,73 @@
+// Shared plumbing for the experiment-reproduction binaries.
+//
+// Every bench prints the same rows/series its paper artifact reports, via
+// util::Table. Run length is tunable without rebuilding:
+//   TPFTL_BENCH_REQUESTS  — requests per run (default 300000)
+//   TPFTL_BENCH_CSV       — when set, also emit CSV after each table
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/ssd/runner.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+#include "src/workload/profiles.h"
+
+namespace tpftl::bench {
+
+inline uint64_t RequestsFromEnv(uint64_t default_requests = 300000) {
+  if (const char* env = std::getenv("TPFTL_BENCH_REQUESTS")) {
+    const auto parsed = ParseU64(env);
+    if (parsed.has_value() && *parsed > 0) {
+      return *parsed;
+    }
+  }
+  return default_requests;
+}
+
+inline void Emit(const Table& table) {
+  table.Print(std::cout);
+  if (std::getenv("TPFTL_BENCH_CSV") != nullptr) {
+    table.PrintCsv(std::cout);
+    std::cout << "\n";
+  }
+}
+
+// The comparison set of §5 (CDFTL was measured but dropped from the paper's
+// plots; it is included here as an extension).
+inline std::vector<FtlKind> PaperFtls() {
+  return {FtlKind::kDftl, FtlKind::kTpftl, FtlKind::kSftl, FtlKind::kOptimal, FtlKind::kCdftl};
+}
+
+inline RunReport RunOne(const WorkloadConfig& workload, FtlKind kind,
+                        const TpftlOptions& tpftl_options = {}, uint64_t cache_bytes = 0,
+                        const RunObserver& observer = nullptr) {
+  ExperimentConfig config;
+  config.workload = workload;
+  config.ftl_kind = kind;
+  config.tpftl_options = tpftl_options;
+  config.cache_bytes = cache_bytes;
+  std::cerr << "  running " << FtlKindName(kind)
+            << (kind == FtlKind::kTpftl ? "(" + tpftl_options.Label() + ")" : "") << " on "
+            << workload.name << " ..." << std::endl;
+  return RunExperiment(config, observer);
+}
+
+inline double Normalized(double value, double baseline) {
+  return baseline > 0.0 ? value / baseline : 0.0;
+}
+
+// Full page-level mapping table size (8 B per entry), the unit of the
+// Figure 8(c)/9/10 cache-size axis.
+inline uint64_t FullTableBytes(const WorkloadConfig& workload) {
+  return workload.total_pages() * 8;
+}
+
+}  // namespace tpftl::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

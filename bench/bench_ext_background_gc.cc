@@ -1,0 +1,37 @@
+// Extension — background (idle-time) garbage collection.
+//
+// The paper's timing model charges GC to the triggering request (§3.1's
+// Tgcd/Tgct terms); real SSDs also reclaim during idle gaps. This harness
+// compares foreground-only and background GC on Financial1 across FTLs:
+// total flash work is unchanged, but tail response times collapse because
+// GC cascades leave the request path.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace tpftl;
+  using namespace tpftl::bench;
+
+  const uint64_t requests = RequestsFromEnv();
+  const WorkloadConfig workload = Financial1Profile(requests);
+
+  Table table("Background GC — Financial1 (" + std::to_string(requests) + " requests)");
+  table.SetColumns({"FTL", "GC mode", "mean resp(us)", "p99 resp(us)", "max resp(us)", "WA", "erases"});
+  for (const FtlKind kind : {FtlKind::kDftl, FtlKind::kTpftl}) {
+    for (const bool background : {false, true}) {
+      ExperimentConfig config;
+      config.workload = workload;
+      config.ftl_kind = kind;
+      config.background_gc = background;
+      std::cerr << "  " << FtlKindName(kind) << (background ? " background" : " foreground")
+                << " ..." << std::endl;
+      const RunReport r = RunExperiment(config);
+      table.AddRow({r.ftl_name, background ? "idle-time" : "foreground",
+                    FormatDouble(r.mean_response_us, 0), FormatDouble(r.p99_response_us, 0),
+                    FormatDouble(r.max_response_us, 0), FormatDouble(r.write_amplification, 2),
+                    std::to_string(r.block_erases)});
+    }
+  }
+  Emit(table);
+  return 0;
+}

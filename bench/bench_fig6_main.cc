@@ -1,0 +1,75 @@
+// Figures 6(a)–6(f) and 7(a) — the main comparison of §5.2.
+//
+// Four FTLs (DFTL, TPFTL, S-FTL, Optimal; CDFTL added as an extension) on
+// the four workloads. One simulation per (workload, FTL) pair feeds all
+// seven artifacts:
+//   6(a) probability of replacing a dirty entry     (absolute)
+//   6(b) cache hit ratio                            (absolute)
+//   6(c) translation page reads                     (normalized to DFTL)
+//   6(d) translation page writes                    (normalized to DFTL)
+//   6(e) system response time                       (normalized to DFTL)
+//   6(f) write amplification                        (absolute)
+//   7(a) block erase count                          (normalized to DFTL)
+//
+// Paper shapes: TPFTL's Prd < 4 % everywhere; TPFTL ≥ DFTL hit ratio and
+// ≈ S-FTL on the MSR-like workloads; TPFTL has the fewest translation reads
+// and (especially) writes; the biggest response-time win is on the random-
+// write-heavy Financial1; MSR write amplification ≈ 1.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace tpftl;
+  using namespace tpftl::bench;
+
+  const uint64_t requests = RequestsFromEnv();
+  const std::vector<WorkloadConfig> workloads = PaperWorkloads(requests);
+  const std::vector<FtlKind> ftls = PaperFtls();
+
+  std::map<std::string, std::map<std::string, RunReport>> reports;  // workload → ftl → report.
+  for (const WorkloadConfig& workload : workloads) {
+    for (const FtlKind kind : ftls) {
+      reports[workload.name][FtlKindName(kind)] = RunOne(workload, kind);
+    }
+  }
+
+  const std::vector<std::string> ftl_names = {"DFTL", "TPFTL", "S-FTL", "Optimal", "CDFTL"};
+  auto emit_metric = [&](const std::string& title, auto metric, bool normalize_to_dftl,
+                         int decimals) {
+    Table table(title + " (" + std::to_string(requests) + " requests/workload)");
+    std::vector<std::string> headers = {"FTL"};
+    for (const WorkloadConfig& w : workloads) {
+      headers.push_back(w.name);
+    }
+    table.SetColumns(std::move(headers));
+    for (const std::string& ftl : ftl_names) {
+      std::vector<std::string> cells = {ftl};
+      for (const WorkloadConfig& w : workloads) {
+        const double value = metric(reports[w.name][ftl]);
+        const double base = metric(reports[w.name]["DFTL"]);
+        cells.push_back(
+            FormatDouble(normalize_to_dftl ? Normalized(value, base) : value, decimals));
+      }
+      table.AddRow(std::move(cells));
+    }
+    Emit(table);
+  };
+
+  emit_metric("Figure 6(a) — Probability of replacing a dirty entry",
+              [](const RunReport& r) { return r.prd; }, false, 3);
+  emit_metric("Figure 6(b) — Cache hit ratio",
+              [](const RunReport& r) { return r.hit_ratio; }, false, 3);
+  emit_metric("Figure 6(c) — Translation page reads (normalized to DFTL)",
+              [](const RunReport& r) { return static_cast<double>(r.trans_reads); }, true, 3);
+  emit_metric("Figure 6(d) — Translation page writes (normalized to DFTL)",
+              [](const RunReport& r) { return static_cast<double>(r.trans_writes); }, true, 3);
+  emit_metric("Figure 6(e) — System response time (normalized to DFTL)",
+              [](const RunReport& r) { return r.mean_response_us; }, true, 3);
+  emit_metric("Figure 6(f) — Write amplification",
+              [](const RunReport& r) { return r.write_amplification; }, false, 2);
+  emit_metric("Figure 7(a) — Block erase count (normalized to DFTL)",
+              [](const RunReport& r) { return static_cast<double>(r.block_erases); }, true, 3);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figures 8(c) and 9(a)–9(c) — impact of the mapping-cache size on TPFTL.
+//
+// Cache sizes are normalized to the full page-level mapping table (8 B per
+// entry): 1/128 (the default of every other experiment) up to 1 (everything
+// cached). Paper shapes: Prd falls to 0 and the hit ratio climbs to 100 % at
+// full-table size; response time and write amplification improve
+// monotonically; MSR-like workloads saturate early because their hit ratios
+// are already high at 1/128.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace tpftl;
+  using namespace tpftl::bench;
+
+  const uint64_t requests = RequestsFromEnv();
+  const std::vector<uint64_t> divisors = {128, 64, 32, 16, 8, 4, 2, 1};
+  const std::vector<WorkloadConfig> workloads = PaperWorkloads(requests);
+
+  struct Row {
+    std::string workload;
+    std::vector<RunReport> by_size;
+  };
+  std::vector<Row> rows;
+  for (const WorkloadConfig& workload : workloads) {
+    Row row;
+    row.workload = workload.name;
+    for (const uint64_t divisor : divisors) {
+      const uint64_t cache_bytes = FullTableBytes(workload) / divisor;
+      row.by_size.push_back(RunOne(workload, FtlKind::kTpftl, {}, cache_bytes));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  auto emit = [&](const std::string& title, auto metric, int decimals, bool normalize_to_full) {
+    Table table(title + " (TPFTL, cache normalized to full table size)");
+    std::vector<std::string> headers = {"Workload"};
+    for (const uint64_t d : divisors) {
+      headers.push_back("1/" + std::to_string(d));
+    }
+    table.SetColumns(std::move(headers));
+    for (const Row& row : rows) {
+      std::vector<std::string> cells = {row.workload};
+      const double full = metric(row.by_size.back());
+      for (const RunReport& r : row.by_size) {
+        const double value = metric(r);
+        cells.push_back(
+            FormatDouble(normalize_to_full ? Normalized(value, full) : value, decimals));
+      }
+      table.AddRow(std::move(cells));
+    }
+    Emit(table);
+  };
+
+  emit("Figure 8(c) — Probability of replacing a dirty entry vs cache size",
+       [](const RunReport& r) { return r.prd; }, 3, false);
+  emit("Figure 9(a) — Cache hit ratio vs cache size",
+       [](const RunReport& r) { return r.hit_ratio; }, 3, false);
+  emit("Figure 9(b) — Response time vs cache size (normalized to full-table cache)",
+       [](const RunReport& r) { return r.mean_response_us; }, 3, true);
+  emit("Figure 9(c) — Write amplification vs cache size",
+       [](const RunReport& r) { return r.write_amplification; }, 2, false);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Micro-benchmarks of the mapping-cache data structures (google-benchmark).
+//
+// Not a paper artifact: these measure the simulator's own hot paths — cache
+// hit/miss/evict costs for TPFTL's two-level cache versus DFTL's segmented
+// LRU — so regressions in the data structures are visible independently of
+// whole-experiment runtimes.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/two_level_cache.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace tpftl {
+namespace {
+
+TwoLevelCacheOptions CacheOpts(uint64_t budget) {
+  TwoLevelCacheOptions o;
+  o.budget_bytes = budget;
+  o.entries_per_page = 1024;
+  return o;
+}
+
+void BM_TwoLevelCacheHit(benchmark::State& state) {
+  TwoLevelCache cache(CacheOpts(1 << 20));
+  for (Lpn lpn = 0; lpn < 10000; ++lpn) {
+    cache.Insert(lpn, lpn + 1, false);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(rng.Below(10000)));
+  }
+}
+BENCHMARK(BM_TwoLevelCacheHit);
+
+void BM_TwoLevelCacheMissInsertEvict(benchmark::State& state) {
+  TwoLevelCache cache(CacheOpts(64 << 10));
+  Rng rng(2);
+  for (auto _ : state) {
+    const Lpn lpn = rng.Below(1 << 20);
+    if (!cache.Contains(lpn)) {
+      while (!cache.HasSpaceFor(lpn)) {
+        const auto victim = cache.PickVictim(true);
+        cache.Evict(victim->vtpn, victim->slot);
+      }
+      cache.Insert(lpn, lpn, rng.Chance(0.5));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoLevelCacheMissInsertEvict);
+
+void BM_TwoLevelCacheZipfMix(benchmark::State& state) {
+  // Realistic mixture: Zipf-skewed lookups with inserts on miss.
+  TwoLevelCache cache(CacheOpts(256 << 10));
+  ZipfGenerator zipf(1 << 20, 1.1);
+  Rng rng(3);
+  for (auto _ : state) {
+    const Lpn lpn = zipf.Sample(rng);
+    if (!cache.Lookup(lpn).has_value()) {
+      while (!cache.HasSpaceFor(lpn)) {
+        const auto victim = cache.PickVictim(true);
+        cache.Evict(victim->vtpn, victim->slot);
+      }
+      cache.Insert(lpn, lpn, false);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoLevelCacheZipfMix);
+
+void BM_BatchCollectDirty(benchmark::State& state) {
+  // Cost of DirtyEntriesOf + MarkAllClean on a node with `range(0)` dirty
+  // entries — the §4.4 batch-update inner loop.
+  const auto dirty = static_cast<uint64_t>(state.range(0));
+  TwoLevelCache cache(CacheOpts(1 << 20));
+  for (uint64_t i = 0; i < dirty; ++i) {
+    cache.Insert(i, i, true);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.DirtyEntriesOf(0));
+    benchmark::DoNotOptimize(cache.MarkAllClean(0));
+    state.PauseTiming();
+    for (uint64_t i = 0; i < dirty; ++i) {
+      cache.Update(i, i, true);  // Re-dirty for the next iteration.
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_BatchCollectDirty)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfGenerator zipf(1 << 22, 1.2);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace tpftl
+
+BENCHMARK_MAIN();

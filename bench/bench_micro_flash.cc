@@ -1,0 +1,114 @@
+// Micro-benchmarks of the NAND simulator and block manager (google-benchmark).
+//
+// Not a paper artifact: measures the substrate's operation throughput (page
+// program/read, invalidate, GC victim selection and collection) to keep the
+// whole-experiment harnesses fast.
+
+#include <benchmark/benchmark.h>
+
+#include "src/flash/nand.h"
+#include "src/ftl/block_manager.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+namespace {
+
+FlashGeometry MicroGeometry() {
+  FlashGeometry g;
+  g.page_size_bytes = 4096;
+  g.pages_per_block = 64;
+  g.total_blocks = 4096;
+  return g;
+}
+
+void BM_NandProgramReadCycle(benchmark::State& state) {
+  NandFlash flash(MicroGeometry());
+  BlockId block = 0;
+  for (auto _ : state) {
+    if (!flash.block(block).HasFreePage()) {
+      state.PauseTiming();
+      for (uint64_t o = 0; o < 64; ++o) {
+        flash.InvalidatePage(flash.geometry().PpnOf(block, o));
+      }
+      flash.EraseBlock(block);
+      state.ResumeTiming();
+    }
+    Ppn ppn = kInvalidPpn;
+    flash.ProgramPage(block, 1, &ppn);
+    benchmark::DoNotOptimize(flash.ReadPage(ppn));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NandProgramReadCycle);
+
+void BM_BlockManagerProgramInvalidate(benchmark::State& state) {
+  // Steady-state churn: program a page, invalidate a random earlier one,
+  // collect fully-invalid victims — the block manager's whole lifecycle.
+  NandFlash flash(MicroGeometry());
+  BlockManager bm(&flash, 8);
+  Rng rng(1);
+  std::vector<Ppn> live;
+  live.reserve(1 << 18);
+  for (auto _ : state) {
+    Ppn ppn = kInvalidPpn;
+    bm.Program(BlockPool::kData, 1, &ppn);
+    live.push_back(ppn);
+    if (live.size() > 4096) {
+      const size_t idx = rng.Below(live.size());
+      bm.Invalidate(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    while (bm.NeedsGc()) {
+      const BlockId victim = bm.PickVictim();
+      const FlashGeometry& g = flash.geometry();
+      for (uint64_t o = 0; o < g.pages_per_block; ++o) {
+        const Ppn p = g.PpnOf(victim, o);
+        if (flash.StateOf(p) == PageState::kValid) {
+          flash.ReadPage(p);
+          Ppn np = kInvalidPpn;
+          bm.Program(BlockPool::kData, flash.OobTag(p), &np);
+          bm.Invalidate(p);
+          for (auto& l : live) {
+            if (l == p) {
+              l = np;
+              break;
+            }
+          }
+        }
+      }
+      bm.EraseAndFree(victim);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockManagerProgramInvalidate);
+
+void BM_VictimSelection(benchmark::State& state) {
+  NandFlash flash(MicroGeometry());
+  BlockManager bm(&flash, 8);
+  Rng rng(2);
+  // Retire 1024 blocks with random garbage levels.
+  std::vector<Ppn> pages;
+  for (int b = 0; b < 1024; ++b) {
+    for (uint64_t o = 0; o < 64; ++o) {
+      Ppn ppn = kInvalidPpn;
+      bm.Program(BlockPool::kData, 1, &ppn);
+      pages.push_back(ppn);
+    }
+  }
+  for (const Ppn ppn : pages) {
+    if (rng.Chance(0.4)) {
+      bm.Invalidate(ppn);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.PickVictim());
+  }
+}
+BENCHMARK(BM_VictimSelection);
+
+}  // namespace
+}  // namespace tpftl
+
+BENCHMARK_MAIN();

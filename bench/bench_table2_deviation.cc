@@ -1,0 +1,42 @@
+// Table 2 — deviations of DFTL from the optimal FTL.
+//
+// Paper values: performance loss 52.6–63.4 %, erasure increase 30.4–56.2 %
+// across the four workloads ("extra operations lead to an average of 58.4 %
+// performance loss and 42.3 % block erasure increase", §3.3). This harness
+// reports the same two rows for the synthetic workload suite.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace tpftl;
+  using namespace tpftl::bench;
+
+  const uint64_t requests = RequestsFromEnv();
+  Table table("Table 2 — Deviations of DFTL from the optimal FTL (" + std::to_string(requests) +
+              " requests/workload)");
+  table.SetColumns({"Deviation", "Fin1", "Fin2", "ts", "src"});
+
+  std::vector<double> perf_loss;
+  std::vector<double> erase_increase;
+  for (const WorkloadConfig& workload : PaperWorkloads(requests)) {
+    const RunReport dftl = RunOne(workload, FtlKind::kDftl);
+    const RunReport optimal = RunOne(workload, FtlKind::kOptimal);
+    perf_loss.push_back(100.0 * (dftl.mean_response_us - optimal.mean_response_us) /
+                        dftl.mean_response_us);
+    erase_increase.push_back(
+        100.0 * (static_cast<double>(dftl.block_erases) - static_cast<double>(optimal.block_erases)) /
+        static_cast<double>(dftl.block_erases));
+  }
+
+  auto to_cells = [](const std::string& label, const std::vector<double>& values) {
+    std::vector<std::string> cells = {label};
+    for (const double v : values) {
+      cells.push_back(FormatDouble(v, 1) + "%");
+    }
+    return cells;
+  };
+  table.AddRow(to_cells("Performance", perf_loss));
+  table.AddRow(to_cells("Erasure", erase_increase));
+  Emit(table);
+  return 0;
+}

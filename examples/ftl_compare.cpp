@@ -1,0 +1,50 @@
+// Compare the four paper FTLs (plus extras) on one workload profile.
+//
+//   $ ./ftl_compare [workload] [requests]
+//     workload: financial1 | financial2 | msr-ts | msr-src   (default financial1)
+//     requests: trace length                                  (default 200000)
+//
+// Prints one row per FTL with every §5 metric: hit ratio, Prd, translation
+// reads/writes, mean response time, write amplification, and erase count.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/ssd/runner.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+#include "src/workload/profiles.h"
+
+int main(int argc, char** argv) {
+  using namespace tpftl;
+
+  const std::string workload_name = argc > 1 ? argv[1] : "financial1";
+  const uint64_t requests = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+
+  const auto workload = ProfileByName(workload_name, requests);
+  if (!workload.has_value()) {
+    std::fprintf(stderr, "unknown workload '%s' (try financial1/financial2/msr-ts/msr-src)\n",
+                 workload_name.c_str());
+    return 1;
+  }
+
+  Table table(workload->name + " — FTL comparison (" + std::to_string(requests) + " requests)");
+  table.SetColumns({"FTL", "Hr", "Prd", "TransRd", "TransWr", "RespTime(us)", "WA", "Erases"});
+
+  for (const FtlKind kind :
+       {FtlKind::kDftl, FtlKind::kSftl, FtlKind::kCdftl, FtlKind::kTpftl, FtlKind::kOptimal}) {
+    ExperimentConfig config;
+    config.workload = *workload;
+    config.ftl_kind = kind;
+    const RunReport r = RunExperiment(config);
+    table.AddRow({r.ftl_name, FormatDouble(r.hit_ratio, 3), FormatDouble(r.prd, 3),
+                  std::to_string(r.trans_reads), std::to_string(r.trans_writes),
+                  FormatDouble(r.mean_response_us, 0), FormatDouble(r.write_amplification, 2),
+                  std::to_string(r.block_erases)});
+    std::fprintf(stderr, "done: %s\n", r.ftl_name.c_str());
+  }
+  table.Print(std::cout);
+  return 0;
+}

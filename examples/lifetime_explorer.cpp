@@ -1,0 +1,111 @@
+// Explore SSD lifetime mechanics: GC policy, wear distribution, endurance.
+//
+//   $ ./lifetime_explorer [endurance-cycles]
+//
+// Runs the same hot/cold write-heavy workload under the three GC victim
+// policies and reports write amplification, erase totals, and the wear
+// spread (max − min block erases). Then reruns with a finite per-block erase
+// budget to show bad blocks accumulating while the device keeps serving —
+// the §1 "limited endurance" story end to end.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "src/core/ftl_factory.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace tpftl;
+
+struct LifetimeResult {
+  double wa = 0.0;
+  uint64_t erases = 0;
+  uint64_t wear_spread = 0;
+  uint64_t max_wear = 0;
+  uint64_t bad_blocks = 0;
+};
+
+LifetimeResult RunLifetime(GcPolicy policy, uint64_t max_cycles, uint64_t writes) {
+  FlashGeometry geometry = MakeGeometry(32ULL << 20);
+  geometry.max_erase_cycles = max_cycles;
+  NandFlash flash(geometry);
+  FtlEnv env;
+  env.flash = &flash;
+  env.logical_pages = LogicalPages(geometry, 32ULL << 20);
+  env.cache_bytes = PaperCacheBytes(geometry, env.logical_pages);
+  env.gc_policy = policy;
+  env.wear_spread_limit = 8;
+  auto ftl = CreateFtl(FtlKind::kTpftl, env);
+
+  for (Lpn lpn = 0; lpn < env.logical_pages; ++lpn) {
+    ftl->WritePage(lpn);  // Fill.
+  }
+  ftl->ResetStats();
+
+  // 90 % of writes hit a 5 % hot region — the classic wear-leveling stress.
+  Rng rng(17);
+  const uint64_t hot_pages = env.logical_pages / 20;
+  for (uint64_t i = 0; i < writes; ++i) {
+    const Lpn lpn = rng.Chance(0.9) ? rng.Below(hot_pages)
+                                    : hot_pages + rng.Below(env.logical_pages - hot_pages);
+    ftl->WritePage(lpn);
+  }
+
+  LifetimeResult r;
+  r.wa = ftl->stats().write_amplification();
+  r.erases = flash.stats().block_erases;
+  uint64_t min_wear = ~0ULL;
+  for (BlockId b = 0; b < geometry.total_blocks; ++b) {
+    min_wear = std::min(min_wear, flash.block(b).erase_count());
+    r.max_wear = std::max(r.max_wear, flash.block(b).erase_count());
+  }
+  r.wear_spread = r.max_wear - min_wear;
+  const auto* demand = dynamic_cast<const DemandFtl*>(ftl.get());
+  r.bad_blocks = demand != nullptr ? demand->block_manager().bad_block_count() : 0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tpftl;
+
+  const uint64_t endurance = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50;
+  constexpr uint64_t kWrites = 200000;
+
+  Table policies("GC policy vs lifetime — TPFTL, 32 MiB, 90/5 hot-cold writes (" +
+                 std::to_string(kWrites) + " writes, unlimited endurance)");
+  policies.SetColumns({"policy", "WA", "erases", "max wear", "wear spread"});
+  for (const auto& [name, policy] :
+       {std::pair{"greedy", GcPolicy::kGreedy}, {"cost-benefit", GcPolicy::kCostBenefit},
+        {"wear-aware", GcPolicy::kWearAware}}) {
+    const LifetimeResult r = RunLifetime(policy, 0, kWrites);
+    policies.AddRow({name, FormatDouble(r.wa, 2), std::to_string(r.erases),
+                     std::to_string(r.max_wear), std::to_string(r.wear_spread)});
+  }
+  policies.Print(std::cout);
+
+  Table endurance_table("Finite endurance — same workload, " + std::to_string(endurance) +
+                        " erase cycles per block");
+  endurance_table.SetColumns({"policy", "WA", "bad blocks", "max wear"});
+  // Fewer writes here: the finite budget must wear blocks out without
+  // exhausting the whole device.
+  for (const auto& [name, policy] :
+       {std::pair{"greedy", GcPolicy::kGreedy}, {"wear-aware", GcPolicy::kWearAware}}) {
+    const LifetimeResult r = RunLifetime(policy, endurance, kWrites / 5);
+    endurance_table.AddRow({name, FormatDouble(r.wa, 2), std::to_string(r.bad_blocks),
+                            std::to_string(r.max_wear)});
+  }
+  endurance_table.Print(std::cout);
+  std::printf(
+      "Takeaways: cost-benefit's age weighting both improves WA and evens wear\n"
+      "(it mixes old cold blocks into the rotation); wear-aware selection caps\n"
+      "the worst block's wear, postponing the first bad-block retirement.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Characterize a workload the way the paper's Table 4 does.
+//
+//   $ ./workload_stats [trace-file | profile-name] [requests]
+//
+// Prints write ratio, average request size, sequential read/write fractions,
+// address-space span, working-set size, and a request-size histogram — for a
+// real trace file (SPC or MSR format) or one of the built-in synthetic
+// profiles (financial1/financial2/msr-ts/msr-src). Useful both to validate
+// that the synthetic profiles land on Table 4 and to characterize new traces
+// before replaying them.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/trace/trace_io.h"
+#include "src/util/histogram.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+#include "src/workload/profiles.h"
+
+int main(int argc, char** argv) {
+  using namespace tpftl;
+
+  const std::string source = argc > 1 ? argv[1] : "financial1";
+  const uint64_t requests = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
+
+  std::vector<IoRequest> trace;
+  std::string label;
+  if (auto profile = ProfileByName(source, requests)) {
+    trace = MaterializeWorkload(*profile).requests();
+    label = profile->name + " (synthetic)";
+  } else if (auto loaded = LoadTraceFile(source)) {
+    trace = std::move(loaded->requests);
+    label = source;
+  } else {
+    std::fprintf(stderr,
+                 "'%s' is neither a known profile (financial1/financial2/msr-ts/msr-src) "
+                 "nor a readable trace file\n",
+                 source.c_str());
+    return 1;
+  }
+
+  const WorkloadFeatures f = AnalyzeTrace(trace);
+  uint64_t span = 0;
+  double duration_us = 0.0;
+  Histogram size_hist(64);  // In 4 KiB units.
+  for (const IoRequest& r : trace) {
+    span = std::max(span, r.offset_bytes + r.size_bytes);
+    duration_us = std::max(duration_us, r.arrival_us);
+    size_hist.Add((r.size_bytes + 4095) / 4096);
+  }
+
+  Table table("Workload characteristics — " + label);
+  table.SetColumns({"parameter", "value"});
+  table.AddRow({"requests", std::to_string(f.requests)});
+  table.AddRow({"write ratio", FormatDouble(100.0 * f.write_ratio, 1) + "%"});
+  table.AddRow({"avg request size", FormatBytes(static_cast<uint64_t>(f.mean_request_bytes))});
+  table.AddRow({"seq. read", FormatDouble(100.0 * f.seq_read_fraction, 1) + "%"});
+  table.AddRow({"seq. write", FormatDouble(100.0 * f.seq_write_fraction, 1) + "%"});
+  table.AddRow({"address span", FormatBytes(span)});
+  table.AddRow({"working set", std::to_string(f.distinct_pages) + " pages (" +
+                                   FormatBytes(f.distinct_pages * 4096) + ")"});
+  table.AddRow({"duration", FormatDouble(duration_us / 1e6, 1) + " s"});
+  table.AddRow({"mean IOPS",
+                FormatDouble(duration_us > 0 ? 1e6 * static_cast<double>(f.requests) / duration_us
+                                             : 0.0,
+                             0)});
+  table.Print(std::cout);
+
+  Table hist("Request size distribution (4 KiB pages per request)");
+  hist.SetColumns({"pages", "share"});
+  for (const uint64_t pages : {1, 2, 3, 4, 8, 16}) {
+    hist.AddRow({"<= " + std::to_string(pages),
+                 FormatDouble(100.0 * size_hist.CdfAt(pages), 1) + "%"});
+  }
+  hist.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "src/core/ftl_factory.h"
+
+#include "src/ftl/block_ftl.h"
+#include "src/ftl/cdftl.h"
+#include "src/ftl/dftl.h"
+#include "src/ftl/fast_ftl.h"
+#include "src/ftl/optimal_ftl.h"
+#include "src/ftl/sftl.h"
+#include "src/ftl/zftl.h"
+#include "src/util/assert.h"
+#include "src/util/str.h"
+
+namespace tpftl {
+
+const char* FtlKindName(FtlKind kind) {
+  switch (kind) {
+    case FtlKind::kOptimal:
+      return "Optimal";
+    case FtlKind::kDftl:
+      return "DFTL";
+    case FtlKind::kCdftl:
+      return "CDFTL";
+    case FtlKind::kSftl:
+      return "S-FTL";
+    case FtlKind::kTpftl:
+      return "TPFTL";
+    case FtlKind::kBlockFtl:
+      return "BlockFTL";
+    case FtlKind::kFast:
+      return "FAST";
+    case FtlKind::kZftl:
+      return "ZFTL";
+  }
+  return "?";
+}
+
+std::optional<FtlKind> FtlKindByName(const std::string& name) {
+  if (EqualsIgnoreCase(name, "optimal")) {
+    return FtlKind::kOptimal;
+  }
+  if (EqualsIgnoreCase(name, "dftl")) {
+    return FtlKind::kDftl;
+  }
+  if (EqualsIgnoreCase(name, "cdftl")) {
+    return FtlKind::kCdftl;
+  }
+  if (EqualsIgnoreCase(name, "sftl") || EqualsIgnoreCase(name, "s-ftl")) {
+    return FtlKind::kSftl;
+  }
+  if (EqualsIgnoreCase(name, "tpftl")) {
+    return FtlKind::kTpftl;
+  }
+  if (EqualsIgnoreCase(name, "blockftl") || EqualsIgnoreCase(name, "block")) {
+    return FtlKind::kBlockFtl;
+  }
+  if (EqualsIgnoreCase(name, "fast")) {
+    return FtlKind::kFast;
+  }
+  if (EqualsIgnoreCase(name, "zftl")) {
+    return FtlKind::kZftl;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Ftl> CreateFtl(FtlKind kind, const FtlEnv& env,
+                               const TpftlOptions& tpftl_options) {
+  switch (kind) {
+    case FtlKind::kOptimal:
+      return std::make_unique<OptimalFtl>(env);
+    case FtlKind::kDftl:
+      return std::make_unique<Dftl>(env);
+    case FtlKind::kCdftl:
+      return std::make_unique<Cdftl>(env);
+    case FtlKind::kSftl:
+      return std::make_unique<Sftl>(env);
+    case FtlKind::kTpftl:
+      return std::make_unique<Tpftl>(env, tpftl_options);
+    case FtlKind::kBlockFtl:
+      return std::make_unique<BlockFtl>(env);
+    case FtlKind::kFast:
+      return std::make_unique<FastFtl>(env);
+    case FtlKind::kZftl:
+      return std::make_unique<Zftl>(env);
+  }
+  TPFTL_CHECK_MSG(false, "unknown FTL kind");
+  return nullptr;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,27 @@
+// Construction of any FTL flavor by kind.
+
+#ifndef SRC_CORE_FTL_FACTORY_H_
+#define SRC_CORE_FTL_FACTORY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/tpftl.h"
+#include "src/ftl/demand_ftl.h"
+#include "src/ftl/ftl.h"
+
+namespace tpftl {
+
+enum class FtlKind { kOptimal, kDftl, kCdftl, kSftl, kTpftl, kBlockFtl, kFast, kZftl };
+
+const char* FtlKindName(FtlKind kind);
+std::optional<FtlKind> FtlKindByName(const std::string& name);
+
+// `tpftl_options` applies only to kTpftl.
+std::unique_ptr<Ftl> CreateFtl(FtlKind kind, const FtlEnv& env,
+                               const TpftlOptions& tpftl_options = {});
+
+}  // namespace tpftl
+
+#endif  // SRC_CORE_FTL_FACTORY_H_

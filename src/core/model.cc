@@ -1,0 +1,81 @@
+#include "src/core/model.h"
+
+namespace tpftl {
+
+ModelParams ModelParams::FromStats(const AtStats& stats, const FlashGeometry& geometry) {
+  ModelParams p;
+  p.hr = stats.hit_ratio();
+  p.prd = stats.dirty_replacement_probability();
+  const uint64_t npa = stats.user_page_accesses();
+  p.rw = npa > 0 ? static_cast<double>(stats.host_page_writes) / static_cast<double>(npa) : 0.0;
+  p.hgcr = stats.gc_hit_ratio();
+  p.vd = stats.gc_data_blocks > 0 ? static_cast<double>(stats.gc_data_migrations) /
+                                        static_cast<double>(stats.gc_data_blocks)
+                                  : 0.0;
+  p.vt = stats.gc_trans_blocks > 0 ? static_cast<double>(stats.gc_trans_migrations) /
+                                         static_cast<double>(stats.gc_trans_blocks)
+                                   : 0.0;
+  p.np = static_cast<double>(geometry.pages_per_block);
+  p.tfr = geometry.page_read_us;
+  p.tfw = geometry.page_write_us;
+  p.tfe = geometry.block_erase_us;
+  return p;
+}
+
+double ModelTranslationTime(const ModelParams& p) {
+  // Eq. 1: Tat = (1 - Hr) * [Tfr + Prd * (Tfr + Tfw)].
+  return (1.0 - p.hr) * (p.tfr + p.prd * (p.tfr + p.tfw));
+}
+
+double ModelGcDataCount(const ModelParams& p, double npa) {
+  // Eq. 7: Ngcd = Npa * Rw / (Np - Vd).
+  if (p.np <= p.vd) {
+    return 0.0;
+  }
+  return npa * p.rw / (p.np - p.vd);
+}
+
+double ModelTranslationWrites(const ModelParams& p, double npa) {
+  // Eq. 8: Ntw = (1 - Hr) * Prd * Npa.
+  return (1.0 - p.hr) * p.prd * npa;
+}
+
+double ModelGcTranslationCount(const ModelParams& p, double npa) {
+  // Eq. 9: Ngct = (Ntw + Ndt) / (Np - Vt), with Ndt from Eq. 3.
+  if (p.np <= p.vt) {
+    return 0.0;
+  }
+  const double ngcd = ModelGcDataCount(p, npa);
+  const double ndt = ngcd * p.vd * (1.0 - p.hgcr);
+  return (ModelTranslationWrites(p, npa) + ndt) / (p.np - p.vt);
+}
+
+double ModelGcDataTime(const ModelParams& p) {
+  // Eq. 10: Tgcd = Rw * [Vd * (2 - Hgcr) * (Tfr + Tfw) + Tfe] / (Np - Vd).
+  if (p.np <= p.vd) {
+    return 0.0;
+  }
+  return p.rw * (p.vd * (2.0 - p.hgcr) * (p.tfr + p.tfw) + p.tfe) / (p.np - p.vd);
+}
+
+double ModelGcTranslationTime(const ModelParams& p) {
+  // Eq. 11: Tgct = [(1 - Hr) * Prd + Rw * Vd * (1 - Hgcr) / (Np - Vd)]
+  //              * [Vt * (Tfr + Tfw) + Tfe] / (Np - Vt).
+  if (p.np <= p.vt || p.np <= p.vd) {
+    return 0.0;
+  }
+  const double rate = (1.0 - p.hr) * p.prd + p.rw * p.vd * (1.0 - p.hgcr) / (p.np - p.vd);
+  return rate * (p.vt * (p.tfr + p.tfw) + p.tfe) / (p.np - p.vt);
+}
+
+double ModelWriteAmplification(const ModelParams& p) {
+  // Eq. 13: A = 1 + (1 - Hr) * Prd * Np / ((Np - Vt) * Rw)
+  //           + [1 + (1 - Hgcr) * Np / (Np - Vt)] * Vd / (Np - Vd).
+  if (p.rw <= 0.0 || p.np <= p.vt || p.np <= p.vd) {
+    return 1.0;
+  }
+  return 1.0 + (1.0 - p.hr) * p.prd * p.np / ((p.np - p.vt) * p.rw) +
+         (1.0 + (1.0 - p.hgcr) * p.np / (p.np - p.vt)) * p.vd / (p.np - p.vd);
+}
+
+}  // namespace tpftl

@@ -1,0 +1,59 @@
+// Analytical models of §3.1 (Equations 1–13).
+//
+// Two closed-form models quantify the overhead address translation adds in a
+// demand-based page-level FTL:
+//   * the performance model — average per-access time of translation (Eq. 1)
+//     and of collecting data/translation blocks (Eq. 10 / Eq. 11);
+//   * the write-amplification model (Eq. 13).
+//
+// ModelParams carries the Table 1 symbols; FromStats() extracts them from a
+// simulation run so bench_models_validation can compare predicted against
+// measured values.
+
+#ifndef SRC_CORE_MODEL_H_
+#define SRC_CORE_MODEL_H_
+
+#include "src/flash/geometry.h"
+#include "src/ftl/at_stats.h"
+
+namespace tpftl {
+
+struct ModelParams {
+  double hr = 0.0;    // Hr   — mapping cache hit ratio.
+  double prd = 0.0;   // Prd  — probability of replacing a dirty entry.
+  double rw = 0.0;    // Rw   — write ratio among user page accesses.
+  double hgcr = 0.0;  // Hgcr — GC-time mapping cache hit ratio.
+  double vd = 0.0;    // Vd   — mean valid pages in collected data blocks.
+  double vt = 0.0;    // Vt   — mean valid pages in collected translation blocks.
+  double np = 64.0;   // Np   — pages per block.
+  double tfr = 25.0;  // Tfr  — page read time (µs).
+  double tfw = 200.0; // Tfw  — page write time (µs).
+  double tfe = 1500.0;// Tfe  — block erase time (µs).
+
+  // Populates every symbol from a finished run's statistics.
+  static ModelParams FromStats(const AtStats& stats, const FlashGeometry& geometry);
+};
+
+// Eq. 1 — average time of one LPN→PPN translation.
+double ModelTranslationTime(const ModelParams& p);
+
+// Eq. 10 — average time spent collecting data blocks, per user page access.
+double ModelGcDataTime(const ModelParams& p);
+
+// Eq. 11 — average time spent collecting translation blocks, per user page
+// access.
+double ModelGcTranslationTime(const ModelParams& p);
+
+// Eq. 13 — overall write amplification.
+double ModelWriteAmplification(const ModelParams& p);
+
+// Eq. 7 / Eq. 9 — expected GC operation counts for `npa` user page accesses.
+double ModelGcDataCount(const ModelParams& p, double npa);
+double ModelGcTranslationCount(const ModelParams& p, double npa);
+
+// Eq. 8 — expected translation page writes during address translation.
+double ModelTranslationWrites(const ModelParams& p, double npa);
+
+}  // namespace tpftl
+
+#endif  // SRC_CORE_MODEL_H_

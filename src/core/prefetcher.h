@@ -1,0 +1,63 @@
+// Selective-prefetch activation logic (§4.3).
+//
+// Observation (§3.2, Fig. 2(b)): during sequential bursts the number of
+// cached TP nodes shrinks (consecutive entries pile into few translation
+// pages); when the burst ends it grows back. A signed counter tracks the
+// net change — +1 per TP node loaded, −1 per TP node evicted — and when its
+// magnitude reaches the threshold (3 in the paper), selective prefetching is
+// switched off (counter positive: random phase) or on (counter negative:
+// sequential phase) and the counter resets.
+
+#ifndef SRC_CORE_PREFETCHER_H_
+#define SRC_CORE_PREFETCHER_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace tpftl {
+
+class SelectivePrefetcher {
+ public:
+  explicit SelectivePrefetcher(int threshold = 3) : threshold_(threshold) {}
+
+  void OnNodeLoaded() { Bump(+1); }
+  void OnNodeEvicted() { Bump(-1); }
+
+  bool active() const { return active_; }
+  int counter() const { return counter_; }
+  int threshold() const { return threshold_; }
+
+  // Activation flips recorded since construction (diagnostics).
+  uint64_t activations() const { return activations_; }
+  uint64_t deactivations() const { return deactivations_; }
+
+ private:
+  void Bump(int delta) {
+    counter_ += delta;
+    if (std::abs(counter_) < threshold_) {
+      return;
+    }
+    if (counter_ > 0) {
+      if (active_) {
+        ++deactivations_;
+      }
+      active_ = false;
+    } else {
+      if (!active_) {
+        ++activations_;
+      }
+      active_ = true;
+    }
+    counter_ = 0;
+  }
+
+  int threshold_;
+  int counter_ = 0;
+  bool active_ = false;
+  uint64_t activations_ = 0;
+  uint64_t deactivations_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_CORE_PREFETCHER_H_

@@ -1,0 +1,189 @@
+#include "src/core/tpftl.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+std::string TpftlOptions::Label() const {
+  std::string label;
+  if (request_prefetch) {
+    label += 'r';
+  }
+  if (selective_prefetch) {
+    label += 's';
+  }
+  if (batch_update) {
+    label += 'b';
+  }
+  if (clean_first) {
+    label += 'c';
+  }
+  return label.empty() ? "--" : label;
+}
+
+TpftlOptions TpftlOptions::FromLabel(const std::string& label) {
+  TpftlOptions o;
+  o.request_prefetch = label.find('r') != std::string::npos;
+  o.selective_prefetch = label.find('s') != std::string::npos;
+  o.batch_update = label.find('b') != std::string::npos;
+  o.clean_first = label.find('c') != std::string::npos;
+  return o;
+}
+
+Tpftl::Tpftl(const FtlEnv& env, const TpftlOptions& options)
+    : DemandFtl(env, /*uses_translation_store=*/true),
+      options_(options),
+      cache_(TwoLevelCacheOptions{
+          .budget_bytes = entry_cache_budget_bytes(),
+          .entry_bytes = options.entry_bytes,
+          .node_overhead_bytes = options.node_overhead_bytes,
+          .entries_per_page = env.flash->geometry().entries_per_translation_page()}),
+      prefetcher_(options.selective_threshold) {}
+
+void Tpftl::BeginRequest(const IoRequest& request) {
+  const uint64_t page_size = flash().geometry().page_size_bytes;
+  request_first_ = request.FirstLpn(page_size);
+  request_last_ = request.LastLpn(page_size);
+}
+
+MicroSec Tpftl::EvictVictim(const TwoLevelCache::Victim& victim) {
+  AtStats& s = mutable_stats();
+  MicroSec t = 0.0;
+  ++s.evictions;
+  if (victim.dirty) {
+    ++s.dirty_evictions;
+    if (options_.batch_update) {
+      // Write back every dirty entry sharing the victim's translation page
+      // in a single read-modify-write; they stay cached, now clean (§4.4).
+      std::vector<MappingUpdate> updates = cache_.DirtyEntriesOf(victim.vtpn);
+      TPFTL_DCHECK(!updates.empty());
+      const auto r =
+          store().RewriteTranslationPage(victim.vtpn, updates, /*have_full_content=*/false);
+      ++s.trans_reads_at;
+      ++s.trans_writes_at;
+      s.batch_writebacks += cache_.MarkAllClean(victim.vtpn);
+      t += r.time;
+    } else {
+      const MappingUpdate update{victim.lpn, victim.ppn};
+      const auto r = store().RewriteTranslationPage(victim.vtpn, {&update, 1},
+                                                    /*have_full_content=*/false);
+      ++s.trans_reads_at;
+      ++s.trans_writes_at;
+      t += r.time;
+    }
+  }
+  if (cache_.Evict(victim.vtpn, victim.slot)) {
+    prefetcher_.OnNodeEvicted();
+  }
+  return t;
+}
+
+bool Tpftl::InsertEntry(Lpn lpn, bool prefetched, Lpn requested, Vtpn* restrict_node,
+                        MicroSec* t) {
+  while (!cache_.HasSpaceFor(lpn)) {
+    const auto victim = cache_.PickVictim(options_.clean_first);
+    if (!victim.has_value()) {
+      break;  // Degenerate budget: accept a transient overshoot.
+    }
+    // Never evict the entry this miss is resolving.
+    if (victim->lpn == requested) {
+      if (prefetched) {
+        return false;
+      }
+      break;
+    }
+    if (prefetched) {
+      // §4.5 rule 2: replacements on behalf of prefetched entries stay
+      // within one cached translation page.
+      if (*restrict_node != kInvalidVtpn && victim->vtpn != *restrict_node) {
+        return false;
+      }
+    }
+    *restrict_node = victim->vtpn;
+    *t += EvictVictim(*victim);
+  }
+  if (cache_.Insert(lpn, store().Persisted(lpn), /*dirty=*/false)) {
+    prefetcher_.OnNodeLoaded();
+  }
+  return true;
+}
+
+MicroSec Tpftl::Translate(Lpn lpn, bool is_write, Ppn* current) {
+  (void)is_write;
+  AtStats& s = mutable_stats();
+  ++s.lookups;
+  if (const auto hit = cache_.Lookup(lpn)) {
+    ++s.hits;
+    *current = *hit;
+    return 0.0;
+  }
+  ++s.misses;
+  const Vtpn vtpn = store().VtpnOf(lpn);
+  MicroSec t = store().ReadTranslationPage(vtpn);
+  ++s.trans_reads_at;
+
+  // Loading policy (§4.3): how many successors to prefetch alongside the
+  // requested entry. Rule 1 (§4.5) caps at the translation page boundary.
+  const uint64_t slot = store().SlotOf(lpn);
+  const uint64_t page_cap = store().entries_per_page() - 1 - slot;
+  uint64_t prefetch_len = 0;
+  if (options_.request_prefetch && request_last_ != kInvalidLpn && lpn >= request_first_ &&
+      lpn <= request_last_) {
+    prefetch_len = std::max(prefetch_len, std::min(request_last_ - lpn, page_cap));
+  }
+  if (options_.selective_prefetch && prefetcher_.active()) {
+    prefetch_len = std::max(prefetch_len, std::min(cache_.CachedPredecessors(lpn), page_cap));
+  }
+
+  Vtpn restrict_node = kInvalidVtpn;
+  InsertEntry(lpn, /*prefetched=*/false, lpn, &restrict_node, &t);
+  for (uint64_t i = 1; i <= prefetch_len; ++i) {
+    const Lpn successor = lpn + i;
+    if (successor >= logical_pages()) {
+      break;
+    }
+    if (cache_.Contains(successor)) {
+      continue;
+    }
+    if (!InsertEntry(successor, /*prefetched=*/true, lpn, &restrict_node, &t)) {
+      break;
+    }
+  }
+
+  *current = store().Persisted(lpn);
+  return t;
+}
+
+MicroSec Tpftl::CommitMapping(Lpn lpn, Ppn new_ppn) {
+  const bool updated = cache_.Update(lpn, new_ppn, /*dirty=*/true);
+  TPFTL_CHECK_MSG(updated, "CommitMapping without a preceding Translate");
+  return 0.0;
+}
+
+bool Tpftl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
+  (void)extra_time;
+  return cache_.Update(lpn, new_ppn, /*dirty=*/true);
+}
+
+MicroSec Tpftl::GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates) {
+  if (options_.batch_update && cache_.NodeCached(vtpn)) {
+    // §4.4: a GC-miss rewrite of a cached translation page also flushes the
+    // page's cached dirty entries, which remain cached and become clean.
+    // (GC misses are by definition not cached, so there is no overlap.)
+    std::vector<MappingUpdate> cached_dirty = cache_.DirtyEntriesOf(vtpn);
+    updates.insert(updates.end(), cached_dirty.begin(), cached_dirty.end());
+    mutable_stats().batch_writebacks += cache_.MarkAllClean(vtpn);
+  }
+  return DemandFtl::GcRewriteTranslation(vtpn, updates);
+}
+
+Ppn Tpftl::Probe(Lpn lpn) const {
+  if (const auto cached = cache_.Peek(lpn)) {
+    return *cached;
+  }
+  return translation_store().Persisted(lpn);
+}
+
+}  // namespace tpftl

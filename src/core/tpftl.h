@@ -1,0 +1,84 @@
+// TPFTL — the paper's translation-page-level demand FTL (§4).
+//
+// Combines:
+//   * the two-level LRU cache (TwoLevelCache, §4.1/§4.2) with compressed
+//     6-byte entries and page-level hotness ordering;
+//   * the workload-adaptive loading policy (§4.3): request-level prefetching
+//     of the remaining pages of the current host request, and selective
+//     prefetching of sequential successors driven by the TP-node counter;
+//   * the efficient replacement policy (§4.4): batch-update writeback of all
+//     dirty entries sharing the victim's translation page, and clean-first
+//     victim selection;
+//   * the prefetch/replacement integration rules (§4.5): prefetching never
+//     crosses the requested entry's translation page, and evictions on
+//     behalf of prefetched entries come from a single cached TP node.
+//
+// Each technique can be toggled independently for the Figure 7/8 ablation
+// ('r' request prefetch, 's' selective prefetch, 'b' batch update, 'c'
+// clean first; "--" disables all four, "rsbc" is the complete TPFTL).
+
+#ifndef SRC_CORE_TPFTL_H_
+#define SRC_CORE_TPFTL_H_
+
+#include <string>
+
+#include "src/core/prefetcher.h"
+#include "src/core/two_level_cache.h"
+#include "src/ftl/demand_ftl.h"
+
+namespace tpftl {
+
+struct TpftlOptions {
+  bool request_prefetch = true;    // 'r'
+  bool selective_prefetch = true;  // 's'
+  bool batch_update = true;        // 'b'
+  bool clean_first = true;         // 'c'
+  int selective_threshold = 3;
+  uint64_t entry_bytes = 6;
+  uint64_t node_overhead_bytes = 16;
+
+  // "rsbc", "bc", "--", ... — the Figure 7/8 configuration monogram.
+  std::string Label() const;
+  static TpftlOptions FromLabel(const std::string& label);
+};
+
+class Tpftl : public DemandFtl {
+ public:
+  Tpftl(const FtlEnv& env, const TpftlOptions& options = {});
+
+  std::string name() const override { return "TPFTL"; }
+  void BeginRequest(const IoRequest& request) override;
+  Ppn Probe(Lpn lpn) const override;
+  uint64_t cache_bytes_used() const override { return cache_.bytes_used(); }
+  uint64_t cache_entry_count() const override { return cache_.entry_count(); }
+
+  const TwoLevelCache& cache() const { return cache_; }
+  const SelectivePrefetcher& prefetcher() const { return prefetcher_; }
+  const TpftlOptions& options() const { return options_; }
+
+ protected:
+  MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
+  MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
+  bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+  MicroSec GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates) override;
+
+ private:
+  // Writes back / drops one victim per the replacement policy; updates the
+  // prefetch counter when a TP node disappears.
+  MicroSec EvictVictim(const TwoLevelCache::Victim& victim);
+  // Makes room for and inserts `lpn`. For prefetched entries (`requested` is
+  // the entry that triggered the miss) the §4.5 rules apply: give up instead
+  // of evicting the requested entry or spilling past `*restrict_node`.
+  // Returns false when the insert was abandoned (prefetch only).
+  bool InsertEntry(Lpn lpn, bool prefetched, Lpn requested, Vtpn* restrict_node, MicroSec* t);
+
+  TpftlOptions options_;
+  TwoLevelCache cache_;
+  SelectivePrefetcher prefetcher_;
+  Lpn request_first_ = kInvalidLpn;
+  Lpn request_last_ = kInvalidLpn;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_CORE_TPFTL_H_

@@ -1,0 +1,227 @@
+#include "src/core/two_level_cache.h"
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+TwoLevelCache::TwoLevelCache(const TwoLevelCacheOptions& options)
+    : budget_bytes_(options.budget_bytes),
+      entry_bytes_(options.entry_bytes),
+      node_overhead_bytes_(options.node_overhead_bytes),
+      entries_per_page_(options.entries_per_page) {
+  TPFTL_CHECK(entries_per_page_ > 0);
+  TPFTL_CHECK_MSG(budget_bytes_ >= node_overhead_bytes_ + entry_bytes_,
+                  "cache budget too small for even one entry");
+}
+
+TwoLevelCache::TpNode* TwoLevelCache::FindNode(Vtpn vtpn) {
+  const auto it = nodes_.find(vtpn);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const TwoLevelCache::TpNode* TwoLevelCache::FindNode(Vtpn vtpn) const {
+  const auto it = nodes_.find(vtpn);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void TwoLevelCache::Reorder(TpNode& node) {
+  order_.erase({node.order_key, node.vtpn});
+  node.order_key = node.lru.empty()
+                       ? 0.0
+                       : node.hot_sum / static_cast<double>(node.lru.size());
+  order_.insert({node.order_key, node.vtpn});
+}
+
+void TwoLevelCache::Touch(TpNode& node, EntryList::iterator entry) {
+  const uint64_t now = ++clock_;
+  node.hot_sum += static_cast<double>(now) - static_cast<double>(entry->hot);
+  entry->hot = now;
+  node.lru.splice(node.lru.begin(), node.lru, entry);
+  Reorder(node);
+}
+
+std::optional<Ppn> TwoLevelCache::Lookup(Lpn lpn) {
+  TpNode* node = FindNode(lpn / entries_per_page_);
+  if (node == nullptr) {
+    return std::nullopt;
+  }
+  const auto it = node->index.find(lpn % entries_per_page_);
+  if (it == node->index.end()) {
+    return std::nullopt;
+  }
+  Touch(*node, it->second);
+  return it->second->ppn;
+}
+
+std::optional<Ppn> TwoLevelCache::Peek(Lpn lpn) const {
+  const TpNode* node = FindNode(lpn / entries_per_page_);
+  if (node == nullptr) {
+    return std::nullopt;
+  }
+  const auto it = node->index.find(lpn % entries_per_page_);
+  if (it == node->index.end()) {
+    return std::nullopt;
+  }
+  return it->second->ppn;
+}
+
+bool TwoLevelCache::Contains(Lpn lpn) const { return Peek(lpn).has_value(); }
+
+uint64_t TwoLevelCache::CostOfInsert(Lpn lpn) const {
+  return entry_bytes_ + (nodes_.contains(lpn / entries_per_page_) ? 0 : node_overhead_bytes_);
+}
+
+bool TwoLevelCache::Insert(Lpn lpn, Ppn ppn, bool dirty) {
+  const Vtpn vtpn = lpn / entries_per_page_;
+  const uint64_t slot = lpn % entries_per_page_;
+  bool created = false;
+  auto it = nodes_.find(vtpn);
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(vtpn, TpNode{}).first;
+    it->second.vtpn = vtpn;
+    order_.insert({0.0, vtpn});
+    it->second.order_key = 0.0;
+    bytes_used_ += node_overhead_bytes_;
+    created = true;
+  }
+  TpNode& node = it->second;
+  TPFTL_CHECK_MSG(!node.index.contains(slot), "Insert of an already-cached entry");
+  node.lru.push_front(EntryNode{slot, ppn, dirty, ++clock_});
+  node.index[slot] = node.lru.begin();
+  node.hot_sum += static_cast<double>(clock_);
+  node.dirty_count += dirty ? 1 : 0;
+  dirty_count_ += dirty ? 1 : 0;
+  bytes_used_ += entry_bytes_;
+  ++entry_count_;
+  Reorder(node);
+  return created;
+}
+
+bool TwoLevelCache::Update(Lpn lpn, Ppn ppn, bool dirty) {
+  TpNode* node = FindNode(lpn / entries_per_page_);
+  if (node == nullptr) {
+    return false;
+  }
+  const auto it = node->index.find(lpn % entries_per_page_);
+  if (it == node->index.end()) {
+    return false;
+  }
+  EntryNode& entry = *it->second;
+  if (entry.dirty != dirty) {
+    node->dirty_count += dirty ? 1 : -1;
+    dirty_count_ += dirty ? 1 : -1;
+    entry.dirty = dirty;
+  }
+  entry.ppn = ppn;
+  Touch(*node, it->second);
+  return true;
+}
+
+std::optional<TwoLevelCache::Victim> TwoLevelCache::PickVictim(bool clean_first) const {
+  if (order_.empty()) {
+    return std::nullopt;
+  }
+  const Vtpn coldest = order_.begin()->second;
+  const TpNode* node = FindNode(coldest);
+  TPFTL_CHECK(node != nullptr && !node->lru.empty());
+
+  const EntryNode* chosen = nullptr;
+  if (clean_first) {
+    // LRU-most clean entry of the coldest node (§4.4 clean-first).
+    for (auto it = node->lru.rbegin(); it != node->lru.rend(); ++it) {
+      if (!it->dirty) {
+        chosen = &*it;
+        break;
+      }
+    }
+  }
+  if (chosen == nullptr) {
+    chosen = &node->lru.back();
+  }
+  return Victim{coldest, chosen->slot, LpnOf(coldest, chosen->slot), chosen->ppn, chosen->dirty};
+}
+
+bool TwoLevelCache::Evict(Vtpn vtpn, uint64_t slot) {
+  auto node_it = nodes_.find(vtpn);
+  TPFTL_CHECK_MSG(node_it != nodes_.end(), "Evict from a non-cached node");
+  TpNode& node = node_it->second;
+  const auto it = node.index.find(slot);
+  TPFTL_CHECK_MSG(it != node.index.end(), "Evict of a non-cached entry");
+  const EntryNode& entry = *it->second;
+  node.hot_sum -= static_cast<double>(entry.hot);
+  node.dirty_count -= entry.dirty ? 1 : 0;
+  dirty_count_ -= entry.dirty ? 1 : 0;
+  node.lru.erase(it->second);
+  node.index.erase(it);
+  bytes_used_ -= entry_bytes_;
+  --entry_count_;
+  if (node.lru.empty()) {
+    order_.erase({node.order_key, vtpn});
+    nodes_.erase(node_it);
+    bytes_used_ -= node_overhead_bytes_;
+    return true;
+  }
+  Reorder(node);
+  return false;
+}
+
+std::vector<MappingUpdate> TwoLevelCache::DirtyEntriesOf(Vtpn vtpn) const {
+  std::vector<MappingUpdate> updates;
+  const TpNode* node = FindNode(vtpn);
+  if (node == nullptr) {
+    return updates;
+  }
+  updates.reserve(node->dirty_count);
+  for (const EntryNode& entry : node->lru) {
+    if (entry.dirty) {
+      updates.push_back({LpnOf(vtpn, entry.slot), entry.ppn});
+    }
+  }
+  return updates;
+}
+
+uint64_t TwoLevelCache::MarkAllClean(Vtpn vtpn) {
+  TpNode* node = FindNode(vtpn);
+  if (node == nullptr) {
+    return 0;
+  }
+  uint64_t cleaned = 0;
+  for (EntryNode& entry : node->lru) {
+    if (entry.dirty) {
+      entry.dirty = false;
+      ++cleaned;
+    }
+  }
+  dirty_count_ -= cleaned;
+  node->dirty_count = 0;
+  return cleaned;
+}
+
+uint64_t TwoLevelCache::CachedPredecessors(Lpn lpn) const {
+  const Vtpn vtpn = lpn / entries_per_page_;
+  const TpNode* node = FindNode(vtpn);
+  if (node == nullptr) {
+    return 0;
+  }
+  uint64_t slot = lpn % entries_per_page_;
+  uint64_t count = 0;
+  while (slot > 0 && node->index.contains(slot - 1)) {
+    --slot;
+    ++count;
+  }
+  return count;
+}
+
+uint64_t TwoLevelCache::DirtyCountOf(Vtpn vtpn) const {
+  const TpNode* node = FindNode(vtpn);
+  return node == nullptr ? 0 : node->dirty_count;
+}
+
+void TwoLevelCache::ForEachNode(
+    const std::function<void(Vtpn, uint64_t, uint64_t)>& fn) const {
+  for (const auto& [vtpn, node] : nodes_) {
+    fn(vtpn, node.lru.size(), node.dirty_count);
+  }
+}
+
+}  // namespace tpftl

@@ -1,0 +1,139 @@
+// The two-level LRU mapping cache of TPFTL (§4.1, §4.2).
+//
+// Cached mapping entries are clustered by translation page: each cached
+// translation page with at least one cached entry is represented by a
+// TP node; the TP nodes form the page-level list, ordered by page-level
+// hotness (the average hotness of the node's entry nodes, hotness being a
+// global access clock); each TP node holds an entry-level LRU list of its
+// cached entries.
+//
+// Space accounting is byte-accurate: entries cost 6 B (the LPN is implied by
+// the node's VTPN plus a 10-bit in-page offset, so only the 4 B PPN, the
+// offset, and flags are stored — §4.1), plus a fixed per-node overhead.
+// Eviction policy (who to evict, batch updates, writebacks) lives in Tpftl;
+// this class provides victim selection primitives and bookkeeping.
+
+#ifndef SRC_CORE_TWO_LEVEL_CACHE_H_
+#define SRC_CORE_TWO_LEVEL_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/flash/types.h"
+#include "src/ftl/translation_store.h"
+
+namespace tpftl {
+
+struct TwoLevelCacheOptions {
+  uint64_t budget_bytes = 0;
+  uint64_t entry_bytes = 6;
+  uint64_t node_overhead_bytes = 16;
+  uint64_t entries_per_page = 1024;
+};
+
+class TwoLevelCache {
+ public:
+  struct Victim {
+    Vtpn vtpn = kInvalidVtpn;
+    uint64_t slot = 0;
+    Lpn lpn = kInvalidLpn;
+    Ppn ppn = kInvalidPpn;
+    bool dirty = false;
+  };
+
+  explicit TwoLevelCache(const TwoLevelCacheOptions& options);
+
+  // Hit path: returns the PPN and refreshes entry + page hotness.
+  std::optional<Ppn> Lookup(Lpn lpn);
+  // Side-effect-free probe.
+  std::optional<Ppn> Peek(Lpn lpn) const;
+  bool Contains(Lpn lpn) const;
+
+  // Inserts a new entry (must be absent). Returns true when this created a
+  // new TP node (feeds the selective-prefetch counter).
+  bool Insert(Lpn lpn, Ppn ppn, bool dirty);
+
+  // Updates an existing entry's value/dirty bit and touches it. Returns
+  // false when the entry is not cached.
+  bool Update(Lpn lpn, Ppn ppn, bool dirty);
+
+  // Bytes Insert(lpn, ...) would consume right now.
+  uint64_t CostOfInsert(Lpn lpn) const;
+  bool HasSpaceFor(Lpn lpn) const { return bytes_used_ + CostOfInsert(lpn) <= budget_bytes_; }
+
+  // Victim from the coldest TP node: its LRU clean entry when `clean_first`
+  // and one exists, otherwise its LRU entry. nullopt when the cache is empty.
+  std::optional<Victim> PickVictim(bool clean_first) const;
+
+  // Removes one entry. Returns true when its TP node vanished with it.
+  bool Evict(Vtpn vtpn, uint64_t slot);
+
+  // Dirty entries of one TP node, as flash mapping updates (§4.4 batch
+  // update). MarkAllClean resets their dirty bits and returns the count.
+  std::vector<MappingUpdate> DirtyEntriesOf(Vtpn vtpn) const;
+  uint64_t MarkAllClean(Vtpn vtpn);
+
+  // Number of cached entries immediately preceding `lpn` (consecutive LPNs,
+  // same translation page) — the selective prefetch length (§4.3).
+  uint64_t CachedPredecessors(Lpn lpn) const;
+
+  bool NodeCached(Vtpn vtpn) const { return nodes_.contains(vtpn); }
+  uint64_t DirtyCountOf(Vtpn vtpn) const;
+
+  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  uint64_t entry_count() const { return entry_count_; }
+  uint64_t node_count() const { return nodes_.size(); }
+  uint64_t dirty_entry_count() const { return dirty_count_; }
+
+  // Introspection for the Figure 1/2 reproductions: per-node entry counts.
+  void ForEachNode(
+      const std::function<void(Vtpn, uint64_t entries, uint64_t dirty)>& fn) const;
+
+ private:
+  struct EntryNode {
+    uint64_t slot = 0;
+    Ppn ppn = kInvalidPpn;
+    bool dirty = false;
+    uint64_t hot = 0;
+  };
+  using EntryList = std::list<EntryNode>;
+
+  struct TpNode {
+    Vtpn vtpn = kInvalidVtpn;
+    EntryList lru;  // MRU at front.
+    std::unordered_map<uint64_t, EntryList::iterator> index;
+    double hot_sum = 0.0;
+    uint64_t dirty_count = 0;
+    double order_key = 0.0;  // Current key inside order_.
+  };
+
+  TpNode* FindNode(Vtpn vtpn);
+  const TpNode* FindNode(Vtpn vtpn) const;
+  void Reorder(TpNode& node);
+  void Touch(TpNode& node, EntryList::iterator entry);
+  Lpn LpnOf(Vtpn vtpn, uint64_t slot) const { return vtpn * entries_per_page_ + slot; }
+
+  uint64_t budget_bytes_;
+  uint64_t entry_bytes_;
+  uint64_t node_overhead_bytes_;
+  uint64_t entries_per_page_;
+
+  std::unordered_map<Vtpn, TpNode> nodes_;
+  // Ascending page-level hotness: begin() is the coldest TP node.
+  std::set<std::pair<double, Vtpn>> order_;
+  uint64_t clock_ = 0;
+  uint64_t bytes_used_ = 0;
+  uint64_t entry_count_ = 0;
+  uint64_t dirty_count_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_CORE_TWO_LEVEL_CACHE_H_

@@ -1,0 +1,58 @@
+// Per-block page-state bookkeeping.
+//
+// A flash block is the erase unit; pages within it must be programmed
+// sequentially (enforced via the write cursor, matching real NAND ordering
+// constraints) and transition free → valid → invalid → (erase) → free.
+
+#ifndef SRC_FLASH_BLOCK_H_
+#define SRC_FLASH_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/flash/types.h"
+
+namespace tpftl {
+
+enum class PageState : uint8_t { kFree = 0, kValid = 1, kInvalid = 2 };
+
+class Block {
+ public:
+  explicit Block(uint64_t pages_per_block);
+
+  // Marks the next sequential free page as valid; returns its offset.
+  // Requires HasFreePage().
+  uint64_t Program();
+
+  // Programs a specific free page (out-of-order). Modern NAND mandates
+  // sequential in-block programming; this entry point exists for the
+  // block-level FTL baseline, which models older SLC parts where pages map
+  // to fixed in-block offsets.
+  void ProgramAt(uint64_t offset);
+
+  // valid → invalid.
+  void Invalidate(uint64_t offset);
+
+  // Clears all pages, advances the erase counter.
+  void Erase();
+
+  PageState StateOf(uint64_t offset) const;
+  bool HasFreePage() const { return programmed_count_ < states_.size(); }
+  uint64_t free_pages() const { return states_.size() - programmed_count_; }
+  uint64_t valid_pages() const { return valid_count_; }
+  uint64_t invalid_pages() const { return programmed_count_ - valid_count_; }
+  uint64_t erase_count() const { return erase_count_; }
+  uint64_t write_cursor() const { return write_cursor_; }
+  uint64_t pages_per_block() const { return states_.size(); }
+
+ private:
+  std::vector<PageState> states_;
+  uint64_t write_cursor_ = 0;  // Next offset for sequential Program().
+  uint64_t programmed_count_ = 0;
+  uint64_t valid_count_ = 0;
+  uint64_t erase_count_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FLASH_BLOCK_H_

@@ -1,0 +1,88 @@
+// Physical layout and timing parameters of the simulated NAND device.
+//
+// Defaults reproduce Table 3 of the paper (taken from Agrawal et al., "Design
+// tradeoffs for SSD performance", USENIX ATC 2008): 4 KiB pages, 256 KiB
+// blocks (64 pages), 25 µs read / 200 µs write / 1.5 ms erase, and 15 %
+// over-provisioning.
+
+#ifndef SRC_FLASH_GEOMETRY_H_
+#define SRC_FLASH_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "src/flash/types.h"
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+struct FlashGeometry {
+  // --- layout ---
+  uint64_t page_size_bytes = 4096;
+  uint64_t pages_per_block = 64;
+  uint64_t total_blocks = 0;  // Physical blocks, including over-provisioned space.
+
+  // --- timing (Table 3) ---
+  MicroSec page_read_us = 25.0;
+  MicroSec page_write_us = 200.0;
+  MicroSec block_erase_us = 1500.0;
+
+  // --- endurance ---
+  // Erase cycles a block sustains before it must be retired as bad (§1:
+  // "each block can only sustain a limited number of erasures").
+  // 0 = unlimited (the paper's experiments do not wear blocks out).
+  uint64_t max_erase_cycles = 0;
+
+  // --- mapping-table packing ---
+  // Each persisted mapping entry stores only the 4-byte PPN (§3.2: "only the
+  // PPNs of mapping entries are stored in flash memory"), so a 4 KiB
+  // translation page covers 1024 LPNs.
+  uint64_t bytes_per_persisted_entry = 4;
+
+  uint64_t total_pages() const { return total_blocks * pages_per_block; }
+  uint64_t block_size_bytes() const { return page_size_bytes * pages_per_block; }
+  uint64_t entries_per_translation_page() const {
+    return page_size_bytes / bytes_per_persisted_entry;
+  }
+
+  BlockId BlockOf(Ppn ppn) const { return ppn / pages_per_block; }
+  uint64_t OffsetOf(Ppn ppn) const { return ppn % pages_per_block; }
+  Ppn PpnOf(BlockId block, uint64_t offset) const {
+    TPFTL_DCHECK(offset < pages_per_block);
+    return block * pages_per_block + offset;
+  }
+
+  Vtpn VtpnOf(Lpn lpn) const { return lpn / entries_per_translation_page(); }
+  uint64_t SlotOf(Lpn lpn) const { return lpn % entries_per_translation_page(); }
+};
+
+// Builds a geometry sized for `logical_bytes` of user-visible capacity plus
+// `over_provision` (fraction of logical space) spare blocks and enough extra
+// blocks to persist the full mapping table. The paper sets the SSD as large
+// as the trace's logical address space with 15 % over-provisioning (§5.1).
+inline FlashGeometry MakeGeometry(uint64_t logical_bytes, double over_provision = 0.15) {
+  FlashGeometry g;
+  TPFTL_CHECK(logical_bytes % g.block_size_bytes() == 0);
+  const uint64_t logical_blocks = logical_bytes / g.block_size_bytes();
+  const uint64_t logical_pages = logical_bytes / g.page_size_bytes;
+  // Blocks needed to store one full copy of the translation table.
+  const uint64_t translation_pages =
+      (logical_pages + g.entries_per_translation_page() - 1) / g.entries_per_translation_page();
+  const uint64_t translation_blocks =
+      (translation_pages + g.pages_per_block - 1) / g.pages_per_block;
+  const auto spare_blocks =
+      static_cast<uint64_t>(static_cast<double>(logical_blocks) * over_provision) + 1;
+  // Translation blocks get their own matching spare factor plus slack so
+  // translation GC always has somewhere to write.
+  const uint64_t translation_spare = translation_blocks + 2;
+  g.total_blocks = logical_blocks + spare_blocks + translation_blocks + translation_spare;
+  return g;
+}
+
+// Number of user-visible logical pages for a logical capacity in bytes.
+inline uint64_t LogicalPages(const FlashGeometry& g, uint64_t logical_bytes) {
+  return logical_bytes / g.page_size_bytes;
+}
+
+}  // namespace tpftl
+
+#endif  // SRC_FLASH_GEOMETRY_H_

@@ -1,0 +1,87 @@
+// Page-granularity NAND flash device simulator.
+//
+// Models what the FTL layers need from real NAND:
+//   * read/program at page granularity, erase at block granularity;
+//   * erase-before-write — a programmed page can never be overwritten, only
+//     invalidated and reclaimed by erasing its block;
+//   * sequential in-block programming order;
+//   * asymmetric latencies (geometry.page_read_us / page_write_us /
+//     block_erase_us) accumulated into device busy time;
+//   * out-of-band (OOB) metadata per page, used by FTLs to store the owning
+//     LPN (data pages) or VTPN (translation pages) so GC can find the forward
+//     mapping of a migrated page, as real FTLs do.
+//
+// The simulator carries no page payload: experiments only need addresses and
+// timing. Correctness of the mapping layers is instead validated by tests
+// that mirror writes into a shadow map and compare against FTL lookups.
+
+#ifndef SRC_FLASH_NAND_H_
+#define SRC_FLASH_NAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/flash/block.h"
+#include "src/flash/geometry.h"
+#include "src/flash/stats.h"
+#include "src/flash/types.h"
+
+namespace tpftl {
+
+class NandFlash {
+ public:
+  explicit NandFlash(const FlashGeometry& geometry);
+
+  NandFlash(const NandFlash&) = delete;
+  NandFlash& operator=(const NandFlash&) = delete;
+
+  // Reads one page; the page must hold data (valid or invalid — FTLs read
+  // just-superseded translation pages during read-modify-write). Returns the
+  // operation latency.
+  MicroSec ReadPage(Ppn ppn);
+
+  // Programs the next sequential page of `block`, tagging it with `oob_tag`
+  // (LPN for data pages, VTPN for translation pages). Returns the programmed
+  // PPN via out-param and the latency. The block must have a free page.
+  MicroSec ProgramPage(BlockId block, uint64_t oob_tag, Ppn* out_ppn);
+
+  // Programs a specific free page (out-of-order; see Block::ProgramAt).
+  MicroSec ProgramPageAt(Ppn ppn, uint64_t oob_tag);
+
+  // valid → invalid; the FTL calls this when superseding a page.
+  void InvalidatePage(Ppn ppn);
+
+  // Erases one block; all its pages must already be invalid or free.
+  // Returns the latency.
+  MicroSec EraseBlock(BlockId block);
+
+  // True once the block has consumed its erase budget (geometry
+  // max_erase_cycles; never true when the budget is 0 = unlimited). Worn
+  // blocks still hold data but must not be programmed again.
+  bool IsWornOut(BlockId block) const;
+
+  // OOB tag of a programmed page.
+  uint64_t OobTag(Ppn ppn) const;
+
+  PageState StateOf(Ppn ppn) const;
+  const Block& block(BlockId id) const;
+  const FlashGeometry& geometry() const { return geometry_; }
+
+  const FlashStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Total erases across all blocks since construction (not reset by
+  // ResetStats — lifetime analysis uses both views).
+  uint64_t TotalEraseCount() const;
+  uint64_t MaxEraseCount() const;
+
+ private:
+  FlashGeometry geometry_;
+  std::vector<Block> blocks_;
+  std::vector<uint64_t> oob_;
+  FlashStats stats_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FLASH_NAND_H_

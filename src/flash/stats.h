@@ -1,0 +1,28 @@
+// Raw operation counters of the NAND device.
+//
+// The flash layer counts physical operations and accumulated device busy
+// time; semantic attribution (data vs. translation, host vs. GC) happens in
+// the FTL layer's AtStats. Keeping the two separate lets tests cross-check
+// that FTL-attributed counts sum to the raw device counts.
+
+#ifndef SRC_FLASH_STATS_H_
+#define SRC_FLASH_STATS_H_
+
+#include <cstdint>
+
+#include "src/flash/types.h"
+
+namespace tpftl {
+
+struct FlashStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t block_erases = 0;
+  MicroSec busy_time_us = 0.0;
+
+  void Reset() { *this = FlashStats(); }
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FLASH_STATS_H_

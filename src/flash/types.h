@@ -1,0 +1,35 @@
+// Fundamental address types shared across the repository.
+//
+// The paper's terminology (§1, §4.1) is kept verbatim:
+//   LPN  — logical page number (host address / page size)
+//   PPN  — physical page number in flash
+//   VTPN — virtual translation page number (index of a translation page in
+//          the logical mapping table)
+//   PTPN — physical translation page number (flash page storing that
+//          translation page)
+
+#ifndef SRC_FLASH_TYPES_H_
+#define SRC_FLASH_TYPES_H_
+
+#include <cstdint>
+
+namespace tpftl {
+
+using Lpn = uint64_t;
+using Ppn = uint64_t;
+using Vtpn = uint64_t;
+using Ptpn = uint64_t;
+using BlockId = uint64_t;
+
+inline constexpr Lpn kInvalidLpn = ~0ULL;
+inline constexpr Ppn kInvalidPpn = ~0ULL;
+inline constexpr Vtpn kInvalidVtpn = ~0ULL;
+inline constexpr Ptpn kInvalidPtpn = ~0ULL;
+inline constexpr BlockId kInvalidBlock = ~0ULL;
+
+// Simulated time is carried in microseconds.
+using MicroSec = double;
+
+}  // namespace tpftl
+
+#endif  // SRC_FLASH_TYPES_H_

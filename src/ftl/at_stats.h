@@ -1,0 +1,74 @@
+// Address-translation and GC statistics, mirroring the symbols of Table 1.
+//
+// Every FTL maintains one AtStats; the evaluation metrics of §5 derive from
+// it:
+//   Hr  = hits / lookups                       (cache hit ratio)
+//   Prd = dirty_evictions / evictions          (prob. of replacing a dirty entry)
+//   Ntw = trans_writes_at                      (translation writes during AT)
+//   GC hit ratio Hgcr = gc_hits / (gc_hits + gc_misses)
+//   A   = (user writes + all extra writes) / user writes   (write amplification)
+
+#ifndef SRC_FTL_AT_STATS_H_
+#define SRC_FTL_AT_STATS_H_
+
+#include <cstdint>
+
+namespace tpftl {
+
+struct AtStats {
+  // --- address translation phase ---
+  uint64_t lookups = 0;           // Page-granular translations requested.
+  uint64_t hits = 0;              // Served from the mapping cache.
+  uint64_t misses = 0;            // Required a translation page read.
+  uint64_t evictions = 0;         // Cache victims (entries, or pages for S-FTL).
+  uint64_t dirty_evictions = 0;   // Victims that were dirty.
+  uint64_t batch_writebacks = 0;  // Dirty entries cleaned per batch update (TPFTL).
+  uint64_t trans_reads_at = 0;    // Translation page reads during AT.
+  uint64_t trans_writes_at = 0;   // Translation page writes during AT (= Ntw).
+
+  // --- host data path ---
+  uint64_t host_page_reads = 0;
+  uint64_t host_page_writes = 0;
+
+  // --- garbage collection ---
+  uint64_t gc_data_blocks = 0;        // Ngcd
+  uint64_t gc_trans_blocks = 0;       // Ngct
+  uint64_t gc_data_migrations = 0;    // Nmd
+  uint64_t gc_trans_migrations = 0;   // Nmt
+  uint64_t gc_hits = 0;               // Migrated data page's entry found in cache.
+  uint64_t gc_misses = 0;
+  uint64_t trans_reads_gc = 0;        // Translation page reads during GC.
+  uint64_t trans_writes_gc = 0;       // Translation page writes during GC (= Ndt + Nmt).
+
+  void Reset() { *this = AtStats(); }
+
+  uint64_t user_page_accesses() const { return host_page_reads + host_page_writes; }  // Npa
+  double hit_ratio() const {
+    return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+  }
+  double dirty_replacement_probability() const {  // Prd
+    return evictions > 0 ? static_cast<double>(dirty_evictions) / static_cast<double>(evictions)
+                         : 0.0;
+  }
+  double gc_hit_ratio() const {  // Hgcr
+    const uint64_t total = gc_hits + gc_misses;
+    return total > 0 ? static_cast<double>(gc_hits) / static_cast<double>(total) : 0.0;
+  }
+  uint64_t trans_reads_total() const { return trans_reads_at + trans_reads_gc; }
+  uint64_t trans_writes_total() const { return trans_writes_at + trans_writes_gc; }
+
+  // Eq. 12: A = (user writes + extra writes) / user writes. Extra writes are
+  // every flash page write beyond the host's own data writes.
+  double write_amplification() const {
+    if (host_page_writes == 0) {
+      return 1.0;
+    }
+    const uint64_t total =
+        host_page_writes + trans_writes_total() + gc_data_migrations;
+    return static_cast<double>(total) / static_cast<double>(host_page_writes);
+  }
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_AT_STATS_H_

@@ -1,0 +1,114 @@
+#include "src/ftl/block_ftl.h"
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+BlockFtl::BlockFtl(const FtlEnv& env)
+    : flash_(env.flash),
+      pages_per_block_(env.flash->geometry().pages_per_block),
+      map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock) {
+  TPFTL_CHECK(env.logical_pages > 0);
+  for (BlockId b = 0; b < flash_->geometry().total_blocks; ++b) {
+    free_blocks_.push_back(b);
+  }
+  TPFTL_CHECK_MSG(free_blocks_.size() > map_.size(),
+                  "block-level FTL needs at least one spare block");
+}
+
+void BlockFtl::ResetStats() {
+  stats_.Reset();
+  flash_->ResetStats();
+}
+
+BlockId BlockFtl::AllocateBlock() {
+  TPFTL_CHECK_MSG(!free_blocks_.empty(), "block-level FTL out of spare blocks");
+  const BlockId block = free_blocks_.front();
+  free_blocks_.pop_front();
+  return block;
+}
+
+MicroSec BlockFtl::ReadPage(Lpn lpn) {
+  TPFTL_CHECK(LbnOf(lpn) < map_.size());
+  ++stats_.host_page_reads;
+  ++stats_.lookups;
+  ++stats_.hits;  // The block table is fully RAM-resident.
+  const BlockId pbn = map_[LbnOf(lpn)];
+  if (pbn == kInvalidBlock) {
+    return 0.0;
+  }
+  const Ppn ppn = flash_->geometry().PpnOf(pbn, OffsetOf(lpn));
+  if (flash_->StateOf(ppn) != PageState::kValid) {
+    return 0.0;  // Never-written page within a mapped block.
+  }
+  return flash_->ReadPage(ppn);
+}
+
+MicroSec BlockFtl::WritePage(Lpn lpn) {
+  TPFTL_CHECK(LbnOf(lpn) < map_.size());
+  ++stats_.host_page_writes;
+  ++stats_.lookups;
+  ++stats_.hits;
+  const uint64_t lbn = LbnOf(lpn);
+  const uint64_t offset = OffsetOf(lpn);
+  if (map_[lbn] == kInvalidBlock) {
+    map_[lbn] = AllocateBlock();
+  }
+  const Ppn target = flash_->geometry().PpnOf(map_[lbn], offset);
+  if (flash_->StateOf(target) == PageState::kFree) {
+    return flash_->ProgramPageAt(target, lpn);
+  }
+  return MergeAndWrite(lbn, offset, lpn);
+}
+
+MicroSec BlockFtl::TrimPage(Lpn lpn) {
+  TPFTL_CHECK(LbnOf(lpn) < map_.size());
+  const Ppn ppn = Probe(lpn);
+  if (ppn != kInvalidPpn) {
+    flash_->InvalidatePage(ppn);
+  }
+  return 0.0;
+}
+
+MicroSec BlockFtl::MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn) {
+  const FlashGeometry& g = flash_->geometry();
+  const BlockId old_block = map_[lbn];
+  const BlockId new_block = AllocateBlock();
+  MicroSec t = 0.0;
+  ++stats_.gc_data_blocks;
+  for (uint64_t o = 0; o < pages_per_block_; ++o) {
+    const Ppn src = g.PpnOf(old_block, o);
+    if (o == offset) {
+      // The incoming write replaces this slot; the stale copy is dropped.
+      if (flash_->StateOf(src) == PageState::kValid) {
+        flash_->InvalidatePage(src);
+      }
+      t += flash_->ProgramPageAt(g.PpnOf(new_block, o), lpn);
+      continue;
+    }
+    if (flash_->StateOf(src) != PageState::kValid) {
+      continue;
+    }
+    // Relocate the surviving page to its fixed offset in the new block.
+    t += flash_->ReadPage(src);
+    t += flash_->ProgramPageAt(g.PpnOf(new_block, o), flash_->OobTag(src));
+    flash_->InvalidatePage(src);
+    ++stats_.gc_data_migrations;
+    ++stats_.gc_hits;  // The RAM-resident table is always up to date.
+  }
+  t += flash_->EraseBlock(old_block);
+  free_blocks_.push_back(old_block);
+  map_[lbn] = new_block;
+  return t;
+}
+
+Ppn BlockFtl::Probe(Lpn lpn) const {
+  const BlockId pbn = map_[LbnOf(lpn)];
+  if (pbn == kInvalidBlock) {
+    return kInvalidPpn;
+  }
+  const Ppn ppn = flash_->geometry().PpnOf(pbn, OffsetOf(lpn));
+  return flash_->StateOf(ppn) == PageState::kValid ? ppn : kInvalidPpn;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,58 @@
+// Block-level FTL baseline (§2.1).
+//
+// One mapping entry per flash block: a logical block maps to a physical
+// block and pages keep their in-block offsets, so the whole table fits in a
+// few kilobytes of RAM (this table's size is exactly the paper's mapping-
+// cache budget for the demand-based FTLs). The price is rigid placement:
+// overwriting a page whose slot is already programmed forces a full
+// copy-merge of the block, which is why block-level mapping collapses under
+// random writes. Included to complete the paper's FTL taxonomy and to derive
+// the cache-size arithmetic from a real implementation.
+
+#ifndef SRC_FTL_BLOCK_FTL_H_
+#define SRC_FTL_BLOCK_FTL_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/flash/nand.h"
+#include "src/ftl/demand_ftl.h"
+#include "src/ftl/ftl.h"
+
+namespace tpftl {
+
+class BlockFtl : public Ftl {
+ public:
+  // Uses env.flash and env.logical_pages; the cache budget is ignored (the
+  // block table always fits by construction).
+  explicit BlockFtl(const FtlEnv& env);
+
+  std::string name() const override { return "BlockFTL"; }
+  MicroSec ReadPage(Lpn lpn) override;
+  MicroSec WritePage(Lpn lpn) override;
+  MicroSec TrimPage(Lpn lpn) override;
+  Ppn Probe(Lpn lpn) const override;
+  const AtStats& stats() const override { return stats_; }
+  void ResetStats() override;
+
+  uint64_t cache_bytes_used() const override { return map_.size() * 4; }
+  uint64_t cache_entry_count() const override { return map_.size(); }
+
+ private:
+  uint64_t LbnOf(Lpn lpn) const { return lpn / pages_per_block_; }
+  uint64_t OffsetOf(Lpn lpn) const { return lpn % pages_per_block_; }
+  BlockId AllocateBlock();
+  // Copy-merges `lbn`'s block into a fresh block so `offset` becomes free
+  // again, then programs the new data there.
+  MicroSec MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn);
+
+  NandFlash* flash_;
+  uint64_t pages_per_block_;
+  std::vector<BlockId> map_;  // LBN → physical block.
+  std::deque<BlockId> free_blocks_;
+  AtStats stats_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_BLOCK_FTL_H_

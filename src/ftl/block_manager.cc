@@ -1,0 +1,215 @@
+#include "src/ftl/block_manager.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+BlockManager::BlockManager(NandFlash* flash, uint64_t gc_threshold, GcPolicy policy,
+                           uint64_t wear_spread_limit)
+    : flash_(flash),
+      gc_threshold_(gc_threshold),
+      policy_(policy),
+      wear_spread_limit_(wear_spread_limit),
+      last_touched_(flash->geometry().total_blocks, 0),
+      pool_of_(flash->geometry().total_blocks, BlockPool::kNone),
+      buckets_(flash->geometry().pages_per_block + 1),
+      in_bucket_(flash->geometry().total_blocks, false) {
+  TPFTL_CHECK(flash != nullptr);
+  const uint64_t total = flash_->geometry().total_blocks;
+  TPFTL_CHECK_MSG(total > gc_threshold + 2, "geometry too small for the GC threshold");
+  for (BlockId b = 0; b < total; ++b) {
+    free_blocks_.push_back(b);
+  }
+}
+
+BlockId BlockManager::AllocateFreeBlock(BlockPool pool) {
+  TPFTL_CHECK_MSG(!free_blocks_.empty(), "flash out of free blocks — GC deadlock");
+  const BlockId block = free_blocks_.front();
+  free_blocks_.pop_front();
+  pool_of_[block] = pool;
+  if (pool == BlockPool::kData) {
+    ++data_blocks_;
+  } else {
+    ++trans_blocks_;
+  }
+  return block;
+}
+
+MicroSec BlockManager::Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn) {
+  TPFTL_CHECK(pool != BlockPool::kNone);
+  ActiveBlock& active = pool == BlockPool::kData ? active_data_ : active_trans_;
+  if (active.id == kInvalidBlock || !flash_->block(active.id).HasFreePage()) {
+    RetireIfFull(pool);
+    active.id = AllocateFreeBlock(pool);
+  }
+  const MicroSec t = flash_->ProgramPage(active.id, oob_tag, out_ppn);
+  last_touched_[active.id] = ++op_clock_;
+  RetireIfFull(pool);
+  return t;
+}
+
+void BlockManager::RetireIfFull(BlockPool pool) {
+  ActiveBlock& active = pool == BlockPool::kData ? active_data_ : active_trans_;
+  if (active.id != kInvalidBlock && !flash_->block(active.id).HasFreePage()) {
+    BucketInsert(active.id);
+    active.id = kInvalidBlock;
+  }
+}
+
+void BlockManager::Invalidate(Ppn ppn) {
+  const BlockId block = flash_->geometry().BlockOf(ppn);
+  const bool bucketed = in_bucket_[block];
+  if (bucketed) {
+    BucketErase(block);
+  }
+  flash_->InvalidatePage(ppn);
+  last_touched_[block] = ++op_clock_;
+  if (bucketed) {
+    BucketInsert(block);
+  }
+}
+
+void BlockManager::BucketInsert(BlockId block) {
+  const uint64_t valid = flash_->block(block).valid_pages();
+  TPFTL_DCHECK(!in_bucket_[block]);
+  buckets_[valid].insert(block);
+  in_bucket_[block] = true;
+  min_bucket_hint_ = std::min(min_bucket_hint_, valid);
+}
+
+void BlockManager::BucketErase(BlockId block) {
+  const uint64_t valid = flash_->block(block).valid_pages();
+  TPFTL_DCHECK(in_bucket_[block]);
+  const size_t erased = buckets_[valid].erase(block);
+  TPFTL_CHECK(erased == 1);
+  in_bucket_[block] = false;
+}
+
+BlockId BlockManager::PickVictim() {
+  switch (policy_) {
+    case GcPolicy::kGreedy:
+      return PickGreedy();
+    case GcPolicy::kCostBenefit:
+      return PickCostBenefit();
+    case GcPolicy::kWearAware:
+      return PickWearAware();
+  }
+  return kInvalidBlock;
+}
+
+BlockId BlockManager::PickGreedy() const {
+  for (uint64_t v = min_bucket_hint_; v < buckets_.size(); ++v) {
+    if (!buckets_[v].empty()) {
+      min_bucket_hint_ = v;
+      return *buckets_[v].begin();
+    }
+  }
+  return kInvalidBlock;
+}
+
+BlockId BlockManager::PickCostBenefit() const {
+  // Score = age * (1 - u) / (2u); collecting costs reading/writing the valid
+  // fraction u twice (read + rewrite) and benefits (1 - u) free pages.
+  BlockId best = kInvalidBlock;
+  double best_score = -1.0;
+  const double per_block = static_cast<double>(flash_->geometry().pages_per_block);
+  for (uint64_t v = 0; v < buckets_.size(); ++v) {
+    for (const BlockId block : buckets_[v]) {
+      const double u = static_cast<double>(v) / per_block;
+      const double age = static_cast<double>(op_clock_ - last_touched_[block]) + 1.0;
+      const double score = u == 0.0 ? age * 1e9 : age * (1.0 - u) / (2.0 * u);
+      if (score > best_score) {
+        best_score = score;
+        best = block;
+      }
+    }
+  }
+  return best;
+}
+
+BlockId BlockManager::PickWearAware() const {
+  // Greedy, but refuse to grind down blocks that are already far ahead of
+  // the pack in erase count — as long as the substitute victim is not much
+  // worse than the greedy choice. Unbounded substitution can make a
+  // collection consume more free pages (migrations + mapping writebacks)
+  // than the erase recovers, so the quality sacrifice is capped at
+  // pages_per_block / 8 extra valid pages; past that, survival beats wear
+  // leveling and the greedy victim is taken.
+  uint64_t min_erase = ~0ULL;
+  for (uint64_t v = 0; v < buckets_.size(); ++v) {
+    for (const BlockId block : buckets_[v]) {
+      min_erase = std::min(min_erase, flash_->block(block).erase_count());
+    }
+  }
+  const BlockId greedy = PickGreedy();
+  if (greedy == kInvalidBlock) {
+    return kInvalidBlock;
+  }
+  const uint64_t greedy_valid = flash_->block(greedy).valid_pages();
+  const uint64_t margin = flash_->geometry().pages_per_block / 8;
+  for (uint64_t v = greedy_valid; v <= greedy_valid + margin && v < buckets_.size(); ++v) {
+    for (const BlockId block : buckets_[v]) {
+      if (flash_->block(block).erase_count() <= min_erase + wear_spread_limit_) {
+        return block;
+      }
+    }
+  }
+  return greedy;
+}
+
+BlockId BlockManager::PickVictim(BlockPool pool) {
+  for (uint64_t v = 0; v < buckets_.size(); ++v) {
+    for (const BlockId block : buckets_[v]) {
+      if (pool_of_[block] == pool) {
+        return block;
+      }
+    }
+  }
+  return kInvalidBlock;
+}
+
+MicroSec BlockManager::EraseAndFree(BlockId block) {
+  TPFTL_CHECK(block < pool_of_.size());
+  TPFTL_CHECK_MSG(pool_of_[block] != BlockPool::kNone, "erase of an unallocated block");
+  if (in_bucket_[block]) {
+    BucketErase(block);
+  }
+  const MicroSec t = flash_->EraseBlock(block);
+  if (pool_of_[block] == BlockPool::kData) {
+    --data_blocks_;
+  } else {
+    --trans_blocks_;
+  }
+  pool_of_[block] = BlockPool::kNone;
+  if (flash_->IsWornOut(block)) {
+    ++bad_blocks_;  // Retired: never returned to the free pool.
+  } else {
+    free_blocks_.push_back(block);
+  }
+  return t;
+}
+
+BlockPool BlockManager::PoolOf(BlockId block) const {
+  TPFTL_CHECK(block < pool_of_.size());
+  return pool_of_[block];
+}
+
+uint64_t BlockManager::pool_block_count(BlockPool pool) const {
+  return pool == BlockPool::kData ? data_blocks_ : trans_blocks_;
+}
+
+uint64_t BlockManager::FreePagesUpperBound() const {
+  const uint64_t per_block = flash_->geometry().pages_per_block;
+  uint64_t total = free_blocks_.size() * per_block;
+  if (active_data_.id != kInvalidBlock) {
+    total += flash_->block(active_data_.id).free_pages();
+  }
+  if (active_trans_.id != kInvalidBlock) {
+    total += flash_->block(active_trans_.id).free_pages();
+  }
+  return total;
+}
+
+}  // namespace tpftl

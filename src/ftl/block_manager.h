@@ -1,0 +1,122 @@
+// Free-space management and GC victim selection.
+//
+// Flash blocks are partitioned dynamically into two pools (§4.1): data blocks
+// and translation blocks. Each pool has one active block that absorbs new
+// programs; retired (fully written) blocks become GC candidates. Victim
+// selection is greedy (fewest valid pages), tracked with valid-count buckets
+// so each pick is O(pages_per_block) instead of a full scan.
+//
+// All page programs and invalidations flow through this class so the buckets
+// stay consistent with the NAND state; reads go straight to NandFlash.
+
+#ifndef SRC_FTL_BLOCK_MANAGER_H_
+#define SRC_FTL_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "src/flash/nand.h"
+#include "src/flash/types.h"
+
+namespace tpftl {
+
+enum class BlockPool : uint8_t { kNone = 0, kData = 1, kTranslation = 2 };
+
+// GC victim-selection policy.
+//
+//   kGreedy      — fewest valid pages (the paper's setting; O(1) via
+//                  valid-count buckets).
+//   kCostBenefit — classic cost-benefit score (Kawaguchi et al.):
+//                  maximize age * (1 - u) / (2u), where u is the valid
+//                  fraction and age the time since the block last changed;
+//                  prefers cold garbage, resists hot blocks about to gain
+//                  more invalid pages.
+//   kWearAware   — greedy, but blocks whose erase count exceeds the current
+//                  minimum by more than a threshold are skipped while any
+//                  alternative exists, bounding the wear spread.
+enum class GcPolicy : uint8_t { kGreedy = 0, kCostBenefit = 1, kWearAware = 2 };
+
+class BlockManager {
+ public:
+  // `gc_threshold` — GC is requested while the free-block count is at or
+  // below this value. Caller drives the GC loop (it owns mapping updates).
+  BlockManager(NandFlash* flash, uint64_t gc_threshold, GcPolicy policy = GcPolicy::kGreedy,
+               uint64_t wear_spread_limit = 16);
+
+  BlockManager(const BlockManager&) = delete;
+  BlockManager& operator=(const BlockManager&) = delete;
+
+  // Programs the next page of `pool`'s active block (allocating a fresh
+  // active block from the free list when needed). Returns the flash latency.
+  MicroSec Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn);
+
+  // Invalidates a valid page and updates victim bookkeeping.
+  void Invalidate(Ppn ppn);
+
+  // True when the caller must run garbage collection before more programs.
+  bool NeedsGc() const { return free_blocks_.size() <= gc_threshold_; }
+
+  // Victim per the configured policy, from either pool. Returns
+  // kInvalidBlock when no candidate exists.
+  BlockId PickVictim();
+  // Victim restricted to one pool (used by tests and ablation experiments).
+  BlockId PickVictim(BlockPool pool);
+
+  // Erases `block` (all pages must be invalid/free) and returns it to the
+  // free list — unless the erase consumed the block's endurance budget, in
+  // which case the block is retired as bad and the usable pool shrinks.
+  // Returns the erase latency.
+  MicroSec EraseAndFree(BlockId block);
+
+  uint64_t bad_block_count() const { return bad_blocks_; }
+
+  BlockPool PoolOf(BlockId block) const;
+  uint64_t free_block_count() const { return free_blocks_.size(); }
+  uint64_t gc_threshold() const { return gc_threshold_; }
+  GcPolicy policy() const { return policy_; }
+  uint64_t pool_block_count(BlockPool pool) const;
+
+  // Total free pages still programmable in a pool's active block plus the
+  // shared free list (diagnostic; used by tests).
+  uint64_t FreePagesUpperBound() const;
+
+  NandFlash& flash() { return *flash_; }
+  const NandFlash& flash() const { return *flash_; }
+
+ private:
+  struct ActiveBlock {
+    BlockId id = kInvalidBlock;
+  };
+
+  void RetireIfFull(BlockPool pool);
+  void BucketInsert(BlockId block);
+  void BucketErase(BlockId block);
+  BlockId AllocateFreeBlock(BlockPool pool);
+  BlockId PickGreedy() const;
+  BlockId PickCostBenefit() const;
+  BlockId PickWearAware() const;
+
+  NandFlash* flash_;
+  uint64_t gc_threshold_;
+  GcPolicy policy_;
+  uint64_t wear_spread_limit_;
+  uint64_t op_clock_ = 0;               // Logical time for cost-benefit age.
+  std::vector<uint64_t> last_touched_;  // Per-block op_clock_ of last change.
+  std::deque<BlockId> free_blocks_;
+  std::vector<BlockPool> pool_of_;
+  ActiveBlock active_data_;
+  ActiveBlock active_trans_;
+  // buckets_[v] = retired candidate blocks with exactly v valid pages.
+  std::vector<std::unordered_set<BlockId>> buckets_;
+  std::vector<bool> in_bucket_;
+  mutable uint64_t min_bucket_hint_ = 0;
+  uint64_t data_blocks_ = 0;
+  uint64_t trans_blocks_ = 0;
+  uint64_t bad_blocks_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_BLOCK_MANAGER_H_

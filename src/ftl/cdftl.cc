@@ -1,0 +1,200 @@
+#include "src/ftl/cdftl.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+Cdftl::Cdftl(const FtlEnv& env, const CdftlOptions& options)
+    : DemandFtl(env, /*uses_translation_store=*/true), options_(options) {
+  const uint64_t page_bytes = flash().geometry().page_size_bytes;
+  const uint64_t budget = entry_cache_budget_bytes();
+  const auto ctp_bytes = static_cast<uint64_t>(static_cast<double>(budget) * options.ctp_fraction);
+  ctp_capacity_ = std::max<uint64_t>(1, ctp_bytes / page_bytes);
+  const uint64_t ctp_actual = std::min(budget, ctp_capacity_ * page_bytes);
+  cmt_capacity_ = std::max<uint64_t>(1, (budget - ctp_actual) / options.entry_bytes);
+}
+
+Cdftl::CtpList::iterator Cdftl::FindCtp(Vtpn vtpn) {
+  const auto it = ctp_index_.find(vtpn);
+  return it == ctp_index_.end() ? ctp_.end() : it->second;
+}
+
+MicroSec Cdftl::EvictCmtEntry() {
+  AtStats& s = mutable_stats();
+  TPFTL_CHECK(!cmt_.empty());
+  // Search from the LRU end for a victim that is clean or whose page is CTP
+  // resident (fold-in); dirty entries without a cached page are skipped.
+  auto victim = cmt_.end();
+  uint64_t scanned = 0;
+  for (auto it = std::prev(cmt_.end());; --it) {
+    const bool evictable = !it->dirty || FindCtp(store().VtpnOf(it->lpn)) != ctp_.end();
+    if (evictable) {
+      victim = it;
+      break;
+    }
+    if (++scanned >= options_.evict_scan_limit || it == cmt_.begin()) {
+      break;
+    }
+  }
+
+  MicroSec t = 0.0;
+  if (victim == cmt_.end()) {
+    // Everything nearby is cold-dirty with no cached page: fall back to a
+    // single-entry writeback of the LRU entry (DFTL-style).
+    victim = std::prev(cmt_.end());
+    ++s.evictions;
+    ++s.dirty_evictions;
+    const MappingUpdate update{victim->lpn, victim->ppn};
+    const auto r = store().RewriteTranslationPage(store().VtpnOf(victim->lpn), {&update, 1},
+                                                  /*have_full_content=*/false);
+    ++s.trans_reads_at;
+    ++s.trans_writes_at;
+    t += r.time;
+  } else {
+    ++s.evictions;
+    if (victim->dirty) {
+      // Fold into the CTP copy: no flash cost now, page becomes dirty.
+      auto page = FindCtp(store().VtpnOf(victim->lpn));
+      TPFTL_DCHECK(page != ctp_.end());
+      const uint64_t slot = store().SlotOf(victim->lpn);
+      page->content[slot] = victim->ppn;
+      page->dirty_slots[slot] = victim->ppn;
+    }
+  }
+  cmt_index_.erase(victim->lpn);
+  cmt_.erase(victim);
+  return t;
+}
+
+MicroSec Cdftl::EvictCtpPage() {
+  AtStats& s = mutable_stats();
+  TPFTL_CHECK(!ctp_.empty());
+  auto victim = std::prev(ctp_.end());
+  ++s.evictions;
+  MicroSec t = 0.0;
+  if (victim->dirty()) {
+    ++s.dirty_evictions;
+    // Whole page cached → write without the RMW read. Only the slots dirtied
+    // in this copy are persisted; CMT entries that are newer stay cached and
+    // dirty, winning on lookup until their own writeback.
+    std::vector<MappingUpdate> updates;
+    updates.reserve(victim->dirty_slots.size());
+    const Lpn base = victim->vtpn * store().entries_per_page();
+    for (const auto& [slot, ppn] : victim->dirty_slots) {
+      updates.push_back({base + slot, ppn});
+    }
+    const auto r =
+        store().RewriteTranslationPage(victim->vtpn, updates, /*have_full_content=*/true);
+    TPFTL_DCHECK(!r.did_read);
+    ++s.trans_writes_at;
+    t += r.time;
+  }
+  ctp_index_.erase(victim->vtpn);
+  ctp_.erase(victim);
+  return t;
+}
+
+MicroSec Cdftl::InsertCtp(Vtpn vtpn) {
+  MicroSec t = 0.0;
+  while (ctp_.size() >= ctp_capacity_) {
+    t += EvictCtpPage();
+  }
+  const auto page_span = store().PersistedPage(vtpn);
+  ctp_.push_front(CtpPage{vtpn, std::vector<Ppn>(page_span.begin(), page_span.end()), {}});
+  ctp_index_[vtpn] = ctp_.begin();
+  return t;
+}
+
+MicroSec Cdftl::Translate(Lpn lpn, bool is_write, Ppn* current) {
+  (void)is_write;
+  AtStats& s = mutable_stats();
+  ++s.lookups;
+  // First level: CMT.
+  if (const auto it = cmt_index_.find(lpn); it != cmt_index_.end()) {
+    ++s.hits;
+    cmt_.splice(cmt_.begin(), cmt_, it->second);
+    *current = it->second->ppn;
+    return 0.0;
+  }
+
+  MicroSec t = 0.0;
+  const Vtpn vtpn = store().VtpnOf(lpn);
+  auto page = FindCtp(vtpn);
+  if (page != ctp_.end()) {
+    // Second level hit: no flash access.
+    ++s.hits;
+    ctp_.splice(ctp_.begin(), ctp_, page);
+  } else {
+    ++s.misses;
+    t += store().ReadTranslationPage(vtpn);
+    ++s.trans_reads_at;
+    t += InsertCtp(vtpn);
+    page = ctp_.begin();
+  }
+
+  // Copy the entry up into the CMT.
+  const Ppn ppn = page->content[store().SlotOf(lpn)];
+  while (cmt_.size() >= cmt_capacity_) {
+    t += EvictCmtEntry();
+  }
+  cmt_.push_front(CmtEntry{lpn, ppn, false});
+  cmt_index_[lpn] = cmt_.begin();
+  *current = ppn;
+  return t;
+}
+
+MicroSec Cdftl::CommitMapping(Lpn lpn, Ppn new_ppn) {
+  const auto it = cmt_index_.find(lpn);
+  TPFTL_CHECK_MSG(it != cmt_index_.end(), "CommitMapping without a preceding Translate");
+  it->second->ppn = new_ppn;
+  it->second->dirty = true;
+  return 0.0;
+}
+
+bool Cdftl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
+  (void)extra_time;
+  bool found = false;
+  if (const auto it = cmt_index_.find(lpn); it != cmt_index_.end()) {
+    it->second->ppn = new_ppn;
+    it->second->dirty = true;
+    found = true;
+  }
+  if (const auto page = FindCtp(store().VtpnOf(lpn)); page != ctp_.end()) {
+    const uint64_t slot = store().SlotOf(lpn);
+    page->content[slot] = new_ppn;
+    page->dirty_slots[slot] = new_ppn;
+    found = true;
+  }
+  return found;
+}
+
+MicroSec Cdftl::GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates) {
+  // The page cannot be CTP-resident here (that would have been a GC hit), so
+  // the default read-modify-write applies.
+  TPFTL_DCHECK(ctp_index_.find(vtpn) == ctp_index_.end());
+  return DemandFtl::GcRewriteTranslation(vtpn, updates);
+}
+
+Ppn Cdftl::Probe(Lpn lpn) const {
+  if (const auto it = cmt_index_.find(lpn); it != cmt_index_.end()) {
+    return it->second->ppn;
+  }
+  const auto page = ctp_index_.find(translation_store().VtpnOf(lpn));
+  if (page != ctp_index_.end()) {
+    return page->second->content[translation_store().SlotOf(lpn)];
+  }
+  return translation_store().Persisted(lpn);
+}
+
+uint64_t Cdftl::cache_bytes_used() const {
+  return cmt_.size() * options_.entry_bytes +
+         ctp_.size() * flash().geometry().page_size_bytes;
+}
+
+uint64_t Cdftl::cache_entry_count() const {
+  return cmt_.size() + ctp_.size() * translation_store().entries_per_page();
+}
+
+}  // namespace tpftl

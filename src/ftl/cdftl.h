@@ -1,0 +1,95 @@
+// CDFTL — two-level caching for demand-based page-level mapping (Qin et al.,
+// RTAS 2011; §2.2 of the paper).
+//
+// Two cooperating caches:
+//   * CMT — a small LRU cache of individual 8-byte mapping entries
+//     (first-level, exploits temporal locality);
+//   * CTP — an LRU cache of entire uncompressed translation pages
+//     (second-level, exploits spatial locality and serves as the kick-out
+//     buffer for the CMT).
+//
+// Dirty CMT victims are folded into their translation page's CTP copy when
+// that page is cached — replacements of dirty entries then "only occur in
+// CTP" — otherwise the dirty entry is skipped and stays resident (cold dirty
+// entries reside in CMT), falling back to a single-entry writeback only when
+// nothing else is evictable. A dirty CTP page is written back whole on
+// eviction (no read needed: the full content is cached).
+
+#ifndef SRC_FTL_CDFTL_H_
+#define SRC_FTL_CDFTL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ftl/demand_ftl.h"
+
+namespace tpftl {
+
+struct CdftlOptions {
+  // Fraction of the entry budget given to the CTP (whole-page) cache; at
+  // least one page is always provisioned.
+  double ctp_fraction = 0.75;
+  uint64_t entry_bytes = 8;
+  // How far from the CMT LRU end to search for an evictable (clean or
+  // CTP-resident) victim before falling back to a single-entry writeback.
+  uint64_t evict_scan_limit = 16;
+};
+
+class Cdftl : public DemandFtl {
+ public:
+  Cdftl(const FtlEnv& env, const CdftlOptions& options = {});
+
+  std::string name() const override { return "CDFTL"; }
+  Ppn Probe(Lpn lpn) const override;
+  uint64_t cache_bytes_used() const override;
+  uint64_t cache_entry_count() const override;
+
+  uint64_t ctp_page_capacity() const { return ctp_capacity_; }
+  uint64_t cmt_entry_capacity() const { return cmt_capacity_; }
+
+ protected:
+  MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
+  MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
+  bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+  MicroSec GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates) override;
+
+ private:
+  struct CmtEntry {
+    Lpn lpn = kInvalidLpn;
+    Ppn ppn = kInvalidPpn;
+    bool dirty = false;
+  };
+  struct CtpPage {
+    Vtpn vtpn = kInvalidVtpn;
+    std::vector<Ppn> content;
+    // Slots modified since load; exactly these are persisted on eviction.
+    std::unordered_map<uint64_t, Ppn> dirty_slots;
+    bool dirty() const { return !dirty_slots.empty(); }
+  };
+
+  using CmtList = std::list<CmtEntry>;
+  using CtpList = std::list<CtpPage>;
+
+  // Evicts one CMT entry to make room; returns flash time spent.
+  MicroSec EvictCmtEntry();
+  // Evicts the LRU CTP page; returns flash time spent.
+  MicroSec EvictCtpPage();
+  // Loads vtpn's page into the CTP (assumes not present). Flash read is paid
+  // by the caller; this handles capacity.
+  MicroSec InsertCtp(Vtpn vtpn);
+  CtpList::iterator FindCtp(Vtpn vtpn);
+
+  CdftlOptions options_;
+  uint64_t cmt_capacity_ = 0;
+  uint64_t ctp_capacity_ = 0;
+  CmtList cmt_;  // MRU at front.
+  std::unordered_map<Lpn, CmtList::iterator> cmt_index_;
+  CtpList ctp_;  // MRU at front.
+  std::unordered_map<Vtpn, CtpList::iterator> ctp_index_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_CDFTL_H_

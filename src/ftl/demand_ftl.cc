@@ -1,0 +1,188 @@
+#include "src/ftl/demand_ftl.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+uint64_t PaperCacheBytes(const FlashGeometry& geometry, uint64_t logical_pages) {
+  const uint64_t logical_blocks = logical_pages / geometry.pages_per_block;
+  const uint64_t translation_pages =
+      (logical_pages + geometry.entries_per_translation_page() - 1) /
+      geometry.entries_per_translation_page();
+  return logical_blocks * 4 + translation_pages * 4;
+}
+
+DemandFtl::DemandFtl(const FtlEnv& env, bool uses_translation_store)
+    : flash_(env.flash),
+      bm_(env.flash, env.gc_threshold, env.gc_policy, env.wear_spread_limit),
+      store_(&bm_, env.logical_pages),
+      logical_pages_(env.logical_pages) {
+  TPFTL_CHECK(env.flash != nullptr);
+  TPFTL_CHECK(env.logical_pages > 0);
+  if (uses_translation_store) {
+    store_.Format();
+    TPFTL_CHECK_MSG(env.cache_bytes > store_.gtd().size_bytes(),
+                    "cache budget smaller than the GTD");
+    entry_cache_budget_ = env.cache_bytes - store_.gtd().size_bytes();
+    // Formatting cost is setup, not workload; start experiments clean.
+    flash_->ResetStats();
+  } else {
+    entry_cache_budget_ = env.cache_bytes;
+  }
+}
+
+void DemandFtl::ResetStats() {
+  stats_.Reset();
+  flash_->ResetStats();
+}
+
+MicroSec DemandFtl::ReadPage(Lpn lpn) {
+  TPFTL_CHECK(lpn < logical_pages_);
+  ++stats_.host_page_reads;
+  Ppn ppn = kInvalidPpn;
+  MicroSec t = Translate(lpn, /*is_write=*/false, &ppn);
+  if (ppn != kInvalidPpn) {
+    t += flash_->ReadPage(ppn);
+  }
+  // Reads never consume free pages, but translation writebacks triggered by
+  // the lookup can, so the GC check still runs.
+  t += RunGcIfNeeded();
+  return t;
+}
+
+MicroSec DemandFtl::WritePage(Lpn lpn) {
+  TPFTL_CHECK(lpn < logical_pages_);
+  ++stats_.host_page_writes;
+  Ppn old_ppn = kInvalidPpn;
+  MicroSec t = Translate(lpn, /*is_write=*/true, &old_ppn);
+  Ppn new_ppn = kInvalidPpn;
+  t += bm_.Program(BlockPool::kData, lpn, &new_ppn);
+  if (old_ppn != kInvalidPpn) {
+    bm_.Invalidate(old_ppn);
+  }
+  t += CommitMapping(lpn, new_ppn);
+  t += RunGcIfNeeded();
+  return t;
+}
+
+MicroSec DemandFtl::TrimPage(Lpn lpn) {
+  TPFTL_CHECK(lpn < logical_pages_);
+  Ppn old_ppn = kInvalidPpn;
+  // The entry must be resident to be rewritten — same as a write (§4.1), but
+  // no data page is programmed.
+  MicroSec t = Translate(lpn, /*is_write=*/true, &old_ppn);
+  if (old_ppn != kInvalidPpn) {
+    bm_.Invalidate(old_ppn);
+  }
+  t += CommitMapping(lpn, kInvalidPpn);
+  t += RunGcIfNeeded();
+  return t;
+}
+
+MicroSec DemandFtl::BackgroundGc(MicroSec budget_us) {
+  MicroSec spent = 0.0;
+  const uint64_t soft_watermark = bm_.gc_threshold() * 2;
+  while (spent < budget_us && bm_.free_block_count() < soft_watermark) {
+    const BlockId victim = bm_.PickVictim();
+    if (victim == kInvalidBlock) {
+      break;
+    }
+    const uint64_t valid = flash_->block(victim).valid_pages();
+    if (valid > flash_->geometry().pages_per_block * 3 / 4) {
+      break;  // Only nearly-full blocks left; not worth idle churn.
+    }
+    spent += bm_.PoolOf(victim) == BlockPool::kData ? CollectDataBlock(victim)
+                                                    : CollectTranslationBlock(victim);
+  }
+  return spent;
+}
+
+MicroSec DemandFtl::RunGcIfNeeded() {
+  MicroSec t = 0.0;
+  while (bm_.NeedsGc()) {
+    t += CollectOneBlock();
+  }
+  return t;
+}
+
+MicroSec DemandFtl::CollectOneBlock() {
+  const BlockId victim = bm_.PickVictim();
+  TPFTL_CHECK_MSG(victim != kInvalidBlock, "GC found no victim — geometry exhausted");
+  if (bm_.PoolOf(victim) == BlockPool::kData) {
+    return CollectDataBlock(victim);
+  }
+  return CollectTranslationBlock(victim);
+}
+
+MicroSec DemandFtl::CollectDataBlock(BlockId victim) {
+  ++stats_.gc_data_blocks;
+  const FlashGeometry& g = flash_->geometry();
+  MicroSec t = 0.0;
+
+  // Step 2 of a GC operation (§3.1): migrate the remaining valid pages and
+  // collect their mapping updates.
+  std::vector<MappingUpdate> updates;
+  for (uint64_t offset = 0; offset < g.pages_per_block; ++offset) {
+    const Ppn ppn = g.PpnOf(victim, offset);
+    if (flash_->StateOf(ppn) != PageState::kValid) {
+      continue;
+    }
+    const auto lpn = static_cast<Lpn>(flash_->OobTag(ppn));
+    t += flash_->ReadPage(ppn);
+    Ppn new_ppn = kInvalidPpn;
+    t += bm_.Program(BlockPool::kData, lpn, &new_ppn);
+    bm_.Invalidate(ppn);
+    ++stats_.gc_data_migrations;
+    updates.push_back({lpn, new_ppn});
+  }
+
+  // Update the migrated pages' mapping entries: in the cache when present
+  // (GC hit), otherwise batched per translation page (GC miss).
+  std::map<Vtpn, std::vector<MappingUpdate>> missed;
+  for (const MappingUpdate& u : updates) {
+    if (GcUpdateCached(u.lpn, u.ppn, &t)) {
+      ++stats_.gc_hits;
+    } else {
+      ++stats_.gc_misses;
+      missed[store_.VtpnOf(u.lpn)].push_back(u);
+    }
+  }
+  for (auto& [vtpn, batch] : missed) {
+    t += GcRewriteTranslation(vtpn, batch);
+  }
+
+  t += bm_.EraseAndFree(victim);
+  return t;
+}
+
+MicroSec DemandFtl::GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates) {
+  const TranslationStore::RewriteResult r =
+      store_.RewriteTranslationPage(vtpn, updates, /*have_full_content=*/false);
+  if (r.did_read) {
+    ++stats_.trans_reads_gc;
+  }
+  ++stats_.trans_writes_gc;
+  return r.time;
+}
+
+MicroSec DemandFtl::CollectTranslationBlock(BlockId victim) {
+  ++stats_.gc_trans_blocks;
+  const FlashGeometry& g = flash_->geometry();
+  MicroSec t = 0.0;
+  for (uint64_t offset = 0; offset < g.pages_per_block; ++offset) {
+    const Ppn ppn = g.PpnOf(victim, offset);
+    if (flash_->StateOf(ppn) != PageState::kValid) {
+      continue;
+    }
+    t += store_.MigrateTranslationPage(ppn);
+    ++stats_.gc_trans_migrations;
+    ++stats_.trans_reads_gc;
+    ++stats_.trans_writes_gc;
+  }
+  t += bm_.EraseAndFree(victim);
+  return t;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,115 @@
+// Shared machinery of every demand-based page-level FTL (§2.2).
+//
+// DemandFtl owns the block manager, the flash-resident mapping table
+// (TranslationStore + GTD) and the garbage collector, and implements the
+// host data path. Concrete FTLs (DFTL, CDFTL, S-FTL, TPFTL, Optimal) plug in
+// their mapping-cache policy through four hooks:
+//
+//   Translate()           — produce the current PPN of an LPN, loading or
+//                           evicting cache state and paying flash time.
+//   CommitMapping()       — record a new LPN→PPN binding after a data write
+//                           (the binding is dirty in the cache until written
+//                           back; Optimal updates its RAM table directly).
+//   GcUpdateCached()      — try to apply a GC-migration update in the cache
+//                           ("GC hit", §3.1); returns false on a GC miss.
+//   GcRewriteTranslation()— persist one translation page's worth of GC-miss
+//                           updates (DFTL-style batching groups them per
+//                           page; TPFTL additionally flushes that page's
+//                           cached dirty entries, §4.4).
+//
+// The GC victim policy is greedy (fewest valid pages across both pools); a
+// single collection migrates the victim's valid pages, applies the mapping
+// updates, and erases the block. The loop continues while the free-block
+// count is at or below the threshold.
+
+#ifndef SRC_FTL_DEMAND_FTL_H_
+#define SRC_FTL_DEMAND_FTL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/flash/nand.h"
+#include "src/ftl/block_manager.h"
+#include "src/ftl/ftl.h"
+#include "src/ftl/translation_store.h"
+
+namespace tpftl {
+
+// Construction environment shared by all FTLs.
+struct FtlEnv {
+  NandFlash* flash = nullptr;
+  uint64_t logical_pages = 0;
+  // Mapping-cache budget in bytes, *including* the always-resident GTD
+  // (§5.1: cache = block-level table size + GTD size).
+  uint64_t cache_bytes = 0;
+  uint64_t gc_threshold = 8;
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+  // kWearAware only: max erase-count spread tolerated before a victim is
+  // skipped in favor of a less-worn alternative.
+  uint64_t wear_spread_limit = 16;
+};
+
+// The paper's cache budget for a given logical capacity: the size of a
+// block-level FTL's mapping table (4 B per block) plus the GTD (4 B per
+// translation page). 512 MB → 8.5 KiB; 16 GB → 272 KiB.
+uint64_t PaperCacheBytes(const FlashGeometry& geometry, uint64_t logical_pages);
+
+class DemandFtl : public Ftl {
+ public:
+  DemandFtl(const FtlEnv& env, bool uses_translation_store);
+
+  MicroSec ReadPage(Lpn lpn) final;
+  MicroSec WritePage(Lpn lpn) final;
+  MicroSec TrimPage(Lpn lpn) final;
+
+  // Idle-time GC (§2.1's FTL duties beyond the request path): collects
+  // victims while free blocks sit below the soft watermark (twice the
+  // foreground threshold) and the time budget lasts. Only victims with a
+  // clear payoff (at most three-quarters valid) are taken — idle time should
+  // not be burned grinding nearly-full blocks.
+  MicroSec BackgroundGc(MicroSec budget_us) override;
+
+  const AtStats& stats() const final { return stats_; }
+  void ResetStats() override;
+
+  // Budget available to cached mapping entries after the GTD's share.
+  uint64_t entry_cache_budget_bytes() const { return entry_cache_budget_; }
+
+  const NandFlash& flash() const { return *flash_; }
+  const BlockManager& block_manager() const { return bm_; }
+  const TranslationStore& translation_store() const { return store_; }
+  uint64_t logical_pages() const { return logical_pages_; }
+
+ protected:
+  // --- policy hooks -------------------------------------------------------
+  virtual MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) = 0;
+  // Both may spend flash time (e.g. S-FTL evicting pages that inflated in
+  // place); they return it so it lands in the request's cost.
+  virtual MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) = 0;
+  virtual bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) = 0;
+  virtual MicroSec GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates);
+
+  // --- services for subclasses -------------------------------------------
+  BlockManager& bm() { return bm_; }
+  TranslationStore& store() { return store_; }
+  AtStats& mutable_stats() { return stats_; }
+  // Runs garbage collection while the free-block level demands it.
+  MicroSec RunGcIfNeeded();
+
+ private:
+  MicroSec CollectOneBlock();
+  MicroSec CollectDataBlock(BlockId victim);
+  MicroSec CollectTranslationBlock(BlockId victim);
+
+  NandFlash* flash_;
+  BlockManager bm_;
+  TranslationStore store_;
+  AtStats stats_;
+  uint64_t logical_pages_;
+  uint64_t entry_cache_budget_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_DEMAND_FTL_H_

@@ -1,0 +1,122 @@
+#include "src/ftl/dftl.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+Dftl::Dftl(const FtlEnv& env, const DftlOptions& options)
+    : DemandFtl(env, /*uses_translation_store=*/true), options_(options) {
+  max_entries_ = entry_cache_budget_bytes() / options_.entry_bytes;
+  TPFTL_CHECK_MSG(max_entries_ >= 2, "cache budget too small for DFTL");
+  protected_cap_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(max_entries_) * options_.protected_fraction));
+  index_.reserve(max_entries_ * 2);
+}
+
+void Dftl::Touch(EntryList::iterator it) {
+  if (it->segment == Segment::kProtected) {
+    protected_.splice(protected_.begin(), protected_, it);
+    return;
+  }
+  // Promote probationary hit into the protected segment.
+  it->segment = Segment::kProtected;
+  protected_.splice(protected_.begin(), probation_, it);
+  if (protected_.size() > protected_cap_) {
+    // Demote the protected LRU entry to the probationary MRU position.
+    auto lru = std::prev(protected_.end());
+    lru->segment = Segment::kProbation;
+    probation_.splice(probation_.begin(), protected_, lru);
+  }
+}
+
+MicroSec Dftl::EvictOne() {
+  AtStats& s = mutable_stats();
+  EntryList& source = !probation_.empty() ? probation_ : protected_;
+  TPFTL_CHECK_MSG(!source.empty(), "eviction from an empty cache");
+  auto victim = std::prev(source.end());
+  ++s.evictions;
+  MicroSec t = 0.0;
+  if (victim->dirty) {
+    ++s.dirty_evictions;
+    // Write back only this entry: one read-modify-write of its translation
+    // page, regardless of other dirty co-residents (§3.2).
+    const MappingUpdate update{victim->lpn, victim->ppn};
+    const auto r = store().RewriteTranslationPage(store().VtpnOf(victim->lpn), {&update, 1},
+                                                  /*have_full_content=*/false);
+    ++s.trans_reads_at;
+    ++s.trans_writes_at;
+    t += r.time;
+  }
+  index_.erase(victim->lpn);
+  source.erase(victim);
+  return t;
+}
+
+MicroSec Dftl::Translate(Lpn lpn, bool is_write, Ppn* current) {
+  (void)is_write;
+  AtStats& s = mutable_stats();
+  ++s.lookups;
+  if (const auto it = index_.find(lpn); it != index_.end()) {
+    ++s.hits;
+    Touch(it->second);
+    *current = it->second->ppn;
+    return 0.0;
+  }
+  ++s.misses;
+  MicroSec t = store().ReadTranslationPage(store().VtpnOf(lpn));
+  ++s.trans_reads_at;
+  const Ppn ppn = store().Persisted(lpn);
+  while (index_.size() >= max_entries_) {
+    t += EvictOne();
+  }
+  probation_.push_front(Entry{lpn, ppn, /*dirty=*/false, Segment::kProbation});
+  index_[lpn] = probation_.begin();
+  *current = ppn;
+  return t;
+}
+
+MicroSec Dftl::CommitMapping(Lpn lpn, Ppn new_ppn) {
+  const auto it = index_.find(lpn);
+  TPFTL_CHECK_MSG(it != index_.end(), "CommitMapping without a preceding Translate");
+  it->second->ppn = new_ppn;
+  it->second->dirty = true;
+  return 0.0;
+}
+
+bool Dftl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
+  (void)extra_time;
+  const auto it = index_.find(lpn);
+  if (it == index_.end()) {
+    return false;
+  }
+  it->second->ppn = new_ppn;
+  it->second->dirty = true;
+  return true;
+}
+
+Ppn Dftl::Probe(Lpn lpn) const {
+  if (const auto it = index_.find(lpn); it != index_.end()) {
+    return it->second->ppn;
+  }
+  return translation_store().Persisted(lpn);
+}
+
+uint64_t Dftl::cache_bytes_used() const { return index_.size() * options_.entry_bytes; }
+
+uint64_t Dftl::cache_entry_count() const { return index_.size(); }
+
+uint64_t Dftl::CachedTranslationPages() const { return OccupancyByPage().size(); }
+
+std::unordered_map<Vtpn, Dftl::PageOccupancy> Dftl::OccupancyByPage() const {
+  std::unordered_map<Vtpn, PageOccupancy> result;
+  for (const auto& [lpn, it] : index_) {
+    PageOccupancy& occ = result[translation_store().VtpnOf(lpn)];
+    ++occ.entries;
+    occ.dirty_entries += it->dirty ? 1 : 0;
+  }
+  return result;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,83 @@
+// DFTL — demand-based FTL with a segmented-LRU entry cache (Gupta et al.,
+// ASPLOS 2009; §2.2 of the paper).
+//
+// The Cached Mapping Table (CMT) holds individual 8-byte LPN→PPN entries in
+// two LRU segments (probationary + protected). A hit in the probationary
+// segment promotes the entry; overflow of the protected segment demotes its
+// LRU entry back to probationary. Victims leave from the probationary LRU
+// end; a dirty victim is written back alone — one translation-page
+// read-modify-write per dirty eviction — which is exactly the inefficiency
+// §3.2 measures (Fig. 1(b)): the other dirty entries of the same translation
+// page stay cached and force repeated rewrites of the same page.
+//
+// During GC, DFTL batches the mapping updates of migrated data pages per
+// translation page (the original paper's "lazy copying" batch update).
+
+#ifndef SRC_FTL_DFTL_H_
+#define SRC_FTL_DFTL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/ftl/demand_ftl.h"
+
+namespace tpftl {
+
+struct DftlOptions {
+  // Fraction of the entry budget reserved for the protected segment.
+  double protected_fraction = 0.6;
+  uint64_t entry_bytes = 8;  // 4 B LPN tag + 4 B PPN.
+};
+
+class Dftl : public DemandFtl {
+ public:
+  Dftl(const FtlEnv& env, const DftlOptions& options = {});
+
+  std::string name() const override { return "DFTL"; }
+  Ppn Probe(Lpn lpn) const override;
+  uint64_t cache_bytes_used() const override;
+  uint64_t cache_entry_count() const override;
+
+  // --- introspection for the Figure 1 reproduction -----------------------
+  // Number of distinct translation pages with >= 1 cached entry.
+  uint64_t CachedTranslationPages() const;
+  // Per-translation-page counts of cached entries / cached dirty entries.
+  struct PageOccupancy {
+    uint64_t entries = 0;
+    uint64_t dirty_entries = 0;
+  };
+  std::unordered_map<Vtpn, PageOccupancy> OccupancyByPage() const;
+
+ protected:
+  MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
+  MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
+  bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+
+ private:
+  enum class Segment : uint8_t { kProbation, kProtected };
+
+  struct Entry {
+    Lpn lpn = kInvalidLpn;
+    Ppn ppn = kInvalidPpn;
+    bool dirty = false;
+    Segment segment = Segment::kProbation;
+  };
+
+  using EntryList = std::list<Entry>;
+
+  void Touch(EntryList::iterator it);
+  MicroSec EvictOne();
+  uint64_t max_entries() const { return max_entries_; }
+
+  DftlOptions options_;
+  uint64_t max_entries_;
+  uint64_t protected_cap_;
+  EntryList probation_;  // MRU at front.
+  EntryList protected_;  // MRU at front.
+  std::unordered_map<Lpn, EntryList::iterator> index_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_DFTL_H_

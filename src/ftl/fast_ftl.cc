@@ -1,0 +1,223 @@
+#include "src/ftl/fast_ftl.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+FastFtl::FastFtl(const FtlEnv& env, const FastFtlOptions& options)
+    : flash_(env.flash),
+      pages_per_block_(env.flash->geometry().pages_per_block),
+      map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock) {
+  TPFTL_CHECK(env.logical_pages > 0);
+  const auto by_fraction = static_cast<uint64_t>(
+      static_cast<double>(map_.size()) * options.log_block_fraction);
+  log_block_limit_ = std::max(options.min_log_blocks, by_fraction);
+  for (BlockId b = 0; b < flash_->geometry().total_blocks; ++b) {
+    free_blocks_.push_back(b);
+  }
+  TPFTL_CHECK_MSG(free_blocks_.size() > map_.size() + log_block_limit_ + 1,
+                  "FAST needs data blocks + log blocks + one merge block");
+}
+
+void FastFtl::ResetStats() {
+  stats_.Reset();
+  flash_->ResetStats();
+}
+
+BlockId FastFtl::AllocateBlock() {
+  TPFTL_CHECK_MSG(!free_blocks_.empty(), "FAST out of free blocks");
+  const BlockId block = free_blocks_.front();
+  free_blocks_.pop_front();
+  return block;
+}
+
+MicroSec FastFtl::ReadPage(Lpn lpn) {
+  TPFTL_CHECK(LbnOf(lpn) < map_.size());
+  ++stats_.host_page_reads;
+  ++stats_.lookups;
+  ++stats_.hits;  // Block table and log map are RAM-resident.
+  const Ppn ppn = Probe(lpn);
+  return ppn == kInvalidPpn ? 0.0 : flash_->ReadPage(ppn);
+}
+
+MicroSec FastFtl::WritePage(Lpn lpn) {
+  TPFTL_CHECK(LbnOf(lpn) < map_.size());
+  ++stats_.host_page_writes;
+  ++stats_.lookups;
+  ++stats_.hits;
+  const uint64_t lbn = LbnOf(lpn);
+  const uint64_t offset = OffsetOf(lpn);
+  // In-place path: slot still free and no fresher log copy exists.
+  if (!log_map_.contains(lpn)) {
+    if (map_[lbn] == kInvalidBlock) {
+      map_[lbn] = AllocateBlock();
+    }
+    const Ppn target = flash_->geometry().PpnOf(map_[lbn], offset);
+    if (flash_->StateOf(target) == PageState::kFree) {
+      return flash_->ProgramPageAt(target, lpn);
+    }
+  }
+  return AppendToLog(lpn);
+}
+
+MicroSec FastFtl::TrimPage(Lpn lpn) {
+  TPFTL_CHECK(LbnOf(lpn) < map_.size());
+  if (const auto it = log_map_.find(lpn); it != log_map_.end()) {
+    flash_->InvalidatePage(it->second);
+    log_map_.erase(it);
+    return 0.0;
+  }
+  const Ppn ppn = Probe(lpn);
+  if (ppn != kInvalidPpn) {
+    flash_->InvalidatePage(ppn);
+  }
+  return 0.0;
+}
+
+MicroSec FastFtl::AppendToLog(Lpn lpn) {
+  MicroSec t = 0.0;
+  if (log_blocks_.empty() || !flash_->block(log_blocks_.back()).HasFreePage()) {
+    if (log_blocks_.size() >= log_block_limit_) {
+      t += ReclaimOldestLog();
+    }
+    log_blocks_.push_back(AllocateBlock());
+  }
+  Ppn new_ppn = kInvalidPpn;
+  t += flash_->ProgramPage(log_blocks_.back(), lpn, &new_ppn);
+  // Supersede the previous copy (log first, then the in-place one).
+  if (const auto it = log_map_.find(lpn); it != log_map_.end()) {
+    flash_->InvalidatePage(it->second);
+    it->second = new_ppn;
+  } else {
+    const uint64_t lbn = LbnOf(lpn);
+    if (map_[lbn] != kInvalidBlock) {
+      const Ppn data_ppn = flash_->geometry().PpnOf(map_[lbn], OffsetOf(lpn));
+      if (flash_->StateOf(data_ppn) == PageState::kValid) {
+        flash_->InvalidatePage(data_ppn);
+      }
+    }
+    log_map_[lpn] = new_ppn;
+  }
+  return t;
+}
+
+bool FastFtl::IsSwitchMergeable(BlockId log_block) const {
+  // Switch merge: the log block is exactly one logical block, fully written,
+  // with every page valid and at its home offset.
+  const Block& block = flash_->block(log_block);
+  if (block.valid_pages() != pages_per_block_) {
+    return false;
+  }
+  const Ppn first = flash_->geometry().PpnOf(log_block, 0);
+  const auto first_lpn = static_cast<Lpn>(flash_->OobTag(first));
+  if (OffsetOf(first_lpn) != 0) {
+    return false;
+  }
+  for (uint64_t off = 1; off < pages_per_block_; ++off) {
+    const Ppn ppn = flash_->geometry().PpnOf(log_block, off);
+    if (static_cast<Lpn>(flash_->OobTag(ppn)) != first_lpn + off) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MicroSec FastFtl::ReclaimOldestLog() {
+  TPFTL_CHECK(!log_blocks_.empty());
+  const BlockId victim = log_blocks_.front();
+  MicroSec t = 0.0;
+
+  if (IsSwitchMergeable(victim)) {
+    // The log block becomes the data block for its logical block.
+    const auto first_lpn = static_cast<Lpn>(flash_->OobTag(flash_->geometry().PpnOf(victim, 0)));
+    const uint64_t lbn = LbnOf(first_lpn);
+    const BlockId old_data = map_[lbn];
+    for (uint64_t off = 0; off < pages_per_block_; ++off) {
+      log_map_.erase(first_lpn + off);
+    }
+    map_[lbn] = victim;
+    log_blocks_.pop_front();
+    if (old_data != kInvalidBlock) {
+      // All its pages were superseded by the (complete) log block.
+      TPFTL_CHECK(flash_->block(old_data).valid_pages() == 0);
+      t += flash_->EraseBlock(old_data);
+      free_blocks_.push_back(old_data);
+    }
+    ++switch_merges_;
+    return t;
+  }
+
+  // Full merge: rebuild every logical block that has a valid page here.
+  std::vector<uint64_t> lbns;
+  for (uint64_t off = 0; off < pages_per_block_; ++off) {
+    const Ppn ppn = flash_->geometry().PpnOf(victim, off);
+    if (flash_->StateOf(ppn) != PageState::kValid) {
+      continue;
+    }
+    const uint64_t lbn = LbnOf(static_cast<Lpn>(flash_->OobTag(ppn)));
+    if (std::find(lbns.begin(), lbns.end(), lbn) == lbns.end()) {
+      lbns.push_back(lbn);
+    }
+  }
+  for (const uint64_t lbn : lbns) {
+    t += FullMergeLbn(lbn);
+  }
+  TPFTL_CHECK(flash_->block(victim).valid_pages() == 0);
+  t += flash_->EraseBlock(victim);
+  free_blocks_.push_back(victim);
+  log_blocks_.pop_front();
+  return t;
+}
+
+MicroSec FastFtl::FullMergeLbn(uint64_t lbn) {
+  const FlashGeometry& g = flash_->geometry();
+  const BlockId new_block = AllocateBlock();
+  const BlockId old_data = map_[lbn];
+  MicroSec t = 0.0;
+  ++stats_.gc_data_blocks;
+  ++full_merges_;
+  for (uint64_t off = 0; off < pages_per_block_; ++off) {
+    const Lpn lpn = lbn * pages_per_block_ + off;
+    Ppn source = kInvalidPpn;
+    if (const auto it = log_map_.find(lpn); it != log_map_.end()) {
+      source = it->second;
+      log_map_.erase(it);
+    } else if (old_data != kInvalidBlock) {
+      const Ppn data_ppn = g.PpnOf(old_data, off);
+      if (flash_->StateOf(data_ppn) == PageState::kValid) {
+        source = data_ppn;
+      }
+    }
+    if (source == kInvalidPpn) {
+      continue;  // Never-written page.
+    }
+    t += flash_->ReadPage(source);
+    t += flash_->ProgramPageAt(g.PpnOf(new_block, off), lpn);
+    flash_->InvalidatePage(source);
+    ++stats_.gc_data_migrations;
+    ++stats_.gc_hits;  // Mapping state is RAM-resident.
+  }
+  if (old_data != kInvalidBlock) {
+    TPFTL_CHECK(flash_->block(old_data).valid_pages() == 0);
+    t += flash_->EraseBlock(old_data);
+    free_blocks_.push_back(old_data);
+  }
+  map_[lbn] = new_block;
+  return t;
+}
+
+Ppn FastFtl::Probe(Lpn lpn) const {
+  if (const auto it = log_map_.find(lpn); it != log_map_.end()) {
+    return it->second;
+  }
+  const BlockId pbn = map_[LbnOf(lpn)];
+  if (pbn == kInvalidBlock) {
+    return kInvalidPpn;
+  }
+  const Ppn ppn = flash_->geometry().PpnOf(pbn, OffsetOf(lpn));
+  return flash_->StateOf(ppn) == PageState::kValid ? ppn : kInvalidPpn;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,90 @@
+// FAST-style log-buffer hybrid FTL (Lee et al., "A log buffer-based flash
+// translation layer using fully-associative sector translation", TECS 2007 —
+// reference [23] of the paper; §2.1's hybrid category).
+//
+// Data blocks use block-level mapping (page at fixed in-block offset); a
+// small set of log blocks absorbs overwrites with page-level mapping and is
+// fully associative (any logical page can go to any log block):
+//
+//   * a write whose slot is still free in its data block goes there;
+//   * otherwise it is appended to the current log block;
+//   * when log space runs out, the oldest log block is reclaimed by a *full
+//     merge*: every logical block with pages in it is rebuilt into a fresh
+//     data block from the newest copies (log blocks searched first, then the
+//     old data block), and the old blocks are erased;
+//   * a log block that ends up holding exactly one logical block's pages in
+//     order is *switch-merged*: it simply becomes the data block (free).
+//
+// Hybrids need little RAM (block table + tiny log map) but collapse under
+// random writes — the §2.1 motivation for page-level FTLs. Included as the
+// missing member of the paper's FTL taxonomy.
+
+#ifndef SRC_FTL_FAST_FTL_H_
+#define SRC_FTL_FAST_FTL_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/flash/nand.h"
+#include "src/ftl/demand_ftl.h"
+#include "src/ftl/ftl.h"
+
+namespace tpftl {
+
+struct FastFtlOptions {
+  // Log blocks as a fraction of logical blocks (FAST evaluations commonly
+  // use a few percent).
+  double log_block_fraction = 0.03;
+  uint64_t min_log_blocks = 2;
+};
+
+class FastFtl : public Ftl {
+ public:
+  FastFtl(const FtlEnv& env, const FastFtlOptions& options = {});
+
+  std::string name() const override { return "FAST"; }
+  MicroSec ReadPage(Lpn lpn) override;
+  MicroSec WritePage(Lpn lpn) override;
+  MicroSec TrimPage(Lpn lpn) override;
+  Ppn Probe(Lpn lpn) const override;
+  const AtStats& stats() const override { return stats_; }
+  void ResetStats() override;
+
+  uint64_t cache_bytes_used() const override {
+    return map_.size() * 4 + log_map_.size() * 8;
+  }
+  uint64_t cache_entry_count() const override { return map_.size() + log_map_.size(); }
+
+  uint64_t log_block_limit() const { return log_block_limit_; }
+  uint64_t full_merges() const { return full_merges_; }
+  uint64_t switch_merges() const { return switch_merges_; }
+
+ private:
+  uint64_t LbnOf(Lpn lpn) const { return lpn / pages_per_block_; }
+  uint64_t OffsetOf(Lpn lpn) const { return lpn % pages_per_block_; }
+  BlockId AllocateBlock();
+  // Appends to the active log block, opening a new one (and merging when at
+  // the limit) as needed.
+  MicroSec AppendToLog(Lpn lpn);
+  // Reclaims the oldest log block via switch or full merge.
+  MicroSec ReclaimOldestLog();
+  // Rebuilds one logical block from its freshest page copies.
+  MicroSec FullMergeLbn(uint64_t lbn);
+  bool IsSwitchMergeable(BlockId log_block) const;
+
+  NandFlash* flash_;
+  uint64_t pages_per_block_;
+  uint64_t log_block_limit_;
+  std::vector<BlockId> map_;                 // LBN → data block.
+  std::unordered_map<Lpn, Ppn> log_map_;     // Freshest log copy per LPN.
+  std::deque<BlockId> log_blocks_;           // Oldest first; back is active.
+  std::deque<BlockId> free_blocks_;
+  AtStats stats_;
+  uint64_t full_merges_ = 0;
+  uint64_t switch_merges_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_FAST_FTL_H_

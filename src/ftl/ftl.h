@@ -1,0 +1,62 @@
+// Abstract FTL interface.
+//
+// An Ftl serves page-granular host accesses, performing LPN→PPN translation,
+// data page I/O, and garbage collection. Returned times are the flash-time
+// cost of the access (translation ops + user page op + any GC triggered by
+// it); the SSD layer turns them into response times with queuing.
+
+#ifndef SRC_FTL_FTL_H_
+#define SRC_FTL_FTL_H_
+
+#include <string>
+
+#include "src/flash/types.h"
+#include "src/ftl/at_stats.h"
+#include "src/trace/request.h"
+
+namespace tpftl {
+
+class Ftl {
+ public:
+  virtual ~Ftl() = default;
+
+  virtual std::string name() const = 0;
+
+  // Serves one page read/write, including any garbage collection it triggers.
+  virtual MicroSec ReadPage(Lpn lpn) = 0;
+  virtual MicroSec WritePage(Lpn lpn) = 0;
+
+  // TRIM/deallocate: drops the page's mapping without writing new data. The
+  // old physical page becomes garbage immediately (cheap GC later) and
+  // subsequent reads return nothing. Returns any flash time spent updating
+  // mapping state.
+  virtual MicroSec TrimPage(Lpn lpn) = 0;
+
+  // Called once per host request before its page accesses; TPFTL uses it for
+  // request-level prefetching (§4.3). Default: no-op.
+  virtual void BeginRequest(const IoRequest& request) { (void)request; }
+
+  // Current mapping of `lpn` with no side effects (no stats, no cache
+  // movement); kInvalidPpn when never written. Used by consistency tests.
+  virtual Ppn Probe(Lpn lpn) const = 0;
+
+  // Opportunistic garbage collection during device idle time: reclaim
+  // blocks until the free pool is comfortable or `budget_us` of flash time
+  // is spent. Returns the flash time actually consumed. Default: no-op
+  // (foreground-GC-only FTLs).
+  virtual MicroSec BackgroundGc(MicroSec budget_us) {
+    (void)budget_us;
+    return 0.0;
+  }
+
+  virtual const AtStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  // Mapping-cache occupancy diagnostics (0 for FTLs without a cache budget).
+  virtual uint64_t cache_bytes_used() const { return 0; }
+  virtual uint64_t cache_entry_count() const { return 0; }
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_FTL_H_

@@ -1,0 +1,43 @@
+// Global Translation Directory (§4.1).
+//
+// Maps each virtual translation page number (VTPN) to the physical flash page
+// (PTPN) currently holding that translation page. The GTD is small (4 B per
+// translation page) and always resident in the mapping cache; its byte size
+// is charged against the cache budget by DemandFtl.
+
+#ifndef SRC_FTL_GTD_H_
+#define SRC_FTL_GTD_H_
+
+#include <vector>
+
+#include "src/flash/types.h"
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+class Gtd {
+ public:
+  explicit Gtd(uint64_t num_translation_pages)
+      : table_(num_translation_pages, kInvalidPtpn) {}
+
+  Ptpn Lookup(Vtpn vtpn) const {
+    TPFTL_CHECK(vtpn < table_.size());
+    return table_[vtpn];
+  }
+
+  void Update(Vtpn vtpn, Ptpn ptpn) {
+    TPFTL_CHECK(vtpn < table_.size());
+    table_[vtpn] = ptpn;
+  }
+
+  uint64_t size() const { return table_.size(); }
+  // 4 B per directory entry, matching the paper's cache-budget arithmetic.
+  uint64_t size_bytes() const { return table_.size() * 4; }
+
+ private:
+  std::vector<Ptpn> table_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_GTD_H_

@@ -1,0 +1,36 @@
+#include "src/ftl/optimal_ftl.h"
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+OptimalFtl::OptimalFtl(const FtlEnv& env)
+    : DemandFtl(env, /*uses_translation_store=*/false),
+      table_(env.logical_pages, kInvalidPpn) {}
+
+MicroSec OptimalFtl::Translate(Lpn lpn, bool is_write, Ppn* current) {
+  (void)is_write;
+  AtStats& s = mutable_stats();
+  ++s.lookups;
+  ++s.hits;
+  *current = table_[lpn];
+  return 0.0;
+}
+
+MicroSec OptimalFtl::CommitMapping(Lpn lpn, Ppn new_ppn) {
+  table_[lpn] = new_ppn;
+  return 0.0;
+}
+
+bool OptimalFtl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
+  (void)extra_time;
+  table_[lpn] = new_ppn;
+  return true;
+}
+
+Ppn OptimalFtl::Probe(Lpn lpn) const {
+  TPFTL_CHECK(lpn < table_.size());
+  return table_[lpn];
+}
+
+}  // namespace tpftl

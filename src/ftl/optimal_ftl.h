@@ -1,0 +1,35 @@
+// The optimal page-level FTL (§5.1): the entire mapping table is held in
+// RAM, so address translation costs nothing and never touches flash. It
+// bounds from below the overhead any demand-based FTL can achieve and is the
+// baseline for Table 2's deviation measurements.
+
+#ifndef SRC_FTL_OPTIMAL_FTL_H_
+#define SRC_FTL_OPTIMAL_FTL_H_
+
+#include <vector>
+
+#include "src/ftl/demand_ftl.h"
+
+namespace tpftl {
+
+class OptimalFtl : public DemandFtl {
+ public:
+  explicit OptimalFtl(const FtlEnv& env);
+
+  std::string name() const override { return "Optimal"; }
+  Ppn Probe(Lpn lpn) const override;
+  uint64_t cache_bytes_used() const override { return table_.size() * 8; }
+  uint64_t cache_entry_count() const override { return table_.size(); }
+
+ protected:
+  MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
+  MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
+  bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+
+ private:
+  std::vector<Ppn> table_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_OPTIMAL_FTL_H_

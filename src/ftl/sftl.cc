@@ -1,0 +1,272 @@
+#include "src/ftl/sftl.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+Sftl::Sftl(const FtlEnv& env, const SftlOptions& options)
+    : DemandFtl(env, /*uses_translation_store=*/true), options_(options) {
+  const uint64_t budget = entry_cache_budget_bytes();
+  const auto buffer_bytes =
+      static_cast<uint64_t>(static_cast<double>(budget) * options.dirty_buffer_fraction);
+  buffer_capacity_entries_ = std::max<uint64_t>(1, buffer_bytes / options.buffer_entry_bytes);
+  page_budget_bytes_ = budget - buffer_capacity_entries_ * options.buffer_entry_bytes;
+  TPFTL_CHECK_MSG(page_budget_bytes_ >= options.page_header_bytes + options.run_bytes,
+                  "cache budget too small for S-FTL");
+}
+
+uint64_t Sftl::CappedBytes(uint64_t runs) const {
+  const uint64_t uncompressed = flash().geometry().page_size_bytes + options_.page_header_bytes;
+  return std::min(options_.page_header_bytes + runs * options_.run_bytes, uncompressed);
+}
+
+bool Sftl::Continuous(Ppn a, Ppn b) {
+  if (a == kInvalidPpn && b == kInvalidPpn) {
+    return true;  // A stretch of unmapped slots compresses to one run.
+  }
+  return a != kInvalidPpn && b == a + 1;
+}
+
+uint64_t Sftl::CountRuns(const std::vector<Ppn>& content) const {
+  uint64_t runs = 1;
+  for (size_t i = 0; i + 1 < content.size(); ++i) {
+    runs += Continuous(content[i], content[i + 1]) ? 0 : 1;
+  }
+  return runs;
+}
+
+void Sftl::UpdateSlot(Page& page, uint64_t slot, Ppn ppn, bool mark_dirty) {
+  const Ppn old = page.content[slot];
+  if (old == ppn && !mark_dirty) {
+    return;
+  }
+  int64_t delta = 0;
+  if (slot > 0) {
+    const Ppn left = page.content[slot - 1];
+    delta += (Continuous(left, old) ? 0 : -1) + (Continuous(left, ppn) ? 0 : 1);
+  }
+  if (slot + 1 < page.content.size()) {
+    const Ppn right = page.content[slot + 1];
+    delta += (Continuous(old, right) ? 0 : -1) + (Continuous(ppn, right) ? 0 : 1);
+  }
+  page.content[slot] = ppn;
+  page.runs = static_cast<uint64_t>(static_cast<int64_t>(page.runs) + delta);
+  page_bytes_used_ -= page.bytes;
+  page.bytes = CappedBytes(page.runs);
+  page_bytes_used_ += page.bytes;
+  if (mark_dirty) {
+    page.dirty_slots[slot] = ppn;
+  }
+}
+
+Sftl::PageList::iterator Sftl::FindPage(Vtpn vtpn) {
+  const auto it = page_index_.find(vtpn);
+  return it == page_index_.end() ? pages_.end() : it->second;
+}
+
+MicroSec Sftl::FlushLargestBufferGroup() {
+  AtStats& s = mutable_stats();
+  TPFTL_CHECK(!buffer_.empty());
+  // Group buffered entries by translation page; flush the largest group with
+  // a single read-modify-write ("batch eviction" of the dirty buffer).
+  std::unordered_map<Vtpn, uint64_t> counts;
+  for (const auto& [lpn, ppn] : buffer_) {
+    ++counts[store().VtpnOf(lpn)];
+  }
+  Vtpn best = kInvalidVtpn;
+  uint64_t best_count = 0;
+  for (const auto& [vtpn, count] : counts) {
+    if (count > best_count) {
+      best = vtpn;
+      best_count = count;
+    }
+  }
+  std::vector<MappingUpdate> updates;
+  updates.reserve(best_count);
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (store().VtpnOf(it->first) == best) {
+      updates.push_back({it->first, it->second});
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const auto r = store().RewriteTranslationPage(best, updates, /*have_full_content=*/false);
+  ++s.trans_reads_at;
+  ++s.trans_writes_at;
+  ++s.evictions;
+  ++s.dirty_evictions;
+  return r.time;
+}
+
+MicroSec Sftl::EnsureBufferRoom(uint64_t incoming) {
+  MicroSec t = 0.0;
+  while (buffer_.size() + incoming > buffer_capacity_entries_) {
+    t += FlushLargestBufferGroup();
+  }
+  return t;
+}
+
+MicroSec Sftl::EvictLruPage() {
+  AtStats& s = mutable_stats();
+  TPFTL_CHECK(!pages_.empty());
+  auto victim = std::prev(pages_.end());
+  MicroSec t = 0.0;
+  ++s.evictions;
+  if (!victim->dirty_slots.empty()) {
+    if (victim->dirty_slots.size() <= options_.sparse_dirty_threshold &&
+        victim->dirty_slots.size() <= buffer_capacity_entries_) {
+      // Sparse dirty page: park the dirty entries in the buffer, no write.
+      t += EnsureBufferRoom(victim->dirty_slots.size());
+      const Lpn base = victim->vtpn * store().entries_per_page();
+      for (const auto& [slot, ppn] : victim->dirty_slots) {
+        buffer_[base + slot] = ppn;
+      }
+    } else {
+      // Densely dirty page: full-page writeback, no RMW read needed.
+      ++s.dirty_evictions;
+      std::vector<MappingUpdate> updates;
+      updates.reserve(victim->dirty_slots.size());
+      const Lpn base = victim->vtpn * store().entries_per_page();
+      for (const auto& [slot, ppn] : victim->dirty_slots) {
+        updates.push_back({base + slot, ppn});
+      }
+      const auto r =
+          store().RewriteTranslationPage(victim->vtpn, updates, /*have_full_content=*/true);
+      TPFTL_DCHECK(!r.did_read);
+      ++s.trans_writes_at;
+      t += r.time;
+    }
+  }
+  page_bytes_used_ -= victim->bytes;
+  page_index_.erase(victim->vtpn);
+  pages_.erase(victim);
+  return t;
+}
+
+MicroSec Sftl::TrimToBudget() {
+  MicroSec t = 0.0;
+  while (page_bytes_used_ > page_budget_bytes_ && pages_.size() > 1) {
+    t += EvictLruPage();
+  }
+  return t;
+}
+
+MicroSec Sftl::LoadPage(Vtpn vtpn) {
+  MicroSec t = 0.0;
+  Page page;
+  page.vtpn = vtpn;
+  const auto span = store().PersistedPage(vtpn);
+  page.content.assign(span.begin(), span.end());
+  // Absorb buffered dirty entries belonging to this page; they are newer
+  // than the persisted values just read.
+  const Lpn base = vtpn * store().entries_per_page();
+  const Lpn end = base + store().entries_per_page();
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (it->first >= base && it->first < end) {
+      page.content[it->first - base] = it->second;
+      page.dirty_slots[it->first - base] = it->second;
+      it = buffer_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  page.runs = CountRuns(page.content);
+  page.bytes = CappedBytes(page.runs);
+
+  while (page_bytes_used_ + page.bytes > page_budget_bytes_ && !pages_.empty()) {
+    t += EvictLruPage();
+  }
+  page_bytes_used_ += page.bytes;
+  pages_.push_front(std::move(page));
+  page_index_[vtpn] = pages_.begin();
+  return t;
+}
+
+MicroSec Sftl::Translate(Lpn lpn, bool is_write, Ppn* current) {
+  (void)is_write;
+  AtStats& s = mutable_stats();
+  ++s.lookups;
+  const Vtpn vtpn = store().VtpnOf(lpn);
+  if (auto page = FindPage(vtpn); page != pages_.end()) {
+    ++s.hits;
+    pages_.splice(pages_.begin(), pages_, page);
+    *current = page->content[store().SlotOf(lpn)];
+    return 0.0;
+  }
+  if (const auto it = buffer_.find(lpn); it != buffer_.end()) {
+    ++s.hits;
+    *current = it->second;
+    return 0.0;
+  }
+  ++s.misses;
+  MicroSec t = store().ReadTranslationPage(vtpn);
+  ++s.trans_reads_at;
+  t += LoadPage(vtpn);
+  *current = pages_.front().content[store().SlotOf(lpn)];
+  return t;
+}
+
+MicroSec Sftl::CommitMapping(Lpn lpn, Ppn new_ppn) {
+  const Vtpn vtpn = store().VtpnOf(lpn);
+  if (auto page = FindPage(vtpn); page != pages_.end()) {
+    UpdateSlot(*page, store().SlotOf(lpn), new_ppn, /*mark_dirty=*/true);
+    return TrimToBudget();
+  }
+  const auto it = buffer_.find(lpn);
+  TPFTL_CHECK_MSG(it != buffer_.end(), "CommitMapping without a preceding Translate");
+  it->second = new_ppn;
+  return 0.0;
+}
+
+bool Sftl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
+  const Vtpn vtpn = store().VtpnOf(lpn);
+  if (auto page = FindPage(vtpn); page != pages_.end()) {
+    UpdateSlot(*page, store().SlotOf(lpn), new_ppn, /*mark_dirty=*/true);
+    *extra_time += TrimToBudget();
+    return true;
+  }
+  if (const auto it = buffer_.find(lpn); it != buffer_.end()) {
+    it->second = new_ppn;
+    return true;
+  }
+  return false;
+}
+
+Ppn Sftl::Probe(Lpn lpn) const {
+  const Vtpn vtpn = translation_store().VtpnOf(lpn);
+  if (const auto it = page_index_.find(vtpn); it != page_index_.end()) {
+    return it->second->content[translation_store().SlotOf(lpn)];
+  }
+  if (const auto it = buffer_.find(lpn); it != buffer_.end()) {
+    return it->second;
+  }
+  return translation_store().Persisted(lpn);
+}
+
+uint64_t Sftl::cache_bytes_used() const {
+  return page_bytes_used_ + buffer_.size() * options_.buffer_entry_bytes;
+}
+
+bool Sftl::CheckRunInvariant() const {
+  uint64_t total_bytes = 0;
+  for (const Page& page : pages_) {
+    const uint64_t expected_runs = CountRuns(page.content);
+    if (page.runs != expected_runs) {
+      return false;
+    }
+    if (page.bytes != CappedBytes(page.runs)) {
+      return false;
+    }
+    total_bytes += page.bytes;
+  }
+  return total_bytes == page_bytes_used_;
+}
+
+uint64_t Sftl::cache_entry_count() const {
+  return pages_.size() * translation_store().entries_per_page() + buffer_.size();
+}
+
+}  // namespace tpftl

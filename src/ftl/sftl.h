@@ -1,0 +1,101 @@
+// S-FTL — spatial-locality-aware address translation (Jiang et al., MSST
+// 2011; §2.2 of the paper).
+//
+// The caching object is an entire translation page, stored compressed
+// according to the sequentiality of its PPNs: a page whose PPNs form few
+// sequential runs costs only a header plus one descriptor per run, so
+// sequential workloads cache the whole table almost for free, while random
+// updates inflate a page toward its uncompressed size. Cached pages form a
+// page-level LRU.
+//
+// A small reserved dirty buffer postpones the replacement of sparsely
+// dispersed dirty entries: when an evicted page carries only a few dirty
+// slots they are parked in the buffer (no flash write); when the buffer
+// fills, the largest per-page group is flushed with one read-modify-write.
+// A densely dirty page is written back whole on eviction — a single page
+// program with no read, since the full content is cached (cf. the Eq. 1
+// footnote in §3.1).
+
+#ifndef SRC_FTL_SFTL_H_
+#define SRC_FTL_SFTL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ftl/demand_ftl.h"
+
+namespace tpftl {
+
+struct SftlOptions {
+  // Fraction of the entry budget reserved for the dirty buffer.
+  double dirty_buffer_fraction = 0.10;
+  uint64_t page_header_bytes = 8;
+  uint64_t run_bytes = 8;          // Descriptor per sequential PPN run.
+  uint64_t buffer_entry_bytes = 8;
+  // Evicted pages with at most this many dirty slots park them in the
+  // buffer instead of writing the page back.
+  uint64_t sparse_dirty_threshold = 8;
+};
+
+class Sftl : public DemandFtl {
+ public:
+  Sftl(const FtlEnv& env, const SftlOptions& options = {});
+
+  std::string name() const override { return "S-FTL"; }
+  Ppn Probe(Lpn lpn) const override;
+  uint64_t cache_bytes_used() const override;
+  uint64_t cache_entry_count() const override;
+
+  uint64_t cached_pages() const { return pages_.size(); }
+  uint64_t dirty_buffer_entries() const { return buffer_.size(); }
+
+  // Test support: recomputes every cached page's run count from scratch and
+  // compares against the incrementally maintained value and the global byte
+  // accounting. Returns true when everything agrees.
+  bool CheckRunInvariant() const;
+
+ protected:
+  MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
+  MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
+  bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+
+ private:
+  struct Page {
+    Vtpn vtpn = kInvalidVtpn;
+    std::vector<Ppn> content;
+    std::unordered_map<uint64_t, Ppn> dirty_slots;
+    uint64_t runs = 1;
+    uint64_t bytes = 0;  // Capped compressed size, kept in sync with runs.
+  };
+  using PageList = std::list<Page>;
+
+  uint64_t CappedBytes(uint64_t runs) const;
+  static bool Continuous(Ppn a, Ppn b);
+  uint64_t CountRuns(const std::vector<Ppn>& content) const;
+  // Applies content[slot] = ppn, updating runs/bytes/global byte count.
+  void UpdateSlot(Page& page, uint64_t slot, Ppn ppn, bool mark_dirty);
+
+  PageList::iterator FindPage(Vtpn vtpn);
+  MicroSec LoadPage(Vtpn vtpn);  // Capacity management + buffer absorption.
+  MicroSec EvictLruPage();
+  // Pages inflate in place as updates fragment their PPN runs; evict LRU
+  // pages until the compressed occupancy fits the budget again.
+  MicroSec TrimToBudget();
+  MicroSec FlushLargestBufferGroup();
+  MicroSec EnsureBufferRoom(uint64_t incoming);
+
+  SftlOptions options_;
+  uint64_t page_budget_bytes_ = 0;
+  uint64_t buffer_capacity_entries_ = 0;
+  uint64_t page_bytes_used_ = 0;
+
+  PageList pages_;  // MRU at front.
+  std::unordered_map<Vtpn, PageList::iterator> page_index_;
+  std::unordered_map<Lpn, Ppn> buffer_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_SFTL_H_

@@ -1,0 +1,83 @@
+#include "src/ftl/translation_store.h"
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+namespace {
+
+uint64_t TranslationPageCount(uint64_t logical_pages, uint64_t entries_per_page) {
+  return (logical_pages + entries_per_page - 1) / entries_per_page;
+}
+
+}  // namespace
+
+TranslationStore::TranslationStore(BlockManager* bm, uint64_t logical_pages)
+    : bm_(bm),
+      logical_pages_(logical_pages),
+      entries_per_page_(bm->flash().geometry().entries_per_translation_page()),
+      gtd_(TranslationPageCount(logical_pages, entries_per_page_)),
+      persisted_(gtd_.size() * entries_per_page_, kInvalidPpn) {
+  TPFTL_CHECK(logical_pages > 0);
+}
+
+void TranslationStore::Format() {
+  TPFTL_CHECK_MSG(!formatted_, "double Format()");
+  for (Vtpn vtpn = 0; vtpn < gtd_.size(); ++vtpn) {
+    Ppn ptpn = kInvalidPtpn;
+    bm_->Program(BlockPool::kTranslation, vtpn, &ptpn);
+    gtd_.Update(vtpn, ptpn);
+  }
+  formatted_ = true;
+}
+
+MicroSec TranslationStore::ReadTranslationPage(Vtpn vtpn) {
+  TPFTL_CHECK(formatted_);
+  const Ptpn ptpn = gtd_.Lookup(vtpn);
+  TPFTL_CHECK(ptpn != kInvalidPtpn);
+  return bm_->flash().ReadPage(ptpn);
+}
+
+TranslationStore::RewriteResult TranslationStore::RewriteTranslationPage(
+    Vtpn vtpn, std::span<const MappingUpdate> updates, bool have_full_content) {
+  TPFTL_CHECK(formatted_);
+  TPFTL_CHECK(vtpn < gtd_.size());
+  RewriteResult result;
+  const Ptpn old_ptpn = gtd_.Lookup(vtpn);
+  if (!have_full_content) {
+    result.time += bm_->flash().ReadPage(old_ptpn);
+    result.did_read = true;
+  }
+  for (const MappingUpdate& u : updates) {
+    TPFTL_CHECK_MSG(VtpnOf(u.lpn) == vtpn, "update outside the rewritten translation page");
+    persisted_[u.lpn] = u.ppn;
+  }
+  Ptpn new_ptpn = kInvalidPtpn;
+  result.time += bm_->Program(BlockPool::kTranslation, vtpn, &new_ptpn);
+  bm_->Invalidate(old_ptpn);
+  gtd_.Update(vtpn, new_ptpn);
+  return result;
+}
+
+MicroSec TranslationStore::MigrateTranslationPage(Ptpn ptpn) {
+  TPFTL_CHECK(formatted_);
+  const auto vtpn = static_cast<Vtpn>(bm_->flash().OobTag(ptpn));
+  TPFTL_CHECK_MSG(gtd_.Lookup(vtpn) == ptpn, "valid translation page must match the GTD");
+  MicroSec t = bm_->flash().ReadPage(ptpn);
+  Ptpn new_ptpn = kInvalidPtpn;
+  t += bm_->Program(BlockPool::kTranslation, vtpn, &new_ptpn);
+  bm_->Invalidate(ptpn);
+  gtd_.Update(vtpn, new_ptpn);
+  return t;
+}
+
+Ppn TranslationStore::Persisted(Lpn lpn) const {
+  TPFTL_CHECK(lpn < persisted_.size());
+  return persisted_[lpn];
+}
+
+std::span<const Ppn> TranslationStore::PersistedPage(Vtpn vtpn) const {
+  TPFTL_CHECK(vtpn < gtd_.size());
+  return std::span<const Ppn>(persisted_).subspan(vtpn * entries_per_page_, entries_per_page_);
+}
+
+}  // namespace tpftl

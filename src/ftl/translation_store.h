@@ -1,0 +1,97 @@
+// Persistence of the page-level mapping table in flash (§4.1).
+//
+// The full LPN→PPN table is packed into translation pages in ascending LPN
+// order: translation page `vtpn` stores the PPNs of LPNs
+// [vtpn * E, (vtpn + 1) * E) where E = geometry.entries_per_translation_page()
+// (1024 for 4 KiB pages and 4 B entries). Translation pages live in flash
+// blocks of the translation pool and are themselves page-mapped through the
+// GTD (VTPN → PTPN).
+//
+// Because a flash page cannot be updated in place, changing any entry of a
+// translation page is a read-modify-write: read the old physical page,
+// program a new one, invalidate the old, repoint the GTD. When the caller
+// already holds the page's full content (S-FTL's whole-page cache) the read
+// is skipped.
+//
+// The store keeps an in-RAM mirror of the *persisted* table so that loads can
+// return entry values without simulating payloads. The mirror is NOT the
+// mapping cache: demand FTLs must pay a flash read before consulting it, and
+// tests verify that every consultation was paid for.
+
+#ifndef SRC_FTL_TRANSLATION_STORE_H_
+#define SRC_FTL_TRANSLATION_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/flash/types.h"
+#include "src/ftl/block_manager.h"
+#include "src/ftl/gtd.h"
+
+namespace tpftl {
+
+// One pending entry update: lpn must belong to the page being rewritten.
+struct MappingUpdate {
+  Lpn lpn = kInvalidLpn;
+  Ppn ppn = kInvalidPpn;
+};
+
+class TranslationStore {
+ public:
+  TranslationStore(BlockManager* bm, uint64_t logical_pages);
+
+  TranslationStore(const TranslationStore&) = delete;
+  TranslationStore& operator=(const TranslationStore&) = delete;
+
+  // Writes the initial (all-invalid) translation pages to flash and fills
+  // the GTD. Must be called exactly once before any other operation.
+  void Format();
+
+  // Simulates reading vtpn's translation page (one flash page read). After
+  // this, Persisted() values for that page may be consulted.
+  MicroSec ReadTranslationPage(Vtpn vtpn);
+
+  struct RewriteResult {
+    MicroSec time = 0.0;
+    bool did_read = false;  // True when a read-modify-write read was needed.
+  };
+
+  // Applies `updates` (all within `vtpn`'s page) to the persisted table and
+  // rewrites the translation page: optional RMW read, program of a new
+  // physical page, invalidation of the old one, GTD update.
+  RewriteResult RewriteTranslationPage(Vtpn vtpn, std::span<const MappingUpdate> updates,
+                                       bool have_full_content);
+
+  // Relocates the translation page currently stored at `ptpn` (GC of a
+  // translation block): read + program + invalidate + GTD repoint.
+  MicroSec MigrateTranslationPage(Ptpn ptpn);
+
+  // Persisted PPN of `lpn` — the value stored in flash, which can lag the
+  // cached value. Free of charge; call only after paying for a page read.
+  Ppn Persisted(Lpn lpn) const;
+
+  // Persisted PPNs of one whole translation page (for whole-page caches).
+  std::span<const Ppn> PersistedPage(Vtpn vtpn) const;
+
+  const Gtd& gtd() const { return gtd_; }
+  uint64_t translation_pages() const { return gtd_.size(); }
+  uint64_t entries_per_page() const { return entries_per_page_; }
+  uint64_t logical_pages() const { return logical_pages_; }
+
+  Vtpn VtpnOf(Lpn lpn) const { return lpn / entries_per_page_; }
+  uint64_t SlotOf(Lpn lpn) const { return lpn % entries_per_page_; }
+
+ private:
+  BlockManager* bm_;
+  uint64_t logical_pages_;
+  uint64_t entries_per_page_;
+  Gtd gtd_;
+  std::vector<Ppn> persisted_;  // Mirror of flash-resident table, LPN-indexed.
+  bool formatted_ = false;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_TRANSLATION_STORE_H_

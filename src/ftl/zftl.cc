@@ -1,0 +1,194 @@
+#include "src/ftl/zftl.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+Zftl::Zftl(const FtlEnv& env, const ZftlOptions& options)
+    : DemandFtl(env, /*uses_translation_store=*/true), options_(options) {
+  TPFTL_CHECK(options.zones > 0);
+  zones_ = std::min(options.zones, env.logical_pages);
+  zone_pages_ = (env.logical_pages + zones_ - 1) / zones_;
+  const uint64_t page_bytes = flash().geometry().page_size_bytes;
+  const uint64_t budget = entry_cache_budget_bytes();
+  const uint64_t tier2_bytes = std::min(budget, page_bytes);
+  tier1_capacity_ = std::max<uint64_t>(1, (budget - tier2_bytes) / options.entry_bytes);
+}
+
+MicroSec Zftl::FlushTier2() {
+  if (tier2_vtpn_ == kInvalidVtpn || tier2_dirty_slots_.empty()) {
+    tier2_dirty_slots_.clear();
+    return 0.0;
+  }
+  AtStats& s = mutable_stats();
+  std::vector<MappingUpdate> updates;
+  updates.reserve(tier2_dirty_slots_.size());
+  const Lpn base = tier2_vtpn_ * store().entries_per_page();
+  for (const auto& [slot, ppn] : tier2_dirty_slots_) {
+    updates.push_back({base + slot, ppn});
+  }
+  const auto r = store().RewriteTranslationPage(tier2_vtpn_, updates, /*have_full_content=*/true);
+  TPFTL_DCHECK(!r.did_read);
+  ++s.trans_writes_at;
+  ++s.evictions;
+  ++s.dirty_evictions;
+  tier2_dirty_slots_.clear();
+  return r.time;
+}
+
+MicroSec Zftl::ActivateTier2(Vtpn vtpn) {
+  MicroSec t = FlushTier2();
+  tier2_vtpn_ = vtpn;
+  const auto span = store().PersistedPage(vtpn);
+  tier2_content_.assign(span.begin(), span.end());
+  return t;
+}
+
+MicroSec Zftl::BatchEvictTier1() {
+  AtStats& s = mutable_stats();
+  TPFTL_CHECK(!tier1_.empty());
+  // The LRU entry selects the group: every tier-1 entry of its translation
+  // page leaves in one batch.
+  const Vtpn victim_vtpn = store().VtpnOf(tier1_.back().lpn);
+  std::vector<MappingUpdate> dirty;
+  for (auto it = tier1_.begin(); it != tier1_.end();) {
+    if (store().VtpnOf(it->lpn) != victim_vtpn) {
+      ++it;
+      continue;
+    }
+    ++s.evictions;
+    if (it->dirty) {
+      dirty.push_back({it->lpn, it->ppn});
+    }
+    tier1_index_.erase(it->lpn);
+    it = tier1_.erase(it);
+  }
+  MicroSec t = 0.0;
+  if (!dirty.empty()) {
+    ++s.dirty_evictions;  // One batched replacement of dirty state.
+    const auto r =
+        store().RewriteTranslationPage(victim_vtpn, dirty, /*have_full_content=*/false);
+    ++s.trans_reads_at;
+    ++s.trans_writes_at;
+    t += r.time;
+  }
+  return t;
+}
+
+MicroSec Zftl::SwitchZone(uint64_t zone) {
+  AtStats& s = mutable_stats();
+  MicroSec t = 0.0;
+  // Flush every dirty first-tier entry, batched per translation page.
+  while (!tier1_.empty()) {
+    t += BatchEvictTier1();
+  }
+  t += FlushTier2();
+  tier2_vtpn_ = kInvalidVtpn;
+  tier2_content_.clear();
+  // Bringing in the new zone's directory costs one flash read (the
+  // "cumbersome" switch overhead).
+  if (active_zone_ != ~0ULL) {
+    const Lpn first_lpn = std::min(zone * zone_pages_, logical_pages() - 1);
+    t += store().ReadTranslationPage(store().VtpnOf(first_lpn));
+    ++s.trans_reads_at;
+    ++zone_switches_;
+  }
+  active_zone_ = zone;
+  return t;
+}
+
+MicroSec Zftl::Translate(Lpn lpn, bool is_write, Ppn* current) {
+  (void)is_write;
+  AtStats& s = mutable_stats();
+  ++s.lookups;
+  MicroSec t = 0.0;
+  const uint64_t zone = ZoneOf(lpn);
+  if (zone != active_zone_) {
+    t += SwitchZone(zone);
+  }
+
+  if (const auto it = tier1_index_.find(lpn); it != tier1_index_.end()) {
+    ++s.hits;
+    tier1_.splice(tier1_.begin(), tier1_, it->second);
+    *current = it->second->ppn;
+    return t;
+  }
+  const Vtpn vtpn = store().VtpnOf(lpn);
+  if (vtpn == tier2_vtpn_) {
+    ++s.hits;
+    *current = tier2_content_[store().SlotOf(lpn)];
+    return t;
+  }
+
+  ++s.misses;
+  t += store().ReadTranslationPage(vtpn);
+  ++s.trans_reads_at;
+  t += ActivateTier2(vtpn);
+  const Ppn ppn = tier2_content_[store().SlotOf(lpn)];
+  while (tier1_.size() >= tier1_capacity_) {
+    t += BatchEvictTier1();
+  }
+  tier1_.push_front(Tier1Entry{lpn, ppn, false});
+  tier1_index_[lpn] = tier1_.begin();
+  *current = ppn;
+  return t;
+}
+
+MicroSec Zftl::CommitMapping(Lpn lpn, Ppn new_ppn) {
+  if (const auto it = tier1_index_.find(lpn); it != tier1_index_.end()) {
+    it->second->ppn = new_ppn;
+    it->second->dirty = true;
+    // Keep the tier-2 copy coherent when it covers the same page.
+    if (store().VtpnOf(lpn) == tier2_vtpn_) {
+      tier2_content_[store().SlotOf(lpn)] = new_ppn;
+    }
+    return 0.0;
+  }
+  TPFTL_CHECK_MSG(store().VtpnOf(lpn) == tier2_vtpn_,
+                  "CommitMapping without a preceding Translate");
+  const uint64_t slot = store().SlotOf(lpn);
+  tier2_content_[slot] = new_ppn;
+  tier2_dirty_slots_[slot] = new_ppn;
+  return 0.0;
+}
+
+bool Zftl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
+  (void)extra_time;
+  bool found = false;
+  if (const auto it = tier1_index_.find(lpn); it != tier1_index_.end()) {
+    it->second->ppn = new_ppn;
+    it->second->dirty = true;
+    found = true;
+  }
+  if (store().VtpnOf(lpn) == tier2_vtpn_) {
+    const uint64_t slot = store().SlotOf(lpn);
+    tier2_content_[slot] = new_ppn;
+    tier2_dirty_slots_[slot] = new_ppn;
+    found = true;
+  }
+  return found;
+}
+
+Ppn Zftl::Probe(Lpn lpn) const {
+  if (const auto it = tier1_index_.find(lpn); it != tier1_index_.end()) {
+    return it->second->ppn;
+  }
+  if (translation_store().VtpnOf(lpn) == tier2_vtpn_) {
+    return tier2_content_[translation_store().SlotOf(lpn)];
+  }
+  return translation_store().Persisted(lpn);
+}
+
+uint64_t Zftl::cache_bytes_used() const {
+  return tier1_.size() * options_.entry_bytes +
+         (tier2_vtpn_ != kInvalidVtpn ? flash().geometry().page_size_bytes : 0);
+}
+
+uint64_t Zftl::cache_entry_count() const {
+  return tier1_.size() +
+         (tier2_vtpn_ != kInvalidVtpn ? translation_store().entries_per_page() : 0);
+}
+
+}  // namespace tpftl

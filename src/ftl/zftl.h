@@ -1,0 +1,96 @@
+// ZFTL — zone-based FTL with a two-tier selective cache (Mingbang et al.,
+// ICCT 2011; §2.2 of the paper).
+//
+// Faithful to the paper's description, simplified where the original is
+// underspecified:
+//
+//   * flash is divided into Zones (contiguous slices of the logical space);
+//     only the mapping information of the recently accessed zone is cached,
+//     so an access outside the active zone forces a *zone switch*: every
+//     dirty cached entry is flushed (batched per translation page), the
+//     second-tier page is dropped, and the switch itself costs a flash read
+//     to bring in the new zone's directory — the "cumbersome" overhead the
+//     paper calls out;
+//   * the second-tier cache stores one active translation page (whole,
+//     uncompressed);
+//   * the first-tier cache is a small reserved entry area that performs
+//     *batch evictions*: when full, the LRU entry's translation page is
+//     selected and every first-tier entry of that page leaves together (one
+//     read-modify-write when any of them is dirty).
+
+#ifndef SRC_FTL_ZFTL_H_
+#define SRC_FTL_ZFTL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ftl/demand_ftl.h"
+
+namespace tpftl {
+
+struct ZftlOptions {
+  uint64_t zones = 8;
+  uint64_t entry_bytes = 8;
+};
+
+class Zftl : public DemandFtl {
+ public:
+  Zftl(const FtlEnv& env, const ZftlOptions& options = {});
+
+  std::string name() const override { return "ZFTL"; }
+  Ppn Probe(Lpn lpn) const override;
+  uint64_t cache_bytes_used() const override;
+  uint64_t cache_entry_count() const override;
+
+  uint64_t zone_count() const { return zones_; }
+  uint64_t zone_switches() const { return zone_switches_; }
+  uint64_t active_zone() const { return active_zone_; }
+  uint64_t tier1_capacity() const { return tier1_capacity_; }
+
+ protected:
+  MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
+  MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
+  bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+
+ private:
+  struct Tier1Entry {
+    Lpn lpn = kInvalidLpn;
+    Ppn ppn = kInvalidPpn;
+    bool dirty = false;
+  };
+  using Tier1List = std::list<Tier1Entry>;
+
+  uint64_t ZoneOf(Lpn lpn) const { return lpn / zone_pages_; }
+
+  // Flushes + empties both tiers, then activates `zone` (one directory
+  // read). Returns flash time spent.
+  MicroSec SwitchZone(uint64_t zone);
+  // Batch-evicts the LRU tier-1 entry's translation-page group.
+  MicroSec BatchEvictTier1();
+  // Writes back the tier-2 page's dirty slots (full content cached → no RMW
+  // read) and clears the dirty set.
+  MicroSec FlushTier2();
+  // Loads `vtpn` as the new tier-2 page (old one flushed first). The flash
+  // read for the page itself is paid by the caller.
+  MicroSec ActivateTier2(Vtpn vtpn);
+
+  ZftlOptions options_;
+  uint64_t zones_;
+  uint64_t zone_pages_;
+  uint64_t tier1_capacity_;
+  uint64_t active_zone_ = ~0ULL;
+  uint64_t zone_switches_ = 0;
+
+  Tier1List tier1_;  // MRU at front.
+  std::unordered_map<Lpn, Tier1List::iterator> tier1_index_;
+
+  Vtpn tier2_vtpn_ = kInvalidVtpn;
+  std::vector<Ppn> tier2_content_;
+  std::unordered_map<uint64_t, Ppn> tier2_dirty_slots_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_ZFTL_H_

@@ -1,0 +1,79 @@
+#include "src/ssd/report_json.h"
+
+#include <sstream>
+
+namespace tpftl {
+namespace {
+
+void Escape(const std::string& s, std::ostream& os) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void WriteReportJson(const RunReport& r, std::ostream& os) {
+  os << "{";
+  os << "\"workload\":";
+  Escape(r.workload_name, os);
+  os << ",\"ftl\":";
+  Escape(r.ftl_name, os);
+  os << ",\"requests\":" << r.requests;
+  os << ",\"hit_ratio\":" << r.hit_ratio;
+  os << ",\"prd\":" << r.prd;
+  os << ",\"write_amplification\":" << r.write_amplification;
+  os << ",\"mean_response_us\":" << r.mean_response_us;
+  os << ",\"p99_response_us\":" << r.p99_response_us;
+  os << ",\"max_response_us\":" << r.max_response_us;
+  os << ",\"trans_reads\":" << r.trans_reads;
+  os << ",\"trans_writes\":" << r.trans_writes;
+  os << ",\"block_erases\":" << r.block_erases;
+  os << ",\"cache_bytes_budget\":" << r.cache_bytes_budget;
+  os << ",\"cache_bytes_used\":" << r.cache_bytes_used;
+  os << ",\"cache_entries\":" << r.cache_entries;
+  os << ",\"stats\":{";
+  os << "\"lookups\":" << r.stats.lookups;
+  os << ",\"hits\":" << r.stats.hits;
+  os << ",\"misses\":" << r.stats.misses;
+  os << ",\"evictions\":" << r.stats.evictions;
+  os << ",\"dirty_evictions\":" << r.stats.dirty_evictions;
+  os << ",\"batch_writebacks\":" << r.stats.batch_writebacks;
+  os << ",\"host_page_reads\":" << r.stats.host_page_reads;
+  os << ",\"host_page_writes\":" << r.stats.host_page_writes;
+  os << ",\"gc_data_blocks\":" << r.stats.gc_data_blocks;
+  os << ",\"gc_trans_blocks\":" << r.stats.gc_trans_blocks;
+  os << ",\"gc_data_migrations\":" << r.stats.gc_data_migrations;
+  os << ",\"gc_trans_migrations\":" << r.stats.gc_trans_migrations;
+  os << ",\"gc_hits\":" << r.stats.gc_hits;
+  os << ",\"gc_misses\":" << r.stats.gc_misses;
+  os << "}";
+  os << ",\"flash\":{";
+  os << "\"page_reads\":" << r.flash.page_reads;
+  os << ",\"page_writes\":" << r.flash.page_writes;
+  os << ",\"block_erases\":" << r.flash.block_erases;
+  os << ",\"busy_time_us\":" << r.flash.busy_time_us;
+  os << "}}";
+}
+
+std::string ReportToJson(const RunReport& r) {
+  std::ostringstream os;
+  WriteReportJson(r, os);
+  return os.str();
+}
+
+}  // namespace tpftl

@@ -1,0 +1,22 @@
+// JSON serialization of RunReport — lets external tooling (plotters,
+// regression dashboards) consume experiment results without parsing tables.
+
+#ifndef SRC_SSD_REPORT_JSON_H_
+#define SRC_SSD_REPORT_JSON_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/ssd/runner.h"
+
+namespace tpftl {
+
+// Emits one report as a JSON object (stable key order, no trailing newline).
+void WriteReportJson(const RunReport& report, std::ostream& os);
+
+// Convenience: the object as a string.
+std::string ReportToJson(const RunReport& report);
+
+}  // namespace tpftl
+
+#endif  // SRC_SSD_REPORT_JSON_H_

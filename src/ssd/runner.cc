@@ -1,0 +1,93 @@
+#include "src/ssd/runner.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+RunReport ExtractReport(const Ssd& ssd, const std::string& workload_name, uint64_t requests) {
+  RunReport r;
+  r.workload_name = workload_name;
+  r.ftl_name = ssd.ftl().name();
+  r.requests = requests;
+  r.stats = ssd.ftl().stats();
+  r.flash = ssd.flash().stats();
+  r.hit_ratio = r.stats.hit_ratio();
+  r.prd = r.stats.dirty_replacement_probability();
+  r.write_amplification = r.stats.write_amplification();
+  r.mean_response_us = ssd.response_stats().mean();
+  r.p99_response_us = static_cast<double>(ssd.response_histogram().Quantile(0.99));
+  r.max_response_us = ssd.response_stats().max();
+  r.trans_reads = r.stats.trans_reads_total();
+  r.trans_writes = r.stats.trans_writes_total();
+  r.block_erases = r.flash.block_erases;
+  r.cache_bytes_budget = ssd.cache_bytes();
+  r.cache_bytes_used = ssd.ftl().cache_bytes_used();
+  r.cache_entries = ssd.ftl().cache_entry_count();
+  return r;
+}
+
+RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
+                   const RunObserver& observer) {
+  SsdConfig ssd_config;
+  ssd_config.logical_bytes = config.workload.address_space_bytes;
+  ssd_config.ftl_kind = config.ftl_kind;
+  ssd_config.tpftl_options = config.tpftl_options;
+  ssd_config.cache_bytes = config.cache_bytes;
+  ssd_config.gc_threshold = config.gc_threshold;
+  ssd_config.gc_policy = config.gc_policy;
+  ssd_config.write_buffer = config.write_buffer;
+  ssd_config.background_gc = config.background_gc;
+  Ssd ssd(ssd_config);
+
+  if (config.precondition_fill) {
+    if (config.precondition_shuffle_chunk > 0) {
+      ssd.FillShuffled(config.precondition_shuffle_chunk);
+    } else {
+      ssd.FillSequential();
+    }
+    if (config.precondition_age_fraction > 0.0) {
+      ssd.AgeRandom(config.precondition_age_fraction);
+    }
+  }
+
+  const auto warmup_count = static_cast<uint64_t>(
+      static_cast<double>(config.workload.num_requests) * config.warmup_fraction);
+  uint64_t replayed = 0;
+  uint64_t measured = 0;
+  bool reset_done = false;
+  if (warmup_count == 0) {
+    ssd.ResetStats();
+    reset_done = true;
+  }
+
+  IoRequest request;
+  trace.Rewind();
+  while (trace.Next(&request)) {
+    if (!reset_done && replayed >= warmup_count) {
+      ssd.ResetStats();
+      reset_done = true;
+    }
+    ssd.Submit(request);
+    ++replayed;
+    if (reset_done) {
+      ++measured;
+      if (observer) {
+        observer(ssd, measured);
+      }
+    }
+  }
+  if (!reset_done) {
+    // Degenerate: the whole trace was warm-up. Report what we have.
+    measured = replayed;
+  }
+  return ExtractReport(ssd, config.workload.name, measured);
+}
+
+RunReport RunExperiment(const ExperimentConfig& config, const RunObserver& observer) {
+  SyntheticWorkload workload(config.workload);
+  return RunTrace(config, workload, observer);
+}
+
+}  // namespace tpftl

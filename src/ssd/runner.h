@@ -1,0 +1,79 @@
+// Experiment runner: workload → preconditioned SSD → measured RunReport.
+//
+// Every bench binary and example goes through RunExperiment so that warm-up,
+// preconditioning, and metric extraction are identical across experiments.
+
+#ifndef SRC_SSD_RUNNER_H_
+#define SRC_SSD_RUNNER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/flash/stats.h"
+#include "src/ssd/ssd.h"
+#include "src/trace/trace_source.h"
+#include "src/workload/generator.h"
+
+namespace tpftl {
+
+struct ExperimentConfig {
+  WorkloadConfig workload;
+  FtlKind ftl_kind = FtlKind::kTpftl;
+  TpftlOptions tpftl_options;
+  uint64_t cache_bytes = 0;  // 0 → paper default for the workload's capacity.
+  uint64_t gc_threshold = 8;
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+  WriteBufferConfig write_buffer;  // Disabled unless capacity_pages > 0.
+  bool background_gc = false;
+  // Fill the logical space before replay (§3.1: SSD in full use).
+  bool precondition_fill = true;
+  // Extent size of the chunk-shuffled fill (0 → purely sequential fill).
+  // Shuffling fragments physical placement like a volume with real write
+  // history, without adding garbage debt.
+  uint64_t precondition_shuffle_chunk = 4;
+  // Additional aging: fraction of logical pages overwritten randomly after
+  // the fill. Builds genuine steady-state garbage but makes short runs
+  // GC-transient-dominated; off by default.
+  double precondition_age_fraction = 0.0;
+  // Fraction of the trace replayed before statistics reset (cache warm-up).
+  double warmup_fraction = 0.10;
+};
+
+struct RunReport {
+  std::string workload_name;
+  std::string ftl_name;
+  uint64_t requests = 0;
+  AtStats stats;
+  FlashStats flash;
+
+  double hit_ratio = 0.0;
+  double prd = 0.0;
+  double write_amplification = 1.0;
+  double mean_response_us = 0.0;
+  double p99_response_us = 0.0;  // Bucketed (log2) upper bound.
+  double max_response_us = 0.0;
+  uint64_t trans_reads = 0;
+  uint64_t trans_writes = 0;
+  uint64_t block_erases = 0;
+  uint64_t cache_bytes_budget = 0;
+  uint64_t cache_bytes_used = 0;
+  uint64_t cache_entries = 0;
+};
+
+// Called after each measured request; `index` counts measured requests.
+using RunObserver = std::function<void(const Ssd& ssd, uint64_t index)>;
+
+// Runs the experiment on its synthetic workload.
+RunReport RunExperiment(const ExperimentConfig& config, const RunObserver& observer = nullptr);
+
+// Same, but replaying an explicit trace through an already-built SSD config;
+// `workload.address_space_bytes` still sizes the device.
+RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
+                   const RunObserver& observer = nullptr);
+
+// Extracts a report from a finished SSD (exposed for custom harnesses).
+RunReport ExtractReport(const Ssd& ssd, const std::string& workload_name, uint64_t requests);
+
+}  // namespace tpftl
+
+#endif  // SRC_SSD_RUNNER_H_

@@ -1,0 +1,121 @@
+#include "src/ssd/ssd.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/ftl/demand_ftl.h"
+#include "src/util/assert.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+
+Ssd::Ssd(const SsdConfig& config)
+    : geometry_(MakeGeometry(config.logical_bytes, config.over_provision)),
+      flash_(geometry_),
+      logical_pages_(config.logical_bytes / geometry_.page_size_bytes),
+      write_buffer_(config.write_buffer),
+      background_gc_(config.background_gc) {
+  cache_bytes_ =
+      config.cache_bytes != 0 ? config.cache_bytes : PaperCacheBytes(geometry_, logical_pages_);
+  FtlEnv env;
+  env.flash = &flash_;
+  env.logical_pages = logical_pages_;
+  env.cache_bytes = cache_bytes_;
+  env.gc_threshold = config.gc_threshold;
+  env.gc_policy = config.gc_policy;
+  ftl_ = CreateFtl(config.ftl_kind, env, config.tpftl_options);
+}
+
+MicroSec Ssd::Submit(const IoRequest& request) {
+  const uint64_t page_size = geometry_.page_size_bytes;
+  ftl_->BeginRequest(request);
+
+  MicroSec service = 0.0;
+  const Lpn first = request.FirstLpn(page_size) % logical_pages_;
+  const uint64_t pages = std::min(request.PageCount(page_size), logical_pages_);
+  for (uint64_t i = 0; i < pages; ++i) {
+    const Lpn lpn = (first + i) % logical_pages_;
+    if (request.is_trim()) {
+      write_buffer_.Discard(lpn);
+      service += ftl_->TrimPage(lpn);
+      continue;
+    }
+    if (!write_buffer_.enabled()) {
+      service += request.is_write() ? ftl_->WritePage(lpn) : ftl_->ReadPage(lpn);
+      continue;
+    }
+    // Data buffer in the path (§2.1): RAM hits are free; evicted dirty
+    // pages flush through the FTL.
+    if (request.is_write()) {
+      const Lpn flush = write_buffer_.PutWrite(lpn);
+      if (flush != kInvalidLpn) {
+        service += ftl_->WritePage(flush);
+      }
+    } else if (!write_buffer_.ServeRead(lpn)) {
+      service += ftl_->ReadPage(lpn);
+      const Lpn flush = write_buffer_.AdmitClean(lpn);
+      if (flush != kInvalidLpn) {
+        service += ftl_->WritePage(flush);
+      }
+    }
+  }
+
+  // Idle gap before this arrival: spend it on background GC if enabled.
+  if (background_gc_ && request.arrival_us > device_free_at_) {
+    device_free_at_ += ftl_->BackgroundGc(request.arrival_us - device_free_at_);
+  }
+
+  // FIFO queue: the device starts this request when it is free.
+  const MicroSec start = std::max(device_free_at_, request.arrival_us);
+  device_free_at_ = start + service;
+  const MicroSec response = device_free_at_ - request.arrival_us;
+  response_.Add(response);
+  response_hist_.Add(static_cast<uint64_t>(response));
+  ++requests_served_;
+  return response;
+}
+
+void Ssd::FillSequential() {
+  for (Lpn lpn = 0; lpn < logical_pages_; ++lpn) {
+    ftl_->WritePage(lpn);
+  }
+}
+
+void Ssd::FillShuffled(uint64_t chunk_pages, uint64_t seed) {
+  TPFTL_CHECK(chunk_pages > 0);
+  const uint64_t chunks = (logical_pages_ + chunk_pages - 1) / chunk_pages;
+  std::vector<uint32_t> order(chunks);
+  for (uint64_t i = 0; i < chunks; ++i) {
+    order[i] = static_cast<uint32_t>(i);
+  }
+  Rng rng(seed);
+  for (uint64_t i = chunks - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Below(i + 1)]);
+  }
+  for (const uint32_t chunk : order) {
+    const Lpn begin = static_cast<Lpn>(chunk) * chunk_pages;
+    const Lpn end = std::min(begin + chunk_pages, logical_pages_);
+    for (Lpn lpn = begin; lpn < end; ++lpn) {
+      ftl_->WritePage(lpn);
+    }
+  }
+}
+
+void Ssd::AgeRandom(double fraction, uint64_t seed) {
+  TPFTL_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  Rng rng(seed);
+  const auto writes = static_cast<uint64_t>(fraction * static_cast<double>(logical_pages_));
+  for (uint64_t i = 0; i < writes; ++i) {
+    ftl_->WritePage(rng.Below(logical_pages_));
+  }
+}
+
+void Ssd::ResetStats() {
+  ftl_->ResetStats();  // Also resets the flash counters.
+  write_buffer_.ResetStats();
+  response_.Reset();
+  response_hist_.Reset();
+  requests_served_ = 0;
+}
+
+}  // namespace tpftl

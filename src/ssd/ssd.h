@@ -1,0 +1,104 @@
+// SSD device model (§5.1's simulated SSD).
+//
+// Owns the NAND device and one FTL, splits host requests into page accesses
+// (§4.3), and models service timing: the flash back end serves requests
+// FIFO, so a request's response time is its queueing delay plus the flash
+// time of its address translations, user page accesses, and any garbage
+// collection they trigger — the same composition the paper's "system
+// response time" metric uses.
+
+#ifndef SRC_SSD_SSD_H_
+#define SRC_SSD_SSD_H_
+
+#include <memory>
+
+#include "src/core/ftl_factory.h"
+#include "src/flash/nand.h"
+#include "src/ssd/write_buffer.h"
+#include "src/trace/request.h"
+#include "src/util/histogram.h"
+#include "src/util/running_stats.h"
+
+namespace tpftl {
+
+struct SsdConfig {
+  uint64_t logical_bytes = 512ULL << 20;
+  double over_provision = 0.15;  // Table 3.
+  FtlKind ftl_kind = FtlKind::kTpftl;
+  TpftlOptions tpftl_options;
+  // Mapping-cache budget including the GTD; 0 selects the paper's default
+  // (block-level table + GTD, i.e. 1/128 of the full page-level table).
+  uint64_t cache_bytes = 0;
+  uint64_t gc_threshold = 8;
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+  // Optional CFLRU data buffer in front of the FTL (disabled by default —
+  // the paper's experiments isolate the mapping cache).
+  WriteBufferConfig write_buffer;
+  // Opportunistic GC in idle gaps between requests (off by default — the
+  // paper's timing model charges all GC to the triggering request).
+  bool background_gc = false;
+};
+
+class Ssd {
+ public:
+  explicit Ssd(const SsdConfig& config);
+
+  Ssd(const Ssd&) = delete;
+  Ssd& operator=(const Ssd&) = delete;
+
+  // Serves one host request; returns its response time (queue + service).
+  MicroSec Submit(const IoRequest& request);
+
+  // Preconditioning: writes every logical page once, sequentially, so the
+  // device is "in full use" (§3.1); timing and queues are not affected.
+  void FillSequential();
+
+  // Preconditioning variant: writes every logical page exactly once, in
+  // chunk-shuffled order (`chunk_pages`-sized extents land contiguously but
+  // extents are scattered). Leaves the same zero-garbage state as
+  // FillSequential while fragmenting physical placement the way a volume
+  // with real write history looks — so whole-page-compression schemes
+  // (S-FTL) don't get an artificially pristine background.
+  void FillShuffled(uint64_t chunk_pages = 32, uint64_t seed = 0x5EEDF111);
+
+  // Aging: overwrites `fraction` of the logical pages in random order,
+  // fragmenting physical placement and building up steady-state garbage the
+  // way months of production traffic would. Run after FillSequential.
+  void AgeRandom(double fraction, uint64_t seed = 0xA6E5EED);
+
+  // Clears FTL, flash, and response statistics (keeps mapping state).
+  void ResetStats();
+
+  Ftl& ftl() { return *ftl_; }
+  const Ftl& ftl() const { return *ftl_; }
+  NandFlash& flash() { return flash_; }
+  const NandFlash& flash() const { return flash_; }
+  const FlashGeometry& geometry() const { return geometry_; }
+  uint64_t logical_pages() const { return logical_pages_; }
+  uint64_t cache_bytes() const { return cache_bytes_; }
+
+  WriteBuffer& write_buffer() { return write_buffer_; }
+  const WriteBuffer& write_buffer() const { return write_buffer_; }
+
+  const RunningStats& response_stats() const { return response_; }
+  const LogHistogram& response_histogram() const { return response_hist_; }
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  FlashGeometry geometry_;
+  NandFlash flash_;
+  uint64_t logical_pages_;
+  uint64_t cache_bytes_;
+  std::unique_ptr<Ftl> ftl_;
+  WriteBuffer write_buffer_;
+  bool background_gc_ = false;
+
+  MicroSec device_free_at_ = 0.0;
+  RunningStats response_;
+  LogHistogram response_hist_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_SSD_SSD_H_

@@ -1,0 +1,120 @@
+#include "src/ssd/write_buffer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig& config) : capacity_(config.capacity_pages) {
+  TPFTL_CHECK(config.clean_window_fraction >= 0.0 && config.clean_window_fraction <= 1.0);
+  clean_window_ = static_cast<uint64_t>(static_cast<double>(capacity_) *
+                                        config.clean_window_fraction);
+  clean_window_ = std::max<uint64_t>(clean_window_, capacity_ > 0 ? 1 : 0);
+}
+
+Lpn WriteBuffer::EvictOne() {
+  TPFTL_CHECK(!lru_.empty());
+  // CFLRU: within the clean-first window at the LRU tail, evict the
+  // LRU-most clean page; if the window holds only dirty pages, flush the
+  // LRU dirty page.
+  auto victim = std::prev(lru_.end());
+  uint64_t scanned = 0;
+  for (auto it = std::prev(lru_.end());; --it) {
+    if (!it->dirty) {
+      victim = it;
+      break;
+    }
+    if (++scanned >= clean_window_ || it == lru_.begin()) {
+      break;
+    }
+  }
+  const Entry entry = *victim;
+  index_.erase(entry.lpn);
+  lru_.erase(victim);
+  if (entry.dirty) {
+    --dirty_count_;
+    ++stats_.flushes;
+    return entry.lpn;
+  }
+  ++stats_.clean_drops;
+  return kInvalidLpn;
+}
+
+Lpn WriteBuffer::PutWrite(Lpn lpn) {
+  TPFTL_CHECK(enabled());
+  if (const auto it = index_.find(lpn); it != index_.end()) {
+    ++stats_.write_hits;
+    if (!it->second->dirty) {
+      it->second->dirty = true;
+      ++dirty_count_;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return kInvalidLpn;
+  }
+  Lpn to_flush = kInvalidLpn;
+  if (lru_.size() >= capacity_) {
+    to_flush = EvictOne();
+  }
+  lru_.push_front(Entry{lpn, true});
+  index_[lpn] = lru_.begin();
+  ++dirty_count_;
+  return to_flush;
+}
+
+bool WriteBuffer::ServeRead(Lpn lpn) {
+  if (!enabled()) {
+    return false;
+  }
+  const auto it = index_.find(lpn);
+  if (it == index_.end()) {
+    return false;
+  }
+  ++stats_.read_hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+Lpn WriteBuffer::AdmitClean(Lpn lpn) {
+  TPFTL_CHECK(enabled());
+  TPFTL_DCHECK(!index_.contains(lpn));
+  Lpn to_flush = kInvalidLpn;
+  if (lru_.size() >= capacity_) {
+    to_flush = EvictOne();
+  }
+  lru_.push_front(Entry{lpn, false});
+  index_[lpn] = lru_.begin();
+  return to_flush;
+}
+
+void WriteBuffer::Discard(Lpn lpn) {
+  const auto it = index_.find(lpn);
+  if (it == index_.end()) {
+    return;
+  }
+  if (it->second->dirty) {
+    --dirty_count_;
+  }
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<Lpn> WriteBuffer::DrainDirty() {
+  std::vector<Lpn> dirty;
+  dirty.reserve(dirty_count_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->dirty) {
+      dirty.push_back(it->lpn);
+      index_.erase(it->lpn);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  dirty_count_ = 0;
+  stats_.flushes += dirty.size();
+  return dirty;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,90 @@
+// CFLRU data buffer (Park et al., CASES 2006 — the paper's reference [38]).
+//
+// §2.1: an SSD's internal RAM serves as both mapping cache and *data
+// buffer*. This is the data-buffer half, kept optional so the paper's
+// experiments (which isolate the mapping cache) run without it. The policy
+// is Clean-First LRU: the LRU tail of the buffer forms a clean-first window;
+// eviction prefers dropping a clean page (free) over flushing a dirty one
+// (a flash write through the FTL) — the very insight TPFTL's clean-first
+// replacement (§4.4) carries over to the mapping cache.
+//
+// The buffer holds page-granular state only (dirty/clean), no payload:
+// simulation needs hit/flush accounting, not bytes.
+
+#ifndef SRC_SSD_WRITE_BUFFER_H_
+#define SRC_SSD_WRITE_BUFFER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/flash/types.h"
+
+namespace tpftl {
+
+struct WriteBufferConfig {
+  uint64_t capacity_pages = 0;         // 0 disables the buffer.
+  double clean_window_fraction = 0.5;  // CFLRU window over the LRU tail.
+};
+
+struct WriteBufferStats {
+  uint64_t read_hits = 0;
+  uint64_t write_hits = 0;   // Overwrites absorbed in RAM.
+  uint64_t flushes = 0;      // Dirty evictions → FTL writes.
+  uint64_t clean_drops = 0;  // Clean evictions (free).
+  void Reset() { *this = WriteBufferStats(); }
+};
+
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(const WriteBufferConfig& config);
+
+  bool enabled() const { return capacity_ > 0; }
+
+  // Buffers a host write. If the page is present it is refreshed (write
+  // absorbed); else inserted dirty. Returns the LPN that must be written to
+  // flash *now* (an evicted dirty page) or kInvalidLpn when none.
+  Lpn PutWrite(Lpn lpn);
+
+  // Serves a host read: true if buffered (RAM hit). On a miss the caller
+  // reads flash and then calls AdmitClean().
+  bool ServeRead(Lpn lpn);
+
+  // Inserts a clean copy after a read miss. Returns an evicted dirty LPN
+  // needing a flash write, or kInvalidLpn.
+  Lpn AdmitClean(Lpn lpn);
+
+  // Drops a page without flushing (TRIM): the data is gone by definition.
+  void Discard(Lpn lpn);
+
+  // Drains every dirty page (shutdown/flush barrier); returns them.
+  std::vector<Lpn> DrainDirty();
+
+  uint64_t size() const { return lru_.size(); }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t dirty_count() const { return dirty_count_; }
+  const WriteBufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  struct Entry {
+    Lpn lpn = kInvalidLpn;
+    bool dirty = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  // Evicts one page per CFLRU; returns a dirty LPN to flush or kInvalidLpn.
+  Lpn EvictOne();
+
+  uint64_t capacity_;
+  uint64_t clean_window_;
+  EntryList lru_;  // MRU at front.
+  std::unordered_map<Lpn, EntryList::iterator> index_;
+  uint64_t dirty_count_ = 0;
+  WriteBufferStats stats_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_SSD_WRITE_BUFFER_H_

@@ -1,0 +1,75 @@
+#include "src/trace/msr_parser.h"
+
+#include "src/util/str.h"
+
+namespace tpftl {
+
+std::optional<IoRequest> MsrParser::ParseLine(std::string_view line) {
+  line = Trim(line);
+  if (line.empty() || line[0] == '#') {
+    return std::nullopt;
+  }
+  const std::vector<std::string_view> fields = Split(line, ',');
+  if (fields.size() < 6) {
+    return std::nullopt;
+  }
+  const auto ticks = ParseU64(fields[0]);
+  const auto disk = ParseU64(fields[2]);
+  const std::string_view type = Trim(fields[3]);
+  const auto offset = ParseU64(fields[4]);
+  const auto size = ParseU64(fields[5]);
+  if (!ticks || !disk || !offset || !size) {
+    return std::nullopt;
+  }
+  if (options_.disk_filter >= 0 && *disk != static_cast<uint64_t>(options_.disk_filter)) {
+    return std::nullopt;
+  }
+
+  IoRequest req;
+  if (EqualsIgnoreCase(type, "Write") || EqualsIgnoreCase(type, "W")) {
+    req.kind = IoKind::kWrite;
+  } else if (EqualsIgnoreCase(type, "Read") || EqualsIgnoreCase(type, "R")) {
+    req.kind = IoKind::kRead;
+  } else {
+    return std::nullopt;
+  }
+  if (options_.rebase_time && !have_base_) {
+    base_ticks_ = *ticks;
+    have_base_ = true;
+  }
+  const uint64_t rel = options_.rebase_time ? *ticks - base_ticks_ : *ticks;
+  req.arrival_us = static_cast<double>(rel) / 10.0;  // 100 ns ticks → µs.
+  req.offset_bytes = *offset;
+  req.size_bytes = *size == 0 ? 512 : *size;
+  return req;
+}
+
+std::vector<IoRequest> MsrParser::ParseText(std::string_view text, uint64_t* malformed) {
+  std::vector<IoRequest> out;
+  uint64_t bad = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const std::string_view line = text.substr(start, end - start);
+    if (!Trim(line).empty()) {
+      if (auto req = ParseLine(line)) {
+        out.push_back(*req);
+      } else {
+        ++bad;
+      }
+    }
+    if (end == text.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  if (malformed != nullptr) {
+    *malformed = bad;
+  }
+  return out;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,45 @@
+// Parser for the MSR Cambridge block trace format (SNIA IOTTA repository,
+// http://iotta.snia.org/traces/388), used by the MSR-ts / MSR-src traces.
+//
+// Each line:
+//   "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"
+//   Timestamp    Windows filetime (100 ns ticks since 1601).
+//   Type         "Read" or "Write" (case-insensitive).
+//   Offset,Size  bytes.
+//   ResponseTime 100 ns ticks (ignored — the simulator computes its own).
+
+#ifndef SRC_TRACE_MSR_PARSER_H_
+#define SRC_TRACE_MSR_PARSER_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace tpftl {
+
+struct MsrParserOptions {
+  // If non-negative, only records with this disk number are kept.
+  int64_t disk_filter = -1;
+  // Subtract the first record's timestamp so traces start near t = 0.
+  bool rebase_time = true;
+};
+
+class MsrParser {
+ public:
+  explicit MsrParser(MsrParserOptions options = {}) : options_(options) {}
+
+  std::optional<IoRequest> ParseLine(std::string_view line);
+
+  std::vector<IoRequest> ParseText(std::string_view text, uint64_t* malformed = nullptr);
+
+ private:
+  MsrParserOptions options_;
+  bool have_base_ = false;
+  uint64_t base_ticks_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_TRACE_MSR_PARSER_H_

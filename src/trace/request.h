@@ -1,0 +1,41 @@
+// Host I/O request model.
+//
+// A trace, whether parsed from disk or synthesized, is a time-ordered stream
+// of IoRequest. Offsets/sizes are in bytes; the SSD layer aligns them to
+// flash pages (§4.3: a request is "split into one or more page accesses
+// according to its start address and length").
+
+#ifndef SRC_TRACE_REQUEST_H_
+#define SRC_TRACE_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/flash/types.h"
+
+namespace tpftl {
+
+enum class IoKind : uint8_t { kRead = 0, kWrite = 1, kTrim = 2 };
+
+struct IoRequest {
+  MicroSec arrival_us = 0.0;
+  uint64_t offset_bytes = 0;
+  uint64_t size_bytes = 0;
+  IoKind kind = IoKind::kRead;
+
+  bool is_write() const { return kind == IoKind::kWrite; }
+  bool is_trim() const { return kind == IoKind::kTrim; }
+
+  // First and last logical page touched, given a page size.
+  Lpn FirstLpn(uint64_t page_size) const { return offset_bytes / page_size; }
+  Lpn LastLpn(uint64_t page_size) const {
+    const uint64_t end = offset_bytes + (size_bytes == 0 ? 1 : size_bytes) - 1;
+    return end / page_size;
+  }
+  uint64_t PageCount(uint64_t page_size) const {
+    return LastLpn(page_size) - FirstLpn(page_size) + 1;
+  }
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_TRACE_REQUEST_H_

@@ -1,0 +1,70 @@
+#include "src/trace/spc_parser.h"
+
+#include "src/util/str.h"
+
+namespace tpftl {
+
+std::optional<IoRequest> SpcParser::ParseLine(std::string_view line) const {
+  line = Trim(line);
+  if (line.empty() || line[0] == '#') {
+    return std::nullopt;
+  }
+  const std::vector<std::string_view> fields = Split(line, ',');
+  if (fields.size() < 5) {
+    return std::nullopt;
+  }
+  const auto asu = ParseU64(fields[0]);
+  const auto lba = ParseU64(fields[1]);
+  const auto size = ParseU64(fields[2]);
+  const std::string_view opcode = Trim(fields[3]);
+  const auto timestamp = ParseDouble(fields[4]);
+  if (!asu || !lba || !size || !timestamp || opcode.empty()) {
+    return std::nullopt;
+  }
+  if (options_.asu_filter >= 0 && *asu != static_cast<uint64_t>(options_.asu_filter)) {
+    return std::nullopt;
+  }
+
+  IoRequest req;
+  if (opcode[0] == 'W' || opcode[0] == 'w') {
+    req.kind = IoKind::kWrite;
+  } else if (opcode[0] == 'R' || opcode[0] == 'r') {
+    req.kind = IoKind::kRead;
+  } else {
+    return std::nullopt;
+  }
+  req.offset_bytes = *lba * options_.sector_bytes + *asu * options_.asu_stride_bytes;
+  req.size_bytes = *size == 0 ? options_.sector_bytes : *size;
+  req.arrival_us = *timestamp * 1e6;  // Seconds → microseconds.
+  return req;
+}
+
+std::vector<IoRequest> SpcParser::ParseText(std::string_view text, uint64_t* malformed) const {
+  std::vector<IoRequest> out;
+  uint64_t bad = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const std::string_view line = text.substr(start, end - start);
+    if (!Trim(line).empty()) {
+      if (auto req = ParseLine(line)) {
+        out.push_back(*req);
+      } else {
+        ++bad;
+      }
+    }
+    if (end == text.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  if (malformed != nullptr) {
+    *malformed = bad;
+  }
+  return out;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,49 @@
+// Parser for the SPC-1/UMass trace format used by the Financial1/Financial2
+// traces (http://traces.cs.umass.edu).
+//
+// Each line: "ASU,LBA,Size,Opcode,Timestamp[,...extra fields ignored]"
+//   ASU       application-specific unit (logical volume id) — folded into the
+//             address by striding volumes, or filtered to a single ASU.
+//   LBA       logical block address in 512-byte sectors.
+//   Size      request size in bytes.
+//   Opcode    'R'/'r' or 'W'/'w'.
+//   Timestamp seconds (float) since trace start.
+
+#ifndef SRC_TRACE_SPC_PARSER_H_
+#define SRC_TRACE_SPC_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace tpftl {
+
+struct SpcParserOptions {
+  uint64_t sector_bytes = 512;
+  // If >= 0 only this ASU is kept; otherwise all ASUs are merged with each
+  // ASU offset by `asu_stride_bytes`.
+  int64_t asu_filter = -1;
+  uint64_t asu_stride_bytes = 0;
+};
+
+class SpcParser {
+ public:
+  explicit SpcParser(SpcParserOptions options = {}) : options_(options) {}
+
+  // Parses one line; nullopt for malformed or filtered-out lines.
+  std::optional<IoRequest> ParseLine(std::string_view line) const;
+
+  // Parses an entire buffer (one line per record). Malformed lines are
+  // skipped and counted.
+  std::vector<IoRequest> ParseText(std::string_view text, uint64_t* malformed = nullptr) const;
+
+ private:
+  SpcParserOptions options_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_TRACE_SPC_PARSER_H_

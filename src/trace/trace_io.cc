@@ -1,0 +1,100 @@
+#include "src/trace/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/trace/msr_parser.h"
+#include "src/trace/spc_parser.h"
+#include "src/util/str.h"
+
+namespace tpftl {
+namespace {
+
+std::string_view FirstNonEmptyLine(std::string_view text) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const std::string_view line = Trim(text.substr(start, end - start));
+    if (!line.empty() && line[0] != '#') {
+      return line;
+    }
+    if (end == text.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  return {};
+}
+
+}  // namespace
+
+TraceFormat DetectFormat(std::string_view text) {
+  const std::string_view line = FirstNonEmptyLine(text);
+  if (line.empty()) {
+    return TraceFormat::kUnknown;
+  }
+  const std::vector<std::string_view> fields = Split(line, ',');
+  if (fields.size() >= 6) {
+    const std::string_view type = Trim(fields[3]);
+    if (EqualsIgnoreCase(type, "Read") || EqualsIgnoreCase(type, "Write")) {
+      return TraceFormat::kMsr;
+    }
+  }
+  if (fields.size() >= 5) {
+    const std::string_view op = Trim(fields[3]);
+    if (op.size() == 1 && (op[0] == 'R' || op[0] == 'r' || op[0] == 'W' || op[0] == 'w')) {
+      return TraceFormat::kSpc;
+    }
+  }
+  return TraceFormat::kUnknown;
+}
+
+std::optional<LoadResult> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  LoadResult result;
+  result.format = DetectFormat(text);
+  switch (result.format) {
+    case TraceFormat::kSpc: {
+      SpcParser parser;
+      result.requests = parser.ParseText(text, &result.malformed_lines);
+      break;
+    }
+    case TraceFormat::kMsr: {
+      MsrParser parser;
+      result.requests = parser.ParseText(text, &result.malformed_lines);
+      break;
+    }
+    case TraceFormat::kUnknown:
+      return std::nullopt;
+  }
+  if (result.requests.empty()) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+bool SaveTraceSpc(const std::string& path, const std::vector<IoRequest>& requests,
+                  uint64_t sector_bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  for (const IoRequest& req : requests) {
+    out << 0 << "," << req.offset_bytes / sector_bytes << "," << req.size_bytes << ","
+        << (req.is_write() ? 'W' : 'R') << "," << FormatDouble(req.arrival_us / 1e6, 6) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace tpftl

@@ -1,0 +1,37 @@
+// File-level trace loading/saving with format auto-detection.
+
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace tpftl {
+
+enum class TraceFormat { kSpc, kMsr, kUnknown };
+
+// Guesses the format from the first non-empty line: MSR lines start with a
+// huge filetime timestamp and carry "Read"/"Write" in field 4; SPC lines have
+// a small ASU in field 1 and a one-letter opcode in field 4.
+TraceFormat DetectFormat(std::string_view text);
+
+struct LoadResult {
+  std::vector<IoRequest> requests;
+  TraceFormat format = TraceFormat::kUnknown;
+  uint64_t malformed_lines = 0;
+};
+
+// Loads a trace file; nullopt if the file cannot be read or no line parses.
+std::optional<LoadResult> LoadTraceFile(const std::string& path);
+
+// Writes requests in SPC format ("0,LBA,Size,Op,Seconds"), the simpler of the
+// two formats; LoadTraceFile round-trips it.
+bool SaveTraceSpc(const std::string& path, const std::vector<IoRequest>& requests,
+                  uint64_t sector_bytes = 512);
+
+}  // namespace tpftl
+
+#endif  // SRC_TRACE_TRACE_IO_H_

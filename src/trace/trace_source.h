@@ -1,0 +1,27 @@
+// Pull interface for request streams.
+//
+// Both file-backed traces and synthetic generators implement TraceSource so
+// the SSD runner can replay either without caring where requests come from.
+
+#ifndef SRC_TRACE_TRACE_SOURCE_H_
+#define SRC_TRACE_TRACE_SOURCE_H_
+
+#include "src/trace/request.h"
+
+namespace tpftl {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  // Fills `*out` with the next request and returns true, or returns false at
+  // end of stream. Requests must be produced in non-decreasing arrival time.
+  virtual bool Next(IoRequest* out) = 0;
+
+  // Restarts the stream from the beginning.
+  virtual void Rewind() = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_TRACE_TRACE_SOURCE_H_

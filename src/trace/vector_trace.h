@@ -1,0 +1,38 @@
+// In-memory trace source backed by a vector of requests.
+
+#ifndef SRC_TRACE_VECTOR_TRACE_H_
+#define SRC_TRACE_VECTOR_TRACE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/trace/trace_source.h"
+
+namespace tpftl {
+
+class VectorTrace : public TraceSource {
+ public:
+  VectorTrace() = default;
+  explicit VectorTrace(std::vector<IoRequest> requests) : requests_(std::move(requests)) {}
+
+  bool Next(IoRequest* out) override {
+    if (pos_ >= requests_.size()) {
+      return false;
+    }
+    *out = requests_[pos_++];
+    return true;
+  }
+
+  void Rewind() override { pos_ = 0; }
+
+  const std::vector<IoRequest>& requests() const { return requests_; }
+  std::vector<IoRequest>& mutable_requests() { return requests_; }
+
+ private:
+  std::vector<IoRequest> requests_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_TRACE_VECTOR_TRACE_H_

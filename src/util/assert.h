@@ -1,0 +1,46 @@
+// Checked assertions for library invariants.
+//
+// TPFTL_CHECK fires in every build type; TPFTL_DCHECK only when NDEBUG is not
+// defined. Both abort the process: a failed check is a programming error, and
+// library code does not throw (see DESIGN.md, "No exceptions in library code").
+
+#ifndef SRC_UTIL_ASSERT_H_
+#define SRC_UTIL_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpftl::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace tpftl::internal
+
+#define TPFTL_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::tpftl::internal::CheckFailed(#cond, __FILE__, __LINE__, "");    \
+    }                                                                   \
+  } while (0)
+
+#define TPFTL_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::tpftl::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define TPFTL_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define TPFTL_DCHECK(cond) TPFTL_CHECK(cond)
+#endif
+
+#endif  // SRC_UTIL_ASSERT_H_

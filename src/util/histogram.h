@@ -1,0 +1,65 @@
+// Integer-valued histogram with CDF extraction.
+//
+// Used by the Figure 1 reproduction (distribution of cached entries / dirty
+// entries per translation page) and by the metrics layer (response-time
+// percentiles via a log-bucketed variant).
+
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpftl {
+
+// Exact counts for small non-negative integer values; values beyond the
+// configured cap are clamped into the final bucket.
+class Histogram {
+ public:
+  explicit Histogram(size_t max_value = 1024);
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t total() const { return total_; }
+  // Count of samples with exactly this value (cap bucket aggregates the tail).
+  uint64_t CountAt(size_t value) const;
+  // Fraction of samples with value <= v (0 when empty).
+  double CdfAt(uint64_t v) const;
+  // Smallest value v such that CdfAt(v) >= q, for q in [0, 1].
+  uint64_t Quantile(double q) const;
+  double Mean() const;
+  size_t max_value() const { return buckets_.size() - 1; }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+// Log2-bucketed histogram for wide-range values (latencies in microseconds).
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void Add(uint64_t value);
+  void Reset();
+
+  uint64_t total() const { return total_; }
+  double Mean() const;
+  // Approximate quantile: returns the upper bound of the bucket containing q.
+  uint64_t Quantile(double q) const;
+
+ private:
+  static size_t BucketFor(uint64_t value);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace tpftl {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace internal
+}  // namespace tpftl

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded; logging exists for
+// debugging experiments, not for production telemetry, so the implementation
+// favors zero setup: a process-global level and an ostream sink (stderr by
+// default).
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tpftl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Returns/sets the global threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+// Emits one formatted line ("[LEVEL] message") to the sink.
+void LogLine(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() {
+    if (level_ >= GetLogLevel()) {
+      LogLine(level_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (level_ >= GetLogLevel()) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tpftl
+
+#define TPFTL_LOG(level) ::tpftl::internal::LogMessage(::tpftl::LogLevel::level)
+
+#endif  // SRC_UTIL_LOGGING_H_

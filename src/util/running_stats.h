@@ -1,0 +1,49 @@
+// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+
+#ifndef SRC_UTIL_RUNNING_STATS_H_
+#define SRC_UTIL_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace tpftl {
+
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+    sum_ += x;
+  }
+
+  void Reset() { *this = RunningStats(); }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_UTIL_RUNNING_STATS_H_

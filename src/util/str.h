@@ -1,0 +1,36 @@
+// Small string utilities shared by the trace parsers and table printer.
+
+#ifndef SRC_UTIL_STR_H_
+#define SRC_UTIL_STR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpftl {
+
+// Splits on a single delimiter; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+// Removes leading/trailing whitespace (space, tab, CR, LF).
+std::string_view Trim(std::string_view s);
+
+// Strict decimal parses; reject empty strings, trailing junk, and overflow.
+std::optional<uint64_t> ParseU64(std::string_view s);
+std::optional<int64_t> ParseI64(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// ASCII case-insensitive comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Human-readable byte size ("512 MiB", "8.5 KiB").
+std::string FormatBytes(uint64_t bytes);
+
+// Fixed-point formatting helper ("12.34").
+std::string FormatDouble(double v, int decimals);
+
+}  // namespace tpftl
+
+#endif  // SRC_UTIL_STR_H_

@@ -1,0 +1,79 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "src/util/assert.h"
+#include "src/util/str.h"
+
+namespace tpftl {
+
+void Table::SetColumns(std::vector<std::string> headers) { headers_ = std::move(headers); }
+
+void Table::AddRow(std::vector<std::string> cells) {
+  TPFTL_CHECK_MSG(cells.size() == headers_.size(), "row arity must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) {
+    cells.push_back(FormatDouble(v, decimals));
+  }
+  AddRow(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      } else {
+        os << std::right << std::setw(static_cast<int>(widths[c])) << cells[c];
+      }
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  size_t total = headers_.size() - 1;  // separators
+  for (const size_t w : widths) {
+    total += w + 1;
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  os << "\n";
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        os << ",";
+      }
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace tpftl

@@ -1,0 +1,44 @@
+// Fixed-width console table and CSV emitter.
+//
+// Every bench binary reports its figure/table through this class so the
+// output format is uniform: a titled, aligned console table plus an optional
+// CSV dump for plotting.
+
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tpftl {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void SetColumns(std::vector<std::string> headers);
+
+  // Row cells are formatted by the caller; AddRow checks arity.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: first cell is a label, the rest are doubles.
+  void AddRow(const std::string& label, const std::vector<double>& values, int decimals = 3);
+
+  size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  // Aligned human-readable rendering.
+  void Print(std::ostream& os) const;
+  // RFC-4180-ish CSV (no quoting needed for our cell contents).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_UTIL_TABLE_H_

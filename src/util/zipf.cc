@@ -1,0 +1,63 @@
+#include "src/util/zipf.h"
+
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+namespace {
+
+// exp(x) - 1 evaluated accurately near zero.
+double ExpM1(double x) { return std::expm1(x); }
+
+// log(1 + x) evaluated accurately near zero.
+double Log1P(double x) { return std::log1p(x); }
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  TPFTL_CHECK(n >= 1);
+  TPFTL_CHECK(theta >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+// H(x) = integral of 1/t^theta dt, the continuous analogue of the harmonic
+// partial sums. For theta == 1 it degenerates to log(x).
+double ZipfGenerator::H(double x) const {
+  const double log_x = std::log(x);
+  if (theta_ == 1.0) {
+    return log_x;
+  }
+  return ExpM1((1.0 - theta_) * log_x) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (theta_ == 1.0) {
+    return std::exp(x);
+  }
+  return std::exp(Log1P(x * (1.0 - theta_)) / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    auto k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::exp(-theta_ * std::log(kd))) {
+      return k - 1;  // Shift to zero-based rank.
+    }
+  }
+}
+
+}  // namespace tpftl

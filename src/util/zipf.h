@@ -1,0 +1,46 @@
+// Zipf-distributed sampling over [0, n).
+//
+// Used by the synthetic workload generator to model temporal locality: a
+// small set of logical pages receives most accesses, with skew controlled by
+// the exponent theta (theta = 0 is uniform; enterprise OLTP traces are
+// commonly fit with theta in [0.8, 1.2]).
+//
+// Implementation: Hörmann's rejection-inversion method ("Rejection-inversion
+// to generate variates from monotone discrete distributions", 1996), which
+// samples in O(1) per draw without precomputing the n-term harmonic table.
+
+#ifndef SRC_UTIL_ZIPF_H_
+#define SRC_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace tpftl {
+
+class ZipfGenerator {
+ public:
+  // Distribution over {0, 1, ..., n - 1} with P(k) proportional to
+  // 1 / (k + 1)^theta. Requires n >= 1 and theta >= 0.
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_ = 1;
+  double theta_ = 0.0;
+  // Precomputed constants of the rejection-inversion scheme.
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double s_ = 0.0;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_UTIL_ZIPF_H_

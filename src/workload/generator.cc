@@ -1,0 +1,183 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+namespace {
+
+uint64_t NumChunks(const WorkloadConfig& c) {
+  const uint64_t pages = c.total_pages();
+  TPFTL_CHECK(pages >= c.chunk_pages);
+  return pages / c.chunk_pages;
+}
+
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadConfig& config)
+    : config_(config), chunk_zipf_(NumChunks(config), config.zipf_theta), rng_(config.seed) {
+  TPFTL_CHECK(config.address_space_bytes % config.page_size == 0);
+  TPFTL_CHECK(config.write_ratio >= 0.0 && config.write_ratio <= 1.0);
+  // Scatter hot ranks over the address space with a seeded Fisher-Yates
+  // shuffle: hot chunks stay internally contiguous (spatial locality) but are
+  // not all packed at address zero.
+  const uint64_t chunks = NumChunks(config);
+  chunk_permutation_.resize(chunks);
+  for (uint64_t i = 0; i < chunks; ++i) {
+    chunk_permutation_[i] = static_cast<uint32_t>(i);
+  }
+  Rng shuffle_rng(config.seed ^ 0xC0FFEE0ULL);
+  for (uint64_t i = chunks - 1; i > 0; --i) {
+    std::swap(chunk_permutation_[i], chunk_permutation_[shuffle_rng.Below(i + 1)]);
+  }
+  Rewind();
+}
+
+void SyntheticWorkload::Rewind() {
+  rng_.Seed(config_.seed);
+  read_stream_ = Stream{};
+  write_stream_ = Stream{};
+  emitted_ = 0;
+  clock_us_ = 0.0;
+}
+
+uint64_t SyntheticWorkload::SampleSizeBytes(uint64_t mean_bytes) {
+  // Geometric over sectors, shifted to start at one sector.
+  const double mean_sectors =
+      std::max(1.0, static_cast<double>(mean_bytes) / static_cast<double>(config_.sector_bytes));
+  const double p = 1.0 / mean_sectors;
+  const double u = rng_.NextDouble();
+  const auto extra = static_cast<uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+  uint64_t bytes = (1 + extra) * config_.sector_bytes;
+  bytes = std::min(bytes, config_.max_request_bytes);
+  return bytes;
+}
+
+uint64_t SyntheticWorkload::SampleRandomOffset() {
+  const uint64_t rank = chunk_zipf_.Sample(rng_);
+  const uint64_t chunk = chunk_permutation_[rank];
+  const uint64_t page_in_chunk = rng_.Below(config_.chunk_pages);
+  const uint64_t page = chunk * config_.chunk_pages + page_in_chunk;
+  // Sector-granular jitter inside the page (real traces are rarely aligned).
+  const uint64_t sectors_per_page = config_.page_size / config_.sector_bytes;
+  return page * config_.page_size + rng_.Below(sectors_per_page) * config_.sector_bytes;
+}
+
+IoRequest SyntheticWorkload::NextFromStream(Stream* stream, IoKind kind) {
+  if (stream->remaining_bytes == 0) {
+    // Start a new stream at a hot-set location so sequential bursts interact
+    // with the cached working set (cf. Fig. 2(b)).
+    stream->cursor_bytes = SampleRandomOffset() & ~(config_.page_size - 1);
+    const double mean_bytes =
+        static_cast<double>(config_.mean_stream_pages * config_.page_size);
+    const double u = rng_.NextDouble();
+    stream->remaining_bytes = std::max<uint64_t>(
+        config_.page_size,
+        static_cast<uint64_t>(-mean_bytes * std::log1p(-u)) & ~(config_.page_size - 1));
+  }
+  IoRequest req;
+  req.kind = kind;
+  req.offset_bytes = stream->cursor_bytes;
+  req.size_bytes = std::min(SampleSizeBytes(config_.mean_seq_bytes), stream->remaining_bytes);
+  stream->cursor_bytes += req.size_bytes;
+  stream->remaining_bytes -= std::min(req.size_bytes, stream->remaining_bytes);
+  if (stream->cursor_bytes >= config_.address_space_bytes) {
+    stream->cursor_bytes = 0;
+    stream->remaining_bytes = 0;
+  }
+  return req;
+}
+
+bool SyntheticWorkload::Next(IoRequest* out) {
+  if (emitted_ >= config_.num_requests) {
+    return false;
+  }
+  const IoKind kind = rng_.Chance(config_.write_ratio) ? IoKind::kWrite : IoKind::kRead;
+  const double seq_fraction =
+      kind == IoKind::kWrite ? config_.seq_write_fraction : config_.seq_read_fraction;
+
+  IoRequest req;
+  if (rng_.Chance(seq_fraction)) {
+    Stream* stream = kind == IoKind::kWrite ? &write_stream_ : &read_stream_;
+    req = NextFromStream(stream, kind);
+  } else {
+    req.kind = kind;
+    req.offset_bytes = SampleRandomOffset();
+    req.size_bytes = SampleSizeBytes(config_.mean_random_bytes);
+  }
+  // Clamp to the address space.
+  if (req.offset_bytes >= config_.address_space_bytes) {
+    req.offset_bytes = config_.address_space_bytes - config_.page_size;
+  }
+  req.size_bytes =
+      std::min<uint64_t>(req.size_bytes, config_.address_space_bytes - req.offset_bytes);
+
+  clock_us_ += -config_.mean_interarrival_us * std::log1p(-rng_.NextDouble());
+  req.arrival_us = clock_us_;
+
+  ++emitted_;
+  *out = req;
+  return true;
+}
+
+VectorTrace MaterializeWorkload(const WorkloadConfig& config) {
+  SyntheticWorkload source(config);
+  std::vector<IoRequest> requests;
+  requests.reserve(config.num_requests);
+  IoRequest req;
+  while (source.Next(&req)) {
+    requests.push_back(req);
+  }
+  return VectorTrace(std::move(requests));
+}
+
+WorkloadFeatures AnalyzeTrace(const std::vector<IoRequest>& requests, uint64_t page_size) {
+  WorkloadFeatures f;
+  f.requests = requests.size();
+  if (requests.empty()) {
+    return f;
+  }
+  uint64_t writes = 0;
+  uint64_t seq_reads = 0;
+  uint64_t reads = 0;
+  uint64_t seq_writes = 0;
+  double total_bytes = 0.0;
+  std::unordered_set<uint64_t> recent_ends;  // Request end offsets (rolling window).
+  std::vector<uint64_t> window;
+  constexpr size_t kWindow = 64;
+  std::unordered_set<Lpn> pages;
+  for (const IoRequest& req : requests) {
+    total_bytes += static_cast<double>(req.size_bytes);
+    const bool sequential = recent_ends.contains(req.offset_bytes);
+    if (req.is_write()) {
+      ++writes;
+      seq_writes += sequential ? 1 : 0;
+    } else {
+      ++reads;
+      seq_reads += sequential ? 1 : 0;
+    }
+    const uint64_t end = req.offset_bytes + req.size_bytes;
+    recent_ends.insert(end);
+    window.push_back(end);
+    if (window.size() > kWindow) {
+      recent_ends.erase(window.front());
+      window.erase(window.begin());
+    }
+    for (Lpn lpn = req.FirstLpn(page_size); lpn <= req.LastLpn(page_size); ++lpn) {
+      pages.insert(lpn);
+    }
+  }
+  f.write_ratio = static_cast<double>(writes) / static_cast<double>(requests.size());
+  f.mean_request_bytes = total_bytes / static_cast<double>(requests.size());
+  f.seq_read_fraction = reads > 0 ? static_cast<double>(seq_reads) / static_cast<double>(reads) : 0;
+  f.seq_write_fraction =
+      writes > 0 ? static_cast<double>(seq_writes) / static_cast<double>(writes) : 0;
+  f.distinct_pages = pages.size();
+  return f;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,50 @@
+#include "src/core/ftl_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+TEST(FtlFactoryTest, NamesRoundTrip) {
+  for (const FtlKind kind : {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl,
+                             FtlKind::kTpftl, FtlKind::kBlockFtl, FtlKind::kFast}) {
+    const auto parsed = FtlKindByName(FtlKindName(kind));
+    ASSERT_TRUE(parsed.has_value()) << FtlKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(FtlFactoryTest, NameLookupIsCaseInsensitiveWithAliases) {
+  EXPECT_EQ(FtlKindByName("TPFTL"), FtlKind::kTpftl);
+  EXPECT_EQ(FtlKindByName("sftl"), FtlKind::kSftl);
+  EXPECT_EQ(FtlKindByName("S-FTL"), FtlKind::kSftl);
+  EXPECT_EQ(FtlKindByName("block"), FtlKind::kBlockFtl);
+  EXPECT_FALSE(FtlKindByName("nvme").has_value());
+}
+
+TEST(FtlFactoryTest, CreatesEveryKind) {
+  for (const FtlKind kind : {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl,
+                             FtlKind::kTpftl, FtlKind::kBlockFtl, FtlKind::kFast}) {
+    testing::World w = testing::MakeWorld(1024, 32 + 640);
+    auto ftl = CreateFtl(kind, w.env);
+    ASSERT_NE(ftl, nullptr);
+    EXPECT_EQ(ftl->name(), FtlKindName(kind));
+    ftl->WritePage(7);
+    EXPECT_NE(ftl->Probe(7), kInvalidPpn);
+  }
+}
+
+TEST(FtlFactoryTest, TpftlOptionsAreForwarded) {
+  testing::World w = testing::MakeWorld(1024, 32 + 640);
+  auto ftl = CreateFtl(FtlKind::kTpftl, w.env, TpftlOptions::FromLabel("bc"));
+  auto* tpftl = dynamic_cast<Tpftl*>(ftl.get());
+  ASSERT_NE(tpftl, nullptr);
+  EXPECT_EQ(tpftl->options().Label(), "bc");
+  EXPECT_FALSE(tpftl->options().request_prefetch);
+  EXPECT_TRUE(tpftl->options().batch_update);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,151 @@
+#include "src/core/model.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+ModelParams PaperParams() {
+  ModelParams p;
+  p.hr = 0.8;
+  p.prd = 0.5;
+  p.rw = 0.8;
+  p.hgcr = 0.5;
+  p.vd = 16.0;
+  p.vt = 16.0;
+  p.np = 64.0;
+  p.tfr = 25.0;
+  p.tfw = 200.0;
+  p.tfe = 1500.0;
+  return p;
+}
+
+TEST(ModelTest, Eq1PerfectCacheCostsNothing) {
+  ModelParams p = PaperParams();
+  p.hr = 1.0;
+  EXPECT_DOUBLE_EQ(ModelTranslationTime(p), 0.0);
+}
+
+TEST(ModelTest, Eq1MissOnlyCostsOneRead) {
+  ModelParams p = PaperParams();
+  p.hr = 0.0;
+  p.prd = 0.0;
+  EXPECT_DOUBLE_EQ(ModelTranslationTime(p), p.tfr);
+}
+
+TEST(ModelTest, Eq1FullFormula) {
+  ModelParams p = PaperParams();
+  // (1 - 0.8) * [25 + 0.5 * 225] = 0.2 * 137.5 = 27.5.
+  EXPECT_DOUBLE_EQ(ModelTranslationTime(p), 27.5);
+}
+
+TEST(ModelTest, Eq1MonotoneInHrAndPrd) {
+  ModelParams p = PaperParams();
+  const double base = ModelTranslationTime(p);
+  p.hr = 0.9;
+  EXPECT_LT(ModelTranslationTime(p), base);
+  p = PaperParams();
+  p.prd = 0.9;
+  EXPECT_GT(ModelTranslationTime(p), base);
+}
+
+TEST(ModelTest, Eq7GcCount) {
+  ModelParams p = PaperParams();
+  // Ngcd = Npa * Rw / (Np - Vd) = 1000 * 0.8 / 48.
+  EXPECT_DOUBLE_EQ(ModelGcDataCount(p, 1000.0), 800.0 / 48.0);
+}
+
+TEST(ModelTest, Eq8TranslationWrites) {
+  ModelParams p = PaperParams();
+  EXPECT_DOUBLE_EQ(ModelTranslationWrites(p, 1000.0), 0.2 * 0.5 * 1000.0);
+}
+
+TEST(ModelTest, Eq10GcDataTime) {
+  ModelParams p = PaperParams();
+  // Rw * [Vd * (2 - Hgcr) * (Tfr + Tfw) + Tfe] / (Np - Vd)
+  const double expected = 0.8 * (16.0 * 1.5 * 225.0 + 1500.0) / 48.0;
+  EXPECT_DOUBLE_EQ(ModelGcDataTime(p), expected);
+}
+
+TEST(ModelTest, Eq11GcTranslationTime) {
+  ModelParams p = PaperParams();
+  const double rate = 0.2 * 0.5 + 0.8 * 16.0 * 0.5 / 48.0;
+  const double expected = rate * (16.0 * 225.0 + 1500.0) / 48.0;
+  EXPECT_DOUBLE_EQ(ModelGcTranslationTime(p), expected);
+}
+
+TEST(ModelTest, Eq13WriteAmplification) {
+  ModelParams p = PaperParams();
+  const double expected =
+      1.0 + 0.2 * 0.5 * 64.0 / (48.0 * 0.8) + (1.0 + 0.5 * 64.0 / 48.0) * 16.0 / 48.0;
+  EXPECT_DOUBLE_EQ(ModelWriteAmplification(p), expected);
+}
+
+TEST(ModelTest, Eq13IdealFtlHasGcOnlyAmplification) {
+  ModelParams p = PaperParams();
+  p.hr = 1.0;
+  p.prd = 0.0;
+  p.hgcr = 1.0;
+  // Only valid-page relocation remains: 1 + Vd / (Np - Vd).
+  EXPECT_DOUBLE_EQ(ModelWriteAmplification(p), 1.0 + 16.0 / 48.0);
+}
+
+TEST(ModelTest, Eq13NoGarbageNoAmplification) {
+  ModelParams p = PaperParams();
+  p.hr = 1.0;
+  p.prd = 0.0;
+  p.vd = 0.0;
+  p.vt = 0.0;
+  p.hgcr = 1.0;
+  EXPECT_DOUBLE_EQ(ModelWriteAmplification(p), 1.0);
+}
+
+TEST(ModelTest, Eq13ReadOnlyGuard) {
+  ModelParams p = PaperParams();
+  p.rw = 0.0;
+  EXPECT_DOUBLE_EQ(ModelWriteAmplification(p), 1.0);
+}
+
+TEST(ModelTest, FromStatsExtractsSymbols) {
+  AtStats s;
+  s.lookups = 100;
+  s.hits = 80;
+  s.misses = 20;
+  s.evictions = 10;
+  s.dirty_evictions = 5;
+  s.host_page_reads = 20;
+  s.host_page_writes = 80;
+  s.gc_hits = 3;
+  s.gc_misses = 1;
+  s.gc_data_blocks = 2;
+  s.gc_data_migrations = 32;
+  s.gc_trans_blocks = 1;
+  s.gc_trans_migrations = 8;
+  FlashGeometry g;
+  const ModelParams p = ModelParams::FromStats(s, g);
+  EXPECT_DOUBLE_EQ(p.hr, 0.8);
+  EXPECT_DOUBLE_EQ(p.prd, 0.5);
+  EXPECT_DOUBLE_EQ(p.rw, 0.8);
+  EXPECT_DOUBLE_EQ(p.hgcr, 0.75);
+  EXPECT_DOUBLE_EQ(p.vd, 16.0);
+  EXPECT_DOUBLE_EQ(p.vt, 8.0);
+  EXPECT_DOUBLE_EQ(p.np, 64.0);
+}
+
+TEST(ModelTest, AtStatsDerivedMetrics) {
+  AtStats s;
+  s.lookups = 10;
+  s.hits = 7;
+  s.evictions = 4;
+  s.dirty_evictions = 1;
+  s.host_page_writes = 100;
+  s.trans_writes_at = 10;
+  s.trans_writes_gc = 5;
+  s.gc_data_migrations = 35;
+  EXPECT_DOUBLE_EQ(s.hit_ratio(), 0.7);
+  EXPECT_DOUBLE_EQ(s.dirty_replacement_probability(), 0.25);
+  EXPECT_DOUBLE_EQ(s.write_amplification(), 1.5);
+}
+
+}  // namespace
+}  // namespace tpftl

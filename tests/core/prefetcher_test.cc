@@ -1,0 +1,85 @@
+#include "src/core/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TEST(PrefetcherTest, StartsInactiveWithZeroCounter) {
+  SelectivePrefetcher p(3);
+  EXPECT_FALSE(p.active());
+  EXPECT_EQ(p.counter(), 0);
+  EXPECT_EQ(p.threshold(), 3);
+}
+
+TEST(PrefetcherTest, ActivatesAfterThresholdEvictions) {
+  SelectivePrefetcher p(3);
+  p.OnNodeEvicted();
+  p.OnNodeEvicted();
+  EXPECT_FALSE(p.active());  // |counter| = 2 < 3.
+  p.OnNodeEvicted();
+  EXPECT_TRUE(p.active());   // Net -3: sequential phase detected.
+  EXPECT_EQ(p.counter(), 0); // Counter resets on a flip (§4.3).
+  EXPECT_EQ(p.activations(), 1u);
+}
+
+TEST(PrefetcherTest, DeactivatesAfterThresholdLoads) {
+  SelectivePrefetcher p(3);
+  for (int i = 0; i < 3; ++i) {
+    p.OnNodeEvicted();
+  }
+  ASSERT_TRUE(p.active());
+  for (int i = 0; i < 3; ++i) {
+    p.OnNodeLoaded();
+  }
+  EXPECT_FALSE(p.active());
+  EXPECT_EQ(p.deactivations(), 1u);
+}
+
+TEST(PrefetcherTest, MixedTrafficDoesNotFlip) {
+  SelectivePrefetcher p(3);
+  // Alternating loads/evictions never reach |3|.
+  for (int i = 0; i < 50; ++i) {
+    p.OnNodeLoaded();
+    p.OnNodeEvicted();
+  }
+  EXPECT_FALSE(p.active());
+  EXPECT_EQ(p.activations(), 0u);
+}
+
+TEST(PrefetcherTest, PositiveSaturationWhileInactiveIsIdempotent) {
+  SelectivePrefetcher p(3);
+  for (int i = 0; i < 9; ++i) {
+    p.OnNodeLoaded();
+  }
+  EXPECT_FALSE(p.active());
+  EXPECT_EQ(p.deactivations(), 0u);  // Was never active.
+  // Still activates promptly once the trend reverses.
+  for (int i = 0; i < 3; ++i) {
+    p.OnNodeEvicted();
+  }
+  EXPECT_TRUE(p.active());
+}
+
+TEST(PrefetcherTest, ThresholdOneFlipsImmediately) {
+  SelectivePrefetcher p(1);
+  p.OnNodeEvicted();
+  EXPECT_TRUE(p.active());
+  p.OnNodeLoaded();
+  EXPECT_FALSE(p.active());
+}
+
+TEST(PrefetcherTest, RepeatedCyclesCountFlips) {
+  SelectivePrefetcher p(2);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    p.OnNodeEvicted();
+    p.OnNodeEvicted();
+    p.OnNodeLoaded();
+    p.OnNodeLoaded();
+  }
+  EXPECT_EQ(p.activations(), 4u);
+  EXPECT_EQ(p.deactivations(), 4u);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,231 @@
+#include "src/core/tpftl.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+TpftlOptions NoTechniques() { return TpftlOptions::FromLabel("--"); }
+
+// GTD 32 B; budget 160 B → one 16 B node + 24 entries, or a few nodes less.
+World SmallTpftlWorld(uint64_t cache_bytes = 192) { return MakeWorld(1024, cache_bytes); }
+
+TEST(TpftlOptionsTest, LabelRoundTrip) {
+  EXPECT_EQ(TpftlOptions{}.Label(), "rsbc");
+  EXPECT_EQ(NoTechniques().Label(), "--");
+  for (const std::string label : {"r", "s", "b", "c", "bc", "rs", "rsbc"}) {
+    EXPECT_EQ(TpftlOptions::FromLabel(label).Label(), label);
+  }
+}
+
+TEST(TpftlTest, MissThenHit) {
+  World w = SmallTpftlWorld();
+  Tpftl ftl(w.env, NoTechniques());
+  ftl.ReadPage(0);
+  EXPECT_EQ(ftl.stats().misses, 1u);
+  EXPECT_EQ(ftl.stats().trans_reads_at, 1u);
+  ftl.ReadPage(0);
+  EXPECT_EQ(ftl.stats().hits, 1u);
+}
+
+TEST(TpftlTest, CompressedEntriesAreSixBytes) {
+  World w = SmallTpftlWorld();
+  Tpftl ftl(w.env, NoTechniques());
+  ftl.ReadPage(0);
+  ftl.ReadPage(1);
+  EXPECT_EQ(ftl.cache_bytes_used(), 16u + 2 * 6u);
+  EXPECT_EQ(ftl.cache().node_count(), 1u);
+}
+
+TEST(TpftlTest, BatchUpdateFlushesAllDirtyCoResidents) {
+  World w = SmallTpftlWorld(/*cache_bytes=*/32 + 16 + 4 * 6);  // Exactly 4 entries, 1 node.
+  TpftlOptions opts = TpftlOptions::FromLabel("b");
+  Tpftl ftl(w.env, opts);
+  // Four dirty entries on translation page 0 fill the cache.
+  for (Lpn lpn = 0; lpn < 4; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  ASSERT_EQ(ftl.stats().evictions, 0u);
+  ASSERT_EQ(ftl.cache().dirty_entry_count(), 4u);
+  // Fifth entry (same page) forces a dirty eviction: ONE translation page
+  // write cleans all four dirty entries; three stay cached, now clean.
+  ftl.ReadPage(10);
+  EXPECT_EQ(ftl.stats().dirty_evictions, 1u);
+  EXPECT_EQ(ftl.stats().trans_writes_at, 1u);
+  EXPECT_EQ(ftl.stats().batch_writebacks, 4u);
+  EXPECT_EQ(ftl.cache().dirty_entry_count(), 0u);
+  // Persisted table now reflects the flushed mappings.
+  for (Lpn lpn = 1; lpn < 4; ++lpn) {
+    EXPECT_EQ(ftl.translation_store().Persisted(lpn), ftl.Probe(lpn));
+  }
+  // The subsequent eviction is of a clean entry — Prd collapses (§4.4).
+  ftl.ReadPage(20);
+  EXPECT_EQ(ftl.stats().dirty_evictions, 1u);
+}
+
+TEST(TpftlTest, WithoutBatchUpdateEveryDirtyEvictionWrites) {
+  World w = SmallTpftlWorld(32 + 16 + 4 * 6);
+  Tpftl ftl(w.env, NoTechniques());
+  for (Lpn lpn = 0; lpn < 4; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  ftl.ReadPage(10);
+  ftl.ReadPage(20);
+  // Two evictions, both dirty, each with its own writeback.
+  EXPECT_EQ(ftl.stats().dirty_evictions, 2u);
+  EXPECT_EQ(ftl.stats().trans_writes_at, 2u);
+}
+
+TEST(TpftlTest, CleanFirstEvictsCleanEntriesBeforeDirty) {
+  World w = SmallTpftlWorld(32 + 16 + 4 * 6);
+  TpftlOptions opts = TpftlOptions::FromLabel("c");
+  Tpftl ftl(w.env, opts);
+  ftl.WritePage(0);  // Dirty.
+  ftl.ReadPage(1);   // Clean.
+  ftl.ReadPage(2);   // Clean.
+  ftl.ReadPage(3);   // Clean.
+  // Two more loads: clean victims are chosen, the dirty entry survives.
+  ftl.ReadPage(10);
+  ftl.ReadPage(11);
+  EXPECT_EQ(ftl.stats().evictions, 2u);
+  EXPECT_EQ(ftl.stats().dirty_evictions, 0u);
+  EXPECT_EQ(ftl.stats().trans_writes_at, 0u);
+  EXPECT_EQ(ftl.cache().dirty_entry_count(), 1u);
+}
+
+TEST(TpftlTest, RequestPrefetchTurnsARequestIntoOneMiss) {
+  World w = SmallTpftlWorld();
+  TpftlOptions opts = TpftlOptions::FromLabel("r");
+  Tpftl ftl(w.env, opts);
+  // A 6-page request: BeginRequest then per-page accesses, as the SSD does.
+  IoRequest req;
+  req.offset_bytes = 20 * 512;
+  req.size_bytes = 6 * 512;
+  req.kind = IoKind::kRead;
+  ftl.BeginRequest(req);
+  for (Lpn lpn = 20; lpn < 26; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  EXPECT_EQ(ftl.stats().misses, 1u);  // §4.3: one request, one miss at most.
+  EXPECT_EQ(ftl.stats().hits, 5u);
+  EXPECT_EQ(ftl.stats().trans_reads_at, 1u);
+}
+
+TEST(TpftlTest, WithoutRequestPrefetchEveryPageMisses) {
+  World w = SmallTpftlWorld();
+  Tpftl ftl(w.env, NoTechniques());
+  IoRequest req;
+  req.offset_bytes = 20 * 512;
+  req.size_bytes = 6 * 512;
+  req.kind = IoKind::kRead;
+  ftl.BeginRequest(req);
+  for (Lpn lpn = 20; lpn < 26; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  EXPECT_EQ(ftl.stats().misses, 6u);
+}
+
+TEST(TpftlTest, RequestPrefetchStopsAtTranslationPageBoundary) {
+  World w = SmallTpftlWorld();
+  TpftlOptions opts = TpftlOptions::FromLabel("r");
+  Tpftl ftl(w.env, opts);
+  // Request spans LPNs 126..130 across the TP 0 / TP 1 boundary (128).
+  IoRequest req;
+  req.offset_bytes = 126 * 512;
+  req.size_bytes = 5 * 512;
+  req.kind = IoKind::kRead;
+  ftl.BeginRequest(req);
+  for (Lpn lpn = 126; lpn < 131; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  // §4.5 rule 1: one miss per translation page touched — exactly two.
+  EXPECT_EQ(ftl.stats().misses, 2u);
+  EXPECT_EQ(ftl.stats().trans_reads_at, 2u);
+}
+
+TEST(TpftlTest, SelectivePrefetchActivatesOnSequentialPhase) {
+  World w = SmallTpftlWorld(/*cache_bytes=*/32 + 400);
+  TpftlOptions opts = TpftlOptions::FromLabel("s");
+  Tpftl ftl(w.env, opts);
+  // Populate many TP nodes with random reads, then switch to a sequential
+  // sweep: nodes collapse, the counter goes negative, prefetch activates.
+  for (Lpn lpn = 0; lpn < 1024; lpn += 130) {
+    ftl.ReadPage(lpn);
+  }
+  for (Lpn lpn = 256; lpn < 380; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  EXPECT_TRUE(ftl.prefetcher().active());
+  // Once active, a miss with cached predecessors prefetches successors:
+  // the next sequential reads mostly hit.
+  const uint64_t misses_before = ftl.stats().misses;
+  for (Lpn lpn = 380; lpn < 384; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  EXPECT_LT(ftl.stats().misses - misses_before, 4u);
+}
+
+TEST(TpftlTest, GcMissBatchFlushesCachedDirtyEntries) {
+  // Small cache + churn → GC with misses; with 'b' on, a GC-miss rewrite of
+  // a cached page also cleans that page's cached dirty entries.
+  World w = MakeWorld(1024, /*cache_bytes=*/32 + 300, /*total_blocks=*/84);
+  TpftlOptions opts = TpftlOptions::FromLabel("b");
+  Tpftl ftl(w.env, opts);
+  testing::DriveRandomOps(ftl, 1024, 6000, 0.9, 5);
+  EXPECT_GT(ftl.stats().gc_data_blocks, 0u);
+  // The invariant: flash write attribution balances.
+  const AtStats& s = ftl.stats();
+  EXPECT_EQ(w.flash->stats().page_writes,
+            s.host_page_writes + s.trans_writes_at + s.trans_writes_gc + s.gc_data_migrations);
+}
+
+TEST(TpftlTest, ConsistencyUnderChurnAllConfigs) {
+  for (const std::string label : {"--", "r", "s", "b", "c", "bc", "rs", "rsbc"}) {
+    World w = MakeWorld(1024, /*cache_bytes=*/32 + 256, /*total_blocks=*/84);
+    Tpftl ftl(w.env, TpftlOptions::FromLabel(label));
+    auto written = testing::DriveRandomOps(ftl, 1024, 5000, 0.75, 43);
+    for (const auto& [lpn, _] : written) {
+      const Ppn ppn = ftl.Probe(lpn);
+      ASSERT_NE(ppn, kInvalidPpn) << "config " << label << " lpn " << lpn;
+      ASSERT_EQ(w.flash->OobTag(ppn), lpn) << "config " << label;
+      ASSERT_EQ(w.flash->StateOf(ppn), PageState::kValid) << "config " << label;
+    }
+  }
+}
+
+TEST(TpftlTest, CacheStaysWithinBudget) {
+  World w = SmallTpftlWorld();
+  Tpftl ftl(w.env, TpftlOptions{});
+  testing::DriveRandomOps(ftl, 1024, 4000, 0.6, 47);
+  EXPECT_LE(ftl.cache().bytes_used(), ftl.cache().budget_bytes());
+}
+
+TEST(TpftlTest, CommitAfterTranslateMarksEntryDirty) {
+  World w = SmallTpftlWorld();
+  Tpftl ftl(w.env, NoTechniques());
+  ftl.WritePage(9);
+  EXPECT_EQ(ftl.cache().dirty_entry_count(), 1u);
+  EXPECT_EQ(ftl.cache().Peek(9), ftl.Probe(9));
+}
+
+TEST(TpftlTest, PrefetchedEntriesAreClean) {
+  World w = SmallTpftlWorld();
+  TpftlOptions opts = TpftlOptions::FromLabel("r");
+  Tpftl ftl(w.env, opts);
+  IoRequest req;
+  req.offset_bytes = 0;
+  req.size_bytes = 4 * 512;
+  req.kind = IoKind::kRead;
+  ftl.BeginRequest(req);
+  ftl.ReadPage(0);  // Prefetches 1..3.
+  EXPECT_EQ(ftl.cache().entry_count(), 4u);
+  EXPECT_EQ(ftl.cache().dirty_entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,279 @@
+#include "src/core/two_level_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TwoLevelCacheOptions Opts(uint64_t budget, uint64_t entries_per_page = 128) {
+  TwoLevelCacheOptions o;
+  o.budget_bytes = budget;
+  o.entry_bytes = 6;
+  o.node_overhead_bytes = 16;
+  o.entries_per_page = entries_per_page;
+  return o;
+}
+
+TEST(TwoLevelCacheTest, EmptyCache) {
+  TwoLevelCache cache(Opts(1024));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.node_count(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_FALSE(cache.Lookup(5).has_value());
+  EXPECT_FALSE(cache.PickVictim(true).has_value());
+}
+
+TEST(TwoLevelCacheTest, InsertAndLookup) {
+  TwoLevelCache cache(Opts(1024));
+  EXPECT_TRUE(cache.Insert(5, 500, false));  // New TP node.
+  EXPECT_EQ(cache.Lookup(5), 500u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.node_count(), 1u);
+}
+
+TEST(TwoLevelCacheTest, EntriesClusterIntoTpNodes) {
+  TwoLevelCache cache(Opts(4096, 128));
+  // Slots 0..3 of page 0 and slot 0 of page 1.
+  EXPECT_TRUE(cache.Insert(0, 10, false));
+  EXPECT_FALSE(cache.Insert(1, 11, false));  // Same node — no new node.
+  EXPECT_FALSE(cache.Insert(2, 12, false));
+  EXPECT_TRUE(cache.Insert(128, 20, false));  // Different translation page.
+  EXPECT_EQ(cache.node_count(), 2u);
+  EXPECT_EQ(cache.entry_count(), 4u);
+}
+
+TEST(TwoLevelCacheTest, ByteAccounting) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(0, 1, false);
+  EXPECT_EQ(cache.bytes_used(), 16u + 6u);  // Node overhead + entry.
+  cache.Insert(1, 2, false);
+  EXPECT_EQ(cache.bytes_used(), 16u + 12u);
+  cache.Insert(128, 3, false);
+  EXPECT_EQ(cache.bytes_used(), 32u + 18u);
+  cache.Evict(0, 0);
+  EXPECT_EQ(cache.bytes_used(), 32u + 12u);
+  cache.Evict(0, 1);  // Node 0 now empty — overhead released.
+  EXPECT_EQ(cache.bytes_used(), 16u + 6u);
+}
+
+TEST(TwoLevelCacheTest, CostOfInsertAccountsForNewNode) {
+  TwoLevelCache cache(Opts(4096, 128));
+  EXPECT_EQ(cache.CostOfInsert(0), 22u);  // 16 + 6 for a fresh node.
+  cache.Insert(0, 1, false);
+  EXPECT_EQ(cache.CostOfInsert(1), 6u);    // Existing node.
+  EXPECT_EQ(cache.CostOfInsert(128), 22u);
+}
+
+TEST(TwoLevelCacheTest, UpdateChangesValueAndDirtyBit) {
+  TwoLevelCache cache(Opts(1024));
+  cache.Insert(7, 70, false);
+  EXPECT_TRUE(cache.Update(7, 71, true));
+  EXPECT_EQ(cache.Peek(7), 71u);
+  EXPECT_EQ(cache.dirty_entry_count(), 1u);
+  EXPECT_EQ(cache.DirtyCountOf(0), 1u);
+  EXPECT_FALSE(cache.Update(8, 80, true));  // Absent.
+}
+
+TEST(TwoLevelCacheTest, PeekHasNoSideEffects) {
+  TwoLevelCache cache(Opts(1024, 128));
+  cache.Insert(0, 10, false);
+  cache.Insert(1, 11, false);
+  // Entry 0 is LRU within the node; Peek must not refresh it.
+  const auto victim_before = cache.PickVictim(false);
+  cache.Peek(0);
+  const auto victim_after = cache.PickVictim(false);
+  ASSERT_TRUE(victim_before && victim_after);
+  EXPECT_EQ(victim_before->lpn, victim_after->lpn);
+}
+
+TEST(TwoLevelCacheTest, VictimIsLruEntryOfColdestNode) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(0, 10, false);    // Node 0.
+  cache.Insert(128, 20, false);  // Node 1.
+  cache.Insert(129, 21, false);
+  // Heat node 0 with repeated lookups; node 1 stays cold.
+  for (int i = 0; i < 10; ++i) {
+    cache.Lookup(0);
+  }
+  const auto victim = cache.PickVictim(false);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->vtpn, 1u);
+  EXPECT_EQ(victim->lpn, 128u);  // LRU entry within node 1.
+}
+
+TEST(TwoLevelCacheTest, CleanFirstSkipsDirtyEntries) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(0, 10, true);   // Dirty, LRU-most.
+  cache.Insert(1, 11, false);  // Clean.
+  cache.Insert(2, 12, true);   // Dirty, MRU.
+  const auto clean_first = cache.PickVictim(true);
+  ASSERT_TRUE(clean_first.has_value());
+  EXPECT_EQ(clean_first->lpn, 1u);
+  EXPECT_FALSE(clean_first->dirty);
+  // Without clean-first the plain LRU entry is chosen even though dirty.
+  const auto plain = cache.PickVictim(false);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->lpn, 0u);
+  EXPECT_TRUE(plain->dirty);
+}
+
+TEST(TwoLevelCacheTest, CleanFirstFallsBackToDirtyLru) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(0, 10, true);
+  cache.Insert(1, 11, true);
+  const auto victim = cache.PickVictim(true);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->lpn, 0u);
+  EXPECT_TRUE(victim->dirty);
+}
+
+TEST(TwoLevelCacheTest, EvictRemovesEmptyNode) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(0, 10, false);
+  cache.Insert(1, 11, false);
+  EXPECT_FALSE(cache.Evict(0, 0));  // Node survives.
+  EXPECT_TRUE(cache.Evict(0, 1));   // Node vanishes.
+  EXPECT_EQ(cache.node_count(), 0u);
+  EXPECT_FALSE(cache.NodeCached(0));
+}
+
+TEST(TwoLevelCacheTest, DirtyEntriesOfReturnsMappingUpdates) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(128 + 3, 33, true);
+  cache.Insert(128 + 4, 44, false);
+  cache.Insert(128 + 5, 55, true);
+  const auto updates = cache.DirtyEntriesOf(1);
+  ASSERT_EQ(updates.size(), 2u);
+  uint64_t lpns = 0;
+  for (const auto& u : updates) {
+    lpns += u.lpn;
+    EXPECT_TRUE(u.lpn == 131 || u.lpn == 133);
+  }
+  EXPECT_EQ(lpns, 131u + 133u);
+  EXPECT_TRUE(cache.DirtyEntriesOf(7).empty());
+}
+
+TEST(TwoLevelCacheTest, MarkAllCleanResetsDirtyBits) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(3, 33, true);
+  cache.Insert(4, 44, true);
+  cache.Insert(5, 55, false);
+  EXPECT_EQ(cache.MarkAllClean(0), 2u);
+  EXPECT_EQ(cache.dirty_entry_count(), 0u);
+  EXPECT_EQ(cache.DirtyCountOf(0), 0u);
+  EXPECT_TRUE(cache.DirtyEntriesOf(0).empty());
+  EXPECT_EQ(cache.MarkAllClean(0), 0u);
+}
+
+TEST(TwoLevelCacheTest, CachedPredecessorsCountsConsecutiveRun) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(10, 1, false);
+  cache.Insert(11, 1, false);
+  cache.Insert(12, 1, false);
+  EXPECT_EQ(cache.CachedPredecessors(13), 3u);
+  EXPECT_EQ(cache.CachedPredecessors(12), 2u);
+  EXPECT_EQ(cache.CachedPredecessors(10), 0u);
+  EXPECT_EQ(cache.CachedPredecessors(50), 0u);
+  // A hole breaks the run.
+  cache.Insert(15, 1, false);
+  EXPECT_EQ(cache.CachedPredecessors(16), 1u);
+}
+
+TEST(TwoLevelCacheTest, CachedPredecessorsStopAtPageBoundary) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(127, 1, false);  // Last slot of page 0.
+  cache.Insert(128, 1, false);  // First slot of page 1.
+  // Slot 0 of page 1 has no in-page predecessor.
+  EXPECT_EQ(cache.CachedPredecessors(129), 1u);
+  EXPECT_EQ(cache.CachedPredecessors(128), 0u);
+}
+
+TEST(TwoLevelCacheTest, PageHotnessAverageOrdersNodes) {
+  TwoLevelCache cache(Opts(8192, 128));
+  // Node 0: one hot entry + three stale ones → mediocre average.
+  cache.Insert(0, 1, false);
+  cache.Insert(1, 1, false);
+  cache.Insert(2, 1, false);
+  cache.Insert(3, 1, false);
+  // Node 1: two recently touched entries → high average.
+  cache.Insert(128, 1, false);
+  cache.Insert(129, 1, false);
+  cache.Lookup(3);  // Node 0's MRU entry is the hottest single entry...
+  cache.Lookup(128);
+  cache.Lookup(129);
+  // ...but node 0's *average* is dragged down by the stale entries, so it is
+  // the coldest node and supplies the victim (§4.2).
+  const auto victim = cache.PickVictim(false);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->vtpn, 0u);
+}
+
+TEST(TwoLevelCacheTest, ForEachNodeReportsOccupancy) {
+  TwoLevelCache cache(Opts(4096, 128));
+  cache.Insert(0, 1, true);
+  cache.Insert(1, 1, false);
+  cache.Insert(128, 1, true);
+  uint64_t nodes = 0;
+  uint64_t entries = 0;
+  uint64_t dirty = 0;
+  cache.ForEachNode([&](Vtpn, uint64_t e, uint64_t d) {
+    ++nodes;
+    entries += e;
+    dirty += d;
+  });
+  EXPECT_EQ(nodes, 2u);
+  EXPECT_EQ(entries, 3u);
+  EXPECT_EQ(dirty, 2u);
+}
+
+TEST(TwoLevelCacheTest, HasSpaceForRespectsBudget) {
+  TwoLevelCache cache(Opts(16 + 6 * 2, 128));  // Room for one node + 2 entries.
+  EXPECT_TRUE(cache.HasSpaceFor(0));
+  cache.Insert(0, 1, false);
+  EXPECT_TRUE(cache.HasSpaceFor(1));
+  cache.Insert(1, 1, false);
+  EXPECT_FALSE(cache.HasSpaceFor(2));
+  EXPECT_FALSE(cache.HasSpaceFor(128));  // Needs a new node: even bigger.
+}
+
+TEST(TwoLevelCacheDeathTest, DoubleInsertAborts) {
+  TwoLevelCache cache(Opts(1024));
+  cache.Insert(5, 1, false);
+  EXPECT_DEATH(cache.Insert(5, 2, false), "already-cached");
+}
+
+TEST(TwoLevelCacheDeathTest, EvictAbsentEntryAborts) {
+  TwoLevelCache cache(Opts(1024));
+  cache.Insert(5, 1, false);
+  EXPECT_DEATH(cache.Evict(0, 9), "non-cached");
+  EXPECT_DEATH(cache.Evict(3, 0), "non-cached");
+}
+
+TEST(TwoLevelCacheTest, StressOrderInvariant) {
+  // Randomized churn: the victim must always come from the node whose
+  // average hotness is minimal.
+  TwoLevelCache cache(Opts(4096, 16));
+  uint64_t seed = 12345;
+  auto next = [&seed]() {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 33;
+  };
+  for (int i = 0; i < 5000; ++i) {
+    const Lpn lpn = next() % 256;
+    if (cache.Contains(lpn)) {
+      cache.Lookup(lpn);
+    } else {
+      while (!cache.HasSpaceFor(lpn)) {
+        const auto victim = cache.PickVictim(false);
+        ASSERT_TRUE(victim.has_value());
+        cache.Evict(victim->vtpn, victim->slot);
+      }
+      cache.Insert(lpn, next(), next() % 2 == 0);
+    }
+  }
+  EXPECT_LE(cache.bytes_used(), cache.budget_bytes());
+  EXPECT_GT(cache.entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tpftl

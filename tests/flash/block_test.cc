@@ -1,0 +1,92 @@
+#include "src/flash/block.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TEST(BlockTest, FreshBlockIsAllFree) {
+  Block b(16);
+  EXPECT_TRUE(b.HasFreePage());
+  EXPECT_EQ(b.free_pages(), 16u);
+  EXPECT_EQ(b.valid_pages(), 0u);
+  EXPECT_EQ(b.invalid_pages(), 0u);
+  EXPECT_EQ(b.erase_count(), 0u);
+  for (uint64_t o = 0; o < 16; ++o) {
+    EXPECT_EQ(b.StateOf(o), PageState::kFree);
+  }
+}
+
+TEST(BlockTest, ProgramIsSequential) {
+  Block b(4);
+  EXPECT_EQ(b.Program(), 0u);
+  EXPECT_EQ(b.Program(), 1u);
+  EXPECT_EQ(b.Program(), 2u);
+  EXPECT_EQ(b.StateOf(1), PageState::kValid);
+  EXPECT_EQ(b.valid_pages(), 3u);
+  EXPECT_EQ(b.free_pages(), 1u);
+}
+
+TEST(BlockTest, InvalidateTransitionsState) {
+  Block b(4);
+  b.Program();
+  b.Invalidate(0);
+  EXPECT_EQ(b.StateOf(0), PageState::kInvalid);
+  EXPECT_EQ(b.valid_pages(), 0u);
+  EXPECT_EQ(b.invalid_pages(), 1u);
+}
+
+TEST(BlockTest, EraseResetsAndCounts) {
+  Block b(4);
+  for (int i = 0; i < 4; ++i) {
+    b.Program();
+  }
+  for (uint64_t o = 0; o < 4; ++o) {
+    b.Invalidate(o);
+  }
+  b.Erase();
+  EXPECT_EQ(b.erase_count(), 1u);
+  EXPECT_EQ(b.free_pages(), 4u);
+  EXPECT_EQ(b.valid_pages(), 0u);
+  EXPECT_EQ(b.StateOf(0), PageState::kFree);
+  // Programmable again after erase.
+  EXPECT_EQ(b.Program(), 0u);
+}
+
+TEST(BlockTest, ProgramAtOutOfOrder) {
+  Block b(8);
+  b.ProgramAt(5);
+  EXPECT_EQ(b.StateOf(5), PageState::kValid);
+  EXPECT_EQ(b.valid_pages(), 1u);
+  EXPECT_EQ(b.free_pages(), 7u);
+  b.ProgramAt(2);
+  EXPECT_EQ(b.valid_pages(), 2u);
+}
+
+TEST(BlockDeathTest, ProgramFullBlockAborts) {
+  Block b(2);
+  b.Program();
+  b.Program();
+  EXPECT_DEATH(b.Program(), "full block");
+}
+
+TEST(BlockDeathTest, DoubleProgramAtAborts) {
+  Block b(4);
+  b.ProgramAt(1);
+  EXPECT_DEATH(b.ProgramAt(1), "non-free");
+}
+
+TEST(BlockDeathTest, InvalidateFreePageAborts) {
+  Block b(4);
+  EXPECT_DEATH(b.Invalidate(0), "non-valid");
+}
+
+TEST(BlockDeathTest, DoubleInvalidateAborts) {
+  Block b(4);
+  b.Program();
+  b.Invalidate(0);
+  EXPECT_DEATH(b.Invalidate(0), "non-valid");
+}
+
+}  // namespace
+}  // namespace tpftl

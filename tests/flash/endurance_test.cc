@@ -1,0 +1,133 @@
+// Block endurance and bad-block retirement (§1: limited erase cycles).
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/block_manager.h"
+#include "src/ftl/optimal_ftl.h"
+#include "src/util/rng.h"
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::SmallGeometry;
+
+TEST(EnduranceTest, UnlimitedByDefault) {
+  NandFlash flash(SmallGeometry());
+  for (int i = 0; i < 100; ++i) {
+    Ppn ppn = kInvalidPpn;
+    flash.ProgramPage(0, 1, &ppn);
+    flash.InvalidatePage(ppn);
+    flash.EraseBlock(0);
+  }
+  EXPECT_FALSE(flash.IsWornOut(0));
+}
+
+TEST(EnduranceTest, WearsOutAtBudget) {
+  FlashGeometry g = SmallGeometry();
+  g.max_erase_cycles = 3;
+  NandFlash flash(g);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(flash.IsWornOut(0));
+    Ppn ppn = kInvalidPpn;
+    flash.ProgramPage(0, 1, &ppn);
+    flash.InvalidatePage(ppn);
+    flash.EraseBlock(0);
+  }
+  EXPECT_TRUE(flash.IsWornOut(0));
+  EXPECT_FALSE(flash.IsWornOut(1));
+}
+
+TEST(EnduranceTest, BlockManagerRetiresWornBlocks) {
+  FlashGeometry g = SmallGeometry(8);
+  g.max_erase_cycles = 1;
+  NandFlash flash(g);
+  BlockManager bm(&flash, 1);
+  // Fill one block, kill it, collect it: its single allowed erase is spent,
+  // so it must not reappear in the free pool.
+  std::vector<Ppn> ppns;
+  for (uint64_t i = 0; i < g.pages_per_block; ++i) {
+    Ppn p = kInvalidPpn;
+    bm.Program(BlockPool::kData, i, &p);
+    ppns.push_back(p);
+  }
+  for (const Ppn p : ppns) {
+    bm.Invalidate(p);
+  }
+  const BlockId victim = bm.PickVictim();
+  ASSERT_NE(victim, kInvalidBlock);
+  const uint64_t free_before = bm.free_block_count();
+  bm.EraseAndFree(victim);
+  EXPECT_EQ(bm.free_block_count(), free_before);  // Retired, not freed.
+  EXPECT_EQ(bm.bad_block_count(), 1u);
+  EXPECT_EQ(bm.PoolOf(victim), BlockPool::kNone);
+}
+
+// Pre-consumes all but one erase cycle of `block`, leaving it erased/free.
+void PreWear(NandFlash& flash, BlockId block, uint64_t cycles) {
+  for (uint64_t i = 0; i < cycles; ++i) {
+    Ppn ppn = kInvalidPpn;
+    flash.ProgramPage(block, 0, &ppn);
+    flash.InvalidatePage(ppn);
+    flash.EraseBlock(block);
+  }
+}
+
+TEST(EnduranceTest, DeviceOperatesWhileSparesLast) {
+  // Blocks near the end of their life retire as traffic recycles them; the
+  // FTL keeps serving on the remaining pool and stays consistent.
+  testing::World w = testing::MakeWorld(1024, 64, /*total_blocks=*/96);
+  w.geometry.max_erase_cycles = 50;
+  w.flash = std::make_unique<NandFlash>(w.geometry);
+  w.env.flash = w.flash.get();
+  for (BlockId b = 70; b < 80; ++b) {
+    PreWear(*w.flash, b, 49);  // One recycle away from retirement.
+  }
+  OptimalFtl ftl(w.env);
+  for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  Rng rng(8);
+  for (int i = 0; i < 8000; ++i) {
+    ftl.WritePage(rng.Below(128));  // Hot churn recycles the spare rotation.
+  }
+  EXPECT_GT(ftl.block_manager().bad_block_count(), 0u);
+  EXPECT_LE(ftl.block_manager().bad_block_count(), 10u);
+  for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+    ASSERT_NE(ftl.Probe(lpn), kInvalidPpn);
+  }
+}
+
+TEST(EnduranceTest, WearAwarePolicyNeverRetiresMoreBlocks) {
+  // Victim selection is where wear awareness protects worn blocks. Its
+  // quality sacrifice is survival-bounded (a worn block is still taken when
+  // no near-equivalent victim exists), so the guarantee is one-sided: under
+  // identical traffic it never retires MORE blocks than greedy, and the
+  // wear-spread narrowing is covered by GcPolicyTest.WearAwareNarrowsWearSpread.
+  auto bad_after_traffic = [](GcPolicy policy) -> uint64_t {
+    testing::World w = testing::MakeWorld(1024, 64, 96);
+    w.geometry.max_erase_cycles = 60;
+    w.flash = std::make_unique<NandFlash>(w.geometry);
+    w.env.flash = w.flash.get();
+    w.env.gc_policy = policy;
+    w.env.wear_spread_limit = 4;
+    for (BlockId b = 70; b < 80; ++b) {
+      PreWear(*w.flash, b, 59);
+    }
+    OptimalFtl ftl(w.env);
+    for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+      ftl.WritePage(lpn);
+    }
+    Rng rng(9);
+    for (uint64_t i = 0; i < 8000; ++i) {
+      ftl.WritePage(rng.Below(128));
+    }
+    return ftl.block_manager().bad_block_count();
+  };
+  const uint64_t greedy = bad_after_traffic(GcPolicy::kGreedy);
+  const uint64_t wear_aware = bad_after_traffic(GcPolicy::kWearAware);
+  EXPECT_LE(wear_aware, greedy);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,90 @@
+// Geometry generality: the whole stack must work for any sane page size /
+// block size combination, not just the Table 3 defaults.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/ftl_factory.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+namespace {
+
+using Param = std::tuple<uint64_t /*page_size*/, uint64_t /*pages_per_block*/>;
+
+class GeometrySweepTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GeometrySweepTest, TpftlStaysConsistentAcrossGeometries) {
+  const auto [page_size, pages_per_block] = GetParam();
+  FlashGeometry g;
+  g.page_size_bytes = page_size;
+  g.pages_per_block = pages_per_block;
+  g.total_blocks = 96;
+  const uint64_t logical_pages = 48 * pages_per_block;  // Half the device + spare.
+  NandFlash flash(g);
+  FtlEnv env;
+  env.flash = &flash;
+  env.logical_pages = logical_pages;
+  // Budget scaled with the table: GTD + room for ~12 % of the entries.
+  env.cache_bytes = PaperCacheBytes(g, logical_pages) + logical_pages;
+  auto ftl = CreateFtl(FtlKind::kTpftl, env);
+
+  Rng rng(logical_pages ^ page_size);
+  std::vector<bool> written(logical_pages, false);
+  for (uint64_t i = 0; i < logical_pages * 4; ++i) {
+    const Lpn lpn = rng.Below(logical_pages);
+    if (rng.Chance(0.8)) {
+      ftl->WritePage(lpn);
+      written[lpn] = true;
+    } else {
+      ftl->ReadPage(lpn);
+    }
+  }
+  for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
+    if (!written[lpn]) {
+      continue;
+    }
+    const Ppn ppn = ftl->Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn) << "page " << page_size << " ppb " << pages_per_block;
+    ASSERT_EQ(flash.OobTag(ppn), lpn);
+    ASSERT_EQ(flash.StateOf(ppn), PageState::kValid);
+  }
+  // Entries per translation page follows the geometry.
+  EXPECT_EQ(g.entries_per_translation_page(), page_size / 4);
+}
+
+TEST_P(GeometrySweepTest, DftlStaysConsistentAcrossGeometries) {
+  const auto [page_size, pages_per_block] = GetParam();
+  FlashGeometry g;
+  g.page_size_bytes = page_size;
+  g.pages_per_block = pages_per_block;
+  g.total_blocks = 96;
+  const uint64_t logical_pages = 48 * pages_per_block;
+  NandFlash flash(g);
+  FtlEnv env;
+  env.flash = &flash;
+  env.logical_pages = logical_pages;
+  env.cache_bytes = PaperCacheBytes(g, logical_pages) + logical_pages;
+  auto ftl = CreateFtl(FtlKind::kDftl, env);
+
+  Rng rng(7777);
+  for (uint64_t i = 0; i < logical_pages * 3; ++i) {
+    ftl->WritePage(rng.Below(logical_pages));
+  }
+  const AtStats& s = ftl->stats();
+  EXPECT_EQ(flash.stats().page_writes,
+            s.host_page_writes + s.trans_writes_at + s.trans_writes_gc + s.gc_data_migrations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GeometrySweepTest,
+                         ::testing::Values(Param{512, 16}, Param{512, 32}, Param{2048, 16},
+                                           Param{2048, 64}, Param{4096, 32}, Param{4096, 64},
+                                           Param{8192, 64}),
+                         [](const ::testing::TestParamInfo<Param>& info) {
+                           return "page" + std::to_string(std::get<0>(info.param)) + "_ppb" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,54 @@
+#include "src/flash/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TEST(GeometryTest, Table3Defaults) {
+  FlashGeometry g;
+  EXPECT_EQ(g.page_size_bytes, 4096u);
+  EXPECT_EQ(g.pages_per_block, 64u);           // 256 KiB blocks.
+  EXPECT_EQ(g.block_size_bytes(), 256u * 1024);
+  EXPECT_DOUBLE_EQ(g.page_read_us, 25.0);
+  EXPECT_DOUBLE_EQ(g.page_write_us, 200.0);
+  EXPECT_DOUBLE_EQ(g.block_erase_us, 1500.0);
+  EXPECT_EQ(g.entries_per_translation_page(), 1024u);  // §3.2.
+}
+
+TEST(GeometryTest, AddressConversionsRoundTrip) {
+  FlashGeometry g;
+  g.total_blocks = 100;
+  for (const Ppn ppn : {0ULL, 63ULL, 64ULL, 6399ULL}) {
+    EXPECT_EQ(g.PpnOf(g.BlockOf(ppn), g.OffsetOf(ppn)), ppn);
+  }
+  EXPECT_EQ(g.BlockOf(64), 1u);
+  EXPECT_EQ(g.OffsetOf(64), 0u);
+}
+
+TEST(GeometryTest, VtpnSlotConversions) {
+  FlashGeometry g;
+  EXPECT_EQ(g.VtpnOf(0), 0u);
+  EXPECT_EQ(g.VtpnOf(1023), 0u);
+  EXPECT_EQ(g.VtpnOf(1024), 1u);
+  EXPECT_EQ(g.SlotOf(1025), 1u);
+}
+
+TEST(GeometryTest, MakeGeometryProvisionsOverhead) {
+  // 512 MB logical (paper's Financial configuration).
+  const FlashGeometry g = MakeGeometry(512ULL << 20, 0.15);
+  const uint64_t logical_blocks = (512ULL << 20) / g.block_size_bytes();
+  EXPECT_EQ(logical_blocks, 2048u);
+  // Must hold all logical blocks + 15 % OP + translation pages (128 pages →
+  // 2 blocks) + translation spare.
+  EXPECT_GT(g.total_blocks, logical_blocks + logical_blocks * 15 / 100);
+  EXPECT_LT(g.total_blocks, logical_blocks + logical_blocks / 4);
+}
+
+TEST(GeometryTest, LogicalPagesArithmetic) {
+  const FlashGeometry g = MakeGeometry(512ULL << 20);
+  EXPECT_EQ(LogicalPages(g, 512ULL << 20), 131072u);
+}
+
+}  // namespace
+}  // namespace tpftl

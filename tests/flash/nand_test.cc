@@ -1,0 +1,121 @@
+#include "src/flash/nand.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::SmallGeometry;
+
+TEST(NandTest, ProgramReturnsSequentialPpns) {
+  NandFlash flash(SmallGeometry());
+  Ppn a = kInvalidPpn;
+  Ppn b = kInvalidPpn;
+  flash.ProgramPage(3, 100, &a);
+  flash.ProgramPage(3, 101, &b);
+  EXPECT_EQ(a, 3u * 16);
+  EXPECT_EQ(b, 3u * 16 + 1);
+  EXPECT_EQ(flash.OobTag(a), 100u);
+  EXPECT_EQ(flash.OobTag(b), 101u);
+  EXPECT_EQ(flash.StateOf(a), PageState::kValid);
+}
+
+TEST(NandTest, LatenciesMatchGeometry) {
+  const FlashGeometry g = SmallGeometry();
+  NandFlash flash(g);
+  Ppn ppn = kInvalidPpn;
+  EXPECT_DOUBLE_EQ(flash.ProgramPage(0, 1, &ppn), g.page_write_us);
+  EXPECT_DOUBLE_EQ(flash.ReadPage(ppn), g.page_read_us);
+  flash.InvalidatePage(ppn);
+  EXPECT_DOUBLE_EQ(flash.EraseBlock(0), g.block_erase_us);
+}
+
+TEST(NandTest, StatsAccumulate) {
+  const FlashGeometry g = SmallGeometry();
+  NandFlash flash(g);
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);
+  flash.ReadPage(ppn);
+  flash.ReadPage(ppn);
+  flash.InvalidatePage(ppn);
+  flash.EraseBlock(0);
+  EXPECT_EQ(flash.stats().page_writes, 1u);
+  EXPECT_EQ(flash.stats().page_reads, 2u);
+  EXPECT_EQ(flash.stats().block_erases, 1u);
+  EXPECT_DOUBLE_EQ(flash.stats().busy_time_us,
+                   g.page_write_us + 2 * g.page_read_us + g.block_erase_us);
+}
+
+TEST(NandTest, ResetStatsKeepsBlockEraseCounters) {
+  NandFlash flash(SmallGeometry());
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);
+  flash.InvalidatePage(ppn);
+  flash.EraseBlock(0);
+  flash.ResetStats();
+  EXPECT_EQ(flash.stats().block_erases, 0u);
+  EXPECT_EQ(flash.TotalEraseCount(), 1u);
+  EXPECT_EQ(flash.MaxEraseCount(), 1u);
+}
+
+TEST(NandTest, ReadOfInvalidPageIsAllowed) {
+  // FTLs read just-superseded translation pages during read-modify-write.
+  NandFlash flash(SmallGeometry());
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);
+  flash.InvalidatePage(ppn);
+  EXPECT_NO_FATAL_FAILURE(flash.ReadPage(ppn));
+}
+
+TEST(NandDeathTest, ReadOfFreePageAborts) {
+  NandFlash flash(SmallGeometry());
+  EXPECT_DEATH(flash.ReadPage(0), "unprogrammed");
+}
+
+TEST(NandDeathTest, EraseWithValidPagesAborts) {
+  NandFlash flash(SmallGeometry());
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);
+  EXPECT_DEATH(flash.EraseBlock(0), "valid pages");
+}
+
+TEST(NandDeathTest, EraseBeforeWriteIsEnforced) {
+  // The defining NAND constraint: no in-place overwrite. Programming the
+  // same physical page twice without an erase must abort.
+  NandFlash flash(SmallGeometry());
+  flash.ProgramPageAt(5, 1);
+  EXPECT_DEATH(flash.ProgramPageAt(5, 2), "non-free");
+}
+
+TEST(NandTest, EraseEnablesReprogramming) {
+  NandFlash flash(SmallGeometry());
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(7, 1, &ppn);
+  flash.InvalidatePage(ppn);
+  flash.EraseBlock(7);
+  Ppn again = kInvalidPpn;
+  flash.ProgramPage(7, 2, &again);
+  EXPECT_EQ(again, ppn);
+  EXPECT_EQ(flash.OobTag(again), 2u);
+}
+
+TEST(NandTest, TotalAndMaxEraseCounts) {
+  NandFlash flash(SmallGeometry());
+  for (int round = 0; round < 3; ++round) {
+    Ppn ppn = kInvalidPpn;
+    flash.ProgramPage(0, 1, &ppn);
+    flash.InvalidatePage(ppn);
+    flash.EraseBlock(0);
+  }
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(1, 1, &ppn);
+  flash.InvalidatePage(ppn);
+  flash.EraseBlock(1);
+  EXPECT_EQ(flash.TotalEraseCount(), 4u);
+  EXPECT_EQ(flash.MaxEraseCount(), 3u);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,86 @@
+#include "src/ftl/block_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+TEST(BlockFtlTest, SequentialFillNeedsNoMerges) {
+  World w = MakeWorld(1024, 64);
+  BlockFtl ftl(w.env);
+  for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  EXPECT_EQ(ftl.stats().gc_data_blocks, 0u);
+  EXPECT_EQ(w.flash->stats().page_writes, 1024u);
+  EXPECT_DOUBLE_EQ(ftl.stats().write_amplification(), 1.0);
+}
+
+TEST(BlockFtlTest, PagesLandAtFixedOffsets) {
+  World w = MakeWorld(1024, 64);
+  BlockFtl ftl(w.env);
+  ftl.WritePage(18);  // Block 1, offset 2 in 16-page blocks.
+  const Ppn ppn = ftl.Probe(18);
+  ASSERT_NE(ppn, kInvalidPpn);
+  EXPECT_EQ(w.flash->geometry().OffsetOf(ppn), 2u);
+  EXPECT_EQ(w.flash->OobTag(ppn), 18u);
+}
+
+TEST(BlockFtlTest, OverwriteForcesCopyMerge) {
+  World w = MakeWorld(1024, 64);
+  BlockFtl ftl(w.env);
+  // Fill one logical block, then overwrite one of its pages.
+  for (Lpn lpn = 0; lpn < 16; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  const Ppn before = ftl.Probe(0);
+  ftl.WritePage(5);
+  EXPECT_EQ(ftl.stats().gc_data_blocks, 1u);
+  EXPECT_EQ(ftl.stats().gc_data_migrations, 15u);  // All survivors relocated.
+  EXPECT_EQ(w.flash->stats().block_erases, 1u);
+  // Every page of the logical block remains mapped and offset-stable.
+  for (Lpn lpn = 0; lpn < 16; ++lpn) {
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    EXPECT_EQ(w.flash->geometry().OffsetOf(ppn), lpn);
+    EXPECT_EQ(w.flash->OobTag(ppn), lpn);
+  }
+  EXPECT_NE(ftl.Probe(0), before);  // Whole block relocated.
+}
+
+TEST(BlockFtlTest, RandomOverwritesAmplifyWrites) {
+  World w = MakeWorld(1024, 64);
+  BlockFtl ftl(w.env);
+  testing::DriveRandomOps(ftl, 1024, 2000, 1.0, 3);
+  // Random writes at block granularity are catastrophic (§2.1): most writes
+  // trigger a 16-page merge.
+  EXPECT_GT(ftl.stats().write_amplification(), 4.0);
+}
+
+TEST(BlockFtlTest, ReadOfUnwrittenPageIsFree) {
+  World w = MakeWorld(1024, 64);
+  BlockFtl ftl(w.env);
+  EXPECT_DOUBLE_EQ(ftl.ReadPage(500), 0.0);
+  ftl.WritePage(512);  // Same logical block region untouched elsewhere.
+  EXPECT_DOUBLE_EQ(ftl.ReadPage(513), 0.0);  // Mapped block, unwritten slot.
+  EXPECT_GT(ftl.ReadPage(512), 0.0);
+}
+
+TEST(BlockFtlTest, ConsistencyUnderChurn) {
+  World w = MakeWorld(1024, 64);
+  BlockFtl ftl(w.env);
+  auto written = testing::DriveRandomOps(ftl, 1024, 3000, 0.7, 11);
+  for (const auto& [lpn, _] : written) {
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    EXPECT_EQ(w.flash->OobTag(ppn), lpn);
+  }
+}
+
+}  // namespace
+}  // namespace tpftl

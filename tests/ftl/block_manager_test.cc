@@ -1,0 +1,169 @@
+#include "src/ftl/block_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::SmallGeometry;
+
+class BlockManagerTest : public ::testing::Test {
+ protected:
+  BlockManagerTest() : flash_(SmallGeometry(/*total_blocks=*/8)), bm_(&flash_, 2) {}
+
+  NandFlash flash_;
+  BlockManager bm_;
+};
+
+TEST_F(BlockManagerTest, StartsWithAllBlocksFree) {
+  EXPECT_EQ(bm_.free_block_count(), 8u);
+  EXPECT_FALSE(bm_.NeedsGc());
+  EXPECT_EQ(bm_.PickVictim(), kInvalidBlock);
+}
+
+TEST_F(BlockManagerTest, ProgramAllocatesActiveBlockPerPool) {
+  Ppn data_ppn = kInvalidPpn;
+  Ppn trans_ppn = kInvalidPpn;
+  bm_.Program(BlockPool::kData, 1, &data_ppn);
+  bm_.Program(BlockPool::kTranslation, 2, &trans_ppn);
+  EXPECT_NE(flash_.geometry().BlockOf(data_ppn), flash_.geometry().BlockOf(trans_ppn));
+  EXPECT_EQ(bm_.PoolOf(flash_.geometry().BlockOf(data_ppn)), BlockPool::kData);
+  EXPECT_EQ(bm_.PoolOf(flash_.geometry().BlockOf(trans_ppn)), BlockPool::kTranslation);
+  EXPECT_EQ(bm_.free_block_count(), 6u);
+  EXPECT_EQ(bm_.pool_block_count(BlockPool::kData), 1u);
+  EXPECT_EQ(bm_.pool_block_count(BlockPool::kTranslation), 1u);
+}
+
+TEST_F(BlockManagerTest, SequentialProgramsFillOneBlockThenNext) {
+  const uint64_t per_block = flash_.geometry().pages_per_block;
+  Ppn first = kInvalidPpn;
+  bm_.Program(BlockPool::kData, 0, &first);
+  for (uint64_t i = 1; i < per_block; ++i) {
+    Ppn p = kInvalidPpn;
+    bm_.Program(BlockPool::kData, i, &p);
+    EXPECT_EQ(p, first + i);
+  }
+  Ppn next = kInvalidPpn;
+  bm_.Program(BlockPool::kData, 99, &next);
+  EXPECT_NE(flash_.geometry().BlockOf(next), flash_.geometry().BlockOf(first));
+}
+
+TEST_F(BlockManagerTest, NeedsGcWhenFreeDropsToThreshold) {
+  // Fill blocks until only the threshold (2) remains free.
+  const uint64_t per_block = flash_.geometry().pages_per_block;
+  for (uint64_t b = 0; b < 6; ++b) {
+    for (uint64_t i = 0; i < per_block; ++i) {
+      Ppn p = kInvalidPpn;
+      bm_.Program(BlockPool::kData, i, &p);
+    }
+  }
+  EXPECT_EQ(bm_.free_block_count(), 2u);
+  EXPECT_TRUE(bm_.NeedsGc());
+}
+
+TEST_F(BlockManagerTest, GreedyVictimHasFewestValidPages) {
+  const uint64_t per_block = flash_.geometry().pages_per_block;
+  // Fill two blocks; invalidate more pages in the second.
+  std::vector<Ppn> first_block;
+  std::vector<Ppn> second_block;
+  for (uint64_t i = 0; i < per_block; ++i) {
+    Ppn p = kInvalidPpn;
+    bm_.Program(BlockPool::kData, i, &p);
+    first_block.push_back(p);
+  }
+  for (uint64_t i = 0; i < per_block; ++i) {
+    Ppn p = kInvalidPpn;
+    bm_.Program(BlockPool::kData, i, &p);
+    second_block.push_back(p);
+  }
+  bm_.Invalidate(first_block[0]);
+  for (int i = 0; i < 5; ++i) {
+    bm_.Invalidate(second_block[i]);
+  }
+  EXPECT_EQ(bm_.PickVictim(), flash_.geometry().BlockOf(second_block[0]));
+}
+
+TEST_F(BlockManagerTest, ActiveBlockIsNeverAVictim) {
+  // Program a single page: the active block is partially written and must
+  // not be offered as a GC victim even though it has garbage.
+  Ppn p = kInvalidPpn;
+  bm_.Program(BlockPool::kData, 0, &p);
+  bm_.Invalidate(p);
+  EXPECT_EQ(bm_.PickVictim(), kInvalidBlock);
+}
+
+TEST_F(BlockManagerTest, EraseAndFreeReturnsBlockToFreeList) {
+  const uint64_t per_block = flash_.geometry().pages_per_block;
+  std::vector<Ppn> ppns;
+  for (uint64_t i = 0; i < per_block; ++i) {
+    Ppn p = kInvalidPpn;
+    bm_.Program(BlockPool::kData, i, &p);
+    ppns.push_back(p);
+  }
+  for (const Ppn p : ppns) {
+    bm_.Invalidate(p);
+  }
+  const BlockId victim = bm_.PickVictim();
+  ASSERT_NE(victim, kInvalidBlock);
+  const uint64_t free_before = bm_.free_block_count();
+  bm_.EraseAndFree(victim);
+  EXPECT_EQ(bm_.free_block_count(), free_before + 1);
+  EXPECT_EQ(bm_.PoolOf(victim), BlockPool::kNone);
+  EXPECT_EQ(bm_.PickVictim(), kInvalidBlock);
+  EXPECT_EQ(bm_.pool_block_count(BlockPool::kData), 0u);
+}
+
+TEST_F(BlockManagerTest, PoolRestrictedVictim) {
+  const uint64_t per_block = flash_.geometry().pages_per_block;
+  std::vector<Ppn> data_ppns;
+  std::vector<Ppn> trans_ppns;
+  for (uint64_t i = 0; i < per_block; ++i) {
+    Ppn p = kInvalidPpn;
+    bm_.Program(BlockPool::kData, i, &p);
+    data_ppns.push_back(p);
+    bm_.Program(BlockPool::kTranslation, i, &p);
+    trans_ppns.push_back(p);
+  }
+  bm_.Invalidate(data_ppns[0]);
+  bm_.Invalidate(trans_ppns[0]);
+  bm_.Invalidate(trans_ppns[1]);
+  EXPECT_EQ(bm_.PoolOf(bm_.PickVictim(BlockPool::kData)), BlockPool::kData);
+  EXPECT_EQ(bm_.PoolOf(bm_.PickVictim(BlockPool::kTranslation)), BlockPool::kTranslation);
+  // Global greedy picks the translation block (2 invalid vs 1).
+  EXPECT_EQ(bm_.PickVictim(), flash_.geometry().BlockOf(trans_ppns[0]));
+}
+
+TEST_F(BlockManagerTest, VictimTracksInvalidationsAfterRetirement) {
+  const uint64_t per_block = flash_.geometry().pages_per_block;
+  std::vector<Ppn> a_pages;
+  std::vector<Ppn> b_pages;
+  for (uint64_t i = 0; i < per_block; ++i) {
+    Ppn p = kInvalidPpn;
+    bm_.Program(BlockPool::kData, i, &p);
+    a_pages.push_back(p);
+  }
+  for (uint64_t i = 0; i < per_block; ++i) {
+    Ppn p = kInvalidPpn;
+    bm_.Program(BlockPool::kData, i, &p);
+    b_pages.push_back(p);
+  }
+  bm_.Invalidate(a_pages[0]);
+  EXPECT_EQ(bm_.PickVictim(), flash_.geometry().BlockOf(a_pages[0]));
+  // Now make block B strictly emptier; the pick must follow.
+  bm_.Invalidate(b_pages[0]);
+  bm_.Invalidate(b_pages[1]);
+  EXPECT_EQ(bm_.PickVictim(), flash_.geometry().BlockOf(b_pages[0]));
+}
+
+TEST_F(BlockManagerTest, FreePagesUpperBoundAccounting) {
+  const uint64_t total_pages = 8 * flash_.geometry().pages_per_block;
+  EXPECT_EQ(bm_.FreePagesUpperBound(), total_pages);
+  Ppn p = kInvalidPpn;
+  bm_.Program(BlockPool::kData, 0, &p);
+  EXPECT_EQ(bm_.FreePagesUpperBound(), total_pages - 1);
+}
+
+}  // namespace
+}  // namespace tpftl

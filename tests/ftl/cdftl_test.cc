@@ -1,0 +1,115 @@
+#include "src/ftl/cdftl.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+// GTD 32 B + budget 600 B → CTP: 1 × 512 B page, CMT: 11 × 8 B entries.
+World SmallCdftlWorld() { return MakeWorld(1024, /*cache_bytes=*/632); }
+
+TEST(CdftlTest, CapacitySplit) {
+  World w = SmallCdftlWorld();
+  Cdftl ftl(w.env);
+  EXPECT_EQ(ftl.ctp_page_capacity(), 1u);
+  EXPECT_EQ(ftl.cmt_entry_capacity(), 11u);
+}
+
+TEST(CdftlTest, CtpServesSameTranslationPageWithoutFlash) {
+  World w = SmallCdftlWorld();
+  Cdftl ftl(w.env);
+  ftl.ReadPage(0);  // Miss: loads TP 0 into the CTP, entry 0 into the CMT.
+  EXPECT_EQ(ftl.stats().misses, 1u);
+  const uint64_t reads_before = w.flash->stats().page_reads;
+  ftl.ReadPage(1);  // Same translation page: CTP hit, no flash access.
+  EXPECT_EQ(ftl.stats().hits, 1u);
+  EXPECT_EQ(ftl.stats().misses, 1u);
+  EXPECT_EQ(w.flash->stats().page_reads, reads_before);
+}
+
+TEST(CdftlTest, DistinctTranslationPagesMissSeparately) {
+  World w = SmallCdftlWorld();
+  Cdftl ftl(w.env);
+  ftl.ReadPage(0);
+  ftl.ReadPage(128);  // Different TP — CTP capacity 1, so a real miss.
+  EXPECT_EQ(ftl.stats().misses, 2u);
+}
+
+TEST(CdftlTest, DirtyCmtVictimFoldsIntoCachedPage) {
+  World w = SmallCdftlWorld();
+  Cdftl ftl(w.env);
+  ftl.WritePage(3);  // Dirty entry in CMT; TP 0 is CTP-resident.
+  const Ppn mapped = ftl.Probe(3);
+  // Fill the CMT with reads from the same translation page so the dirty
+  // entry is evicted by fold-in, with no flash write.
+  const uint64_t trans_writes_before = ftl.stats().trans_writes_at;
+  for (Lpn lpn = 10; lpn < 30; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  EXPECT_EQ(ftl.stats().trans_writes_at, trans_writes_before);
+  EXPECT_EQ(ftl.Probe(3), mapped);  // Served from the CTP copy.
+}
+
+TEST(CdftlTest, DirtyCtpPageEvictionWritesWholePageWithoutRead) {
+  World w = SmallCdftlWorld();
+  Cdftl ftl(w.env);
+  ftl.WritePage(3);
+  // Fold the dirty entry into the CTP page.
+  for (Lpn lpn = 10; lpn < 30; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  const Ppn mapped = ftl.Probe(3);
+  const uint64_t reads_before = w.flash->stats().page_reads;
+  const uint64_t writes_before = ftl.stats().trans_writes_at;
+  // Pull in another translation page: evicts the dirty CTP page.
+  ftl.ReadPage(512);
+  EXPECT_EQ(ftl.stats().trans_writes_at, writes_before + 1);
+  // Exactly one read (the new page load) — the writeback needed none.
+  EXPECT_EQ(w.flash->stats().page_reads, reads_before + 1);
+  EXPECT_EQ(ftl.translation_store().Persisted(3), mapped);
+}
+
+TEST(CdftlTest, ColdDirtyEntriesResistEviction) {
+  World w = SmallCdftlWorld();
+  Cdftl ftl(w.env);
+  // Dirty an entry of TP 0 while TP 0 is cached, then displace TP 0 from the
+  // CTP so the dirty entry's page is gone.
+  ftl.WritePage(3);
+  ftl.ReadPage(512);  // TP 4 replaces TP 0 in the single-page CTP.
+  // Stream clean reads from TP 4 through the CMT: the dirty entry for LPN 3
+  // should be skipped (its page is not cached) while clean entries evict.
+  for (Lpn lpn = 513; lpn < 530; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  EXPECT_EQ(ftl.stats().dirty_evictions, 0u);
+  EXPECT_EQ(ftl.Probe(3), ftl.Probe(3));  // Still resolvable.
+}
+
+TEST(CdftlTest, ConsistencyUnderChurn) {
+  World w = SmallCdftlWorld();
+  Cdftl ftl(w.env);
+  auto written = testing::DriveRandomOps(ftl, 1024, 4000, 0.7, 17);
+  for (const auto& [lpn, _] : written) {
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    EXPECT_EQ(w.flash->OobTag(ppn), lpn);
+    EXPECT_EQ(w.flash->StateOf(ppn), PageState::kValid);
+  }
+}
+
+TEST(CdftlTest, FlashWriteAttributionBalances) {
+  World w = SmallCdftlWorld();
+  Cdftl ftl(w.env);
+  testing::DriveRandomOps(ftl, 1024, 3000, 0.8, 23);
+  const AtStats& s = ftl.stats();
+  EXPECT_EQ(w.flash->stats().page_writes,
+            s.host_page_writes + s.trans_writes_at + s.trans_writes_gc + s.gc_data_migrations);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,180 @@
+#include "src/ftl/dftl.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+// 8-entry CMT: GTD is 8 translation pages * 4 B = 32 B; 32 + 64 = 96 B cache.
+World SmallDftlWorld() { return MakeWorld(1024, /*cache_bytes=*/96); }
+
+TEST(DftlTest, ColdMissCostsOneTranslationRead) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  const MicroSec t = ftl.ReadPage(0);
+  EXPECT_EQ(ftl.stats().lookups, 1u);
+  EXPECT_EQ(ftl.stats().misses, 1u);
+  EXPECT_EQ(ftl.stats().trans_reads_at, 1u);
+  // Unwritten page: translation read only, no data read.
+  EXPECT_DOUBLE_EQ(t, w.geometry.page_read_us);
+  EXPECT_EQ(w.flash->stats().page_reads, 1u);
+}
+
+TEST(DftlTest, CachedEntryHitIsFree) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  ftl.ReadPage(42);
+  const uint64_t reads_before = w.flash->stats().page_reads;
+  const MicroSec t = ftl.ReadPage(42);
+  EXPECT_EQ(ftl.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_EQ(w.flash->stats().page_reads, reads_before);
+}
+
+TEST(DftlTest, WriteMapsPageAndTagsOob) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  ftl.WritePage(5);
+  const Ppn ppn = ftl.Probe(5);
+  ASSERT_NE(ppn, kInvalidPpn);
+  EXPECT_EQ(w.flash->StateOf(ppn), PageState::kValid);
+  EXPECT_EQ(w.flash->OobTag(ppn), 5u);
+}
+
+TEST(DftlTest, OverwriteInvalidatesOldPage) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  ftl.WritePage(5);
+  const Ppn old_ppn = ftl.Probe(5);
+  ftl.WritePage(5);
+  const Ppn new_ppn = ftl.Probe(5);
+  EXPECT_NE(new_ppn, old_ppn);
+  EXPECT_EQ(w.flash->StateOf(old_ppn), PageState::kInvalid);
+  EXPECT_EQ(w.flash->StateOf(new_ppn), PageState::kValid);
+}
+
+TEST(DftlTest, CleanEvictionsCostNoFlashWrites) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  // Read 16 distinct pages through an 8-entry cache: 8 clean evictions.
+  for (Lpn lpn = 0; lpn < 16; ++lpn) {
+    ftl.ReadPage(lpn * 64);  // Spread across all 8 translation pages.
+  }
+  EXPECT_GE(ftl.stats().evictions, 8u);
+  EXPECT_EQ(ftl.stats().dirty_evictions, 0u);
+  EXPECT_EQ(ftl.stats().trans_writes_at, 0u);
+}
+
+TEST(DftlTest, DirtyEvictionWritesBackExactlyOneEntry) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  // Dirty the whole 8-entry cache with writes to the same translation page.
+  for (Lpn lpn = 0; lpn < 8; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  ASSERT_EQ(ftl.stats().evictions, 0u);
+  const uint64_t writes_before = ftl.stats().trans_writes_at;
+  // The 9th entry evicts one dirty victim → exactly one translation page
+  // read-modify-write, the other 7 dirty co-residents stay dirty (§3.2).
+  ftl.ReadPage(1000);
+  EXPECT_EQ(ftl.stats().evictions, 1u);
+  EXPECT_EQ(ftl.stats().dirty_evictions, 1u);
+  EXPECT_EQ(ftl.stats().trans_writes_at, writes_before + 1);
+  // Next eviction again pays a writeback: Prd stays high for DFTL.
+  ftl.ReadPage(900);
+  EXPECT_EQ(ftl.stats().dirty_evictions, 2u);
+}
+
+TEST(DftlTest, EvictedDirtyEntryIsPersisted) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  ftl.WritePage(3);
+  const Ppn mapped = ftl.Probe(3);
+  // Evict everything by streaming reads through the cache.
+  for (Lpn lpn = 100; lpn < 130; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  // Entry 3 must now come from flash and still be correct.
+  EXPECT_EQ(ftl.Probe(3), mapped);
+  EXPECT_EQ(ftl.translation_store().Persisted(3), mapped);
+}
+
+TEST(DftlTest, SlruProtectsReReferencedEntries) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  ftl.ReadPage(7);
+  ftl.ReadPage(7);  // Promoted to the protected segment.
+  // Stream 20 cold single-touch pages through the probationary segment.
+  for (Lpn lpn = 200; lpn < 220; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  const uint64_t misses_before = ftl.stats().misses;
+  ftl.ReadPage(7);
+  EXPECT_EQ(ftl.stats().misses, misses_before);  // Still cached.
+}
+
+TEST(DftlTest, GcHitUpdatesCachedEntryInPlace) {
+  // Big cache (all entries fit) → every GC mapping update is a cache hit.
+  World w = MakeWorld(1024, /*cache_bytes=*/32 + 1024 * 8, /*total_blocks=*/96);
+  Dftl ftl(w.env);
+  for (int round = 0; round < 6; ++round) {
+    for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+      ftl.WritePage(lpn);
+    }
+  }
+  EXPECT_GT(ftl.stats().gc_data_blocks, 0u);
+  EXPECT_EQ(ftl.stats().gc_misses, 0u);
+  // Consistency after GC-driven migrations.
+  for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    EXPECT_EQ(w.flash->OobTag(ppn), lpn);
+    EXPECT_EQ(w.flash->StateOf(ppn), PageState::kValid);
+  }
+}
+
+TEST(DftlTest, OccupancyIntrospection) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  ftl.WritePage(0);   // TP 0, dirty.
+  ftl.ReadPage(1);    // TP 0, clean.
+  ftl.WritePage(128); // TP 1, dirty.
+  const auto occupancy = ftl.OccupancyByPage();
+  ASSERT_EQ(occupancy.size(), 2u);
+  EXPECT_EQ(ftl.CachedTranslationPages(), 2u);
+  EXPECT_EQ(occupancy.at(0).entries, 2u);
+  EXPECT_EQ(occupancy.at(0).dirty_entries, 1u);
+  EXPECT_EQ(occupancy.at(1).entries, 1u);
+  EXPECT_EQ(occupancy.at(1).dirty_entries, 1u);
+}
+
+TEST(DftlTest, CacheNeverExceedsBudget) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  for (Lpn lpn = 0; lpn < 500; ++lpn) {
+    ftl.WritePage((lpn * 37) % 1024);
+  }
+  EXPECT_LE(ftl.cache_entry_count(), 8u);
+  EXPECT_LE(ftl.cache_bytes_used(), ftl.entry_cache_budget_bytes());
+}
+
+TEST(DftlTest, FlashWriteAttributionBalances) {
+  World w = SmallDftlWorld();
+  Dftl ftl(w.env);
+  for (Lpn lpn = 0; lpn < 2000; ++lpn) {
+    ftl.WritePage((lpn * 101) % 1024);
+  }
+  const AtStats& s = ftl.stats();
+  // Every physical page write is attributable: host data, translation
+  // writebacks (AT + GC), or GC data migrations.
+  EXPECT_EQ(w.flash->stats().page_writes,
+            s.host_page_writes + s.trans_writes_at + s.trans_writes_gc + s.gc_data_migrations);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,38 @@
+#include "src/ftl/gtd.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TEST(GtdTest, StartsUnmapped) {
+  Gtd gtd(8);
+  EXPECT_EQ(gtd.size(), 8u);
+  for (Vtpn v = 0; v < 8; ++v) {
+    EXPECT_EQ(gtd.Lookup(v), kInvalidPtpn);
+  }
+}
+
+TEST(GtdTest, UpdateAndLookup) {
+  Gtd gtd(8);
+  gtd.Update(3, 777);
+  EXPECT_EQ(gtd.Lookup(3), 777u);
+  EXPECT_EQ(gtd.Lookup(2), kInvalidPtpn);
+  gtd.Update(3, 778);  // Relocation overwrites.
+  EXPECT_EQ(gtd.Lookup(3), 778u);
+}
+
+TEST(GtdTest, SizeBytesIsFourPerEntry) {
+  // §5.1's cache arithmetic depends on this: 128 translation pages → 512 B.
+  EXPECT_EQ(Gtd(128).size_bytes(), 512u);
+  EXPECT_EQ(Gtd(4096).size_bytes(), 16u * 1024);
+}
+
+TEST(GtdDeathTest, OutOfRangeAborts) {
+  Gtd gtd(4);
+  EXPECT_DEATH(gtd.Lookup(4), "");
+  EXPECT_DEATH(gtd.Update(9, 1), "");
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,71 @@
+#include "src/ftl/optimal_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+TEST(OptimalFtlTest, TranslationIsAlwaysAHitAndFree) {
+  World w = MakeWorld(1024, /*cache_bytes=*/64);
+  OptimalFtl ftl(w.env);
+  ftl.WritePage(10);
+  ftl.ReadPage(10);
+  ftl.ReadPage(999);
+  EXPECT_EQ(ftl.stats().lookups, 3u);
+  EXPECT_EQ(ftl.stats().hits, 3u);
+  EXPECT_EQ(ftl.stats().misses, 0u);
+  EXPECT_DOUBLE_EQ(ftl.stats().hit_ratio(), 1.0);
+}
+
+TEST(OptimalFtlTest, NeverTouchesTranslationPages) {
+  World w = MakeWorld(1024, 64);
+  OptimalFtl ftl(w.env);
+  testing::DriveRandomOps(ftl, 1024, 5000, 0.8, 7);
+  EXPECT_EQ(ftl.stats().trans_reads_total(), 0u);
+  EXPECT_EQ(ftl.stats().trans_writes_total(), 0u);
+  EXPECT_EQ(ftl.stats().evictions, 0u);
+  EXPECT_DOUBLE_EQ(ftl.stats().dirty_replacement_probability(), 0.0);
+  EXPECT_EQ(ftl.stats().gc_trans_blocks, 0u);
+}
+
+TEST(OptimalFtlTest, GcUpdatesAreAllHits) {
+  World w = MakeWorld(1024, 64);
+  OptimalFtl ftl(w.env);
+  for (int round = 0; round < 8; ++round) {
+    for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+      ftl.WritePage(lpn);
+    }
+  }
+  EXPECT_GT(ftl.stats().gc_data_blocks, 0u);
+  EXPECT_EQ(ftl.stats().gc_misses, 0u);
+}
+
+TEST(OptimalFtlTest, WriteAmplificationIsPureGc) {
+  World w = MakeWorld(1024, 64);
+  OptimalFtl ftl(w.env);
+  testing::DriveRandomOps(ftl, 1024, 8000, 1.0, 13);
+  const AtStats& s = ftl.stats();
+  const double wa = s.write_amplification();
+  EXPECT_GE(wa, 1.0);
+  EXPECT_DOUBLE_EQ(
+      wa, 1.0 + static_cast<double>(s.gc_data_migrations) /
+                    static_cast<double>(s.host_page_writes));
+}
+
+TEST(OptimalFtlTest, ProbeMatchesShadowMap) {
+  World w = MakeWorld(1024, 64);
+  OptimalFtl ftl(w.env);
+  auto written = testing::DriveRandomOps(ftl, 1024, 4000, 0.6, 19);
+  for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+    const bool mapped = ftl.Probe(lpn) != kInvalidPpn;
+    EXPECT_EQ(mapped, written.contains(lpn)) << "lpn " << lpn;
+  }
+}
+
+}  // namespace
+}  // namespace tpftl

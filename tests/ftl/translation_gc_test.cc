@@ -1,0 +1,87 @@
+// Translation-block garbage collection (§3.1's Ngct/Nmt path): heavy dirty
+// writeback traffic relocates translation pages until translation blocks
+// must be collected; the GTD must follow every relocation.
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/dftl.h"
+#include "src/util/rng.h"
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+TEST(TranslationGcTest, TranslationBlocksAreCollectedUnderWritebackPressure) {
+  // Tiny cache → constant dirty evictions → translation pages rewritten
+  // constantly → translation pool churns.
+  World w = MakeWorld(1024, /*cache_bytes=*/32 + 64, /*total_blocks=*/96);
+  Dftl ftl(w.env);
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    ftl.WritePage(rng.Below(1024));
+  }
+  const AtStats& s = ftl.stats();
+  EXPECT_GT(s.gc_trans_blocks, 0u);
+  EXPECT_GT(s.gc_trans_migrations, 0u);
+  // Translation migrations are part of the translation write/read totals.
+  EXPECT_GE(s.trans_writes_gc, s.gc_trans_migrations);
+  EXPECT_GE(s.trans_reads_gc, s.gc_trans_migrations);
+}
+
+TEST(TranslationGcTest, GtdStaysCoherentAcrossTranslationGc) {
+  World w = MakeWorld(1024, 32 + 64, 96);
+  Dftl ftl(w.env);
+  Rng rng(10);
+  for (int i = 0; i < 20000; ++i) {
+    ftl.WritePage(rng.Below(1024));
+  }
+  ASSERT_GT(ftl.stats().gc_trans_blocks, 0u);
+  // Every GTD entry points at a valid flash page OOB-tagged with its VTPN.
+  const TranslationStore& store = ftl.translation_store();
+  for (Vtpn vtpn = 0; vtpn < store.translation_pages(); ++vtpn) {
+    const Ptpn ptpn = store.gtd().Lookup(vtpn);
+    ASSERT_NE(ptpn, kInvalidPtpn);
+    ASSERT_EQ(w.flash->StateOf(ptpn), PageState::kValid);
+    ASSERT_EQ(w.flash->OobTag(ptpn), vtpn);
+  }
+  // And exactly one valid translation page exists per VTPN.
+  uint64_t valid_translation_pages = 0;
+  for (BlockId b = 0; b < w.geometry.total_blocks; ++b) {
+    if (ftl.block_manager().PoolOf(b) != BlockPool::kTranslation) {
+      continue;
+    }
+    for (uint64_t off = 0; off < w.geometry.pages_per_block; ++off) {
+      if (w.flash->StateOf(w.geometry.PpnOf(b, off)) == PageState::kValid) {
+        ++valid_translation_pages;
+      }
+    }
+  }
+  EXPECT_EQ(valid_translation_pages, store.translation_pages());
+}
+
+TEST(TranslationGcTest, MappingsSurviveTranslationGc) {
+  World w = MakeWorld(1024, 32 + 64, 96);
+  Dftl ftl(w.env);
+  Rng rng(11);
+  std::vector<bool> written(1024, false);
+  for (int i = 0; i < 20000; ++i) {
+    const Lpn lpn = rng.Below(1024);
+    ftl.WritePage(lpn);
+    written[lpn] = true;
+  }
+  ASSERT_GT(ftl.stats().gc_trans_blocks, 0u);
+  for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+    if (!written[lpn]) {
+      continue;
+    }
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    ASSERT_EQ(w.flash->OobTag(ppn), lpn);
+  }
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,142 @@
+#include "src/ftl/translation_store.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::SmallGeometry;
+
+class TranslationStoreTest : public ::testing::Test {
+ protected:
+  // 1024 logical pages / 128 entries per 512 B translation page = 8 pages.
+  TranslationStoreTest()
+      : flash_(SmallGeometry()), bm_(&flash_, 2), store_(&bm_, 1024) {
+    store_.Format();
+  }
+
+  NandFlash flash_;
+  BlockManager bm_;
+  TranslationStore store_;
+};
+
+TEST_F(TranslationStoreTest, FormatWritesAllTranslationPages) {
+  EXPECT_EQ(store_.translation_pages(), 8u);
+  EXPECT_EQ(store_.entries_per_page(), 128u);
+  EXPECT_EQ(flash_.stats().page_writes, 8u);
+  for (Vtpn v = 0; v < 8; ++v) {
+    const Ptpn ptpn = store_.gtd().Lookup(v);
+    ASSERT_NE(ptpn, kInvalidPtpn);
+    EXPECT_EQ(flash_.StateOf(ptpn), PageState::kValid);
+    EXPECT_EQ(flash_.OobTag(ptpn), v);
+  }
+}
+
+TEST_F(TranslationStoreTest, FreshTableIsAllInvalid) {
+  for (Lpn lpn = 0; lpn < 1024; lpn += 37) {
+    EXPECT_EQ(store_.Persisted(lpn), kInvalidPpn);
+  }
+}
+
+TEST_F(TranslationStoreTest, ReadTranslationPageCostsOneRead) {
+  const uint64_t reads_before = flash_.stats().page_reads;
+  const MicroSec t = store_.ReadTranslationPage(3);
+  EXPECT_DOUBLE_EQ(t, flash_.geometry().page_read_us);
+  EXPECT_EQ(flash_.stats().page_reads, reads_before + 1);
+}
+
+TEST_F(TranslationStoreTest, RewriteAppliesUpdatesAndRelocates) {
+  const Ptpn old_ptpn = store_.gtd().Lookup(2);
+  const std::vector<MappingUpdate> updates = {{2 * 128 + 5, 777}, {2 * 128 + 6, 778}};
+  const auto r = store_.RewriteTranslationPage(2, updates, /*have_full_content=*/false);
+  EXPECT_TRUE(r.did_read);
+  EXPECT_DOUBLE_EQ(r.time, flash_.geometry().page_read_us + flash_.geometry().page_write_us);
+  EXPECT_EQ(store_.Persisted(2 * 128 + 5), 777u);
+  EXPECT_EQ(store_.Persisted(2 * 128 + 6), 778u);
+  EXPECT_EQ(store_.Persisted(2 * 128 + 7), kInvalidPpn);
+  // Old physical page invalidated, GTD repointed.
+  EXPECT_EQ(flash_.StateOf(old_ptpn), PageState::kInvalid);
+  EXPECT_NE(store_.gtd().Lookup(2), old_ptpn);
+  EXPECT_EQ(flash_.StateOf(store_.gtd().Lookup(2)), PageState::kValid);
+}
+
+TEST_F(TranslationStoreTest, RewriteWithFullContentSkipsRead) {
+  const std::vector<MappingUpdate> updates = {{5, 42}};
+  const auto r = store_.RewriteTranslationPage(0, updates, /*have_full_content=*/true);
+  EXPECT_FALSE(r.did_read);
+  EXPECT_DOUBLE_EQ(r.time, flash_.geometry().page_write_us);
+}
+
+TEST_F(TranslationStoreTest, PersistedPageSpanMatchesEntries) {
+  const std::vector<MappingUpdate> updates = {{128 + 3, 99}};
+  store_.RewriteTranslationPage(1, updates, false);
+  const auto page = store_.PersistedPage(1);
+  ASSERT_EQ(page.size(), 128u);
+  EXPECT_EQ(page[3], 99u);
+  EXPECT_EQ(page[4], kInvalidPpn);
+}
+
+TEST_F(TranslationStoreTest, MigrateTranslationPagePreservesContent) {
+  const std::vector<MappingUpdate> updates = {{4 * 128 + 1, 555}};
+  store_.RewriteTranslationPage(4, updates, false);
+  const Ptpn before = store_.gtd().Lookup(4);
+  const MicroSec t = store_.MigrateTranslationPage(before);
+  EXPECT_DOUBLE_EQ(t, flash_.geometry().page_read_us + flash_.geometry().page_write_us);
+  EXPECT_EQ(flash_.StateOf(before), PageState::kInvalid);
+  const Ptpn after = store_.gtd().Lookup(4);
+  EXPECT_NE(after, before);
+  EXPECT_EQ(flash_.OobTag(after), 4u);
+  EXPECT_EQ(store_.Persisted(4 * 128 + 1), 555u);
+}
+
+TEST_F(TranslationStoreTest, VtpnSlotHelpers) {
+  EXPECT_EQ(store_.VtpnOf(0), 0u);
+  EXPECT_EQ(store_.VtpnOf(127), 0u);
+  EXPECT_EQ(store_.VtpnOf(128), 1u);
+  EXPECT_EQ(store_.SlotOf(130), 2u);
+}
+
+TEST_F(TranslationStoreTest, RepeatedRewritesTriggerGcSurvival) {
+  // Hammer one translation page until translation blocks must be collected;
+  // content must survive arbitrarily many relocations. (GC of translation
+  // blocks is exercised by the FTL suites; here we only verify the store
+  // keeps GTD/contents coherent across many rewrites.)
+  for (uint64_t i = 0; i < 40; ++i) {
+    const std::vector<MappingUpdate> updates = {{7 * 128 + (i % 128), i}};
+    store_.RewriteTranslationPage(7, updates, false);
+    // Manually reclaim fully-invalid translation blocks like a tiny GC.
+    while (bm_.NeedsGc()) {
+      const BlockId victim = bm_.PickVictim();
+      ASSERT_NE(victim, kInvalidBlock);
+      for (uint64_t off = 0; off < flash_.geometry().pages_per_block; ++off) {
+        const Ppn ppn = flash_.geometry().PpnOf(victim, off);
+        if (flash_.StateOf(ppn) == PageState::kValid) {
+          store_.MigrateTranslationPage(ppn);
+        }
+      }
+      bm_.EraseAndFree(victim);
+    }
+  }
+  EXPECT_EQ(store_.Persisted(7 * 128 + 39 % 128), 39u);
+}
+
+TEST(TranslationStoreDeathTest, UpdateOutsidePageAborts) {
+  NandFlash flash(SmallGeometry());
+  BlockManager bm(&flash, 2);
+  TranslationStore store(&bm, 1024);
+  store.Format();
+  const std::vector<MappingUpdate> updates = {{300, 1}};  // vtpn 2, not 0.
+  EXPECT_DEATH(store.RewriteTranslationPage(0, updates, false), "outside");
+}
+
+TEST(TranslationStoreDeathTest, UseBeforeFormatAborts) {
+  NandFlash flash(SmallGeometry());
+  BlockManager bm(&flash, 2);
+  TranslationStore store(&bm, 1024);
+  EXPECT_DEATH(store.ReadTranslationPage(0), "formatted");
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,115 @@
+#include "src/ftl/zftl.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+// GTD 32 B + 700 B budget → tier-2: one 512 B page; tier-1: 23 × 8 B entries.
+World SmallZftlWorld() { return MakeWorld(1024, /*cache_bytes=*/732); }
+
+ZftlOptions FourZones() {
+  ZftlOptions o;
+  o.zones = 4;  // 256 pages (2 translation pages) per zone.
+  return o;
+}
+
+TEST(ZftlTest, CapacitySplit) {
+  World w = SmallZftlWorld();
+  Zftl ftl(w.env, FourZones());
+  EXPECT_EQ(ftl.zone_count(), 4u);
+  EXPECT_EQ(ftl.tier1_capacity(), 23u);
+}
+
+TEST(ZftlTest, Tier2ServesActiveTranslationPage) {
+  World w = SmallZftlWorld();
+  Zftl ftl(w.env, FourZones());
+  ftl.ReadPage(0);  // Miss loads TP 0 into tier-2.
+  EXPECT_EQ(ftl.stats().misses, 1u);
+  const uint64_t reads_before = w.flash->stats().page_reads;
+  ftl.ReadPage(50);  // Same translation page, same zone → tier-2 hit.
+  EXPECT_EQ(ftl.stats().hits, 1u);
+  EXPECT_EQ(w.flash->stats().page_reads, reads_before);
+}
+
+TEST(ZftlTest, FirstAccessIsNotAZoneSwitch) {
+  World w = SmallZftlWorld();
+  Zftl ftl(w.env, FourZones());
+  ftl.ReadPage(0);
+  EXPECT_EQ(ftl.zone_switches(), 0u);
+  EXPECT_EQ(ftl.active_zone(), 0u);
+}
+
+TEST(ZftlTest, CrossZoneAccessSwitchesAndFlushes) {
+  World w = SmallZftlWorld();
+  Zftl ftl(w.env, FourZones());
+  ftl.WritePage(3);  // Zone 0; dirty state in cache.
+  const Ppn mapped = ftl.Probe(3);
+  ftl.ReadPage(600);  // Zone 2: switch — all zone-0 state must flush.
+  EXPECT_EQ(ftl.zone_switches(), 1u);
+  EXPECT_EQ(ftl.active_zone(), 2u);
+  // The dirty mapping for LPN 3 was persisted during the switch.
+  EXPECT_EQ(ftl.translation_store().Persisted(3), mapped);
+  EXPECT_EQ(ftl.Probe(3), mapped);
+}
+
+TEST(ZftlTest, ZonePingPongIsCumbersome) {
+  // The §2.2 critique: alternating zones incurs constant switch overhead.
+  World w = SmallZftlWorld();
+  Zftl ftl(w.env, FourZones());
+  for (int i = 0; i < 10; ++i) {
+    ftl.ReadPage(0);    // Zone 0.
+    ftl.ReadPage(600);  // Zone 2.
+  }
+  EXPECT_EQ(ftl.zone_switches(), 19u);
+  // Every access after the first is a fresh miss: nothing survives a switch.
+  EXPECT_EQ(ftl.stats().hits, 0u);
+}
+
+TEST(ZftlTest, Tier1BatchEviction) {
+  World w = SmallZftlWorld();
+  Zftl ftl(w.env, FourZones());
+  // Tier-1 is fed by misses; alternating between zone 0's two translation
+  // pages makes every write a tier-2 swap miss, so each inserts one dirty
+  // tier-1 entry. The 24th insert overflows the 23-entry tier and must
+  // batch-evict the LRU entry's whole translation-page group with a single
+  // translation write.
+  for (Lpn i = 0; i < 12; ++i) {
+    ftl.WritePage(i);        // TP 0, zone 0.
+    ftl.WritePage(128 + i);  // TP 1, zone 0.
+  }
+  EXPECT_GE(ftl.stats().evictions, 12u);    // The entire TP-0 group left.
+  EXPECT_EQ(ftl.stats().dirty_evictions, 1u);  // ...as ONE batched writeback.
+  EXPECT_EQ(ftl.stats().trans_writes_at, 1u);
+  // Flushed mappings are persisted and still resolvable.
+  EXPECT_EQ(ftl.translation_store().Persisted(0), ftl.Probe(0));
+}
+
+TEST(ZftlTest, ConsistencyUnderChurn) {
+  World w = SmallZftlWorld();
+  Zftl ftl(w.env, FourZones());
+  auto written = testing::DriveRandomOps(ftl, 1024, 4000, 0.7, 53);
+  for (const auto& [lpn, _] : written) {
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    ASSERT_EQ(w.flash->OobTag(ppn), lpn);
+    ASSERT_EQ(w.flash->StateOf(ppn), PageState::kValid);
+  }
+}
+
+TEST(ZftlTest, FlashWriteAttributionBalances) {
+  World w = SmallZftlWorld();
+  Zftl ftl(w.env, FourZones());
+  testing::DriveRandomOps(ftl, 1024, 3000, 0.8, 59);
+  const AtStats& s = ftl.stats();
+  EXPECT_EQ(w.flash->stats().page_writes,
+            s.host_page_writes + s.trans_writes_at + s.trans_writes_gc + s.gc_data_migrations);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,137 @@
+// Property sweeps (parameterized): invariants that must hold for every FTL
+// at every cache size under every workload style.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/ssd/runner.h"
+
+namespace tpftl {
+namespace {
+
+WorkloadConfig StyledWorkload(const std::string& style, uint64_t requests) {
+  WorkloadConfig c;
+  c.name = style;
+  c.address_space_bytes = 16ULL << 20;  // 4096 pages.
+  c.num_requests = requests;
+  c.seed = 3;
+  c.chunk_pages = 16;
+  if (style == "random-write") {
+    c.write_ratio = 0.9;
+    c.zipf_theta = 1.1;
+  } else if (style == "read-mostly") {
+    c.write_ratio = 0.1;
+    c.zipf_theta = 1.1;
+  } else if (style == "sequential") {
+    c.write_ratio = 0.7;
+    c.seq_read_fraction = 0.6;
+    c.seq_write_fraction = 0.6;
+    c.mean_seq_bytes = 32 * 1024;
+    c.zipf_theta = 0.9;
+  } else {  // "uniform"
+    c.write_ratio = 0.5;
+    c.zipf_theta = 0.0;
+  }
+  return c;
+}
+
+using Param = std::tuple<FtlKind, std::string>;
+
+class FtlPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(FtlPropertyTest, MetricsStayInTheirDomains) {
+  const auto [kind, style] = GetParam();
+  ExperimentConfig config;
+  config.workload = StyledWorkload(style, 4000);
+  config.ftl_kind = kind;
+  const RunReport r = RunExperiment(config);
+
+  EXPECT_GE(r.hit_ratio, 0.0);
+  EXPECT_LE(r.hit_ratio, 1.0);
+  EXPECT_GE(r.prd, 0.0);
+  EXPECT_LE(r.prd, 1.0);
+  EXPECT_GE(r.write_amplification, 1.0);
+  EXPECT_GE(r.mean_response_us, 0.0);
+  EXPECT_LE(r.mean_response_us, r.max_response_us);
+  EXPECT_EQ(r.stats.hits + r.stats.misses, r.stats.lookups);
+  EXPECT_LE(r.stats.dirty_evictions, r.stats.evictions);
+  EXPECT_EQ(r.stats.gc_hits + r.stats.gc_misses, r.stats.gc_data_migrations);
+}
+
+TEST_P(FtlPropertyTest, FlashWriteAttributionBalances) {
+  const auto [kind, style] = GetParam();
+  ExperimentConfig config;
+  config.workload = StyledWorkload(style, 4000);
+  config.ftl_kind = kind;
+  const RunReport r = RunExperiment(config);
+  EXPECT_EQ(r.flash.page_writes, r.stats.host_page_writes + r.stats.trans_writes_at +
+                                     r.stats.trans_writes_gc + r.stats.gc_data_migrations);
+}
+
+TEST_P(FtlPropertyTest, BiggerCacheNeverHurtsHitRatio) {
+  const auto [kind, style] = GetParam();
+  if (kind == FtlKind::kOptimal) {
+    GTEST_SKIP() << "optimal has no cache-size axis";
+  }
+  ExperimentConfig config;
+  config.workload = StyledWorkload(style, 4000);
+  config.ftl_kind = kind;
+  config.cache_bytes = 1024;
+  const RunReport small = RunExperiment(config);
+  config.cache_bytes = 64 * 1024;
+  const RunReport big = RunExperiment(config);
+  // Allow a whisker of noise; the trend must not invert materially.
+  EXPECT_GE(big.hit_ratio + 0.02, small.hit_ratio)
+      << FtlKindName(kind) << " on " << style;
+  EXPECT_LE(big.trans_reads, small.trans_reads + small.trans_reads / 10 + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FtlPropertyTest,
+    ::testing::Combine(::testing::Values(FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl,
+                                         FtlKind::kTpftl, FtlKind::kOptimal),
+                       ::testing::Values(std::string("random-write"), std::string("read-mostly"),
+                                         std::string("sequential"), std::string("uniform"))),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::string(FtlKindName(std::get<0>(info.param))) + "_" +
+                         std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// TPFTL-specific invariants across all 16 technique combinations.
+class TpftlConfigPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpftlConfigPropertyTest, EveryTechniqueComboIsSoundAndBounded) {
+  TpftlOptions options;
+  const int bits = GetParam();
+  options.request_prefetch = (bits & 1) != 0;
+  options.selective_prefetch = (bits & 2) != 0;
+  options.batch_update = (bits & 4) != 0;
+  options.clean_first = (bits & 8) != 0;
+
+  ExperimentConfig config;
+  config.workload = StyledWorkload("random-write", 3000);
+  config.ftl_kind = FtlKind::kTpftl;
+  config.tpftl_options = options;
+  const RunReport r = RunExperiment(config);
+  EXPECT_GE(r.hit_ratio, 0.0);
+  EXPECT_LE(r.prd, 1.0);
+  EXPECT_EQ(r.flash.page_writes, r.stats.host_page_writes + r.stats.trans_writes_at +
+                                     r.stats.trans_writes_gc + r.stats.gc_data_migrations);
+  if (options.batch_update) {
+    // Batch update must keep Prd far below the no-technique baseline (§4.4).
+    EXPECT_LT(r.prd, 0.25) << "config " << options.Label();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, TpftlConfigPropertyTest, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace tpftl

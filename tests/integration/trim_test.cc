@@ -1,0 +1,162 @@
+// TRIM/deallocate semantics, across every FTL and through the SSD layer.
+
+#include <gtest/gtest.h>
+
+#include "src/core/ftl_factory.h"
+#include "src/ssd/ssd.h"
+#include "src/util/rng.h"
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+class TrimTest : public ::testing::TestWithParam<FtlKind> {};
+
+TEST_P(TrimTest, TrimDropsMappingAndFreesThePage) {
+  World w = MakeWorld(1024, 32 + 280, 96);
+  auto ftl = CreateFtl(GetParam(), w.env);
+  ftl->WritePage(5);
+  const Ppn ppn = ftl->Probe(5);
+  ASSERT_NE(ppn, kInvalidPpn);
+  ftl->TrimPage(5);
+  EXPECT_EQ(ftl->Probe(5), kInvalidPpn);
+  EXPECT_EQ(w.flash->StateOf(ppn), PageState::kInvalid);  // Garbage now.
+  // Reading a trimmed page is free (nothing mapped).
+  EXPECT_DOUBLE_EQ(ftl->ReadPage(5), 0.0);
+}
+
+TEST_P(TrimTest, TrimOfUnmappedPageIsHarmless) {
+  World w = MakeWorld(1024, 32 + 280, 96);
+  auto ftl = CreateFtl(GetParam(), w.env);
+  EXPECT_NO_FATAL_FAILURE(ftl->TrimPage(7));
+  EXPECT_EQ(ftl->Probe(7), kInvalidPpn);
+}
+
+TEST_P(TrimTest, RewriteAfterTrimWorks) {
+  World w = MakeWorld(1024, 32 + 280, 96);
+  auto ftl = CreateFtl(GetParam(), w.env);
+  ftl->WritePage(9);
+  ftl->TrimPage(9);
+  ftl->WritePage(9);
+  const Ppn ppn = ftl->Probe(9);
+  ASSERT_NE(ppn, kInvalidPpn);
+  EXPECT_EQ(w.flash->OobTag(ppn), 9u);
+  EXPECT_EQ(w.flash->StateOf(ppn), PageState::kValid);
+}
+
+TEST_P(TrimTest, TrimSurvivesChurnAndGc) {
+  World w = MakeWorld(1024, 32 + 280, /*total_blocks=*/84);
+  auto ftl = CreateFtl(GetParam(), w.env);
+  Rng rng(77);
+  std::vector<int> state(1024, 0);  // 0 unmapped, 1 mapped.
+  for (int i = 0; i < 8000; ++i) {
+    const Lpn lpn = rng.Below(1024);
+    const double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      ftl->WritePage(lpn);
+      state[lpn] = 1;
+    } else if (dice < 0.75) {
+      ftl->TrimPage(lpn);
+      state[lpn] = 0;
+    } else {
+      ftl->ReadPage(lpn);
+    }
+  }
+  for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+    const Ppn ppn = ftl->Probe(lpn);
+    if (state[lpn] == 1) {
+      ASSERT_NE(ppn, kInvalidPpn) << FtlKindName(GetParam()) << " lpn " << lpn;
+      ASSERT_EQ(w.flash->OobTag(ppn), lpn);
+      ASSERT_EQ(w.flash->StateOf(ppn), PageState::kValid);
+    } else {
+      ASSERT_EQ(ppn, kInvalidPpn) << FtlKindName(GetParam()) << " lpn " << lpn;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFtls, TrimTest,
+                         ::testing::Values(FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl,
+                                           FtlKind::kSftl, FtlKind::kTpftl, FtlKind::kBlockFtl,
+                                           FtlKind::kFast, FtlKind::kZftl),
+                         [](const ::testing::TestParamInfo<FtlKind>& info) {
+                           std::string name = FtlKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(TrimSsdTest, TrimRequestFlowsThroughTheDevice) {
+  SsdConfig config;
+  config.logical_bytes = 16ULL << 20;
+  Ssd ssd(config);
+  IoRequest w;
+  w.offset_bytes = 0;
+  w.size_bytes = 4 * 4096;
+  w.kind = IoKind::kWrite;
+  ssd.Submit(w);
+  ASSERT_NE(ssd.ftl().Probe(0), kInvalidPpn);
+
+  IoRequest trim = w;
+  trim.kind = IoKind::kTrim;
+  trim.arrival_us = 1e6;
+  ssd.Submit(trim);
+  for (Lpn lpn = 0; lpn < 4; ++lpn) {
+    EXPECT_EQ(ssd.ftl().Probe(lpn), kInvalidPpn);
+  }
+}
+
+TEST(TrimSsdTest, TrimDiscardsBufferedCopies) {
+  SsdConfig config;
+  config.logical_bytes = 16ULL << 20;
+  config.write_buffer.capacity_pages = 16;
+  Ssd ssd(config);
+  IoRequest w;
+  w.offset_bytes = 0;
+  w.size_bytes = 4096;
+  w.kind = IoKind::kWrite;
+  ssd.Submit(w);
+  EXPECT_EQ(ssd.write_buffer().dirty_count(), 1u);
+
+  IoRequest trim = w;
+  trim.kind = IoKind::kTrim;
+  ssd.Submit(trim);
+  EXPECT_EQ(ssd.write_buffer().dirty_count(), 0u);
+  EXPECT_EQ(ssd.write_buffer().size(), 0u);
+  // The trimmed page never reaches flash.
+  IoRequest r = w;
+  r.kind = IoKind::kRead;
+  ssd.Submit(r);
+  EXPECT_EQ(ssd.ftl().Probe(0), kInvalidPpn);
+}
+
+TEST(TrimSsdTest, TrimmedSpaceMakesGcCheaper) {
+  // The point of TRIM: dead data does not get migrated. Fill, then trim half
+  // the drive, then overwrite — the trimmed variant migrates fewer pages.
+  auto run = [](bool with_trim) {
+    World w = MakeWorld(1024, 32 + 280, /*total_blocks=*/84);
+    auto ftl = CreateFtl(FtlKind::kTpftl, w.env);
+    for (Lpn lpn = 0; lpn < 1024; ++lpn) {
+      ftl->WritePage(lpn);
+    }
+    if (with_trim) {
+      for (Lpn lpn = 512; lpn < 1024; ++lpn) {
+        ftl->TrimPage(lpn);
+      }
+    }
+    Rng rng(5);
+    for (int i = 0; i < 4000; ++i) {
+      ftl->WritePage(rng.Below(512));
+    }
+    return ftl->stats().gc_data_migrations;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,66 @@
+#include "src/ssd/report_json.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+RunReport SampleReport() {
+  RunReport r;
+  r.workload_name = "Financial1";
+  r.ftl_name = "TPFTL";
+  r.requests = 1000;
+  r.hit_ratio = 0.875;
+  r.prd = 0.015;
+  r.write_amplification = 2.5;
+  r.mean_response_us = 812.5;
+  r.trans_reads = 42;
+  r.trans_writes = 7;
+  r.block_erases = 3;
+  r.stats.lookups = 1100;
+  r.stats.hits = 960;
+  r.flash.page_writes = 1234;
+  return r;
+}
+
+TEST(ReportJsonTest, ContainsAllTopLevelFields) {
+  const std::string json = ReportToJson(SampleReport());
+  for (const char* key :
+       {"\"workload\":\"Financial1\"", "\"ftl\":\"TPFTL\"", "\"requests\":1000",
+        "\"hit_ratio\":0.875", "\"prd\":0.015", "\"write_amplification\":2.5",
+        "\"trans_reads\":42", "\"trans_writes\":7", "\"block_erases\":3",
+        "\"lookups\":1100", "\"page_writes\":1234"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
+  }
+}
+
+TEST(ReportJsonTest, ProducesBalancedJson) {
+  const std::string json = ReportToJson(SampleReport());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  bool in_string = false;
+  for (const char c : json) {
+    if (c == '"') {
+      in_string = !in_string;
+    }
+    if (!in_string) {
+      depth += c == '{' ? 1 : 0;
+      depth -= c == '}' ? 1 : 0;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportJsonTest, EscapesSpecialCharacters) {
+  RunReport r = SampleReport();
+  r.workload_name = "trace \"v2\"\\path";
+  const std::string json = ReportToJson(r);
+  EXPECT_NE(json.find("\\\"v2\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\path"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpftl

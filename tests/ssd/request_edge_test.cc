@@ -1,0 +1,88 @@
+// Host-request edge cases at the SSD boundary.
+
+#include <gtest/gtest.h>
+
+#include "src/ssd/ssd.h"
+
+namespace tpftl {
+namespace {
+
+SsdConfig SmallSsd() {
+  SsdConfig c;
+  c.logical_bytes = 16ULL << 20;  // 4096 pages.
+  c.ftl_kind = FtlKind::kOptimal;
+  return c;
+}
+
+TEST(RequestEdgeTest, ZeroSizeRequestTouchesOnePage) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.offset_bytes = 4096 * 7;
+  req.size_bytes = 0;
+  req.kind = IoKind::kWrite;
+  ssd.Submit(req);
+  EXPECT_EQ(ssd.ftl().stats().host_page_writes, 1u);
+  EXPECT_NE(ssd.ftl().Probe(7), kInvalidPpn);
+}
+
+TEST(RequestEdgeTest, RequestBeyondDeviceWrapsDeterministically) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.offset_bytes = (16ULL << 20) + 4096;  // One page past the end.
+  req.size_bytes = 4096;
+  req.kind = IoKind::kWrite;
+  ssd.Submit(req);
+  // Wraps modulo the logical space: lands on LPN 1.
+  EXPECT_NE(ssd.ftl().Probe(1), kInvalidPpn);
+}
+
+TEST(RequestEdgeTest, RequestLargerThanDeviceIsClamped) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.offset_bytes = 0;
+  req.size_bytes = 64ULL << 20;  // 4× the device.
+  req.kind = IoKind::kWrite;
+  ssd.Submit(req);
+  // Clamped to one pass over the logical space.
+  EXPECT_EQ(ssd.ftl().stats().host_page_writes, ssd.logical_pages());
+}
+
+TEST(RequestEdgeTest, RequestStraddlingTheEndWraps) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.offset_bytes = (16ULL << 20) - 4096;  // Last page.
+  req.size_bytes = 2 * 4096;                // Spills past the end.
+  req.kind = IoKind::kWrite;
+  ssd.Submit(req);
+  EXPECT_NE(ssd.ftl().Probe(ssd.logical_pages() - 1), kInvalidPpn);
+  EXPECT_NE(ssd.ftl().Probe(0), kInvalidPpn);  // Wrapped page.
+}
+
+TEST(RequestEdgeTest, BackToBackArrivalTimesQueueCorrectly) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.size_bytes = 4096;
+  req.kind = IoKind::kWrite;
+  // Three simultaneous arrivals: responses accumulate service time.
+  MicroSec last = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    req.offset_bytes = static_cast<uint64_t>(i) * 4096;
+    const MicroSec r = ssd.Submit(req);
+    EXPECT_GT(r, last);
+    last = r;
+  }
+  EXPECT_DOUBLE_EQ(last, 3 * ssd.geometry().page_write_us);
+}
+
+TEST(RequestEdgeTest, ReadOfNeverWrittenRangeIsInstant) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.offset_bytes = 1 << 20;
+  req.size_bytes = 32 * 4096;
+  req.kind = IoKind::kRead;
+  EXPECT_DOUBLE_EQ(ssd.Submit(req), 0.0);
+  EXPECT_EQ(ssd.flash().stats().page_reads, 0u);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,127 @@
+#include "src/ssd/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+WorkloadConfig TinyWorkload() {
+  WorkloadConfig c;
+  c.name = "tiny";
+  c.address_space_bytes = 16ULL << 20;
+  c.num_requests = 3000;
+  c.seed = 5;
+  c.write_ratio = 0.7;
+  c.zipf_theta = 1.0;
+  c.chunk_pages = 16;
+  return c;
+}
+
+TEST(RunnerTest, ReportFieldsArePopulated) {
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  config.ftl_kind = FtlKind::kTpftl;
+  const RunReport report = RunExperiment(config);
+  EXPECT_EQ(report.workload_name, "tiny");
+  EXPECT_EQ(report.ftl_name, "TPFTL");
+  EXPECT_EQ(report.requests, 2700u);  // 10 % warm-up excluded.
+  EXPECT_GT(report.hit_ratio, 0.0);
+  EXPECT_LE(report.hit_ratio, 1.0);
+  EXPECT_GE(report.prd, 0.0);
+  EXPECT_LE(report.prd, 1.0);
+  EXPECT_GE(report.write_amplification, 1.0);
+  EXPECT_GT(report.mean_response_us, 0.0);
+  EXPECT_GT(report.cache_bytes_budget, 0u);
+}
+
+TEST(RunnerTest, WarmupRequestsAreExcludedFromStats) {
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  config.warmup_fraction = 0.5;
+  const RunReport report = RunExperiment(config, nullptr);
+  EXPECT_EQ(report.requests, 1500u);
+  // Page accesses ≈ requests (1-page mean): far fewer than the full trace.
+  EXPECT_LT(report.stats.user_page_accesses(), 3000u);
+}
+
+TEST(RunnerTest, ZeroWarmupMeasuresEverything) {
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  config.warmup_fraction = 0.0;
+  const RunReport report = RunExperiment(config);
+  EXPECT_EQ(report.requests, 3000u);
+}
+
+TEST(RunnerTest, ObserverSeesEveryMeasuredRequest) {
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  uint64_t calls = 0;
+  uint64_t last_index = 0;
+  RunExperiment(config, [&](const Ssd&, uint64_t index) {
+    ++calls;
+    last_index = index;
+  });
+  EXPECT_EQ(calls, 2700u);
+  EXPECT_EQ(last_index, 2700u);
+}
+
+TEST(RunnerTest, DeterministicAcrossRuns) {
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  const RunReport a = RunExperiment(config);
+  const RunReport b = RunExperiment(config);
+  EXPECT_EQ(a.trans_reads, b.trans_reads);
+  EXPECT_EQ(a.trans_writes, b.trans_writes);
+  EXPECT_EQ(a.block_erases, b.block_erases);
+  EXPECT_DOUBLE_EQ(a.mean_response_us, b.mean_response_us);
+  EXPECT_DOUBLE_EQ(a.hit_ratio, b.hit_ratio);
+}
+
+TEST(RunnerTest, OptimalDominatesDftl) {
+  // The optimal FTL must beat DFTL on every §5 metric (Table 2's premise).
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  config.ftl_kind = FtlKind::kOptimal;
+  const RunReport optimal = RunExperiment(config);
+  config.ftl_kind = FtlKind::kDftl;
+  const RunReport dftl = RunExperiment(config);
+  EXPECT_LE(optimal.mean_response_us, dftl.mean_response_us);
+  EXPECT_LE(optimal.write_amplification, dftl.write_amplification);
+  EXPECT_LE(optimal.block_erases, dftl.block_erases);
+  EXPECT_EQ(optimal.trans_reads, 0u);
+  EXPECT_GT(dftl.trans_reads, 0u);
+}
+
+TEST(RunnerTest, RunTraceAcceptsExplicitTrace) {
+  std::vector<IoRequest> requests;
+  for (int i = 0; i < 100; ++i) {
+    IoRequest r;
+    r.arrival_us = i * 1000.0;
+    r.offset_bytes = (static_cast<uint64_t>(i) * 7919) % 4096 * 4096;
+    r.size_bytes = 4096;
+    r.kind = IoKind::kWrite;
+    requests.push_back(r);
+  }
+  VectorTrace trace(std::move(requests));
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  config.workload.num_requests = 100;
+  const RunReport report = RunTrace(config, trace);
+  EXPECT_EQ(report.requests, 90u);
+  EXPECT_GT(report.stats.host_page_writes, 0u);
+}
+
+TEST(RunnerTest, CacheBytesOverrideIsHonored) {
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  config.cache_bytes = 64 * 1024;
+  config.ftl_kind = FtlKind::kDftl;
+  const RunReport big = RunExperiment(config);
+  config.cache_bytes = 0;  // Paper default: 272 B for 16 MB.
+  const RunReport small = RunExperiment(config);
+  EXPECT_EQ(big.cache_bytes_budget, 64u * 1024);
+  EXPECT_GT(big.hit_ratio, small.hit_ratio);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,167 @@
+#include "src/ssd/ssd.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+SsdConfig SmallSsd(FtlKind kind = FtlKind::kTpftl) {
+  SsdConfig c;
+  c.logical_bytes = 16ULL << 20;  // 4096 pages, 64 logical blocks.
+  c.ftl_kind = kind;
+  return c;
+}
+
+TEST(SsdTest, PaperCacheDefaultApplies) {
+  Ssd ssd(SmallSsd());
+  // Block-level table: 64 blocks * 4 B; GTD: 4 translation pages * 4 B.
+  EXPECT_EQ(ssd.cache_bytes(), 64u * 4 + 4u * 4);
+  EXPECT_EQ(ssd.logical_pages(), 4096u);
+}
+
+TEST(SsdTest, PaperConfigurationsMatchSection51) {
+  // 512 MB → 8.5 KiB cache; 16 GB → 272 KiB cache (§5.1).
+  const FlashGeometry g512 = MakeGeometry(512ULL << 20);
+  EXPECT_EQ(PaperCacheBytes(g512, LogicalPages(g512, 512ULL << 20)), 8704u);
+  const FlashGeometry g16 = MakeGeometry(16ULL << 30);
+  EXPECT_EQ(PaperCacheBytes(g16, LogicalPages(g16, 16ULL << 30)), 278528u);
+}
+
+TEST(SsdTest, SubmitSplitsRequestIntoPageAccesses) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.offset_bytes = 0;
+  req.size_bytes = 3 * 4096;
+  req.kind = IoKind::kWrite;
+  req.arrival_us = 0.0;
+  ssd.Submit(req);
+  EXPECT_EQ(ssd.ftl().stats().host_page_writes, 3u);
+  EXPECT_NE(ssd.ftl().Probe(0), kInvalidPpn);
+  EXPECT_NE(ssd.ftl().Probe(2), kInvalidPpn);
+  EXPECT_EQ(ssd.ftl().Probe(3), kInvalidPpn);
+}
+
+TEST(SsdTest, UnalignedRequestTouchesSpilloverPage) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.offset_bytes = 4096 - 512;
+  req.size_bytes = 1024;  // Crosses the page boundary.
+  req.kind = IoKind::kWrite;
+  ssd.Submit(req);
+  EXPECT_EQ(ssd.ftl().stats().host_page_writes, 2u);
+  EXPECT_NE(ssd.ftl().Probe(0), kInvalidPpn);
+  EXPECT_NE(ssd.ftl().Probe(1), kInvalidPpn);
+}
+
+TEST(SsdTest, ResponseTimeIsServicePlusQueue) {
+  Ssd ssd(SmallSsd(FtlKind::kOptimal));
+  IoRequest w1;
+  w1.offset_bytes = 0;
+  w1.size_bytes = 4096;
+  w1.kind = IoKind::kWrite;
+  w1.arrival_us = 0.0;
+  const MicroSec r1 = ssd.Submit(w1);
+  // Optimal FTL: one data page write, no translation cost, no queue.
+  EXPECT_DOUBLE_EQ(r1, ssd.geometry().page_write_us);
+
+  // A simultaneous second request queues behind the first.
+  IoRequest w2 = w1;
+  w2.offset_bytes = 4096;
+  const MicroSec r2 = ssd.Submit(w2);
+  EXPECT_DOUBLE_EQ(r2, 2 * ssd.geometry().page_write_us);
+
+  // A late-arriving request sees an idle device again.
+  IoRequest w3 = w1;
+  w3.offset_bytes = 8192;
+  w3.arrival_us = 10000.0;
+  const MicroSec r3 = ssd.Submit(w3);
+  EXPECT_DOUBLE_EQ(r3, ssd.geometry().page_write_us);
+}
+
+TEST(SsdTest, DemandFtlMissesCostMoreThanOptimal) {
+  Ssd optimal(SmallSsd(FtlKind::kOptimal));
+  Ssd dftl(SmallSsd(FtlKind::kDftl));
+  IoRequest req;
+  req.offset_bytes = 0;
+  req.size_bytes = 4096;
+  req.kind = IoKind::kRead;
+  const MicroSec t_opt = optimal.Submit(req);
+  const MicroSec t_dftl = dftl.Submit(req);
+  EXPECT_GT(t_dftl, t_opt);  // The miss pays a translation page read.
+}
+
+TEST(SsdTest, FillSequentialMapsEveryPage) {
+  Ssd ssd(SmallSsd());
+  ssd.FillSequential();
+  for (Lpn lpn = 0; lpn < ssd.logical_pages(); lpn += 97) {
+    EXPECT_NE(ssd.ftl().Probe(lpn), kInvalidPpn);
+  }
+  EXPECT_EQ(ssd.requests_served(), 0u);  // Preconditioning is not traffic.
+}
+
+TEST(SsdTest, ResetStatsClearsCountersKeepsMappings) {
+  Ssd ssd(SmallSsd());
+  ssd.FillSequential();
+  IoRequest req;
+  req.offset_bytes = 0;
+  req.size_bytes = 4096;
+  req.kind = IoKind::kWrite;
+  ssd.Submit(req);
+  ssd.ResetStats();
+  EXPECT_EQ(ssd.ftl().stats().host_page_writes, 0u);
+  EXPECT_EQ(ssd.flash().stats().page_writes, 0u);
+  EXPECT_EQ(ssd.requests_served(), 0u);
+  EXPECT_NE(ssd.ftl().Probe(0), kInvalidPpn);  // Mapping survives.
+}
+
+TEST(SsdTest, AgeRandomFragmentsPlacementButKeepsMappings) {
+  Ssd ssd(SmallSsd());
+  ssd.FillSequential();
+  // Fresh fill: physical placement is sequential.
+  EXPECT_EQ(ssd.ftl().Probe(1), ssd.ftl().Probe(0) + 1);
+  ssd.AgeRandom(0.5);
+  // Every page still mapped and consistent.
+  uint64_t displaced = 0;
+  Ppn prev = ssd.ftl().Probe(0);
+  for (Lpn lpn = 1; lpn < ssd.logical_pages(); ++lpn) {
+    const Ppn ppn = ssd.ftl().Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    ASSERT_EQ(ssd.flash().OobTag(ppn), lpn);
+    displaced += ppn != prev + 1 ? 1 : 0;
+    prev = ppn;
+  }
+  // Substantially fragmented: a large share of successor pairs broke.
+  EXPECT_GT(displaced, ssd.logical_pages() / 4);
+}
+
+TEST(SsdTest, AgeRandomIsDeterministic) {
+  Ssd a(SmallSsd());
+  Ssd b(SmallSsd());
+  a.FillSequential();
+  b.FillSequential();
+  a.AgeRandom(0.3, 77);
+  b.AgeRandom(0.3, 77);
+  for (Lpn lpn = 0; lpn < a.logical_pages(); lpn += 53) {
+    EXPECT_EQ(a.ftl().Probe(lpn), b.ftl().Probe(lpn));
+  }
+}
+
+TEST(SsdTest, ResponseStatsTrackSubmissions) {
+  Ssd ssd(SmallSsd());
+  IoRequest req;
+  req.offset_bytes = 0;
+  req.size_bytes = 4096;
+  req.kind = IoKind::kWrite;
+  for (int i = 0; i < 10; ++i) {
+    req.arrival_us = i * 100000.0;
+    req.offset_bytes = static_cast<uint64_t>(i) * 4096;
+    ssd.Submit(req);
+  }
+  EXPECT_EQ(ssd.requests_served(), 10u);
+  EXPECT_EQ(ssd.response_stats().count(), 10u);
+  EXPECT_GT(ssd.response_stats().mean(), 0.0);
+  EXPECT_EQ(ssd.response_histogram().total(), 10u);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,126 @@
+#include "src/ssd/write_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ssd/ssd.h"
+
+namespace tpftl {
+namespace {
+
+WriteBufferConfig Cfg(uint64_t capacity, double window = 0.5) {
+  WriteBufferConfig c;
+  c.capacity_pages = capacity;
+  c.clean_window_fraction = window;
+  return c;
+}
+
+TEST(WriteBufferTest, DisabledByDefault) {
+  WriteBuffer buffer(WriteBufferConfig{});
+  EXPECT_FALSE(buffer.enabled());
+  EXPECT_FALSE(buffer.ServeRead(0));
+}
+
+TEST(WriteBufferTest, WriteThenReadHits) {
+  WriteBuffer buffer(Cfg(4));
+  EXPECT_EQ(buffer.PutWrite(10), kInvalidLpn);
+  EXPECT_TRUE(buffer.ServeRead(10));
+  EXPECT_EQ(buffer.stats().read_hits, 1u);
+  EXPECT_EQ(buffer.dirty_count(), 1u);
+}
+
+TEST(WriteBufferTest, OverwriteAbsorbedInRam) {
+  WriteBuffer buffer(Cfg(4));
+  buffer.PutWrite(10);
+  EXPECT_EQ(buffer.PutWrite(10), kInvalidLpn);
+  EXPECT_EQ(buffer.stats().write_hits, 1u);
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.dirty_count(), 1u);
+}
+
+TEST(WriteBufferTest, CleanFirstEviction) {
+  WriteBuffer buffer(Cfg(3, /*window=*/1.0));
+  buffer.PutWrite(1);                       // Dirty, will be LRU.
+  EXPECT_EQ(buffer.AdmitClean(2), kInvalidLpn);
+  EXPECT_EQ(buffer.AdmitClean(3), kInvalidLpn);
+  // Buffer full. Next insert must drop a CLEAN page, not flush the dirty one.
+  EXPECT_EQ(buffer.PutWrite(4), kInvalidLpn);
+  EXPECT_EQ(buffer.stats().clean_drops, 1u);
+  EXPECT_EQ(buffer.stats().flushes, 0u);
+  EXPECT_TRUE(buffer.ServeRead(1));  // The dirty page survived.
+}
+
+TEST(WriteBufferTest, AllDirtyForcesFlushOfLru) {
+  WriteBuffer buffer(Cfg(2));
+  buffer.PutWrite(1);
+  buffer.PutWrite(2);
+  EXPECT_EQ(buffer.PutWrite(3), 1u);  // LRU dirty page 1 flushed.
+  EXPECT_EQ(buffer.stats().flushes, 1u);
+  EXPECT_FALSE(buffer.ServeRead(1));
+  EXPECT_TRUE(buffer.ServeRead(2));
+}
+
+TEST(WriteBufferTest, WindowLimitsCleanSearch) {
+  // Window of 1: only the single LRU-most entry is inspected. A clean page
+  // deeper in the stack does not save the dirty LRU entry.
+  WriteBuffer buffer(Cfg(3, /*window=*/0.34));  // ceil → 1 entry.
+  buffer.PutWrite(1);     // Will be LRU, dirty.
+  buffer.AdmitClean(2);   // Clean, middle.
+  buffer.PutWrite(3);
+  EXPECT_EQ(buffer.PutWrite(4), 1u);  // Flushes dirty LRU despite clean #2.
+}
+
+TEST(WriteBufferTest, DrainDirtyReturnsAllDirtyPages) {
+  WriteBuffer buffer(Cfg(8));
+  buffer.PutWrite(1);
+  buffer.PutWrite(2);
+  buffer.AdmitClean(3);
+  const auto drained = buffer.DrainDirty();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(buffer.dirty_count(), 0u);
+  EXPECT_EQ(buffer.size(), 1u);  // Clean page 3 remains.
+  EXPECT_FALSE(buffer.ServeRead(1));
+}
+
+TEST(WriteBufferTest, SsdIntegrationAbsorbsHotWrites) {
+  SsdConfig with_buffer;
+  with_buffer.logical_bytes = 16ULL << 20;
+  with_buffer.write_buffer.capacity_pages = 256;
+  Ssd buffered(with_buffer);
+  SsdConfig without = with_buffer;
+  without.write_buffer.capacity_pages = 0;
+  Ssd raw(without);
+
+  IoRequest req;
+  req.size_bytes = 4096;
+  req.kind = IoKind::kWrite;
+  for (int i = 0; i < 2000; ++i) {
+    req.offset_bytes = static_cast<uint64_t>(i % 64) * 4096;  // 64-page hot set.
+    req.arrival_us = i * 1000.0;
+    buffered.Submit(req);
+    raw.Submit(req);
+  }
+  // The buffer absorbs nearly all overwrites of the hot set.
+  EXPECT_LT(buffered.flash().stats().page_writes, raw.flash().stats().page_writes / 10);
+  EXPECT_GT(buffered.write_buffer().stats().write_hits, 1900u);
+}
+
+TEST(WriteBufferTest, SsdIntegrationReadAfterWriteIsRamHit) {
+  SsdConfig config;
+  config.logical_bytes = 16ULL << 20;
+  config.write_buffer.capacity_pages = 16;
+  Ssd ssd(config);
+  IoRequest w;
+  w.offset_bytes = 0;
+  w.size_bytes = 4096;
+  w.kind = IoKind::kWrite;
+  ssd.Submit(w);
+  IoRequest r = w;
+  r.kind = IoKind::kRead;
+  r.arrival_us = 1e6;
+  const MicroSec response = ssd.Submit(r);
+  EXPECT_DOUBLE_EQ(response, 0.0);  // Pure RAM service.
+  EXPECT_EQ(ssd.write_buffer().stats().read_hits, 1u);
+}
+
+}  // namespace
+}  // namespace tpftl

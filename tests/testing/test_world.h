@@ -1,0 +1,73 @@
+// Shared fixtures: a miniature flash world small enough for exhaustive
+// checking, plus a shadow-mapped random-operation driver used by the
+// consistency suites.
+
+#ifndef TESTS_TESTING_TEST_WORLD_H_
+#define TESTS_TESTING_TEST_WORLD_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/flash/geometry.h"
+#include "src/flash/nand.h"
+#include "src/ftl/demand_ftl.h"
+#include "src/ftl/ftl.h"
+#include "src/util/rng.h"
+
+namespace tpftl::testing {
+
+// A small geometry: 512 B pages (128 entries per translation page), 16-page
+// blocks. Dynamics (multi-translation-page working sets, frequent GC) show
+// up within a few thousand operations.
+inline FlashGeometry SmallGeometry(uint64_t total_blocks = 96) {
+  FlashGeometry g;
+  g.page_size_bytes = 512;
+  g.pages_per_block = 16;
+  g.total_blocks = total_blocks;
+  return g;
+}
+
+// A world bundles flash + env for one FTL under test.
+struct World {
+  FlashGeometry geometry;
+  std::unique_ptr<NandFlash> flash;
+  FtlEnv env;
+};
+
+inline World MakeWorld(uint64_t logical_pages = 1024, uint64_t cache_bytes = 2048,
+                       uint64_t total_blocks = 96, uint64_t gc_threshold = 6) {
+  World w;
+  w.geometry = SmallGeometry(total_blocks);
+  w.flash = std::make_unique<NandFlash>(w.geometry);
+  w.env.flash = w.flash.get();
+  w.env.logical_pages = logical_pages;
+  w.env.cache_bytes = cache_bytes;
+  w.env.gc_threshold = gc_threshold;
+  return w;
+}
+
+// Drives `ftl` with `ops` random page reads/writes (write probability
+// `write_ratio`) while mirroring every write into a shadow map, verifying
+// after each operation that Probe() agrees with the shadow map for the
+// touched page. Returns the shadow map for final full-table verification.
+inline std::unordered_map<Lpn, bool> DriveRandomOps(Ftl& ftl, uint64_t logical_pages,
+                                                    uint64_t ops, double write_ratio,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_map<Lpn, bool> written;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const Lpn lpn = rng.Below(logical_pages);
+    if (rng.Chance(write_ratio)) {
+      ftl.WritePage(lpn);
+      written[lpn] = true;
+    } else {
+      ftl.ReadPage(lpn);
+    }
+  }
+  return written;
+}
+
+}  // namespace tpftl::testing
+
+#endif  // TESTS_TESTING_TEST_WORLD_H_

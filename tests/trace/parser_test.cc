@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/trace/msr_parser.h"
+#include "src/trace/spc_parser.h"
+#include "src/trace/trace_io.h"
+
+namespace tpftl {
+namespace {
+
+TEST(SpcParserTest, ParsesFinancialStyleLine) {
+  SpcParser parser;
+  const auto req = parser.ParseLine("0,20941264,8192,W,0.551706");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_TRUE(req->is_write());
+  EXPECT_EQ(req->offset_bytes, 20941264ULL * 512);
+  EXPECT_EQ(req->size_bytes, 8192u);
+  EXPECT_DOUBLE_EQ(req->arrival_us, 551706.0);
+}
+
+TEST(SpcParserTest, ReadOpcodeLowercase) {
+  SpcParser parser;
+  const auto req = parser.ParseLine("1,100,512,r,1.0");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_FALSE(req->is_write());
+}
+
+TEST(SpcParserTest, RejectsMalformedLines) {
+  SpcParser parser;
+  EXPECT_FALSE(parser.ParseLine("").has_value());
+  EXPECT_FALSE(parser.ParseLine("# comment").has_value());
+  EXPECT_FALSE(parser.ParseLine("0,abc,512,W,1.0").has_value());
+  EXPECT_FALSE(parser.ParseLine("0,1,512,X,1.0").has_value());
+  EXPECT_FALSE(parser.ParseLine("0,1,512").has_value());
+}
+
+TEST(SpcParserTest, AsuFilterDropsOtherUnits) {
+  SpcParserOptions options;
+  options.asu_filter = 1;
+  SpcParser parser(options);
+  EXPECT_FALSE(parser.ParseLine("0,100,512,W,1.0").has_value());
+  EXPECT_TRUE(parser.ParseLine("1,100,512,W,1.0").has_value());
+}
+
+TEST(SpcParserTest, ZeroSizeBecomesOneSector) {
+  SpcParser parser;
+  const auto req = parser.ParseLine("0,100,0,W,1.0");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->size_bytes, 512u);
+}
+
+TEST(SpcParserTest, ParseTextCountsMalformed) {
+  SpcParser parser;
+  uint64_t bad = 0;
+  const auto reqs = parser.ParseText("0,1,512,W,1.0\njunk\n0,2,512,R,2.0\n", &bad);
+  EXPECT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(MsrParserTest, ParsesMsrStyleLine) {
+  MsrParser parser;
+  const auto req =
+      parser.ParseLine("128166372003061629,ts,0,Write,665600,8192,1331");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_TRUE(req->is_write());
+  EXPECT_EQ(req->offset_bytes, 665600u);
+  EXPECT_EQ(req->size_bytes, 8192u);
+  EXPECT_DOUBLE_EQ(req->arrival_us, 0.0);  // Rebased to trace start.
+}
+
+TEST(MsrParserTest, RebasesTimestamps) {
+  MsrParser parser;
+  parser.ParseLine("128166372003061629,ts,0,Write,0,512,0");
+  const auto second = parser.ParseLine("128166372003061729,ts,0,Read,512,512,0");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->arrival_us, 10.0);  // 100 ticks of 100 ns = 10 µs.
+}
+
+TEST(MsrParserTest, DiskFilter) {
+  MsrParserOptions options;
+  options.disk_filter = 1;
+  MsrParser parser(options);
+  EXPECT_FALSE(parser.ParseLine("1,ts,0,Write,0,512,0").has_value());
+  EXPECT_TRUE(parser.ParseLine("2,ts,1,Write,0,512,0").has_value());
+}
+
+TEST(MsrParserTest, RejectsUnknownType) {
+  MsrParser parser;
+  EXPECT_FALSE(parser.ParseLine("1,ts,0,Trim,0,512,0").has_value());
+}
+
+TEST(DetectFormatTest, DistinguishesFormats) {
+  EXPECT_EQ(DetectFormat("0,20941264,8192,W,0.551706\n"), TraceFormat::kSpc);
+  EXPECT_EQ(DetectFormat("128166372003061629,ts,0,Write,665600,8192,1331\n"),
+            TraceFormat::kMsr);
+  EXPECT_EQ(DetectFormat("hello world\n"), TraceFormat::kUnknown);
+  EXPECT_EQ(DetectFormat(""), TraceFormat::kUnknown);
+  // Leading comments are skipped.
+  EXPECT_EQ(DetectFormat("# header\n0,1,512,R,0.5\n"), TraceFormat::kSpc);
+}
+
+TEST(TraceIoTest, SaveLoadRoundTrip) {
+  std::vector<IoRequest> requests;
+  for (int i = 0; i < 10; ++i) {
+    IoRequest r;
+    r.arrival_us = i * 1000.0;
+    r.offset_bytes = static_cast<uint64_t>(i) * 4096;
+    r.size_bytes = 4096;
+    r.kind = i % 2 == 0 ? IoKind::kWrite : IoKind::kRead;
+    requests.push_back(r);
+  }
+  const std::string path = ::testing::TempDir() + "/roundtrip.spc";
+  ASSERT_TRUE(SaveTraceSpc(path, requests));
+  const auto loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->format, TraceFormat::kSpc);
+  EXPECT_EQ(loaded->malformed_lines, 0u);
+  ASSERT_EQ(loaded->requests.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(loaded->requests[i].offset_bytes, requests[i].offset_bytes);
+    EXPECT_EQ(loaded->requests[i].size_bytes, requests[i].size_bytes);
+    EXPECT_EQ(loaded->requests[i].kind, requests[i].kind);
+    EXPECT_NEAR(loaded->requests[i].arrival_us, requests[i].arrival_us, 1.0);
+  }
+}
+
+TEST(TraceIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadTraceFile("/nonexistent/path/trace.spc").has_value());
+}
+
+TEST(RequestTest, PageArithmetic) {
+  IoRequest r;
+  r.offset_bytes = 4096 + 100;
+  r.size_bytes = 4096;
+  EXPECT_EQ(r.FirstLpn(4096), 1u);
+  EXPECT_EQ(r.LastLpn(4096), 2u);  // Unaligned: spills into the next page.
+  EXPECT_EQ(r.PageCount(4096), 2u);
+  IoRequest zero;
+  zero.offset_bytes = 0;
+  zero.size_bytes = 0;
+  EXPECT_EQ(zero.PageCount(4096), 1u);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,103 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(16);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(10), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, CountsExactValues) {
+  Histogram h(16);
+  h.Add(3);
+  h.Add(3);
+  h.Add(7);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.CountAt(3), 2u);
+  EXPECT_EQ(h.CountAt(7), 1u);
+  EXPECT_EQ(h.CountAt(0), 0u);
+}
+
+TEST(HistogramTest, MeanIncludesOverflowedValues) {
+  Histogram h(4);
+  h.Add(2);
+  h.Add(10);  // Clamped into the cap bucket for counting, exact for the mean.
+  EXPECT_DOUBLE_EQ(h.Mean(), 6.0);
+  EXPECT_EQ(h.CountAt(4), 1u);
+}
+
+TEST(HistogramTest, CdfIsMonotone) {
+  Histogram h(32);
+  for (uint64_t v = 0; v < 32; ++v) {
+    h.Add(v);
+  }
+  double prev = -1.0;
+  for (uint64_t v = 0; v < 32; ++v) {
+    const double c = h.CdfAt(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.CdfAt(31), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1000), 1.0);
+}
+
+TEST(HistogramTest, QuantileMatchesDistribution) {
+  Histogram h(100);
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Add(v);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 50, 2);
+  EXPECT_NEAR(h.Quantile(0.9), 90, 2);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a(8);
+  Histogram b(8);
+  a.Add(1);
+  b.Add(1);
+  b.Add(2);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.CountAt(1), 2u);
+  EXPECT_EQ(a.CountAt(2), 1u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h(8);
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.CountAt(5), 0u);
+}
+
+TEST(LogHistogramTest, MeanIsExact) {
+  LogHistogram h;
+  h.Add(100);
+  h.Add(300);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(LogHistogramTest, QuantileBucketUpperBound) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(1000);  // Bucket [512, 1023]... 1000 lands in bucket 10 → bound 1023.
+  }
+  EXPECT_EQ(h.Quantile(0.5), 1023u);
+}
+
+TEST(LogHistogramTest, ZeroValue) {
+  LogHistogram h;
+  h.Add(0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,41 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, BelowThresholdDoesNotEvaluateSinkButStreamsSafely) {
+  SetLogLevel(LogLevel::kOff);
+  // Must compile and run without emitting; values still stream type-safely.
+  TPFTL_LOG(kDebug) << "value " << 42 << " and " << 3.14;
+  TPFTL_LOG(kError) << "suppressed too";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EmitsToStderrAtOrAboveThreshold) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  TPFTL_LOG(kWarning) << "warn-line";
+  TPFTL_LOG(kInfo) << "info-dropped";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN] warn-line"), std::string::npos);
+  EXPECT_EQ(err.find("info-dropped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpftl

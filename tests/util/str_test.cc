@@ -1,0 +1,97 @@
+#include "src/util/str.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  const auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiter) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyString) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimTest, TrimsAllWhitespaceKinds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\r\nx\r\n"), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ParseU64Test, ValidNumbers) {
+  EXPECT_EQ(ParseU64("0"), 0u);
+  EXPECT_EQ(ParseU64("42"), 42u);
+  EXPECT_EQ(ParseU64(" 42 "), 42u);
+  EXPECT_EQ(ParseU64("18446744073709551615"), ~0ULL);
+}
+
+TEST(ParseU64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseU64("").has_value());
+  EXPECT_FALSE(ParseU64("abc").has_value());
+  EXPECT_FALSE(ParseU64("12x").has_value());
+  EXPECT_FALSE(ParseU64("-1").has_value());
+  EXPECT_FALSE(ParseU64("18446744073709551616").has_value());  // Overflow.
+}
+
+TEST(ParseI64Test, SignedValues) {
+  EXPECT_EQ(ParseI64("-5"), -5);
+  EXPECT_EQ(ParseI64("7"), 7);
+  EXPECT_FALSE(ParseI64("5.5").has_value());
+}
+
+TEST(ParseDoubleTest, ValidDoubles) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.551706"), 0.551706);
+  EXPECT_DOUBLE_EQ(*ParseDouble("3"), 3.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1.5"), -1.5);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("x").has_value());
+  EXPECT_FALSE(ParseDouble("1.5junk").has_value());
+}
+
+TEST(EqualsIgnoreCaseTest, Comparisons) {
+  EXPECT_TRUE(EqualsIgnoreCase("Read", "READ"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("Read", "Write"));
+  EXPECT_FALSE(EqualsIgnoreCase("Read", "Reads"));
+}
+
+TEST(FormatBytesTest, HumanReadable) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(8704), "8.5 KiB");
+  EXPECT_EQ(FormatBytes(512ULL << 20), "512 MiB");
+  EXPECT_EQ(FormatBytes(16ULL << 30), "16 GiB");
+}
+
+TEST(FormatDoubleTest, FixedDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace tpftl

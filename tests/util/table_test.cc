@@ -1,0 +1,51 @@
+#include "src/util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TEST(TableTest, PrintsTitleHeadersAndRows) {
+  Table t("Demo");
+  t.SetColumns({"FTL", "Hr", "Prd"});
+  t.AddRow({"DFTL", "0.80", "0.50"});
+  t.AddRow({"TPFTL", "0.92", "0.03"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("FTL"), std::string::npos);
+  EXPECT_NE(out.find("TPFTL"), std::string::npos);
+  EXPECT_NE(out.find("0.03"), std::string::npos);
+}
+
+TEST(TableTest, DoubleRowFormatsDecimals) {
+  Table t("Demo");
+  t.SetColumns({"name", "a", "b"});
+  t.AddRow("x", {1.23456, 2.0}, 2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "name,a,b\nx,1.23,2.00\n");
+}
+
+TEST(TableTest, CsvRoundTripShape) {
+  Table t("T");
+  t.SetColumns({"c1", "c2"});
+  t.AddRow({"v1", "v2"});
+  t.AddRow({"v3", "v4"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "c1,c2\nv1,v2\nv3,v4\n");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t("T");
+  t.SetColumns({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row arity");
+}
+
+}  // namespace
+}  // namespace tpftl

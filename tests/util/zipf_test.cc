@@ -1,0 +1,97 @@
+#include "src/util/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace tpftl {
+namespace {
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfGenerator zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 0u);
+  }
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfGenerator zipf(100, 0.9);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  constexpr uint64_t kN = 16;
+  ZipfGenerator zipf(kN, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(kN, 0);
+  constexpr int kSamples = 160000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kN, kSamples / kN * 0.1);
+  }
+}
+
+// For Zipf with exponent theta, P(0)/P(k) == (k + 1)^theta.
+TEST(ZipfTest, SkewMatchesTheory) {
+  constexpr uint64_t kN = 1000;
+  constexpr double kTheta = 1.0;
+  ZipfGenerator zipf(kN, kTheta);
+  Rng rng(4);
+  std::vector<int> counts(kN, 0);
+  constexpr int kSamples = 2000000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  // Rank 0 vs rank 9: expected ratio 10^theta = 10.
+  const double ratio = static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+  EXPECT_NEAR(ratio, 10.0, 1.5);
+  // Monotone non-increasing head.
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[63]);
+}
+
+TEST(ZipfTest, HigherThetaConcentratesMass) {
+  constexpr uint64_t kN = 10000;
+  Rng rng(5);
+  auto head_mass = [&](double theta) {
+    ZipfGenerator zipf(kN, theta);
+    int head = 0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) {
+      head += zipf.Sample(rng) < 100 ? 1 : 0;
+    }
+    return static_cast<double>(head) / kSamples;
+  };
+  const double low = head_mass(0.5);
+  const double high = head_mass(1.2);
+  EXPECT_GT(high, low + 0.2);
+}
+
+TEST(ZipfTest, ThetaOneBoundaryWorks) {
+  ZipfGenerator zipf(64, 1.0);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 64u);
+  }
+}
+
+TEST(ZipfTest, DeterministicGivenRngSeed) {
+  ZipfGenerator zipf(512, 0.8);
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Sample(a), zipf.Sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace tpftl

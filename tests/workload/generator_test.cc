@@ -1,0 +1,165 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/profiles.h"
+
+namespace tpftl {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig c;
+  c.address_space_bytes = 64ULL << 20;
+  c.num_requests = 20000;
+  c.seed = 9;
+  c.write_ratio = 0.7;
+  c.zipf_theta = 1.0;
+  c.mean_random_bytes = 4096;
+  return c;
+}
+
+TEST(GeneratorTest, ProducesExactlyNumRequests) {
+  SyntheticWorkload source(SmallConfig());
+  IoRequest req;
+  uint64_t count = 0;
+  while (source.Next(&req)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 20000u);
+  EXPECT_FALSE(source.Next(&req));
+}
+
+TEST(GeneratorTest, RewindReproducesIdenticalStream) {
+  SyntheticWorkload source(SmallConfig());
+  std::vector<IoRequest> first;
+  IoRequest req;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(source.Next(&req));
+    first.push_back(req);
+  }
+  source.Rewind();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(source.Next(&req));
+    EXPECT_EQ(req.offset_bytes, first[i].offset_bytes);
+    EXPECT_EQ(req.size_bytes, first[i].size_bytes);
+    EXPECT_EQ(req.kind, first[i].kind);
+    EXPECT_DOUBLE_EQ(req.arrival_us, first[i].arrival_us);
+  }
+}
+
+TEST(GeneratorTest, RequestsStayInAddressSpace) {
+  WorkloadConfig c = SmallConfig();
+  c.seq_read_fraction = 0.4;
+  c.seq_write_fraction = 0.4;
+  SyntheticWorkload source(c);
+  IoRequest req;
+  while (source.Next(&req)) {
+    EXPECT_LT(req.offset_bytes, c.address_space_bytes);
+    EXPECT_LE(req.offset_bytes + req.size_bytes, c.address_space_bytes);
+    EXPECT_GT(req.size_bytes, 0u);
+  }
+}
+
+TEST(GeneratorTest, ArrivalsAreMonotone) {
+  SyntheticWorkload source(SmallConfig());
+  IoRequest req;
+  double last = -1.0;
+  while (source.Next(&req)) {
+    EXPECT_GE(req.arrival_us, last);
+    last = req.arrival_us;
+  }
+}
+
+TEST(GeneratorTest, WriteRatioMatchesTarget) {
+  const auto trace = MaterializeWorkload(SmallConfig());
+  const auto features = AnalyzeTrace(trace.requests());
+  EXPECT_NEAR(features.write_ratio, 0.7, 0.02);
+}
+
+TEST(GeneratorTest, MeanRequestSizeTracksConfig) {
+  WorkloadConfig c = SmallConfig();
+  c.mean_random_bytes = 3584;
+  const auto trace = MaterializeWorkload(c);
+  const auto features = AnalyzeTrace(trace.requests());
+  EXPECT_NEAR(features.mean_request_bytes, 3584, 600);
+}
+
+TEST(GeneratorTest, SequentialFractionIncreasesWithConfig) {
+  WorkloadConfig random_cfg = SmallConfig();
+  random_cfg.seq_write_fraction = 0.0;
+  WorkloadConfig seq_cfg = SmallConfig();
+  seq_cfg.seq_write_fraction = 0.5;
+  const auto f_random = AnalyzeTrace(MaterializeWorkload(random_cfg).requests());
+  const auto f_seq = AnalyzeTrace(MaterializeWorkload(seq_cfg).requests());
+  EXPECT_GT(f_seq.seq_write_fraction, f_random.seq_write_fraction + 0.25);
+}
+
+TEST(GeneratorTest, ZipfSkewShrinksWorkingSet) {
+  WorkloadConfig uniform_cfg = SmallConfig();
+  uniform_cfg.zipf_theta = 0.0;
+  WorkloadConfig skewed_cfg = SmallConfig();
+  skewed_cfg.zipf_theta = 1.3;
+  const auto f_uniform = AnalyzeTrace(MaterializeWorkload(uniform_cfg).requests());
+  const auto f_skewed = AnalyzeTrace(MaterializeWorkload(skewed_cfg).requests());
+  EXPECT_LT(f_skewed.distinct_pages, f_uniform.distinct_pages / 2);
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentStreams) {
+  WorkloadConfig a = SmallConfig();
+  WorkloadConfig b = SmallConfig();
+  b.seed = 10;
+  SyntheticWorkload sa(a);
+  SyntheticWorkload sb(b);
+  IoRequest ra;
+  IoRequest rb;
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    sa.Next(&ra);
+    sb.Next(&rb);
+    same += ra.offset_bytes == rb.offset_bytes ? 1 : 0;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(ProfilesTest, Table4ParametersAreEncoded) {
+  const auto fin1 = Financial1Profile(1000);
+  EXPECT_EQ(fin1.address_space_bytes, 512ULL << 20);
+  EXPECT_DOUBLE_EQ(fin1.write_ratio, 0.779);
+  const auto fin2 = Financial2Profile(1000);
+  EXPECT_DOUBLE_EQ(fin2.write_ratio, 0.18);
+  const auto ts = MsrTsProfile(1000);
+  EXPECT_EQ(ts.address_space_bytes, 16ULL << 30);
+  EXPECT_DOUBLE_EQ(ts.seq_read_fraction, 0.472);
+  const auto src = MsrSrcProfile(1000);
+  EXPECT_DOUBLE_EQ(src.write_ratio, 0.887);
+}
+
+TEST(ProfilesTest, LookupByName) {
+  EXPECT_TRUE(ProfileByName("financial1").has_value());
+  EXPECT_TRUE(ProfileByName("MSR-TS").has_value());
+  EXPECT_TRUE(ProfileByName("src").has_value());
+  EXPECT_FALSE(ProfileByName("bogus").has_value());
+  EXPECT_EQ(ProfileByName("fin2")->name, "Financial2");
+}
+
+TEST(ProfilesTest, PaperWorkloadsReturnsAllFour) {
+  const auto workloads = PaperWorkloads(100);
+  ASSERT_EQ(workloads.size(), 4u);
+  EXPECT_EQ(workloads[0].name, "Financial1");
+  EXPECT_EQ(workloads[3].name, "MSR-src");
+  for (const auto& w : workloads) {
+    EXPECT_EQ(w.num_requests, 100u);
+  }
+}
+
+TEST(ProfilesTest, FinancialProfileHitsTable4Features) {
+  // The generator must deliver the Table 4 aggregates for Financial1.
+  auto cfg = Financial1Profile(30000);
+  cfg.address_space_bytes = 512ULL << 20;
+  const auto features = AnalyzeTrace(MaterializeWorkload(cfg).requests());
+  EXPECT_NEAR(features.write_ratio, 0.779, 0.02);
+  EXPECT_NEAR(features.mean_request_bytes, 3584, 800);
+}
+
+}  // namespace
+}  // namespace tpftl
