@@ -4,12 +4,15 @@
 // util::Table. Run length is tunable without rebuilding:
 //   TPFTL_BENCH_REQUESTS  — requests per run (default 300000)
 //   TPFTL_BENCH_CSV       — when set, also emit CSV after each table
+//   TPFTL_BENCH_THREADS   — worker threads for multi-run benches
+//                           (default: hardware concurrency; 1 → serial)
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,8 +29,22 @@ inline uint64_t RequestsFromEnv(uint64_t default_requests = 300000) {
     if (parsed.has_value() && *parsed > 0) {
       return *parsed;
     }
+    std::cerr << "warning: TPFTL_BENCH_REQUESTS='" << env
+              << "' is not a positive integer; using default " << default_requests << std::endl;
   }
   return default_requests;
+}
+
+inline unsigned ThreadsFromEnv() {
+  if (const char* env = std::getenv("TPFTL_BENCH_THREADS")) {
+    const auto parsed = ParseU64(env);
+    if (parsed.has_value() && *parsed > 0) {
+      return static_cast<unsigned>(*parsed);
+    }
+    std::cerr << "warning: TPFTL_BENCH_THREADS='" << env
+              << "' is not a positive integer; using hardware concurrency" << std::endl;
+  }
+  return 0;  // RunSweep resolves 0 to hardware concurrency.
 }
 
 inline void Emit(const Table& table) {
@@ -56,6 +73,29 @@ inline RunReport RunOne(const WorkloadConfig& workload, FtlKind kind,
             << (kind == FtlKind::kTpftl ? "(" + tpftl_options.Label() + ")" : "") << " on "
             << workload.name << " ..." << std::endl;
   return RunExperiment(config, observer);
+}
+
+inline ExperimentConfig MakeConfig(const WorkloadConfig& workload, FtlKind kind,
+                                   const TpftlOptions& tpftl_options = {},
+                                   uint64_t cache_bytes = 0) {
+  ExperimentConfig config;
+  config.workload = workload;
+  config.ftl_kind = kind;
+  config.tpftl_options = tpftl_options;
+  config.cache_bytes = cache_bytes;
+  return config;
+}
+
+// Runs a batch of independent configs across TPFTL_BENCH_THREADS workers
+// (RunSweep guarantees reports identical to serial execution), reporting
+// completion progress on stderr.
+inline std::vector<RunReport> RunAll(const std::vector<ExperimentConfig>& configs) {
+  const size_t total = configs.size();
+  auto done = std::make_shared<size_t>(0);
+  return RunSweep(configs, ThreadsFromEnv(), [total, done](size_t, const RunReport& r) {
+    std::cerr << "  [" << ++*done << "/" << total << "] finished " << r.ftl_name << " on "
+              << r.workload_name << std::endl;
+  });
 }
 
 inline double Normalized(double value, double baseline) {

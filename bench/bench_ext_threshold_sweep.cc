@@ -14,18 +14,27 @@ int main() {
   using namespace tpftl::bench;
 
   const uint64_t requests = RequestsFromEnv();
-  for (const WorkloadConfig& workload : {MsrTsProfile(requests), Financial1Profile(requests)}) {
-    Table table("Selective-prefetch threshold sweep — " + workload.name + " (" +
+  const std::vector<WorkloadConfig> workloads = {MsrTsProfile(requests),
+                                                 Financial1Profile(requests)};
+  const std::vector<int> thresholds = {1, 2, 3, 4, 6, 8};
+
+  std::vector<ExperimentConfig> configs;
+  for (const WorkloadConfig& workload : workloads) {
+    for (const int threshold : thresholds) {
+      TpftlOptions options;
+      options.selective_threshold = threshold;
+      configs.push_back(MakeConfig(workload, FtlKind::kTpftl, options));
+    }
+  }
+  const std::vector<RunReport> results = RunAll(configs);
+
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    Table table("Selective-prefetch threshold sweep — " + workloads[w].name + " (" +
                 std::to_string(requests) + " requests)");
     table.SetColumns({"threshold", "hit ratio", "trans reads", "resp(us)"});
-    for (const int threshold : {1, 2, 3, 4, 6, 8}) {
-      ExperimentConfig config;
-      config.workload = workload;
-      config.ftl_kind = FtlKind::kTpftl;
-      config.tpftl_options.selective_threshold = threshold;
-      std::cerr << "  threshold " << threshold << " on " << workload.name << " ..." << std::endl;
-      const RunReport r = RunExperiment(config);
-      table.AddRow({std::to_string(threshold), FormatDouble(r.hit_ratio, 4),
+    for (size_t t = 0; t < thresholds.size(); ++t) {
+      const RunReport& r = results[w * thresholds.size() + t];
+      table.AddRow({std::to_string(thresholds[t]), FormatDouble(r.hit_ratio, 4),
                     std::to_string(r.trans_reads), FormatDouble(r.mean_response_us, 0)});
     }
     Emit(table);

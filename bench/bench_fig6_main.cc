@@ -28,11 +28,17 @@ int main() {
   const std::vector<WorkloadConfig> workloads = PaperWorkloads(requests);
   const std::vector<FtlKind> ftls = PaperFtls();
 
-  std::map<std::string, std::map<std::string, RunReport>> reports;  // workload → ftl → report.
+  std::vector<ExperimentConfig> configs;
   for (const WorkloadConfig& workload : workloads) {
     for (const FtlKind kind : ftls) {
-      reports[workload.name][FtlKindName(kind)] = RunOne(workload, kind);
+      configs.push_back(MakeConfig(workload, kind));
     }
+  }
+  const std::vector<RunReport> results = RunAll(configs);
+
+  std::map<std::string, std::map<std::string, RunReport>> reports;  // workload → ftl → report.
+  for (size_t i = 0; i < results.size(); ++i) {
+    reports[results[i].workload_name][results[i].ftl_name] = results[i];
   }
 
   const std::vector<std::string> ftl_names = {"DFTL", "TPFTL", "S-FTL", "Optimal", "CDFTL"};

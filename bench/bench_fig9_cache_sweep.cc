@@ -17,17 +17,25 @@ int main() {
   const std::vector<uint64_t> divisors = {128, 64, 32, 16, 8, 4, 2, 1};
   const std::vector<WorkloadConfig> workloads = PaperWorkloads(requests);
 
+  std::vector<ExperimentConfig> configs;
+  for (const WorkloadConfig& workload : workloads) {
+    for (const uint64_t divisor : divisors) {
+      configs.push_back(
+          MakeConfig(workload, FtlKind::kTpftl, {}, FullTableBytes(workload) / divisor));
+    }
+  }
+  const std::vector<RunReport> results = RunAll(configs);
+
   struct Row {
     std::string workload;
     std::vector<RunReport> by_size;
   };
   std::vector<Row> rows;
-  for (const WorkloadConfig& workload : workloads) {
+  for (size_t w = 0; w < workloads.size(); ++w) {
     Row row;
-    row.workload = workload.name;
-    for (const uint64_t divisor : divisors) {
-      const uint64_t cache_bytes = FullTableBytes(workload) / divisor;
-      row.by_size.push_back(RunOne(workload, FtlKind::kTpftl, {}, cache_bytes));
+    row.workload = workloads[w].name;
+    for (size_t d = 0; d < divisors.size(); ++d) {
+      row.by_size.push_back(results[w * divisors.size() + d]);
     }
     rows.push_back(std::move(row));
   }

@@ -1,14 +1,29 @@
-// Micro-benchmarks of the mapping-cache data structures (google-benchmark).
+// Micro-benchmarks of the mapping-cache data structures.
 //
 // Not a paper artifact: these measure the simulator's own hot paths — cache
-// hit/miss/evict costs for TPFTL's two-level cache versus DFTL's segmented
-// LRU — so regressions in the data structures are visible independently of
-// whole-experiment runtimes.
+// hit/miss/evict costs for TPFTL's two-level cache — so regressions in the
+// data structures are visible independently of whole-experiment runtimes.
+//
+// Two modes:
+//   default            — google-benchmark micro-benchmarks (ns/op).
+//   --throughput[=F]   — fixed-op throughput runs (ops/sec) written as
+//                        machine-readable JSON to F (default BENCH_cache.json)
+//                        and echoed to stdout, so the perf trajectory of the
+//                        cache is tracked across PRs. Op count is tunable via
+//                        TPFTL_BENCH_CACHE_OPS (default 2000000).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "src/core/two_level_cache.h"
 #include "src/util/rng.h"
+#include "src/util/str.h"
 #include "src/util/zipf.h"
 
 namespace tpftl {
@@ -98,7 +113,156 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample);
 
+// ---------------------------------------------------------------------------
+// Throughput mode.
+
+struct ThroughputResult {
+  std::string name;
+  uint64_t ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec() const { return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0; }
+};
+
+template <typename Fn>
+ThroughputResult TimeOps(const std::string& name, uint64_t ops, Fn&& op) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    op();
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return ThroughputResult{name, ops, elapsed.count()};
+}
+
+uint64_t ThroughputOps() {
+  if (const char* env = std::getenv("TPFTL_BENCH_CACHE_OPS")) {
+    const auto parsed = ParseU64(env);
+    if (parsed.has_value() && *parsed > 0) {
+      return *parsed;
+    }
+    std::cerr << "warning: TPFTL_BENCH_CACHE_OPS='" << env
+              << "' is not a positive integer; using default 2000000" << std::endl;
+  }
+  return 2'000'000;
+}
+
+// Pure hit path: every Lookup touches an entry and lazily dirties the
+// page-level ordering — the single most-executed operation of a simulation.
+ThroughputResult RunHitLookup(uint64_t ops) {
+  TwoLevelCache cache(CacheOpts(1 << 20));
+  for (Lpn lpn = 0; lpn < 10000; ++lpn) {
+    cache.Insert(lpn, lpn + 1, false);
+  }
+  Rng rng(1);
+  uint64_t sink = 0;
+  auto result = TimeOps("hit_lookup", ops, [&] {
+    const auto hit = cache.Lookup(rng.Below(10000));
+    sink += hit.has_value() ? *hit : 0;
+  });
+  benchmark::DoNotOptimize(sink);
+  return result;
+}
+
+// Miss-dominated churn: uniform addresses over a space 16× the budget, so
+// nearly every op runs PickVictim + Evict + Insert (slab reuse, node
+// creation/destruction, lazy-heap reconciliation).
+ThroughputResult RunInsertEvictChurn(uint64_t ops) {
+  TwoLevelCache cache(CacheOpts(64 << 10));
+  Rng rng(2);
+  return TimeOps("insert_evict_churn", ops, [&] {
+    const Lpn lpn = rng.Below(1 << 20);
+    if (!cache.Contains(lpn)) {
+      while (!cache.HasSpaceFor(lpn)) {
+        const auto victim = cache.PickVictim(true);
+        cache.Evict(victim->vtpn, victim->slot);
+      }
+      cache.Insert(lpn, lpn, rng.Chance(0.5));
+    }
+  });
+}
+
+// Clean-first victim selection under a ~90 % dirty cache: stresses the
+// segregated clean/dirty tails (the former reverse scan's worst case).
+ThroughputResult RunPickVictimDirty(uint64_t ops) {
+  TwoLevelCache cache(CacheOpts(64 << 10));
+  Rng rng(5);
+  return TimeOps("pick_victim_dirty_churn", ops, [&] {
+    const Lpn lpn = rng.Below(1 << 20);
+    if (!cache.Contains(lpn)) {
+      while (!cache.HasSpaceFor(lpn)) {
+        const auto victim = cache.PickVictim(true);
+        cache.Evict(victim->vtpn, victim->slot);
+      }
+      cache.Insert(lpn, lpn, rng.Chance(0.9));
+    }
+  });
+}
+
+// Zipf-skewed hit/miss mixture — the closest microcosm of a real run.
+ThroughputResult RunZipfMix(uint64_t ops) {
+  TwoLevelCache cache(CacheOpts(256 << 10));
+  ZipfGenerator zipf(1 << 20, 1.1);
+  Rng rng(3);
+  return TimeOps("zipf_mix", ops, [&] {
+    const Lpn lpn = zipf.Sample(rng);
+    if (!cache.Lookup(lpn).has_value()) {
+      while (!cache.HasSpaceFor(lpn)) {
+        const auto victim = cache.PickVictim(true);
+        cache.Evict(victim->vtpn, victim->slot);
+      }
+      cache.Insert(lpn, lpn, false);
+    }
+  });
+}
+
+void WriteThroughputJson(const std::vector<ThroughputResult>& results, std::ostream& os) {
+  os << "{\n  \"schema\": \"tpftl.bench_cache.v1\",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ThroughputResult& r = results[i];
+    os << "    {\"name\": \"" << r.name << "\", \"ops\": " << r.ops
+       << ", \"seconds\": " << FormatDouble(r.seconds, 6)
+       << ", \"ops_per_sec\": " << FormatDouble(r.ops_per_sec(), 0) << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int RunThroughputMode(const std::string& json_path) {
+  const uint64_t ops = ThroughputOps();
+  std::cerr << "throughput mode: " << ops << " ops per scenario" << std::endl;
+  std::vector<ThroughputResult> results;
+  results.push_back(RunHitLookup(ops));
+  results.push_back(RunInsertEvictChurn(ops));
+  results.push_back(RunPickVictimDirty(ops));
+  results.push_back(RunZipfMix(ops));
+  WriteThroughputJson(results, std::cout);
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << std::endl;
+    return 1;
+  }
+  WriteThroughputJson(results, out);
+  std::cerr << "wrote " << json_path << std::endl;
+  return 0;
+}
+
 }  // namespace
 }  // namespace tpftl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--throughput") {
+      return tpftl::RunThroughputMode("BENCH_cache.json");
+    }
+    if (arg.rfind("--throughput=", 0) == 0) {
+      return tpftl::RunThroughputMode(arg.substr(std::string("--throughput=").size()));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,11 +16,18 @@ int main() {
               " requests/workload)");
   table.SetColumns({"Deviation", "Fin1", "Fin2", "ts", "src"});
 
+  std::vector<ExperimentConfig> configs;
+  for (const WorkloadConfig& workload : PaperWorkloads(requests)) {
+    configs.push_back(MakeConfig(workload, FtlKind::kDftl));
+    configs.push_back(MakeConfig(workload, FtlKind::kOptimal));
+  }
+  const std::vector<RunReport> results = RunAll(configs);
+
   std::vector<double> perf_loss;
   std::vector<double> erase_increase;
-  for (const WorkloadConfig& workload : PaperWorkloads(requests)) {
-    const RunReport dftl = RunOne(workload, FtlKind::kDftl);
-    const RunReport optimal = RunOne(workload, FtlKind::kOptimal);
+  for (size_t i = 0; i < results.size(); i += 2) {
+    const RunReport& dftl = results[i];
+    const RunReport& optimal = results[i + 1];
     perf_loss.push_back(100.0 * (dftl.mean_response_us - optimal.mean_response_us) /
                         dftl.mean_response_us);
     erase_increase.push_back(

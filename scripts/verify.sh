@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then smoke-
+# run the mapping-cache throughput benchmark (writes build/BENCH_cache.json).
+#
+# Usage: scripts/verify.sh [build-dir]
+# Knobs: TPFTL_BENCH_CACHE_OPS (default 200000 here — a smoke run, not a
+#        stable measurement; use the default 2000000 for recorded numbers).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+TPFTL_BENCH_CACHE_OPS="${TPFTL_BENCH_CACHE_OPS:-200000}" \
+  "./$BUILD_DIR/bench/bench_micro_cache" "--throughput=$BUILD_DIR/BENCH_cache.json"
+
+echo "verify: OK"

@@ -1,5 +1,7 @@
 #include "src/core/two_level_cache.h"
 
+#include <algorithm>
+
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -12,6 +14,10 @@ TwoLevelCache::TwoLevelCache(const TwoLevelCacheOptions& options)
   TPFTL_CHECK(entries_per_page_ > 0);
   TPFTL_CHECK_MSG(budget_bytes_ >= node_overhead_bytes_ + entry_bytes_,
                   "cache budget too small for even one entry");
+  // The slab can never exceed the budget's worth of entries (modulo the
+  // transient overshoot Tpftl allows on degenerate budgets), so pre-size it
+  // up to a sane cap and let it grow beyond that lazily.
+  arena_.reserve(std::min<uint64_t>(budget_bytes_ / entry_bytes_ + 1, 1u << 20));
 }
 
 TwoLevelCache::TpNode* TwoLevelCache::FindNode(Vtpn vtpn) {
@@ -24,20 +30,67 @@ const TwoLevelCache::TpNode* TwoLevelCache::FindNode(Vtpn vtpn) const {
   return it == nodes_.end() ? nullptr : &it->second;
 }
 
-void TwoLevelCache::Reorder(TpNode& node) {
-  order_.erase({node.order_key, node.vtpn});
-  node.order_key = node.lru.empty()
-                       ? 0.0
-                       : node.hot_sum / static_cast<double>(node.lru.size());
-  order_.insert({node.order_key, node.vtpn});
+uint32_t TwoLevelCache::AllocEntry() {
+  if (free_head_ != kNil) {
+    const uint32_t idx = free_head_;
+    free_head_ = arena_[idx].next;
+    return idx;
+  }
+  TPFTL_CHECK_MSG(arena_.size() < kNil, "mapping-cache slab exceeds 2^32-1 entries");
+  arena_.emplace_back();
+  return static_cast<uint32_t>(arena_.size() - 1);
 }
 
-void TwoLevelCache::Touch(TpNode& node, EntryList::iterator entry) {
+void TwoLevelCache::FreeEntry(uint32_t idx) {
+  arena_[idx].next = free_head_;
+  free_head_ = idx;
+}
+
+void TwoLevelCache::Detach(TpNode& node, uint32_t idx) {
+  EntryNode& entry = arena_[idx];
+  List& list = entry.dirty ? node.dirty : node.clean;
+  if (entry.prev != kNil) {
+    arena_[entry.prev].next = entry.next;
+  } else {
+    list.head = entry.next;
+  }
+  if (entry.next != kNil) {
+    arena_[entry.next].prev = entry.prev;
+  } else {
+    list.tail = entry.prev;
+  }
+  entry.prev = kNil;
+  entry.next = kNil;
+}
+
+void TwoLevelCache::PushFront(List& list, uint32_t idx) {
+  EntryNode& entry = arena_[idx];
+  entry.prev = kNil;
+  entry.next = list.head;
+  if (list.head != kNil) {
+    arena_[list.head].prev = idx;
+  }
+  list.head = idx;
+  if (list.tail == kNil) {
+    list.tail = idx;
+  }
+}
+
+void TwoLevelCache::MarkPending(const TpNode& node) const {
+  if (!node.pending) {
+    node.pending = true;
+    pending_.push_back(node.vtpn);
+  }
+}
+
+void TwoLevelCache::Touch(TpNode& node, uint32_t idx) {
+  EntryNode& entry = arena_[idx];
+  Detach(node, idx);
   const uint64_t now = ++clock_;
-  node.hot_sum += static_cast<double>(now) - static_cast<double>(entry->hot);
-  entry->hot = now;
-  node.lru.splice(node.lru.begin(), node.lru, entry);
-  Reorder(node);
+  node.hot_sum += static_cast<double>(now) - static_cast<double>(entry.hot);
+  entry.hot = now;
+  PushFront(entry.dirty ? node.dirty : node.clean, idx);
+  MarkPending(node);
 }
 
 std::optional<Ppn> TwoLevelCache::Lookup(Lpn lpn) {
@@ -45,12 +98,12 @@ std::optional<Ppn> TwoLevelCache::Lookup(Lpn lpn) {
   if (node == nullptr) {
     return std::nullopt;
   }
-  const auto it = node->index.find(lpn % entries_per_page_);
-  if (it == node->index.end()) {
+  const uint32_t idx = node->slots[lpn % entries_per_page_];
+  if (idx == kNil) {
     return std::nullopt;
   }
-  Touch(*node, it->second);
-  return it->second->ppn;
+  Touch(*node, idx);
+  return arena_[idx].ppn;
 }
 
 std::optional<Ppn> TwoLevelCache::Peek(Lpn lpn) const {
@@ -58,11 +111,11 @@ std::optional<Ppn> TwoLevelCache::Peek(Lpn lpn) const {
   if (node == nullptr) {
     return std::nullopt;
   }
-  const auto it = node->index.find(lpn % entries_per_page_);
-  if (it == node->index.end()) {
+  const uint32_t idx = node->slots[lpn % entries_per_page_];
+  if (idx == kNil) {
     return std::nullopt;
   }
-  return it->second->ppn;
+  return arena_[idx].ppn;
 }
 
 bool TwoLevelCache::Contains(Lpn lpn) const { return Peek(lpn).has_value(); }
@@ -73,27 +126,39 @@ uint64_t TwoLevelCache::CostOfInsert(Lpn lpn) const {
 
 bool TwoLevelCache::Insert(Lpn lpn, Ppn ppn, bool dirty) {
   const Vtpn vtpn = lpn / entries_per_page_;
-  const uint64_t slot = lpn % entries_per_page_;
+  const auto slot = static_cast<uint32_t>(lpn % entries_per_page_);
   bool created = false;
   auto it = nodes_.find(vtpn);
   if (it == nodes_.end()) {
     it = nodes_.emplace(vtpn, TpNode{}).first;
-    it->second.vtpn = vtpn;
-    order_.insert({0.0, vtpn});
-    it->second.order_key = 0.0;
+    TpNode& node = it->second;
+    node.vtpn = vtpn;
+    if (slot_table_pool_.empty()) {
+      node.slots.assign(entries_per_page_, kNil);
+    } else {
+      node.slots = std::move(slot_table_pool_.back());
+      slot_table_pool_.pop_back();
+    }
     bytes_used_ += node_overhead_bytes_;
     created = true;
   }
   TpNode& node = it->second;
-  TPFTL_CHECK_MSG(!node.index.contains(slot), "Insert of an already-cached entry");
-  node.lru.push_front(EntryNode{slot, ppn, dirty, ++clock_});
-  node.index[slot] = node.lru.begin();
+  TPFTL_CHECK_MSG(node.slots[slot] == kNil, "Insert of an already-cached entry");
+  const uint32_t idx = AllocEntry();
+  EntryNode& entry = arena_[idx];
+  entry.slot = slot;
+  entry.ppn = ppn;
+  entry.dirty = dirty;
+  entry.hot = ++clock_;
+  node.slots[slot] = idx;
+  PushFront(dirty ? node.dirty : node.clean, idx);
   node.hot_sum += static_cast<double>(clock_);
+  ++node.entry_count;
   node.dirty_count += dirty ? 1 : 0;
   dirty_count_ += dirty ? 1 : 0;
   bytes_used_ += entry_bytes_;
   ++entry_count_;
-  Reorder(node);
+  MarkPending(node);
   return created;
 }
 
@@ -102,66 +167,122 @@ bool TwoLevelCache::Update(Lpn lpn, Ppn ppn, bool dirty) {
   if (node == nullptr) {
     return false;
   }
-  const auto it = node->index.find(lpn % entries_per_page_);
-  if (it == node->index.end()) {
+  const uint32_t idx = node->slots[lpn % entries_per_page_];
+  if (idx == kNil) {
     return false;
   }
-  EntryNode& entry = *it->second;
+  EntryNode& entry = arena_[idx];
+  Detach(*node, idx);
   if (entry.dirty != dirty) {
     node->dirty_count += dirty ? 1 : -1;
     dirty_count_ += dirty ? 1 : -1;
     entry.dirty = dirty;
   }
   entry.ppn = ppn;
-  Touch(*node, it->second);
+  const uint64_t now = ++clock_;
+  node->hot_sum += static_cast<double>(now) - static_cast<double>(entry.hot);
+  entry.hot = now;
+  PushFront(dirty ? node->dirty : node->clean, idx);
+  MarkPending(*node);
   return true;
 }
 
+void TwoLevelCache::FlushPending() const {
+  for (const Vtpn vtpn : pending_) {
+    const TpNode* node = FindNode(vtpn);
+    if (node == nullptr || !node->pending) {
+      continue;  // Node died (or was already reconciled) since flagging.
+    }
+    node->pending = false;
+    heap_.emplace_back(NodeKey(*node), vtpn);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  }
+  pending_.clear();
+}
+
+void TwoLevelCache::RebuildHeap() const {
+  heap_.clear();
+  heap_.reserve(nodes_.size());
+  for (const auto& [vtpn, node] : nodes_) {
+    node.pending = false;
+    heap_.emplace_back(NodeKey(node), vtpn);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+  pending_.clear();
+}
+
 std::optional<TwoLevelCache::Victim> TwoLevelCache::PickVictim(bool clean_first) const {
-  if (order_.empty()) {
+  if (nodes_.empty()) {
+    heap_.clear();
+    pending_.clear();
     return std::nullopt;
   }
-  const Vtpn coldest = order_.begin()->second;
-  const TpNode* node = FindNode(coldest);
-  TPFTL_CHECK(node != nullptr && !node->lru.empty());
+  FlushPending();
+  if (heap_.size() > 64 && heap_.size() > 4 * nodes_.size()) {
+    RebuildHeap();
+  }
+  const TpNode* node = nullptr;
+  while (true) {
+    // Every live node has one heap entry carrying its current key (stale
+    // changes are always re-flagged), so the heap cannot run dry here.
+    TPFTL_CHECK(!heap_.empty());
+    const auto& [key, vtpn] = heap_.front();
+    node = FindNode(vtpn);
+    if (node != nullptr && NodeKey(*node) == key) {
+      break;  // Valid coldest node; leave its heap entry in place.
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+  }
+  TPFTL_CHECK(node->entry_count > 0);
 
-  const EntryNode* chosen = nullptr;
+  uint32_t chosen = kNil;
   if (clean_first) {
-    // LRU-most clean entry of the coldest node (§4.4 clean-first).
-    for (auto it = node->lru.rbegin(); it != node->lru.rend(); ++it) {
-      if (!it->dirty) {
-        chosen = &*it;
-        break;
-      }
+    // LRU-most clean entry of the coldest node (§4.4 clean-first), falling
+    // back to the dirty LRU when the node has no clean entry.
+    chosen = node->clean.tail != kNil ? node->clean.tail : node->dirty.tail;
+  } else {
+    // Overall LRU: the older of the two list tails (hot values are unique).
+    const uint32_t ct = node->clean.tail;
+    const uint32_t dt = node->dirty.tail;
+    if (ct == kNil) {
+      chosen = dt;
+    } else if (dt == kNil) {
+      chosen = ct;
+    } else {
+      chosen = arena_[ct].hot < arena_[dt].hot ? ct : dt;
     }
   }
-  if (chosen == nullptr) {
-    chosen = &node->lru.back();
-  }
-  return Victim{coldest, chosen->slot, LpnOf(coldest, chosen->slot), chosen->ppn, chosen->dirty};
+  const EntryNode& entry = arena_[chosen];
+  return Victim{node->vtpn, entry.slot, LpnOf(node->vtpn, entry.slot), entry.ppn, entry.dirty};
 }
 
 bool TwoLevelCache::Evict(Vtpn vtpn, uint64_t slot) {
   auto node_it = nodes_.find(vtpn);
   TPFTL_CHECK_MSG(node_it != nodes_.end(), "Evict from a non-cached node");
   TpNode& node = node_it->second;
-  const auto it = node.index.find(slot);
-  TPFTL_CHECK_MSG(it != node.index.end(), "Evict of a non-cached entry");
-  const EntryNode& entry = *it->second;
+  TPFTL_CHECK_MSG(slot < entries_per_page_, "Evict of a non-cached entry");
+  const uint32_t idx = node.slots[slot];
+  TPFTL_CHECK_MSG(idx != kNil, "Evict of a non-cached entry");
+  EntryNode& entry = arena_[idx];
   node.hot_sum -= static_cast<double>(entry.hot);
   node.dirty_count -= entry.dirty ? 1 : 0;
   dirty_count_ -= entry.dirty ? 1 : 0;
-  node.lru.erase(it->second);
-  node.index.erase(it);
+  Detach(node, idx);
+  node.slots[slot] = kNil;
+  --node.entry_count;
+  FreeEntry(idx);
   bytes_used_ -= entry_bytes_;
   --entry_count_;
-  if (node.lru.empty()) {
-    order_.erase({node.order_key, vtpn});
+  if (node.entry_count == 0) {
+    // Slots are already all-kNil (each Evict cleared its own); recycle the
+    // table so the next node creation skips the O(entries_per_page) fill.
+    slot_table_pool_.push_back(std::move(node.slots));
     nodes_.erase(node_it);
     bytes_used_ -= node_overhead_bytes_;
     return true;
   }
-  Reorder(node);
+  MarkPending(node);
   return false;
 }
 
@@ -172,26 +293,48 @@ std::vector<MappingUpdate> TwoLevelCache::DirtyEntriesOf(Vtpn vtpn) const {
     return updates;
   }
   updates.reserve(node->dirty_count);
-  for (const EntryNode& entry : node->lru) {
-    if (entry.dirty) {
-      updates.push_back({LpnOf(vtpn, entry.slot), entry.ppn});
-    }
+  for (uint32_t idx = node->dirty.head; idx != kNil; idx = arena_[idx].next) {
+    updates.push_back({LpnOf(vtpn, arena_[idx].slot), arena_[idx].ppn});
   }
   return updates;
 }
 
 uint64_t TwoLevelCache::MarkAllClean(Vtpn vtpn) {
   TpNode* node = FindNode(vtpn);
-  if (node == nullptr) {
+  if (node == nullptr || node->dirty_count == 0) {
     return 0;
   }
+  // Merge the dirty list into the clean list by descending hot so the clean
+  // list stays recency-sorted; entries keep their LRU positions, they just
+  // stop being dirty (§4.4: batch-updated entries remain cached, clean).
+  uint32_t a = node->clean.head;
+  uint32_t b = node->dirty.head;
+  uint32_t head = kNil;
+  uint32_t tail = kNil;
   uint64_t cleaned = 0;
-  for (EntryNode& entry : node->lru) {
-    if (entry.dirty) {
-      entry.dirty = false;
+  while (a != kNil || b != kNil) {
+    const bool take_clean = b == kNil || (a != kNil && arena_[a].hot > arena_[b].hot);
+    const uint32_t idx = take_clean ? a : b;
+    if (take_clean) {
+      a = arena_[a].next;
+    } else {
+      b = arena_[b].next;
+      arena_[idx].dirty = false;
       ++cleaned;
     }
+    arena_[idx].prev = tail;
+    if (tail == kNil) {
+      head = idx;
+    } else {
+      arena_[tail].next = idx;
+    }
+    tail = idx;
   }
+  if (tail != kNil) {
+    arena_[tail].next = kNil;
+  }
+  node->clean = List{head, tail};
+  node->dirty = List{};
   dirty_count_ -= cleaned;
   node->dirty_count = 0;
   return cleaned;
@@ -205,7 +348,7 @@ uint64_t TwoLevelCache::CachedPredecessors(Lpn lpn) const {
   }
   uint64_t slot = lpn % entries_per_page_;
   uint64_t count = 0;
-  while (slot > 0 && node->index.contains(slot - 1)) {
+  while (slot > 0 && node->slots[slot - 1] != kNil) {
     --slot;
     ++count;
   }
@@ -220,7 +363,7 @@ uint64_t TwoLevelCache::DirtyCountOf(Vtpn vtpn) const {
 void TwoLevelCache::ForEachNode(
     const std::function<void(Vtpn, uint64_t, uint64_t)>& fn) const {
   for (const auto& [vtpn, node] : nodes_) {
-    fn(vtpn, node.lru.size(), node.dirty_count);
+    fn(vtpn, node.entry_count, node.dirty_count);
   }
 }
 

@@ -12,15 +12,25 @@
 // offset, and flags are stored — §4.1), plus a fixed per-node overhead.
 // Eviction policy (who to evict, batch updates, writebacks) lives in Tpftl;
 // this class provides victim selection primitives and bookkeeping.
+//
+// Hot-path layout (see DESIGN.md "Mapping-cache internals"): entry nodes
+// live in one contiguous slab (`arena_`) and are linked by 32-bit indices
+// instead of heap-allocated list nodes; each TP node resolves slots through
+// a direct-mapped slot→arena-index table (slots < entries_per_page), so a
+// cache hit does no allocation and no per-entry hashing. Entry recency is
+// kept as two segregated intrusive LRU lists per node (clean and dirty),
+// which makes clean-first victim selection O(1) instead of a reverse scan.
+// Page-level ordering is lazy: touches only flag a node as having a stale
+// hotness key; the cold-ordering min-heap is reconciled when PickVictim
+// actually runs, turning the former O(log N)-per-hit set maintenance into
+// O(1) amortized.
 
 #ifndef SRC_CORE_TWO_LEVEL_CACHE_H_
 #define SRC_CORE_TWO_LEVEL_CACHE_H_
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -97,27 +107,64 @@ class TwoLevelCache {
       const std::function<void(Vtpn, uint64_t entries, uint64_t dirty)>& fn) const;
 
  private:
+  // Sentinel for "no arena index" in intrusive links and slot tables.
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  // Slab-allocated entry node: fixed-size, linked by arena indices. `prev`
+  // points toward the MRU end, `next` toward the LRU end of whichever
+  // (clean or dirty) list the entry currently sits in. Freed entries are
+  // chained through `next` onto the free list.
   struct EntryNode {
-    uint64_t slot = 0;
-    Ppn ppn = kInvalidPpn;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+    uint32_t slot = 0;
     bool dirty = false;
+    Ppn ppn = kInvalidPpn;
     uint64_t hot = 0;
   };
-  using EntryList = std::list<EntryNode>;
+
+  // Intrusive list endpoints. head = MRU, tail = LRU. Both lists of a node
+  // are individually recency-sorted (hot strictly descending from head),
+  // because every membership change goes through a touch that assigns the
+  // globally maximal clock — except MarkAllClean, which merges by hot.
+  struct List {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+  };
 
   struct TpNode {
     Vtpn vtpn = kInvalidVtpn;
-    EntryList lru;  // MRU at front.
-    std::unordered_map<uint64_t, EntryList::iterator> index;
+    List clean;
+    List dirty;
+    uint32_t entry_count = 0;
+    uint32_t dirty_count = 0;
     double hot_sum = 0.0;
-    uint64_t dirty_count = 0;
-    double order_key = 0.0;  // Current key inside order_.
+    // Direct-mapped slot → arena index (kNil when absent). Recycled through
+    // slot_table_pool_; dying nodes return it all-kNil by construction
+    // (every Evict clears its own slot).
+    std::vector<uint32_t> slots;
+    // True while the node's hotness key is queued in pending_ and not yet
+    // reflected in heap_ (mutable: reconciled inside const PickVictim).
+    mutable bool pending = false;
   };
 
   TpNode* FindNode(Vtpn vtpn);
   const TpNode* FindNode(Vtpn vtpn) const;
-  void Reorder(TpNode& node);
-  void Touch(TpNode& node, EntryList::iterator entry);
+
+  static double NodeKey(const TpNode& node) {
+    return node.entry_count == 0
+               ? 0.0
+               : node.hot_sum / static_cast<double>(node.entry_count);
+  }
+
+  uint32_t AllocEntry();
+  void FreeEntry(uint32_t idx);
+  void Detach(TpNode& node, uint32_t idx);
+  void PushFront(List& list, uint32_t idx);
+  void Touch(TpNode& node, uint32_t idx);
+  void MarkPending(const TpNode& node) const;
+  void FlushPending() const;
+  void RebuildHeap() const;
   Lpn LpnOf(Vtpn vtpn, uint64_t slot) const { return vtpn * entries_per_page_ + slot; }
 
   uint64_t budget_bytes_;
@@ -126,8 +173,18 @@ class TwoLevelCache {
   uint64_t entries_per_page_;
 
   std::unordered_map<Vtpn, TpNode> nodes_;
-  // Ascending page-level hotness: begin() is the coldest TP node.
-  std::set<std::pair<double, Vtpn>> order_;
+  std::vector<EntryNode> arena_;
+  uint32_t free_head_ = kNil;
+  std::vector<std::vector<uint32_t>> slot_table_pool_;
+
+  // Lazy cold-ordering: a min-heap of (page hotness key, vtpn) candidates.
+  // Entries are appended only when PickVictim reconciles `pending_`; stale
+  // duplicates are skipped on pop by comparing against the node's current
+  // key (equal key + live node ⇒ valid ordering evidence, regardless of
+  // which update pushed it). Rebuilt from scratch when garbage dominates.
+  mutable std::vector<std::pair<double, Vtpn>> heap_;
+  mutable std::vector<Vtpn> pending_;
+
   uint64_t clock_ = 0;
   uint64_t bytes_used_ = 0;
   uint64_t entry_count_ = 0;

@@ -1,8 +1,10 @@
 #include "src/ssd/runner.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "src/util/assert.h"
+#include "src/util/thread_pool.h"
 
 namespace tpftl {
 
@@ -88,6 +90,41 @@ RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
 RunReport RunExperiment(const ExperimentConfig& config, const RunObserver& observer) {
   SyntheticWorkload workload(config.workload);
   return RunTrace(config, workload, observer);
+}
+
+std::vector<RunReport> RunSweep(const std::vector<ExperimentConfig>& configs, unsigned threads,
+                                const SweepObserver& on_complete) {
+  std::vector<RunReport> reports(configs.size());
+  if (configs.empty()) {
+    return reports;
+  }
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(configs.size()));
+  if (threads == 1) {
+    // Serial fast path: no pool, no locking; same results by construction.
+    for (size_t i = 0; i < configs.size(); ++i) {
+      reports[i] = RunExperiment(configs[i]);
+      if (on_complete) {
+        on_complete(i, reports[i]);
+      }
+    }
+    return reports;
+  }
+  ThreadPool pool(threads);
+  std::mutex observer_mutex;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    pool.Submit([&, i] {
+      reports[i] = RunExperiment(configs[i]);
+      if (on_complete) {
+        const std::lock_guard<std::mutex> lock(observer_mutex);
+        on_complete(i, reports[i]);
+      }
+    });
+  }
+  pool.Wait();
+  return reports;
 }
 
 }  // namespace tpftl

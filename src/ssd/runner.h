@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/flash/stats.h"
 #include "src/ssd/ssd.h"
@@ -73,6 +74,18 @@ RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
 
 // Extracts a report from a finished SSD (exposed for custom harnesses).
 RunReport ExtractReport(const Ssd& ssd, const std::string& workload_name, uint64_t requests);
+
+// Called as each sweep run finishes (from worker threads, serialized by the
+// sweep — implementations need no locking); `index` is the config's position.
+using SweepObserver = std::function<void(size_t index, const RunReport& report)>;
+
+// Runs independent experiments across a thread pool and returns their
+// reports in config order. Every run owns its SSD, workload, and RNGs, so
+// results are bit-identical to calling RunExperiment serially — threads only
+// change wall-clock time. threads == 0 → hardware concurrency.
+std::vector<RunReport> RunSweep(const std::vector<ExperimentConfig>& configs,
+                                unsigned threads = 0,
+                                const SweepObserver& on_complete = nullptr);
 
 }  // namespace tpftl
 

@@ -1,0 +1,53 @@
+// Fixed-size worker pool for embarrassingly parallel experiment execution.
+//
+// Each simulated SSD is fully self-contained (explicitly seeded RNGs, no
+// globals), so independent ExperimentConfigs can run concurrently with
+// bit-identical results to serial execution. The pool is deliberately
+// minimal: submit closures, then Wait() for quiescence. Tasks must not
+// throw (the simulator aborts on invariant violations instead).
+
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpftl {
+
+class ThreadPool {
+ public:
+  // threads == 0 → std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. The pool is reusable
+  // afterwards.
+  void Wait();
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;  // Queued + currently executing.
+  bool stop_ = false;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,10 +1,23 @@
-// Oracle test: a naive reference implementation of the page-level-hotness
-// bookkeeping (§4.2) mirrors every cache operation; at each step the cache's
-// victim choice must match the reference's "coldest node, LRU entry" answer.
+// Oracle tests: naive reference implementations of the two-level cache's
+// observable semantics (§4.1–§4.4) mirror every cache operation; at each
+// step the cache's answers must match the reference exactly.
+//
+// Two layers:
+//   * VictimAlwaysMatchesReferenceModel — the original page-level-hotness
+//     oracle (coldest node by average hotness, LRU entry within).
+//   * DifferentialTest — a full-state differential fuzz: ~100k mixed
+//     Insert/Lookup/Update/Evict/PickVictim/MarkAllClean ops against a
+//     byte-accounting reference model, asserting identical observable state
+//     (bytes_used, victim choices in both clean-first modes, dirty counts,
+//     entry values) at every step. This is the guardrail for the
+//     slab/intrusive-list/lazy-ordering hot-path implementation.
 
+#include <algorithm>
 #include <deque>
 #include <map>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -125,6 +138,317 @@ TEST(TwoLevelCacheOracleTest, VictimAlwaysMatchesReferenceModel) {
       oracle.Touch(lpn);
     }
     ASSERT_EQ(cache.entry_count() == 0, oracle.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-state differential reference: every observable of TwoLevelCache,
+// implemented the naive way (flat maps, recomputed averages, linear scans).
+
+class RefCache {
+ public:
+  struct Entry {
+    Ppn ppn = kInvalidPpn;
+    uint64_t hot = 0;
+    bool dirty = false;
+  };
+
+  struct ExpectedVictim {
+    Vtpn vtpn;
+    Lpn lpn;
+    bool dirty;
+  };
+
+  RefCache(uint64_t budget, uint64_t entry_bytes, uint64_t node_bytes, uint64_t epp)
+      : budget_(budget), entry_bytes_(entry_bytes), node_bytes_(node_bytes), epp_(epp) {}
+
+  bool Contains(Lpn lpn) const {
+    const auto it = nodes_.find(lpn / epp_);
+    return it != nodes_.end() && it->second.entries.contains(lpn % epp_);
+  }
+
+  std::optional<Ppn> Peek(Lpn lpn) const {
+    const auto it = nodes_.find(lpn / epp_);
+    if (it == nodes_.end()) {
+      return std::nullopt;
+    }
+    const auto e = it->second.entries.find(lpn % epp_);
+    return e == it->second.entries.end() ? std::nullopt : std::make_optional(e->second.ppn);
+  }
+
+  void Insert(Lpn lpn, Ppn ppn, bool dirty) {
+    auto [it, created] = nodes_.try_emplace(lpn / epp_);
+    if (created) {
+      bytes_ += node_bytes_;
+    }
+    Node& node = it->second;
+    node.entries[lpn % epp_] = Entry{ppn, ++clock_, dirty};
+    node.recency.push_front(lpn % epp_);
+    bytes_ += entry_bytes_;
+  }
+
+  void Touch(Lpn lpn, std::optional<Ppn> new_ppn, std::optional<bool> new_dirty) {
+    Node& node = nodes_.at(lpn / epp_);
+    Entry& e = node.entries.at(lpn % epp_);
+    e.hot = ++clock_;
+    if (new_ppn) {
+      e.ppn = *new_ppn;
+    }
+    if (new_dirty) {
+      e.dirty = *new_dirty;
+    }
+    auto& r = node.recency;
+    r.erase(std::find(r.begin(), r.end(), lpn % epp_));
+    r.push_front(lpn % epp_);
+  }
+
+  void Evict(Vtpn vtpn, uint64_t slot) {
+    Node& node = nodes_.at(vtpn);
+    node.entries.erase(slot);
+    auto& r = node.recency;
+    r.erase(std::find(r.begin(), r.end(), slot));
+    bytes_ -= entry_bytes_;
+    if (node.entries.empty()) {
+      nodes_.erase(vtpn);
+      bytes_ -= node_bytes_;
+    }
+  }
+
+  uint64_t MarkAllClean(Vtpn vtpn) {
+    const auto it = nodes_.find(vtpn);
+    if (it == nodes_.end()) {
+      return 0;
+    }
+    uint64_t cleaned = 0;
+    for (auto& [slot, e] : it->second.entries) {
+      cleaned += e.dirty ? 1 : 0;
+      e.dirty = false;
+    }
+    return cleaned;
+  }
+
+  uint64_t CostOfInsert(Lpn lpn) const {
+    return entry_bytes_ + (nodes_.contains(lpn / epp_) ? 0 : node_bytes_);
+  }
+  bool HasSpaceFor(Lpn lpn) const { return bytes_ + CostOfInsert(lpn) <= budget_; }
+
+  std::optional<ExpectedVictim> PickVictim(bool clean_first) const {
+    if (nodes_.empty()) {
+      return std::nullopt;
+    }
+    // Coldest node: minimal average hotness, ties to the lower vtpn.
+    double best_avg = 0.0;
+    Vtpn best = kInvalidVtpn;
+    for (const auto& [vtpn, node] : nodes_) {
+      double sum = 0.0;
+      for (const auto& [slot, e] : node.entries) {
+        sum += static_cast<double>(e.hot);
+      }
+      const double avg = sum / static_cast<double>(node.entries.size());
+      if (best == kInvalidVtpn || avg < best_avg || (avg == best_avg && vtpn < best)) {
+        best_avg = avg;
+        best = vtpn;
+      }
+    }
+    const Node& node = nodes_.at(best);
+    uint64_t slot = node.recency.back();
+    if (clean_first) {
+      for (auto it = node.recency.rbegin(); it != node.recency.rend(); ++it) {
+        if (!node.entries.at(*it).dirty) {
+          slot = *it;
+          break;
+        }
+      }
+    }
+    return ExpectedVictim{best, best * epp_ + slot, node.entries.at(slot).dirty};
+  }
+
+  uint64_t CachedPredecessors(Lpn lpn) const {
+    const auto it = nodes_.find(lpn / epp_);
+    if (it == nodes_.end()) {
+      return 0;
+    }
+    uint64_t slot = lpn % epp_;
+    uint64_t count = 0;
+    while (slot > 0 && it->second.entries.contains(slot - 1)) {
+      --slot;
+      ++count;
+    }
+    return count;
+  }
+
+  std::vector<MappingUpdate> DirtyEntriesOf(Vtpn vtpn) const {
+    std::vector<MappingUpdate> updates;
+    const auto it = nodes_.find(vtpn);
+    if (it == nodes_.end()) {
+      return updates;
+    }
+    for (const auto& [slot, e] : it->second.entries) {
+      if (e.dirty) {
+        updates.push_back({vtpn * epp_ + slot, e.ppn});
+      }
+    }
+    return updates;
+  }
+
+  uint64_t DirtyCountOf(Vtpn vtpn) const { return DirtyEntriesOf(vtpn).size(); }
+
+  uint64_t bytes_used() const { return bytes_; }
+  uint64_t node_count() const { return nodes_.size(); }
+  uint64_t entry_count() const {
+    uint64_t n = 0;
+    for (const auto& [vtpn, node] : nodes_) {
+      n += node.entries.size();
+    }
+    return n;
+  }
+  uint64_t dirty_entry_count() const {
+    uint64_t n = 0;
+    for (const auto& [vtpn, node] : nodes_) {
+      n += DirtyCountOf(vtpn);
+    }
+    return n;
+  }
+
+  std::vector<Vtpn> CachedVtpns() const {
+    std::vector<Vtpn> vtpns;
+    for (const auto& [vtpn, node] : nodes_) {
+      vtpns.push_back(vtpn);
+    }
+    return vtpns;
+  }
+
+ private:
+  struct Node {
+    std::map<uint64_t, Entry> entries;  // slot → entry.
+    std::deque<uint64_t> recency;       // Slots, MRU at front.
+  };
+
+  uint64_t budget_;
+  uint64_t entry_bytes_;
+  uint64_t node_bytes_;
+  uint64_t epp_;
+  std::map<Vtpn, Node> nodes_;
+  uint64_t clock_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+std::vector<MappingUpdate> SortedBySlot(std::vector<MappingUpdate> updates) {
+  std::sort(updates.begin(), updates.end(),
+            [](const MappingUpdate& a, const MappingUpdate& b) { return a.lpn < b.lpn; });
+  return updates;
+}
+
+TEST(TwoLevelCacheDifferentialTest, HundredThousandMixedOpsMatchReference) {
+  constexpr uint64_t kBudget = 2048;  // ~300 entries: constant churn.
+  TwoLevelCacheOptions options;
+  options.budget_bytes = kBudget;
+  options.entries_per_page = kEntriesPerPage;
+  TwoLevelCache cache(options);
+  RefCache ref(kBudget, options.entry_bytes, options.node_overhead_bytes, kEntriesPerPage);
+  Rng rng(98765);
+
+  const auto check_victims = [&](int step) {
+    for (const bool clean_first : {false, true}) {
+      const auto got = cache.PickVictim(clean_first);
+      const auto want = ref.PickVictim(clean_first);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+      if (got.has_value()) {
+        ASSERT_EQ(got->vtpn, want->vtpn) << "step " << step << " clean_first=" << clean_first;
+        ASSERT_EQ(got->lpn, want->lpn) << "step " << step << " clean_first=" << clean_first;
+        ASSERT_EQ(got->dirty, want->dirty) << "step " << step << " clean_first=" << clean_first;
+      }
+    }
+  };
+
+  for (int step = 0; step < 100000; ++step) {
+    const Lpn lpn = rng.Below(64 * kEntriesPerPage);
+    const double dice = rng.NextDouble();
+    if (dice < 0.40) {
+      // Access: hit → Lookup/touch; miss → evict-to-fit then Insert.
+      if (cache.Contains(lpn)) {
+        const auto got = cache.Lookup(lpn);
+        const auto want = ref.Peek(lpn);
+        ASSERT_EQ(got, want) << "step " << step;
+        ref.Touch(lpn, std::nullopt, std::nullopt);
+      } else {
+        const bool clean_first = rng.Chance(0.5);
+        while (!cache.HasSpaceFor(lpn)) {
+          ASSERT_EQ(cache.HasSpaceFor(lpn), ref.HasSpaceFor(lpn)) << "step " << step;
+          const auto victim = cache.PickVictim(clean_first);
+          const auto want = ref.PickVictim(clean_first);
+          ASSERT_TRUE(victim.has_value());
+          ASSERT_EQ(victim->lpn, want->lpn) << "step " << step;
+          cache.Evict(victim->vtpn, victim->slot);
+          ref.Evict(want->vtpn, want->lpn % kEntriesPerPage);
+        }
+        const Ppn ppn = rng.Next();
+        const bool dirty = rng.Chance(0.5);
+        cache.Insert(lpn, ppn, dirty);
+        ref.Insert(lpn, ppn, dirty);
+      }
+    } else if (dice < 0.55) {
+      // Update an entry if cached (value + dirty flip).
+      const bool cached = cache.Contains(lpn);
+      ASSERT_EQ(cached, ref.Contains(lpn)) << "step " << step;
+      const Ppn ppn = rng.Next();
+      const bool dirty = rng.Chance(0.5);
+      ASSERT_EQ(cache.Update(lpn, ppn, dirty), cached) << "step " << step;
+      if (cached) {
+        ref.Touch(lpn, ppn, dirty);
+      }
+    } else if (dice < 0.70) {
+      check_victims(step);
+    } else if (dice < 0.80 && cache.entry_count() > 0) {
+      // Evict exactly what the cache would pick.
+      const bool clean_first = rng.Chance(0.5);
+      const auto victim = cache.PickVictim(clean_first);
+      const auto want = ref.PickVictim(clean_first);
+      ASSERT_TRUE(victim.has_value());
+      ASSERT_EQ(victim->lpn, want->lpn) << "step " << step;
+      cache.Evict(victim->vtpn, victim->slot);
+      ref.Evict(want->vtpn, want->lpn % kEntriesPerPage);
+    } else if (dice < 0.90) {
+      // Batch writeback of one (possibly absent) node.
+      const Vtpn vtpn = lpn / kEntriesPerPage;
+      ASSERT_EQ(SortedBySlot(cache.DirtyEntriesOf(vtpn)).size(),
+                ref.DirtyEntriesOf(vtpn).size())
+          << "step " << step;
+      const auto got = SortedBySlot(cache.DirtyEntriesOf(vtpn));
+      const auto want = ref.DirtyEntriesOf(vtpn);  // std::map order: already by slot.
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].lpn, want[i].lpn) << "step " << step;
+        ASSERT_EQ(got[i].ppn, want[i].ppn) << "step " << step;
+      }
+      ASSERT_EQ(cache.MarkAllClean(vtpn), ref.MarkAllClean(vtpn)) << "step " << step;
+    } else {
+      ASSERT_EQ(cache.CachedPredecessors(lpn), ref.CachedPredecessors(lpn)) << "step " << step;
+      ASSERT_EQ(cache.Peek(lpn), ref.Peek(lpn)) << "step " << step;
+    }
+
+    // Aggregate observable state must match after every op.
+    ASSERT_EQ(cache.bytes_used(), ref.bytes_used()) << "step " << step;
+    ASSERT_EQ(cache.entry_count(), ref.entry_count()) << "step " << step;
+    ASSERT_EQ(cache.node_count(), ref.node_count()) << "step " << step;
+    ASSERT_EQ(cache.dirty_entry_count(), ref.dirty_entry_count()) << "step " << step;
+    ASSERT_LE(cache.bytes_used(), cache.budget_bytes() + options.entry_bytes +
+                                      options.node_overhead_bytes)
+        << "step " << step;
+
+    if (step % 1000 == 0) {
+      // Deep check: per-node dirty counts and occupancy.
+      for (const Vtpn vtpn : ref.CachedVtpns()) {
+        ASSERT_TRUE(cache.NodeCached(vtpn)) << "step " << step;
+        ASSERT_EQ(cache.DirtyCountOf(vtpn), ref.DirtyCountOf(vtpn)) << "step " << step;
+      }
+      uint64_t nodes_seen = 0;
+      cache.ForEachNode([&](Vtpn vtpn, uint64_t entries, uint64_t dirty) {
+        ++nodes_seen;
+        (void)entries;
+        ASSERT_EQ(dirty, ref.DirtyCountOf(vtpn)) << "step " << step;
+      });
+      ASSERT_EQ(nodes_seen, ref.node_count()) << "step " << step;
+    }
   }
 }
 

@@ -92,6 +92,62 @@ TEST(RunnerTest, OptimalDominatesDftl) {
   EXPECT_GT(dftl.trans_reads, 0u);
 }
 
+TEST(RunSweepTest, MatchesSerialExecutionBitExactly) {
+  // Four configs spanning FTLs and cache sizes; the parallel sweep must
+  // produce reports identical to serial RunExperiment calls (same seeds,
+  // no shared state), in config order.
+  std::vector<ExperimentConfig> configs;
+  for (const FtlKind kind : {FtlKind::kDftl, FtlKind::kTpftl}) {
+    for (const uint64_t cache_bytes : {0ULL, 32ULL * 1024}) {
+      ExperimentConfig config;
+      config.workload = TinyWorkload();
+      config.ftl_kind = kind;
+      config.cache_bytes = cache_bytes;
+      configs.push_back(config);
+    }
+  }
+
+  const std::vector<RunReport> parallel = RunSweep(configs, /*threads=*/4);
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const RunReport serial = RunExperiment(configs[i]);
+    EXPECT_EQ(parallel[i].workload_name, serial.workload_name) << "config " << i;
+    EXPECT_EQ(parallel[i].ftl_name, serial.ftl_name) << "config " << i;
+    EXPECT_EQ(parallel[i].requests, serial.requests) << "config " << i;
+    EXPECT_EQ(parallel[i].trans_reads, serial.trans_reads) << "config " << i;
+    EXPECT_EQ(parallel[i].trans_writes, serial.trans_writes) << "config " << i;
+    EXPECT_EQ(parallel[i].block_erases, serial.block_erases) << "config " << i;
+    EXPECT_EQ(parallel[i].cache_bytes_used, serial.cache_bytes_used) << "config " << i;
+    EXPECT_EQ(parallel[i].cache_entries, serial.cache_entries) << "config " << i;
+    EXPECT_EQ(parallel[i].hit_ratio, serial.hit_ratio) << "config " << i;
+    EXPECT_EQ(parallel[i].prd, serial.prd) << "config " << i;
+    EXPECT_EQ(parallel[i].mean_response_us, serial.mean_response_us) << "config " << i;
+    EXPECT_EQ(parallel[i].p99_response_us, serial.p99_response_us) << "config " << i;
+    EXPECT_EQ(parallel[i].write_amplification, serial.write_amplification) << "config " << i;
+  }
+}
+
+TEST(RunSweepTest, ObserverSeesEveryIndexExactlyOnce) {
+  std::vector<ExperimentConfig> configs(3);
+  for (auto& config : configs) {
+    config.workload = TinyWorkload();
+    config.workload.num_requests = 500;
+  }
+  std::vector<int> seen(configs.size(), 0);
+  RunSweep(configs, 2, [&seen](size_t index, const RunReport& report) {
+    ASSERT_LT(index, seen.size());
+    EXPECT_EQ(report.workload_name, "tiny");
+    ++seen[index];
+  });
+  for (const int count : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(RunSweepTest, EmptyConfigListYieldsEmptyReports) {
+  EXPECT_TRUE(RunSweep({}, 4).empty());
+}
+
 TEST(RunnerTest, RunTraceAcceptsExplicitTrace) {
   std::vector<IoRequest> requests;
   for (int i = 0; i < 100; ++i) {

@@ -1,0 +1,69 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, EachTaskSeesItsOwnArgument) {
+  ThreadPool pool(3);
+  std::vector<int> results(50, -1);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&results, i] { results[i] = i * i; });
+  }
+  pool.Wait();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): destruction must still complete all queued tasks.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tpftl
