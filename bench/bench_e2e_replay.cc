@@ -1,0 +1,224 @@
+// End-to-end replay throughput harness.
+//
+// Not a paper artifact: this tracks how fast the simulator itself replays a
+// fixed GC-heavy request mix through each FTL — the wall-clock cost of every
+// layer together (workload decode, mapping cache, translation store, block
+// manager, NAND state arena) — so whole-pipeline performance regressions are
+// visible as a single requests/sec number per FTL.
+//
+// The workload is a Zipf-skewed, write-dominated mix with interleaved
+// sequential scans over a small logical space: steady-state GC work is a
+// large share of simulated flash time, which is exactly where the block
+// manager and NAND arena hot paths matter.
+//
+// Usage:
+//   bench_e2e_replay [--json=F] [--label=L] [--trace=FILE] [--ftls=a,b,...]
+//     --json=F     output path (default BENCH_e2e.json).
+//     --label=L    run label recorded in the JSON (default "head"); the
+//                  tracked BENCH_e2e.json holds one labeled run per commit
+//                  being compared (e.g. "parent" and "head").
+//     --trace=FILE replay a real SPC/MSR trace file instead of the synthetic
+//                  mix (auto-detected format).
+//     --ftls=...   comma-separated FtlKind names (default: every kind).
+// Knobs:
+//   TPFTL_BENCH_REQUESTS — synthetic request count (default 200000).
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/ftl_factory.h"
+#include "src/ssd/runner.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/vector_trace.h"
+#include "src/util/str.h"
+#include "src/workload/generator.h"
+
+namespace tpftl {
+namespace {
+
+struct E2eResult {
+  std::string ftl;
+  uint64_t requests = 0;
+  double wall_seconds = 0.0;
+  double gc_time_share = 0.0;
+  RunReport report;
+
+  double requests_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds : 0.0;
+  }
+  double ns_per_request() const {
+    return requests > 0 ? wall_seconds * 1e9 / static_cast<double>(requests) : 0.0;
+  }
+};
+
+// GC's share of simulated flash busy time: data-page migrations (read +
+// rewrite), translation traffic triggered by GC, and block erases, over the
+// device's total busy time. trans_writes_gc already includes migrated
+// translation pages, so gc_trans_migrations is not added separately.
+double GcTimeShare(const RunReport& r) {
+  const FlashGeometry g;  // Latency model (Table 3 defaults).
+  const double gc_us =
+      static_cast<double>(r.stats.gc_data_migrations) * (g.page_read_us + g.page_write_us) +
+      static_cast<double>(r.stats.trans_reads_gc) * g.page_read_us +
+      static_cast<double>(r.stats.trans_writes_gc) * g.page_write_us +
+      static_cast<double>(r.flash.block_erases) * g.block_erase_us;
+  return r.flash.busy_time_us > 0.0 ? gc_us / r.flash.busy_time_us : 0.0;
+}
+
+WorkloadConfig GcHeavyMix(uint64_t requests) {
+  WorkloadConfig w;
+  w.name = "e2e_gc_heavy";
+  w.address_space_bytes = 64ULL << 20;  // Small space → frequent GC.
+  w.num_requests = requests;
+  w.seed = 11;
+  w.write_ratio = 0.8;
+  w.zipf_theta = 1.2;
+  w.seq_read_fraction = 0.3;  // Interleaved sequential scans.
+  w.seq_write_fraction = 0.2;
+  w.chunk_pages = 32;
+  w.mean_interarrival_us = 50.0;
+  return w;
+}
+
+std::vector<FtlKind> AllFtls() {
+  return {FtlKind::kOptimal, FtlKind::kDftl,     FtlKind::kCdftl, FtlKind::kSftl,
+          FtlKind::kTpftl,   FtlKind::kBlockFtl, FtlKind::kFast,  FtlKind::kZftl};
+}
+
+std::vector<FtlKind> ParseFtlList(const std::string& list) {
+  std::vector<FtlKind> out;
+  FieldCursor cursor(list, ',');
+  std::string_view name;
+  while (cursor.Next(&name)) {
+    bool found = false;
+    for (const FtlKind kind : AllFtls()) {
+      if (EqualsIgnoreCase(Trim(name), FtlKindName(kind))) {
+        out.push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "error: unknown FTL kind '" << std::string(name) << "'" << std::endl;
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+E2eResult ReplayOne(const ExperimentConfig& config, VectorTrace& trace, FtlKind kind) {
+  ExperimentConfig run = config;
+  run.ftl_kind = kind;
+  std::cerr << "  replaying " << FtlKindName(kind) << " ..." << std::endl;
+  const auto start = std::chrono::steady_clock::now();
+  const RunReport report = RunTrace(run, trace);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+  E2eResult result;
+  result.ftl = FtlKindName(kind);
+  result.requests = static_cast<uint64_t>(trace.requests().size());
+  result.wall_seconds = elapsed.count();
+  result.gc_time_share = GcTimeShare(report);
+  result.report = report;
+  return result;
+}
+
+void WriteJson(const std::vector<E2eResult>& results, const std::string& label,
+               const std::string& workload, std::ostream& os) {
+  os << "{\n  \"schema\": \"tpftl.bench_e2e.v1\",\n  \"runs\": [\n";
+  os << "    {\"label\": \"" << label << "\", \"workload\": \"" << workload
+     << "\", \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const E2eResult& r = results[i];
+    os << "      {\"ftl\": \"" << r.ftl << "\", \"requests\": " << r.requests
+       << ", \"wall_seconds\": " << FormatDouble(r.wall_seconds, 3)
+       << ", \"requests_per_sec\": " << FormatDouble(r.requests_per_sec(), 0)
+       << ", \"ns_per_request\": " << FormatDouble(r.ns_per_request(), 0)
+       << ", \"gc_time_share\": " << FormatDouble(r.gc_time_share, 4)
+       << ",\n       \"hit_ratio\": " << FormatDouble(r.report.hit_ratio, 6)
+       << ", \"prd\": " << FormatDouble(r.report.prd, 6)
+       << ", \"write_amplification\": " << FormatDouble(r.report.write_amplification, 6)
+       << ", \"block_erases\": " << r.report.block_erases
+       << ", \"trans_reads\": " << r.report.trans_reads
+       << ", \"trans_writes\": " << r.report.trans_writes << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "    ]}\n  ]\n}\n";
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_e2e.json";
+  std::string label = "head";
+  std::string trace_path;
+  std::vector<FtlKind> kinds = AllFtls();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(8);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--ftls=", 0) == 0) {
+      kinds = ParseFtlList(arg.substr(7));
+    } else {
+      std::cerr << "usage: bench_e2e_replay [--json=F] [--label=L] [--trace=FILE] "
+                   "[--ftls=a,b,...]"
+                << std::endl;
+      return 1;
+    }
+  }
+
+  ExperimentConfig config;
+  config.workload = GcHeavyMix(bench::RequestsFromEnv(200000));
+  config.warmup_fraction = 0.0;  // Wall time covers the whole replay.
+
+  VectorTrace trace;
+  if (!trace_path.empty()) {
+    const auto loaded = LoadTraceFile(trace_path);
+    if (!loaded) {
+      std::cerr << "error: cannot load trace " << trace_path << std::endl;
+      return 1;
+    }
+    trace = VectorTrace(loaded->requests);
+    config.workload.name = trace_path;
+    std::cerr << "loaded " << trace.requests().size() << " requests from " << trace_path << " ("
+              << loaded->malformed_lines << " malformed lines)" << std::endl;
+  } else {
+    trace = MaterializeWorkload(config.workload);
+  }
+
+  std::vector<E2eResult> results;
+  Table table("End-to-end replay throughput (" + config.workload.name + ")");
+  table.SetColumns({"FTL", "requests", "wall s", "req/s", "ns/req", "GC share", "Hr", "WA",
+                    "erases"});
+  for (const FtlKind kind : kinds) {
+    E2eResult r = ReplayOne(config, trace, kind);
+    table.AddRow({r.ftl, std::to_string(r.requests), FormatDouble(r.wall_seconds, 2),
+                  FormatDouble(r.requests_per_sec(), 0), FormatDouble(r.ns_per_request(), 0),
+                  FormatDouble(r.gc_time_share, 3), FormatDouble(r.report.hit_ratio, 3),
+                  FormatDouble(r.report.write_amplification, 3),
+                  std::to_string(r.report.block_erases)});
+    results.push_back(std::move(r));
+  }
+  bench::Emit(table);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << std::endl;
+    return 1;
+  }
+  WriteJson(results, label, config.workload.name, out);
+  std::cerr << "wrote " << json_path << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpftl
+
+int main(int argc, char** argv) { return tpftl::Main(argc, argv); }

@@ -1,0 +1,219 @@
+// Micro-benchmarks of the trace parsers.
+//
+// Not a paper artifact: these track the throughput of the SPC-1 and MSR
+// line parsers (lines/sec, MB/s) so that regressions in the hot parse loops
+// — which gate how fast multi-hundred-MB trace files load — are visible
+// independently of whole-experiment runtimes.
+//
+// Two modes:
+//   default            — google-benchmark micro-benchmarks (ns/line).
+//   --throughput[=F]   — fixed-size throughput runs written as
+//                        machine-readable JSON to F (default
+//                        BENCH_trace_parse.json) and echoed to stdout. Line
+//                        count is tunable via TPFTL_BENCH_TRACE_LINES
+//                        (default 2000000).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/trace/msr_parser.h"
+#include "src/trace/spc_parser.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+
+namespace tpftl {
+namespace {
+
+// Synthetic but realistic-shaped trace text: varied field widths, both
+// opcodes, a sprinkle of comments and blank lines.
+std::string MakeSpcText(uint64_t lines, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  text.reserve(lines * 32);
+  char buf[96];
+  for (uint64_t i = 0; i < lines; ++i) {
+    if (i % 1000 == 0) {
+      text += "# comment line\n\n";
+    }
+    const unsigned asu = static_cast<unsigned>(rng.Below(4));
+    const unsigned long long lba = rng.Below(1ULL << 30);
+    const unsigned long long size = (1 + rng.Below(64)) * 512ULL;
+    const char op = rng.Chance(0.6) ? 'W' : 'R';
+    const double ts = static_cast<double>(i) * 0.001;
+    std::snprintf(buf, sizeof(buf), "%u,%llu,%llu,%c,%.6f\n", asu, lba, size, op, ts);
+    text += buf;
+  }
+  return text;
+}
+
+std::string MakeMsrText(uint64_t lines, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  text.reserve(lines * 56);
+  char buf[128];
+  for (uint64_t i = 0; i < lines; ++i) {
+    if (i % 1000 == 0) {
+      text += "# comment line\n\n";
+    }
+    const unsigned long long ticks = 128166372002061308ULL + i * 10000ULL;
+    const unsigned disk = static_cast<unsigned>(rng.Below(2));
+    const char* type = rng.Chance(0.6) ? "Write" : "Read";
+    const unsigned long long offset = rng.Below(1ULL << 36) * 512ULL;
+    const unsigned long long size = (1 + rng.Below(64)) * 512ULL;
+    std::snprintf(buf, sizeof(buf), "%llu,hm,%u,%s,%llu,%llu,%llu\n", ticks, disk, type, offset,
+                  size, 1000ULL + i % 977);
+    text += buf;
+  }
+  return text;
+}
+
+void BM_SpcParseLine(benchmark::State& state) {
+  const std::string line = "2,1384545280,8192,W,0.024878";
+  SpcParser parser;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.ParseLine(line));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpcParseLine);
+
+void BM_MsrParseLine(benchmark::State& state) {
+  const std::string line = "128166372002061308,hm,1,Read,383496192,32768,1131";
+  MsrParser parser;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.ParseLine(line));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MsrParseLine);
+
+void BM_SpcParseText(benchmark::State& state) {
+  const std::string text = MakeSpcText(static_cast<uint64_t>(state.range(0)), 7);
+  SpcParser parser;
+  for (auto _ : state) {
+    uint64_t malformed = 0;
+    benchmark::DoNotOptimize(parser.ParseText(text, &malformed));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_SpcParseText)->Arg(10000)->Arg(100000);
+
+void BM_MsrParseText(benchmark::State& state) {
+  const std::string text = MakeMsrText(static_cast<uint64_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    MsrParser parser;  // Fresh parser: time rebasing is part of the loop.
+    uint64_t malformed = 0;
+    benchmark::DoNotOptimize(parser.ParseText(text, &malformed));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_MsrParseText)->Arg(10000)->Arg(100000);
+
+// ---------------------------------------------------------------------------
+// Throughput mode.
+
+struct ThroughputResult {
+  std::string name;
+  uint64_t lines = 0;
+  uint64_t bytes = 0;
+  double seconds = 0.0;
+  double lines_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(lines) / seconds : 0.0;
+  }
+  double mb_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(bytes) / 1e6 / seconds : 0.0;
+  }
+};
+
+uint64_t ThroughputLines() {
+  if (const char* env = std::getenv("TPFTL_BENCH_TRACE_LINES")) {
+    const auto parsed = ParseU64(env);
+    if (parsed.has_value() && *parsed > 0) {
+      return *parsed;
+    }
+    std::cerr << "warning: TPFTL_BENCH_TRACE_LINES='" << env
+              << "' is not a positive integer; using default 2000000" << std::endl;
+  }
+  return 2'000'000;
+}
+
+template <typename Parser>
+ThroughputResult TimeParse(const std::string& name, const std::string& text, uint64_t lines,
+                           Parser&& parser) {
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t malformed = 0;
+  const std::vector<IoRequest> requests = parser.ParseText(text, &malformed);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  benchmark::DoNotOptimize(requests.data());
+  if (requests.size() != lines || malformed != 0) {
+    std::cerr << "warning: " << name << " parsed " << requests.size() << "/" << lines
+              << " lines with " << malformed << " malformed" << std::endl;
+  }
+  return ThroughputResult{name, lines, text.size(), elapsed.count()};
+}
+
+void WriteThroughputJson(const std::vector<ThroughputResult>& results, std::ostream& os) {
+  os << "{\n  \"schema\": \"tpftl.bench_trace_parse.v1\",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ThroughputResult& r = results[i];
+    os << "    {\"name\": \"" << r.name << "\", \"lines\": " << r.lines
+       << ", \"bytes\": " << r.bytes << ", \"seconds\": " << FormatDouble(r.seconds, 6)
+       << ", \"lines_per_sec\": " << FormatDouble(r.lines_per_sec(), 0)
+       << ", \"mb_per_sec\": " << FormatDouble(r.mb_per_sec(), 1) << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int RunThroughputMode(const std::string& json_path) {
+  const uint64_t lines = ThroughputLines();
+  std::cerr << "throughput mode: " << lines << " lines per format" << std::endl;
+  std::vector<ThroughputResult> results;
+  {
+    const std::string text = MakeSpcText(lines, 7);
+    results.push_back(TimeParse("spc_parse", text, lines, SpcParser()));
+  }
+  {
+    const std::string text = MakeMsrText(lines, 8);
+    MsrParser parser;
+    results.push_back(TimeParse("msr_parse", text, lines, parser));
+  }
+  WriteThroughputJson(results, std::cout);
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << std::endl;
+    return 1;
+  }
+  WriteThroughputJson(results, out);
+  std::cerr << "wrote " << json_path << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpftl
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--throughput") {
+      return tpftl::RunThroughputMode("BENCH_trace_parse.json");
+    }
+    if (arg.rfind("--throughput=", 0) == 0) {
+      return tpftl::RunThroughputMode(arg.substr(std::string("--throughput=").size()));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,10 @@
+# Initial-cache file for the CI configuration: interior checks on, ASan+UBSan
+# on. One command stands up the whole thing:
+#
+#   cmake -B build-asan -S . -C cmake/ci-hardened-sanitized.cmake
+#   cmake --build build-asan -j && ctest --test-dir build-asan
+#
+# (scripts/verify.sh --sanitize drives exactly this.)
+set(TPFTL_HARDENED ON CACHE BOOL "Enable interior TPFTL_DCHECK checks" FORCE)
+set(TPFTL_SANITIZE ON CACHE BOOL "Build with -fsanitize=address,undefined" FORCE)
+set(CMAKE_BUILD_TYPE RelWithDebInfo CACHE STRING "Build type")

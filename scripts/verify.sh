@@ -2,14 +2,25 @@
 # Tier-1 verification: configure, build, run the full test suite, then smoke-
 # run the mapping-cache throughput benchmark (writes build/BENCH_cache.json).
 #
-# Usage: scripts/verify.sh [build-dir]
+# Usage: scripts/verify.sh [--sanitize] [build-dir]
+#   --sanitize   additionally build the hardened + ASan/UBSan configuration
+#                (cmake/ci-hardened-sanitized.cmake) in <build-dir>-asan and
+#                run the full suite under it. Slower; catches memory and UB
+#                bugs the default build cannot.
 # Knobs: TPFTL_BENCH_CACHE_OPS (default 200000 here — a smoke run, not a
 #        stable measurement; use the default 2000000 for recorded numbers).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+SANITIZE=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S .
@@ -18,5 +29,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 TPFTL_BENCH_CACHE_OPS="${TPFTL_BENCH_CACHE_OPS:-200000}" \
   "./$BUILD_DIR/bench/bench_micro_cache" "--throughput=$BUILD_DIR/BENCH_cache.json"
+
+if [[ "$SANITIZE" == "1" ]]; then
+  ASAN_DIR="${BUILD_DIR}-asan"
+  cmake -B "$ASAN_DIR" -S . -C cmake/ci-hardened-sanitized.cmake
+  cmake --build "$ASAN_DIR" -j"$JOBS"
+  ctest --test-dir "$ASAN_DIR" --output-on-failure -j"$JOBS"
+fi
 
 echo "verify: OK"

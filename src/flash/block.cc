@@ -6,51 +6,26 @@
 
 namespace tpftl {
 
-Block::Block(uint64_t pages_per_block) : states_(pages_per_block, PageState::kFree) {
+PageStateArena::PageStateArena(uint64_t total_blocks, uint64_t pages_per_block)
+    : pages_per_block_(pages_per_block),
+      words_per_block_((pages_per_block + 31) / 32),
+      state_words_(total_blocks * ((pages_per_block + 31) / 32), 0),
+      counters_(total_blocks) {
+  TPFTL_CHECK(total_blocks > 0);
   TPFTL_CHECK(pages_per_block > 0);
-}
-
-uint64_t Block::Program() {
-  TPFTL_CHECK_MSG(HasFreePage(), "program on a full block");
-  TPFTL_CHECK_MSG(write_cursor_ < states_.size() && states_[write_cursor_] == PageState::kFree,
-                  "sequential programming past an out-of-order write");
-  const uint64_t offset = write_cursor_++;
-  states_[offset] = PageState::kValid;
-  ++valid_count_;
-  ++programmed_count_;
-  return offset;
-}
-
-void Block::ProgramAt(uint64_t offset) {
-  TPFTL_CHECK(offset < states_.size());
-  TPFTL_CHECK_MSG(states_[offset] == PageState::kFree, "program of a non-free page");
-  states_[offset] = PageState::kValid;
-  ++valid_count_;
-  ++programmed_count_;
-  if (offset >= write_cursor_) {
-    write_cursor_ = offset + 1;
-  }
-}
-
-void Block::Invalidate(uint64_t offset) {
-  TPFTL_CHECK(offset < states_.size());
-  TPFTL_CHECK_MSG(states_[offset] == PageState::kValid, "invalidate of a non-valid page");
-  states_[offset] = PageState::kInvalid;
-  TPFTL_DCHECK(valid_count_ > 0);
-  --valid_count_;
+  TPFTL_CHECK_MSG(pages_per_block <= (uint64_t{1} << 32),
+                  "pages_per_block exceeds the 32-bit counter range");
 }
 
 void Block::Erase() {
-  std::fill(states_.begin(), states_.end(), PageState::kFree);
-  write_cursor_ = 0;
-  programmed_count_ = 0;
-  valid_count_ = 0;
-  ++erase_count_;
-}
-
-PageState Block::StateOf(uint64_t offset) const {
-  TPFTL_CHECK(offset < states_.size());
-  return states_[offset];
+  const uint64_t first = id_ * arena_->words_per_block_;
+  std::fill(arena_->state_words_.begin() + first,
+            arena_->state_words_.begin() + first + arena_->words_per_block_, uint64_t{0});
+  PageStateArena::Counters& c = counters();
+  c.write_cursor = 0;
+  c.programmed = 0;
+  c.valid = 0;
+  ++c.erase;
 }
 
 }  // namespace tpftl

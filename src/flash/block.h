@@ -1,8 +1,21 @@
-// Per-block page-state bookkeeping.
+// Per-block page-state bookkeeping on a device-wide packed arena.
 //
 // A flash block is the erase unit; pages within it must be programmed
 // sequentially (enforced via the write cursor, matching real NAND ordering
 // constraints) and transition free → valid → invalid → (erase) → free.
+//
+// Page states for the whole device live in one PageStateArena: a packed
+// 2-bit-per-page state array (32 states per 64-bit word, each block padded to
+// whole words so erase is a plain word fill) plus a flat array of per-block
+// counters (write cursor, programmed/valid counts, erase count). Replaying
+// millions of requests hammers Program/Invalidate/StateOf, so these compile
+// down to branch-light index arithmetic on two contiguous allocations —
+// no per-block heap nodes, no pointer chasing.
+//
+// `Block` is a thin view (arena pointer + block id) kept source-compatible
+// with the old per-block class: BlockManager, the GC loops, and tests use the
+// same accessor API. Views are cheap to copy and are invalidated only by
+// destroying the arena.
 
 #ifndef SRC_FLASH_BLOCK_H_
 #define SRC_FLASH_BLOCK_H_
@@ -11,47 +24,126 @@
 #include <vector>
 
 #include "src/flash/types.h"
+#include "src/util/assert.h"
 
 namespace tpftl {
 
 enum class PageState : uint8_t { kFree = 0, kValid = 1, kInvalid = 2 };
 
+class Block;
+
+// Device-wide packed page-state storage. Owned by NandFlash; tests may
+// construct one directly to exercise single blocks.
+class PageStateArena {
+ public:
+  PageStateArena(uint64_t total_blocks, uint64_t pages_per_block);
+
+  uint64_t total_blocks() const { return counters_.size(); }
+  uint64_t pages_per_block() const { return pages_per_block_; }
+
+  // View of one block (valid while the arena lives).
+  Block block(BlockId id);
+
+  PageState StateAt(BlockId block, uint64_t offset) const {
+    TPFTL_DCHECK(block < counters_.size() && offset < pages_per_block_);
+    const uint64_t word = state_words_[block * words_per_block_ + (offset >> 5)];
+    return static_cast<PageState>((word >> ((offset & 31) * 2)) & 3);
+  }
+
+ private:
+  friend class Block;
+
+  struct Counters {
+    uint32_t write_cursor = 0;  // Next offset for sequential Program().
+    uint32_t programmed = 0;
+    uint32_t valid = 0;
+    uint32_t erase = 0;
+  };
+
+  void SetState(BlockId block, uint64_t offset, PageState state) {
+    TPFTL_DCHECK(block < counters_.size() && offset < pages_per_block_);
+    uint64_t& word = state_words_[block * words_per_block_ + (offset >> 5)];
+    const uint64_t shift = (offset & 31) * 2;
+    word = (word & ~(uint64_t{3} << shift)) |
+           (static_cast<uint64_t>(state) << shift);
+  }
+
+  uint64_t pages_per_block_;
+  uint64_t words_per_block_;  // ceil(pages_per_block / 32): blocks don't share words.
+  std::vector<uint64_t> state_words_;
+  std::vector<Counters> counters_;
+};
+
 class Block {
  public:
-  explicit Block(uint64_t pages_per_block);
+  Block(PageStateArena* arena, BlockId id) : arena_(arena), id_(id) {
+    TPFTL_DCHECK(arena != nullptr && id < arena->total_blocks());
+  }
 
   // Marks the next sequential free page as valid; returns its offset.
   // Requires HasFreePage().
-  uint64_t Program();
+  uint64_t Program() {
+    PageStateArena::Counters& c = counters();
+    TPFTL_DCHECK_MSG(c.programmed < arena_->pages_per_block_, "program on a full block");
+    TPFTL_DCHECK_MSG(c.write_cursor < arena_->pages_per_block_ &&
+                         arena_->StateAt(id_, c.write_cursor) == PageState::kFree,
+                     "sequential programming past an out-of-order write");
+    const uint64_t offset = c.write_cursor++;
+    arena_->SetState(id_, offset, PageState::kValid);
+    ++c.valid;
+    ++c.programmed;
+    return offset;
+  }
 
   // Programs a specific free page (out-of-order). Modern NAND mandates
   // sequential in-block programming; this entry point exists for the
   // block-level FTL baseline, which models older SLC parts where pages map
   // to fixed in-block offsets.
-  void ProgramAt(uint64_t offset);
+  void ProgramAt(uint64_t offset) {
+    TPFTL_DCHECK(offset < arena_->pages_per_block_);
+    TPFTL_DCHECK_MSG(arena_->StateAt(id_, offset) == PageState::kFree,
+                     "program of a non-free page");
+    PageStateArena::Counters& c = counters();
+    arena_->SetState(id_, offset, PageState::kValid);
+    ++c.valid;
+    ++c.programmed;
+    if (offset >= c.write_cursor) {
+      c.write_cursor = static_cast<uint32_t>(offset + 1);
+    }
+  }
 
   // valid → invalid.
-  void Invalidate(uint64_t offset);
+  void Invalidate(uint64_t offset) {
+    TPFTL_DCHECK(offset < arena_->pages_per_block_);
+    TPFTL_DCHECK_MSG(arena_->StateAt(id_, offset) == PageState::kValid,
+                     "invalidate of a non-valid page");
+    PageStateArena::Counters& c = counters();
+    arena_->SetState(id_, offset, PageState::kInvalid);
+    TPFTL_DCHECK(c.valid > 0);
+    --c.valid;
+  }
 
   // Clears all pages, advances the erase counter.
   void Erase();
 
-  PageState StateOf(uint64_t offset) const;
-  bool HasFreePage() const { return programmed_count_ < states_.size(); }
-  uint64_t free_pages() const { return states_.size() - programmed_count_; }
-  uint64_t valid_pages() const { return valid_count_; }
-  uint64_t invalid_pages() const { return programmed_count_ - valid_count_; }
-  uint64_t erase_count() const { return erase_count_; }
-  uint64_t write_cursor() const { return write_cursor_; }
-  uint64_t pages_per_block() const { return states_.size(); }
+  PageState StateOf(uint64_t offset) const { return arena_->StateAt(id_, offset); }
+  bool HasFreePage() const { return counters().programmed < arena_->pages_per_block_; }
+  uint64_t free_pages() const { return arena_->pages_per_block_ - counters().programmed; }
+  uint64_t valid_pages() const { return counters().valid; }
+  uint64_t invalid_pages() const { return counters().programmed - counters().valid; }
+  uint64_t erase_count() const { return counters().erase; }
+  uint64_t write_cursor() const { return counters().write_cursor; }
+  uint64_t pages_per_block() const { return arena_->pages_per_block_; }
+  BlockId id() const { return id_; }
 
  private:
-  std::vector<PageState> states_;
-  uint64_t write_cursor_ = 0;  // Next offset for sequential Program().
-  uint64_t programmed_count_ = 0;
-  uint64_t valid_count_ = 0;
-  uint64_t erase_count_ = 0;
+  PageStateArena::Counters& counters() const { return arena_->counters_[id_]; }
+
+  PageStateArena* arena_;
+  BlockId id_;
 };
+
+inline Block PageStateArena::block(BlockId id) { return Block(this, id); }
 
 }  // namespace tpftl
 

@@ -1,103 +1,56 @@
 #include "src/flash/nand.h"
 
+#include <algorithm>
+
 #include "src/util/assert.h"
 
 namespace tpftl {
 
 NandFlash::NandFlash(const FlashGeometry& geometry)
-    : geometry_(geometry), oob_(geometry.total_pages(), ~0ULL) {
+    : geometry_(geometry),
+      arena_(geometry.total_blocks, geometry.pages_per_block),
+      oob_(geometry.total_pages(), ~0ULL) {
   TPFTL_CHECK(geometry.total_blocks > 0);
-  blocks_.reserve(geometry.total_blocks);
-  for (uint64_t i = 0; i < geometry.total_blocks; ++i) {
-    blocks_.emplace_back(geometry.pages_per_block);
-  }
-}
-
-MicroSec NandFlash::ReadPage(Ppn ppn) {
-  const BlockId block = geometry_.BlockOf(ppn);
-  TPFTL_CHECK(block < blocks_.size());
-  TPFTL_CHECK_MSG(blocks_[block].StateOf(geometry_.OffsetOf(ppn)) != PageState::kFree,
-                  "read of an unprogrammed page");
-  ++stats_.page_reads;
-  stats_.busy_time_us += geometry_.page_read_us;
-  return geometry_.page_read_us;
-}
-
-MicroSec NandFlash::ProgramPage(BlockId block, uint64_t oob_tag, Ppn* out_ppn) {
-  TPFTL_CHECK(block < blocks_.size());
-  const uint64_t offset = blocks_[block].Program();
-  const Ppn ppn = geometry_.PpnOf(block, offset);
-  oob_[ppn] = oob_tag;
-  if (out_ppn != nullptr) {
-    *out_ppn = ppn;
-  }
-  ++stats_.page_writes;
-  stats_.busy_time_us += geometry_.page_write_us;
-  return geometry_.page_write_us;
 }
 
 MicroSec NandFlash::ProgramPageAt(Ppn ppn, uint64_t oob_tag) {
   const BlockId block = geometry_.BlockOf(ppn);
-  TPFTL_CHECK(block < blocks_.size());
-  blocks_[block].ProgramAt(geometry_.OffsetOf(ppn));
+  TPFTL_DCHECK(block < arena_.total_blocks());
+  arena_.block(block).ProgramAt(geometry_.OffsetOf(ppn));
   oob_[ppn] = oob_tag;
   ++stats_.page_writes;
   stats_.busy_time_us += geometry_.page_write_us;
   return geometry_.page_write_us;
 }
 
-void NandFlash::InvalidatePage(Ppn ppn) {
-  const BlockId block = geometry_.BlockOf(ppn);
-  TPFTL_CHECK(block < blocks_.size());
-  blocks_[block].Invalidate(geometry_.OffsetOf(ppn));
-}
-
 MicroSec NandFlash::EraseBlock(BlockId block) {
-  TPFTL_CHECK(block < blocks_.size());
-  TPFTL_CHECK_MSG(blocks_[block].valid_pages() == 0,
+  TPFTL_CHECK(block < arena_.total_blocks());
+  TPFTL_CHECK_MSG(arena_.block(block).valid_pages() == 0,
                   "erase of a block that still holds valid pages");
-  blocks_[block].Erase();
+  arena_.block(block).Erase();
   ++stats_.block_erases;
   stats_.busy_time_us += geometry_.block_erase_us;
   return geometry_.block_erase_us;
 }
 
 bool NandFlash::IsWornOut(BlockId block) const {
-  TPFTL_CHECK(block < blocks_.size());
+  TPFTL_CHECK(block < arena_.total_blocks());
   return geometry_.max_erase_cycles > 0 &&
-         blocks_[block].erase_count() >= geometry_.max_erase_cycles;
-}
-
-uint64_t NandFlash::OobTag(Ppn ppn) const {
-  TPFTL_CHECK(ppn < oob_.size());
-  return oob_[ppn];
-}
-
-PageState NandFlash::StateOf(Ppn ppn) const {
-  const BlockId block = geometry_.BlockOf(ppn);
-  TPFTL_CHECK(block < blocks_.size());
-  return blocks_[block].StateOf(geometry_.OffsetOf(ppn));
-}
-
-const Block& NandFlash::block(BlockId id) const {
-  TPFTL_CHECK(id < blocks_.size());
-  return blocks_[id];
+         this->block(block).erase_count() >= geometry_.max_erase_cycles;
 }
 
 uint64_t NandFlash::TotalEraseCount() const {
   uint64_t total = 0;
-  for (const Block& b : blocks_) {
-    total += b.erase_count();
+  for (BlockId b = 0; b < arena_.total_blocks(); ++b) {
+    total += block(b).erase_count();
   }
   return total;
 }
 
 uint64_t NandFlash::MaxEraseCount() const {
   uint64_t max = 0;
-  for (const Block& b : blocks_) {
-    if (b.erase_count() > max) {
-      max = b.erase_count();
-    }
+  for (BlockId b = 0; b < arena_.total_blocks(); ++b) {
+    max = std::max(max, block(b).erase_count());
   }
   return max;
 }

@@ -14,6 +14,12 @@
 // The simulator carries no page payload: experiments only need addresses and
 // timing. Correctness of the mapping layers is instead validated by tests
 // that mirror writes into a shadow map and compare against FTL lookups.
+//
+// Page states and per-block counters live in a single packed PageStateArena
+// (see block.h); the per-page operations below are inline array math so the
+// replay hot path has no call or pointer-chasing overhead. Interior state
+// checks are TPFTL_DCHECK — compiled out of release replays, re-enabled by
+// -DTPFTL_HARDENED=ON (debug and CI builds).
 
 #ifndef SRC_FLASH_NAND_H_
 #define SRC_FLASH_NAND_H_
@@ -25,6 +31,7 @@
 #include "src/flash/geometry.h"
 #include "src/flash/stats.h"
 #include "src/flash/types.h"
+#include "src/util/assert.h"
 
 namespace tpftl {
 
@@ -38,18 +45,41 @@ class NandFlash {
   // Reads one page; the page must hold data (valid or invalid — FTLs read
   // just-superseded translation pages during read-modify-write). Returns the
   // operation latency.
-  MicroSec ReadPage(Ppn ppn);
+  MicroSec ReadPage(Ppn ppn) {
+    (void)ppn;  // Only inspected by the interior checks (no page payload).
+    TPFTL_DCHECK(ppn < geometry_.total_pages());
+    TPFTL_DCHECK_MSG(arena_.StateAt(geometry_.BlockOf(ppn), geometry_.OffsetOf(ppn)) !=
+                         PageState::kFree,
+                     "read of an unprogrammed page");
+    ++stats_.page_reads;
+    stats_.busy_time_us += geometry_.page_read_us;
+    return geometry_.page_read_us;
+  }
 
   // Programs the next sequential page of `block`, tagging it with `oob_tag`
   // (LPN for data pages, VTPN for translation pages). Returns the programmed
   // PPN via out-param and the latency. The block must have a free page.
-  MicroSec ProgramPage(BlockId block, uint64_t oob_tag, Ppn* out_ppn);
+  MicroSec ProgramPage(BlockId block, uint64_t oob_tag, Ppn* out_ppn) {
+    TPFTL_DCHECK(block < arena_.total_blocks());
+    const uint64_t offset = arena_.block(block).Program();
+    const Ppn ppn = geometry_.PpnOf(block, offset);
+    oob_[ppn] = oob_tag;
+    if (out_ppn != nullptr) {
+      *out_ppn = ppn;
+    }
+    ++stats_.page_writes;
+    stats_.busy_time_us += geometry_.page_write_us;
+    return geometry_.page_write_us;
+  }
 
   // Programs a specific free page (out-of-order; see Block::ProgramAt).
   MicroSec ProgramPageAt(Ppn ppn, uint64_t oob_tag);
 
   // valid → invalid; the FTL calls this when superseding a page.
-  void InvalidatePage(Ppn ppn);
+  void InvalidatePage(Ppn ppn) {
+    TPFTL_DCHECK(ppn < geometry_.total_pages());
+    arena_.block(geometry_.BlockOf(ppn)).Invalidate(geometry_.OffsetOf(ppn));
+  }
 
   // Erases one block; all its pages must already be invalid or free.
   // Returns the latency.
@@ -61,10 +91,22 @@ class NandFlash {
   bool IsWornOut(BlockId block) const;
 
   // OOB tag of a programmed page.
-  uint64_t OobTag(Ppn ppn) const;
+  uint64_t OobTag(Ppn ppn) const {
+    TPFTL_DCHECK(ppn < oob_.size());
+    return oob_[ppn];
+  }
 
-  PageState StateOf(Ppn ppn) const;
-  const Block& block(BlockId id) const;
+  PageState StateOf(Ppn ppn) const {
+    TPFTL_DCHECK(ppn < geometry_.total_pages());
+    return arena_.StateAt(geometry_.BlockOf(ppn), geometry_.OffsetOf(ppn));
+  }
+
+  // Cheap by-value view (arena pointer + id); see block.h. Mutations flow
+  // through the NandFlash page operations — callers use views read-only.
+  Block block(BlockId id) const {
+    TPFTL_DCHECK(id < arena_.total_blocks());
+    return const_cast<PageStateArena&>(arena_).block(id);
+  }
   const FlashGeometry& geometry() const { return geometry_; }
 
   const FlashStats& stats() const { return stats_; }
@@ -77,7 +119,7 @@ class NandFlash {
 
  private:
   FlashGeometry geometry_;
-  std::vector<Block> blocks_;
+  PageStateArena arena_;
   std::vector<uint64_t> oob_;
   FlashStats stats_;
 };

@@ -14,8 +14,11 @@ BlockManager::BlockManager(NandFlash* flash, uint64_t gc_threshold, GcPolicy pol
       wear_spread_limit_(wear_spread_limit),
       last_touched_(flash->geometry().total_blocks, 0),
       pool_of_(flash->geometry().total_blocks, BlockPool::kNone),
-      buckets_(flash->geometry().pages_per_block + 1),
-      in_bucket_(flash->geometry().total_blocks, false) {
+      bucket_head_(flash->geometry().pages_per_block + 1, kInvalidBlock),
+      bucket_tail_(flash->geometry().pages_per_block + 1, kInvalidBlock),
+      next_(flash->geometry().total_blocks, kInvalidBlock),
+      prev_(flash->geometry().total_blocks, kInvalidBlock),
+      bucket_of_(flash->geometry().total_blocks, kNotBucketed) {
   TPFTL_CHECK(flash != nullptr);
   const uint64_t total = flash_->geometry().total_blocks;
   TPFTL_CHECK_MSG(total > gc_threshold + 2, "geometry too small for the GC threshold");
@@ -38,7 +41,7 @@ BlockId BlockManager::AllocateFreeBlock(BlockPool pool) {
 }
 
 MicroSec BlockManager::Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn) {
-  TPFTL_CHECK(pool != BlockPool::kNone);
+  TPFTL_DCHECK(pool != BlockPool::kNone);
   ActiveBlock& active = pool == BlockPool::kData ? active_data_ : active_trans_;
   if (active.id == kInvalidBlock || !flash_->block(active.id).HasFreePage()) {
     RetireIfFull(pool);
@@ -60,31 +63,78 @@ void BlockManager::RetireIfFull(BlockPool pool) {
 
 void BlockManager::Invalidate(Ppn ppn) {
   const BlockId block = flash_->geometry().BlockOf(ppn);
-  const bool bucketed = in_bucket_[block];
-  if (bucketed) {
-    BucketErase(block);
-  }
   flash_->InvalidatePage(ppn);
   last_touched_[block] = ++op_clock_;
-  if (bucketed) {
-    BucketInsert(block);
+  if (bucket_of_[block] != kNotBucketed) {
+    BucketMove(block, flash_->block(block).valid_pages());
   }
+}
+
+void BlockManager::ListPushFront(uint64_t bucket, BlockId block) {
+  const BlockId head = bucket_head_[bucket];
+  // Within-bucket invariant: entrants arrive in last_touched order, so the
+  // list stays sorted newest (head) → oldest (tail). PickCostBenefit's
+  // tail-only scoring depends on this.
+  TPFTL_DCHECK(head == kInvalidBlock || last_touched_[block] >= last_touched_[head]);
+  next_[block] = head;
+  prev_[block] = kInvalidBlock;
+  if (head != kInvalidBlock) {
+    prev_[head] = block;
+  } else {
+    bucket_tail_[bucket] = block;
+  }
+  bucket_head_[bucket] = block;
+  bucket_of_[block] = static_cast<uint32_t>(bucket);
+}
+
+void BlockManager::ListUnlink(uint64_t bucket, BlockId block) {
+  const BlockId p = prev_[block];
+  const BlockId n = next_[block];
+  if (p != kInvalidBlock) {
+    next_[p] = n;
+  } else {
+    bucket_head_[bucket] = n;
+  }
+  if (n != kInvalidBlock) {
+    prev_[n] = p;
+  } else {
+    bucket_tail_[bucket] = p;
+  }
+  bucket_of_[block] = kNotBucketed;
 }
 
 void BlockManager::BucketInsert(BlockId block) {
+  TPFTL_DCHECK(bucket_of_[block] == kNotBucketed);
   const uint64_t valid = flash_->block(block).valid_pages();
-  TPFTL_DCHECK(!in_bucket_[block]);
-  buckets_[valid].insert(block);
-  in_bucket_[block] = true;
+  ListPushFront(valid, block);
   min_bucket_hint_ = std::min(min_bucket_hint_, valid);
+  const uint64_t erase = flash_->block(block).erase_count();
+  if (erase >= erase_hist_.size()) {
+    erase_hist_.resize(erase + 1, 0);
+  }
+  ++erase_hist_[erase];
+  min_erase_hint_ = std::min(min_erase_hint_, erase);
+  ++candidate_count_;
 }
 
 void BlockManager::BucketErase(BlockId block) {
-  const uint64_t valid = flash_->block(block).valid_pages();
-  TPFTL_DCHECK(in_bucket_[block]);
-  const size_t erased = buckets_[valid].erase(block);
-  TPFTL_CHECK(erased == 1);
-  in_bucket_[block] = false;
+  const uint32_t bucket = bucket_of_[block];
+  TPFTL_DCHECK(bucket != kNotBucketed);
+  ListUnlink(bucket, block);
+  const uint64_t erase = flash_->block(block).erase_count();
+  TPFTL_DCHECK(erase < erase_hist_.size() && erase_hist_[erase] > 0);
+  --erase_hist_[erase];
+  --candidate_count_;
+}
+
+void BlockManager::BucketMove(BlockId block, uint64_t new_valid) {
+  // Invalidation move: erase counts are unchanged, so the histogram stays
+  // put; only the two list splices and the min-bucket hint are touched.
+  const uint32_t bucket = bucket_of_[block];
+  TPFTL_DCHECK(bucket != kNotBucketed);
+  ListUnlink(bucket, block);
+  ListPushFront(new_valid, block);
+  min_bucket_hint_ = std::min(min_bucket_hint_, new_valid);
 }
 
 BlockId BlockManager::PickVictim() {
@@ -100,10 +150,12 @@ BlockId BlockManager::PickVictim() {
 }
 
 BlockId BlockManager::PickGreedy() const {
-  for (uint64_t v = min_bucket_hint_; v < buckets_.size(); ++v) {
-    if (!buckets_[v].empty()) {
+  // Tie-break among equal-valid candidates: the oldest entrant (the tail).
+  // Deterministic, and consistent with cost-benefit's age preference.
+  for (uint64_t v = min_bucket_hint_; v < bucket_tail_.size(); ++v) {
+    if (bucket_tail_[v] != kInvalidBlock) {
       min_bucket_hint_ = v;
-      return *buckets_[v].begin();
+      return bucket_tail_[v];
     }
   }
   return kInvalidBlock;
@@ -112,56 +164,99 @@ BlockId BlockManager::PickGreedy() const {
 BlockId BlockManager::PickCostBenefit() const {
   // Score = age * (1 - u) / (2u); collecting costs reading/writing the valid
   // fraction u twice (read + rewrite) and benefits (1 - u) free pages.
+  // Within a bucket all blocks share u, so the oldest (max age) dominates —
+  // and the within-bucket ordering invariant makes that the tail. One
+  // candidate per non-empty bucket suffices.
   BlockId best = kInvalidBlock;
   double best_score = -1.0;
   const double per_block = static_cast<double>(flash_->geometry().pages_per_block);
-  for (uint64_t v = 0; v < buckets_.size(); ++v) {
-    for (const BlockId block : buckets_[v]) {
-      const double u = static_cast<double>(v) / per_block;
-      const double age = static_cast<double>(op_clock_ - last_touched_[block]) + 1.0;
-      const double score = u == 0.0 ? age * 1e9 : age * (1.0 - u) / (2.0 * u);
-      if (score > best_score) {
-        best_score = score;
-        best = block;
-      }
+  for (uint64_t v = 0; v < bucket_tail_.size(); ++v) {
+    const BlockId block = bucket_tail_[v];
+    if (block == kInvalidBlock) {
+      continue;
+    }
+    const double u = static_cast<double>(v) / per_block;
+    const double age = static_cast<double>(op_clock_ - last_touched_[block]) + 1.0;
+    const double score = u == 0.0 ? age * 1e9 : age * (1.0 - u) / (2.0 * u);
+    if (score > best_score) {
+      best_score = score;
+      best = block;
     }
   }
   return best;
 }
 
+uint64_t BlockManager::MinCandidateErase() const {
+  if (candidate_count_ == 0) {
+    return ~0ULL;
+  }
+  // The hint only advances: it is lowered eagerly on insert and invalidated
+  // upward by removals, whose cost this scan amortizes.
+  while (min_erase_hint_ < erase_hist_.size() && erase_hist_[min_erase_hint_] == 0) {
+    ++min_erase_hint_;
+  }
+  TPFTL_DCHECK(min_erase_hint_ < erase_hist_.size());
+  return min_erase_hint_;
+}
+
 BlockId BlockManager::PickWearAware() const {
   // Greedy, but refuse to grind down blocks that are already far ahead of
-  // the pack in erase count — as long as the substitute victim is not much
-  // worse than the greedy choice. Unbounded substitution can make a
-  // collection consume more free pages (migrations + mapping writebacks)
-  // than the erase recovers, so the quality sacrifice is capped at
-  // pages_per_block / 8 extra valid pages; past that, survival beats wear
-  // leveling and the greedy victim is taken.
-  uint64_t min_erase = ~0ULL;
-  for (uint64_t v = 0; v < buckets_.size(); ++v) {
-    for (const BlockId block : buckets_[v]) {
-      min_erase = std::min(min_erase, flash_->block(block).erase_count());
-    }
-  }
+  // the pack in erase count: within a bounded quality margin of the greedy
+  // choice, take the least-worn candidate instead. Unbounded substitution
+  // can make a collection consume more free pages (migrations + mapping
+  // writebacks) than the erase recovers, so the quality sacrifice is capped
+  // at pages_per_block / 8 extra valid pages, and a substitute must stay
+  // within wear_spread_limit of the candidate minimum; past that, survival
+  // beats wear leveling and the greedy victim is taken.
   const BlockId greedy = PickGreedy();
   if (greedy == kInvalidBlock) {
     return kInvalidBlock;
   }
+  const uint64_t min_erase = MinCandidateErase();
   const uint64_t greedy_valid = flash_->block(greedy).valid_pages();
   const uint64_t margin = flash_->geometry().pages_per_block / 8;
-  for (uint64_t v = greedy_valid; v <= greedy_valid + margin && v < buckets_.size(); ++v) {
-    for (const BlockId block : buckets_[v]) {
-      if (flash_->block(block).erase_count() <= min_erase + wear_spread_limit_) {
+  BlockId best = kInvalidBlock;
+  uint64_t best_erase = min_erase + wear_spread_limit_ + 1;  // Exclusive cap.
+  for (uint64_t v = greedy_valid; v <= greedy_valid + margin && v < bucket_tail_.size(); ++v) {
+    for (BlockId block = bucket_tail_[v]; block != kInvalidBlock; block = prev_[block]) {
+      const uint64_t erase = flash_->block(block).erase_count();
+      if (erase < best_erase) {
+        if (erase == min_erase) {
+          return block;  // Cannot do better; stop scanning.
+        }
+        best = block;
+        best_erase = erase;
+      }
+    }
+  }
+  if (best != kInvalidBlock) {
+    return best;
+  }
+  // Static-leveling fallback: every near-greedy candidate is over the wear
+  // cap, which means the write-hot blocks have pulled far ahead of some cold
+  // candidate pinning the minimum. Collect that least-worn block instead —
+  // migrating its (typically fully valid) data costs a block's worth of page
+  // moves, but rotates cold blocks into service and advances the candidate
+  // minimum, which is the only way victim selection alone can bound the
+  // spread. The linear scan below is noise next to that migration cost.
+  return LeastWornCandidate();
+}
+
+BlockId BlockManager::LeastWornCandidate() const {
+  const uint64_t min_erase = MinCandidateErase();
+  for (uint64_t v = 0; v < bucket_tail_.size(); ++v) {
+    for (BlockId block = bucket_tail_[v]; block != kInvalidBlock; block = prev_[block]) {
+      if (flash_->block(block).erase_count() == min_erase) {
         return block;
       }
     }
   }
-  return greedy;
+  return kInvalidBlock;  // Unreachable while any candidate exists.
 }
 
 BlockId BlockManager::PickVictim(BlockPool pool) {
-  for (uint64_t v = 0; v < buckets_.size(); ++v) {
-    for (const BlockId block : buckets_[v]) {
+  for (uint64_t v = 0; v < bucket_tail_.size(); ++v) {
+    for (BlockId block = bucket_tail_[v]; block != kInvalidBlock; block = prev_[block]) {
       if (pool_of_[block] == pool) {
         return block;
       }
@@ -173,7 +268,7 @@ BlockId BlockManager::PickVictim(BlockPool pool) {
 MicroSec BlockManager::EraseAndFree(BlockId block) {
   TPFTL_CHECK(block < pool_of_.size());
   TPFTL_CHECK_MSG(pool_of_[block] != BlockPool::kNone, "erase of an unallocated block");
-  if (in_bucket_[block]) {
+  if (bucket_of_[block] != kNotBucketed) {
     BucketErase(block);
   }
   const MicroSec t = flash_->EraseBlock(block);

@@ -2,9 +2,38 @@
 //
 // Flash blocks are partitioned dynamically into two pools (§4.1): data blocks
 // and translation blocks. Each pool has one active block that absorbs new
-// programs; retired (fully written) blocks become GC candidates. Victim
-// selection is greedy (fewest valid pages), tracked with valid-count buckets
-// so each pick is O(pages_per_block) instead of a full scan.
+// programs; retired (fully written) blocks become GC candidates.
+//
+// Candidates are kept in valid-count buckets implemented as intrusive
+// doubly-linked lists over flat per-block index arrays: an invalidation moves
+// its block from bucket v to bucket v-1 with two unlink/link operations — no
+// hashing, no node allocation (the former std::unordered_set buckets paid
+// both on every host write). New candidates enter at the bucket head, so a
+// bucket is ordered newest → oldest from the head; because every insertion
+// happens with last_touched freshly advanced, within-bucket position order is
+// also last_touched order (head = most recent, tail = oldest). Victim
+// selection leans on that invariant:
+//
+//   kGreedy      — fewest valid pages (the paper's setting): first non-empty
+//                  bucket at or above a lazily-advancing minimum hint, O(1)
+//                  amortized. Ties break to the bucket tail — the oldest
+//                  candidate — so equal-valid victims are collected FIFO.
+//   kCostBenefit — classic cost-benefit score (Kawaguchi et al.): maximize
+//                  age * (1 - u) / (2u). Within a bucket u is constant, so
+//                  the bucket's best block is its oldest — the tail. One
+//                  score evaluation per non-empty bucket instead of a full
+//                  candidate scan.
+//   kWearAware   — greedy, but within a bounded quality margin of the greedy
+//                  choice the least-worn candidate is taken instead, provided
+//                  its erase count stays within a threshold of the current
+//                  candidate minimum. When every near-greedy candidate is
+//                  over that cap, the least-worn candidate is collected
+//                  instead (static leveling: its cold data migrates and the
+//                  block rejoins the write rotation).
+//                  The minimum is tracked incrementally via an erase-count
+//                  histogram of the candidate set (erase counts are frozen
+//                  while a block is a candidate), not recomputed by scanning
+//                  every bucket.
 //
 // All page programs and invalidations flow through this class so the buckets
 // stay consistent with the NAND state; reads go straight to NandFlash.
@@ -14,7 +43,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
 #include <vector>
 
 #include "src/flash/nand.h"
@@ -24,18 +52,7 @@ namespace tpftl {
 
 enum class BlockPool : uint8_t { kNone = 0, kData = 1, kTranslation = 2 };
 
-// GC victim-selection policy.
-//
-//   kGreedy      — fewest valid pages (the paper's setting; O(1) via
-//                  valid-count buckets).
-//   kCostBenefit — classic cost-benefit score (Kawaguchi et al.):
-//                  maximize age * (1 - u) / (2u), where u is the valid
-//                  fraction and age the time since the block last changed;
-//                  prefers cold garbage, resists hot blocks about to gain
-//                  more invalid pages.
-//   kWearAware   — greedy, but blocks whose erase count exceeds the current
-//                  minimum by more than a threshold are skipped while any
-//                  alternative exists, bounding the wear spread.
+// GC victim-selection policy (see the class comment for the mechanics).
 enum class GcPolicy : uint8_t { kGreedy = 0, kCostBenefit = 1, kWearAware = 2 };
 
 class BlockManager {
@@ -52,7 +69,8 @@ class BlockManager {
   // active block from the free list when needed). Returns the flash latency.
   MicroSec Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn);
 
-  // Invalidates a valid page and updates victim bookkeeping.
+  // Invalidates a valid page and updates victim bookkeeping (an O(1)
+  // intrusive-list move for bucketed blocks).
   void Invalidate(Ppn ppn);
 
   // True when the caller must run garbage collection before more programs.
@@ -82,6 +100,10 @@ class BlockManager {
   // shared free list (diagnostic; used by tests).
   uint64_t FreePagesUpperBound() const;
 
+  // Minimum erase count over the current candidate set (~0ULL when empty);
+  // incrementally tracked, exposed for tests.
+  uint64_t MinCandidateErase() const;
+
   NandFlash& flash() { return *flash_; }
   const NandFlash& flash() const { return *flash_; }
 
@@ -90,13 +112,23 @@ class BlockManager {
     BlockId id = kInvalidBlock;
   };
 
+  // Sentinel bucket index for "not a candidate".
+  static constexpr uint32_t kNotBucketed = ~0u;
+
   void RetireIfFull(BlockPool pool);
   void BucketInsert(BlockId block);
   void BucketErase(BlockId block);
+  // Unlink/link pair specialized for an invalidation's v → v-1 move.
+  void BucketMove(BlockId block, uint64_t new_valid);
+  void ListPushFront(uint64_t bucket, BlockId block);
+  void ListUnlink(uint64_t bucket, BlockId block);
   BlockId AllocateFreeBlock(BlockPool pool);
   BlockId PickGreedy() const;
   BlockId PickCostBenefit() const;
   BlockId PickWearAware() const;
+  // Some candidate whose erase count equals the candidate minimum (the
+  // wear-aware static-leveling fallback victim).
+  BlockId LeastWornCandidate() const;
 
   NandFlash* flash_;
   uint64_t gc_threshold_;
@@ -108,10 +140,20 @@ class BlockManager {
   std::vector<BlockPool> pool_of_;
   ActiveBlock active_data_;
   ActiveBlock active_trans_;
-  // buckets_[v] = retired candidate blocks with exactly v valid pages.
-  std::vector<std::unordered_set<BlockId>> buckets_;
-  std::vector<bool> in_bucket_;
+
+  // Candidate buckets: head/tail per valid count, intrusive links per block.
+  std::vector<BlockId> bucket_head_;   // [valid] → newest candidate.
+  std::vector<BlockId> bucket_tail_;   // [valid] → oldest candidate.
+  std::vector<BlockId> next_;          // Toward the tail (older).
+  std::vector<BlockId> prev_;          // Toward the head (newer).
+  std::vector<uint32_t> bucket_of_;    // Current bucket, or kNotBucketed.
   mutable uint64_t min_bucket_hint_ = 0;
+
+  // Candidate erase-count histogram for the wear-aware minimum.
+  std::vector<uint32_t> erase_hist_;
+  mutable uint64_t min_erase_hint_ = 0;
+  uint64_t candidate_count_ = 0;
+
   uint64_t data_blocks_ = 0;
   uint64_t trans_blocks_ = 0;
   uint64_t bad_blocks_ = 0;

@@ -54,8 +54,13 @@ RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
     }
   }
 
+  // Size warm-up from the trace's actual length when it is known: for
+  // file-backed traces the configured request count routinely disagrees with
+  // the file, and deriving warm-up from the config would then measure from
+  // the wrong point (or swallow the whole replay as warm-up).
+  const uint64_t replay_total = trace.SizeHint().value_or(config.workload.num_requests);
   const auto warmup_count = static_cast<uint64_t>(
-      static_cast<double>(config.workload.num_requests) * config.warmup_fraction);
+      static_cast<double>(replay_total) * config.warmup_fraction);
   uint64_t replayed = 0;
   uint64_t measured = 0;
   bool reset_done = false;

@@ -1,5 +1,7 @@
 #include "src/trace/msr_parser.h"
 
+#include <algorithm>
+
 #include "src/util/str.h"
 
 namespace tpftl {
@@ -9,15 +11,23 @@ std::optional<IoRequest> MsrParser::ParseLine(std::string_view line) {
   if (line.empty() || line[0] == '#') {
     return std::nullopt;
   }
-  const std::vector<std::string_view> fields = Split(line, ',');
-  if (fields.size() < 6) {
+  // "Timestamp,Hostname,DiskNumber,Type,Offset,Size,..." — walked in place;
+  // the hostname field is skipped without being touched.
+  FieldCursor cursor(line, ',');
+  std::string_view ticks_field;
+  std::string_view disk_field;
+  std::string_view type_field;
+  std::string_view offset_field;
+  std::string_view size_field;
+  if (!cursor.Next(&ticks_field) || !cursor.Skip(1) || !cursor.Next(&disk_field) ||
+      !cursor.Next(&type_field) || !cursor.Next(&offset_field) || !cursor.Next(&size_field)) {
     return std::nullopt;
   }
-  const auto ticks = ParseU64(fields[0]);
-  const auto disk = ParseU64(fields[2]);
-  const std::string_view type = Trim(fields[3]);
-  const auto offset = ParseU64(fields[4]);
-  const auto size = ParseU64(fields[5]);
+  const auto ticks = ParseU64(ticks_field);
+  const auto disk = ParseU64(disk_field);
+  const std::string_view type = Trim(type_field);
+  const auto offset = ParseU64(offset_field);
+  const auto size = ParseU64(size_field);
   if (!ticks || !disk || !offset || !size) {
     return std::nullopt;
   }
@@ -46,25 +56,19 @@ std::optional<IoRequest> MsrParser::ParseLine(std::string_view line) {
 
 std::vector<IoRequest> MsrParser::ParseText(std::string_view text, uint64_t* malformed) {
   std::vector<IoRequest> out;
+  out.reserve(static_cast<size_t>(std::count(text.begin(), text.end(), '\n')) + 1);
   uint64_t bad = 0;
-  size_t start = 0;
-  while (start <= text.size()) {
-    size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) {
-      end = text.size();
+  LineCursor lines(text);
+  std::string_view line;
+  while (lines.Next(&line)) {
+    if (Trim(line).empty()) {
+      continue;
     }
-    const std::string_view line = text.substr(start, end - start);
-    if (!Trim(line).empty()) {
-      if (auto req = ParseLine(line)) {
-        out.push_back(*req);
-      } else {
-        ++bad;
-      }
+    if (auto req = ParseLine(line)) {
+      out.push_back(*req);
+    } else {
+      ++bad;
     }
-    if (end == text.size()) {
-      break;
-    }
-    start = end + 1;
   }
   if (malformed != nullptr) {
     *malformed = bad;

@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 
 #include "src/trace/msr_parser.h"
 #include "src/trace/spc_parser.h"
@@ -58,9 +57,19 @@ std::optional<LoadResult> LoadTraceFile(const std::string& path) {
   if (!in) {
     return std::nullopt;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
+  // Single pre-sized read; the stringstream round trip copied the buffer
+  // twice for multi-hundred-MB traces.
+  in.seekg(0, std::ios::end);
+  const std::streampos size = in.tellg();
+  if (size < 0) {
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::beg);
+  std::string text(static_cast<size_t>(size), '\0');
+  in.read(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!in && !in.eof()) {
+    return std::nullopt;
+  }
 
   LoadResult result;
   result.format = DetectFormat(text);

@@ -6,6 +6,8 @@
 #ifndef SRC_TRACE_TRACE_SOURCE_H_
 #define SRC_TRACE_TRACE_SOURCE_H_
 
+#include <optional>
+
 #include "src/trace/request.h"
 
 namespace tpftl {
@@ -20,6 +22,14 @@ class TraceSource {
 
   // Restarts the stream from the beginning.
   virtual void Rewind() = 0;
+
+  // Total number of requests a full replay will produce, when known without
+  // consuming the stream. The runner uses this to size warm-up from the
+  // trace's actual length rather than the configured request count (which is
+  // wrong for file-backed traces of a different length). Sources that cannot
+  // know (e.g. live pipes) return nullopt and the runner falls back to the
+  // configured count, clamped to what actually replays.
+  virtual std::optional<uint64_t> SizeHint() const { return std::nullopt; }
 };
 
 }  // namespace tpftl

@@ -25,6 +25,8 @@ class VectorTrace : public TraceSource {
 
   void Rewind() override { pos_ = 0; }
 
+  std::optional<uint64_t> SizeHint() const override { return requests_.size(); }
+
   const std::vector<IoRequest>& requests() const { return requests_; }
   std::vector<IoRequest>& mutable_requests() { return requests_; }
 

@@ -1,8 +1,17 @@
 // Checked assertions for library invariants.
 //
-// TPFTL_CHECK fires in every build type; TPFTL_DCHECK only when NDEBUG is not
-// defined. Both abort the process: a failed check is a programming error, and
-// library code does not throw (see DESIGN.md, "No exceptions in library code").
+// TPFTL_CHECK fires in every build type; TPFTL_DCHECK fires when interior
+// checks are compiled in (debug builds, or any build configured with
+// -DTPFTL_HARDENED=ON — see the top-level CMakeLists). Both abort the
+// process: a failed check is a programming error, and library code does not
+// throw (see DESIGN.md, "No exceptions in library code").
+//
+// Per-page-operation bounds and state checks on the simulator's hot path
+// (flash page program/invalidate/read, block-manager bookkeeping) use
+// TPFTL_DCHECK so release replays are branch-light; CI and sanitizer builds
+// enable TPFTL_HARDENED to get them back. Rare, per-block, or configuration
+// checks stay TPFTL_CHECK. Tests that provoke interior checks on purpose
+// (death tests) gate themselves on TPFTL_DCHECK_IS_ON.
 
 #ifndef SRC_UTIL_ASSERT_H_
 #define SRC_UTIL_ASSERT_H_
@@ -35,12 +44,18 @@ namespace tpftl::internal {
     }                                                                   \
   } while (0)
 
-#ifdef NDEBUG
+#if defined(TPFTL_HARDENED) || !defined(NDEBUG)
+#define TPFTL_DCHECK_IS_ON 1
+#define TPFTL_DCHECK(cond) TPFTL_CHECK(cond)
+#define TPFTL_DCHECK_MSG(cond, msg) TPFTL_CHECK_MSG(cond, msg)
+#else
+#define TPFTL_DCHECK_IS_ON 0
 #define TPFTL_DCHECK(cond) \
   do {                     \
   } while (0)
-#else
-#define TPFTL_DCHECK(cond) TPFTL_CHECK(cond)
+#define TPFTL_DCHECK_MSG(cond, msg) \
+  do {                              \
+  } while (0)
 #endif
 
 #endif  // SRC_UTIL_ASSERT_H_

@@ -14,6 +14,80 @@ namespace tpftl {
 // Splits on a single delimiter; empty fields are preserved.
 std::vector<std::string_view> Split(std::string_view s, char delim);
 
+// Allocation-free forward cursor over the delimiter-separated fields of one
+// record. Field semantics match Split() — empty fields are preserved and a
+// non-empty input always yields at least one field — but the fields are
+// walked in place instead of materialized into a vector, which is what the
+// trace parsers' inner loops want (Split's per-line vector dominated their
+// profile).
+class FieldCursor {
+ public:
+  FieldCursor(std::string_view record, char delim) : rest_(record), delim_(delim) {}
+
+  // Fills `*field` with the next field and returns true, or returns false
+  // once all fields have been produced.
+  bool Next(std::string_view* field) {
+    if (done_) {
+      return false;
+    }
+    const size_t pos = rest_.find(delim_);
+    if (pos == std::string_view::npos) {
+      *field = rest_;
+      done_ = true;
+      return true;
+    }
+    *field = rest_.substr(0, pos);
+    rest_.remove_prefix(pos + 1);
+    return true;
+  }
+
+  // Advances past `count` fields; false if the record ran out first.
+  bool Skip(size_t count) {
+    std::string_view ignored;
+    while (count-- > 0) {
+      if (!Next(&ignored)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::string_view rest_;
+  char delim_;
+  bool done_ = false;
+};
+
+// Allocation-free cursor over the '\n'-separated lines of a buffer. Every
+// segment is produced, including the (possibly empty) final segment of a
+// buffer ending in '\n' — callers skip blank lines themselves. Completely
+// empty input yields no lines.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text) : rest_(text) {}
+
+  bool Next(std::string_view* line) {
+    if (done_) {
+      return false;
+    }
+    const size_t pos = rest_.find('\n');
+    if (pos == std::string_view::npos) {
+      *line = rest_;
+      done_ = true;
+      return !line->empty() || produced_;
+    }
+    *line = rest_.substr(0, pos);
+    rest_.remove_prefix(pos + 1);
+    produced_ = true;
+    return true;
+  }
+
+ private:
+  std::string_view rest_;
+  bool done_ = false;
+  bool produced_ = false;
+};
+
 // Removes leading/trailing whitespace (space, tab, CR, LF).
 std::string_view Trim(std::string_view s);
 

@@ -69,6 +69,8 @@ class SyntheticWorkload : public TraceSource {
   bool Next(IoRequest* out) override;
   void Rewind() override;
 
+  std::optional<uint64_t> SizeHint() const override { return config_.num_requests; }
+
   const WorkloadConfig& config() const { return config_; }
 
  private:

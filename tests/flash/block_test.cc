@@ -5,8 +5,17 @@
 namespace tpftl {
 namespace {
 
+// Block is a view into a PageStateArena; a one-block arena reproduces the
+// old standalone-block semantics exactly.
+struct ArenaBlock {
+  explicit ArenaBlock(uint64_t pages_per_block) : arena(1, pages_per_block) {}
+  PageStateArena arena;
+  Block block() { return arena.block(0); }
+};
+
 TEST(BlockTest, FreshBlockIsAllFree) {
-  Block b(16);
+  ArenaBlock a(16);
+  Block b = a.block();
   EXPECT_TRUE(b.HasFreePage());
   EXPECT_EQ(b.free_pages(), 16u);
   EXPECT_EQ(b.valid_pages(), 0u);
@@ -18,7 +27,8 @@ TEST(BlockTest, FreshBlockIsAllFree) {
 }
 
 TEST(BlockTest, ProgramIsSequential) {
-  Block b(4);
+  ArenaBlock a(4);
+  Block b = a.block();
   EXPECT_EQ(b.Program(), 0u);
   EXPECT_EQ(b.Program(), 1u);
   EXPECT_EQ(b.Program(), 2u);
@@ -28,7 +38,8 @@ TEST(BlockTest, ProgramIsSequential) {
 }
 
 TEST(BlockTest, InvalidateTransitionsState) {
-  Block b(4);
+  ArenaBlock a(4);
+  Block b = a.block();
   b.Program();
   b.Invalidate(0);
   EXPECT_EQ(b.StateOf(0), PageState::kInvalid);
@@ -37,7 +48,8 @@ TEST(BlockTest, InvalidateTransitionsState) {
 }
 
 TEST(BlockTest, EraseResetsAndCounts) {
-  Block b(4);
+  ArenaBlock a(4);
+  Block b = a.block();
   for (int i = 0; i < 4; ++i) {
     b.Program();
   }
@@ -54,7 +66,8 @@ TEST(BlockTest, EraseResetsAndCounts) {
 }
 
 TEST(BlockTest, ProgramAtOutOfOrder) {
-  Block b(8);
+  ArenaBlock a(8);
+  Block b = a.block();
   b.ProgramAt(5);
   EXPECT_EQ(b.StateOf(5), PageState::kValid);
   EXPECT_EQ(b.valid_pages(), 1u);
@@ -63,30 +76,74 @@ TEST(BlockTest, ProgramAtOutOfOrder) {
   EXPECT_EQ(b.valid_pages(), 2u);
 }
 
+TEST(BlockTest, ViewsShareArenaState) {
+  // Two views of the same block observe the same counters and states.
+  PageStateArena arena(2, 8);
+  Block a = arena.block(0);
+  Block b = arena.block(0);
+  a.Program();
+  EXPECT_EQ(b.valid_pages(), 1u);
+  EXPECT_EQ(b.StateOf(0), PageState::kValid);
+  // A neighbouring block's state is untouched (padded word layout).
+  EXPECT_EQ(arena.block(1).valid_pages(), 0u);
+  EXPECT_EQ(arena.block(1).StateOf(0), PageState::kFree);
+}
+
+TEST(BlockTest, NonWordMultipleBlockSizeIsIsolated) {
+  // 16 pages < one 32-state word: erase of one block must not leak into the
+  // next block's packed states.
+  PageStateArena arena(3, 16);
+  Block b0 = arena.block(0);
+  Block b1 = arena.block(1);
+  for (int i = 0; i < 16; ++i) {
+    b0.Program();
+    b1.Program();
+  }
+  for (uint64_t o = 0; o < 16; ++o) {
+    b0.Invalidate(o);
+  }
+  b0.Erase();
+  EXPECT_EQ(b0.free_pages(), 16u);
+  EXPECT_EQ(b1.valid_pages(), 16u);
+  for (uint64_t o = 0; o < 16; ++o) {
+    EXPECT_EQ(b1.StateOf(o), PageState::kValid);
+  }
+}
+
+// Interior (per-op) misuse checks are TPFTL_DCHECK: compiled out of plain
+// release builds, active in debug and TPFTL_HARDENED builds.
+#if TPFTL_DCHECK_IS_ON
+
 TEST(BlockDeathTest, ProgramFullBlockAborts) {
-  Block b(2);
+  ArenaBlock a(2);
+  Block b = a.block();
   b.Program();
   b.Program();
   EXPECT_DEATH(b.Program(), "full block");
 }
 
 TEST(BlockDeathTest, DoubleProgramAtAborts) {
-  Block b(4);
+  ArenaBlock a(4);
+  Block b = a.block();
   b.ProgramAt(1);
   EXPECT_DEATH(b.ProgramAt(1), "non-free");
 }
 
 TEST(BlockDeathTest, InvalidateFreePageAborts) {
-  Block b(4);
+  ArenaBlock a(4);
+  Block b = a.block();
   EXPECT_DEATH(b.Invalidate(0), "non-valid");
 }
 
 TEST(BlockDeathTest, DoubleInvalidateAborts) {
-  Block b(4);
+  ArenaBlock a(4);
+  Block b = a.block();
   b.Program();
   b.Invalidate(0);
   EXPECT_DEATH(b.Invalidate(0), "non-valid");
 }
+
+#endif  // TPFTL_DCHECK_IS_ON
 
 }  // namespace
 }  // namespace tpftl

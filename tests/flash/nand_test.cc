@@ -69,16 +69,13 @@ TEST(NandTest, ReadOfInvalidPageIsAllowed) {
   EXPECT_NO_FATAL_FAILURE(flash.ReadPage(ppn));
 }
 
+// Per-page misuse checks are TPFTL_DCHECK (off in plain release builds, on
+// in debug/TPFTL_HARDENED); per-block erase validation stays TPFTL_CHECK.
+#if TPFTL_DCHECK_IS_ON
+
 TEST(NandDeathTest, ReadOfFreePageAborts) {
   NandFlash flash(SmallGeometry());
   EXPECT_DEATH(flash.ReadPage(0), "unprogrammed");
-}
-
-TEST(NandDeathTest, EraseWithValidPagesAborts) {
-  NandFlash flash(SmallGeometry());
-  Ppn ppn = kInvalidPpn;
-  flash.ProgramPage(0, 1, &ppn);
-  EXPECT_DEATH(flash.EraseBlock(0), "valid pages");
 }
 
 TEST(NandDeathTest, EraseBeforeWriteIsEnforced) {
@@ -87,6 +84,15 @@ TEST(NandDeathTest, EraseBeforeWriteIsEnforced) {
   NandFlash flash(SmallGeometry());
   flash.ProgramPageAt(5, 1);
   EXPECT_DEATH(flash.ProgramPageAt(5, 2), "non-free");
+}
+
+#endif  // TPFTL_DCHECK_IS_ON
+
+TEST(NandDeathTest, EraseWithValidPagesAborts) {
+  NandFlash flash(SmallGeometry());
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);
+  EXPECT_DEATH(flash.EraseBlock(0), "valid pages");
 }
 
 TEST(NandTest, EraseEnablesReprogramming) {

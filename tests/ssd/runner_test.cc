@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/trace/vector_trace.h"
+#include "src/workload/generator.h"
+
 namespace tpftl {
 namespace {
 
@@ -63,6 +66,26 @@ TEST(RunnerTest, ObserverSeesEveryMeasuredRequest) {
   });
   EXPECT_EQ(calls, 2700u);
   EXPECT_EQ(last_index, 2700u);
+}
+
+TEST(RunnerTest, WarmupSizesFromTraceLengthNotConfiguredCount) {
+  // File-backed traces routinely disagree with the configured request count.
+  // Regression: warm-up used to be sized from config.workload.num_requests,
+  // so a trace shorter than warmup_fraction * configured count was swallowed
+  // whole as warm-up and nothing was measured.
+  ExperimentConfig config;
+  config.workload = TinyWorkload();
+  config.workload.num_requests = 300;
+  VectorTrace trace = MaterializeWorkload(config.workload);
+  ASSERT_EQ(trace.requests().size(), 300u);
+  ASSERT_EQ(trace.SizeHint(), std::optional<uint64_t>(300));
+
+  // Claim ten times more requests than the trace holds; 50 % warm-up of the
+  // configured count (1500) would exceed the whole trace.
+  config.workload.num_requests = 3000;
+  config.warmup_fraction = 0.5;
+  const RunReport report = RunTrace(config, trace, nullptr);
+  EXPECT_EQ(report.requests, 150u);  // Half of the real 300, not zero.
 }
 
 TEST(RunnerTest, DeterministicAcrossRuns) {
