@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_replay.dir/bench_e2e_replay.cc.o"
+  "CMakeFiles/bench_e2e_replay.dir/bench_e2e_replay.cc.o.d"
+  "bench_e2e_replay"
+  "bench_e2e_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

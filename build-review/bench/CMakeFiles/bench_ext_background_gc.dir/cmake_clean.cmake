@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_background_gc.dir/bench_ext_background_gc.cc.o"
+  "CMakeFiles/bench_ext_background_gc.dir/bench_ext_background_gc.cc.o.d"
+  "bench_ext_background_gc"
+  "bench_ext_background_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_background_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gc_policy.dir/bench_ext_gc_policy.cc.o"
+  "CMakeFiles/bench_ext_gc_policy.dir/bench_ext_gc_policy.cc.o.d"
+  "bench_ext_gc_policy"
+  "bench_ext_gc_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gc_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_taxonomy.dir/bench_ext_taxonomy.cc.o"
+  "CMakeFiles/bench_ext_taxonomy.dir/bench_ext_taxonomy.cc.o.d"
+  "bench_ext_taxonomy"
+  "bench_ext_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_threshold_sweep.dir/bench_ext_threshold_sweep.cc.o"
+  "CMakeFiles/bench_ext_threshold_sweep.dir/bench_ext_threshold_sweep.cc.o.d"
+  "bench_ext_threshold_sweep"
+  "bench_ext_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_write_buffer.dir/bench_ext_write_buffer.cc.o"
+  "CMakeFiles/bench_ext_write_buffer.dir/bench_ext_write_buffer.cc.o.d"
+  "bench_ext_write_buffer"
+  "bench_ext_write_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_write_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

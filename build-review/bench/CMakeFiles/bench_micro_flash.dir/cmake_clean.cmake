@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_flash.dir/bench_micro_flash.cc.o"
+  "CMakeFiles/bench_micro_flash.dir/bench_micro_flash.cc.o.d"
+  "bench_micro_flash"
+  "bench_micro_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

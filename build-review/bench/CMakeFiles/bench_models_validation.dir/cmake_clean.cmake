@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_models_validation.dir/bench_models_validation.cc.o"
+  "CMakeFiles/bench_models_validation.dir/bench_models_validation.cc.o.d"
+  "bench_models_validation"
+  "bench_models_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_models_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_deviation.dir/bench_table2_deviation.cc.o"
+  "CMakeFiles/bench_table2_deviation.dir/bench_table2_deviation.cc.o.d"
+  "bench_table2_deviation"
+  "bench_table2_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_inspector.dir/cache_inspector.cpp.o"
+  "CMakeFiles/cache_inspector.dir/cache_inspector.cpp.o.d"
+  "cache_inspector"
+  "cache_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

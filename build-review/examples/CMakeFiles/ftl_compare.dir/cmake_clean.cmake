@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_compare.dir/ftl_compare.cpp.o"
+  "CMakeFiles/ftl_compare.dir/ftl_compare.cpp.o.d"
+  "ftl_compare"
+  "ftl_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_explorer.dir/lifetime_explorer.cpp.o"
+  "CMakeFiles/lifetime_explorer.dir/lifetime_explorer.cpp.o.d"
+  "lifetime_explorer"
+  "lifetime_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

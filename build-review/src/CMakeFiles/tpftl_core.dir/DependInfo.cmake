@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ftl_factory.cc" "src/CMakeFiles/tpftl_core.dir/core/ftl_factory.cc.o" "gcc" "src/CMakeFiles/tpftl_core.dir/core/ftl_factory.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/tpftl_core.dir/core/model.cc.o" "gcc" "src/CMakeFiles/tpftl_core.dir/core/model.cc.o.d"
+  "/root/repo/src/core/tpftl.cc" "src/CMakeFiles/tpftl_core.dir/core/tpftl.cc.o" "gcc" "src/CMakeFiles/tpftl_core.dir/core/tpftl.cc.o.d"
+  "/root/repo/src/core/two_level_cache.cc" "src/CMakeFiles/tpftl_core.dir/core/two_level_cache.cc.o" "gcc" "src/CMakeFiles/tpftl_core.dir/core/two_level_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tpftl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_flash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

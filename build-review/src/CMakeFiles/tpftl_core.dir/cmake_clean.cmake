@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpftl_core.dir/core/ftl_factory.cc.o"
+  "CMakeFiles/tpftl_core.dir/core/ftl_factory.cc.o.d"
+  "CMakeFiles/tpftl_core.dir/core/model.cc.o"
+  "CMakeFiles/tpftl_core.dir/core/model.cc.o.d"
+  "CMakeFiles/tpftl_core.dir/core/tpftl.cc.o"
+  "CMakeFiles/tpftl_core.dir/core/tpftl.cc.o.d"
+  "CMakeFiles/tpftl_core.dir/core/two_level_cache.cc.o"
+  "CMakeFiles/tpftl_core.dir/core/two_level_cache.cc.o.d"
+  "libtpftl_core.a"
+  "libtpftl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpftl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/block.cc" "src/CMakeFiles/tpftl_flash.dir/flash/block.cc.o" "gcc" "src/CMakeFiles/tpftl_flash.dir/flash/block.cc.o.d"
+  "/root/repo/src/flash/nand.cc" "src/CMakeFiles/tpftl_flash.dir/flash/nand.cc.o" "gcc" "src/CMakeFiles/tpftl_flash.dir/flash/nand.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tpftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpftl_flash.dir/flash/block.cc.o"
+  "CMakeFiles/tpftl_flash.dir/flash/block.cc.o.d"
+  "CMakeFiles/tpftl_flash.dir/flash/nand.cc.o"
+  "CMakeFiles/tpftl_flash.dir/flash/nand.cc.o.d"
+  "libtpftl_flash.a"
+  "libtpftl_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpftl_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

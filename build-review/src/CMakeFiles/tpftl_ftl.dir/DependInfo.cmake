@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/block_ftl.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/block_ftl.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/block_ftl.cc.o.d"
+  "/root/repo/src/ftl/block_manager.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/block_manager.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/block_manager.cc.o.d"
+  "/root/repo/src/ftl/cdftl.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/cdftl.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/cdftl.cc.o.d"
+  "/root/repo/src/ftl/demand_ftl.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/demand_ftl.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/demand_ftl.cc.o.d"
+  "/root/repo/src/ftl/dftl.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/dftl.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/dftl.cc.o.d"
+  "/root/repo/src/ftl/fast_ftl.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/fast_ftl.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/fast_ftl.cc.o.d"
+  "/root/repo/src/ftl/optimal_ftl.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/optimal_ftl.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/optimal_ftl.cc.o.d"
+  "/root/repo/src/ftl/sftl.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/sftl.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/sftl.cc.o.d"
+  "/root/repo/src/ftl/translation_store.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/translation_store.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/translation_store.cc.o.d"
+  "/root/repo/src/ftl/zftl.cc" "src/CMakeFiles/tpftl_ftl.dir/ftl/zftl.cc.o" "gcc" "src/CMakeFiles/tpftl_ftl.dir/ftl/zftl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tpftl_flash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

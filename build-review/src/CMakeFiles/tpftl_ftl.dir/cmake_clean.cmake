@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpftl_ftl.dir/ftl/block_ftl.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/block_ftl.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/block_manager.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/block_manager.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/cdftl.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/cdftl.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/demand_ftl.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/demand_ftl.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/dftl.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/dftl.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/fast_ftl.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/fast_ftl.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/optimal_ftl.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/optimal_ftl.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/sftl.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/sftl.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/translation_store.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/translation_store.cc.o.d"
+  "CMakeFiles/tpftl_ftl.dir/ftl/zftl.cc.o"
+  "CMakeFiles/tpftl_ftl.dir/ftl/zftl.cc.o.d"
+  "libtpftl_ftl.a"
+  "libtpftl_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpftl_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpftl_ftl.a"
+)

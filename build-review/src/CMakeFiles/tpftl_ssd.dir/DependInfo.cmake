@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/report_json.cc" "src/CMakeFiles/tpftl_ssd.dir/ssd/report_json.cc.o" "gcc" "src/CMakeFiles/tpftl_ssd.dir/ssd/report_json.cc.o.d"
+  "/root/repo/src/ssd/runner.cc" "src/CMakeFiles/tpftl_ssd.dir/ssd/runner.cc.o" "gcc" "src/CMakeFiles/tpftl_ssd.dir/ssd/runner.cc.o.d"
+  "/root/repo/src/ssd/ssd.cc" "src/CMakeFiles/tpftl_ssd.dir/ssd/ssd.cc.o" "gcc" "src/CMakeFiles/tpftl_ssd.dir/ssd/ssd.cc.o.d"
+  "/root/repo/src/ssd/write_buffer.cc" "src/CMakeFiles/tpftl_ssd.dir/ssd/write_buffer.cc.o" "gcc" "src/CMakeFiles/tpftl_ssd.dir/ssd/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tpftl_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_flash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpftl_ssd.dir/ssd/report_json.cc.o"
+  "CMakeFiles/tpftl_ssd.dir/ssd/report_json.cc.o.d"
+  "CMakeFiles/tpftl_ssd.dir/ssd/runner.cc.o"
+  "CMakeFiles/tpftl_ssd.dir/ssd/runner.cc.o.d"
+  "CMakeFiles/tpftl_ssd.dir/ssd/ssd.cc.o"
+  "CMakeFiles/tpftl_ssd.dir/ssd/ssd.cc.o.d"
+  "CMakeFiles/tpftl_ssd.dir/ssd/write_buffer.cc.o"
+  "CMakeFiles/tpftl_ssd.dir/ssd/write_buffer.cc.o.d"
+  "libtpftl_ssd.a"
+  "libtpftl_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpftl_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

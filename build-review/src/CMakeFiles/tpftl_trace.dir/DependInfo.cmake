@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/msr_parser.cc" "src/CMakeFiles/tpftl_trace.dir/trace/msr_parser.cc.o" "gcc" "src/CMakeFiles/tpftl_trace.dir/trace/msr_parser.cc.o.d"
+  "/root/repo/src/trace/spc_parser.cc" "src/CMakeFiles/tpftl_trace.dir/trace/spc_parser.cc.o" "gcc" "src/CMakeFiles/tpftl_trace.dir/trace/spc_parser.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/tpftl_trace.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/tpftl_trace.dir/trace/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tpftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

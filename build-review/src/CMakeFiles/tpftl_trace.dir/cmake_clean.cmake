@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpftl_trace.dir/trace/msr_parser.cc.o"
+  "CMakeFiles/tpftl_trace.dir/trace/msr_parser.cc.o.d"
+  "CMakeFiles/tpftl_trace.dir/trace/spc_parser.cc.o"
+  "CMakeFiles/tpftl_trace.dir/trace/spc_parser.cc.o.d"
+  "CMakeFiles/tpftl_trace.dir/trace/trace_io.cc.o"
+  "CMakeFiles/tpftl_trace.dir/trace/trace_io.cc.o.d"
+  "libtpftl_trace.a"
+  "libtpftl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpftl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/tpftl_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/tpftl_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/tpftl_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/tpftl_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/str.cc" "src/CMakeFiles/tpftl_util.dir/util/str.cc.o" "gcc" "src/CMakeFiles/tpftl_util.dir/util/str.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/tpftl_util.dir/util/table.cc.o" "gcc" "src/CMakeFiles/tpftl_util.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/tpftl_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/tpftl_util.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/tpftl_util.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/tpftl_util.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpftl_util.dir/util/histogram.cc.o"
+  "CMakeFiles/tpftl_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/tpftl_util.dir/util/logging.cc.o"
+  "CMakeFiles/tpftl_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/tpftl_util.dir/util/str.cc.o"
+  "CMakeFiles/tpftl_util.dir/util/str.cc.o.d"
+  "CMakeFiles/tpftl_util.dir/util/table.cc.o"
+  "CMakeFiles/tpftl_util.dir/util/table.cc.o.d"
+  "CMakeFiles/tpftl_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/tpftl_util.dir/util/thread_pool.cc.o.d"
+  "CMakeFiles/tpftl_util.dir/util/zipf.cc.o"
+  "CMakeFiles/tpftl_util.dir/util/zipf.cc.o.d"
+  "libtpftl_util.a"
+  "libtpftl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpftl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

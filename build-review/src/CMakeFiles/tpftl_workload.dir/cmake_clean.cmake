@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpftl_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/tpftl_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/tpftl_workload.dir/workload/profiles.cc.o"
+  "CMakeFiles/tpftl_workload.dir/workload/profiles.cc.o.d"
+  "libtpftl_workload.a"
+  "libtpftl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpftl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

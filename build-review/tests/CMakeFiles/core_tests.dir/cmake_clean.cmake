@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/ftl_factory_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/ftl_factory_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/model_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/model_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/prefetcher_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/prefetcher_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/tpftl_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/tpftl_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/two_level_cache_oracle_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/two_level_cache_oracle_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/two_level_cache_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/two_level_cache_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

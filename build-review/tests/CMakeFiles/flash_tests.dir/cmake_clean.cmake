@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_tests.dir/flash/block_test.cc.o"
+  "CMakeFiles/flash_tests.dir/flash/block_test.cc.o.d"
+  "CMakeFiles/flash_tests.dir/flash/endurance_test.cc.o"
+  "CMakeFiles/flash_tests.dir/flash/endurance_test.cc.o.d"
+  "CMakeFiles/flash_tests.dir/flash/geometry_sweep_test.cc.o"
+  "CMakeFiles/flash_tests.dir/flash/geometry_sweep_test.cc.o.d"
+  "CMakeFiles/flash_tests.dir/flash/geometry_test.cc.o"
+  "CMakeFiles/flash_tests.dir/flash/geometry_test.cc.o.d"
+  "CMakeFiles/flash_tests.dir/flash/nand_test.cc.o"
+  "CMakeFiles/flash_tests.dir/flash/nand_test.cc.o.d"
+  "flash_tests"
+  "flash_tests.pdb"
+  "flash_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

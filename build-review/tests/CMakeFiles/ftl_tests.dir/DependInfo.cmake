@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ftl/block_ftl_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/block_ftl_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/block_ftl_test.cc.o.d"
+  "/root/repo/tests/ftl/block_manager_oracle_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/block_manager_oracle_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/block_manager_oracle_test.cc.o.d"
+  "/root/repo/tests/ftl/block_manager_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/block_manager_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/block_manager_test.cc.o.d"
+  "/root/repo/tests/ftl/cdftl_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/cdftl_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/cdftl_test.cc.o.d"
+  "/root/repo/tests/ftl/dftl_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/dftl_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/dftl_test.cc.o.d"
+  "/root/repo/tests/ftl/fast_ftl_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/fast_ftl_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/fast_ftl_test.cc.o.d"
+  "/root/repo/tests/ftl/gc_policy_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/gc_policy_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/gc_policy_test.cc.o.d"
+  "/root/repo/tests/ftl/gtd_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/gtd_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/gtd_test.cc.o.d"
+  "/root/repo/tests/ftl/optimal_ftl_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/optimal_ftl_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/optimal_ftl_test.cc.o.d"
+  "/root/repo/tests/ftl/sftl_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/sftl_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/sftl_test.cc.o.d"
+  "/root/repo/tests/ftl/translation_gc_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/translation_gc_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/translation_gc_test.cc.o.d"
+  "/root/repo/tests/ftl/translation_store_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/translation_store_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/translation_store_test.cc.o.d"
+  "/root/repo/tests/ftl/zftl_test.cc" "tests/CMakeFiles/ftl_tests.dir/ftl/zftl_test.cc.o" "gcc" "tests/CMakeFiles/ftl_tests.dir/ftl/zftl_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tpftl_ssd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_flash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

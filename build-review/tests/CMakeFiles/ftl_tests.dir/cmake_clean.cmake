@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_tests.dir/ftl/block_ftl_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/block_ftl_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/block_manager_oracle_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/block_manager_oracle_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/block_manager_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/block_manager_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/cdftl_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/cdftl_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/dftl_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/dftl_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/fast_ftl_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/fast_ftl_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/gc_policy_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/gc_policy_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/gtd_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/gtd_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/optimal_ftl_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/optimal_ftl_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/sftl_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/sftl_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/translation_gc_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/translation_gc_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/translation_store_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/translation_store_test.cc.o.d"
+  "CMakeFiles/ftl_tests.dir/ftl/zftl_test.cc.o"
+  "CMakeFiles/ftl_tests.dir/ftl/zftl_test.cc.o.d"
+  "ftl_tests"
+  "ftl_tests.pdb"
+  "ftl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/background_gc_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/background_gc_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/background_gc_test.cc.o.d"
+  "/root/repo/tests/integration/consistency_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/consistency_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/consistency_test.cc.o.d"
+  "/root/repo/tests/integration/paper_claims_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/paper_claims_test.cc.o.d"
+  "/root/repo/tests/integration/property_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/property_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/property_test.cc.o.d"
+  "/root/repo/tests/integration/recovery_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/recovery_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/recovery_test.cc.o.d"
+  "/root/repo/tests/integration/trim_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/trim_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/trim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tpftl_ssd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_flash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

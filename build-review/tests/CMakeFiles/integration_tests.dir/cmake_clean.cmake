@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/background_gc_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/background_gc_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/consistency_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/consistency_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/paper_claims_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/paper_claims_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/property_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/property_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/recovery_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/recovery_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/trim_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/trim_test.cc.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_tests.dir/ssd/report_json_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/ssd/report_json_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/ssd/request_edge_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/ssd/request_edge_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/ssd/runner_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/ssd/runner_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/ssd/ssd_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/ssd/ssd_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/ssd/write_buffer_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/ssd/write_buffer_test.cc.o.d"
+  "ssd_tests"
+  "ssd_tests.pdb"
+  "ssd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/util_tests.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/running_stats_test.cc" "tests/CMakeFiles/util_tests.dir/util/running_stats_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/running_stats_test.cc.o.d"
+  "/root/repo/tests/util/str_test.cc" "tests/CMakeFiles/util_tests.dir/util/str_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/str_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/util_tests.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/table_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o.d"
+  "/root/repo/tests/util/zipf_test.cc" "tests/CMakeFiles/util_tests.dir/util/zipf_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/tpftl_ssd.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_ftl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_flash.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/tpftl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/util_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/flash_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/ftl_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/core_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/ssd_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_tests[1]_include.cmake")
