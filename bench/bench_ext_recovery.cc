@@ -1,0 +1,205 @@
+// Extension — power-loss recovery cost (not a paper artifact).
+//
+// Measures what a crash costs each FTL: drive a uniform mixed workload, cut
+// power near the end of the run (flash/fault.h snapshot model), restore the
+// device to the cut instant, and time the OOB-scan reboot
+// (FtlEnv::recover_from_flash). Two views:
+//   1. All FTL kinds at a fixed write ratio — scan/rebuild split, mappings
+//      recovered, and the lost-window size per architecture.
+//   2. TPFTL across cache budgets spanning the working set — with a small
+//      cache, evictions batch-persist translation pages continuously and a
+//      cut loses almost nothing; once the cache holds the working set,
+//      nothing forces writeback, GC churn keeps every entry dirty, and the
+//      whole mapping is in the lost window. Recovery pays one translation-
+//      page rewrite per stale page, so its rebuild cost tracks dirtiness
+//      (DESIGN.md "Fault model and power-loss recovery").
+//
+//   bench_ext_recovery [--json=F]   (default BENCH_recovery.json)
+// Knobs: TPFTL_BENCH_REQUESTS — operations per run (default 150000).
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/ftl_factory.h"
+#include "src/flash/fault.h"
+#include "src/flash/nand.h"
+#include "src/ftl/recovery.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+namespace {
+
+// Big enough for multi-translation-page working sets and steady GC, small
+// enough that a full sweep stays in seconds.
+FlashGeometry BenchGeometry() {
+  FlashGeometry g;
+  g.page_size_bytes = 2048;  // 512 entries per translation page.
+  g.pages_per_block = 32;
+  g.total_blocks = 256;
+  return g;
+}
+
+constexpr uint64_t kLogicalPages = 6144;  // 75% of the 8192 physical pages.
+
+struct RecoveryRun {
+  std::string ftl;
+  double write_ratio = 0.0;
+  uint64_t cache_bytes = 0;
+  uint64_t cut_op = 0;
+  RecoveryReport report;
+  double recover_wall_ms = 0.0;  // Host wall clock for the whole reboot.
+};
+
+void Drive(Ftl& ftl, NandFlash& flash, uint64_t ops, double write_ratio) {
+  Rng rng(2024);
+  for (uint64_t i = 0; i < ops; ++i) {
+    const Lpn lpn = rng.Below(kLogicalPages);
+    if (rng.Chance(write_ratio)) {
+      ftl.WritePage(lpn);
+    } else {
+      ftl.ReadPage(lpn);
+    }
+    if (flash.power_cut_triggered()) {
+      return;
+    }
+  }
+}
+
+RecoveryRun MeasureOne(FtlKind kind, uint64_t ops, double write_ratio,
+                       uint64_t cache_multiplier = 1) {
+  const FlashGeometry geometry = BenchGeometry();
+  const uint64_t cache_bytes = PaperCacheBytes(geometry, kLogicalPages) * cache_multiplier;
+
+  // Pass 1 (fault-free): learn where the workload's last flash op lands.
+  uint64_t cut_op = 0;
+  {
+    NandFlash flash(geometry);
+    FtlEnv env;
+    env.flash = &flash;
+    env.logical_pages = kLogicalPages;
+    env.cache_bytes = cache_bytes;
+    auto ftl = CreateFtl(kind, env);
+    Drive(*ftl, flash, ops, write_ratio);
+    cut_op = flash.op_index();  // Cut at the very last operation.
+  }
+
+  // Pass 2: same run with the power cut armed, then a timed recovery boot.
+  NandFlash flash(geometry);
+  FaultPlan plan;
+  plan.power_cut_at_op = cut_op;
+  flash.InstallFaultPlan(plan);
+  FtlEnv env;
+  env.flash = &flash;
+  env.logical_pages = kLogicalPages;
+  env.cache_bytes = cache_bytes;
+  {
+    auto ftl = CreateFtl(kind, env);
+    Drive(*ftl, flash, ops, write_ratio);
+  }
+  flash.RestoreToCutInstant();
+
+  env.recover_from_flash = true;
+  const auto start = std::chrono::steady_clock::now();
+  auto recovered = CreateFtl(kind, env);
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  RecoveryRun run;
+  run.ftl = FtlKindName(kind);
+  run.write_ratio = write_ratio;
+  run.cache_bytes = cache_bytes;
+  run.cut_op = cut_op;
+  run.report = *recovered->recovery_report();
+  run.recover_wall_ms = elapsed.count();
+  return run;
+}
+
+void AddRow(Table& table, const RecoveryRun& r, const std::string& first_column) {
+  table.AddRow({first_column, std::to_string(r.report.pages_scanned),
+                std::to_string(r.report.data_mappings),
+                std::to_string(r.report.translation_rewrites),
+                std::to_string(r.report.unpersisted_window),
+                FormatDouble(r.report.scan_time_us / 1000.0, 2),
+                FormatDouble(r.report.rebuild_time_us / 1000.0, 2),
+                FormatDouble(r.recover_wall_ms, 1)});
+}
+
+void WriteJson(const std::vector<RecoveryRun>& runs, std::ostream& os) {
+  os << "{\n  \"schema\": \"tpftl.bench_recovery.v1\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RecoveryRun& r = runs[i];
+    os << "    {\"ftl\": \"" << r.ftl << "\", \"write_ratio\": " << FormatDouble(r.write_ratio, 2)
+       << ", \"cache_bytes\": " << r.cache_bytes << ", \"cut_op\": " << r.cut_op
+       << ", \"pages_scanned\": " << r.report.pages_scanned
+       << ", \"torn_pages\": " << r.report.torn_pages
+       << ", \"data_mappings\": " << r.report.data_mappings
+       << ", \"translation_rewrites\": " << r.report.translation_rewrites
+       << ", \"unpersisted_window\": " << r.report.unpersisted_window
+       << ", \"scan_ms\": " << FormatDouble(r.report.scan_time_us / 1000.0, 3)
+       << ", \"rebuild_ms\": " << FormatDouble(r.report.rebuild_time_us / 1000.0, 3)
+       << ", \"recover_wall_ms\": " << FormatDouble(r.recover_wall_ms, 3) << "}"
+       << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::cerr << "usage: bench_ext_recovery [--json=F]" << std::endl;
+      return 1;
+    }
+  }
+  const uint64_t ops = bench::RequestsFromEnv(150000);
+  const std::vector<std::string> columns = {"", "scanned", "mappings", "tp rewrites",
+                                            "lost win", "scan ms", "rebuild ms", "wall ms"};
+  std::vector<RecoveryRun> runs;
+
+  Table by_ftl("Recovery after a power cut — all FTLs, 50% writes, " + std::to_string(ops) +
+               " ops");
+  by_ftl.SetColumns(columns);
+  for (const FtlKind kind :
+       {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl, FtlKind::kTpftl,
+        FtlKind::kBlockFtl, FtlKind::kFast, FtlKind::kZftl}) {
+    std::cerr << "  recovering " << FtlKindName(kind) << " ..." << std::endl;
+    RecoveryRun r = MeasureOne(kind, ops, 0.5);
+    AddRow(by_ftl, r, r.ftl);
+    runs.push_back(std::move(r));
+  }
+  bench::Emit(by_ftl);
+
+  // The paper budget (1x) caches a few dozen entries; ~170x holds the whole
+  // 6144-entry mapping. The sweep crosses that transition.
+  Table dirtiness("Recovery cost vs cache dirtiness — TPFTL across cache budgets, 50% writes");
+  dirtiness.SetColumns(columns);
+  for (const uint64_t multiplier : {1, 16, 48, 96, 192}) {
+    std::cerr << "  recovering TPFTL at " << multiplier << "x cache ..." << std::endl;
+    RecoveryRun r = MeasureOne(FtlKind::kTpftl, ops, 0.5, multiplier);
+    AddRow(dirtiness, r, FormatBytes(r.cache_bytes));
+    runs.push_back(std::move(r));
+  }
+  bench::Emit(dirtiness);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << std::endl;
+    return 1;
+  }
+  WriteJson(runs, out);
+  std::cerr << "wrote " << json_path << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpftl
+
+int main(int argc, char** argv) { return tpftl::Main(argc, argv); }

@@ -23,6 +23,15 @@ for arg in "$@"; do
 done
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+# Guard against build trees or object files sneaking into the index (a
+# build-review/ tree was once committed by accident — 535 files).
+TRACKED_ARTIFACTS="$(git ls-files | grep -E '^build|(^|/)Testing/|(^|/)CMakeCache\.txt$|(^|/)CMakeFiles/|\.o$|\.a$' || true)"
+if [[ -n "$TRACKED_ARTIFACTS" ]]; then
+  echo "verify: FAIL — build artifacts are tracked by git:" >&2
+  echo "$TRACKED_ARTIFACTS" | head -20 >&2
+  exit 1
+fi
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

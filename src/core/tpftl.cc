@@ -82,6 +82,11 @@ MicroSec Tpftl::EvictVictim(const TwoLevelCache::Victim& victim) {
 
 bool Tpftl::InsertEntry(Lpn lpn, bool prefetched, Lpn requested, Vtpn* restrict_node,
                         MicroSec* t) {
+  if (cache_.CostOfInsert(lpn) > cache_.budget_bytes()) {
+    // Degenerate budget: no amount of eviction makes this entry fit. The
+    // FTL runs uncached — CommitMapping writes the binding through.
+    return false;
+  }
   while (!cache_.HasSpaceFor(lpn)) {
     const auto victim = cache_.PickVictim(options_.clean_first);
     if (!victim.has_value()) {
@@ -157,9 +162,18 @@ MicroSec Tpftl::Translate(Lpn lpn, bool is_write, Ppn* current) {
 }
 
 MicroSec Tpftl::CommitMapping(Lpn lpn, Ppn new_ppn) {
-  const bool updated = cache_.Update(lpn, new_ppn, /*dirty=*/true);
-  TPFTL_CHECK_MSG(updated, "CommitMapping without a preceding Translate");
-  return 0.0;
+  if (cache_.Update(lpn, new_ppn, /*dirty=*/true)) {
+    return 0.0;
+  }
+  // Degenerate budget: Translate could not cache the entry, so the binding
+  // is written through to its translation page immediately.
+  AtStats& s = mutable_stats();
+  const MappingUpdate update{lpn, new_ppn};
+  const auto r = store().RewriteTranslationPage(store().VtpnOf(lpn), {&update, 1},
+                                                /*have_full_content=*/false);
+  ++s.trans_reads_at;
+  ++s.trans_writes_at;
+  return r.time;
 }
 
 bool Tpftl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {

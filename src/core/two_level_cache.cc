@@ -12,8 +12,8 @@ TwoLevelCache::TwoLevelCache(const TwoLevelCacheOptions& options)
       node_overhead_bytes_(options.node_overhead_bytes),
       entries_per_page_(options.entries_per_page) {
   TPFTL_CHECK(entries_per_page_ > 0);
-  TPFTL_CHECK_MSG(budget_bytes_ >= node_overhead_bytes_ + entry_bytes_,
-                  "cache budget too small for even one entry");
+  // Budgets below node_overhead + entry are legal: the cache simply never
+  // admits anything and Tpftl degrades to uncached write-through.
   // The slab can never exceed the budget's worth of entries (modulo the
   // transient overshoot Tpftl allows on degenerate budgets), so pre-size it
   // up to a sane cap and let it grow beyond that lazily.

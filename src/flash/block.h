@@ -112,6 +112,23 @@ class Block {
     }
   }
 
+  // Consumes a specific free page as unreadable (free → invalid directly):
+  // a program that failed verify, or one interrupted by power loss. The page
+  // counts as programmed (it can never be written again before an erase) but
+  // never as valid. Advances the write cursor like ProgramAt so sequential
+  // programming resumes past the ruined page.
+  void ProgramFailedAt(uint64_t offset) {
+    TPFTL_DCHECK(offset < arena_->pages_per_block_);
+    TPFTL_DCHECK_MSG(arena_->StateAt(id_, offset) == PageState::kFree,
+                     "failed program of a non-free page");
+    PageStateArena::Counters& c = counters();
+    arena_->SetState(id_, offset, PageState::kInvalid);
+    ++c.programmed;
+    if (offset >= c.write_cursor) {
+      c.write_cursor = static_cast<uint32_t>(offset + 1);
+    }
+  }
+
   // valid → invalid.
   void Invalidate(uint64_t offset) {
     TPFTL_DCHECK(offset < arena_->pages_per_block_);

@@ -1,0 +1,26 @@
+#include "src/flash/fault.h"
+
+#include <algorithm>
+
+namespace tpftl {
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {
+  std::sort(plan_.fail_program_at.begin(), plan_.fail_program_at.end());
+  std::sort(plan_.fail_erase_at.begin(), plan_.fail_erase_at.end());
+}
+
+bool FaultInjector::ShouldFailProgram(uint64_t op_index) {
+  if (std::binary_search(plan_.fail_program_at.begin(), plan_.fail_program_at.end(), op_index)) {
+    return true;
+  }
+  return plan_.program_fail_prob > 0.0 && rng_.Chance(plan_.program_fail_prob);
+}
+
+bool FaultInjector::ShouldFailErase(uint64_t op_index) {
+  if (std::binary_search(plan_.fail_erase_at.begin(), plan_.fail_erase_at.end(), op_index)) {
+    return true;
+  }
+  return plan_.erase_fail_prob > 0.0 && rng_.Chance(plan_.erase_fail_prob);
+}
+
+}  // namespace tpftl

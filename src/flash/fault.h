@@ -1,0 +1,84 @@
+// Deterministic NAND fault injection (programs, erases, power loss).
+//
+// A FaultPlan describes everything that will go wrong with a device, up
+// front and reproducibly: factory-marked bad blocks, program/erase failures
+// at fixed operation indices or with a seeded probability, and at most one
+// power cut at a fixed operation index. NandFlash consults the plan on its
+// slow path only — a device without an installed plan pays a single
+// predictable branch per operation.
+//
+// Operation indices count the device's state-mutating operations (programs
+// and erases; reads mutate nothing and are not counted) since construction,
+// starting at 1. They advance identically with or without a plan installed,
+// so a cut point observed on a fault-free reference run lands on the same
+// operation when replayed under a plan.
+//
+// Failure semantics (see DESIGN.md "Fault model and power-loss recovery"):
+//   * A failed program consumes the page — it transitions free → invalid
+//     with torn OOB (seq 0) and is never handed to the caller, who retries
+//     on the next page. Only sequential ProgramPage calls fail; the
+//     fixed-offset ProgramPageAt path (block-level FTL baselines modeling
+//     older SLC parts) is exempt.
+//   * A failed erase leaves the block's contents intact and marks the block
+//     bad; callers must retire it instead of reusing it.
+//   * A power cut is modeled by snapshotting the device state just before
+//     the cut operation and letting simulation continue; RestoreToCutInstant
+//     rolls the device back to that instant (the cut operation itself
+//     becomes a torn page for programs, a no-op for erases) so a fresh FTL
+//     can be recovered from the surviving flash state.
+
+#ifndef SRC_FLASH_FAULT_H_
+#define SRC_FLASH_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/flash/types.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+
+struct FaultPlan {
+  static constexpr uint64_t kNoPowerCut = ~0ULL;
+
+  uint64_t seed = 1;  // Drives the probabilistic failures below.
+
+  // Probability that any one sequential program / erase fails.
+  double program_fail_prob = 0.0;
+  double erase_fail_prob = 0.0;
+
+  // Exact operation indices (1-based) that fail, independent of the
+  // probabilities. An index that turns out to be an erase (resp. program)
+  // when listed under programs (resp. erases) simply never fires.
+  std::vector<uint64_t> fail_program_at;
+  std::vector<uint64_t> fail_erase_at;
+
+  // Factory-marked bad blocks; allocators must skip them. Install the plan
+  // before constructing the FTL for these to take effect from the start.
+  std::vector<BlockId> bad_blocks;
+
+  // First operation index at which power is lost (kNoPowerCut = never).
+  uint64_t power_cut_at_op = kNoPowerCut;
+};
+
+// Per-device plan evaluator; owned by NandFlash while a plan is installed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  bool ShouldFailProgram(uint64_t op_index);
+  bool ShouldFailErase(uint64_t op_index);
+  bool PowerCutReached(uint64_t op_index) const {
+    return op_index >= plan_.power_cut_at_op;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;  // fail_*_at kept sorted for binary search.
+  Rng rng_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FLASH_FAULT_H_

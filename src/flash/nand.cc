@@ -2,22 +2,83 @@
 
 #include <algorithm>
 
+#include "src/flash/fault.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
 
+// Everything RestoreToCutInstant must roll back. op_index_ is deliberately
+// not part of the snapshot: operation indices keep advancing monotonically
+// across the cut so a plan can never re-fire.
+struct NandFlash::PowerSnapshot {
+  PageStateArena arena;
+  std::vector<uint64_t> oob;
+  std::vector<uint64_t> oob_seq;
+  std::vector<uint8_t> oob_kind;
+  std::vector<uint8_t> bad;
+  FlashStats stats;
+  uint64_t program_seq = 0;
+};
+
 NandFlash::NandFlash(const FlashGeometry& geometry)
     : geometry_(geometry),
       arena_(geometry.total_blocks, geometry.pages_per_block),
-      oob_(geometry.total_pages(), ~0ULL) {
+      oob_(geometry.total_pages(), ~0ULL),
+      oob_seq_(geometry.total_pages(), 0),
+      oob_kind_(geometry.total_pages(), static_cast<uint8_t>(OobKind::kNone)),
+      bad_(geometry.total_blocks, 0) {
   TPFTL_CHECK(geometry.total_blocks > 0);
 }
+
+NandFlash::~NandFlash() = default;
 
 MicroSec NandFlash::ProgramPageAt(Ppn ppn, uint64_t oob_tag) {
   const BlockId block = geometry_.BlockOf(ppn);
   TPFTL_DCHECK(block < arena_.total_blocks());
+  if (fault_ != nullptr) [[unlikely]] {
+    if (MaybeArmPowerCut(++op_index_)) {
+      torn_ppn_ = ppn;
+    }
+  } else {
+    ++op_index_;
+  }
   arena_.block(block).ProgramAt(geometry_.OffsetOf(ppn));
   oob_[ppn] = oob_tag;
+  oob_seq_[ppn] = ++program_seq_;
+  oob_kind_[ppn] = static_cast<uint8_t>(OobKind::kData);
+  ++stats_.page_writes;
+  stats_.busy_time_us += geometry_.page_write_us;
+  return geometry_.page_write_us;
+}
+
+MicroSec NandFlash::ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_ppn,
+                                      OobKind kind) {
+  TPFTL_DCHECK(block < arena_.total_blocks());
+  const uint64_t op = ++op_index_;
+  const bool is_cut_op = MaybeArmPowerCut(op);
+  if (!power_cut_ && fault_->ShouldFailProgram(op)) {
+    // Failed verify: the page is consumed as unreadable, never handed out.
+    const uint64_t offset = arena_.block(block).write_cursor();
+    arena_.block(block).ProgramFailedAt(offset);
+    TearPage(geometry_.PpnOf(block, offset));
+    ++stats_.program_failures;
+    stats_.busy_time_us += geometry_.page_write_us;
+    if (out_ppn != nullptr) {
+      *out_ppn = kInvalidPpn;
+    }
+    return geometry_.page_write_us;
+  }
+  const uint64_t offset = arena_.block(block).Program();
+  const Ppn ppn = geometry_.PpnOf(block, offset);
+  if (is_cut_op) {
+    torn_ppn_ = ppn;
+  }
+  oob_[ppn] = oob_tag;
+  oob_seq_[ppn] = ++program_seq_;
+  oob_kind_[ppn] = static_cast<uint8_t>(kind);
+  if (out_ppn != nullptr) {
+    *out_ppn = ppn;
+  }
   ++stats_.page_writes;
   stats_.busy_time_us += geometry_.page_write_us;
   return geometry_.page_write_us;
@@ -27,10 +88,76 @@ MicroSec NandFlash::EraseBlock(BlockId block) {
   TPFTL_CHECK(block < arena_.total_blocks());
   TPFTL_CHECK_MSG(arena_.block(block).valid_pages() == 0,
                   "erase of a block that still holds valid pages");
+  if (fault_ != nullptr) [[unlikely]] {
+    const uint64_t op = ++op_index_;
+    // A cut during an erase leaves the block intact: the snapshot is taken
+    // before the erase applies, so the restore discards it wholesale.
+    MaybeArmPowerCut(op);
+    if (!power_cut_ && fault_->ShouldFailErase(op)) {
+      bad_[block] = 1;
+      ++stats_.erase_failures;
+      stats_.busy_time_us += geometry_.block_erase_us;
+      return geometry_.block_erase_us;
+    }
+  } else {
+    ++op_index_;
+  }
   arena_.block(block).Erase();
   ++stats_.block_erases;
   stats_.busy_time_us += geometry_.block_erase_us;
   return geometry_.block_erase_us;
+}
+
+bool NandFlash::MaybeArmPowerCut(uint64_t op) {
+  if (power_cut_ || !fault_->PowerCutReached(op)) {
+    return false;
+  }
+  snapshot_ = std::make_unique<PowerSnapshot>(
+      PowerSnapshot{arena_, oob_, oob_seq_, oob_kind_, bad_, stats_, program_seq_});
+  power_cut_ = true;
+  return true;
+}
+
+void NandFlash::TearPage(Ppn ppn) {
+  oob_[ppn] = ~0ULL;
+  oob_seq_[ppn] = 0;
+  oob_kind_[ppn] = static_cast<uint8_t>(OobKind::kNone);
+}
+
+void NandFlash::RestoreToCutInstant() {
+  TPFTL_CHECK_MSG(power_cut_ && snapshot_ != nullptr, "no power cut to restore");
+  arena_ = snapshot_->arena;
+  oob_ = std::move(snapshot_->oob);
+  oob_seq_ = std::move(snapshot_->oob_seq);
+  oob_kind_ = std::move(snapshot_->oob_kind);
+  bad_ = std::move(snapshot_->bad);
+  stats_ = snapshot_->stats;
+  program_seq_ = snapshot_->program_seq;
+  snapshot_.reset();
+  if (torn_ppn_ != kInvalidPpn) {
+    // The interrupted program consumed its page without completing: after
+    // the rollback the page is free again, so re-consume it as torn.
+    const BlockId block = geometry_.BlockOf(torn_ppn_);
+    arena_.block(block).ProgramFailedAt(geometry_.OffsetOf(torn_ppn_));
+    TearPage(torn_ppn_);
+    torn_ppn_ = kInvalidPpn;
+  }
+  power_cut_ = false;
+  fault_.reset();  // Power is back; recovery runs fault-free.
+}
+
+void NandFlash::InstallFaultPlan(const FaultPlan& plan) {
+  TPFTL_CHECK_MSG(!power_cut_, "fault plan installed while power is cut");
+  fault_ = std::make_unique<FaultInjector>(plan);
+  for (const BlockId b : plan.bad_blocks) {
+    TPFTL_CHECK(b < bad_.size());
+    bad_[b] = 1;
+  }
+}
+
+void NandFlash::ClearFaultPlan() {
+  TPFTL_CHECK_MSG(!power_cut_, "fault plan cleared while power is cut");
+  fault_.reset();
 }
 
 bool NandFlash::IsWornOut(BlockId block) const {

@@ -7,9 +7,16 @@
 //   * sequential in-block programming order;
 //   * asymmetric latencies (geometry.page_read_us / page_write_us /
 //     block_erase_us) accumulated into device busy time;
-//   * out-of-band (OOB) metadata per page, used by FTLs to store the owning
-//     LPN (data pages) or VTPN (translation pages) so GC can find the forward
-//     mapping of a migrated page, as real FTLs do.
+//   * out-of-band (OOB) metadata per page: the owning LPN (data pages) or
+//     VTPN (translation pages), a page kind, and a device-wide monotonic
+//     program sequence number. GC uses the tag to find the forward mapping
+//     of a migrated page; power-loss recovery scans all three to rebuild the
+//     mapping table, resolving conflicting copies by sequence number
+//     (seq 0 marks a torn/failed page whose OOB is unreadable);
+//   * injected faults and power loss via an installed FaultPlan (fault.h) —
+//     failed programs consume the page, failed erases mark the block bad,
+//     and a power cut snapshots the device so RestoreToCutInstant can roll
+//     flash back to the cut instant for crash-recovery testing.
 //
 // The simulator carries no page payload: experiments only need addresses and
 // timing. Correctness of the mapping layers is instead validated by tests
@@ -17,14 +24,16 @@
 //
 // Page states and per-block counters live in a single packed PageStateArena
 // (see block.h); the per-page operations below are inline array math so the
-// replay hot path has no call or pointer-chasing overhead. Interior state
-// checks are TPFTL_DCHECK — compiled out of release replays, re-enabled by
+// replay hot path has no call or pointer-chasing overhead — fault handling
+// is hidden behind one [[unlikely]] null check. Interior state checks are
+// TPFTL_DCHECK — compiled out of release replays, re-enabled by
 // -DTPFTL_HARDENED=ON (debug and CI builds).
 
 #ifndef SRC_FLASH_NAND_H_
 #define SRC_FLASH_NAND_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/flash/block.h"
@@ -35,9 +44,17 @@
 
 namespace tpftl {
 
+class FaultInjector;
+struct FaultPlan;
+
+// What a programmed page holds, recorded in its OOB area alongside the tag.
+// kNone marks a consumed-but-unreadable page (failed or torn program).
+enum class OobKind : uint8_t { kNone = 0, kData = 1, kTranslation = 2 };
+
 class NandFlash {
  public:
   explicit NandFlash(const FlashGeometry& geometry);
+  ~NandFlash();
 
   NandFlash(const NandFlash&) = delete;
   NandFlash& operator=(const NandFlash&) = delete;
@@ -56,14 +73,24 @@ class NandFlash {
     return geometry_.page_read_us;
   }
 
-  // Programs the next sequential page of `block`, tagging it with `oob_tag`
-  // (LPN for data pages, VTPN for translation pages). Returns the programmed
-  // PPN via out-param and the latency. The block must have a free page.
-  MicroSec ProgramPage(BlockId block, uint64_t oob_tag, Ppn* out_ppn) {
+  // Programs the next sequential page of `block`, tagging its OOB with
+  // `oob_tag` (LPN for data pages, VTPN for translation pages), `kind`, and
+  // a fresh sequence number. Returns the programmed PPN via out-param and
+  // the latency. The block must have a free page. Under an installed fault
+  // plan the program may fail: the page is consumed as unreadable and
+  // *out_ppn is set to kInvalidPpn — the caller retries on the next page.
+  MicroSec ProgramPage(BlockId block, uint64_t oob_tag, Ppn* out_ppn,
+                       OobKind kind = OobKind::kData) {
+    if (fault_ != nullptr) [[unlikely]] {
+      return ProgramPageFaulty(block, oob_tag, out_ppn, kind);
+    }
     TPFTL_DCHECK(block < arena_.total_blocks());
+    ++op_index_;
     const uint64_t offset = arena_.block(block).Program();
     const Ppn ppn = geometry_.PpnOf(block, offset);
     oob_[ppn] = oob_tag;
+    oob_seq_[ppn] = ++program_seq_;
+    oob_kind_[ppn] = static_cast<uint8_t>(kind);
     if (out_ppn != nullptr) {
       *out_ppn = ppn;
     }
@@ -73,6 +100,8 @@ class NandFlash {
   }
 
   // Programs a specific free page (out-of-order; see Block::ProgramAt).
+  // Exempt from injected program failures (fault.h); a power cut can still
+  // land on it.
   MicroSec ProgramPageAt(Ppn ppn, uint64_t oob_tag);
 
   // valid → invalid; the FTL calls this when superseding a page.
@@ -82,7 +111,9 @@ class NandFlash {
   }
 
   // Erases one block; all its pages must already be invalid or free.
-  // Returns the latency.
+  // Returns the latency. Under an installed fault plan the erase may fail:
+  // the block keeps its contents and is marked bad (IsBad) — callers must
+  // retire it.
   MicroSec EraseBlock(BlockId block);
 
   // True once the block has consumed its erase budget (geometry
@@ -90,10 +121,30 @@ class NandFlash {
   // blocks still hold data but must not be programmed again.
   bool IsWornOut(BlockId block) const;
 
+  // True for factory-marked bad blocks (FaultPlan::bad_blocks) and blocks
+  // whose erase failed. Bad blocks must never be programmed or erased again.
+  bool IsBad(BlockId block) const {
+    TPFTL_DCHECK(block < bad_.size());
+    return bad_[block] != 0;
+  }
+
   // OOB tag of a programmed page.
   uint64_t OobTag(Ppn ppn) const {
     TPFTL_DCHECK(ppn < oob_.size());
     return oob_[ppn];
+  }
+
+  // OOB program sequence number (device-wide monotonic, starting at 1).
+  // 0 = unreadable: the page was never programmed, or its program failed or
+  // was torn by a power cut.
+  uint64_t OobSeq(Ppn ppn) const {
+    TPFTL_DCHECK(ppn < oob_seq_.size());
+    return oob_seq_[ppn];
+  }
+
+  OobKind OobKindOf(Ppn ppn) const {
+    TPFTL_DCHECK(ppn < oob_kind_.size());
+    return static_cast<OobKind>(oob_kind_[ppn]);
   }
 
   PageState StateOf(Ppn ppn) const {
@@ -117,11 +168,57 @@ class NandFlash {
   uint64_t TotalEraseCount() const;
   uint64_t MaxEraseCount() const;
 
+  // --- fault injection & power loss (see fault.h) -------------------------
+
+  // Installs a fault plan (replacing any previous one) and marks its listed
+  // bad blocks. Plans with bad blocks must be installed before the FTL is
+  // constructed so allocators skip them from the start.
+  void InstallFaultPlan(const FaultPlan& plan);
+  // Removes the plan; already-marked bad blocks stay bad.
+  void ClearFaultPlan();
+
+  // State-mutating operations (programs + erases) performed since
+  // construction; the index of the next operation is op_index() + 1. Fault
+  // plans address operations by this index.
+  uint64_t op_index() const { return op_index_; }
+
+  // True once the plan's power cut fired. The device keeps operating
+  // normally (simulation convenience — there are no exceptions to unwind
+  // the FTL call stack), but every operation from the cut onward is
+  // discarded by RestoreToCutInstant.
+  bool power_cut_triggered() const { return power_cut_; }
+
+  // Rolls the device back to the instant of the power cut: all operations
+  // from the cut onward are undone, and the cut operation itself leaves a
+  // torn page (programs) or an intact un-erased block (erases). Clears the
+  // fault plan — power is back, and recovery runs fault-free. The caller
+  // must discard the FTL that was driving the device and recover a fresh
+  // one from the surviving flash state.
+  void RestoreToCutInstant();
+
  private:
+  struct PowerSnapshot;
+
+  MicroSec ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_ppn, OobKind kind);
+  // Snapshots the device just before operation `op` when it is the cut
+  // point. Returns true when this operation is the (newly or already) cut
+  // one, i.e. it must be recorded as torn if it programs a page.
+  bool MaybeArmPowerCut(uint64_t op);
+  void TearPage(Ppn ppn);
+
   FlashGeometry geometry_;
   PageStateArena arena_;
   std::vector<uint64_t> oob_;
+  std::vector<uint64_t> oob_seq_;
+  std::vector<uint8_t> oob_kind_;
+  std::vector<uint8_t> bad_;  // Per-block bad flag (factory or failed erase).
   FlashStats stats_;
+  uint64_t program_seq_ = 0;
+  uint64_t op_index_ = 0;
+  bool power_cut_ = false;
+  Ppn torn_ppn_ = kInvalidPpn;  // Page the cut operation was programming.
+  std::unique_ptr<FaultInjector> fault_;
+  std::unique_ptr<PowerSnapshot> snapshot_;
 };
 
 }  // namespace tpftl

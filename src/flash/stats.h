@@ -18,6 +18,11 @@ struct FlashStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
   uint64_t block_erases = 0;
+  // Injected failures (see flash/fault.h). Failed operations still consume
+  // device busy time but are not counted as completed reads/writes/erases,
+  // so the FTL-attribution cross-checks stay exact on fault-free runs.
+  uint64_t program_failures = 0;
+  uint64_t erase_failures = 0;
   MicroSec busy_time_us = 0.0;
 
   void Reset() { *this = FlashStats(); }

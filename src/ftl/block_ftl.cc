@@ -1,5 +1,8 @@
 #include "src/ftl/block_ftl.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -9,11 +12,107 @@ BlockFtl::BlockFtl(const FtlEnv& env)
       pages_per_block_(env.flash->geometry().pages_per_block),
       map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock) {
   TPFTL_CHECK(env.logical_pages > 0);
+  if (env.recover_from_flash) {
+    RecoverFromFlash(env.logical_pages);
+    return;
+  }
   for (BlockId b = 0; b < flash_->geometry().total_blocks; ++b) {
-    free_blocks_.push_back(b);
+    if (!flash_->IsBad(b)) {
+      free_blocks_.push_back(b);
+    }
   }
   TPFTL_CHECK_MSG(free_blocks_.size() > map_.size(),
                   "block-level FTL needs at least one spare block");
+}
+
+void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
+  const FlashGeometry& g = flash_->geometry();
+  OobScanResult scan = ScanForRecovery(*flash_, logical_pages, /*translation_pages=*/0);
+  // Every copy this FTL ever writes sits at its LPN's home offset, so the
+  // winners must too; anything else means the scan or the FTL is broken.
+  std::vector<uint8_t> holds_winners(g.total_blocks, 0);
+  for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
+    if (scan.data_ppn[lpn] == kInvalidPpn) {
+      continue;
+    }
+    TPFTL_CHECK_MSG(g.OffsetOf(scan.data_ppn[lpn]) == OffsetOf(lpn),
+                    "block-level winner off its home offset");
+    holds_winners[g.BlockOf(scan.data_ppn[lpn])] = 1;
+  }
+  // Blocks holding no live data go back to the free pool (erased first if
+  // touched); bad or worn-out blocks are retired.
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    if (holds_winners[b] != 0 || flash_->IsBad(b)) {
+      continue;
+    }
+    if (scan.blocks[b].programmed > 0) {
+      recovery_report_.rebuild_time_us += flash_->EraseBlock(b);
+      if (flash_->IsWornOut(b)) {
+        continue;
+      }
+    }
+    free_blocks_.push_back(b);
+  }
+  // Re-attach each logical block. A cut mid-merge leaves winners split over
+  // the merge source and destination; finish the merge into a fresh block.
+  for (uint64_t lbn = 0; lbn < map_.size(); ++lbn) {
+    const Lpn first = lbn * pages_per_block_;
+    const Lpn last = std::min(first + pages_per_block_, logical_pages);
+    BlockId home = kInvalidBlock;
+    bool split = false;
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      if (scan.data_ppn[lpn] == kInvalidPpn) {
+        continue;
+      }
+      const BlockId b = g.BlockOf(scan.data_ppn[lpn]);
+      if (home == kInvalidBlock) {
+        home = b;
+      } else if (home != b) {
+        split = true;
+      }
+    }
+    if (home == kInvalidBlock) {
+      continue;
+    }
+    if (!split) {
+      map_[lbn] = home;
+      continue;
+    }
+    const BlockId merged = AllocateBlock();
+    std::vector<BlockId> sources;
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      const Ppn src = scan.data_ppn[lpn];
+      if (src == kInvalidPpn) {
+        continue;
+      }
+      recovery_report_.rebuild_time_us += flash_->ReadPage(src);
+      recovery_report_.rebuild_time_us +=
+          flash_->ProgramPageAt(g.PpnOf(merged, OffsetOf(lpn)), lpn);
+      flash_->InvalidatePage(src);
+      const BlockId sb = g.BlockOf(src);
+      if (std::find(sources.begin(), sources.end(), sb) == sources.end()) {
+        sources.push_back(sb);
+      }
+    }
+    for (const BlockId sb : sources) {
+      TPFTL_CHECK(flash_->block(sb).valid_pages() == 0);
+      recovery_report_.rebuild_time_us += flash_->EraseBlock(sb);
+      if (!flash_->IsBad(sb) && !flash_->IsWornOut(sb)) {
+        free_blocks_.push_back(sb);
+      }
+    }
+    map_[lbn] = merged;
+  }
+  scan.report.rebuild_time_us = recovery_report_.rebuild_time_us;
+  // No flash-resident table: the reconstructed map is all unpersisted.
+  scan.report.unpersisted_window = scan.report.data_mappings;
+  scan.report.blocks_free = free_blocks_.size();
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    scan.report.bad_blocks += flash_->IsBad(b) ? 1 : 0;
+  }
+  recovery_report_ = scan.report;
+  recovered_ = true;
+  flash_->ResetStats();
 }
 
 void BlockFtl::ResetStats() {
@@ -22,6 +121,9 @@ void BlockFtl::ResetStats() {
 }
 
 BlockId BlockFtl::AllocateBlock() {
+  while (!free_blocks_.empty() && flash_->IsBad(free_blocks_.front())) {
+    free_blocks_.pop_front();  // Retired since it was freed (injected fault).
+  }
   TPFTL_CHECK_MSG(!free_blocks_.empty(), "block-level FTL out of spare blocks");
   const BlockId block = free_blocks_.front();
   free_blocks_.pop_front();
@@ -97,7 +199,9 @@ MicroSec BlockFtl::MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn) {
     ++stats_.gc_hits;  // The RAM-resident table is always up to date.
   }
   t += flash_->EraseBlock(old_block);
-  free_blocks_.push_back(old_block);
+  if (!flash_->IsBad(old_block) && !flash_->IsWornOut(old_block)) {
+    free_blocks_.push_back(old_block);
+  }
   map_[lbn] = new_block;
   return t;
 }

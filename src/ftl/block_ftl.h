@@ -18,6 +18,7 @@
 #include "src/flash/nand.h"
 #include "src/ftl/demand_ftl.h"
 #include "src/ftl/ftl.h"
+#include "src/ftl/recovery.h"
 
 namespace tpftl {
 
@@ -38,10 +39,18 @@ class BlockFtl : public Ftl {
   uint64_t cache_bytes_used() const override { return map_.size() * 4; }
   uint64_t cache_entry_count() const override { return map_.size(); }
 
+  const RecoveryReport* recovery_report() const override {
+    return recovered_ ? &recovery_report_ : nullptr;
+  }
+
  private:
   uint64_t LbnOf(Lpn lpn) const { return lpn / pages_per_block_; }
   uint64_t OffsetOf(Lpn lpn) const { return lpn % pages_per_block_; }
   BlockId AllocateBlock();
+  // Rebuilds map_ and the free list from an OOB scan after a power cut. A
+  // cut mid-merge can leave a logical block's winners split across the merge
+  // source and destination; the merge is completed during recovery.
+  void RecoverFromFlash(uint64_t logical_pages);
   // Copy-merges `lbn`'s block into a fresh block so `offset` becomes free
   // again, then programs the new data there.
   MicroSec MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn);
@@ -51,6 +60,8 @@ class BlockFtl : public Ftl {
   std::vector<BlockId> map_;  // LBN → physical block.
   std::deque<BlockId> free_blocks_;
   AtStats stats_;
+  bool recovered_ = false;
+  RecoveryReport recovery_report_;
 };
 
 }  // namespace tpftl

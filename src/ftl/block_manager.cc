@@ -1,7 +1,9 @@
 #include "src/ftl/block_manager.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "src/ftl/recovery.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -23,11 +25,20 @@ BlockManager::BlockManager(NandFlash* flash, uint64_t gc_threshold, GcPolicy pol
   const uint64_t total = flash_->geometry().total_blocks;
   TPFTL_CHECK_MSG(total > gc_threshold + 2, "geometry too small for the GC threshold");
   for (BlockId b = 0; b < total; ++b) {
-    free_blocks_.push_back(b);
+    if (flash_->IsBad(b)) {
+      ++bad_blocks_;  // Factory-marked bad (FaultPlan::bad_blocks).
+    } else {
+      free_blocks_.push_back(b);
+    }
   }
 }
 
 BlockId BlockManager::AllocateFreeBlock(BlockPool pool) {
+  // Skip blocks that went bad while queued (a plan installed mid-run).
+  while (!free_blocks_.empty() && flash_->IsBad(free_blocks_.front())) {
+    ++bad_blocks_;
+    free_blocks_.pop_front();
+  }
   TPFTL_CHECK_MSG(!free_blocks_.empty(), "flash out of free blocks — GC deadlock");
   const BlockId block = free_blocks_.front();
   free_blocks_.pop_front();
@@ -42,15 +53,27 @@ BlockId BlockManager::AllocateFreeBlock(BlockPool pool) {
 
 MicroSec BlockManager::Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn) {
   TPFTL_DCHECK(pool != BlockPool::kNone);
+  const OobKind kind = pool == BlockPool::kData ? OobKind::kData : OobKind::kTranslation;
   ActiveBlock& active = pool == BlockPool::kData ? active_data_ : active_trans_;
-  if (active.id == kInvalidBlock || !flash_->block(active.id).HasFreePage()) {
+  MicroSec t = 0.0;
+  for (;;) {
+    if (active.id == kInvalidBlock || !flash_->block(active.id).HasFreePage()) {
+      RetireIfFull(pool);
+      active.id = AllocateFreeBlock(pool);
+    }
+    Ppn ppn = kInvalidPpn;
+    t += flash_->ProgramPage(active.id, oob_tag, &ppn, kind);
+    last_touched_[active.id] = ++op_clock_;
     RetireIfFull(pool);
-    active.id = AllocateFreeBlock(pool);
+    if (ppn != kInvalidPpn) [[likely]] {
+      if (out_ppn != nullptr) {
+        *out_ppn = ppn;
+      }
+      return t;
+    }
+    // Injected program failure: the page was consumed as unreadable; retry
+    // on the next page (possibly of a freshly allocated block).
   }
-  const MicroSec t = flash_->ProgramPage(active.id, oob_tag, out_ppn);
-  last_touched_[active.id] = ++op_clock_;
-  RetireIfFull(pool);
-  return t;
 }
 
 void BlockManager::RetireIfFull(BlockPool pool) {
@@ -278,8 +301,11 @@ MicroSec BlockManager::EraseAndFree(BlockId block) {
     --trans_blocks_;
   }
   pool_of_[block] = BlockPool::kNone;
-  if (flash_->IsWornOut(block)) {
-    ++bad_blocks_;  // Retired: never returned to the free pool.
+  if (flash_->IsBad(block) || flash_->IsWornOut(block)) {
+    // Failed erase or exhausted endurance: retired, never returned to the
+    // free pool. (A failed erase leaves the block's garbage in place; its
+    // pages are all invalid, so nothing is lost.)
+    ++bad_blocks_;
   } else {
     free_blocks_.push_back(block);
   }
@@ -293,6 +319,157 @@ BlockPool BlockManager::PoolOf(BlockId block) const {
 
 uint64_t BlockManager::pool_block_count(BlockPool pool) const {
   return pool == BlockPool::kData ? data_blocks_ : trans_blocks_;
+}
+
+void BlockManager::RecoverFromScan(const OobScanResult& scan) {
+  const uint64_t total = flash_->geometry().total_blocks;
+  const uint64_t per_block = flash_->geometry().pages_per_block;
+  TPFTL_CHECK(scan.blocks.size() == total);
+  TPFTL_CHECK_MSG(candidate_count_ == 0 && data_blocks_ == 0 && trans_blocks_ == 0,
+                  "recovery into a block manager that already allocated");
+
+  free_blocks_.clear();
+  bad_blocks_ = 0;
+
+  // Classify. Pool guesses come from the readable pages' OOB kind; a block
+  // holding only torn pages defaults to the data pool (it only ever held
+  // garbage, so the guess is consequence-free).
+  std::vector<BlockId> allocated;
+  for (BlockId b = 0; b < total; ++b) {
+    if (flash_->IsBad(b)) {
+      ++bad_blocks_;
+      continue;
+    }
+    if (scan.blocks[b].programmed == 0) {
+      if (flash_->IsWornOut(b)) {
+        ++bad_blocks_;
+      } else {
+        free_blocks_.push_back(b);
+      }
+      continue;
+    }
+    allocated.push_back(b);
+  }
+
+  // Bucket entrants must arrive oldest-first so the within-bucket order ==
+  // last-touched order invariant holds; order blocks by their newest page.
+  std::sort(allocated.begin(), allocated.end(), [&scan](BlockId a, BlockId b) {
+    return scan.blocks[a].max_seq != scan.blocks[b].max_seq
+               ? scan.blocks[a].max_seq < scan.blocks[b].max_seq
+               : a < b;
+  });
+
+  // The newest partially-written block of each pool resumes as the active
+  // block; every other allocated block becomes a GC candidate. (Normal
+  // operation leaves at most one partial block per pool — the active one at
+  // the cut — but recovery tolerates more; extra partials are bucketed, and
+  // GC simply skips their free pages.)
+  BlockId active_data = kInvalidBlock;
+  BlockId active_trans = kInvalidBlock;
+  for (const BlockId b : allocated) {  // Ascending seq: the last partial wins.
+    if (scan.blocks[b].programmed == per_block) {
+      continue;
+    }
+    (scan.blocks[b].pool == OobKind::kTranslation ? active_trans : active_data) = b;
+  }
+
+  for (const BlockId b : allocated) {
+    const BlockPool pool =
+        scan.blocks[b].pool == OobKind::kTranslation ? BlockPool::kTranslation : BlockPool::kData;
+    pool_of_[b] = pool;
+    if (pool == BlockPool::kData) {
+      ++data_blocks_;
+    } else {
+      ++trans_blocks_;
+    }
+    last_touched_[b] = ++op_clock_;
+    if (b == active_data) {
+      active_data_.id = b;
+    } else if (b == active_trans) {
+      active_trans_.id = b;
+    } else {
+      BucketInsert(b);
+    }
+  }
+}
+
+bool BlockManager::CheckInvariants() const {
+  const uint64_t total = flash_->geometry().total_blocks;
+  std::vector<char> seen(total, 0);
+
+  // Bucket lists: membership, link symmetry, per-bucket valid counts, and
+  // the head-newest → tail-oldest age order.
+  uint64_t bucketed = 0;
+  for (uint64_t v = 0; v < bucket_head_.size(); ++v) {
+    uint64_t prev_touch = ~0ULL;
+    for (BlockId b = bucket_head_[v]; b != kInvalidBlock; b = next_[b]) {
+      TPFTL_CHECK_MSG(bucket_of_[b] == v, "bucket index disagrees with list membership");
+      TPFTL_CHECK_MSG(pool_of_[b] != BlockPool::kNone, "bucketed block has no pool");
+      TPFTL_CHECK_MSG(flash_->block(b).valid_pages() == v, "bucket != valid-page count");
+      TPFTL_CHECK_MSG(last_touched_[b] <= prev_touch, "bucket not in age order");
+      prev_touch = last_touched_[b];
+      TPFTL_CHECK_MSG(!seen[b], "block linked twice");
+      seen[b] = 1;
+      ++bucketed;
+      if (prev_[b] == kInvalidBlock) {
+        TPFTL_CHECK(bucket_head_[v] == b);
+      } else {
+        TPFTL_CHECK(next_[prev_[b]] == b);
+      }
+      if (next_[b] == kInvalidBlock) {
+        TPFTL_CHECK(bucket_tail_[v] == b);
+      } else {
+        TPFTL_CHECK(prev_[next_[b]] == b);
+      }
+    }
+  }
+  TPFTL_CHECK_MSG(bucketed == candidate_count_, "candidate count out of sync");
+
+  uint64_t hist_total = 0;
+  for (const uint32_t count : erase_hist_) {
+    hist_total += count;
+  }
+  TPFTL_CHECK_MSG(hist_total == candidate_count_, "erase histogram out of sync");
+
+  for (const ActiveBlock* active : {&active_data_, &active_trans_}) {
+    if (active->id == kInvalidBlock) {
+      continue;
+    }
+    TPFTL_CHECK_MSG(pool_of_[active->id] != BlockPool::kNone, "active block has no pool");
+    TPFTL_CHECK_MSG(bucket_of_[active->id] == kNotBucketed, "active block is bucketed");
+    TPFTL_CHECK_MSG(!seen[active->id], "active block double-tracked");
+    seen[active->id] = 1;
+  }
+  for (const BlockId b : free_blocks_) {
+    TPFTL_CHECK_MSG(pool_of_[b] == BlockPool::kNone, "free block has a pool");
+    TPFTL_CHECK_MSG(bucket_of_[b] == kNotBucketed, "free block is bucketed");
+    TPFTL_CHECK_MSG(!seen[b], "free block double-tracked");
+    seen[b] = 1;
+  }
+
+  // Pool counters, and page-state counter consistency per block.
+  uint64_t data = 0;
+  uint64_t trans = 0;
+  const uint64_t per_block = flash_->geometry().pages_per_block;
+  for (BlockId b = 0; b < total; ++b) {
+    data += pool_of_[b] == BlockPool::kData ? 1 : 0;
+    trans += pool_of_[b] == BlockPool::kTranslation ? 1 : 0;
+    TPFTL_CHECK_MSG(pool_of_[b] == BlockPool::kNone || seen[b],
+                    "allocated block is neither active nor a candidate");
+    const Block blk = flash_->block(b);
+    uint64_t valid = 0;
+    uint64_t programmed = 0;
+    for (uint64_t off = 0; off < per_block; ++off) {
+      const PageState state = blk.StateOf(off);
+      programmed += state != PageState::kFree ? 1 : 0;
+      valid += state == PageState::kValid ? 1 : 0;
+    }
+    TPFTL_CHECK_MSG(valid == blk.valid_pages(), "valid counter out of sync with states");
+    TPFTL_CHECK_MSG(programmed == per_block - blk.free_pages(),
+                    "programmed counter out of sync with states");
+  }
+  TPFTL_CHECK_MSG(data == data_blocks_ && trans == trans_blocks_, "pool counters out of sync");
+  return true;
 }
 
 uint64_t BlockManager::FreePagesUpperBound() const {

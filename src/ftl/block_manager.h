@@ -50,6 +50,8 @@
 
 namespace tpftl {
 
+struct OobScanResult;
+
 enum class BlockPool : uint8_t { kNone = 0, kData = 1, kTranslation = 2 };
 
 // GC victim-selection policy (see the class comment for the mechanics).
@@ -67,6 +69,8 @@ class BlockManager {
 
   // Programs the next page of `pool`'s active block (allocating a fresh
   // active block from the free list when needed). Returns the flash latency.
+  // Injected program failures (flash/fault.h) are absorbed here: the ruined
+  // page is left consumed-invalid and the program retries on the next page.
   MicroSec Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn);
 
   // Invalidates a valid page and updates victim bookkeeping (an O(1)
@@ -83,12 +87,24 @@ class BlockManager {
   BlockId PickVictim(BlockPool pool);
 
   // Erases `block` (all pages must be invalid/free) and returns it to the
-  // free list — unless the erase consumed the block's endurance budget, in
-  // which case the block is retired as bad and the usable pool shrinks.
-  // Returns the erase latency.
+  // free list — unless the erase consumed the block's endurance budget or
+  // failed outright (injected fault), in which case the block is retired as
+  // bad and the usable pool shrinks. Returns the erase latency.
   MicroSec EraseAndFree(BlockId block);
 
   uint64_t bad_block_count() const { return bad_blocks_; }
+
+  // Rebuilds all bookkeeping (pools, actives, free list, candidate buckets,
+  // wear histogram) from an OOB scan of the surviving flash state after a
+  // power cut. The manager must be freshly constructed. Candidates re-enter
+  // their buckets oldest-first by each block's newest page, preserving the
+  // within-bucket age-order invariant victim selection relies on.
+  void RecoverFromScan(const OobScanResult& scan);
+
+  // Exhaustive structural self-check (bucket links, age order, histogram
+  // and pool counters, free-list disjointness); CHECK-fails on violation,
+  // returns true otherwise. Test support — O(total blocks).
+  bool CheckInvariants() const;
 
   BlockPool PoolOf(BlockId block) const;
   uint64_t free_block_count() const { return free_blocks_.size(); }

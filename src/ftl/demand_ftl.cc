@@ -1,6 +1,7 @@
 #include "src/ftl/demand_ftl.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/assert.h"
 
@@ -22,15 +23,43 @@ DemandFtl::DemandFtl(const FtlEnv& env, bool uses_translation_store)
   TPFTL_CHECK(env.flash != nullptr);
   TPFTL_CHECK(env.logical_pages > 0);
   if (uses_translation_store) {
-    store_.Format();
-    TPFTL_CHECK_MSG(env.cache_bytes > store_.gtd().size_bytes(),
+    TPFTL_CHECK_MSG(env.cache_bytes >= store_.gtd().size_bytes(),
                     "cache budget smaller than the GTD");
     entry_cache_budget_ = env.cache_bytes - store_.gtd().size_bytes();
-    // Formatting cost is setup, not workload; start experiments clean.
-    flash_->ResetStats();
   } else {
     entry_cache_budget_ = env.cache_bytes;
   }
+  if (env.recover_from_flash) {
+    RecoverFromFlash(uses_translation_store);
+    return;
+  }
+  if (uses_translation_store) {
+    store_.Format();
+    // Formatting cost is setup, not workload; start experiments clean.
+    flash_->ResetStats();
+  }
+}
+
+void DemandFtl::RecoverFromFlash(bool uses_translation_store) {
+  OobScanResult scan = ScanForRecovery(*flash_, logical_pages_, store_.translation_pages());
+  bm_.RecoverFromScan(scan);
+  if (uses_translation_store) {
+    store_.RecoverFromScan(scan, &scan.report);
+  } else {
+    // No flash-resident table: the winners themselves are the mapping, and
+    // with nothing persisted beyond the data pages the whole reconstructed
+    // map is, by definition, the unpersisted window.
+    recovered_user_map_ = std::move(scan.data_ppn);
+    scan.report.unpersisted_window = scan.report.data_mappings;
+  }
+  scan.report.blocks_free = bm_.free_block_count();
+  scan.report.bad_blocks = bm_.bad_block_count();
+  recovery_report_ = scan.report;
+  recovered_ = true;
+  // Note: no RunGcIfNeeded() here — it dispatches policy hooks that the
+  // derived object does not implement yet during base construction. The
+  // first post-recovery host op restores the free-level invariant.
+  flash_->ResetStats();
 }
 
 void DemandFtl::ResetStats() {

@@ -32,6 +32,7 @@
 #include "src/flash/nand.h"
 #include "src/ftl/block_manager.h"
 #include "src/ftl/ftl.h"
+#include "src/ftl/recovery.h"
 #include "src/ftl/translation_store.h"
 
 namespace tpftl {
@@ -48,6 +49,10 @@ struct FtlEnv {
   // kWearAware only: max erase-count spread tolerated before a victim is
   // skipped in favor of a less-worn alternative.
   uint64_t wear_spread_limit = 16;
+  // When true, the FTL boots by scanning the surviving flash state (after a
+  // power cut) instead of formatting it: mappings and block bookkeeping are
+  // rebuilt from page OOB areas, and recovery_report() describes the result.
+  bool recover_from_flash = false;
 };
 
 // The paper's cache budget for a given logical capacity: the size of a
@@ -81,6 +86,10 @@ class DemandFtl : public Ftl {
   const TranslationStore& translation_store() const { return store_; }
   uint64_t logical_pages() const { return logical_pages_; }
 
+  const RecoveryReport* recovery_report() const final {
+    return recovered_ ? &recovery_report_ : nullptr;
+  }
+
  protected:
   // --- policy hooks -------------------------------------------------------
   virtual MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) = 0;
@@ -97,7 +106,13 @@ class DemandFtl : public Ftl {
   // Runs garbage collection while the free-block level demands it.
   MicroSec RunGcIfNeeded();
 
+  // For subclasses that bypass the TranslationStore (Optimal): the LPN→PPN
+  // winners reconstructed by a recovery boot. Empty unless recover_from_flash
+  // was set and uses_translation_store was false.
+  const std::vector<Ppn>& recovered_user_map() const { return recovered_user_map_; }
+
  private:
+  void RecoverFromFlash(bool uses_translation_store);
   MicroSec CollectOneBlock();
   MicroSec CollectDataBlock(BlockId victim);
   MicroSec CollectTranslationBlock(BlockId victim);
@@ -108,6 +123,9 @@ class DemandFtl : public Ftl {
   AtStats stats_;
   uint64_t logical_pages_;
   uint64_t entry_cache_budget_ = 0;
+  bool recovered_ = false;
+  RecoveryReport recovery_report_;
+  std::vector<Ppn> recovered_user_map_;
 };
 
 }  // namespace tpftl

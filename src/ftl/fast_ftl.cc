@@ -14,11 +14,108 @@ FastFtl::FastFtl(const FtlEnv& env, const FastFtlOptions& options)
   const auto by_fraction = static_cast<uint64_t>(
       static_cast<double>(map_.size()) * options.log_block_fraction);
   log_block_limit_ = std::max(options.min_log_blocks, by_fraction);
+  if (env.recover_from_flash) {
+    RecoverFromFlash(env.logical_pages);
+    return;
+  }
   for (BlockId b = 0; b < flash_->geometry().total_blocks; ++b) {
-    free_blocks_.push_back(b);
+    if (!flash_->IsBad(b)) {
+      free_blocks_.push_back(b);
+    }
   }
   TPFTL_CHECK_MSG(free_blocks_.size() > map_.size() + log_block_limit_ + 1,
                   "FAST needs data blocks + log blocks + one merge block");
+}
+
+void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
+  const FlashGeometry& g = flash_->geometry();
+  OobScanResult scan = ScanForRecovery(*flash_, logical_pages, /*translation_pages=*/0);
+  // Classify each block by the winners it holds. A block whose winners all
+  // sit at their home offsets within one logical block can serve as that
+  // LBN's data block; everything else holding winners must be a log block.
+  struct BlockInfo {
+    std::vector<Lpn> winners;
+    bool data_shaped = true;
+    uint64_t lbn = ~0ULL;
+  };
+  std::vector<BlockInfo> info(g.total_blocks);
+  for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
+    const Ppn ppn = scan.data_ppn[lpn];
+    if (ppn == kInvalidPpn) {
+      continue;
+    }
+    BlockInfo& bi = info[g.BlockOf(ppn)];
+    bi.winners.push_back(lpn);
+    if (g.OffsetOf(ppn) != OffsetOf(lpn)) {
+      bi.data_shaped = false;
+    }
+    if (bi.lbn == ~0ULL) {
+      bi.lbn = LbnOf(lpn);
+    } else if (bi.lbn != LbnOf(lpn)) {
+      bi.data_shaped = false;
+    }
+  }
+  // Best data block per LBN: most winners, newest page as the tiebreak.
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    const BlockInfo& bi = info[b];
+    if (bi.winners.empty() || !bi.data_shaped) {
+      continue;
+    }
+    const BlockId cur = map_[bi.lbn];
+    if (cur == kInvalidBlock || bi.winners.size() > info[cur].winners.size() ||
+        (bi.winners.size() == info[cur].winners.size() &&
+         scan.blocks[b].max_seq > scan.blocks[cur].max_seq)) {
+      map_[bi.lbn] = b;
+    }
+  }
+  // The rest become log blocks, oldest first (back of the deque is active).
+  std::vector<BlockId> logs;
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    const BlockInfo& bi = info[b];
+    if (bi.winners.empty() || (bi.data_shaped && map_[bi.lbn] == b)) {
+      continue;
+    }
+    logs.push_back(b);
+  }
+  std::sort(logs.begin(), logs.end(), [&](BlockId a, BlockId b) {
+    return scan.blocks[a].max_seq < scan.blocks[b].max_seq;
+  });
+  for (const BlockId b : logs) {
+    log_blocks_.push_back(b);
+    for (const Lpn lpn : info[b].winners) {
+      log_map_[lpn] = scan.data_ppn[lpn];
+    }
+  }
+  // Free pool: blocks with no live data, erased back to free (bad or
+  // worn-out blocks are retired instead).
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    if (!info[b].winners.empty() || flash_->IsBad(b)) {
+      continue;
+    }
+    if (scan.blocks[b].programmed > 0) {
+      TPFTL_CHECK(flash_->block(b).valid_pages() == 0);
+      recovery_report_.rebuild_time_us += flash_->EraseBlock(b);
+      if (flash_->IsWornOut(b)) {
+        continue;
+      }
+    }
+    free_blocks_.push_back(b);
+  }
+  // A cut can strand more log blocks than the limit allows; merge down.
+  while (log_blocks_.size() > log_block_limit_) {
+    recovery_report_.rebuild_time_us += ReclaimOldestLog();
+  }
+  scan.report.rebuild_time_us = recovery_report_.rebuild_time_us;
+  // No flash-resident table: the reconstructed map is all unpersisted.
+  scan.report.unpersisted_window = scan.report.data_mappings;
+  scan.report.blocks_free = free_blocks_.size();
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    scan.report.bad_blocks += flash_->IsBad(b) ? 1 : 0;
+  }
+  recovery_report_ = scan.report;
+  recovered_ = true;
+  stats_.Reset();
+  flash_->ResetStats();
 }
 
 void FastFtl::ResetStats() {
@@ -27,6 +124,9 @@ void FastFtl::ResetStats() {
 }
 
 BlockId FastFtl::AllocateBlock() {
+  while (!free_blocks_.empty() && flash_->IsBad(free_blocks_.front())) {
+    free_blocks_.pop_front();  // Retired since it was freed (injected fault).
+  }
   TPFTL_CHECK_MSG(!free_blocks_.empty(), "FAST out of free blocks");
   const BlockId block = free_blocks_.front();
   free_blocks_.pop_front();
@@ -143,7 +243,9 @@ MicroSec FastFtl::ReclaimOldestLog() {
       // All its pages were superseded by the (complete) log block.
       TPFTL_CHECK(flash_->block(old_data).valid_pages() == 0);
       t += flash_->EraseBlock(old_data);
-      free_blocks_.push_back(old_data);
+      if (!flash_->IsBad(old_data) && !flash_->IsWornOut(old_data)) {
+        free_blocks_.push_back(old_data);
+      }
     }
     ++switch_merges_;
     return t;
@@ -166,7 +268,9 @@ MicroSec FastFtl::ReclaimOldestLog() {
   }
   TPFTL_CHECK(flash_->block(victim).valid_pages() == 0);
   t += flash_->EraseBlock(victim);
-  free_blocks_.push_back(victim);
+  if (!flash_->IsBad(victim) && !flash_->IsWornOut(victim)) {
+    free_blocks_.push_back(victim);
+  }
   log_blocks_.pop_front();
   return t;
 }
@@ -202,7 +306,9 @@ MicroSec FastFtl::FullMergeLbn(uint64_t lbn) {
   if (old_data != kInvalidBlock) {
     TPFTL_CHECK(flash_->block(old_data).valid_pages() == 0);
     t += flash_->EraseBlock(old_data);
-    free_blocks_.push_back(old_data);
+    if (!flash_->IsBad(old_data) && !flash_->IsWornOut(old_data)) {
+      free_blocks_.push_back(old_data);
+    }
   }
   map_[lbn] = new_block;
   return t;

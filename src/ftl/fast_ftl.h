@@ -29,6 +29,7 @@
 #include "src/flash/nand.h"
 #include "src/ftl/demand_ftl.h"
 #include "src/ftl/ftl.h"
+#include "src/ftl/recovery.h"
 
 namespace tpftl {
 
@@ -60,10 +61,17 @@ class FastFtl : public Ftl {
   uint64_t full_merges() const { return full_merges_; }
   uint64_t switch_merges() const { return switch_merges_; }
 
+  const RecoveryReport* recovery_report() const override {
+    return recovered_ ? &recovery_report_ : nullptr;
+  }
+
  private:
   uint64_t LbnOf(Lpn lpn) const { return lpn / pages_per_block_; }
   uint64_t OffsetOf(Lpn lpn) const { return lpn % pages_per_block_; }
   BlockId AllocateBlock();
+  // Rebuilds map_, the log set and the free list from an OOB scan after a
+  // power cut, then reclaims any log overflow down to the limit.
+  void RecoverFromFlash(uint64_t logical_pages);
   // Appends to the active log block, opening a new one (and merging when at
   // the limit) as needed.
   MicroSec AppendToLog(Lpn lpn);
@@ -83,6 +91,8 @@ class FastFtl : public Ftl {
   AtStats stats_;
   uint64_t full_merges_ = 0;
   uint64_t switch_merges_ = 0;
+  bool recovered_ = false;
+  RecoveryReport recovery_report_;
 };
 
 }  // namespace tpftl

@@ -16,6 +16,8 @@
 
 namespace tpftl {
 
+struct RecoveryReport;
+
 class Ftl {
  public:
   virtual ~Ftl() = default;
@@ -55,6 +57,10 @@ class Ftl {
   // Mapping-cache occupancy diagnostics (0 for FTLs without a cache budget).
   virtual uint64_t cache_bytes_used() const { return 0; }
   virtual uint64_t cache_entry_count() const { return 0; }
+
+  // Stats of the power-loss recovery this FTL was constructed from
+  // (FtlEnv::recover_from_flash); nullptr when it started from a format.
+  virtual const RecoveryReport* recovery_report() const { return nullptr; }
 };
 
 }  // namespace tpftl

@@ -6,7 +6,11 @@ namespace tpftl {
 
 OptimalFtl::OptimalFtl(const FtlEnv& env)
     : DemandFtl(env, /*uses_translation_store=*/false),
-      table_(env.logical_pages, kInvalidPpn) {}
+      table_(env.logical_pages, kInvalidPpn) {
+  if (env.recover_from_flash) {
+    table_ = recovered_user_map();
+  }
+}
 
 MicroSec OptimalFtl::Translate(Lpn lpn, bool is_write, Ppn* current) {
   (void)is_write;

@@ -1,0 +1,115 @@
+#include "src/ftl/recovery.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+OobScanResult ScanForRecovery(const NandFlash& flash, uint64_t logical_pages,
+                              uint64_t translation_pages) {
+  const FlashGeometry& g = flash.geometry();
+  OobScanResult r;
+  r.data_ppn.assign(logical_pages, kInvalidPpn);
+  r.data_seq.assign(logical_pages, 0);
+  r.trans_ppn.assign(translation_pages, kInvalidPtpn);
+  r.trans_seq.assign(translation_pages, 0);
+  r.blocks.resize(g.total_blocks);
+
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    const Block blk = flash.block(b);
+    OobScanResult::BlockSummary& summary = r.blocks[b];
+    for (uint64_t off = 0; off < g.pages_per_block; ++off) {
+      if (blk.StateOf(off) == PageState::kFree) {
+        continue;
+      }
+      ++summary.programmed;
+      const Ppn ppn = g.PpnOf(b, off);
+      ++r.report.pages_scanned;
+      r.report.scan_time_us += g.page_read_us;  // OOB read billed as a page read.
+      const uint64_t seq = flash.OobSeq(ppn);
+      const OobKind kind = flash.OobKindOf(ppn);
+      if (seq == 0 || kind == OobKind::kNone) {
+        ++r.report.torn_pages;
+        continue;
+      }
+      // Blocks are erased before changing pools, so readable kinds never mix.
+      TPFTL_CHECK_MSG(summary.pool == OobKind::kNone || summary.pool == kind,
+                      "mixed data/translation pages in one block");
+      summary.pool = kind;
+      summary.max_seq = std::max(summary.max_seq, seq);
+      const uint64_t tag = flash.OobTag(ppn);
+      if (kind == OobKind::kData) {
+        TPFTL_CHECK_MSG(tag < logical_pages, "data OOB tag outside the logical space");
+        if (seq > r.data_seq[tag]) {
+          if (r.data_seq[tag] != 0) {
+            ++r.report.conflict_copies;
+          }
+          r.data_ppn[tag] = ppn;
+          r.data_seq[tag] = seq;
+        } else {
+          ++r.report.conflict_copies;
+        }
+      } else {
+        TPFTL_CHECK_MSG(tag < translation_pages, "translation OOB tag outside the GTD");
+        if (seq > r.trans_seq[tag]) {
+          if (r.trans_seq[tag] != 0) {
+            ++r.report.conflict_copies;
+          }
+          r.trans_ppn[tag] = ppn;
+          r.trans_seq[tag] = seq;
+        } else {
+          ++r.report.conflict_copies;
+        }
+      }
+    }
+  }
+
+  // TRIM cross-check: a winner whose page is no longer valid was
+  // deliberately unmapped after it was written — drop the mapping.
+  for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
+    if (r.data_ppn[lpn] == kInvalidPpn) {
+      continue;
+    }
+    if (flash.StateOf(r.data_ppn[lpn]) != PageState::kValid) {
+      r.data_ppn[lpn] = kInvalidPpn;
+      r.data_seq[lpn] = 0;
+      ++r.report.stale_winners_dropped;
+    } else {
+      ++r.report.data_mappings;
+    }
+  }
+  for (Vtpn vtpn = 0; vtpn < translation_pages; ++vtpn) {
+    if (r.trans_ppn[vtpn] == kInvalidPtpn) {
+      continue;
+    }
+    // Translation pages are superseded write-then-invalidate, never trimmed,
+    // so the newest copy must still be valid.
+    TPFTL_CHECK_MSG(flash.StateOf(r.trans_ppn[vtpn]) == PageState::kValid,
+                    "newest translation page copy is not valid");
+    ++r.report.translation_pages_found;
+  }
+
+  // Agreement cross-check (the clean-prefix invariant): every valid page is
+  // its tag's winner — there is exactly one valid copy per live mapping.
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    const Block blk = flash.block(b);
+    for (uint64_t off = 0; off < g.pages_per_block; ++off) {
+      if (blk.StateOf(off) != PageState::kValid) {
+        continue;
+      }
+      const Ppn ppn = g.PpnOf(b, off);
+      const uint64_t tag = flash.OobTag(ppn);
+      if (flash.OobKindOf(ppn) == OobKind::kData) {
+        TPFTL_CHECK_MSG(r.data_ppn[tag] == ppn, "valid data page is not its LPN's newest copy");
+      } else {
+        TPFTL_CHECK_MSG(flash.OobKindOf(ppn) == OobKind::kTranslation && r.trans_ppn[tag] == ppn,
+                        "valid page with unreadable OOB");
+      }
+    }
+  }
+
+  return r;
+}
+
+}  // namespace tpftl

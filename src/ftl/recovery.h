@@ -1,0 +1,82 @@
+// Power-loss recovery by OOB scan (DESIGN.md "Fault model and power-loss
+// recovery"; the technique follows Dayan & Bonnet's treatment of
+// flash-resident page-mapping FTLs).
+//
+// After a power cut the only durable state is the NAND itself: page states,
+// and per-page OOB records of (tag, kind, program sequence number). A full
+// scan reconstructs the logical→physical view:
+//
+//   * for every LPN, the *winner* is the data page carrying that LPN with
+//     the highest sequence number — later programs supersede earlier ones;
+//   * for every VTPN, likewise the newest translation page copy;
+//   * pages with seq 0 are torn (interrupted or failed programs) and are
+//     skipped — the write they carried was never acknowledged durable.
+//
+// Because power cuts land between flash operations (RAM bookkeeping between
+// two flash ops always completes in this simulator — see NandFlash), the
+// surviving valid/invalid marks agree with winner-by-seq: every valid data
+// page is its LPN's winner. The scan CHECKs that agreement. The converse
+// can fail legitimately — a TRIM invalidates the newest copy without
+// writing a newer one — so winners whose page is no longer valid are
+// dropped as deliberately unmapped (real FTLs persist TRIMs out of band;
+// this simulator models that durability via the state cross-check).
+//
+// The scan itself is FTL-agnostic; each FTL consumes the result its own way
+// (BlockManager/TranslationStore::RecoverFromScan for the demand FTLs,
+// bespoke rebuilds for the block-level baselines).
+
+#ifndef SRC_FTL_RECOVERY_H_
+#define SRC_FTL_RECOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/flash/nand.h"
+#include "src/flash/types.h"
+
+namespace tpftl {
+
+// What recovery found and did; exposed via Ftl::recovery_report().
+struct RecoveryReport {
+  uint64_t pages_scanned = 0;     // Programmed pages whose OOB was examined.
+  uint64_t torn_pages = 0;        // Unreadable pages (failed/torn programs).
+  uint64_t data_mappings = 0;     // LPNs with a recovered mapping.
+  uint64_t conflict_copies = 0;   // Superseded copies that lost by seq.
+  uint64_t stale_winners_dropped = 0;  // Winners dropped by the TRIM cross-check.
+  uint64_t translation_pages_found = 0;
+  uint64_t translation_rewrites = 0;   // Translation pages re-persisted.
+  // Mappings whose newest copy was newer than their translation page — the
+  // window that would have been lost without the OOB scan (dirty cached
+  // entries at the cut, in FTL terms).
+  uint64_t unpersisted_window = 0;
+  uint64_t blocks_free = 0;       // Blocks returned to the free pool.
+  uint64_t bad_blocks = 0;        // Blocks retired (factory bad or worn).
+  MicroSec scan_time_us = 0.0;    // Simulated flash time of the OOB scan.
+  MicroSec rebuild_time_us = 0.0;  // Simulated flash time re-persisting state.
+};
+
+// Raw OOB-scan output consumed by the per-FTL rebuild steps.
+struct OobScanResult {
+  struct BlockSummary {
+    OobKind pool = OobKind::kNone;  // Kind of the block's readable pages.
+    uint64_t max_seq = 0;           // Newest readable page (0 = none).
+    uint64_t programmed = 0;
+  };
+
+  std::vector<Ppn> data_ppn;        // LPN → winning copy (kInvalidPpn = unmapped).
+  std::vector<uint64_t> data_seq;   // LPN → winner's sequence number (0 = none).
+  std::vector<Ptpn> trans_ppn;      // VTPN → winning translation page.
+  std::vector<uint64_t> trans_seq;
+  std::vector<BlockSummary> blocks;
+  RecoveryReport report;
+};
+
+// Scans every programmed page's OOB and resolves winners. `logical_pages`
+// and `translation_pages` bound the tag spaces (a tag outside its space is
+// a corruption bug and CHECK-fails).
+OobScanResult ScanForRecovery(const NandFlash& flash, uint64_t logical_pages,
+                              uint64_t translation_pages);
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_RECOVERY_H_

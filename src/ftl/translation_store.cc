@@ -1,5 +1,7 @@
 #include "src/ftl/translation_store.h"
 
+#include <algorithm>
+
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -28,6 +30,44 @@ void TranslationStore::Format() {
     gtd_.Update(vtpn, ptpn);
   }
   formatted_ = true;
+}
+
+void TranslationStore::RecoverFromScan(const OobScanResult& scan, RecoveryReport* report) {
+  TPFTL_CHECK_MSG(!formatted_, "recovery into a formatted translation store");
+  TPFTL_CHECK(scan.trans_ppn.size() == gtd_.size());
+  TPFTL_CHECK(scan.data_ppn.size() == persisted_.size());
+  formatted_ = true;  // Low-level rewrites below require it.
+
+  // The reconstructed table: each LPN's winner from the data-page scan.
+  for (Lpn lpn = 0; lpn < persisted_.size(); ++lpn) {
+    persisted_[lpn] = scan.data_ppn[lpn];
+  }
+
+  for (Vtpn vtpn = 0; vtpn < gtd_.size(); ++vtpn) {
+    const Ptpn survivor = scan.trans_ppn[vtpn];
+    // Entries newer than the surviving flash copy of this translation page
+    // were recovered from data OOB alone — the lost window batch-update
+    // writeback risks (§4.4). Re-persist such pages immediately.
+    uint64_t stale = 0;
+    const uint64_t first = vtpn * entries_per_page_;
+    const uint64_t last = std::min(first + entries_per_page_, persisted_.size());
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      stale += scan.data_seq[lpn] > scan.trans_seq[vtpn] ? 1 : 0;
+    }
+    report->unpersisted_window += stale;
+    if (survivor != kInvalidPtpn && stale == 0) {
+      gtd_.Update(vtpn, survivor);
+      continue;
+    }
+    // No RMW read: the OOB scan already paid for reading every page.
+    Ptpn new_ptpn = kInvalidPtpn;
+    report->rebuild_time_us += bm_->Program(BlockPool::kTranslation, vtpn, &new_ptpn);
+    if (survivor != kInvalidPtpn) {
+      bm_->Invalidate(survivor);
+    }
+    gtd_.Update(vtpn, new_ptpn);
+    ++report->translation_rewrites;
+  }
 }
 
 MicroSec TranslationStore::ReadTranslationPage(Vtpn vtpn) {

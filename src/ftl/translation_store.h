@@ -29,6 +29,7 @@
 #include "src/flash/types.h"
 #include "src/ftl/block_manager.h"
 #include "src/ftl/gtd.h"
+#include "src/ftl/recovery.h"
 
 namespace tpftl {
 
@@ -48,6 +49,15 @@ class TranslationStore {
   // Writes the initial (all-invalid) translation pages to flash and fills
   // the GTD. Must be called exactly once before any other operation.
   void Format();
+
+  // Rebuilds the GTD and the persisted table from an OOB scan of the
+  // surviving flash state (instead of Format, after a power cut; the block
+  // manager must have recovered first). The reconstructed truth is the
+  // per-LPN winner from the data-page scan; translation pages whose flash
+  // copy lags it — or whose only copy was torn — are re-persisted on the
+  // spot, so recovery cost scales with the lost window and the store comes
+  // back fully durable. Fills `report` (window size, rewrites, flash time).
+  void RecoverFromScan(const OobScanResult& scan, RecoveryReport* report);
 
   // Simulates reading vtpn's translation page (one flash page read). After
   // this, Persisted() values for that page may be consulted.

@@ -10,32 +10,9 @@
 namespace tpftl {
 namespace {
 
-std::string_view FirstNonEmptyLine(std::string_view text) {
-  size_t start = 0;
-  while (start <= text.size()) {
-    size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) {
-      end = text.size();
-    }
-    const std::string_view line = Trim(text.substr(start, end - start));
-    if (!line.empty() && line[0] != '#') {
-      return line;
-    }
-    if (end == text.size()) {
-      break;
-    }
-    start = end + 1;
-  }
-  return {};
-}
-
-}  // namespace
-
-TraceFormat DetectFormat(std::string_view text) {
-  const std::string_view line = FirstNonEmptyLine(text);
-  if (line.empty()) {
-    return TraceFormat::kUnknown;
-  }
+// Classifies one record in isolation; kUnknown when the line fits neither
+// format (headers, truncated tails, garbage).
+TraceFormat ClassifyLine(std::string_view line) {
   const std::vector<std::string_view> fields = Split(line, ',');
   if (fields.size() >= 6) {
     const std::string_view type = Trim(fields[3]);
@@ -47,6 +24,31 @@ TraceFormat DetectFormat(std::string_view text) {
     const std::string_view op = Trim(fields[3]);
     if (op.size() == 1 && (op[0] == 'R' || op[0] == 'r' || op[0] == 'W' || op[0] == 'w')) {
       return TraceFormat::kSpc;
+    }
+  }
+  return TraceFormat::kUnknown;
+}
+
+}  // namespace
+
+TraceFormat DetectFormat(std::string_view text) {
+  // Real traces start with header rows, units lines, or a truncated export
+  // artifact often enough that judging only the first data-looking line
+  // mis-detects; classify up to the first few candidates and let the first
+  // conclusive one decide.
+  constexpr int kMaxCandidates = 8;
+  int candidates = 0;
+  LineCursor lines(text);
+  std::string_view line;
+  while (candidates < kMaxCandidates && lines.Next(&line)) {
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    ++candidates;
+    const TraceFormat format = ClassifyLine(line);
+    if (format != TraceFormat::kUnknown) {
+      return format;
     }
   }
   return TraceFormat::kUnknown;

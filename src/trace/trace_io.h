@@ -13,9 +13,9 @@ namespace tpftl {
 
 enum class TraceFormat { kSpc, kMsr, kUnknown };
 
-// Guesses the format from the first non-empty line: MSR lines start with a
-// huge filetime timestamp and carry "Read"/"Write" in field 4; SPC lines have
-// a small ASU in field 1 and a one-letter opcode in field 4.
+// Guesses the format from the first few non-empty lines (header rows and
+// truncated leading records are skipped): MSR lines carry "Read"/"Write" in
+// field 4; SPC lines have a one-letter opcode in field 4.
 TraceFormat DetectFormat(std::string_view text);
 
 struct LoadResult {

@@ -1,0 +1,107 @@
+// Degenerate mapping-cache budgets (PR 2 left these CHECK-failing): a TPFTL
+// whose entry budget cannot hold even one TP node + entry must degrade to an
+// uncached write-through FTL instead of dying — every Translate pays the
+// flash read, every CommitMapping rewrites the translation page immediately
+// — and stay exactly consistent with a shadow map throughout.
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/core/tpftl.h"
+#include "src/util/rng.h"
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+// Drives random reads/writes/trims against a shadow map, verifying Probe()
+// after every operation. Exercises GC (write churn over a small device).
+void DriveAndVerify(Tpftl& ftl, uint64_t logical_pages, uint64_t ops, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_map<Lpn, bool> written;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const Lpn lpn = rng.Below(logical_pages);
+    const uint64_t dice = rng.Below(100);
+    if (dice < 60) {
+      ftl.WritePage(lpn);
+      written[lpn] = true;
+    } else if (dice < 90) {
+      ftl.ReadPage(lpn);
+    } else {
+      ftl.TrimPage(lpn);
+      written[lpn] = false;
+    }
+    const auto it = written.find(lpn);
+    const bool mapped = it != written.end() && it->second;
+    ASSERT_EQ(ftl.Probe(lpn) != kInvalidPpn, mapped) << "lpn " << lpn << " after op " << i;
+  }
+  for (const auto& [lpn, mapped] : written) {
+    ASSERT_EQ(ftl.Probe(lpn) != kInvalidPpn, mapped) << "lpn " << lpn;
+  }
+}
+
+// Entry budget = cache_bytes - GTD bytes. MakeWorld's 1024 logical pages and
+// 128-entry translation pages give an 8-page GTD = 32 bytes.
+uint64_t CacheBytesForEntryBudget(const World& w, uint64_t entry_budget) {
+  const uint64_t translation_pages =
+      (w.env.logical_pages + w.geometry.entries_per_translation_page() - 1) /
+      w.geometry.entries_per_translation_page();
+  return translation_pages * 4 + entry_budget;
+}
+
+TEST(DegenerateBudgetTest, ZeroEntryBudgetRunsUncached) {
+  World w = MakeWorld();
+  w.env.cache_bytes = CacheBytesForEntryBudget(w, 0);
+  Tpftl ftl(w.env);
+  DriveAndVerify(ftl, w.env.logical_pages, 4000, 11);
+  // Nothing was ever cached: every lookup after the first op missed, and
+  // every write rewrote its translation page.
+  EXPECT_EQ(ftl.cache_entry_count(), 0u);
+  EXPECT_EQ(ftl.cache_bytes_used(), 0u);
+  EXPECT_EQ(ftl.stats().hits, 0u);
+  EXPECT_GT(ftl.stats().trans_writes_at, 0u);
+}
+
+TEST(DegenerateBudgetTest, OneByteBudgetRunsUncached) {
+  World w = MakeWorld();
+  w.env.cache_bytes = CacheBytesForEntryBudget(w, 1);
+  Tpftl ftl(w.env);
+  DriveAndVerify(ftl, w.env.logical_pages, 2500, 12);
+  EXPECT_EQ(ftl.cache_entry_count(), 0u);
+  EXPECT_EQ(ftl.stats().hits, 0u);
+}
+
+TEST(DegenerateBudgetTest, ExactlyOneNodeBudgetCachesOneEntry) {
+  World w = MakeWorld();
+  TpftlOptions options;
+  const uint64_t one_node = options.node_overhead_bytes + options.entry_bytes;
+  w.env.cache_bytes = CacheBytesForEntryBudget(w, one_node);
+  Tpftl ftl(w.env);
+  DriveAndVerify(ftl, w.env.logical_pages, 2500, 13);
+  // The single slot is used and never exceeded.
+  EXPECT_LE(ftl.cache_entry_count(), 1u);
+  EXPECT_LE(ftl.cache_bytes_used(), one_node);
+  // Back-to-back ops on one LPN hit the single cached entry.
+  ftl.WritePage(7);
+  const uint64_t hits_before = ftl.stats().hits;
+  ftl.ReadPage(7);
+  EXPECT_EQ(ftl.stats().hits, hits_before + 1);
+  EXPECT_EQ(ftl.cache_entry_count(), 1u);
+}
+
+TEST(DegenerateBudgetTest, JustBelowOneNodeRunsUncached) {
+  World w = MakeWorld();
+  TpftlOptions options;
+  w.env.cache_bytes =
+      CacheBytesForEntryBudget(w, options.node_overhead_bytes + options.entry_bytes - 1);
+  Tpftl ftl(w.env);
+  DriveAndVerify(ftl, w.env.logical_pages, 1500, 14);
+  EXPECT_EQ(ftl.cache_entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace tpftl

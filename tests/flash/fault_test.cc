@@ -1,0 +1,172 @@
+// NAND fault injection and power-cut snapshot/restore (flash/fault.h).
+
+#include <gtest/gtest.h>
+
+#include "src/flash/fault.h"
+#include "src/flash/nand.h"
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::SmallGeometry;
+
+TEST(FaultTest, ProgramFailureConsumesThePageWithTornOob) {
+  NandFlash flash(SmallGeometry(8));
+  FaultPlan plan;
+  plan.fail_program_at = {2};
+  flash.InstallFaultPlan(plan);
+
+  Ppn p1 = kInvalidPpn;
+  flash.ProgramPage(0, /*oob_tag=*/11, &p1);
+  ASSERT_NE(p1, kInvalidPpn);
+  EXPECT_GT(flash.OobSeq(p1), 0u);
+  EXPECT_EQ(flash.OobKindOf(p1), OobKind::kData);
+
+  // Op 2 fails: the page is consumed as unreadable, no PPN handed out.
+  Ppn p2 = kInvalidPpn;
+  const MicroSec t = flash.ProgramPage(0, /*oob_tag=*/22, &p2);
+  EXPECT_EQ(p2, kInvalidPpn);
+  EXPECT_GT(t, 0.0);  // Failed programs still cost device time.
+  const Ppn burned = flash.geometry().PpnOf(0, 1);
+  EXPECT_EQ(flash.StateOf(burned), PageState::kInvalid);
+  EXPECT_EQ(flash.OobSeq(burned), 0u);
+  EXPECT_EQ(flash.OobKindOf(burned), OobKind::kNone);
+  EXPECT_EQ(flash.stats().program_failures, 1u);
+
+  // The retry (op 3) lands on the next page.
+  Ppn p3 = kInvalidPpn;
+  flash.ProgramPage(0, /*oob_tag=*/22, &p3);
+  EXPECT_EQ(p3, flash.geometry().PpnOf(0, 2));
+  EXPECT_EQ(flash.OobTag(p3), 22u);
+}
+
+TEST(FaultTest, ProbabilisticFailuresAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    NandFlash flash(SmallGeometry(8));
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.program_fail_prob = 0.3;
+    flash.InstallFaultPlan(plan);
+    std::vector<bool> failed;
+    for (int i = 0; i < 32; ++i) {
+      Ppn ppn = kInvalidPpn;
+      flash.ProgramPage(i / 16, static_cast<uint64_t>(i), &ppn);
+      failed.push_back(ppn == kInvalidPpn);
+    }
+    return failed;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // Different seed, different pattern.
+}
+
+TEST(FaultTest, EraseFailureMarksTheBlockBadAndKeepsContents) {
+  NandFlash flash(SmallGeometry(8));
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 5, &ppn);
+  flash.InvalidatePage(ppn);
+
+  FaultPlan plan;
+  plan.fail_erase_at = {flash.op_index() + 1};
+  flash.InstallFaultPlan(plan);
+  flash.EraseBlock(0);
+  EXPECT_TRUE(flash.IsBad(0));
+  EXPECT_EQ(flash.StateOf(ppn), PageState::kInvalid);  // Contents intact.
+  EXPECT_EQ(flash.stats().erase_failures, 1u);
+  EXPECT_EQ(flash.stats().block_erases, 0u);
+}
+
+TEST(FaultTest, FactoryBadBlocksAreMarkedAtInstall) {
+  NandFlash flash(SmallGeometry(8));
+  FaultPlan plan;
+  plan.bad_blocks = {3, 5};
+  flash.InstallFaultPlan(plan);
+  EXPECT_TRUE(flash.IsBad(3));
+  EXPECT_TRUE(flash.IsBad(5));
+  EXPECT_FALSE(flash.IsBad(0));
+}
+
+TEST(FaultTest, FailIndicesForTheWrongOpKindNeverFire) {
+  NandFlash flash(SmallGeometry(8));
+  FaultPlan plan;
+  plan.fail_erase_at = {1};  // Op 1 will be a program; must not fail it.
+  flash.InstallFaultPlan(plan);
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);
+  EXPECT_NE(ppn, kInvalidPpn);
+  EXPECT_EQ(flash.stats().program_failures, 0u);
+  EXPECT_EQ(flash.stats().erase_failures, 0u);
+}
+
+TEST(FaultTest, PowerCutRestoreRollsBackToTheCutInstant) {
+  NandFlash flash(SmallGeometry(8));
+  FaultPlan plan;
+  plan.power_cut_at_op = 3;
+  flash.InstallFaultPlan(plan);
+
+  Ppn p1 = kInvalidPpn, p2 = kInvalidPpn, p3 = kInvalidPpn, p4 = kInvalidPpn;
+  flash.ProgramPage(0, 1, &p1);
+  flash.ProgramPage(0, 2, &p2);
+  EXPECT_FALSE(flash.power_cut_triggered());
+  flash.ProgramPage(0, 3, &p3);  // The cut op: this program is torn.
+  EXPECT_TRUE(flash.power_cut_triggered());
+  // Simulation continues normally past the cut; everything is discarded.
+  flash.ProgramPage(0, 4, &p4);
+  flash.InvalidatePage(p1);
+  const uint64_t writes_before_restore = flash.stats().page_writes;
+  ASSERT_EQ(writes_before_restore, 4u);
+
+  flash.RestoreToCutInstant();
+  EXPECT_FALSE(flash.power_cut_triggered());
+  // Pre-cut state survives, including OOB.
+  EXPECT_EQ(flash.StateOf(p1), PageState::kValid);
+  EXPECT_EQ(flash.OobTag(p2), 2u);
+  // The cut program is torn: consumed, unreadable.
+  EXPECT_EQ(flash.StateOf(p3), PageState::kInvalid);
+  EXPECT_EQ(flash.OobSeq(p3), 0u);
+  EXPECT_EQ(flash.OobKindOf(p3), OobKind::kNone);
+  // The post-cut program is undone.
+  EXPECT_EQ(flash.StateOf(p4), PageState::kFree);
+  EXPECT_EQ(flash.stats().page_writes, 2u);
+
+  // Power is back: the plan is gone, new programs succeed and sequence
+  // numbers continue past the pre-cut ones.
+  Ppn p5 = kInvalidPpn;
+  flash.ProgramPage(0, 5, &p5);
+  ASSERT_NE(p5, kInvalidPpn);
+  EXPECT_GT(flash.OobSeq(p5), flash.OobSeq(p2));
+}
+
+TEST(FaultTest, PowerCutOnAnEraseDiscardsTheErase) {
+  NandFlash flash(SmallGeometry(8));
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 9, &ppn);
+  flash.InvalidatePage(ppn);
+
+  FaultPlan plan;
+  plan.power_cut_at_op = flash.op_index() + 1;
+  flash.InstallFaultPlan(plan);
+  flash.EraseBlock(0);
+  ASSERT_TRUE(flash.power_cut_triggered());
+  flash.RestoreToCutInstant();
+  // The interrupted erase never happened: contents and erase count intact.
+  EXPECT_EQ(flash.StateOf(ppn), PageState::kInvalid);
+  EXPECT_EQ(flash.block(0).erase_count(), 0u);
+}
+
+TEST(FaultTest, OobSequenceNumbersAreDeviceWideMonotonic) {
+  NandFlash flash(SmallGeometry(8));
+  uint64_t last_seq = 0;
+  for (int i = 0; i < 24; ++i) {
+    Ppn ppn = kInvalidPpn;
+    flash.ProgramPage(static_cast<BlockId>(i % 3), static_cast<uint64_t>(i), &ppn,
+                      i % 2 == 0 ? OobKind::kData : OobKind::kTranslation);
+    ASSERT_NE(ppn, kInvalidPpn);
+    EXPECT_GT(flash.OobSeq(ppn), last_seq);
+    last_seq = flash.OobSeq(ppn);
+    EXPECT_EQ(flash.OobKindOf(ppn), i % 2 == 0 ? OobKind::kData : OobKind::kTranslation);
+  }
+}
+
+}  // namespace
+}  // namespace tpftl

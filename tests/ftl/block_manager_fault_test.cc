@@ -1,0 +1,112 @@
+// BlockManager under injected NAND faults (flash/fault.h): randomized
+// program/invalidate/GC churn with probabilistic program and erase failures
+// must keep every structural invariant intact — bucket membership and age
+// order, erase histogram, pool counters, and per-block page-state counters
+// (BlockManager::CheckInvariants). Failed programs must be absorbed by the
+// retry loop; failed erases must retire blocks without corrupting the pools.
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/flash/fault.h"
+#include "src/ftl/block_manager.h"
+#include "src/util/rng.h"
+#include "tests/testing/test_world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::SmallGeometry;
+
+class BlockManagerFaultTest : public ::testing::TestWithParam<GcPolicy> {};
+
+// A miniature FTL loop over the manager: overwrite random tags, collect when
+// the free level demands it, and cross-check the structures continuously.
+TEST_P(BlockManagerFaultTest, InvariantsSurviveRandomFaultChurn) {
+  NandFlash flash(SmallGeometry(96));
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.program_fail_prob = 0.05;
+  plan.erase_fail_prob = 0.02;
+  plan.bad_blocks = {7, 40};
+  flash.InstallFaultPlan(plan);
+
+  BlockManager bm(&flash, /*gc_threshold=*/6, GetParam());
+  ASSERT_TRUE(bm.CheckInvariants());
+  EXPECT_EQ(bm.bad_block_count(), 2u);
+
+  Rng rng(4321);
+  constexpr uint64_t kTags = 600;
+  std::unordered_map<uint64_t, Ppn> live;  // tag → current valid copy.
+
+  auto collect_one = [&] {
+    const BlockId victim = bm.PickVictim();
+    ASSERT_NE(victim, kInvalidBlock);
+    const FlashGeometry& g = flash.geometry();
+    const BlockPool pool = bm.PoolOf(victim);
+    for (uint64_t off = 0; off < g.pages_per_block; ++off) {
+      const Ppn ppn = g.PpnOf(victim, off);
+      if (flash.StateOf(ppn) != PageState::kValid) {
+        continue;
+      }
+      const uint64_t tag = flash.OobTag(ppn);
+      flash.ReadPage(ppn);
+      Ppn new_ppn = kInvalidPpn;
+      bm.Program(pool, tag, &new_ppn);
+      ASSERT_NE(new_ppn, kInvalidPpn);
+      bm.Invalidate(ppn);
+      live[tag] = new_ppn;
+    }
+    bm.EraseAndFree(victim);
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t tag = rng.Below(kTags);
+    const BlockPool pool = rng.Chance(0.15) ? BlockPool::kTranslation : BlockPool::kData;
+    Ppn ppn = kInvalidPpn;
+    // The retry loop must always land the program despite injected failures.
+    bm.Program(pool, tag, &ppn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    if (const auto it = live.find(tag); it != live.end()) {
+      bm.Invalidate(it->second);
+    }
+    live[tag] = ppn;
+    while (bm.NeedsGc()) {
+      collect_one();
+    }
+    if (step % 101 == 0) {
+      ASSERT_TRUE(bm.CheckInvariants());
+    }
+  }
+  ASSERT_TRUE(bm.CheckInvariants());
+
+  // Every live tag still resolves to a valid page carrying it.
+  for (const auto& [tag, ppn] : live) {
+    ASSERT_EQ(flash.StateOf(ppn), PageState::kValid);
+    ASSERT_EQ(flash.OobTag(ppn), tag);
+  }
+  // Failures actually fired (otherwise this test exercises nothing) and
+  // failed erases were turned into retired blocks.
+  EXPECT_GT(flash.stats().program_failures, 0u);
+  EXPECT_GE(bm.bad_block_count(), 2u + flash.stats().erase_failures);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, BlockManagerFaultTest,
+                         ::testing::Values(GcPolicy::kGreedy, GcPolicy::kCostBenefit,
+                                           GcPolicy::kWearAware),
+                         [](const ::testing::TestParamInfo<GcPolicy>& info) {
+                           switch (info.param) {
+                             case GcPolicy::kGreedy:
+                               return "Greedy";
+                             case GcPolicy::kCostBenefit:
+                               return "CostBenefit";
+                             case GcPolicy::kWearAware:
+                               return "WearAware";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace tpftl
