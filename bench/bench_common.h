@@ -61,6 +61,31 @@ inline std::vector<FtlKind> PaperFtls() {
   return {FtlKind::kDftl, FtlKind::kTpftl, FtlKind::kSftl, FtlKind::kOptimal, FtlKind::kCdftl};
 }
 
+// Every implemented FTL, in factory-enum order.
+inline std::vector<FtlKind> AllFtls() {
+  return {FtlKind::kOptimal, FtlKind::kDftl,     FtlKind::kCdftl, FtlKind::kSftl,
+          FtlKind::kTpftl,   FtlKind::kBlockFtl, FtlKind::kFast,  FtlKind::kZftl};
+}
+
+// The GC-heavy end-to-end mix shared by bench_e2e_replay and
+// bench_ext_latency_breakdown: Zipf-skewed, write-dominated traffic with
+// interleaved sequential scans over a small logical space, so steady-state GC
+// is a large share of simulated flash time.
+inline WorkloadConfig GcHeavyMix(uint64_t requests) {
+  WorkloadConfig w;
+  w.name = "e2e_gc_heavy";
+  w.address_space_bytes = 64ULL << 20;  // Small space → frequent GC.
+  w.num_requests = requests;
+  w.seed = 11;
+  w.write_ratio = 0.8;
+  w.zipf_theta = 1.2;
+  w.seq_read_fraction = 0.3;  // Interleaved sequential scans.
+  w.seq_write_fraction = 0.2;
+  w.chunk_pages = 32;
+  w.mean_interarrival_us = 50.0;
+  return w;
+}
+
 inline RunReport RunOne(const WorkloadConfig& workload, FtlKind kind,
                         const TpftlOptions& tpftl_options = {}, uint64_t cache_bytes = 0,
                         const RunObserver& observer = nullptr) {

@@ -70,33 +70,13 @@ double GcTimeShare(const RunReport& r) {
   return r.flash.busy_time_us > 0.0 ? gc_us / r.flash.busy_time_us : 0.0;
 }
 
-WorkloadConfig GcHeavyMix(uint64_t requests) {
-  WorkloadConfig w;
-  w.name = "e2e_gc_heavy";
-  w.address_space_bytes = 64ULL << 20;  // Small space → frequent GC.
-  w.num_requests = requests;
-  w.seed = 11;
-  w.write_ratio = 0.8;
-  w.zipf_theta = 1.2;
-  w.seq_read_fraction = 0.3;  // Interleaved sequential scans.
-  w.seq_write_fraction = 0.2;
-  w.chunk_pages = 32;
-  w.mean_interarrival_us = 50.0;
-  return w;
-}
-
-std::vector<FtlKind> AllFtls() {
-  return {FtlKind::kOptimal, FtlKind::kDftl,     FtlKind::kCdftl, FtlKind::kSftl,
-          FtlKind::kTpftl,   FtlKind::kBlockFtl, FtlKind::kFast,  FtlKind::kZftl};
-}
-
 std::vector<FtlKind> ParseFtlList(const std::string& list) {
   std::vector<FtlKind> out;
   FieldCursor cursor(list, ',');
   std::string_view name;
   while (cursor.Next(&name)) {
     bool found = false;
-    for (const FtlKind kind : AllFtls()) {
+    for (const FtlKind kind : bench::AllFtls()) {
       if (EqualsIgnoreCase(Trim(name), FtlKindName(kind))) {
         out.push_back(kind);
         found = true;
@@ -140,6 +120,8 @@ void WriteJson(const std::vector<E2eResult>& results, const std::string& label,
        << ", \"requests_per_sec\": " << FormatDouble(r.requests_per_sec(), 0)
        << ", \"ns_per_request\": " << FormatDouble(r.ns_per_request(), 0)
        << ", \"gc_time_share\": " << FormatDouble(r.gc_time_share, 4)
+       << ",\n       \"p99_us\": " << FormatDouble(r.report.p99_response_us, 2)
+       << ", \"p99_log2_ub_us\": " << FormatDouble(r.report.p99_log2_ub_us, 0)
        << ",\n       \"hit_ratio\": " << FormatDouble(r.report.hit_ratio, 6)
        << ", \"prd\": " << FormatDouble(r.report.prd, 6)
        << ", \"write_amplification\": " << FormatDouble(r.report.write_amplification, 6)
@@ -155,7 +137,7 @@ int Main(int argc, char** argv) {
   std::string json_path = "BENCH_e2e.json";
   std::string label = "head";
   std::string trace_path;
-  std::vector<FtlKind> kinds = AllFtls();
+  std::vector<FtlKind> kinds = bench::AllFtls();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
@@ -175,7 +157,7 @@ int Main(int argc, char** argv) {
   }
 
   ExperimentConfig config;
-  config.workload = GcHeavyMix(bench::RequestsFromEnv(200000));
+  config.workload = bench::GcHeavyMix(bench::RequestsFromEnv(200000));
   config.warmup_fraction = 0.0;  // Wall time covers the whole replay.
 
   VectorTrace trace;
@@ -196,14 +178,19 @@ int Main(int argc, char** argv) {
   std::vector<E2eResult> results;
   Table table("End-to-end replay throughput (" + config.workload.name + ")");
   table.SetColumns({"FTL", "requests", "wall s", "req/s", "ns/req", "GC share", "Hr", "WA",
-                    "erases"});
+                    "erases", "p99 us", "old p99 ub"});
   for (const FtlKind kind : kinds) {
     E2eResult r = ReplayOne(config, trace, kind);
+    // "old p99 ub" is what the retired log2-bucketed histogram would have
+    // reported as p99 (its bucket upper bound) — kept to surface how much the
+    // old quantiles overstated the tail.
     table.AddRow({r.ftl, std::to_string(r.requests), FormatDouble(r.wall_seconds, 2),
                   FormatDouble(r.requests_per_sec(), 0), FormatDouble(r.ns_per_request(), 0),
                   FormatDouble(r.gc_time_share, 3), FormatDouble(r.report.hit_ratio, 3),
                   FormatDouble(r.report.write_amplification, 3),
-                  std::to_string(r.report.block_erases)});
+                  std::to_string(r.report.block_erases),
+                  FormatDouble(r.report.p99_response_us, 1),
+                  FormatDouble(r.report.p99_log2_ub_us, 0)});
     results.push_back(std::move(r));
   }
   bench::Emit(table);

@@ -1,0 +1,226 @@
+// Extension — phase-level latency breakdown across every FTL.
+//
+// Not a paper figure, but a direct instrument for the paper's response-time
+// model (§4.3): for each FTL replaying the shared GC-heavy end-to-end mix,
+// split mean response time into its exclusive phases —
+//
+//   queue        FIFO wait for the device,
+//   translation  mapping lookups, commits, dirty write-backs,
+//   user         host data page reads/programs,
+//   gc           foreground victim migration + erases,
+//   flush        write-buffer evictions driving FTL writes (when enabled)
+//
+// — plus accurate p50/p99/p99.9 from the sub-bucketed response histogram.
+// The breakdown is trustworthy by construction: the harness checks that
+// queue + phase flash time reconstructs total measured response time within
+// 0.1% and fails loudly otherwise.
+//
+// Usage:
+//   bench_ext_latency_breakdown [--json=F] [--label=L] [--ftls=a,b,...]
+//                               [--chrome-trace=F]
+//     --json=F          output path (default BENCH_latency.json).
+//     --label=L         run label recorded in the JSON (default "head").
+//     --ftls=...        comma-separated FtlKind names (default: all).
+//     --chrome-trace=F  also export span timelines of the first 64 measured
+//                       TPFTL requests as Chrome trace-event JSON (open in
+//                       chrome://tracing or ui.perfetto.dev).
+// Knobs:
+//   TPFTL_BENCH_REQUESTS — request count (default 200000).
+//   TPFTL_BENCH_THREADS  — sweep workers (default: hardware concurrency).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/ftl_factory.h"
+#include "src/obs/trace_event.h"
+#include "src/ssd/runner.h"
+#include "src/util/str.h"
+
+namespace tpftl {
+namespace {
+
+constexpr uint64_t kChromeTraceRequests = 64;
+
+struct BreakdownRow {
+  std::string ftl;
+  RunReport report;
+
+  double mean_us(double total) const {
+    return report.requests > 0 ? total / static_cast<double>(report.requests) : 0.0;
+  }
+  double queue_mean_us() const { return mean_us(report.queue_us_total); }
+  double phase_mean_us(obs::Phase phase) const {
+    return mean_us(report.phases.PhaseUs(phase));
+  }
+  // queue + service over measured response total; 1.0 when attribution is
+  // complete (the 0.1% acceptance bound).
+  double sum_check_ratio() const {
+    return report.response_total_us > 0.0
+               ? (report.queue_us_total + report.phases.ServiceUs()) / report.response_total_us
+               : 1.0;
+  }
+};
+
+std::vector<FtlKind> ParseFtlList(const std::string& list) {
+  std::vector<FtlKind> out;
+  FieldCursor cursor(list, ',');
+  std::string_view name;
+  while (cursor.Next(&name)) {
+    bool found = false;
+    for (const FtlKind kind : bench::AllFtls()) {
+      if (EqualsIgnoreCase(Trim(name), FtlKindName(kind))) {
+        out.push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::cerr << "error: unknown FTL kind '" << std::string(name) << "'" << std::endl;
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+void WriteJson(const std::vector<BreakdownRow>& rows, const std::string& label,
+               const std::string& workload, std::ostream& os) {
+  os << "{\n  \"schema\": \"tpftl.bench_latency.v1\",\n  \"runs\": [\n";
+  os << "    {\"label\": \"" << label << "\", \"workload\": \"" << workload
+     << "\", \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BreakdownRow& r = rows[i];
+    os << "      {\"ftl\": \"" << r.ftl << "\", \"requests\": " << r.report.requests
+       << ", \"mean_response_us\": " << FormatDouble(r.report.mean_response_us, 3)
+       << ", \"p50_us\": " << FormatDouble(r.report.p50_response_us, 3)
+       << ", \"p90_us\": " << FormatDouble(r.report.p90_response_us, 3)
+       << ", \"p99_us\": " << FormatDouble(r.report.p99_response_us, 3)
+       << ", \"p999_us\": " << FormatDouble(r.report.p999_response_us, 3)
+       << ", \"max_us\": " << FormatDouble(r.report.max_response_us, 3)
+       << ",\n       \"queue_us\": " << FormatDouble(r.queue_mean_us(), 3)
+       << ", \"translation_us\": " << FormatDouble(r.phase_mean_us(obs::Phase::kTranslation), 3)
+       << ", \"user_us\": " << FormatDouble(r.phase_mean_us(obs::Phase::kUser), 3)
+       << ", \"gc_us\": " << FormatDouble(r.phase_mean_us(obs::Phase::kGc), 3)
+       << ", \"flush_us\": " << FormatDouble(r.phase_mean_us(obs::Phase::kFlush), 3)
+       << ",\n       \"gc_victim_scans\": " << r.report.phases.gc_victim_scans
+       << ", \"sum_check_ratio\": " << FormatDouble(r.sum_check_ratio(), 6) << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "    ]}\n  ]\n}\n";
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_latency.json";
+  std::string label = "head";
+  std::string chrome_trace_path;
+  std::vector<FtlKind> kinds = bench::AllFtls();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(8);
+    } else if (arg.rfind("--ftls=", 0) == 0) {
+      kinds = ParseFtlList(arg.substr(7));
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      chrome_trace_path = arg.substr(15);
+    } else {
+      std::cerr << "usage: bench_ext_latency_breakdown [--json=F] [--label=L] "
+                   "[--ftls=a,b,...] [--chrome-trace=F]"
+                << std::endl;
+      return 1;
+    }
+  }
+
+  const uint64_t requests = bench::RequestsFromEnv(200000);
+  const WorkloadConfig workload = bench::GcHeavyMix(requests);
+
+  std::vector<ExperimentConfig> configs;
+  for (const FtlKind kind : kinds) {
+    ExperimentConfig config = bench::MakeConfig(workload, kind);
+    config.trace_phases = true;
+    config.write_buffer.capacity_pages = 64;  // Exercise the flush phase.
+    configs.push_back(config);
+  }
+  const std::vector<RunReport> reports = bench::RunAll(configs);
+
+  std::vector<BreakdownRow> rows;
+  Table table("Latency breakdown — mean response by phase, us/request (" + workload.name + ")");
+  table.SetColumns({"FTL", "mean", "queue", "transl", "user", "gc", "flush", "p50", "p99",
+                    "p99.9", "max", "sum ok"});
+  bool sums_ok = true;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    BreakdownRow row;
+    row.ftl = FtlKindName(kinds[i]);
+    row.report = reports[i];
+    const double ratio = row.sum_check_ratio();
+    const bool ok = ratio > 0.999 && ratio < 1.001;
+    sums_ok = sums_ok && ok;
+    if (!ok) {
+      table.AddWarning(row.ftl + ": phase sum reconstructs only " +
+                       FormatDouble(100.0 * ratio, 3) +
+                       "% of measured response time — attribution is leaking");
+    }
+    table.AddRow({row.ftl, FormatDouble(row.report.mean_response_us, 1),
+                  FormatDouble(row.queue_mean_us(), 1),
+                  FormatDouble(row.phase_mean_us(obs::Phase::kTranslation), 1),
+                  FormatDouble(row.phase_mean_us(obs::Phase::kUser), 1),
+                  FormatDouble(row.phase_mean_us(obs::Phase::kGc), 1),
+                  FormatDouble(row.phase_mean_us(obs::Phase::kFlush), 1),
+                  FormatDouble(row.report.p50_response_us, 1),
+                  FormatDouble(row.report.p99_response_us, 1),
+                  FormatDouble(row.report.p999_response_us, 1),
+                  FormatDouble(row.report.max_response_us, 1), ok ? "yes" : "NO"});
+    rows.push_back(std::move(row));
+  }
+  bench::Emit(table);
+
+  if (!chrome_trace_path.empty()) {
+    // Span capture needs access to the live SSD: rerun TPFTL serially with
+    // the trace log enabled and export on the final measured request.
+    ExperimentConfig config = bench::MakeConfig(workload, FtlKind::kTpftl);
+    config.trace_phases = true;
+    config.write_buffer.capacity_pages = 64;
+    config.trace_span_requests = kChromeTraceRequests;
+    bool wrote = false;
+    // Mirrors the runner's warm-up arithmetic: measured requests are
+    // 1..last_index in observer terms.
+    const uint64_t last_index =
+        requests -
+        static_cast<uint64_t>(static_cast<double>(requests) * config.warmup_fraction);
+    RunExperiment(config, [&](const Ssd& ssd, uint64_t index) {
+      // Export once the log is full (or on the final request of a short run).
+      if (wrote || (ssd.trace_log().WantsMore() && index != last_index)) {
+        return;
+      }
+      std::ofstream out(chrome_trace_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << chrome_trace_path << std::endl;
+        return;
+      }
+      obs::WriteChromeTrace(out, ssd.trace_log(), "TPFTL " + workload.name);
+      wrote = true;
+    });
+    if (wrote) {
+      std::cerr << "wrote " << chrome_trace_path << " (" << kChromeTraceRequests
+                << " request timelines)" << std::endl;
+    }
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << std::endl;
+    return 1;
+  }
+  WriteJson(rows, label, workload.name, out);
+  std::cerr << "wrote " << json_path << std::endl;
+  return sums_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tpftl
+
+int main(int argc, char** argv) { return tpftl::Main(argc, argv); }

@@ -86,6 +86,12 @@ int main() {
     }
     cells.push_back(FormatDouble(r.dirty_per_page.mean(), 1));
     fig1b.AddRow(std::move(cells));
+    if (r.dirty_cdf.overflow() > 0) {
+      fig1b.AddWarning(r.name + ": " + std::to_string(r.dirty_cdf.overflow()) +
+                       " samples exceeded the " +
+                       std::to_string(r.dirty_cdf.max_value()) +
+                       "-entry histogram cap — the CDF tail is understated");
+    }
   }
   Emit(fig1b);
   return 0;

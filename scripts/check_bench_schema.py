@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Schema validation for the tracked/emitted BENCH_*.json artifacts.
+
+Stdlib-only. Each bench binary stamps its output with a "schema" identifier;
+this script checks the document's shape against the expected field layout so
+CI catches a bench that silently changed (or broke) its JSON before the
+comparison tooling reads stale garbage.
+
+Usage:
+    check_bench_schema.py FILE [FILE ...]
+    check_bench_schema.py --glob DIR   # validate every BENCH_*.json in DIR
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import glob
+import json
+import numbers
+import os
+import sys
+
+
+def _require(cond, path, message):
+    if not cond:
+        raise ValueError(f"{path}: {message}")
+
+
+def _check_fields(obj, fields, path, optional=None):
+    """fields: name -> type; every field must be present and typed.
+
+    optional: name -> type; type-checked only when present (fields added to a
+    schema after runs were already recorded).
+    """
+    _require(isinstance(obj, dict), path, f"expected object, got {type(obj).__name__}")
+    for name, kind in fields.items():
+        _require(name in obj, path, f"missing field '{name}'")
+        _require(
+            isinstance(obj[name], kind) and not isinstance(obj[name], bool),
+            path,
+            f"field '{name}' has type {type(obj[name]).__name__}",
+        )
+    for name, kind in (optional or {}).items():
+        if name in obj:
+            _require(
+                isinstance(obj[name], kind) and not isinstance(obj[name], bool),
+                path,
+                f"field '{name}' has type {type(obj[name]).__name__}",
+            )
+
+
+_NUM = numbers.Real
+_STR = str
+_INT = numbers.Integral
+
+
+def _check_cache(doc, path):
+    _require(isinstance(doc.get("results"), list) and doc["results"], path, "empty 'results'")
+    for i, row in enumerate(doc["results"]):
+        _check_fields(
+            row,
+            {"name": _STR, "ops": _INT, "seconds": _NUM, "ops_per_sec": _NUM},
+            f"{path}.results[{i}]",
+        )
+
+
+def _check_labeled_runs(doc, path, result_fields, optional_fields=None):
+    _require(isinstance(doc.get("runs"), list) and doc["runs"], path, "empty 'runs'")
+    for i, run in enumerate(doc["runs"]):
+        rpath = f"{path}.runs[{i}]"
+        _check_fields(run, {"label": _STR, "workload": _STR}, rpath)
+        _require(isinstance(run.get("results"), list) and run["results"], rpath, "empty 'results'")
+        for j, row in enumerate(run["results"]):
+            _check_fields(row, result_fields, f"{rpath}.results[{j}]", optional_fields)
+
+
+def _check_e2e(doc, path):
+    _check_labeled_runs(
+        doc,
+        path,
+        {
+            "ftl": _STR,
+            "requests": _INT,
+            "wall_seconds": _NUM,
+            "requests_per_sec": _NUM,
+            "ns_per_request": _NUM,
+            "gc_time_share": _NUM,
+            "hit_ratio": _NUM,
+            "prd": _NUM,
+            "write_amplification": _NUM,
+            "block_erases": _INT,
+            "trans_reads": _INT,
+            "trans_writes": _INT,
+        },
+        # Added with the observability layer; runs recorded earlier lack them.
+        optional_fields={"p99_us": _NUM, "p99_log2_ub_us": _NUM},
+    )
+
+
+def _check_latency(doc, path):
+    _check_labeled_runs(
+        doc,
+        path,
+        {
+            "ftl": _STR,
+            "requests": _INT,
+            "mean_response_us": _NUM,
+            "p50_us": _NUM,
+            "p90_us": _NUM,
+            "p99_us": _NUM,
+            "p999_us": _NUM,
+            "max_us": _NUM,
+            "queue_us": _NUM,
+            "translation_us": _NUM,
+            "user_us": _NUM,
+            "gc_us": _NUM,
+            "flush_us": _NUM,
+            "gc_victim_scans": _INT,
+            "sum_check_ratio": _NUM,
+        },
+    )
+    # The load-bearing invariant: queue + phase flash time reconstructs the
+    # measured response total within 0.1% for every FTL.
+    for i, run in enumerate(doc["runs"]):
+        for j, row in enumerate(run["results"]):
+            ratio = row["sum_check_ratio"]
+            _require(
+                0.999 <= ratio <= 1.001,
+                f"{path}.runs[{i}].results[{j}]",
+                f"sum_check_ratio {ratio} outside [0.999, 1.001] — "
+                "phase attribution does not reconstruct response time",
+            )
+
+
+def _check_recovery(doc, path):
+    _require(isinstance(doc.get("runs"), list) and doc["runs"], path, "empty 'runs'")
+    for i, run in enumerate(doc["runs"]):
+        _check_fields(
+            run,
+            {
+                "ftl": _STR,
+                "write_ratio": _NUM,
+                "cache_bytes": _INT,
+                "cut_op": _INT,
+                "pages_scanned": _INT,
+                "torn_pages": _INT,
+                "data_mappings": _INT,
+                "translation_rewrites": _INT,
+                "unpersisted_window": _INT,
+                "scan_ms": _NUM,
+                "rebuild_ms": _NUM,
+                "recover_wall_ms": _NUM,
+            },
+            f"{path}.runs[{i}]",
+        )
+
+
+def _check_trace_parse(doc, path):
+    _require(isinstance(doc.get("results"), list) and doc["results"], path, "empty 'results'")
+    for i, row in enumerate(doc["results"]):
+        _check_fields(
+            row,
+            {"name": _STR, "lines": _INT, "seconds": _NUM, "lines_per_sec": _NUM},
+            f"{path}.results[{i}]",
+        )
+
+
+_VALIDATORS = {
+    "tpftl.bench_cache.v1": _check_cache,
+    "tpftl.bench_e2e.v1": _check_e2e,
+    "tpftl.bench_latency.v1": _check_latency,
+    "tpftl.bench_recovery.v1": _check_recovery,
+    "tpftl.bench_trace_parse.v1": _check_trace_parse,
+}
+
+
+def validate(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    _require(isinstance(doc, dict), path, "top level must be an object")
+    schema = doc.get("schema")
+    _require(
+        schema in _VALIDATORS,
+        path,
+        f"unknown schema {schema!r} (known: {sorted(_VALIDATORS)})",
+    )
+    _VALIDATORS[schema](doc, path)
+    return schema
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--glob":
+        files = sorted(glob.glob(os.path.join(argv[1], "BENCH_*.json")))
+        if not files:
+            print(f"error: no BENCH_*.json under {argv[1]}", file=sys.stderr)
+            return 1
+    elif argv:
+        files = argv
+    else:
+        print(__doc__, file=sys.stderr)
+        return 1
+
+    failed = False
+    for path in files:
+        try:
+            schema = validate(path)
+            print(f"ok: {path} ({schema})")
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"FAIL: {path}: {err}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

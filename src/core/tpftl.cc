@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/phase.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -54,6 +55,7 @@ MicroSec Tpftl::EvictVictim(const TwoLevelCache::Victim& victim) {
   ++s.evictions;
   if (victim.dirty) {
     ++s.dirty_evictions;
+    obs::EmitInstant("dirty_eviction");
     if (options_.batch_update) {
       // Write back every dirty entry sharing the victim's translation page
       // in a single read-modify-write; they stay cached, now clean (§4.4).
@@ -125,6 +127,7 @@ MicroSec Tpftl::Translate(Lpn lpn, bool is_write, Ppn* current) {
     return 0.0;
   }
   ++s.misses;
+  obs::EmitInstant("cache_miss");
   const Vtpn vtpn = store().VtpnOf(lpn);
   MicroSec t = store().ReadTranslationPage(vtpn);
   ++s.trans_reads_at;

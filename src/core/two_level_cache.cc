@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/phase.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -280,6 +281,7 @@ bool TwoLevelCache::Evict(Vtpn vtpn, uint64_t slot) {
     slot_table_pool_.push_back(std::move(node.slots));
     nodes_.erase(node_it);
     bytes_used_ -= node_overhead_bytes_;
+    obs::EmitInstant("cache_node_evicted");
     return true;
   }
   MarkPending(node);

@@ -48,6 +48,7 @@ MicroSec NandFlash::ProgramPageAt(Ppn ppn, uint64_t oob_tag) {
   oob_kind_[ppn] = static_cast<uint8_t>(OobKind::kData);
   ++stats_.page_writes;
   stats_.busy_time_us += geometry_.page_write_us;
+  obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
   return geometry_.page_write_us;
 }
 
@@ -63,6 +64,7 @@ MicroSec NandFlash::ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_
     TearPage(geometry_.PpnOf(block, offset));
     ++stats_.program_failures;
     stats_.busy_time_us += geometry_.page_write_us;
+    obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
     if (out_ppn != nullptr) {
       *out_ppn = kInvalidPpn;
     }
@@ -81,6 +83,7 @@ MicroSec NandFlash::ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_
   }
   ++stats_.page_writes;
   stats_.busy_time_us += geometry_.page_write_us;
+  obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
   return geometry_.page_write_us;
 }
 
@@ -97,6 +100,7 @@ MicroSec NandFlash::EraseBlock(BlockId block) {
       bad_[block] = 1;
       ++stats_.erase_failures;
       stats_.busy_time_us += geometry_.block_erase_us;
+      obs::ChargeFlash(obs::FlashOp::kErase, geometry_.block_erase_us);
       return geometry_.block_erase_us;
     }
   } else {
@@ -105,6 +109,7 @@ MicroSec NandFlash::EraseBlock(BlockId block) {
   arena_.block(block).Erase();
   ++stats_.block_erases;
   stats_.busy_time_us += geometry_.block_erase_us;
+  obs::ChargeFlash(obs::FlashOp::kErase, geometry_.block_erase_us);
   return geometry_.block_erase_us;
 }
 

@@ -40,6 +40,7 @@
 #include "src/flash/geometry.h"
 #include "src/flash/stats.h"
 #include "src/flash/types.h"
+#include "src/obs/phase.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -70,6 +71,7 @@ class NandFlash {
                      "read of an unprogrammed page");
     ++stats_.page_reads;
     stats_.busy_time_us += geometry_.page_read_us;
+    obs::ChargeFlash(obs::FlashOp::kRead, geometry_.page_read_us);
     return geometry_.page_read_us;
   }
 
@@ -96,6 +98,7 @@ class NandFlash {
     }
     ++stats_.page_writes;
     stats_.busy_time_us += geometry_.page_write_us;
+    obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
     return geometry_.page_write_us;
   }
 

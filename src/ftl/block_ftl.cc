@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/obs/phase.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -178,6 +179,7 @@ MicroSec BlockFtl::MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn) {
   const BlockId new_block = AllocateBlock();
   MicroSec t = 0.0;
   ++stats_.gc_data_blocks;
+  obs::ScopedPhase gc_phase(obs::Phase::kGc);
   for (uint64_t o = 0; o < pages_per_block_; ++o) {
     const Ppn src = g.PpnOf(old_block, o);
     if (o == offset) {
@@ -185,6 +187,7 @@ MicroSec BlockFtl::MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn) {
       if (flash_->StateOf(src) == PageState::kValid) {
         flash_->InvalidatePage(src);
       }
+      obs::ScopedPhase user_phase(obs::Phase::kUser);
       t += flash_->ProgramPageAt(g.PpnOf(new_block, o), lpn);
       continue;
     }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/ftl/recovery.h"
+#include "src/obs/phase.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -161,6 +162,7 @@ void BlockManager::BucketMove(BlockId block, uint64_t new_valid) {
 }
 
 BlockId BlockManager::PickVictim() {
+  obs::CountGcVictimScan();
   switch (policy_) {
     case GcPolicy::kGreedy:
       return PickGreedy();

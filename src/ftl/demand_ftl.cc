@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/phase.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -71,7 +72,11 @@ MicroSec DemandFtl::ReadPage(Lpn lpn) {
   TPFTL_CHECK(lpn < logical_pages_);
   ++stats_.host_page_reads;
   Ppn ppn = kInvalidPpn;
-  MicroSec t = Translate(lpn, /*is_write=*/false, &ppn);
+  MicroSec t;
+  {
+    obs::ScopedPhase phase(obs::Phase::kTranslation);
+    t = Translate(lpn, /*is_write=*/false, &ppn);
+  }
   if (ppn != kInvalidPpn) {
     t += flash_->ReadPage(ppn);
   }
@@ -85,13 +90,20 @@ MicroSec DemandFtl::WritePage(Lpn lpn) {
   TPFTL_CHECK(lpn < logical_pages_);
   ++stats_.host_page_writes;
   Ppn old_ppn = kInvalidPpn;
-  MicroSec t = Translate(lpn, /*is_write=*/true, &old_ppn);
+  MicroSec t;
+  {
+    obs::ScopedPhase phase(obs::Phase::kTranslation);
+    t = Translate(lpn, /*is_write=*/true, &old_ppn);
+  }
   Ppn new_ppn = kInvalidPpn;
   t += bm_.Program(BlockPool::kData, lpn, &new_ppn);
   if (old_ppn != kInvalidPpn) {
     bm_.Invalidate(old_ppn);
   }
-  t += CommitMapping(lpn, new_ppn);
+  {
+    obs::ScopedPhase phase(obs::Phase::kTranslation);
+    t += CommitMapping(lpn, new_ppn);
+  }
   t += RunGcIfNeeded();
   return t;
 }
@@ -101,6 +113,7 @@ MicroSec DemandFtl::TrimPage(Lpn lpn) {
   Ppn old_ppn = kInvalidPpn;
   // The entry must be resident to be rewritten — same as a write (§4.1), but
   // no data page is programmed.
+  obs::ScopedPhase phase(obs::Phase::kTranslation);
   MicroSec t = Translate(lpn, /*is_write=*/true, &old_ppn);
   if (old_ppn != kInvalidPpn) {
     bm_.Invalidate(old_ppn);
@@ -130,6 +143,7 @@ MicroSec DemandFtl::BackgroundGc(MicroSec budget_us) {
 
 MicroSec DemandFtl::RunGcIfNeeded() {
   MicroSec t = 0.0;
+  obs::ScopedPhase phase(obs::Phase::kGc);
   while (bm_.NeedsGc()) {
     t += CollectOneBlock();
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/phase.h"
 #include "src/util/assert.h"
 
 namespace tpftl {
@@ -228,6 +229,7 @@ MicroSec FastFtl::ReclaimOldestLog() {
   TPFTL_CHECK(!log_blocks_.empty());
   const BlockId victim = log_blocks_.front();
   MicroSec t = 0.0;
+  obs::ScopedPhase gc_phase(obs::Phase::kGc);
 
   if (IsSwitchMergeable(victim)) {
     // The log block becomes the data block for its logical block.

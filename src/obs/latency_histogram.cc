@@ -1,0 +1,108 @@
+#include "src/obs/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace tpftl::obs {
+
+uint64_t Log2UpperBound(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  const int width = static_cast<int>(std::bit_width(value));
+  if (width >= 64) {
+    return ~uint64_t{0};
+  }
+  return (uint64_t{1} << width) - 1;
+}
+
+size_t LatencyHistogram::BucketIndex(uint64_t scaled) {
+  if (scaled < kSubBuckets) {
+    return static_cast<size_t>(scaled);
+  }
+  const int log =
+      static_cast<int>(std::bit_width(scaled)) - 1;  // >= kSubBucketBits
+  const int shift = log - kSubBucketBits;
+  const uint64_t sub = (scaled - (uint64_t{1} << log)) >> shift;
+  return kSubBuckets +
+         static_cast<size_t>(log - kSubBucketBits) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+double LatencyHistogram::BucketMidpointUs(size_t index) {
+  if (index < kSubBuckets) {
+    return static_cast<double>(index) / kScale;
+  }
+  const size_t rel = index - kSubBuckets;
+  const int log = static_cast<int>(rel / kSubBuckets) + kSubBucketBits;
+  const uint64_t sub = rel % kSubBuckets;
+  const int shift = log - kSubBucketBits;
+  const double lo = static_cast<double>((uint64_t{1} << log) +
+                                        (sub << shift));
+  const double width = static_cast<double>(uint64_t{1} << shift);
+  return (lo + width / 2.0) / kScale;
+}
+
+void LatencyHistogram::Add(double us) {
+  TPFTL_DCHECK_MSG(us >= 0.0, "negative latency sample");
+  if (us < 0.0 || std::isnan(us)) {
+    us = 0.0;
+  }
+  const double scaled_d = std::nearbyint(us * kScale);
+  const uint64_t scaled =
+      scaled_d >= 9.0e18 ? uint64_t{9000000000000000000ULL}
+                         : static_cast<uint64_t>(scaled_d);
+  ++buckets_[BucketIndex(scaled)];
+  if (total_ == 0) {
+    min_ = us;
+    max_ = us;
+  } else {
+    min_ = std::min(min_, us);
+    max_ = std::max(max_, us);
+  }
+  ++total_;
+  sum_ += us;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (other.total_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
+
+double LatencyHistogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double exact_rank = q * static_cast<double>(total_);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(exact_rank));
+  rank = std::clamp<uint64_t>(rank, 1, total_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(BucketMidpointUs(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace tpftl::obs

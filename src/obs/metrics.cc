@@ -1,0 +1,75 @@
+#include "src/obs/metrics.h"
+
+namespace tpftl::obs {
+namespace {
+
+template <typename Map>
+auto* FindOrCreate(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    using Value = typename Map::mapped_type::element_type;
+    it = map.emplace(std::string(name), std::make_unique<Value>()).first;
+  }
+  return it->second.get();
+}
+
+template <typename Map>
+const auto* FindOnly(const Map& map, std::string_view name) {
+  auto it = map.find(name);
+  using Value = typename Map::mapped_type::element_type;
+  return it == map.end() ? static_cast<const Value*>(nullptr)
+                         : it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  return FindOrCreate(counters_, name);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  return FindOrCreate(gauges_, name);
+}
+
+LatencyHistogram* MetricsRegistry::histogram(std::string_view name) {
+  return FindOrCreate(histograms_, name);
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  return FindOnly(counters_, name);
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  return FindOnly(gauges_, name);
+}
+
+const LatencyHistogram* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  return FindOnly(histograms_, name);
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    FindOrCreate(counters_, name)->MergeFrom(*counter);
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    FindOrCreate(gauges_, name)->MergeFrom(*gauge);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    FindOrCreate(histograms_, name)->MergeFrom(*histogram);
+  }
+}
+
+void MetricsRegistry::ResetValues() {
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace tpftl::obs

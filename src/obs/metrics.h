@@ -1,0 +1,93 @@
+// Named-metric registry: counters, gauges, and latency histograms.
+//
+// One registry per Ssd instance (and per RunSweep shard). Metrics are
+// created on first use via counter()/gauge()/histogram() and live as long
+// as the registry, so call sites can cache the returned pointer and bump it
+// without further lookups. Iteration order is the metric name order
+// (std::map), which keeps every text/JSON dump deterministic.
+//
+// MergeFrom folds another registry in — counters and histograms accumulate,
+// gauges keep the maximum (peak-style semantics) — which is how RunSweep
+// shards running on ThreadPool workers aggregate into one report.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/obs/latency_histogram.h"
+
+namespace tpftl::obs {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+  void MergeFrom(const Counter& other) { value_ += other.value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+  // Peak semantics: merging sweep shards keeps the largest observed value.
+  void MergeFrom(const Gauge& other) {
+    value_ = std::max(value_, other.value_);
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. Returned pointers are stable for the registry lifetime.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  LatencyHistogram* histogram(std::string_view name);
+
+  // Lookup without creating; nullptr when absent.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const LatencyHistogram* FindHistogram(std::string_view name) const;
+
+  // Folds `other` in, creating any metrics this registry lacks.
+  void MergeFrom(const MetricsRegistry& other);
+
+  // Zeroes every value but keeps registrations (and cached pointers) alive.
+  void ResetValues();
+
+  using CounterMap =
+      std::map<std::string, std::unique_ptr<Counter>, std::less<>>;
+  using GaugeMap = std::map<std::string, std::unique_ptr<Gauge>, std::less<>>;
+  using HistogramMap =
+      std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>;
+
+  const CounterMap& counters() const { return counters_; }
+  const GaugeMap& gauges() const { return gauges_; }
+  const HistogramMap& histograms() const { return histograms_; }
+
+ private:
+  CounterMap counters_;
+  GaugeMap gauges_;
+  HistogramMap histograms_;
+};
+
+}  // namespace tpftl::obs
+
+#endif  // SRC_OBS_METRICS_H_

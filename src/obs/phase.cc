@@ -1,0 +1,59 @@
+#include "src/obs/phase.h"
+
+#include "src/obs/trace_event.h"
+
+namespace tpftl::obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kUser:
+      return "user";
+    case Phase::kTranslation:
+      return "translation";
+    case Phase::kGc:
+      return "gc";
+    case Phase::kFlush:
+      return "flush";
+    case Phase::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+const char* FlashOpName(FlashOp op) {
+  switch (op) {
+    case FlashOp::kRead:
+      return "read";
+    case FlashOp::kProgram:
+      return "program";
+    case FlashOp::kErase:
+      return "erase";
+  }
+  return "unknown";
+}
+
+#if TPFTL_OBS_ENABLED
+namespace internal {
+
+void ChargeFlashSlow(TraceContext& ctx, FlashOp op, double us) {
+  ctx.times->Charge(ctx.phase, op, us);
+  if (ctx.spans != nullptr) {
+    ctx.spans->Charge(ctx.phase, op, us);
+  }
+}
+
+void GcVictimScanSlow(TraceContext& ctx) {
+  ++ctx.times->gc_victim_scans;
+  if (ctx.spans != nullptr) {
+    ctx.spans->Instant("gc_victim_scan");
+  }
+}
+
+void SpanInstant(TraceContext& ctx, const char* name) {
+  ctx.spans->Instant(name);
+}
+
+}  // namespace internal
+#endif  // TPFTL_OBS_ENABLED
+
+}  // namespace tpftl::obs

@@ -1,0 +1,237 @@
+// Phase-level request tracing: where does a request's flash time go?
+//
+// The paper's system-response-time metric (§4.3, Eq. 1–13) decomposes a
+// request into address translation, user page accesses, and GC. This header
+// is the hot-path half of the observability layer that makes the simulator
+// report that decomposition instead of a single end-to-end number:
+//
+//   * A thread-local TraceContext carries the *current phase* of the request
+//     being served (user access by default; the FTL layers scope translation,
+//     GC, flush, and background-GC sections with ScopedPhase).
+//   * Every NAND operation calls ChargeFlash(op, us); when tracing is active
+//     the latency is booked to (current phase × op kind) in the request's
+//     PhaseTimes, and — when span capture is on — appended to the request's
+//     span timeline for the Chrome-trace exporter (obs/trace_event.h).
+//
+// Cost model: with tracing disabled (the default) the entire charge path is
+// one thread-local load and a predicted-taken branch per NAND op; building
+// with -DTPFTL_OBS=OFF compiles even that out (the TPFTL_DCHECK pattern —
+// every function below becomes an empty inline). Tracing never changes any
+// timing arithmetic: enabled vs. disabled produces bit-identical reports.
+
+#ifndef SRC_OBS_PHASE_H_
+#define SRC_OBS_PHASE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(TPFTL_OBS_DISABLED)
+#define TPFTL_OBS_ENABLED 0
+#else
+#define TPFTL_OBS_ENABLED 1
+#endif
+
+namespace tpftl::obs {
+
+// Exclusive phases of a host request's service time. Time is booked to the
+// innermost active scope; kFlush and kBackground pin themselves so that the
+// translation/user/GC work they trigger stays attributed to them.
+enum class Phase : uint8_t {
+  kUser = 0,     // Host data page access (the default phase).
+  kTranslation,  // Mapping lookups, commits, and dirty-entry writebacks.
+  kGc,           // Foreground garbage collection charged to the request.
+  kFlush,        // Write-buffer eviction flushing through the FTL.
+  kBackground,   // Background GC in idle gaps (not part of response time).
+};
+inline constexpr size_t kPhaseCount = 5;
+
+enum class FlashOp : uint8_t { kRead = 0, kProgram, kErase };
+inline constexpr size_t kFlashOpCount = 3;
+
+const char* PhaseName(Phase phase);
+const char* FlashOpName(FlashOp op);
+
+// Per-request (or aggregated) phase accounting cell: simulated microseconds
+// and operation counts per phase × flash-op kind, plus event counters with
+// no simulated cost (GC victim scans).
+struct PhaseTimes {
+  double us[kPhaseCount][kFlashOpCount] = {};
+  uint64_t ops[kPhaseCount][kFlashOpCount] = {};
+  uint64_t gc_victim_scans = 0;
+
+  void Charge(Phase phase, FlashOp op, double t) {
+    us[static_cast<size_t>(phase)][static_cast<size_t>(op)] += t;
+    ++ops[static_cast<size_t>(phase)][static_cast<size_t>(op)];
+  }
+
+  void Merge(const PhaseTimes& other) {
+    for (size_t p = 0; p < kPhaseCount; ++p) {
+      for (size_t o = 0; o < kFlashOpCount; ++o) {
+        us[p][o] += other.us[p][o];
+        ops[p][o] += other.ops[p][o];
+      }
+    }
+    gc_victim_scans += other.gc_victim_scans;
+  }
+
+  void Reset() { *this = PhaseTimes(); }
+
+  double PhaseUs(Phase phase) const {
+    const size_t p = static_cast<size_t>(phase);
+    return us[p][0] + us[p][1] + us[p][2];
+  }
+  uint64_t PhaseOps(Phase phase) const {
+    const size_t p = static_cast<size_t>(phase);
+    return ops[p][0] + ops[p][1] + ops[p][2];
+  }
+  double OpUs(Phase phase, FlashOp op) const {
+    return us[static_cast<size_t>(phase)][static_cast<size_t>(op)];
+  }
+  uint64_t OpCount(Phase phase, FlashOp op) const {
+    return ops[static_cast<size_t>(phase)][static_cast<size_t>(op)];
+  }
+  // Flash time that is part of the request's response (every phase except
+  // background GC, which runs in idle gaps before the request starts).
+  double ServiceUs() const {
+    double total = 0.0;
+    for (size_t p = 0; p < kPhaseCount; ++p) {
+      if (p == static_cast<size_t>(Phase::kBackground)) {
+        continue;
+      }
+      total += us[p][0] + us[p][1] + us[p][2];
+    }
+    return total;
+  }
+  double TotalUs() const { return ServiceUs() + PhaseUs(Phase::kBackground); }
+};
+
+class RequestSpans;  // Span timeline of one request (obs/trace_event.h).
+
+// Thread-local tracing state. `times == nullptr` means tracing is off — the
+// invariant every hot-path check relies on. Installed per request by the SSD
+// layer (ScopedRequestContext); never shared across threads, so RunSweep
+// workers trace independently.
+struct TraceContext {
+  PhaseTimes* times = nullptr;
+  RequestSpans* spans = nullptr;
+  Phase phase = Phase::kUser;
+  bool pinned = false;
+};
+
+#if TPFTL_OBS_ENABLED
+
+namespace internal {
+inline thread_local TraceContext tls_ctx;
+// Out-of-line tracing-active paths: keeps the inline fast path at every NAND
+// call site down to one thread-local load, a predicted-taken test, and a cold
+// call — no icache bloat in the flash hot loops when tracing is off.
+void ChargeFlashSlow(TraceContext& ctx, FlashOp op, double us);
+void GcVictimScanSlow(TraceContext& ctx);
+void SpanInstant(TraceContext& ctx, const char* name);
+}  // namespace internal
+
+inline bool TracingActive() { return internal::tls_ctx.times != nullptr; }
+
+// Books one NAND operation's latency to the current request's current phase.
+// Called by NandFlash on every page read/program and block erase.
+inline void ChargeFlash(FlashOp op, double us) {
+  TraceContext& ctx = internal::tls_ctx;
+  if (ctx.times == nullptr) [[likely]] {
+    return;
+  }
+  internal::ChargeFlashSlow(ctx, op, us);
+}
+
+// Counts a GC victim-selection scan (no simulated cost; RAM-side work).
+inline void CountGcVictimScan() {
+  TraceContext& ctx = internal::tls_ctx;
+  if (ctx.times == nullptr) [[likely]] {
+    return;
+  }
+  internal::GcVictimScanSlow(ctx);
+}
+
+// Zero-duration marker in the request's span timeline (cache miss, eviction,
+// zone switch, ...). `name` must be a string literal or otherwise outlive the
+// trace log.
+inline void EmitInstant(const char* name) {
+  TraceContext& ctx = internal::tls_ctx;
+  if (ctx.spans != nullptr) [[unlikely]] {
+    internal::SpanInstant(ctx, name);
+  }
+}
+
+// Sets the current phase for the enclosed scope. A pinned scope (kFlush,
+// kBackground) wins over any scope opened inside it, keeping attribution
+// exclusive: GC triggered by a write-buffer flush is flush time, not GC time.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase, bool pin = false) {
+    TraceContext& ctx = internal::tls_ctx;
+    if (ctx.times == nullptr || ctx.pinned) {
+      return;
+    }
+    active_ = true;
+    prev_ = ctx.phase;
+    ctx.phase = phase;
+    ctx.pinned = pin;
+  }
+  ~ScopedPhase() {
+    if (active_) {
+      TraceContext& ctx = internal::tls_ctx;
+      ctx.phase = prev_;
+      ctx.pinned = false;  // Only an unpinned context lets a scope activate.
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  bool active_ = false;
+  Phase prev_ = Phase::kUser;
+};
+
+// Installs the per-request tracing sinks for the duration of one
+// Ssd::Submit. Passing times == nullptr leaves tracing off.
+class ScopedRequestContext {
+ public:
+  ScopedRequestContext(PhaseTimes* times, RequestSpans* spans) {
+    TraceContext& ctx = internal::tls_ctx;
+    ctx.times = times;
+    ctx.spans = spans;
+    ctx.phase = Phase::kUser;
+    ctx.pinned = false;
+  }
+  ~ScopedRequestContext() {
+    TraceContext& ctx = internal::tls_ctx;
+    ctx.times = nullptr;
+    ctx.spans = nullptr;
+    ctx.phase = Phase::kUser;
+    ctx.pinned = false;
+  }
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+};
+
+#else  // !TPFTL_OBS_ENABLED — every tracing entry point compiles to nothing.
+
+inline bool TracingActive() { return false; }
+inline void ChargeFlash(FlashOp, double) {}
+inline void CountGcVictimScan() {}
+inline void EmitInstant(const char*) {}
+
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase, bool = false) {}
+};
+
+class ScopedRequestContext {
+ public:
+  ScopedRequestContext(PhaseTimes*, RequestSpans*) {}
+};
+
+#endif  // TPFTL_OBS_ENABLED
+
+}  // namespace tpftl::obs
+
+#endif  // SRC_OBS_PHASE_H_

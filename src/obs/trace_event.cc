@@ -1,0 +1,165 @@
+#include "src/obs/trace_event.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tpftl::obs {
+namespace {
+
+void WriteEscaped(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void WriteDouble(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out << buf;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& out) : out_(out) {}
+
+  // Starts one event object; follow with Field calls, end with Close.
+  void Open() {
+    out_ << (first_ ? "\n  {" : ",\n  {");
+    first_ = false;
+    first_field_ = true;
+  }
+  void Str(const char* key, const std::string& value) {
+    Key(key);
+    out_ << '"';
+    WriteEscaped(out_, value);
+    out_ << '"';
+  }
+  void Num(const char* key, double value) {
+    Key(key);
+    WriteDouble(out_, value);
+  }
+  void Int(const char* key, uint64_t value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out_ << buf;
+  }
+  void Raw(const char* key, const char* value) {
+    Key(key);
+    out_ << value;
+  }
+  void Close() { out_ << '}'; }
+
+ private:
+  void Key(const char* key) {
+    out_ << (first_field_ ? "\"" : ", \"") << key << "\": ";
+    first_field_ = false;
+  }
+
+  std::ostream& out_;
+  bool first_ = true;
+  bool first_field_ = true;
+};
+
+}  // namespace
+
+void WriteChromeTrace(std::ostream& out, const RequestTraceLog& log,
+                      const std::string& label) {
+  EventWriter ev(out);
+  out << "{\n\"traceEvents\": [";
+
+  ev.Open();
+  ev.Str("name", "process_name");
+  ev.Str("ph", "M");
+  ev.Int("pid", 1);
+  ev.Int("tid", 0);
+  ev.Raw("args", "{\"name\": \"");
+  WriteEscaped(out, label);
+  out << "\"}";
+  ev.Close();
+
+  for (const RequestTraceRecord& rec : log.records()) {
+    const uint64_t tid = rec.index + 1;  // tid 0 is metadata.
+
+    ev.Open();
+    ev.Str("name", "thread_name");
+    ev.Str("ph", "M");
+    ev.Int("pid", 1);
+    ev.Int("tid", tid);
+    char tname[64];
+    std::snprintf(tname, sizeof(tname), "req %" PRIu64 " %s lpn=%" PRIu64,
+                  rec.index, rec.is_write ? "W" : "R", rec.lpn);
+    ev.Raw("args", "{\"name\": \"");
+    WriteEscaped(out, tname);
+    out << "\"}";
+    ev.Close();
+
+    if (rec.queue_us > 0.0) {
+      ev.Open();
+      ev.Str("name", "queue");
+      ev.Str("ph", "X");
+      ev.Str("cat", "queue");
+      ev.Int("pid", 1);
+      ev.Int("tid", tid);
+      ev.Num("ts", rec.arrival_us);
+      ev.Num("dur", rec.queue_us);
+      ev.Close();
+    }
+
+    for (const Span& span : rec.spans) {
+      ev.Open();
+      ev.Str("name", PhaseName(span.phase));
+      ev.Str("ph", "X");
+      ev.Str("cat", "phase");
+      ev.Int("pid", 1);
+      ev.Int("tid", tid);
+      ev.Num("ts", rec.start_us + span.start_us);
+      ev.Num("dur", span.dur_us);
+      char args[128];
+      std::snprintf(args, sizeof(args),
+                    "{\"reads\": %" PRIu64 ", \"programs\": %" PRIu64
+                    ", \"erases\": %" PRIu64 "}",
+                    span.ops[0], span.ops[1], span.ops[2]);
+      ev.Raw("args", args);
+      ev.Close();
+    }
+
+    for (const InstantEvent& inst : rec.instants) {
+      ev.Open();
+      ev.Str("name", inst.name);
+      ev.Str("ph", "i");
+      ev.Str("cat", "event");
+      ev.Str("s", "t");
+      ev.Int("pid", 1);
+      ev.Int("tid", tid);
+      ev.Num("ts", rec.start_us + inst.at_us);
+      ev.Close();
+    }
+  }
+
+  out << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+}  // namespace tpftl::obs

@@ -1,0 +1,133 @@
+// Span capture and Chrome-trace export for single-request drill-down.
+//
+// When span capture is on (SsdConfig::trace_span_requests > 0) each traced
+// request records a timeline of phase segments in *simulated* time: adjacent
+// flash charges in the same phase merge into one span, zero-cost events
+// (cache misses, evictions, victim scans) land as instants. The log can be
+// written as Chrome trace-event JSON ("traceEvents" array of "X" complete
+// events and "i" instants, timestamps in microseconds) and loaded in
+// chrome://tracing or https://ui.perfetto.dev.
+
+#ifndef SRC_OBS_TRACE_EVENT_H_
+#define SRC_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/phase.h"
+
+namespace tpftl::obs {
+
+// One contiguous stretch of a single phase within a request's service time.
+// Offsets are relative to the request's service start (device start time).
+struct Span {
+  Phase phase = Phase::kUser;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  uint64_t ops[kFlashOpCount] = {};
+};
+
+// Zero-duration marker (e.g. "cache_miss") at a service-relative offset.
+// Names must be string literals (they are stored unowned).
+struct InstantEvent {
+  const char* name = "";
+  double at_us = 0.0;
+};
+
+// Span sink for one request, filled by ChargeFlash/EmitInstant via the
+// thread-local TraceContext while the request is being served.
+class RequestSpans {
+ public:
+  void Clear() {
+    spans_.clear();
+    instants_.clear();
+    cursor_us_ = 0.0;
+  }
+
+  // Books `us` of flash time in `phase`, extending the open span when the
+  // phase is unchanged and contiguous, else opening a new one.
+  void Charge(Phase phase, FlashOp op, double us) {
+    if (spans_.empty() || spans_.back().phase != phase) {
+      Span span;
+      span.phase = phase;
+      span.start_us = cursor_us_;
+      spans_.push_back(span);
+    }
+    Span& open = spans_.back();
+    open.dur_us += us;
+    ++open.ops[static_cast<size_t>(op)];
+    cursor_us_ += us;
+  }
+
+  void Instant(const char* name) { instants_.push_back({name, cursor_us_}); }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<InstantEvent>& instants() const { return instants_; }
+  // Total service time recorded so far (sum of span durations).
+  double cursor_us() const { return cursor_us_; }
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<InstantEvent> instants_;
+  double cursor_us_ = 0.0;
+};
+
+// One fully served request in the trace log, stamped with absolute simulated
+// times by the SSD layer.
+struct RequestTraceRecord {
+  uint64_t index = 0;       // Submission index since the last ResetStats.
+  uint64_t lpn = 0;         // First LPN of the request.
+  uint32_t length = 0;      // Pages.
+  bool is_write = false;
+  double arrival_us = 0.0;  // Stats-epoch-adjusted arrival.
+  double start_us = 0.0;    // Device start (end of queueing).
+  double finish_us = 0.0;
+  double queue_us = 0.0;
+  PhaseTimes phases;
+  std::vector<Span> spans;
+  std::vector<InstantEvent> instants;
+};
+
+// Bounded in-memory log of traced requests (first `capacity` after the last
+// ResetStats). `dropped` counts requests not recorded once full.
+class RequestTraceLog {
+ public:
+  explicit RequestTraceLog(size_t capacity = 0) : capacity_(capacity) {}
+
+  bool WantsMore() const { return records_.size() < capacity_; }
+  void Add(RequestTraceRecord record) {
+    if (records_.size() < capacity_) {
+      records_.push_back(std::move(record));
+    } else {
+      ++dropped_;
+    }
+  }
+  // Records a request that was served without span capture because the log
+  // was already full (the SSD skips the capture work entirely in that case).
+  void NoteDropped() { ++dropped_; }
+  void Clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_; }
+  const std::vector<RequestTraceRecord>& records() const { return records_; }
+
+ private:
+  size_t capacity_;
+  uint64_t dropped_ = 0;
+  std::vector<RequestTraceRecord> records_;
+};
+
+// Writes the log as Chrome trace-event JSON. Each request gets one row
+// (tid = request index): a "queue" span from arrival to start, one span per
+// phase segment, and instant markers. `label` becomes the process name.
+void WriteChromeTrace(std::ostream& out, const RequestTraceLog& log,
+                      const std::string& label);
+
+}  // namespace tpftl::obs
+
+#endif  // SRC_OBS_TRACE_EVENT_H_

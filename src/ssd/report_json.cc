@@ -38,8 +38,13 @@ void WriteReportJson(const RunReport& r, std::ostream& os) {
   os << ",\"prd\":" << r.prd;
   os << ",\"write_amplification\":" << r.write_amplification;
   os << ",\"mean_response_us\":" << r.mean_response_us;
+  os << ",\"p50_response_us\":" << r.p50_response_us;
+  os << ",\"p90_response_us\":" << r.p90_response_us;
   os << ",\"p99_response_us\":" << r.p99_response_us;
+  os << ",\"p999_response_us\":" << r.p999_response_us;
+  os << ",\"p99_log2_ub_us\":" << r.p99_log2_ub_us;
   os << ",\"max_response_us\":" << r.max_response_us;
+  os << ",\"response_total_us\":" << r.response_total_us;
   os << ",\"trans_reads\":" << r.trans_reads;
   os << ",\"trans_writes\":" << r.trans_writes;
   os << ",\"block_erases\":" << r.block_erases;
@@ -67,6 +72,17 @@ void WriteReportJson(const RunReport& r, std::ostream& os) {
   os << ",\"page_writes\":" << r.flash.page_writes;
   os << ",\"block_erases\":" << r.flash.block_erases;
   os << ",\"busy_time_us\":" << r.flash.busy_time_us;
+  os << "}";
+  os << ",\"phases\":{";
+  os << "\"queue_us\":" << r.queue_us_total;
+  for (size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const auto phase = static_cast<obs::Phase>(p);
+    os << ",\"" << obs::PhaseName(phase)
+       << "_us\":" << r.phases.PhaseUs(phase);
+    os << ",\"" << obs::PhaseName(phase)
+       << "_ops\":" << r.phases.PhaseOps(phase);
+  }
+  os << ",\"gc_victim_scans\":" << r.phases.gc_victim_scans;
   os << "}}";
 }
 

@@ -19,8 +19,18 @@ RunReport ExtractReport(const Ssd& ssd, const std::string& workload_name, uint64
   r.prd = r.stats.dirty_replacement_probability();
   r.write_amplification = r.stats.write_amplification();
   r.mean_response_us = ssd.response_stats().mean();
-  r.p99_response_us = static_cast<double>(ssd.response_histogram().Quantile(0.99));
+  const obs::LatencyHistogram& hist = ssd.response_histogram();
+  r.p50_response_us = hist.Quantile(0.50);
+  r.p90_response_us = hist.Quantile(0.90);
+  r.p99_response_us = hist.Quantile(0.99);
+  r.p999_response_us = hist.Quantile(0.999);
+  r.p99_log2_ub_us = static_cast<double>(
+      obs::Log2UpperBound(static_cast<uint64_t>(r.p99_response_us)));
   r.max_response_us = ssd.response_stats().max();
+  r.response_total_us = ssd.response_stats().sum();
+  r.response_hist = hist;
+  r.phases = ssd.phase_times();
+  r.queue_us_total = ssd.queue_us_total();
   r.trans_reads = r.stats.trans_reads_total();
   r.trans_writes = r.stats.trans_writes_total();
   r.block_erases = r.flash.block_erases;
@@ -41,6 +51,8 @@ RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
   ssd_config.gc_policy = config.gc_policy;
   ssd_config.write_buffer = config.write_buffer;
   ssd_config.background_gc = config.background_gc;
+  ssd_config.trace_phases = config.trace_phases;
+  ssd_config.trace_span_requests = config.trace_span_requests;
   Ssd ssd(ssd_config);
 
   if (config.precondition_fill) {
@@ -90,6 +102,17 @@ RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
     measured = replayed;
   }
   return ExtractReport(ssd, config.workload.name, measured);
+}
+
+SweepAggregate AggregateSweep(const std::vector<RunReport>& reports) {
+  SweepAggregate agg;
+  for (const RunReport& r : reports) {
+    agg.requests += r.requests;
+    agg.response_hist.MergeFrom(r.response_hist);
+    agg.phases.Merge(r.phases);
+    agg.queue_us_total += r.queue_us_total;
+  }
+  return agg;
 }
 
 RunReport RunExperiment(const ExperimentConfig& config, const RunObserver& observer) {

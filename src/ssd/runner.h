@@ -38,6 +38,12 @@ struct ExperimentConfig {
   double precondition_age_fraction = 0.0;
   // Fraction of the trace replayed before statistics reset (cache warm-up).
   double warmup_fraction = 0.10;
+  // Phase-level attribution (SsdConfig::trace_phases): populate
+  // RunReport::phases / queue_us_total. Off by default.
+  bool trace_phases = false;
+  // Span timelines for the first N measured requests (Chrome-trace export
+  // via Ssd::trace_log; requires trace_phases).
+  uint64_t trace_span_requests = 0;
 };
 
 struct RunReport {
@@ -51,15 +57,42 @@ struct RunReport {
   double prd = 0.0;
   double write_amplification = 1.0;
   double mean_response_us = 0.0;
-  double p99_response_us = 0.0;  // Bucketed (log2) upper bound.
+  // Accurate quantiles (≤2% relative error, obs::LatencyHistogram) — no
+  // longer the old log2-bucket upper bounds.
+  double p50_response_us = 0.0;
+  double p90_response_us = 0.0;
+  double p99_response_us = 0.0;
+  double p999_response_us = 0.0;
+  // What the pre-obs log2-bucketed histogram would have reported as p99
+  // (bucket ceiling). Kept so benches can surface the old-vs-new delta.
+  double p99_log2_ub_us = 0.0;
   double max_response_us = 0.0;
+  double response_total_us = 0.0;  // Sum of measured response times.
   uint64_t trans_reads = 0;
   uint64_t trans_writes = 0;
   uint64_t block_erases = 0;
   uint64_t cache_bytes_budget = 0;
   uint64_t cache_bytes_used = 0;
   uint64_t cache_entries = 0;
+
+  // Full response-time distribution (copyable; merged by AggregateSweep).
+  obs::LatencyHistogram response_hist;
+  // Phase attribution + total queueing delay; populated when the run had
+  // trace_phases on, all-zero otherwise.
+  obs::PhaseTimes phases;
+  double queue_us_total = 0.0;
 };
+
+// Cross-run aggregation: merged response distribution and summed phase
+// attribution over a sweep's reports (merge order = report order, so the
+// result is deterministic and thread-count independent).
+struct SweepAggregate {
+  uint64_t requests = 0;
+  obs::LatencyHistogram response_hist;
+  obs::PhaseTimes phases;
+  double queue_us_total = 0.0;
+};
+SweepAggregate AggregateSweep(const std::vector<RunReport>& reports);
 
 // Called after each measured request; `index` counts measured requests.
 using RunObserver = std::function<void(const Ssd& ssd, uint64_t index)>;

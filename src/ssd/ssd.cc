@@ -14,7 +14,10 @@ Ssd::Ssd(const SsdConfig& config)
       flash_(geometry_),
       logical_pages_(config.logical_bytes / geometry_.page_size_bytes),
       write_buffer_(config.write_buffer),
-      background_gc_(config.background_gc) {
+      background_gc_(config.background_gc),
+      trace_phases_(config.trace_phases),
+      response_hist_(metrics_.histogram("ssd.response_us")),
+      trace_log_(config.trace_span_requests) {
   cache_bytes_ =
       config.cache_bytes != 0 ? config.cache_bytes : PaperCacheBytes(geometry_, logical_pages_);
   FtlEnv env;
@@ -29,6 +32,23 @@ Ssd::Ssd(const SsdConfig& config)
 MicroSec Ssd::Submit(const IoRequest& request) {
   const uint64_t page_size = geometry_.page_size_bytes;
   ftl_->BeginRequest(request);
+
+  // Tracing sinks for this request. With trace_phases off both pointers stay
+  // null and every obs:: call below (and in the layers underneath) is a
+  // predicted-taken branch; either way the timing arithmetic is untouched.
+  // The sinks are Ssd-owned scratch so the disabled path does no per-request
+  // zeroing.
+  obs::PhaseTimes* times = nullptr;
+  obs::RequestSpans* spans = nullptr;
+  if (trace_phases_) [[unlikely]] {
+    scratch_times_.Reset();
+    times = &scratch_times_;
+    if (trace_log_.WantsMore()) {
+      scratch_spans_.Clear();
+      spans = &scratch_spans_;
+    }
+  }
+  obs::ScopedRequestContext trace_ctx(times, spans);
 
   MicroSec service = 0.0;
   const Lpn first = request.FirstLpn(page_size) % logical_pages_;
@@ -49,12 +69,14 @@ MicroSec Ssd::Submit(const IoRequest& request) {
     if (request.is_write()) {
       const Lpn flush = write_buffer_.PutWrite(lpn);
       if (flush != kInvalidLpn) {
+        obs::ScopedPhase phase(obs::Phase::kFlush, /*pin=*/true);
         service += ftl_->WritePage(flush);
       }
     } else if (!write_buffer_.ServeRead(lpn)) {
       service += ftl_->ReadPage(lpn);
       const Lpn flush = write_buffer_.AdmitClean(lpn);
       if (flush != kInvalidLpn) {
+        obs::ScopedPhase phase(obs::Phase::kFlush, /*pin=*/true);
         service += ftl_->WritePage(flush);
       }
     }
@@ -62,15 +84,45 @@ MicroSec Ssd::Submit(const IoRequest& request) {
 
   // Idle gap before this arrival: spend it on background GC if enabled.
   if (background_gc_ && request.arrival_us > device_free_at_) {
+    obs::ScopedPhase phase(obs::Phase::kBackground, /*pin=*/true);
     device_free_at_ += ftl_->BackgroundGc(request.arrival_us - device_free_at_);
   }
 
+  // Measurement clamp: a request that arrived before the last ResetStats
+  // epoch is billed from the epoch, so queueing delay caused by warm-up-era
+  // service stays out of measured response times.
+  const MicroSec effective_arrival = std::max(request.arrival_us, stats_epoch_us_);
   // FIFO queue: the device starts this request when it is free.
-  const MicroSec start = std::max(device_free_at_, request.arrival_us);
+  // device_free_at_ >= stats_epoch_us_ always, so clamping the arrival does
+  // not change the start time physics.
+  const MicroSec start = std::max(device_free_at_, effective_arrival);
   device_free_at_ = start + service;
-  const MicroSec response = device_free_at_ - request.arrival_us;
+  const MicroSec response = device_free_at_ - effective_arrival;
   response_.Add(response);
-  response_hist_.Add(static_cast<uint64_t>(response));
+  response_hist_->Add(response);
+  if (trace_phases_) [[unlikely]] {
+    const MicroSec queue_us = start - effective_arrival;
+    phase_times_.Merge(*times);
+    queue_us_total_ += queue_us;
+    metrics_.histogram("ssd.queue_us")->Add(queue_us);
+    if (spans != nullptr) {
+      obs::RequestTraceRecord rec;
+      rec.index = requests_served_;
+      rec.lpn = first;
+      rec.length = static_cast<uint32_t>(pages);
+      rec.is_write = request.is_write();
+      rec.arrival_us = effective_arrival;
+      rec.start_us = start;
+      rec.finish_us = device_free_at_;
+      rec.queue_us = queue_us;
+      rec.phases = *times;
+      rec.spans = spans->spans();
+      rec.instants = spans->instants();
+      trace_log_.Add(std::move(rec));
+    } else if (trace_log_.capacity() > 0) {
+      trace_log_.NoteDropped();  // Log full: request served without spans.
+    }
+  }
   ++requests_served_;
   return response;
 }
@@ -114,8 +166,15 @@ void Ssd::ResetStats() {
   ftl_->ResetStats();  // Also resets the flash counters.
   write_buffer_.ResetStats();
   response_.Reset();
-  response_hist_.Reset();
+  metrics_.ResetValues();  // Includes the response/queue histograms.
+  phase_times_.Reset();
+  queue_us_total_ = 0.0;
+  trace_log_.Clear();
   requests_served_ = 0;
+  // New measurement epoch: in-flight queue backlog stays physical (the
+  // device is still busy until device_free_at_) but is not billed to
+  // post-reset requests.
+  stats_epoch_us_ = device_free_at_;
 }
 
 }  // namespace tpftl

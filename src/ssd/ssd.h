@@ -6,6 +6,14 @@
 // time of its address translations, user page accesses, and any garbage
 // collection they trigger — the same composition the paper's "system
 // response time" metric uses.
+//
+// Observability: every response time feeds the per-device metrics registry
+// ("ssd.response_us", an HDR-style histogram with accurate quantiles). With
+// SsdConfig::trace_phases the device additionally attributes each request's
+// flash time to phases (translation / user access / GC / flush / background
+// GC, see src/obs/phase.h) and can capture per-request span timelines for
+// Chrome-trace export. Tracing observes the timing arithmetic without
+// changing it: reports are bit-identical with tracing on or off.
 
 #ifndef SRC_SSD_SSD_H_
 #define SRC_SSD_SSD_H_
@@ -14,9 +22,11 @@
 
 #include "src/core/ftl_factory.h"
 #include "src/flash/nand.h"
+#include "src/obs/metrics.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace_event.h"
 #include "src/ssd/write_buffer.h"
 #include "src/trace/request.h"
-#include "src/util/histogram.h"
 #include "src/util/running_stats.h"
 
 namespace tpftl {
@@ -37,6 +47,13 @@ struct SsdConfig {
   // Opportunistic GC in idle gaps between requests (off by default — the
   // paper's timing model charges all GC to the triggering request).
   bool background_gc = false;
+  // Phase-level attribution of every NAND operation a request triggers
+  // (src/obs/). Off by default: the replay hot path then pays only one
+  // thread-local null check per flash op.
+  bool trace_phases = false;
+  // With trace_phases on, additionally record span timelines for the first
+  // N requests after each ResetStats, for WriteChromeTrace drill-down.
+  uint64_t trace_span_requests = 0;
 };
 
 class Ssd {
@@ -66,7 +83,10 @@ class Ssd {
   // way months of production traffic would. Run after FillSequential.
   void AgeRandom(double fraction, uint64_t seed = 0xA6E5EED);
 
-  // Clears FTL, flash, and response statistics (keeps mapping state).
+  // Clears FTL, flash, response, and observability statistics (keeps
+  // mapping state), and moves the measurement epoch to the current device
+  // time: queueing delay accumulated before the reset never leaks into
+  // post-reset response times (see Submit).
   void ResetStats();
 
   Ftl& ftl() { return *ftl_; }
@@ -81,8 +101,21 @@ class Ssd {
   const WriteBuffer& write_buffer() const { return write_buffer_; }
 
   const RunningStats& response_stats() const { return response_; }
-  const LogHistogram& response_histogram() const { return response_hist_; }
+  const obs::LatencyHistogram& response_histogram() const {
+    return *response_hist_;
+  }
   uint64_t requests_served() const { return requests_served_; }
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Aggregate phase attribution since the last ResetStats (all zeros unless
+  // trace_phases is on).
+  const obs::PhaseTimes& phase_times() const { return phase_times_; }
+  // Total FIFO queueing delay since the last ResetStats (trace_phases only).
+  MicroSec queue_us_total() const { return queue_us_total_; }
+  bool tracing_phases() const { return trace_phases_; }
+  const obs::RequestTraceLog& trace_log() const { return trace_log_; }
 
  private:
   FlashGeometry geometry_;
@@ -92,11 +125,24 @@ class Ssd {
   std::unique_ptr<Ftl> ftl_;
   WriteBuffer write_buffer_;
   bool background_gc_ = false;
+  bool trace_phases_ = false;
 
   MicroSec device_free_at_ = 0.0;
+  // Measurement epoch: arrivals are clamped to this when computing response
+  // times, so service rendered before the last ResetStats (e.g. warm-up)
+  // cannot be billed to measured requests. Queue physics are unaffected.
+  MicroSec stats_epoch_us_ = 0.0;
   RunningStats response_;
-  LogHistogram response_hist_;
+  obs::MetricsRegistry metrics_;
+  obs::LatencyHistogram* response_hist_;  // metrics_["ssd.response_us"]
+  obs::PhaseTimes phase_times_;
+  MicroSec queue_us_total_ = 0.0;
+  obs::RequestTraceLog trace_log_;
   uint64_t requests_served_ = 0;
+  // Per-request tracing scratch, reused across Submit calls so the disabled
+  // path pays no per-request construction (touched only when trace_phases_).
+  obs::PhaseTimes scratch_times_;
+  obs::RequestSpans scratch_spans_;
 };
 
 }  // namespace tpftl

@@ -9,6 +9,9 @@ namespace tpftl {
 Histogram::Histogram(size_t max_value) : buckets_(max_value + 1, 0) {}
 
 void Histogram::Add(uint64_t value) {
+  if (value >= buckets_.size()) {
+    ++overflow_;
+  }
   const size_t idx = std::min<uint64_t>(value, buckets_.size() - 1);
   ++buckets_[idx];
   ++total_;
@@ -21,12 +24,14 @@ void Histogram::Merge(const Histogram& other) {
     buckets_[i] += other.buckets_[i];
   }
   total_ += other.total_;
+  overflow_ += other.overflow_;
   sum_ += other.sum_;
 }
 
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   total_ = 0;
+  overflow_ = 0;
   sum_ = 0.0;
 }
 
@@ -65,47 +70,6 @@ uint64_t Histogram::Quantile(double q) const {
 
 double Histogram::Mean() const {
   return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
-}
-
-LogHistogram::LogHistogram() : buckets_(65, 0) {}
-
-size_t LogHistogram::BucketFor(uint64_t value) {
-  if (value == 0) {
-    return 0;
-  }
-  return static_cast<size_t>(64 - __builtin_clzll(value));
-}
-
-void LogHistogram::Add(uint64_t value) {
-  ++buckets_[BucketFor(value)];
-  ++total_;
-  sum_ += static_cast<double>(value);
-}
-
-void LogHistogram::Reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  total_ = 0;
-  sum_ = 0.0;
-}
-
-double LogHistogram::Mean() const {
-  return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
-}
-
-uint64_t LogHistogram::Quantile(double q) const {
-  TPFTL_CHECK(q >= 0.0 && q <= 1.0);
-  if (total_ == 0) {
-    return 0;
-  }
-  const auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
-  uint64_t acc = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    acc += buckets_[i];
-    if (acc >= target && acc > 0) {
-      return i == 0 ? 0 : (1ULL << i) - 1;
-    }
-  }
-  return ~0ULL;
 }
 
 }  // namespace tpftl

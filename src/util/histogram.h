@@ -1,8 +1,10 @@
 // Integer-valued histogram with CDF extraction.
 //
 // Used by the Figure 1 reproduction (distribution of cached entries / dirty
-// entries per translation page) and by the metrics layer (response-time
-// percentiles via a log-bucketed variant).
+// entries per translation page). Response-time quantiles moved to the
+// sub-bucketed obs::LatencyHistogram (src/obs/latency_histogram.h), which
+// replaced the log2-bucketed LogHistogram that used to live here — its
+// Quantile returned bucket upper bounds, overstating tail latencies.
 
 #ifndef SRC_UTIL_HISTOGRAM_H_
 #define SRC_UTIL_HISTOGRAM_H_
@@ -14,7 +16,8 @@
 namespace tpftl {
 
 // Exact counts for small non-negative integer values; values beyond the
-// configured cap are clamped into the final bucket.
+// configured cap are clamped into the final bucket. Clamped samples are
+// counted in overflow() — check it before trusting the CDF tail.
 class Histogram {
  public:
   explicit Histogram(size_t max_value = 1024);
@@ -24,6 +27,9 @@ class Histogram {
   void Reset();
 
   uint64_t total() const { return total_; }
+  // Samples that exceeded max_value and were clamped into the cap bucket.
+  // When non-zero, CdfAt/Quantile understate the tail.
+  uint64_t overflow() const { return overflow_; }
   // Count of samples with exactly this value (cap bucket aggregates the tail).
   uint64_t CountAt(size_t value) const;
   // Fraction of samples with value <= v (0 when empty).
@@ -36,27 +42,7 @@ class Histogram {
  private:
   std::vector<uint64_t> buckets_;
   uint64_t total_ = 0;
-  double sum_ = 0.0;
-};
-
-// Log2-bucketed histogram for wide-range values (latencies in microseconds).
-class LogHistogram {
- public:
-  LogHistogram();
-
-  void Add(uint64_t value);
-  void Reset();
-
-  uint64_t total() const { return total_; }
-  double Mean() const;
-  // Approximate quantile: returns the upper bound of the bucket containing q.
-  uint64_t Quantile(double q) const;
-
- private:
-  static size_t BucketFor(uint64_t value);
-
-  std::vector<uint64_t> buckets_;
-  uint64_t total_ = 0;
+  uint64_t overflow_ = 0;
   double sum_ = 0.0;
 };
 

@@ -15,6 +15,8 @@ void Table::AddRow(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+void Table::AddWarning(std::string warning) { warnings_.push_back(std::move(warning)); }
+
 void Table::AddRow(const std::string& label, const std::vector<double>& values, int decimals) {
   std::vector<std::string> cells;
   cells.reserve(values.size() + 1);
@@ -57,6 +59,9 @@ void Table::Print(std::ostream& os) const {
   for (const auto& row : rows_) {
     emit_row(row);
   }
+  for (const auto& warning : warnings_) {
+    os << "WARNING: " << warning << "\n";
+  }
   os << "\n";
 }
 
@@ -73,6 +78,9 @@ void Table::PrintCsv(std::ostream& os) const {
   emit(headers_);
   for (const auto& row : rows_) {
     emit(row);
+  }
+  for (const auto& warning : warnings_) {
+    os << "# WARNING: " << warning << "\n";
   }
 }
 

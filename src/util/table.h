@@ -28,6 +28,13 @@ class Table {
   size_t row_count() const { return rows_.size(); }
   const std::string& title() const { return title_; }
 
+  // Data-quality caveat shown with the table: printed under the console
+  // rendering and as a trailing "# WARNING: ..." comment line in the CSV.
+  // Use for conditions that silently distort the numbers (e.g. histogram
+  // overflow flattening a CDF tail).
+  void AddWarning(std::string warning);
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
   // Aligned human-readable rendering.
   void Print(std::ostream& os) const;
   // RFC-4180-ish CSV (no quoting needed for our cell contents).
@@ -37,6 +44,7 @@ class Table {
   std::string title_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> warnings_;
 };
 
 }  // namespace tpftl

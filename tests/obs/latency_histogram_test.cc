@@ -1,0 +1,154 @@
+#include "src/obs/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace tpftl::obs {
+namespace {
+
+// Exact quantile of a sorted sample set using the same rank convention as
+// LatencyHistogram (smallest value with at least ceil(q * n) samples <= it).
+double ExactQuantile(std::vector<double> sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<size_t>(std::ceil(q * n));
+  rank = std::clamp<size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+// The headline regression: the old LogHistogram reported q=0.5 of all-25 µs
+// samples as 31 (the [16, 31] bucket's upper bound). The replacement must
+// report ~25.
+TEST(LatencyHistogramTest, ConstantSamplesReportTheirValue) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(25.0);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 25.0, 25.0 * 0.02);
+  EXPECT_NEAR(h.Quantile(0.99), 25.0, 25.0 * 0.02);
+  EXPECT_DOUBLE_EQ(h.min(), 25.0);
+  EXPECT_DOUBLE_EQ(h.max(), 25.0);
+}
+
+TEST(LatencyHistogramTest, LegacyLog2UpperBound) {
+  EXPECT_EQ(Log2UpperBound(0), 0u);
+  EXPECT_EQ(Log2UpperBound(1), 1u);
+  EXPECT_EQ(Log2UpperBound(25), 31u);
+  EXPECT_EQ(Log2UpperBound(1000), 1023u);
+  EXPECT_EQ(Log2UpperBound(1024), 2047u);
+}
+
+// Acceptance criterion: p50/p90/p99/p99.9 within 2% of exact sorted-sample
+// quantiles on randomized latency distributions spanning the 25 µs .. 100 ms
+// range an SSD simulation produces.
+TEST(LatencyHistogramTest, RandomizedQuantileErrorWithinTwoPercent) {
+  Rng rng(0xC0FFEE);
+  for (int dist = 0; dist < 4; ++dist) {
+    LatencyHistogram h;
+    std::vector<double> samples;
+    samples.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+      double v = 0.0;
+      switch (dist) {
+        case 0:  // Uniform 25 µs .. 1 ms.
+          v = 25.0 + rng.NextDouble() * 975.0;
+          break;
+        case 1:  // Log-uniform 10 µs .. 100 ms (heavy dynamic range).
+          v = 10.0 * std::pow(10.0, rng.NextDouble() * 4.0);
+          break;
+        case 2:  // Bimodal: fast reads + rare slow GC-bound tails.
+          v = rng.NextDouble() < 0.95 ? 25.0 + rng.NextDouble() * 10.0
+                                      : 2000.0 + rng.NextDouble() * 6000.0;
+          break;
+        default:  // Exponential-ish, mean ~200 µs.
+          v = -200.0 * std::log(1.0 - rng.NextDouble() * 0.9999);
+          break;
+      }
+      samples.push_back(v);
+      h.Add(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+      const double exact = ExactQuantile(samples, q);
+      const double approx = h.Quantile(q);
+      EXPECT_NEAR(approx, exact, exact * 0.02)
+          << "dist=" << dist << " q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h.min(), samples.front());
+    EXPECT_DOUBLE_EQ(h.max(), samples.back());
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, MeanAndSumAreExact) {
+  LatencyHistogram h;
+  h.Add(100.0);
+  h.Add(300.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 400.0);
+}
+
+TEST(LatencyHistogramTest, QuantileClampedToObservedRange) {
+  LatencyHistogram h;
+  h.Add(1000.0);
+  // A single sample: every quantile is that sample, not a bucket midpoint
+  // above or below it.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.001), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  Rng rng(42);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = 10.0 + rng.NextDouble() * 10000.0;
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    combined.Add(v);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.total(), combined.total());
+  // Sums differ only by floating-point association order.
+  EXPECT_NEAR(a.sum(), combined.sum(), combined.sum() * 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), combined.Quantile(q));
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Add(123.0);
+  h.Reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondResolution) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) {
+    h.Add(0.5);
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 1.0 / LatencyHistogram::kScale);
+}
+
+}  // namespace
+}  // namespace tpftl::obs

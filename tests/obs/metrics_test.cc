@@ -1,0 +1,130 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace tpftl::obs {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("requests");
+  c->Increment(3);
+  EXPECT_EQ(reg.counter("requests"), c);  // Same object on re-lookup.
+  EXPECT_EQ(reg.counter("requests")->value(), 3u);
+  EXPECT_EQ(reg.FindCounter("requests"), c);
+  EXPECT_EQ(reg.FindCounter("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddAndPeakMerge) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.gauge("depth")->Set(4.0);
+  b.gauge("depth")->Set(9.0);
+  b.gauge("depth")->Add(1.0);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.gauge("depth")->value(), 10.0);  // Peak wins.
+}
+
+TEST(MetricsRegistryTest, MergeCreatesMissingMetrics) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  b.counter("only_in_b")->Increment(7);
+  b.histogram("lat")->Add(50.0);
+  a.MergeFrom(b);
+  ASSERT_NE(a.FindCounter("only_in_b"), nullptr);
+  EXPECT_EQ(a.FindCounter("only_in_b")->value(), 7u);
+  ASSERT_NE(a.FindHistogram("lat"), nullptr);
+  EXPECT_EQ(a.FindHistogram("lat")->total(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("ops");
+  c->Increment(5);
+  reg.histogram("lat")->Add(10.0);
+  reg.ResetValues();
+  EXPECT_EQ(c->value(), 0u);  // Cached pointer still live, value zeroed.
+  EXPECT_EQ(reg.FindHistogram("lat")->total(), 0u);
+}
+
+TEST(MetricsRegistryTest, IterationIsNameOrdered) {
+  MetricsRegistry reg;
+  reg.counter("zeta");
+  reg.counter("alpha");
+  reg.counter("mid");
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : reg.counters()) {
+    names.push_back(name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+// The RunSweep model: each worker thread owns a shard registry (no sharing,
+// no locking), and the shards merge into one deterministic aggregate. The
+// merged result must equal a serial run over all samples regardless of
+// thread count or completion order.
+TEST(MetricsRegistryTest, MergeAcrossSweepThreadsMatchesSerial) {
+  constexpr int kShards = 8;
+  constexpr int kSamplesPerShard = 10000;
+
+  std::vector<std::unique_ptr<MetricsRegistry>> shards;
+  for (int s = 0; s < kShards; ++s) {
+    shards.push_back(std::make_unique<MetricsRegistry>());
+  }
+
+  ThreadPool pool(4);
+  for (int s = 0; s < kShards; ++s) {
+    pool.Submit([s, &shards] {
+      MetricsRegistry& reg = *shards[s];
+      Rng rng(1000 + static_cast<uint64_t>(s));
+      for (int i = 0; i < kSamplesPerShard; ++i) {
+        reg.counter("requests")->Increment();
+        reg.histogram("response_us")->Add(20.0 + rng.NextDouble() * 5000.0);
+      }
+      reg.gauge("peak_depth")->Set(static_cast<double>(s));
+    });
+  }
+  pool.Wait();
+
+  // Serial reference over the same per-shard sample streams.
+  MetricsRegistry serial;
+  for (int s = 0; s < kShards; ++s) {
+    Rng rng(1000 + static_cast<uint64_t>(s));
+    for (int i = 0; i < kSamplesPerShard; ++i) {
+      serial.counter("requests")->Increment();
+      serial.histogram("response_us")->Add(20.0 + rng.NextDouble() * 5000.0);
+    }
+  }
+
+  MetricsRegistry merged;
+  for (const auto& shard : shards) {
+    merged.MergeFrom(*shard);
+  }
+
+  EXPECT_EQ(merged.counter("requests")->value(),
+            static_cast<uint64_t>(kShards) * kSamplesPerShard);
+  EXPECT_EQ(merged.counter("requests")->value(),
+            serial.counter("requests")->value());
+  const LatencyHistogram* m = merged.FindHistogram("response_us");
+  const LatencyHistogram* ref = serial.FindHistogram("response_us");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->total(), ref->total());
+  // Shard-then-merge vs interleaved: same samples, different FP association.
+  EXPECT_NEAR(m->sum(), ref->sum(), ref->sum() * 1e-12);
+  EXPECT_DOUBLE_EQ(m->min(), ref->min());
+  EXPECT_DOUBLE_EQ(m->max(), ref->max());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(m->Quantile(q), ref->Quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(merged.gauge("peak_depth")->value(), kShards - 1.0);
+}
+
+}  // namespace
+}  // namespace tpftl::obs

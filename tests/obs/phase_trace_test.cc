@@ -1,0 +1,210 @@
+#include "src/obs/phase.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/obs/trace_event.h"
+
+namespace tpftl::obs {
+namespace {
+
+TEST(PhaseTraceTest, NoContextMeansNoCharges) {
+  // No ScopedRequestContext installed: charging is a no-op and must not
+  // crash (this is the disabled-path contract every NAND op relies on).
+  ChargeFlash(FlashOp::kRead, 25.0);
+  CountGcVictimScan();
+  EmitInstant("noop");
+  EXPECT_FALSE(TracingActive());
+}
+
+// Tests of tracing *behavior* only exist when the layer is compiled in;
+// with -DTPFTL_OBS=OFF every entry point is a no-op by design.
+#if TPFTL_OBS_ENABLED
+
+TEST(PhaseTraceTest, ChargesBookToCurrentPhase) {
+  PhaseTimes times;
+  ScopedRequestContext ctx(&times, nullptr);
+  ChargeFlash(FlashOp::kRead, 25.0);  // Default phase: user.
+  {
+    ScopedPhase phase(Phase::kTranslation);
+    ChargeFlash(FlashOp::kRead, 25.0);
+    ChargeFlash(FlashOp::kProgram, 200.0);
+  }
+  ChargeFlash(FlashOp::kProgram, 200.0);  // Back to user.
+
+  EXPECT_DOUBLE_EQ(times.OpUs(Phase::kUser, FlashOp::kRead), 25.0);
+  EXPECT_DOUBLE_EQ(times.OpUs(Phase::kUser, FlashOp::kProgram), 200.0);
+  EXPECT_DOUBLE_EQ(times.PhaseUs(Phase::kTranslation), 225.0);
+  EXPECT_EQ(times.OpCount(Phase::kTranslation, FlashOp::kRead), 1u);
+  EXPECT_EQ(times.OpCount(Phase::kTranslation, FlashOp::kProgram), 1u);
+  EXPECT_DOUBLE_EQ(times.ServiceUs(), 450.0);
+}
+
+TEST(PhaseTraceTest, NestedScopesRestore) {
+  PhaseTimes times;
+  ScopedRequestContext ctx(&times, nullptr);
+  {
+    ScopedPhase outer(Phase::kGc);
+    {
+      ScopedPhase inner(Phase::kTranslation);
+      ChargeFlash(FlashOp::kRead, 1.0);
+    }
+    ChargeFlash(FlashOp::kRead, 2.0);  // Restored to GC.
+  }
+  ChargeFlash(FlashOp::kRead, 4.0);  // Restored to user.
+  EXPECT_DOUBLE_EQ(times.PhaseUs(Phase::kTranslation), 1.0);
+  EXPECT_DOUBLE_EQ(times.PhaseUs(Phase::kGc), 2.0);
+  EXPECT_DOUBLE_EQ(times.PhaseUs(Phase::kUser), 4.0);
+}
+
+TEST(PhaseTraceTest, PinnedScopeWinsOverInnerScopes) {
+  PhaseTimes times;
+  ScopedRequestContext ctx(&times, nullptr);
+  {
+    // A write-buffer flush pins: GC triggered by the flushed write must be
+    // billed to flush, keeping phase shares disjoint.
+    ScopedPhase flush(Phase::kFlush, /*pin=*/true);
+    ChargeFlash(FlashOp::kProgram, 200.0);
+    {
+      ScopedPhase gc(Phase::kGc);  // No-op: context is pinned.
+      ChargeFlash(FlashOp::kErase, 1500.0);
+    }
+    ChargeFlash(FlashOp::kProgram, 200.0);  // Still flush.
+  }
+  ChargeFlash(FlashOp::kRead, 25.0);  // Pin released with the scope.
+  EXPECT_DOUBLE_EQ(times.PhaseUs(Phase::kFlush), 1900.0);
+  EXPECT_DOUBLE_EQ(times.PhaseUs(Phase::kGc), 0.0);
+  EXPECT_DOUBLE_EQ(times.PhaseUs(Phase::kUser), 25.0);
+}
+
+TEST(PhaseTraceTest, BackgroundExcludedFromService) {
+  PhaseTimes times;
+  ScopedRequestContext ctx(&times, nullptr);
+  {
+    ScopedPhase bg(Phase::kBackground, /*pin=*/true);
+    ChargeFlash(FlashOp::kErase, 1500.0);
+  }
+  ChargeFlash(FlashOp::kRead, 25.0);
+  EXPECT_DOUBLE_EQ(times.ServiceUs(), 25.0);
+  EXPECT_DOUBLE_EQ(times.TotalUs(), 1525.0);
+}
+
+TEST(PhaseTraceTest, VictimScanCounter) {
+  PhaseTimes times;
+  ScopedRequestContext ctx(&times, nullptr);
+  CountGcVictimScan();
+  CountGcVictimScan();
+  EXPECT_EQ(times.gc_victim_scans, 2u);
+}
+
+TEST(PhaseTraceTest, ContextEndsWithScope) {
+  PhaseTimes times;
+  {
+    ScopedRequestContext ctx(&times, nullptr);
+    EXPECT_TRUE(TracingActive());
+  }
+  EXPECT_FALSE(TracingActive());
+  ChargeFlash(FlashOp::kRead, 25.0);
+  EXPECT_EQ(times.PhaseOps(Phase::kUser), 0u);
+}
+
+TEST(PhaseTraceTest, SpansMergeAdjacentSamePhaseCharges) {
+  PhaseTimes times;
+  RequestSpans spans;
+  ScopedRequestContext ctx(&times, &spans);
+  {
+    ScopedPhase t(Phase::kTranslation);
+    ChargeFlash(FlashOp::kRead, 25.0);
+  }
+  ChargeFlash(FlashOp::kProgram, 200.0);
+  ChargeFlash(FlashOp::kProgram, 200.0);  // Extends the open user span.
+  EmitInstant("marker");
+  {
+    ScopedPhase g(Phase::kGc);
+    ChargeFlash(FlashOp::kErase, 1500.0);
+  }
+
+  ASSERT_EQ(spans.spans().size(), 3u);
+  EXPECT_EQ(spans.spans()[0].phase, Phase::kTranslation);
+  EXPECT_DOUBLE_EQ(spans.spans()[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(spans.spans()[0].dur_us, 25.0);
+  EXPECT_EQ(spans.spans()[1].phase, Phase::kUser);
+  EXPECT_DOUBLE_EQ(spans.spans()[1].start_us, 25.0);
+  EXPECT_DOUBLE_EQ(spans.spans()[1].dur_us, 400.0);
+  EXPECT_EQ(spans.spans()[1].ops[static_cast<size_t>(FlashOp::kProgram)], 2u);
+  EXPECT_EQ(spans.spans()[2].phase, Phase::kGc);
+  EXPECT_DOUBLE_EQ(spans.spans()[2].start_us, 425.0);
+  ASSERT_EQ(spans.instants().size(), 1u);
+  EXPECT_STREQ(spans.instants()[0].name, "marker");
+  EXPECT_DOUBLE_EQ(spans.instants()[0].at_us, 425.0);
+  EXPECT_DOUBLE_EQ(spans.cursor_us(), 1925.0);
+}
+
+#endif  // TPFTL_OBS_ENABLED
+
+TEST(PhaseTraceTest, TraceLogCapacityAndDrops) {
+  RequestTraceLog log(2);
+  EXPECT_TRUE(log.WantsMore());
+  log.Add({});
+  log.Add({});
+  EXPECT_FALSE(log.WantsMore());
+  log.Add({});
+  EXPECT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  log.Clear();
+  EXPECT_TRUE(log.WantsMore());
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(PhaseTraceTest, ChromeTraceExportIsBalancedJson) {
+  RequestTraceLog log(4);
+  RequestTraceRecord rec;
+  rec.index = 0;
+  rec.lpn = 42;
+  rec.length = 2;
+  rec.is_write = true;
+  rec.arrival_us = 100.0;
+  rec.start_us = 150.0;
+  rec.finish_us = 600.0;
+  rec.queue_us = 50.0;
+  rec.spans.push_back({Phase::kTranslation, 0.0, 25.0, {1, 0, 0}});
+  rec.spans.push_back({Phase::kUser, 25.0, 400.0, {0, 2, 0}});
+  rec.instants.push_back({"cache_miss", 0.0});
+  log.Add(rec);
+
+  std::ostringstream os;
+  WriteChromeTrace(os, log, "ssd \"quoted\" label");
+  const std::string json = os.str();
+
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"translation\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_miss\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpftl::obs

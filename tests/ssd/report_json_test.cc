@@ -14,6 +14,10 @@ RunReport SampleReport() {
   r.prd = 0.015;
   r.write_amplification = 2.5;
   r.mean_response_us = 812.5;
+  r.p50_response_us = 600.25;
+  r.p99_response_us = 5000.5;
+  r.phases.Charge(obs::Phase::kTranslation, obs::FlashOp::kRead, 25.0);
+  r.queue_us_total = 1500.0;
   r.trans_reads = 42;
   r.trans_writes = 7;
   r.block_erases = 3;
@@ -29,7 +33,9 @@ TEST(ReportJsonTest, ContainsAllTopLevelFields) {
        {"\"workload\":\"Financial1\"", "\"ftl\":\"TPFTL\"", "\"requests\":1000",
         "\"hit_ratio\":0.875", "\"prd\":0.015", "\"write_amplification\":2.5",
         "\"trans_reads\":42", "\"trans_writes\":7", "\"block_erases\":3",
-        "\"lookups\":1100", "\"page_writes\":1234"}) {
+        "\"lookups\":1100", "\"page_writes\":1234", "\"p50_response_us\":600.25",
+        "\"p99_response_us\":5000.5", "\"phases\":", "\"queue_us\":1500",
+        "\"translation_us\":25", "\"translation_ops\":1", "\"gc_victim_scans\":0"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
   }
 }

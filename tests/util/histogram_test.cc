@@ -77,26 +77,32 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.CountAt(5), 0u);
 }
 
-TEST(LogHistogramTest, MeanIsExact) {
-  LogHistogram h;
+TEST(HistogramTest, OverflowCountsClampedSamples) {
+  Histogram h(4);
+  h.Add(4);  // At the cap: exact, not an overflow.
+  EXPECT_EQ(h.overflow(), 0u);
+  h.Add(5);
   h.Add(100);
-  h.Add(300);
-  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.CountAt(4), 3u);  // Cap bucket aggregates all three.
+  EXPECT_EQ(h.total(), 3u);
 }
 
-TEST(LogHistogramTest, QuantileBucketUpperBound) {
-  LogHistogram h;
-  for (int i = 0; i < 100; ++i) {
-    h.Add(1000);  // Bucket [512, 1023]... 1000 lands in bucket 10 → bound 1023.
-  }
-  EXPECT_EQ(h.Quantile(0.5), 1023u);
+TEST(HistogramTest, MergePropagatesOverflow) {
+  Histogram a(4);
+  Histogram b(4);
+  a.Add(9);
+  b.Add(9);
+  b.Add(2);
+  a.Merge(b);
+  EXPECT_EQ(a.overflow(), 2u);
 }
 
-TEST(LogHistogramTest, ZeroValue) {
-  LogHistogram h;
-  h.Add(0);
-  EXPECT_EQ(h.total(), 1u);
-  EXPECT_EQ(h.Quantile(1.0), 0u);
+TEST(HistogramTest, ResetClearsOverflow) {
+  Histogram h(4);
+  h.Add(9);
+  h.Reset();
+  EXPECT_EQ(h.overflow(), 0u);
 }
 
 }  // namespace
