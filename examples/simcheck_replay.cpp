@@ -1,0 +1,147 @@
+// simcheck_replay — replay, minimize, or generate .simcheck repro files.
+//
+// Replay a repro (e.g. a CI artifact) to its recorded divergence:
+//   simcheck_replay repro.simcheck
+// Minimize a failing repro further and write the result:
+//   simcheck_replay repro.simcheck --shrink=min.simcheck
+// Generate a fresh schedule as a repro file (corpus curation):
+//   simcheck_replay --generate=powercut:TPFTL:11:1500 out.simcheck
+//
+// Exit codes: 0 = run is clean, 2 = divergence reproduced, 1 = usage or I/O
+// error. Replays are deterministic: the same file always diverges at the
+// same step with the same message.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/testing/repro.h"
+#include "src/testing/schedule.h"
+#include "src/testing/shrink.h"
+#include "src/testing/simcheck.h"
+
+namespace {
+
+using tpftl::FtlKindByName;
+using tpftl::FtlKindName;
+using namespace tpftl::simcheck;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: simcheck_replay <repro.simcheck> [--shrink=<out.simcheck>]\n"
+               "       simcheck_replay --generate=<profile>:<ftl>:<seed>:<ops> "
+               "<out.simcheck>\n");
+  return 1;
+}
+
+void PrintResult(const Repro& repro, const SimResult& r) {
+  std::printf("ftl        %s\n", FtlKindName(repro.kind));
+  std::printf("profile    %s\n", repro.profile.name.c_str());
+  std::printf("seed       %llu\n", static_cast<unsigned long long>(repro.seed));
+  std::printf("ops        %zu\n", repro.ops.size());
+  std::printf("steps      %llu\n", static_cast<unsigned long long>(r.steps_executed));
+  std::printf("power cuts %llu (recoveries %llu)\n",
+              static_cast<unsigned long long>(r.power_cuts),
+              static_cast<unsigned long long>(r.recoveries));
+  if (r.ok) {
+    std::printf("verdict    OK (digest %016llx)\n",
+                static_cast<unsigned long long>(r.final_digest));
+  } else {
+    std::printf("verdict    DIVERGED at %s\n", r.message.c_str());
+  }
+}
+
+int Generate(const std::string& spec, const std::string& out_path) {
+  // <profile>:<ftl>:<seed>:<ops>
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (true) {
+    const size_t colon = spec.find(':', begin);
+    parts.push_back(spec.substr(begin, colon - begin));
+    if (colon == std::string::npos) {
+      break;
+    }
+    begin = colon + 1;
+  }
+  if (parts.size() != 4) {
+    return Usage();
+  }
+  Repro repro;
+  repro.profile = ProfileByName(parts[0]);
+  const auto kind = FtlKindByName(parts[1]);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown ftl '%s'\n", parts[1].c_str());
+    return 1;
+  }
+  repro.kind = *kind;
+  repro.seed = std::strtoull(parts[2].c_str(), nullptr, 10);
+  const uint64_t ops = std::strtoull(parts[3].c_str(), nullptr, 10);
+  repro.ops = GenerateSchedule(repro.profile, repro.seed, ops);
+  if (!WriteReproFile(out_path, repro)) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  const SimResult r = RunSchedule(repro.kind, repro.profile, repro.seed, repro.ops);
+  PrintResult(repro, r);
+  std::printf("wrote      %s\n", out_path.c_str());
+  return r.ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string repro_path;
+  std::string shrink_out;
+  std::string generate_spec;
+  std::string generate_out;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--shrink=", 0) == 0) {
+      shrink_out = arg.substr(9);
+    } else if (arg.rfind("--generate=", 0) == 0) {
+      generate_spec = arg.substr(11);
+    } else if (!generate_spec.empty() && generate_out.empty()) {
+      generate_out = arg;
+    } else if (repro_path.empty()) {
+      repro_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (!generate_spec.empty()) {
+    if (generate_out.empty()) {
+      return Usage();
+    }
+    return Generate(generate_spec, generate_out);
+  }
+  if (repro_path.empty()) {
+    return Usage();
+  }
+
+  Repro repro;
+  std::string error;
+  if (!ReadReproFile(repro_path, &repro, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  SimResult r = RunSchedule(repro.kind, repro.profile, repro.seed, repro.ops);
+  PrintResult(repro, r);
+
+  if (!r.ok && !shrink_out.empty()) {
+    const ShrinkResult shrunk = ShrinkSchedule(repro.kind, repro.profile, repro.seed,
+                                               repro.ops);
+    std::printf("shrunk     %zu -> %zu ops (%llu runs)\n", repro.ops.size(),
+                shrunk.ops.size(), static_cast<unsigned long long>(shrunk.runs));
+    std::printf("minimal    %s\n", shrunk.failure.message.c_str());
+    Repro minimal = repro;
+    minimal.ops = shrunk.ops;
+    if (!WriteReproFile(shrink_out, minimal)) {
+      std::fprintf(stderr, "cannot write '%s'\n", shrink_out.c_str());
+      return 1;
+    }
+    std::printf("wrote      %s\n", shrink_out.c_str());
+  }
+  return r.ok ? 0 : 2;
+}

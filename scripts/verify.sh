@@ -2,11 +2,17 @@
 # Tier-1 verification: configure, build, run the full test suite, then smoke-
 # run the mapping-cache throughput benchmark (writes build/BENCH_cache.json).
 #
-# Usage: scripts/verify.sh [--sanitize] [build-dir]
+# Usage: scripts/verify.sh [--sanitize] [--simcheck] [build-dir]
 #   --sanitize   additionally build the hardened + ASan/UBSan configuration
 #                (cmake/ci-hardened-sanitized.cmake) in <build-dir>-asan and
 #                run the full suite under it. Slower; catches memory and UB
 #                bugs the default build cannot.
+#   --simcheck   additionally re-run the SimCheck model-checking suite at a
+#                medium op budget (TPFTL_SIMCHECK_OPS=6000, 4x the ctest
+#                default) — a deeper randomized sweep of all 8 FTLs. Failing
+#                runs drop minimized .simcheck repro files under
+#                <build-dir>/simcheck-repros/ (replay with
+#                build/examples/simcheck_replay).
 # Knobs: TPFTL_BENCH_CACHE_OPS (default 200000 here — a smoke run, not a
 #        stable measurement; use the default 2000000 for recorded numbers).
 
@@ -14,10 +20,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+SIMCHECK=0
 BUILD_DIR="build"
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
+    --simcheck) SIMCHECK=1 ;;
     *) BUILD_DIR="$arg" ;;
   esac
 done
@@ -38,6 +46,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 TPFTL_BENCH_CACHE_OPS="${TPFTL_BENCH_CACHE_OPS:-200000}" \
   "./$BUILD_DIR/bench/bench_micro_cache" "--throughput=$BUILD_DIR/BENCH_cache.json"
+
+if [[ "$SIMCHECK" == "1" ]]; then
+  TPFTL_SIMCHECK_OPS=6000 \
+  TPFTL_SIMCHECK_REPRO_DIR="$(cd "$BUILD_DIR" && pwd)/simcheck-repros" \
+    ctest --test-dir "$BUILD_DIR" -R 'SimCheck' --output-on-failure -j"$JOBS"
+fi
 
 if [[ "$SANITIZE" == "1" ]]; then
   ASAN_DIR="${BUILD_DIR}-asan"

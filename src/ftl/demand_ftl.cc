@@ -102,7 +102,9 @@ MicroSec DemandFtl::WritePage(Lpn lpn) {
   }
   {
     obs::ScopedPhase phase(obs::Phase::kTranslation);
-    t += CommitMapping(lpn, new_ppn);
+    if (lpn != sabotage_drop_commit_lpn_) [[likely]] {
+      t += CommitMapping(lpn, new_ppn);
+    }
   }
   t += RunGcIfNeeded();
   return t;

@@ -90,6 +90,13 @@ class DemandFtl : public Ftl {
     return recovered_ ? &recovery_report_ : nullptr;
   }
 
+  bool CheckInvariants() const override { return bm_.CheckInvariants(); }
+
+  bool TestOnlySabotageDropCommits(Lpn lpn) final {
+    sabotage_drop_commit_lpn_ = lpn;
+    return true;
+  }
+
  protected:
   // --- policy hooks -------------------------------------------------------
   virtual MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) = 0;
@@ -126,6 +133,7 @@ class DemandFtl : public Ftl {
   bool recovered_ = false;
   RecoveryReport recovery_report_;
   std::vector<Ppn> recovered_user_map_;
+  Lpn sabotage_drop_commit_lpn_ = kInvalidLpn;  // See TestOnlySabotageDropCommits.
 };
 
 }  // namespace tpftl

@@ -179,14 +179,24 @@ MicroSec FastFtl::TrimPage(Lpn lpn) {
 
 MicroSec FastFtl::AppendToLog(Lpn lpn) {
   MicroSec t = 0.0;
-  if (log_blocks_.empty() || !flash_->block(log_blocks_.back()).HasFreePage()) {
-    if (log_blocks_.size() >= log_block_limit_) {
-      t += ReclaimOldestLog();
-    }
-    log_blocks_.push_back(AllocateBlock());
-  }
   Ppn new_ppn = kInvalidPpn;
-  t += flash_->ProgramPage(log_blocks_.back(), lpn, &new_ppn);
+  do {
+    // Appendable means the *write cursor* has room, not merely that free
+    // pages exist: recovery can demote an in-place-written data block (holes
+    // below a high cursor) to a log block, and sequential programming cannot
+    // reach those holes.
+    if (log_blocks_.empty() ||
+        flash_->block(log_blocks_.back()).write_cursor() >=
+            flash_->geometry().pages_per_block) {
+      if (log_blocks_.size() >= log_block_limit_) {
+        t += ReclaimOldestLog();
+      }
+      log_blocks_.push_back(AllocateBlock());
+    }
+    t += flash_->ProgramPage(log_blocks_.back(), lpn, &new_ppn);
+    // An injected program failure consumes the page as unreadable; retry on
+    // the next free page (possibly of a freshly allocated log block).
+  } while (new_ppn == kInvalidPpn);
   // Supersede the previous copy (log first, then the in-place one).
   if (const auto it = log_map_.find(lpn); it != log_map_.end()) {
     flash_->InvalidatePage(it->second);

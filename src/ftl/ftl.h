@@ -61,6 +61,22 @@ class Ftl {
   // Stats of the power-loss recovery this FTL was constructed from
   // (FtlEnv::recover_from_flash); nullptr when it started from a format.
   virtual const RecoveryReport* recovery_report() const { return nullptr; }
+
+  // Structural self-check used by the SimCheck harness (src/testing/): the
+  // FTL verifies its internal bookkeeping (block accounting, candidate
+  // buckets, wear histogram) and CHECK-fails on corruption. O(total blocks)
+  // — test support, not a request-path operation. Default: nothing to check.
+  virtual bool CheckInvariants() const { return true; }
+
+  // Test-only sabotage used by SimCheck to validate that its oracle actually
+  // catches lost mappings: the FTL silently drops every mapping commit for
+  // `lpn` (the write is acknowledged and the data page programmed, but the
+  // mapping table is never updated). kInvalidLpn disarms. Returns false when
+  // the FTL does not support the hook.
+  virtual bool TestOnlySabotageDropCommits(Lpn lpn) {
+    (void)lpn;
+    return false;
+  }
 };
 
 }  // namespace tpftl

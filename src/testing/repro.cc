@@ -1,0 +1,219 @@
+#include "src/testing/repro.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tpftl::simcheck {
+
+namespace {
+
+char OpCode(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead:
+      return 'r';
+    case OpKind::kWrite:
+      return 'w';
+    case OpKind::kTrim:
+      return 't';
+    case OpKind::kFlush:
+      return 'f';
+    case OpKind::kBgcTick:
+      return 'g';
+    case OpKind::kPowerCut:
+      return 'p';
+  }
+  return '?';
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SerializeRepro(const Repro& repro) {
+  const SimProfile& p = repro.profile;
+  std::ostringstream out;
+  out << "simcheck v1\n";
+  out << "ftl " << FtlKindName(repro.kind) << "\n";
+  out << "profile " << p.name << "\n";
+  out << "seed " << repro.seed << "\n";
+  out << "logical_pages " << p.logical_pages << "\n";
+  out << "cache_bytes " << p.cache_bytes << "\n";
+  out << "total_blocks " << p.total_blocks << "\n";
+  out << "gc_threshold " << p.gc_threshold << "\n";
+  out << "program_fail_prob " << p.program_fail_prob << "\n";
+  out << "erase_fail_prob " << p.erase_fail_prob << "\n";
+  out << "write_buffer_pages " << p.write_buffer_pages << "\n";
+  out << "deep_check_interval " << p.deep_check_interval << "\n";
+  if (p.sabotage_drop_commit_lpn != kInvalidLpn) {
+    out << "sabotage_drop_commit_lpn " << p.sabotage_drop_commit_lpn << "\n";
+  }
+  out << "ops " << repro.ops.size() << "\n";
+  for (const SimOp& op : repro.ops) {
+    out << OpCode(op.kind);
+    switch (op.kind) {
+      case OpKind::kRead:
+      case OpKind::kWrite:
+      case OpKind::kTrim:
+        out << " " << op.lpn;
+        break;
+      case OpKind::kBgcTick:
+      case OpKind::kPowerCut:
+        out << " " << op.arg;
+        break;
+      case OpKind::kFlush:
+        break;
+    }
+    out << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+bool ParseRepro(const std::string& text, Repro* out, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "simcheck v1") {
+    return Fail(error, "missing 'simcheck v1' header");
+  }
+  Repro repro;
+  // The profile starts from defaults; the header's name does NOT re-derive
+  // mix probabilities — a repro replays its recorded ops, not the generator.
+  bool saw_ops = false;
+  uint64_t op_count = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      return Fail(error, "'end' before the ops block");
+    }
+    if (key == "ops") {
+      if (!(fields >> op_count)) {
+        return Fail(error, "malformed ops count");
+      }
+      saw_ops = true;
+      break;
+    }
+    SimProfile& p = repro.profile;
+    bool ok = true;
+    if (key == "ftl") {
+      std::string name;
+      fields >> name;
+      const auto kind = FtlKindByName(name);
+      if (!kind.has_value()) {
+        return Fail(error, "unknown ftl '" + name + "'");
+      }
+      repro.kind = *kind;
+    } else if (key == "profile") {
+      ok = static_cast<bool>(fields >> p.name);
+    } else if (key == "seed") {
+      ok = static_cast<bool>(fields >> repro.seed);
+    } else if (key == "logical_pages") {
+      ok = static_cast<bool>(fields >> p.logical_pages);
+    } else if (key == "cache_bytes") {
+      ok = static_cast<bool>(fields >> p.cache_bytes);
+    } else if (key == "total_blocks") {
+      ok = static_cast<bool>(fields >> p.total_blocks);
+    } else if (key == "gc_threshold") {
+      ok = static_cast<bool>(fields >> p.gc_threshold);
+    } else if (key == "program_fail_prob") {
+      ok = static_cast<bool>(fields >> p.program_fail_prob);
+    } else if (key == "erase_fail_prob") {
+      ok = static_cast<bool>(fields >> p.erase_fail_prob);
+    } else if (key == "write_buffer_pages") {
+      ok = static_cast<bool>(fields >> p.write_buffer_pages);
+    } else if (key == "deep_check_interval") {
+      ok = static_cast<bool>(fields >> p.deep_check_interval);
+    } else if (key == "sabotage_drop_commit_lpn") {
+      ok = static_cast<bool>(fields >> p.sabotage_drop_commit_lpn);
+    } else {
+      return Fail(error, "unknown key '" + key + "'");
+    }
+    if (!ok) {
+      return Fail(error, "malformed value for '" + key + "'");
+    }
+  }
+  if (!saw_ops) {
+    return Fail(error, "missing ops block");
+  }
+  repro.ops.reserve(op_count);
+  for (uint64_t i = 0; i < op_count; ++i) {
+    if (!std::getline(in, line)) {
+      return Fail(error, "truncated ops block");
+    }
+    std::istringstream fields(line);
+    std::string code;
+    fields >> code;
+    if (code.size() != 1) {
+      return Fail(error, "malformed op line '" + line + "'");
+    }
+    SimOp op;
+    switch (code[0]) {
+      case 'r':
+        op.kind = OpKind::kRead;
+        break;
+      case 'w':
+        op.kind = OpKind::kWrite;
+        break;
+      case 't':
+        op.kind = OpKind::kTrim;
+        break;
+      case 'f':
+        op.kind = OpKind::kFlush;
+        break;
+      case 'g':
+        op.kind = OpKind::kBgcTick;
+        break;
+      case 'p':
+        op.kind = OpKind::kPowerCut;
+        break;
+      default:
+        return Fail(error, "unknown op code '" + code + "'");
+    }
+    if (op.kind == OpKind::kRead || op.kind == OpKind::kWrite ||
+        op.kind == OpKind::kTrim) {
+      if (!(fields >> op.lpn)) {
+        return Fail(error, "op line missing lpn: '" + line + "'");
+      }
+    } else if (op.kind == OpKind::kBgcTick || op.kind == OpKind::kPowerCut) {
+      if (!(fields >> op.arg)) {
+        return Fail(error, "op line missing arg: '" + line + "'");
+      }
+    }
+    repro.ops.push_back(op);
+  }
+  if (!std::getline(in, line) || line != "end") {
+    return Fail(error, "missing 'end' trailer");
+  }
+  *out = std::move(repro);
+  return true;
+}
+
+bool WriteReproFile(const std::string& path, const Repro& repro) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << SerializeRepro(repro);
+  return static_cast<bool>(out);
+}
+
+bool ReadReproFile(const std::string& path, Repro* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    return Fail(error, "cannot open '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseRepro(text.str(), out, error);
+}
+
+}  // namespace tpftl::simcheck

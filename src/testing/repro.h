@@ -1,0 +1,51 @@
+// The .simcheck repro format: a failing (or interesting) SimCheck run,
+// serialized so it replays verbatim anywhere — same FTL, same profile, same
+// seed, same op list ⇒ bit-identical divergence point.
+//
+// Line-oriented text, one key per line, ops after the `ops` count line:
+//
+//   simcheck v1
+//   ftl DFTL
+//   profile powercut
+//   seed 99
+//   logical_pages 1024
+//   ... (every SimProfile field that shapes the run)
+//   ops 3
+//   w 17
+//   p 4
+//   r 17
+//   end
+//
+// Op lines: r/w/t <lpn>, f (flush), g <budget_us>, p <delta>. Unknown keys
+// are rejected (a repro that silently ignored a field would not replay what
+// it claims). Human-editable on purpose: bisecting a repro by hand is part
+// of the debugging workflow (see EXPERIMENTS.md).
+
+#ifndef SRC_TESTING_REPRO_H_
+#define SRC_TESTING_REPRO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/ftl_factory.h"
+#include "src/testing/schedule.h"
+
+namespace tpftl::simcheck {
+
+struct Repro {
+  FtlKind kind = FtlKind::kDftl;
+  SimProfile profile;
+  uint64_t seed = 1;
+  std::vector<SimOp> ops;
+};
+
+std::string SerializeRepro(const Repro& repro);
+// Returns false and fills `error` on malformed input.
+bool ParseRepro(const std::string& text, Repro* out, std::string* error);
+
+bool WriteReproFile(const std::string& path, const Repro& repro);
+bool ReadReproFile(const std::string& path, Repro* out, std::string* error);
+
+}  // namespace tpftl::simcheck
+
+#endif  // SRC_TESTING_REPRO_H_

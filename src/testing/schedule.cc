@@ -1,0 +1,116 @@
+#include "src/testing/schedule.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+#include "src/util/rng.h"
+
+namespace tpftl::simcheck {
+
+SimProfile ProfileByName(const std::string& name) {
+  SimProfile p;
+  p.name = name;
+  if (name == "plain") {
+    return p;
+  }
+  if (name == "faulty") {
+    p.program_fail_prob = 0.01;
+    p.erase_fail_prob = 0.002;
+    return p;
+  }
+  if (name == "powercut") {
+    p.program_fail_prob = 0.005;
+    p.erase_fail_prob = 0.001;
+    p.power_cut_prob = 0.002;
+    p.write_buffer_pages = 12;
+    p.flush_prob = 0.03;
+    return p;
+  }
+  if (name == "buffered") {
+    p.write_buffer_pages = 16;
+    p.flush_prob = 0.04;
+    return p;
+  }
+  TPFTL_CHECK_MSG(false, "unknown SimCheck profile");
+  return p;
+}
+
+std::vector<std::string> ProfileNames() {
+  return {"plain", "faulty", "powercut", "buffered"};
+}
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kTrim:
+      return "trim";
+    case OpKind::kFlush:
+      return "flush";
+    case OpKind::kBgcTick:
+      return "bgc";
+    case OpKind::kPowerCut:
+      return "powercut";
+  }
+  return "?";
+}
+
+std::vector<SimOp> GenerateSchedule(const SimProfile& profile, uint64_t seed,
+                                    uint64_t num_ops) {
+  // Distinct stream from the runner's fault-plan seeds (simcheck.cc mixes
+  // with a different constant).
+  Rng rng(seed ^ 0x5C4ED01EULL);
+  const uint64_t hot_pages =
+      std::max<uint64_t>(1, static_cast<uint64_t>(
+                                static_cast<double>(profile.logical_pages) *
+                                profile.hot_fraction));
+  auto pick_lpn = [&]() -> Lpn {
+    if (rng.Chance(profile.hot_prob)) {
+      return rng.Below(hot_pages);
+    }
+    return rng.Below(profile.logical_pages);
+  };
+
+  std::vector<SimOp> ops;
+  ops.reserve(num_ops);
+  bool emitted_cut = false;
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    SimOp op;
+    const double dice = rng.NextDouble();
+    double acc = profile.write_prob;
+    if (dice < acc) {
+      op.kind = OpKind::kWrite;
+      op.lpn = pick_lpn();
+    } else if (dice < (acc += profile.trim_prob)) {
+      op.kind = OpKind::kTrim;
+      op.lpn = pick_lpn();
+    } else if (dice < (acc += profile.flush_prob)) {
+      op.kind = OpKind::kFlush;
+    } else if (dice < (acc += profile.bgc_prob)) {
+      op.kind = OpKind::kBgcTick;
+      op.arg = profile.bgc_budget_us;
+    } else if (dice < (acc += profile.power_cut_prob)) {
+      op.kind = OpKind::kPowerCut;
+      op.arg = rng.Below(std::max<uint64_t>(1, profile.power_cut_max_delta));
+      emitted_cut = true;
+    } else {
+      op.kind = OpKind::kRead;
+      op.lpn = pick_lpn();
+    }
+    ops.push_back(op);
+  }
+
+  // Power-cut profiles must actually cut: force one into the first half so
+  // plenty of traffic follows to trigger and then exercise the recovered FTL.
+  if (profile.power_cut_prob > 0.0 && !emitted_cut && num_ops >= 8) {
+    SimOp op;
+    op.kind = OpKind::kPowerCut;
+    op.arg = rng.Below(std::max<uint64_t>(1, profile.power_cut_max_delta));
+    ops[num_ops / 4 + rng.Below(num_ops / 4)] = op;
+  }
+  return ops;
+}
+
+}  // namespace tpftl::simcheck

@@ -1,0 +1,104 @@
+// SimCheck operation schedules: the op alphabet, the tunable profile that
+// shapes a run (world geometry, op mix, fault environment, write buffer),
+// and the seeded generator that turns a profile into a concrete op list.
+//
+// A schedule is a flat vector of SimOp — no inter-op dependencies — so the
+// shrinker (shrink.h) can delete arbitrary subsequences and the remainder is
+// still a well-formed schedule. Everything is deterministic: the same
+// (profile, seed, num_ops) triple always yields the same op list, and the
+// runner (simcheck.h) derives all of its own randomness (fault plans) from
+// the same seed.
+
+#ifndef SRC_TESTING_SCHEDULE_H_
+#define SRC_TESTING_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/flash/types.h"
+
+namespace tpftl::simcheck {
+
+enum class OpKind : uint8_t {
+  kRead = 0,   // Host read of `lpn` (through the write buffer when present).
+  kWrite,      // Host write of `lpn`.
+  kTrim,       // TRIM/deallocate of `lpn`.
+  kFlush,      // Drain every dirty write-buffer page to the FTL (no-op bare).
+  kBgcTick,    // Idle-time BackgroundGc with `arg` µs of budget.
+  kPowerCut,   // Arm a power cut `arg`+1 device ops in the future; the run
+               // continues until the cut fires, then recovers a fresh FTL.
+};
+
+struct SimOp {
+  OpKind kind = OpKind::kRead;
+  Lpn lpn = 0;        // kRead / kWrite / kTrim.
+  uint64_t arg = 0;   // kBgcTick: budget µs; kPowerCut: extra op delay.
+};
+
+// Everything that shapes one SimCheck world and workload. All fields ride
+// in the .simcheck repro file (repro.h), so a repro replays in the exact
+// environment that produced it.
+struct SimProfile {
+  std::string name = "plain";
+
+  // --- world shape (src/testing/world.h small geometry) ---
+  uint64_t logical_pages = 1024;
+  uint64_t cache_bytes = 32 + 280;
+  uint64_t total_blocks = 96;
+  uint64_t gc_threshold = 6;
+
+  // --- op mix (probabilities per op slot; the remainder becomes reads) ---
+  double write_prob = 0.55;
+  double trim_prob = 0.06;
+  double flush_prob = 0.0;
+  double bgc_prob = 0.03;
+  double power_cut_prob = 0.0;
+  uint64_t bgc_budget_us = 4000;
+  // A generated cut op arms the cut 1..power_cut_max_delta device ops ahead,
+  // so it tears programs mid-GC and mid-writeback, not just between host ops.
+  uint64_t power_cut_max_delta = 24;
+
+  // --- address skew: a hot subset absorbs most of the traffic ---
+  double hot_fraction = 0.25;  // Fraction of the logical space that is hot.
+  double hot_prob = 0.6;       // Probability an op lands in the hot set.
+
+  // --- fault environment (flash/fault.h, probabilities per device op) ---
+  double program_fail_prob = 0.0;
+  double erase_fail_prob = 0.0;
+
+  // --- CFLRU write buffer in front of the FTL (0 = none). Buffered dirty
+  // pages are volatile: a power cut loses them, and the model knows it. ---
+  uint64_t write_buffer_pages = 0;
+
+  // Full-state sweep (every LPN + device accounting) every this many steps;
+  // the touched-LPN oracle runs after every step regardless.
+  uint64_t deep_check_interval = 64;
+
+  // Test-only sabotage (Ftl::TestOnlySabotageDropCommits): validates that
+  // the oracle catches a dropped mapping commit. kInvalidLpn = off.
+  Lpn sabotage_drop_commit_lpn = kInvalidLpn;
+};
+
+// The named schedule profiles the ctest entry sweeps. Unknown names
+// CHECK-fail.
+//   plain    — reads/writes/trims/background GC, no faults.
+//   faulty   — plain plus injected program and erase failures.
+//   powercut — faulty plus mid-stream power cuts with recovery, behind a
+//              small CFLRU write buffer (flush ops included).
+//   buffered — plain behind the write buffer, fault-free.
+SimProfile ProfileByName(const std::string& name);
+std::vector<std::string> ProfileNames();
+
+// Deterministic schedule of `num_ops` ops. When the profile asks for power
+// cuts, at least one kPowerCut op is guaranteed in the first half of the
+// schedule (probability alone could miss, and the power-cut profiles exist
+// to exercise recovery).
+std::vector<SimOp> GenerateSchedule(const SimProfile& profile, uint64_t seed,
+                                    uint64_t num_ops);
+
+const char* OpKindName(OpKind kind);
+
+}  // namespace tpftl::simcheck
+
+#endif  // SRC_TESTING_SCHEDULE_H_

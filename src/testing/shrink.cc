@@ -1,0 +1,69 @@
+#include "src/testing/shrink.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl::simcheck {
+
+namespace {
+
+std::vector<SimOp> WithoutRange(const std::vector<SimOp>& ops, uint64_t begin,
+                                uint64_t end) {
+  std::vector<SimOp> out;
+  out.reserve(ops.size() - (end - begin));
+  out.insert(out.end(), ops.begin(), ops.begin() + static_cast<ptrdiff_t>(begin));
+  out.insert(out.end(), ops.begin() + static_cast<ptrdiff_t>(end), ops.end());
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkSchedule(FtlKind kind, const SimProfile& profile, uint64_t seed,
+                            const std::vector<SimOp>& ops, uint64_t max_runs) {
+  ShrinkResult r;
+  r.ops = ops;
+  r.failure = RunSchedule(kind, profile, seed, ops);
+  ++r.runs;
+  TPFTL_CHECK_MSG(!r.failure.ok, "ShrinkSchedule needs a failing schedule");
+
+  // Attempts to replace the current schedule with `candidate`; keeps it when
+  // it still fails. Returns whether the reduction held.
+  auto try_reduce = [&](std::vector<SimOp> candidate) {
+    if (r.runs >= max_runs) {
+      return false;
+    }
+    SimResult verdict = RunSchedule(kind, profile, seed, candidate);
+    ++r.runs;
+    if (verdict.ok) {
+      return false;
+    }
+    r.ops = std::move(candidate);
+    r.failure = std::move(verdict);
+    return true;
+  };
+
+  // ddmin: delete chunks, halving the chunk size whenever a full sweep at
+  // the current granularity removes nothing.
+  uint64_t chunk = std::max<uint64_t>(1, r.ops.size() / 2);
+  while (r.runs < max_runs) {
+    bool reduced = false;
+    for (uint64_t begin = 0; begin < r.ops.size() && r.runs < max_runs;) {
+      const uint64_t end = std::min<uint64_t>(begin + chunk, r.ops.size());
+      if (try_reduce(WithoutRange(r.ops, begin, end))) {
+        reduced = true;  // The tail shifted into [begin, ...): retry there.
+      } else {
+        begin = end;
+      }
+    }
+    if (chunk == 1 && !reduced) {
+      break;  // One-op polish swept clean — minimal under this predicate.
+    }
+    if (!reduced) {
+      chunk = std::max<uint64_t>(1, chunk / 2);
+    }
+  }
+  return r;
+}
+
+}  // namespace tpftl::simcheck

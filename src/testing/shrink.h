@@ -1,0 +1,33 @@
+// Delta-debugging minimizer for failing SimCheck schedules.
+//
+// Classic ddmin over the op list: try dropping ever-finer chunks, keeping
+// any reduction that still fails (re-running the full harness each time —
+// determinism makes the predicate exact, not statistical), then a final
+// one-op-at-a-time polish. Ops carry no inter-op references, so any
+// subsequence is a well-formed schedule. The run budget bounds worst-case
+// shrink cost; the minimized schedule and its verdict are returned together
+// so the caller can serialize a repro that replays to the same divergence.
+
+#ifndef SRC_TESTING_SHRINK_H_
+#define SRC_TESTING_SHRINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/testing/simcheck.h"
+
+namespace tpftl::simcheck {
+
+struct ShrinkResult {
+  std::vector<SimOp> ops;  // Minimal failing subsequence found.
+  SimResult failure;       // Verdict of running exactly `ops`.
+  uint64_t runs = 0;       // Harness executions spent shrinking.
+};
+
+// `ops` must fail under (kind, profile, seed); CHECK-fails otherwise.
+ShrinkResult ShrinkSchedule(FtlKind kind, const SimProfile& profile, uint64_t seed,
+                            const std::vector<SimOp>& ops, uint64_t max_runs = 2000);
+
+}  // namespace tpftl::simcheck
+
+#endif  // SRC_TESTING_SHRINK_H_

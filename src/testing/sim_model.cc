@@ -1,0 +1,183 @@
+#include "src/testing/sim_model.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tpftl::simcheck {
+
+namespace {
+
+// Newest valid data page carrying `lpn`, by OOB sequence number.
+Ppn WinnerOf(const NandFlash& flash, Lpn lpn) {
+  const FlashGeometry& g = flash.geometry();
+  Ppn winner = kInvalidPpn;
+  uint64_t best_seq = 0;
+  for (Ppn ppn = 0; ppn < g.total_pages(); ++ppn) {
+    if (flash.StateOf(ppn) != PageState::kValid ||
+        flash.OobKindOf(ppn) != OobKind::kData ||
+        flash.OobTag(ppn) != lpn) {
+      continue;
+    }
+    const uint64_t seq = flash.OobSeq(ppn);
+    if (seq > best_seq) {
+      best_seq = seq;
+      winner = ppn;
+    }
+  }
+  return winner;
+}
+
+std::string CheckOne(const Ftl& ftl, const NandFlash& flash, const SimModel& model,
+                     Lpn lpn, bool strict_winner, Ppn winner_hint, bool have_hint) {
+  const Ppn ppn = ftl.Probe(lpn);
+  std::ostringstream out;
+  if (!model.mapped(lpn)) {
+    if (ppn != kInvalidPpn) {
+      out << "ghost mapping: lpn " << lpn << " should be unmapped but probes to ppn "
+          << ppn;
+      return out.str();
+    }
+    return "";
+  }
+  if (ppn == kInvalidPpn) {
+    out << "lost mapping: lpn " << lpn << " was written but probes unmapped";
+    return out.str();
+  }
+  if (flash.StateOf(ppn) != PageState::kValid) {
+    out << "dangling mapping: lpn " << lpn << " probes to non-valid ppn " << ppn;
+    return out.str();
+  }
+  if (flash.OobKindOf(ppn) != OobKind::kData) {
+    out << "kind confusion: lpn " << lpn << " probes to non-data ppn " << ppn;
+    return out.str();
+  }
+  if (flash.OobTag(ppn) != lpn) {
+    out << "tag mismatch: lpn " << lpn << " probes to ppn " << ppn << " tagged "
+        << flash.OobTag(ppn);
+    return out.str();
+  }
+  if (strict_winner) {
+    const Ppn winner = have_hint ? winner_hint : WinnerOf(flash, lpn);
+    if (ppn != winner) {
+      out << "stale mapping: lpn " << lpn << " probes to ppn " << ppn
+          << " (seq " << flash.OobSeq(ppn) << ") but the newest valid copy is ppn "
+          << winner << " (seq " << (winner == kInvalidPpn ? 0 : flash.OobSeq(winner))
+          << ")";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string CheckTouched(const Ftl& ftl, const NandFlash& flash, const SimModel& model,
+                         Lpn lpn, bool strict_winner) {
+  return CheckOne(ftl, flash, model, lpn, strict_winner, kInvalidPpn,
+                  /*have_hint=*/false);
+}
+
+std::string CheckDeep(const Ftl& ftl, const NandFlash& flash, const SimModel& model,
+                      bool strict_winner, bool strict_population) {
+  const FlashGeometry& g = flash.geometry();
+  std::ostringstream out;
+
+  // One physical pass: recount per-block states against the block counters,
+  // collect per-LPN winners and the valid data-page population.
+  std::unordered_map<Lpn, Ppn> winners;
+  std::unordered_map<Lpn, uint64_t> winner_seq;
+  uint64_t valid_data_pages = 0;
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    uint64_t valid = 0;
+    uint64_t programmed = 0;
+    for (uint64_t off = 0; off < g.pages_per_block; ++off) {
+      const Ppn ppn = g.PpnOf(b, off);
+      const PageState state = flash.StateOf(ppn);
+      if (state != PageState::kFree) {
+        ++programmed;
+      }
+      if (state != PageState::kValid) {
+        continue;
+      }
+      ++valid;
+      if (flash.OobKindOf(ppn) != OobKind::kData) {
+        continue;
+      }
+      ++valid_data_pages;
+      const uint64_t seq = flash.OobSeq(ppn);
+      if (seq == 0) {
+        out << "valid data page with torn OOB: ppn " << ppn;
+        return out.str();
+      }
+      const auto lpn = static_cast<Lpn>(flash.OobTag(ppn));
+      if (lpn >= model.logical_pages()) {
+        out << "corrupt OOB tag " << lpn << " on valid ppn " << ppn;
+        return out.str();
+      }
+      if (seq > winner_seq[lpn]) {
+        winner_seq[lpn] = seq;
+        winners[lpn] = ppn;
+      }
+    }
+    const Block view = flash.block(b);
+    const uint64_t counted_programmed = g.pages_per_block - view.free_pages();
+    if (view.valid_pages() != valid || counted_programmed != programmed) {
+      out << "block accounting drift: block " << b << " counters say "
+          << view.valid_pages() << " valid / " << counted_programmed
+          << " programmed, recount says " << valid << " / " << programmed;
+      return out.str();
+    }
+  }
+
+  // One logical pass through the touched oracle plus physical-page
+  // uniqueness.
+  std::unordered_set<Ppn> seen;
+  for (Lpn lpn = 0; lpn < model.logical_pages(); ++lpn) {
+    const auto it = winners.find(lpn);
+    std::string msg = CheckOne(ftl, flash, model, lpn, strict_winner,
+                               it == winners.end() ? kInvalidPpn : it->second,
+                               /*have_hint=*/true);
+    if (!msg.empty()) {
+      return msg;
+    }
+    const Ppn ppn = ftl.Probe(lpn);
+    if (ppn != kInvalidPpn && !seen.insert(ppn).second) {
+      out << "aliased mapping: ppn " << ppn << " mapped by two LPNs (second: " << lpn
+          << ")";
+      return out.str();
+    }
+  }
+
+  if (valid_data_pages < model.mapped_count() ||
+      (strict_population && valid_data_pages != model.mapped_count())) {
+    out << "population drift: " << valid_data_pages << " valid data pages vs "
+        << model.mapped_count() << " mapped LPNs";
+    return out.str();
+  }
+
+  if (!ftl.CheckInvariants()) {
+    return "Ftl::CheckInvariants failed";
+  }
+  return "";
+}
+
+uint64_t StateDigest(const Ftl& ftl, const NandFlash& flash, uint64_t logical_pages) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
+    mix(ftl.Probe(lpn));
+  }
+  mix(flash.stats().page_reads);
+  mix(flash.stats().page_writes);
+  mix(flash.stats().block_erases);
+  mix(flash.TotalEraseCount());
+  return h;
+}
+
+}  // namespace tpftl::simcheck

@@ -1,0 +1,84 @@
+// SimCheck's linearized reference model and oracle checks.
+//
+// The model is deliberately tiny: per LPN, whether the last operation the
+// FTL acknowledged was a write (mapped) or a trim/nothing (unmapped). The
+// simulator carries no page payload, so "contents" reduce to mapping
+// presence — but the oracle cross-checks presence against the *physical*
+// truth on every step:
+//
+//   touched-LPN check (every step, O(total pages) for the winner scan):
+//     * mapped  ⇒ Probe() valid, OOB kind kData, OOB tag == lpn, and — for
+//       page-mapped FTLs — the mapping points at the LPN's *winner*, the
+//       newest valid copy by OOB sequence number (a dropped or stale commit
+//       leaves the mapping on an older page and is caught here);
+//     * unmapped ⇒ Probe() == kInvalidPpn (a resurrected trim or a ghost
+//       mapping is caught here).
+//
+//   deep check (every deep_check_interval steps and at run end):
+//     * the touched-LPN oracle over the whole logical space, plus no two
+//       LPNs sharing a physical page;
+//     * NandFlash accounting: per-page states recounted against per-block
+//       valid counters, and the valid data-page population compared to the
+//       model's mapped population (equal for page-mapped FTLs, bounded
+//       below for the block-mapped baselines, which may keep superseded
+//       copies valid until a merge);
+//     * Ftl::CheckInvariants() — the FTL's own structural self-check
+//       (BlockManager buckets, wear histogram, free-list disjointness).
+//
+// Block-mapped FTLs (BlockFTL, FAST) get the relaxed variant of the winner
+// and population checks — a log block legitimately holds the newest copy
+// while an older home-block copy is still valid mid-merge.
+//
+// Checks return a human-readable divergence message ("" = consistent);
+// SimCheck turns the first non-empty message into the run's verdict.
+
+#ifndef SRC_TESTING_SIM_MODEL_H_
+#define SRC_TESTING_SIM_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/flash/nand.h"
+#include "src/ftl/ftl.h"
+
+namespace tpftl::simcheck {
+
+class SimModel {
+ public:
+  explicit SimModel(uint64_t logical_pages)
+      : mapped_(logical_pages, 0) {}
+
+  uint64_t logical_pages() const { return mapped_.size(); }
+
+  void SetMapped(Lpn lpn, bool mapped) {
+    mapped_count_ += static_cast<uint64_t>(mapped) - mapped_[lpn];
+    mapped_[lpn] = mapped ? 1 : 0;
+  }
+  bool mapped(Lpn lpn) const { return mapped_[lpn] != 0; }
+  uint64_t mapped_count() const { return mapped_count_; }
+
+ private:
+  std::vector<uint8_t> mapped_;
+  uint64_t mapped_count_ = 0;
+};
+
+// Per-step oracle for one LPN. `strict_winner` enables the newest-copy check
+// (page-mapped FTLs).
+std::string CheckTouched(const Ftl& ftl, const NandFlash& flash, const SimModel& model,
+                         Lpn lpn, bool strict_winner);
+
+// Full sweep: every LPN through the touched oracle plus uniqueness,
+// population and device-accounting invariants and the FTL's self-check.
+// `strict_population` additionally requires valid-data-page count ==
+// mapped count (page-mapped FTLs).
+std::string CheckDeep(const Ftl& ftl, const NandFlash& flash, const SimModel& model,
+                      bool strict_winner, bool strict_population);
+
+// FNV-1a digest of the full logical→physical view plus flash op counters;
+// two runs of the same schedule must produce identical digests.
+uint64_t StateDigest(const Ftl& ftl, const NandFlash& flash, uint64_t logical_pages);
+
+}  // namespace tpftl::simcheck
+
+#endif  // SRC_TESTING_SIM_MODEL_H_

@@ -1,0 +1,266 @@
+#include "src/testing/simcheck.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/flash/fault.h"
+#include "src/ssd/write_buffer.h"
+#include "src/testing/repro.h"
+#include "src/testing/shrink.h"
+#include "src/testing/sim_model.h"
+#include "src/testing/world.h"
+
+namespace tpftl::simcheck {
+
+bool StrictOracleFor(FtlKind kind) {
+  return kind != FtlKind::kBlockFtl && kind != FtlKind::kFast;
+}
+
+namespace {
+
+// One live run: world + FTL + optional write buffer + model + verdict.
+class Harness {
+ public:
+  Harness(FtlKind kind, const SimProfile& profile, uint64_t seed)
+      : kind_(kind),
+        profile_(profile),
+        seed_(seed),
+        world_(testing::MakeWorld(profile.logical_pages, profile.cache_bytes,
+                                  profile.total_blocks, profile.gc_threshold)),
+        model_(profile.logical_pages),
+        strict_(StrictOracleFor(kind)) {
+    ftl_ = CreateFtl(kind_, world_.env);
+    ArmSabotage();
+    InstallEnvPlan(FaultPlan::kNoPowerCut);
+    ResetBuffer();
+  }
+
+  SimResult Run(const std::vector<SimOp>& ops) {
+    for (uint64_t step = 0; step < ops.size(); ++step) {
+      touched_.clear();
+      Execute(ops[step]);
+      if (world_.flash->power_cut_triggered()) {
+        // The cut fired during this step's flash work; everything this step
+        // touched is indeterminate, everything before it must survive.
+        if (!RecoverFromCut(step)) {
+          return std::move(result_);
+        }
+        ++result_.steps_executed;
+        continue;
+      }
+      for (const Lpn lpn : touched_) {
+        if (!Report(step, ops[step],
+                    CheckTouched(*ftl_, *world_.flash, model_, lpn, strict_))) {
+          return std::move(result_);
+        }
+      }
+      ++result_.steps_executed;
+      if (profile_.deep_check_interval != 0 &&
+          (step + 1) % profile_.deep_check_interval == 0) {
+        ++result_.deep_checks;
+        if (!Report(step, ops[step],
+                    CheckDeep(*ftl_, *world_.flash, model_, strict_, strict_))) {
+          return std::move(result_);
+        }
+      }
+    }
+    // Closing sweep, then the determinism digest.
+    ++result_.deep_checks;
+    if (!ops.empty() &&
+        !Report(ops.size() - 1, ops.back(),
+                CheckDeep(*ftl_, *world_.flash, model_, strict_, strict_))) {
+      return std::move(result_);
+    }
+    result_.final_digest = StateDigest(*ftl_, *world_.flash, profile_.logical_pages);
+    return std::move(result_);
+  }
+
+ private:
+  void ArmSabotage() {
+    if (profile_.sabotage_drop_commit_lpn != kInvalidLpn) {
+      ftl_->TestOnlySabotageDropCommits(profile_.sabotage_drop_commit_lpn);
+    }
+  }
+
+  void ResetBuffer() {
+    WriteBufferConfig cfg;
+    cfg.capacity_pages = profile_.write_buffer_pages;
+    buffer_ = std::make_unique<WriteBuffer>(cfg);
+  }
+
+  // (Re-)installs the profile's fault environment, optionally with a power
+  // cut armed at absolute device op `cut_at`. Each install draws a fresh
+  // deterministic RNG stream so post-recovery faults don't replay the
+  // pre-cut sequence.
+  void InstallEnvPlan(uint64_t cut_at) {
+    const bool faulty =
+        profile_.program_fail_prob > 0.0 || profile_.erase_fail_prob > 0.0;
+    if (!faulty && cut_at == FaultPlan::kNoPowerCut) {
+      return;
+    }
+    FaultPlan plan;
+    plan.seed = seed_ * 0x9E3779B97F4A7C15ULL + ++plan_epoch_;
+    plan.program_fail_prob = profile_.program_fail_prob;
+    plan.erase_fail_prob = profile_.erase_fail_prob;
+    plan.power_cut_at_op = cut_at;
+    world_.flash->InstallFaultPlan(plan);
+  }
+
+  // Submits one write to the FTL and mirrors it in the model.
+  void WriteToFtl(Lpn lpn) {
+    ftl_->WritePage(lpn);
+    model_.SetMapped(lpn, true);
+    touched_.push_back(lpn);
+  }
+
+  void Execute(const SimOp& op) {
+    switch (op.kind) {
+      case OpKind::kWrite:
+        if (buffer_->enabled()) {
+          const Lpn evicted = buffer_->PutWrite(op.lpn);
+          if (evicted != kInvalidLpn) {
+            WriteToFtl(evicted);
+          }
+        } else {
+          WriteToFtl(op.lpn);
+        }
+        break;
+      case OpKind::kRead: {
+        if (buffer_->enabled() && buffer_->ServeRead(op.lpn)) {
+          break;  // RAM hit — the FTL never sees it.
+        }
+        ftl_->ReadPage(op.lpn);
+        touched_.push_back(op.lpn);
+        if (buffer_->enabled()) {
+          const Lpn evicted = buffer_->AdmitClean(op.lpn);
+          if (evicted != kInvalidLpn) {
+            WriteToFtl(evicted);
+          }
+        }
+        break;
+      }
+      case OpKind::kTrim:
+        if (buffer_->enabled()) {
+          buffer_->Discard(op.lpn);
+        }
+        ftl_->TrimPage(op.lpn);
+        model_.SetMapped(op.lpn, false);
+        touched_.push_back(op.lpn);
+        break;
+      case OpKind::kFlush:
+        if (buffer_->enabled()) {
+          for (const Lpn lpn : buffer_->DrainDirty()) {
+            WriteToFtl(lpn);
+          }
+        }
+        break;
+      case OpKind::kBgcTick:
+        ftl_->BackgroundGc(static_cast<MicroSec>(op.arg));
+        break;
+      case OpKind::kPowerCut:
+        InstallEnvPlan(world_.flash->op_index() + 1 + op.arg);
+        break;
+    }
+  }
+
+  // Restores the flash to the cut instant, boots a recovered FTL and checks
+  // it against the durable model. Returns false when the run has failed.
+  bool RecoverFromCut(uint64_t step) {
+    ++result_.power_cuts;
+    world_.flash->RestoreToCutInstant();
+    ftl_.reset();  // The crashed FTL's RAM dies with the power.
+    world_.env.recover_from_flash = true;
+    ftl_ = CreateFtl(kind_, world_.env);
+    world_.env.recover_from_flash = false;
+    ArmSabotage();
+    InstallEnvPlan(FaultPlan::kNoPowerCut);
+    ResetBuffer();  // Buffered dirty pages are volatile and are gone.
+
+    if (ftl_->recovery_report() == nullptr) {
+      return Report(step, SimOp{OpKind::kPowerCut, 0, 0},
+                    "recovered FTL reports no RecoveryReport");
+    }
+
+    // The in-flight step's LPNs may have landed either side of the cut:
+    // resynchronize the model from the recovered truth for exactly those,
+    // then hold every other LPN to the durable history.
+    for (const Lpn lpn : touched_) {
+      model_.SetMapped(lpn, ftl_->Probe(lpn) != kInvalidPpn);
+    }
+    std::string msg = CheckDeep(*ftl_, *world_.flash, model_, strict_, strict_);
+    if (msg.empty()) {
+      ++result_.recoveries;
+      return true;
+    }
+    return Report(step, SimOp{OpKind::kPowerCut, 0, 0},
+                  "post-recovery divergence: " + msg);
+  }
+
+  // Records a verdict; returns true when the run may continue.
+  bool Report(uint64_t step, const SimOp& op, std::string msg) {
+    if (msg.empty()) {
+      return true;
+    }
+    std::ostringstream out;
+    out << "step " << step << " (" << OpKindName(op.kind);
+    if (op.kind == OpKind::kRead || op.kind == OpKind::kWrite ||
+        op.kind == OpKind::kTrim) {
+      out << " lpn " << op.lpn;
+    }
+    out << "): " << msg;
+    result_.ok = false;
+    result_.failed_step = step;
+    result_.message = out.str();
+    return false;
+  }
+
+  FtlKind kind_;
+  SimProfile profile_;
+  uint64_t seed_;
+  testing::World world_;
+  std::unique_ptr<Ftl> ftl_;
+  std::unique_ptr<WriteBuffer> buffer_;
+  SimModel model_;
+  bool strict_;
+  uint64_t plan_epoch_ = 0;
+  std::vector<Lpn> touched_;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult RunSchedule(FtlKind kind, const SimProfile& profile, uint64_t seed,
+                      const std::vector<SimOp>& ops) {
+  Harness harness(kind, profile, seed);
+  return harness.Run(ops);
+}
+
+CheckOutcome CheckFtl(FtlKind kind, const SimProfile& profile, uint64_t seed,
+                      uint64_t num_ops, const std::string& repro_dir) {
+  CheckOutcome outcome;
+  const std::vector<SimOp> ops = GenerateSchedule(profile, seed, num_ops);
+  outcome.result = RunSchedule(kind, profile, seed, ops);
+  if (outcome.result.ok) {
+    return outcome;
+  }
+  ShrinkResult shrunk = ShrinkSchedule(kind, profile, seed, ops);
+  outcome.shrunk_ops = std::move(shrunk.ops);
+  outcome.shrunk_result = std::move(shrunk.failure);
+  if (!repro_dir.empty()) {
+    Repro repro;
+    repro.kind = kind;
+    repro.profile = profile;
+    repro.seed = seed;
+    repro.ops = outcome.shrunk_ops;
+    std::ostringstream path;
+    path << repro_dir << "/" << profile.name << "_" << FtlKindName(kind) << "_"
+         << seed << ".simcheck";
+    if (WriteReproFile(path.str(), repro)) {
+      outcome.repro_path = path.str();
+    }
+  }
+  return outcome;
+}
+
+}  // namespace tpftl::simcheck

@@ -1,0 +1,71 @@
+// SimCheck — deterministic simulation checking for every FTL flavor.
+//
+// RunSchedule drives one FTL through a schedule of host ops (schedule.h) in
+// a miniature world (world.h), with injected program/erase faults and
+// mid-stream power cuts followed by OOB-scan recovery, while the oracle
+// (sim_model.h) cross-checks a linearized reference model against the FTL's
+// mapping and the device's accounting after every step. Everything derives
+// from (kind, profile, seed, ops): the same quadruple always reaches the
+// same verdict, down to the failing step and message — which is what lets a
+// shrunk repro (shrink.h, repro.h) replay bit-identically in
+// examples/simcheck_replay.cpp or from a CI artifact.
+//
+// Power-cut semantics: a kPowerCut op arms a cut a few device ops in the
+// future, so the cut tears whatever flash operation is in flight — a host
+// write, a GC migration, a translation writeback, a write-buffer flush.
+// When it fires, the device is rolled back to the cut instant
+// (NandFlash::RestoreToCutInstant), the crashed FTL and the volatile write
+// buffer are discarded, and a fresh FTL recovers from the surviving flash.
+// Every schedule op fully completed before the cut must survive; only the
+// LPNs the in-flight op touched are indeterminate (the model resynchronizes
+// those from the recovered truth and keeps checking).
+
+#ifndef SRC_TESTING_SIMCHECK_H_
+#define SRC_TESTING_SIMCHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/ftl_factory.h"
+#include "src/testing/schedule.h"
+
+namespace tpftl::simcheck {
+
+struct SimResult {
+  bool ok = true;
+  uint64_t failed_step = 0;  // Index into the op list (valid when !ok).
+  std::string message;       // Divergence description ("" when ok).
+  uint64_t steps_executed = 0;
+  uint64_t power_cuts = 0;   // Cuts that actually fired.
+  uint64_t recoveries = 0;   // Successful recovery boots.
+  uint64_t deep_checks = 0;
+  uint64_t final_digest = 0; // StateDigest at run end (0 on failure).
+};
+
+// Executes `ops` against a fresh world. Deterministic; never throws. `seed`
+// drives the fault-plan RNG streams (schedule generation uses the same seed
+// upstream but an independent stream).
+SimResult RunSchedule(FtlKind kind, const SimProfile& profile, uint64_t seed,
+                      const std::vector<SimOp>& ops);
+
+// Page-mapped FTLs get the strict oracle (winner + exact population); the
+// block-mapped baselines legitimately keep superseded copies valid
+// mid-merge and are checked with the relaxed variant.
+bool StrictOracleFor(FtlKind kind);
+
+// Convenience entry for tests and the replay CLI: generate, run, and on
+// failure shrink to a minimal repro and (when `repro_dir` is non-empty)
+// serialize it to `<repro_dir>/<profile>_<ftl>_<seed>.simcheck`.
+struct CheckOutcome {
+  SimResult result;               // Verdict of the full generated schedule.
+  SimResult shrunk_result;        // Verdict of the minimized ops (when !ok).
+  std::vector<SimOp> shrunk_ops;  // Minimal failing subsequence (when !ok).
+  std::string repro_path;         // Written repro file ("" when none).
+};
+CheckOutcome CheckFtl(FtlKind kind, const SimProfile& profile, uint64_t seed,
+                      uint64_t num_ops, const std::string& repro_dir = "");
+
+}  // namespace tpftl::simcheck
+
+#endif  // SRC_TESTING_SIMCHECK_H_

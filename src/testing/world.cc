@@ -1,0 +1,44 @@
+#include "src/testing/world.h"
+
+#include "src/util/rng.h"
+
+namespace tpftl::testing {
+
+FlashGeometry SmallGeometry(uint64_t total_blocks) {
+  FlashGeometry g;
+  g.page_size_bytes = 512;
+  g.pages_per_block = 16;
+  g.total_blocks = total_blocks;
+  return g;
+}
+
+World MakeWorld(uint64_t logical_pages, uint64_t cache_bytes, uint64_t total_blocks,
+                uint64_t gc_threshold) {
+  World w;
+  w.geometry = SmallGeometry(total_blocks);
+  w.flash = std::make_unique<NandFlash>(w.geometry);
+  w.env.flash = w.flash.get();
+  w.env.logical_pages = logical_pages;
+  w.env.cache_bytes = cache_bytes;
+  w.env.gc_threshold = gc_threshold;
+  return w;
+}
+
+std::unordered_map<Lpn, bool> DriveRandomOps(Ftl& ftl, uint64_t logical_pages,
+                                             uint64_t ops, double write_ratio,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_map<Lpn, bool> written;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const Lpn lpn = rng.Below(logical_pages);
+    if (rng.Chance(write_ratio)) {
+      ftl.WritePage(lpn);
+      written[lpn] = true;
+    } else {
+      ftl.ReadPage(lpn);
+    }
+  }
+  return written;
+}
+
+}  // namespace tpftl::testing

@@ -1,0 +1,45 @@
+// Shared test/checking fixtures: a miniature flash world small enough for
+// exhaustive checking, plus a shadow-mapped random-operation driver used by
+// the consistency suites. Lives in the tpftl_testing library together with
+// the SimCheck harness (simcheck.h) so every suite builds its worlds the
+// same way.
+
+#ifndef SRC_TESTING_WORLD_H_
+#define SRC_TESTING_WORLD_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/flash/geometry.h"
+#include "src/flash/nand.h"
+#include "src/ftl/demand_ftl.h"
+#include "src/ftl/ftl.h"
+
+namespace tpftl::testing {
+
+// A small geometry: 512 B pages (128 entries per translation page), 16-page
+// blocks. Dynamics (multi-translation-page working sets, frequent GC) show
+// up within a few thousand operations.
+FlashGeometry SmallGeometry(uint64_t total_blocks = 96);
+
+// A world bundles flash + env for one FTL under test.
+struct World {
+  FlashGeometry geometry;
+  std::unique_ptr<NandFlash> flash;
+  FtlEnv env;
+};
+
+World MakeWorld(uint64_t logical_pages = 1024, uint64_t cache_bytes = 2048,
+                uint64_t total_blocks = 96, uint64_t gc_threshold = 6);
+
+// Drives `ftl` with `ops` random page reads/writes (write probability
+// `write_ratio`) while mirroring every write into a shadow map, verifying
+// after each operation that Probe() agrees with the shadow map for the
+// touched page. Returns the shadow map for final full-table verification.
+std::unordered_map<Lpn, bool> DriveRandomOps(Ftl& ftl, uint64_t logical_pages,
+                                             uint64_t ops, double write_ratio,
+                                             uint64_t seed);
+
+}  // namespace tpftl::testing
+
+#endif  // SRC_TESTING_WORLD_H_

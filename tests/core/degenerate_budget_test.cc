@@ -10,7 +10,7 @@
 
 #include "src/core/tpftl.h"
 #include "src/util/rng.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

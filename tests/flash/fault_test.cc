@@ -4,7 +4,7 @@
 
 #include "src/flash/fault.h"
 #include "src/flash/nand.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

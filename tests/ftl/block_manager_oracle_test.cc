@@ -23,7 +23,7 @@
 
 #include "src/ftl/block_manager.h"
 #include "src/util/rng.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

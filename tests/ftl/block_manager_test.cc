@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/ftl/optimal_ftl.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

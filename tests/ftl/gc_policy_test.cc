@@ -3,7 +3,7 @@
 #include "src/ftl/block_manager.h"
 #include "src/ftl/optimal_ftl.h"
 #include "src/util/rng.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

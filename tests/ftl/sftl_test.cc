@@ -2,7 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
+#include "src/util/rng.h"
 
 namespace tpftl {
 namespace {

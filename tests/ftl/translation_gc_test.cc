@@ -6,7 +6,7 @@
 
 #include "src/ftl/dftl.h"
 #include "src/util/rng.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

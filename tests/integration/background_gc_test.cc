@@ -5,7 +5,7 @@
 #include "src/ftl/dftl.h"
 #include "src/ssd/runner.h"
 #include "src/util/rng.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

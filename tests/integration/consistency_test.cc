@@ -9,7 +9,7 @@
 
 #include "src/core/ftl_factory.h"
 #include "src/util/rng.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

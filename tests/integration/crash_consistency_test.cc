@@ -24,7 +24,7 @@
 #include "src/flash/fault.h"
 #include "src/ftl/recovery.h"
 #include "src/util/rng.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {
@@ -200,6 +200,94 @@ TEST_P(CrashConsistencyTest, RecoveryRebuildsTheSurvivingMapping) {
     std::map<Lpn, Ppn> after;
     WinnerScan(*run.world.flash).swap(after);
     ExpectMappingMatches(*run.recovered, after);
+  }
+}
+
+// TRIM under power cut: the cut lands right between a TRIM and the lazy
+// persistence of its mapping metadata (for demand FTLs the cached
+// translation entry is only rewritten to flash on a later eviction). The
+// invalidate itself is durable — it happened before the cut instant — so
+// recovery must never resurrect a trimmed LPN from a stale translation
+// page or any other surviving copy.
+//
+// Victims live at the top of the LPN space and the filler stream draws
+// from below it, so after its TRIM a victim is provably never rewritten.
+constexpr Lpn kTrimVictims[] = {901, 923, 987, 1014};
+constexpr uint64_t kFillerSpan = 890;  // Filler writes stay below victims.
+
+void DriveTrimWorkload(Ftl& ftl, NandFlash& flash,
+                       std::vector<uint64_t>* trim_ops) {
+  Rng rng(4242);
+  const auto filler = [&](uint64_t n) {
+    for (uint64_t i = 0; i < n && !flash.power_cut_triggered(); ++i) {
+      ftl.WritePage(rng.Below(kFillerSpan));
+    }
+  };
+  for (const Lpn victim : kTrimVictims) {
+    if (flash.power_cut_triggered()) {
+      return;
+    }
+    ftl.WritePage(victim);
+  }
+  filler(200);
+  for (const Lpn victim : kTrimVictims) {
+    if (flash.power_cut_triggered()) {
+      return;
+    }
+    ftl.TrimPage(victim);
+    if (trim_ops != nullptr) {
+      trim_ops->push_back(flash.op_index());
+    }
+    filler(60);  // Enough traffic that lazy metadata persistence is pending.
+  }
+  filler(200);
+}
+
+TEST_P(CrashConsistencyTest, CutAfterTrimNeverResurrectsTrimmedLpns) {
+  // Reference run: learn the op index of every TRIM.
+  std::vector<uint64_t> trim_ops;
+  {
+    World ref = MakeWorld(kLogicalPages, kCacheBytes, kTotalBlocks);
+    auto ftl = CreateFtl(GetParam(), ref.env);
+    DriveTrimWorkload(*ftl, *ref.flash, &trim_ops);
+  }
+  ASSERT_EQ(trim_ops.size(), std::size(kTrimVictims));
+
+  for (size_t i = 0; i < std::size(kTrimVictims); ++i) {
+    // Cut during the first program after TRIM #i: the trim's invalidate is
+    // durable (it precedes the cut instant), its metadata persistence is not.
+    World world = MakeWorld(kLogicalPages, kCacheBytes, kTotalBlocks);
+    FaultPlan plan;
+    plan.power_cut_at_op = trim_ops[i] + 1;
+    world.flash->InstallFaultPlan(plan);
+    {
+      auto crashed = CreateFtl(GetParam(), world.env);
+      DriveTrimWorkload(*crashed, *world.flash, nullptr);
+      ASSERT_TRUE(world.flash->power_cut_triggered())
+          << "cut op " << plan.power_cut_at_op << " never reached";
+    }
+    world.flash->RestoreToCutInstant();
+    const std::map<Lpn, Ppn> winners = WinnerScan(*world.flash);
+
+    world.env.recover_from_flash = true;
+    auto recovered = CreateFtl(GetParam(), world.env);
+    ASSERT_NE(recovered->recovery_report(), nullptr);
+    for (size_t j = 0; j <= i; ++j) {
+      const Lpn victim = kTrimVictims[j];
+      ASSERT_EQ(winners.count(victim), 0u)
+          << "flash still holds a valid winner for trimmed lpn " << victim;
+      ASSERT_EQ(recovered->Probe(victim), kInvalidPpn)
+          << "recovery resurrected trimmed lpn " << victim << " (cut after trim #"
+          << i << ")";
+    }
+    // Victims trimmed after the cut are still live at the cut instant.
+    for (size_t j = i + 1; j < std::size(kTrimVictims); ++j) {
+      ASSERT_NE(recovered->Probe(kTrimVictims[j]), kInvalidPpn)
+          << "lpn " << kTrimVictims[j] << " lost before its trim";
+    }
+    // The recovered device stays usable: the trimmed LPN can be rewritten.
+    recovered->WritePage(kTrimVictims[i]);
+    EXPECT_NE(recovered->Probe(kTrimVictims[i]), kInvalidPpn);
   }
 }
 

@@ -1,0 +1,176 @@
+// SimCheck ctest entry: every FTL through every schedule profile, bounded
+// and deterministic, plus the harness's own validation — a deliberately
+// sabotaged FTL must be caught, shrunk to a tiny repro, and the repro must
+// replay to the identical divergence. Knobs:
+//
+//   TPFTL_SIMCHECK_OPS        — ops per (FTL, profile) run (default 1500;
+//                               verify.sh --simcheck and the nightly CI job
+//                               raise it).
+//   TPFTL_SIMCHECK_REPRO_DIR  — where failing runs drop .simcheck repro
+//                               files (default simcheck-repros/ under the
+//                               test working directory; CI uploads it).
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/testing/repro.h"
+#include "src/testing/schedule.h"
+#include "src/testing/shrink.h"
+#include "src/testing/simcheck.h"
+
+namespace tpftl::simcheck {
+namespace {
+
+constexpr uint64_t kSeed = 20260807;
+
+uint64_t OpsFromEnv() {
+  const char* env = std::getenv("TPFTL_SIMCHECK_OPS");
+  if (env != nullptr) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 1500;
+}
+
+std::string ReproDir() {
+  const char* env = std::getenv("TPFTL_SIMCHECK_REPRO_DIR");
+  const std::string dir = env != nullptr ? env : "simcheck-repros";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+using Param = std::tuple<FtlKind, std::string>;
+
+class SimCheckTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SimCheckTest, ProfileRunsCleanAndDeterministically) {
+  const auto [kind, profile_name] = GetParam();
+  const SimProfile profile = ProfileByName(profile_name);
+  const uint64_t ops = OpsFromEnv();
+
+  const CheckOutcome outcome = CheckFtl(kind, profile, kSeed, ops, ReproDir());
+  ASSERT_TRUE(outcome.result.ok)
+      << outcome.result.message << "\n  shrunk to " << outcome.shrunk_ops.size()
+      << " ops -> " << outcome.shrunk_result.message << "\n  repro: "
+      << (outcome.repro_path.empty() ? "(not written)" : outcome.repro_path);
+  EXPECT_EQ(outcome.result.steps_executed, ops);
+  EXPECT_GT(outcome.result.deep_checks, 0u);
+  if (profile.power_cut_prob > 0.0) {
+    // The generator guarantees a cut in the first half of the schedule, so
+    // recovery must have been exercised.
+    EXPECT_GE(outcome.result.power_cuts, 1u) << "power cut never fired";
+    EXPECT_EQ(outcome.result.recoveries, outcome.result.power_cuts);
+  }
+
+  // Determinism: the same (kind, profile, seed, ops) quadruple reaches the
+  // same verdict and the bit-identical end state.
+  const std::vector<SimOp> schedule = GenerateSchedule(profile, kSeed, ops);
+  const SimResult replay = RunSchedule(kind, profile, kSeed, schedule);
+  EXPECT_TRUE(replay.ok);
+  EXPECT_EQ(replay.final_digest, outcome.result.final_digest);
+  EXPECT_EQ(replay.power_cuts, outcome.result.power_cuts);
+  EXPECT_EQ(replay.steps_executed, outcome.result.steps_executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFtls, SimCheckTest,
+    ::testing::Combine(
+        ::testing::Values(FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl,
+                          FtlKind::kSftl, FtlKind::kTpftl, FtlKind::kBlockFtl,
+                          FtlKind::kFast, FtlKind::kZftl),
+        ::testing::Values(std::string("plain"), std::string("faulty"),
+                          std::string("powercut"), std::string("buffered"))),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::string(FtlKindName(std::get<0>(info.param))) + "_" +
+                         std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// The net must catch fish: sabotage the FTL (drop every mapping commit for
+// one LPN via the test-only hook), confirm SimCheck flags it, shrinks the
+// schedule to a handful of ops, and the serialized repro replays to the
+// exact same divergence point.
+TEST(SimCheckSelfValidation, SeededBugIsCaughtShrunkAndReplays) {
+  SimProfile profile = ProfileByName("plain");
+  const uint64_t ops = 800;
+  std::vector<SimOp> schedule = GenerateSchedule(profile, 99, ops);
+  // Sabotage the first written LPN so the bug is guaranteed reachable.
+  Lpn victim = kInvalidLpn;
+  for (const SimOp& op : schedule) {
+    if (op.kind == OpKind::kWrite) {
+      victim = op.lpn;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidLpn);
+  profile.sabotage_drop_commit_lpn = victim;
+
+  const SimResult failure = RunSchedule(FtlKind::kDftl, profile, 99, schedule);
+  ASSERT_FALSE(failure.ok) << "sabotaged FTL passed the oracle";
+
+  const ShrinkResult shrunk = ShrinkSchedule(FtlKind::kDftl, profile, 99, schedule);
+  ASSERT_FALSE(shrunk.failure.ok);
+  EXPECT_LE(shrunk.ops.size(), 25u) << "shrinker left " << shrunk.ops.size() << " ops";
+
+  Repro repro;
+  repro.kind = FtlKind::kDftl;
+  repro.profile = profile;
+  repro.seed = 99;
+  repro.ops = shrunk.ops;
+  const std::string text = SerializeRepro(repro);
+  Repro parsed;
+  std::string error;
+  ASSERT_TRUE(ParseRepro(text, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.ops.size(), repro.ops.size());
+
+  const SimResult replay =
+      RunSchedule(parsed.kind, parsed.profile, parsed.seed, parsed.ops);
+  ASSERT_FALSE(replay.ok);
+  EXPECT_EQ(replay.failed_step, shrunk.failure.failed_step);
+  EXPECT_EQ(replay.message, shrunk.failure.message);
+}
+
+// Checked-in corpus: seed schedules that once exercised interesting
+// interleavings replay clean forever (clean_*.simcheck), and the recorded
+// sabotage repro keeps failing — proof the oracle stays armed
+// (failing_*.simcheck).
+TEST(SimCheckCorpus, CheckedInReprosReplayToTheirRecordedVerdicts) {
+  const std::filesystem::path corpus = std::filesystem::path(TPFTL_SOURCE_DIR) /
+                                       "tests" / "corpus";
+  ASSERT_TRUE(std::filesystem::is_directory(corpus)) << corpus;
+  uint64_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (entry.path().extension() != ".simcheck") {
+      continue;
+    }
+    ++seen;
+    Repro repro;
+    std::string error;
+    ASSERT_TRUE(ReadReproFile(entry.path().string(), &repro, &error))
+        << entry.path() << ": " << error;
+    const SimResult verdict =
+        RunSchedule(repro.kind, repro.profile, repro.seed, repro.ops);
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("failing_", 0) == 0) {
+      EXPECT_FALSE(verdict.ok) << name << " no longer fails — the oracle lost teeth";
+    } else {
+      EXPECT_TRUE(verdict.ok) << name << ": " << verdict.message;
+    }
+  }
+  EXPECT_GE(seen, 3u) << "corpus went missing";
+}
+
+}  // namespace
+}  // namespace tpftl::simcheck

@@ -5,7 +5,7 @@
 #include "src/core/ftl_factory.h"
 #include "src/ssd/ssd.h"
 #include "src/util/rng.h"
-#include "tests/testing/test_world.h"
+#include "src/testing/world.h"
 
 namespace tpftl {
 namespace {

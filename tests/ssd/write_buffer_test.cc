@@ -81,6 +81,106 @@ TEST(WriteBufferTest, DrainDirtyReturnsAllDirtyPages) {
   EXPECT_FALSE(buffer.ServeRead(1));
 }
 
+TEST(WriteBufferTest, DrainDirtyPreservesRecencyOrder) {
+  // Flush ordering: DrainDirty walks MRU → LRU, so the most recently
+  // written page drains first, and a refresh (overwrite) reorders the
+  // drain. Downstream this makes the flush order deterministic for replay.
+  WriteBuffer buffer(Cfg(8));
+  buffer.PutWrite(1);
+  buffer.PutWrite(2);
+  buffer.PutWrite(3);
+  buffer.PutWrite(1);  // Refresh: 1 becomes MRU again.
+  const auto drained = buffer.DrainDirty();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0], 1u);
+  EXPECT_EQ(drained[1], 3u);
+  EXPECT_EQ(drained[2], 2u);
+}
+
+TEST(WriteBufferTest, ReadHitRefreshesRecency) {
+  // A read hit moves the page to MRU, changing the eviction victim: page 1
+  // would be the LRU flush victim, but reading it pushes page 2 to the tail.
+  WriteBuffer buffer(Cfg(2));
+  buffer.PutWrite(1);
+  buffer.PutWrite(2);
+  EXPECT_TRUE(buffer.ServeRead(1));
+  EXPECT_EQ(buffer.PutWrite(3), 2u);  // 2 is now LRU and gets flushed.
+  EXPECT_TRUE(buffer.ServeRead(1));
+}
+
+TEST(WriteBufferTest, AllDirtyBackpressureFlushesOnEveryInsert) {
+  // Buffer-full backpressure: once every slot is dirty, each new write
+  // must flush exactly one page — the buffer cannot absorb the burst.
+  WriteBuffer buffer(Cfg(4));
+  for (Lpn lpn = 0; lpn < 4; ++lpn) {
+    EXPECT_EQ(buffer.PutWrite(lpn), kInvalidLpn);
+  }
+  uint64_t forced_flushes = 0;
+  for (Lpn lpn = 100; lpn < 110; ++lpn) {
+    const Lpn flushed = buffer.PutWrite(lpn);
+    ASSERT_NE(flushed, kInvalidLpn) << "full dirty buffer absorbed a write";
+    ++forced_flushes;
+  }
+  EXPECT_EQ(forced_flushes, 10u);
+  EXPECT_EQ(buffer.stats().flushes, 10u);
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.dirty_count(), 4u);
+}
+
+TEST(WriteBufferTest, DiscardDropsDirtyPageWithoutFlush) {
+  // TRIM semantics: a discarded dirty page is simply gone — it must not be
+  // drained later, and the flush counter must not move.
+  WriteBuffer buffer(Cfg(4));
+  buffer.PutWrite(1);
+  buffer.PutWrite(2);
+  buffer.Discard(1);
+  EXPECT_EQ(buffer.dirty_count(), 1u);
+  EXPECT_FALSE(buffer.ServeRead(1));
+  const auto drained = buffer.DrainDirty();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0], 2u);
+  EXPECT_EQ(buffer.stats().flushes, 1u);
+  buffer.Discard(99);  // Absent LPN is a no-op.
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(WriteBufferTest, ZeroWindowFractionStillInspectsLruEntry) {
+  // clean_window_fraction = 0 clamps to a one-entry window: a clean page at
+  // the exact LRU position is still preferred over flushing a dirty one.
+  WriteBuffer buffer(Cfg(2, /*window=*/0.0));
+  buffer.AdmitClean(1);  // Will be LRU and clean.
+  buffer.PutWrite(2);
+  EXPECT_EQ(buffer.PutWrite(3), kInvalidLpn);  // Drops clean 1, no flush.
+  EXPECT_EQ(buffer.stats().clean_drops, 1u);
+  EXPECT_EQ(buffer.stats().flushes, 0u);
+}
+
+TEST(WriteBufferTest, FullWindowFindsCleanPageAnywhere) {
+  // clean_window_fraction = 1: the whole stack is scanned, so a clean page
+  // even at the MRU end saves every dirty page from a flush.
+  WriteBuffer buffer(Cfg(4, /*window=*/1.0));
+  buffer.PutWrite(1);
+  buffer.PutWrite(2);
+  buffer.PutWrite(3);
+  buffer.AdmitClean(4);  // Clean page sits at MRU.
+  EXPECT_EQ(buffer.PutWrite(5), kInvalidLpn);
+  EXPECT_EQ(buffer.stats().clean_drops, 1u);
+  EXPECT_EQ(buffer.stats().flushes, 0u);
+  EXPECT_FALSE(buffer.ServeRead(4));
+}
+
+TEST(WriteBufferTest, AdmitCleanAtCapacityEvicts) {
+  // Read-miss admission applies the same CFLRU policy as writes: admitting
+  // a clean page into a full all-dirty buffer flushes the LRU dirty page.
+  WriteBuffer buffer(Cfg(2));
+  buffer.PutWrite(1);
+  buffer.PutWrite(2);
+  EXPECT_EQ(buffer.AdmitClean(3), 1u);
+  EXPECT_EQ(buffer.stats().flushes, 1u);
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.dirty_count(), 1u);
+}
+
 TEST(WriteBufferTest, SsdIntegrationAbsorbsHotWrites) {
   SsdConfig with_buffer;
   with_buffer.logical_bytes = 16ULL << 20;
