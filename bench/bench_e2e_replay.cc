@@ -11,8 +11,17 @@
 // large share of simulated flash time, which is exactly where the block
 // manager and NAND arena hot paths matter.
 //
+// v2 adds the multi-die parallelism section ("parallel_sweep"): closed-loop
+// die-count × queue-depth curves for DFTL and TPFTL (simulated req/s, wall
+// ns/req, response quantiles, per-die utilization), plus a saturated sharded
+// front-end point — 4 shards × 4 worker threads × 2 dies per shard = 8 dies —
+// whose aggregate simulated throughput is compared against the flat
+// single-die device replaying the identical request list. That speedup is
+// the acceptance number for the multi-die/sharding work.
+//
 // Usage:
 //   bench_e2e_replay [--json=F] [--label=L] [--trace=FILE] [--ftls=a,b,...]
+//                    [--no-sweep]
 //     --json=F     output path (default BENCH_e2e.json).
 //     --label=L    run label recorded in the JSON (default "head"); the
 //                  tracked BENCH_e2e.json holds one labeled run per commit
@@ -20,9 +29,13 @@
 //     --trace=FILE replay a real SPC/MSR trace file instead of the synthetic
 //                  mix (auto-detected format).
 //     --ftls=...   comma-separated FtlKind names (default: every kind).
+//     --no-sweep   skip the parallel_sweep section (replay table only).
 // Knobs:
-//   TPFTL_BENCH_REQUESTS — synthetic request count (default 200000).
+//   TPFTL_BENCH_REQUESTS       — synthetic request count (default 200000).
+//   TPFTL_BENCH_SWEEP_REQUESTS — measured requests per closed-loop sweep
+//                                point (default 20000; warm-up is 1/10th).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +46,7 @@
 #include "bench/bench_common.h"
 #include "src/core/ftl_factory.h"
 #include "src/ssd/runner.h"
+#include "src/ssd/sharded.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/vector_trace.h"
 #include "src/util/str.h"
@@ -54,6 +68,38 @@ struct E2eResult {
   double ns_per_request() const {
     return requests > 0 ? wall_seconds * 1e9 / static_cast<double>(requests) : 0.0;
   }
+};
+
+// One die-count × queue-depth closed-loop point of the parallel sweep.
+struct SweepPoint {
+  std::string ftl;
+  uint32_t channels = 1;
+  uint32_t dies_per_channel = 1;
+  uint32_t queue_depth = 1;
+  double wall_seconds = 0.0;
+  ClosedLoopReport loop;
+
+  uint32_t dies() const { return channels * dies_per_channel; }
+  double ns_per_request() const {
+    return loop.measured > 0 ? wall_seconds * 1e9 / static_cast<double>(loop.measured) : 0.0;
+  }
+};
+
+// Saturated sharded front-end vs the flat single-die device on the same
+// request list (all arrivals at t = 0, so both run at device capacity).
+struct ShardedPoint {
+  std::string ftl;
+  uint32_t shards = 0;
+  uint32_t threads = 0;
+  uint32_t dies = 0;  // Total across shards.
+  uint64_t requests = 0;       // Host requests driven into both devices.
+  uint64_t sub_requests = 0;   // Per-shard sub-requests after splitting.
+  double sharded_rps = 0.0;    // Simulated host requests per second.
+  double baseline_rps = 0.0;   // Flat 1-die device, same request list.
+  double wall_seconds = 0.0;   // Wall clock of the sharded (threaded) run.
+  std::vector<double> die_utilization;
+
+  double speedup() const { return baseline_rps > 0.0 ? sharded_rps / baseline_rps : 0.0; }
 };
 
 // GC's share of simulated flash busy time: data-page migrations (read +
@@ -108,9 +154,138 @@ E2eResult ReplayOne(const ExperimentConfig& config, VectorTrace& trace, FtlKind 
   return result;
 }
 
-void WriteJson(const std::vector<E2eResult>& results, const std::string& label,
+uint64_t SweepRequestsFromEnv() {
+  if (const char* env = std::getenv("TPFTL_BENCH_SWEEP_REQUESTS")) {
+    const auto parsed = ParseU64(env);
+    if (parsed.has_value() && *parsed > 0) {
+      return *parsed;
+    }
+    std::cerr << "warning: TPFTL_BENCH_SWEEP_REQUESTS='" << env
+              << "' is not a positive integer; using default 20000" << std::endl;
+  }
+  return 20000;
+}
+
+std::vector<SweepPoint> RunParallelSweep(const ExperimentConfig& base, VectorTrace& trace,
+                                         const std::vector<FtlKind>& kinds) {
+  // Die axis as (channels, dies_per_channel) so the channel decomposition is
+  // exercised too; QD axis covers serial, moderate, and saturated queues.
+  const std::vector<std::pair<uint32_t, uint32_t>> die_axis = {
+      {1, 1}, {1, 2}, {2, 2}, {2, 4}};
+  const std::vector<uint32_t> qd_axis = {1, 4, 16};
+  const uint64_t measured = SweepRequestsFromEnv();
+  const uint64_t warmup = std::max<uint64_t>(measured / 10, 1);
+
+  std::vector<SweepPoint> points;
+  for (const FtlKind kind : kinds) {
+    for (const auto& [channels, dies] : die_axis) {
+      for (const uint32_t qd : qd_axis) {
+        ExperimentConfig config = base;
+        config.ftl_kind = kind;
+        config.channels = channels;
+        config.dies_per_channel = dies;
+        ClosedLoopConfig loop;
+        loop.queue_depth = qd;
+        loop.warmup_requests = warmup;
+        loop.measured_requests = measured;
+
+        std::cerr << "  closed loop " << FtlKindName(kind) << " dies=" << channels * dies
+                  << " qd=" << qd << " ..." << std::endl;
+        trace.Rewind();
+        const auto start = std::chrono::steady_clock::now();
+        ClosedLoopReport report = RunClosedLoop(config, trace, loop);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+
+        SweepPoint point;
+        point.ftl = FtlKindName(kind);
+        point.channels = channels;
+        point.dies_per_channel = dies;
+        point.queue_depth = qd;
+        point.wall_seconds = elapsed.count();
+        point.loop = std::move(report);
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
+}
+
+ShardedPoint RunShardedPoint(const ExperimentConfig& base, const VectorTrace& trace,
+                             FtlKind kind) {
+  // The acceptance configuration: 4 shards × 2 dies each = 8 dies, driven by
+  // 4 worker threads, against the flat single-die device. Every request
+  // arrives at t = 0 so both devices run back-to-back at capacity and the
+  // simulated-time ratio is pure parallelism (die overlap + shard overlap).
+  std::vector<IoRequest> requests = trace.requests();
+  for (IoRequest& r : requests) {
+    r.arrival_us = 0.0;
+  }
+
+  SsdConfig device;
+  device.logical_bytes = base.workload.address_space_bytes;
+  device.ftl_kind = kind;
+  device.tpftl_options = base.tpftl_options;
+  device.cache_bytes = base.cache_bytes;
+  device.gc_threshold = base.gc_threshold;
+
+  std::cerr << "  sharded " << FtlKindName(kind)
+            << " 4 shards x 2 dies, 4 threads ..." << std::endl;
+  ShardedConfig sharded_config;
+  sharded_config.base = device;
+  sharded_config.base.channels = 1;
+  sharded_config.base.dies_per_channel = 2;
+  sharded_config.shards = 4;
+  sharded_config.threads = 4;
+  ShardedSsd sharded(sharded_config);
+  sharded.FillSequential();
+  sharded.ResetStats();
+  const auto start = std::chrono::steady_clock::now();
+  for (const IoRequest& r : requests) {
+    sharded.Submit(r);
+  }
+  sharded.Drain();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  const MicroSec sharded_window = sharded.MaxDeviceFreeAt() - sharded.MinStatsEpoch();
+
+  std::cerr << "  flat 1-die baseline " << FtlKindName(kind) << " ..." << std::endl;
+  Ssd flat(device);
+  flat.FillSequential();
+  flat.ResetStats();
+  for (const IoRequest& r : requests) {
+    flat.Submit(r);
+  }
+  const MicroSec flat_window = flat.device_free_at() - flat.stats_epoch_us();
+
+  ShardedPoint point;
+  point.ftl = FtlKindName(kind);
+  point.shards = sharded.shards();
+  point.threads = sharded.threads();
+  point.dies = sharded.shards() * 2;
+  point.requests = static_cast<uint64_t>(requests.size());
+  point.sub_requests = sharded.TotalRequestsServed();
+  point.sharded_rps = sharded_window > 0.0
+                          ? static_cast<double>(requests.size()) / sharded_window * 1e6
+                          : 0.0;
+  point.baseline_rps =
+      flat_window > 0.0 ? static_cast<double>(requests.size()) / flat_window * 1e6 : 0.0;
+  point.wall_seconds = elapsed.count();
+  point.die_utilization = sharded.DieUtilization();
+  return point;
+}
+
+void WriteJsonList(std::ostream& os, const std::vector<double>& values, int digits) {
+  os << "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    os << FormatDouble(values[i], digits) << (i + 1 < values.size() ? ", " : "");
+  }
+  os << "]";
+}
+
+void WriteJson(const std::vector<E2eResult>& results, const std::vector<SweepPoint>& sweep,
+               const std::vector<ShardedPoint>& sharded, const std::string& label,
                const std::string& workload, std::ostream& os) {
-  os << "{\n  \"schema\": \"tpftl.bench_e2e.v1\",\n  \"runs\": [\n";
+  os << "{\n  \"schema\": \"tpftl.bench_e2e.v2\",\n  \"runs\": [\n";
   os << "    {\"label\": \"" << label << "\", \"workload\": \"" << workload
      << "\", \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
@@ -130,13 +305,44 @@ void WriteJson(const std::vector<E2eResult>& results, const std::string& label,
        << ", \"trans_writes\": " << r.report.trans_writes << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  os << "    ]}\n  ]\n}\n";
+  os << "    ]}\n  ],\n";
+  os << "  \"parallel_sweep\": {\n    \"workload\": \"" << workload << "\",\n"
+     << "    \"points\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    os << "      {\"ftl\": \"" << p.ftl << "\", \"channels\": " << p.channels
+       << ", \"dies_per_channel\": " << p.dies_per_channel << ", \"dies\": " << p.dies()
+       << ", \"queue_depth\": " << p.queue_depth
+       << ",\n       \"sim_requests_per_sec\": " << FormatDouble(p.loop.sim_requests_per_sec, 1)
+       << ", \"ns_per_request\": " << FormatDouble(p.ns_per_request(), 0)
+       << ", \"mean_us\": " << FormatDouble(p.loop.report.mean_response_us, 2)
+       << ", \"p99_us\": " << FormatDouble(p.loop.report.p99_response_us, 2)
+       << ",\n       \"die_utilization\": ";
+    WriteJsonList(os, p.loop.die_utilization, 4);
+    os << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  os << "    ],\n    \"sharded\": [\n";
+  for (size_t i = 0; i < sharded.size(); ++i) {
+    const ShardedPoint& p = sharded[i];
+    os << "      {\"ftl\": \"" << p.ftl << "\", \"shards\": " << p.shards
+       << ", \"threads\": " << p.threads << ", \"dies\": " << p.dies
+       << ", \"requests\": " << p.requests << ", \"sub_requests\": " << p.sub_requests
+       << ",\n       \"sim_requests_per_sec\": " << FormatDouble(p.sharded_rps, 1)
+       << ", \"baseline_1die_requests_per_sec\": " << FormatDouble(p.baseline_rps, 1)
+       << ", \"speedup\": " << FormatDouble(p.speedup(), 3)
+       << ", \"wall_seconds\": " << FormatDouble(p.wall_seconds, 3)
+       << ",\n       \"die_utilization\": ";
+    WriteJsonList(os, p.die_utilization, 4);
+    os << "}" << (i + 1 < sharded.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n  }\n}\n";
 }
 
 int Main(int argc, char** argv) {
   std::string json_path = "BENCH_e2e.json";
   std::string label = "head";
   std::string trace_path;
+  bool run_sweep = true;
   std::vector<FtlKind> kinds = bench::AllFtls();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -148,9 +354,11 @@ int Main(int argc, char** argv) {
       trace_path = arg.substr(8);
     } else if (arg.rfind("--ftls=", 0) == 0) {
       kinds = ParseFtlList(arg.substr(7));
+    } else if (arg == "--no-sweep") {
+      run_sweep = false;
     } else {
       std::cerr << "usage: bench_e2e_replay [--json=F] [--label=L] [--trace=FILE] "
-                   "[--ftls=a,b,...]"
+                   "[--ftls=a,b,...] [--no-sweep]"
                 << std::endl;
       return 1;
     }
@@ -195,12 +403,50 @@ int Main(int argc, char** argv) {
   }
   bench::Emit(table);
 
+  std::vector<SweepPoint> sweep;
+  std::vector<ShardedPoint> sharded;
+  if (run_sweep) {
+    // DFTL and TPFTL carry the parallelism acceptance numbers; the rest of
+    // the FTLs are covered by the replay table above.
+    const std::vector<FtlKind> sweep_kinds = {FtlKind::kDftl, FtlKind::kTpftl};
+    sweep = RunParallelSweep(config, trace, sweep_kinds);
+
+    Table sweep_table("Closed-loop die/QD sweep (" + config.workload.name + ")");
+    sweep_table.SetColumns(
+        {"FTL", "dies", "QD", "sim req/s", "mean us", "p99 us", "ns/req", "busy sum"});
+    for (const SweepPoint& p : sweep) {
+      double busy = 0.0;
+      for (const double u : p.loop.die_utilization) {
+        busy += u;
+      }
+      sweep_table.AddRow({p.ftl, std::to_string(p.dies()), std::to_string(p.queue_depth),
+                          FormatDouble(p.loop.sim_requests_per_sec, 0),
+                          FormatDouble(p.loop.report.mean_response_us, 1),
+                          FormatDouble(p.loop.report.p99_response_us, 1),
+                          FormatDouble(p.ns_per_request(), 0), FormatDouble(busy, 2)});
+    }
+    bench::Emit(sweep_table);
+
+    Table sharded_table("Sharded front-end, saturated (" + config.workload.name + ")");
+    sharded_table.SetColumns(
+        {"FTL", "shards", "threads", "dies", "sim req/s", "1-die req/s", "speedup", "wall s"});
+    for (const FtlKind kind : sweep_kinds) {
+      ShardedPoint p = RunShardedPoint(config, trace, kind);
+      sharded_table.AddRow({p.ftl, std::to_string(p.shards), std::to_string(p.threads),
+                            std::to_string(p.dies), FormatDouble(p.sharded_rps, 0),
+                            FormatDouble(p.baseline_rps, 0), FormatDouble(p.speedup(), 2),
+                            FormatDouble(p.wall_seconds, 2)});
+      sharded.push_back(std::move(p));
+    }
+    bench::Emit(sharded_table);
+  }
+
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "error: cannot write " << json_path << std::endl;
     return 1;
   }
-  WriteJson(results, label, config.workload.name, out);
+  WriteJson(results, sweep, sharded, label, config.workload.name, out);
   std::cerr << "wrote " << json_path << std::endl;
   return 0;
 }

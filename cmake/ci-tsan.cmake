@@ -1,0 +1,12 @@
+# Initial-cache file for the ThreadSanitizer CI configuration: interior
+# checks on, TSan on. Exercises the concurrent surfaces — the ShardedSsd
+# dispatcher/worker queues and the RunSweep thread pool:
+#
+#   cmake -B build-tsan -S . -C cmake/ci-tsan.cmake
+#   cmake --build build-tsan -j && \
+#     ctest --test-dir build-tsan -R 'Sharded|ClosedLoop|Sweep|ThreadPool'
+#
+# (The CI "tsan" job drives exactly this.)
+set(TPFTL_HARDENED ON CACHE BOOL "Enable interior TPFTL_DCHECK checks" FORCE)
+set(TPFTL_TSAN ON CACHE BOOL "Build with -fsanitize=thread" FORCE)
+set(CMAKE_BUILD_TYPE RelWithDebInfo CACHE STRING "Build type")

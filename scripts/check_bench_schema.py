@@ -96,6 +96,72 @@ def _check_e2e(doc, path):
     )
 
 
+def _check_e2e_v2(doc, path):
+    # v2 keeps the v1 per-FTL replay table...
+    _check_e2e(doc, path)
+    # ...and adds the multi-die parallelism section.
+    sweep = doc.get("parallel_sweep")
+    spath = f"{path}.parallel_sweep"
+    _check_fields(sweep, {"workload": _STR}, spath)
+    _require(isinstance(sweep.get("points"), list) and sweep["points"], spath, "empty 'points'")
+    for i, point in enumerate(sweep["points"]):
+        ppath = f"{spath}.points[{i}]"
+        _check_fields(
+            point,
+            {
+                "ftl": _STR,
+                "channels": _INT,
+                "dies_per_channel": _INT,
+                "dies": _INT,
+                "queue_depth": _INT,
+                "sim_requests_per_sec": _NUM,
+                "ns_per_request": _NUM,
+                "mean_us": _NUM,
+                "p99_us": _NUM,
+                "die_utilization": list,
+            },
+            ppath,
+        )
+        _require(
+            point["dies"] == point["channels"] * point["dies_per_channel"],
+            ppath,
+            "dies != channels * dies_per_channel",
+        )
+        _check_die_utilization(point, point["dies"], ppath)
+    _require(isinstance(sweep.get("sharded"), list) and sweep["sharded"], spath, "empty 'sharded'")
+    for i, point in enumerate(sweep["sharded"]):
+        ppath = f"{spath}.sharded[{i}]"
+        _check_fields(
+            point,
+            {
+                "ftl": _STR,
+                "shards": _INT,
+                "threads": _INT,
+                "dies": _INT,
+                "requests": _INT,
+                "sub_requests": _INT,
+                "sim_requests_per_sec": _NUM,
+                "baseline_1die_requests_per_sec": _NUM,
+                "speedup": _NUM,
+                "wall_seconds": _NUM,
+                "die_utilization": list,
+            },
+            ppath,
+        )
+        _check_die_utilization(point, point["dies"], ppath)
+
+
+def _check_die_utilization(point, dies, path):
+    util = point["die_utilization"]
+    _require(len(util) == dies, path, f"die_utilization has {len(util)} entries for {dies} dies")
+    for d, value in enumerate(util):
+        _require(
+            isinstance(value, numbers.Real) and 0.0 <= value <= 1.0,
+            path,
+            f"die_utilization[{d}] = {value!r} outside [0, 1]",
+        )
+
+
 def _check_latency(doc, path):
     _check_labeled_runs(
         doc,
@@ -167,6 +233,7 @@ def _check_trace_parse(doc, path):
 _VALIDATORS = {
     "tpftl.bench_cache.v1": _check_cache,
     "tpftl.bench_e2e.v1": _check_e2e,
+    "tpftl.bench_e2e.v2": _check_e2e_v2,
     "tpftl.bench_latency.v1": _check_latency,
     "tpftl.bench_recovery.v1": _check_recovery,
     "tpftl.bench_trace_parse.v1": _check_trace_parse,

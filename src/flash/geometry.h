@@ -4,6 +4,22 @@
 // tradeoffs for SSD performance", USENIX ATC 2008): 4 KiB pages, 256 KiB
 // blocks (64 pages), 25 µs read / 200 µs write / 1.5 ms erase, and 15 %
 // over-provisioning.
+//
+// Parallel structure: the device is channels × dies-per-channel ×
+// planes-per-die × blocks × pages. The die is the unit of parallelism — each
+// die executes one read/program/erase at a time while independent dies
+// overlap (NandFlash keeps a busy-until timeline per die). Addressing is
+// bit-sliced, NVDIMMSim-style: with pages_per_block a power of two a PPN
+// decomposes into pure bit fields
+//
+//   ppn = [ block-in-die | plane | die-in-channel | channel | page ]
+//
+// i.e. the page index occupies the low bits and the channel/die/plane
+// coordinates are the low bits of the block id, so consecutively allocated
+// blocks stripe across channels first, then dies, then planes. All three
+// parallelism counts must be powers of two (1 is the default and reproduces
+// the paper's flat single-die device exactly: every slice field is empty and
+// the PPN math collapses to block * pages_per_block + page).
 
 #ifndef SRC_FLASH_GEOMETRY_H_
 #define SRC_FLASH_GEOMETRY_H_
@@ -15,11 +31,25 @@
 
 namespace tpftl {
 
+// Full physical coordinate of one page (DecomposePpn).
+struct FlashAddress {
+  uint32_t channel = 0;
+  uint32_t die = 0;    // Die within its channel.
+  uint32_t plane = 0;  // Plane within its die.
+  uint64_t block = 0;  // Block within its plane.
+  uint64_t page = 0;   // Page within its block.
+};
+
 struct FlashGeometry {
   // --- layout ---
   uint64_t page_size_bytes = 4096;
   uint64_t pages_per_block = 64;
   uint64_t total_blocks = 0;  // Physical blocks, including over-provisioned space.
+
+  // --- parallel structure (all powers of two; 1 = the paper's flat device) ---
+  uint32_t channels = 1;
+  uint32_t dies_per_channel = 1;
+  uint32_t planes_per_die = 1;
 
   // --- timing (Table 3) ---
   MicroSec page_read_us = 25.0;
@@ -44,6 +74,14 @@ struct FlashGeometry {
     return page_size_bytes / bytes_per_persisted_entry;
   }
 
+  // Dies across the whole device — the independent command queues.
+  uint32_t total_dies() const { return channels * dies_per_channel; }
+  // True when the parallel fields describe a legal bit-sliced layout.
+  bool ParallelLayoutValid() const {
+    const auto pow2 = [](uint64_t v) { return v != 0 && (v & (v - 1)) == 0; };
+    return pow2(channels) && pow2(dies_per_channel) && pow2(planes_per_die);
+  }
+
   BlockId BlockOf(Ppn ppn) const { return ppn / pages_per_block; }
   uint64_t OffsetOf(Ppn ppn) const { return ppn % pages_per_block; }
   Ppn PpnOf(BlockId block, uint64_t offset) const {
@@ -51,8 +89,55 @@ struct FlashGeometry {
     return block * pages_per_block + offset;
   }
 
+  // Die coordinate of a block / page: the low bits of the block id, so block
+  // allocation in id order stripes across dies. Returns a device-wide die
+  // index in [0, total_dies()).
+  uint32_t DieOfBlock(BlockId block) const {
+    return static_cast<uint32_t>(block & (total_dies() - 1));
+  }
+  uint32_t DieOf(Ppn ppn) const { return DieOfBlock(BlockOf(ppn)); }
+  // Channel a device-wide die index lives on (dies interleave across
+  // channels: die d is channel d mod channels).
+  uint32_t ChannelOfDie(uint32_t die) const { return die & (channels - 1); }
+  uint32_t PlaneOfBlock(BlockId block) const {
+    const uint32_t die_bits_mask = total_dies() - 1;
+    return static_cast<uint32_t>((block >> BitWidth(die_bits_mask)) & (planes_per_die - 1));
+  }
+
+  // Full bit-sliced decomposition (diagnostics, tests, per-die reporting).
+  FlashAddress DecomposePpn(Ppn ppn) const {
+    const BlockId b = BlockOf(ppn);
+    const uint32_t die_global = DieOfBlock(b);
+    FlashAddress a;
+    a.page = OffsetOf(ppn);
+    a.channel = ChannelOfDie(die_global);
+    a.die = die_global >> BitWidth(channels - 1);
+    a.plane = PlaneOfBlock(b);
+    a.block = b >> (BitWidth(total_dies() - 1) + BitWidth(planes_per_die - 1));
+    return a;
+  }
+  Ppn ComposePpn(const FlashAddress& a) const {
+    const uint32_t die_global =
+        a.channel | (a.die << BitWidth(channels - 1));
+    const BlockId b = die_global |
+                      (static_cast<BlockId>(a.plane) << BitWidth(total_dies() - 1)) |
+                      (a.block << (BitWidth(total_dies() - 1) + BitWidth(planes_per_die - 1)));
+    return PpnOf(b, a.page);
+  }
+
   Vtpn VtpnOf(Lpn lpn) const { return lpn / entries_per_translation_page(); }
   uint64_t SlotOf(Lpn lpn) const { return lpn % entries_per_translation_page(); }
+
+ private:
+  // Bits needed to hold `mask` (mask is 2^k - 1 for power-of-two counts).
+  static uint32_t BitWidth(uint64_t mask) {
+    uint32_t bits = 0;
+    while (mask != 0) {
+      ++bits;
+      mask >>= 1;
+    }
+    return bits;
+  }
 };
 
 // Builds a geometry sized for `logical_bytes` of user-visible capacity plus
@@ -75,6 +160,25 @@ inline FlashGeometry MakeGeometry(uint64_t logical_bytes, double over_provision 
   // translation GC always has somewhere to write.
   const uint64_t translation_spare = translation_blocks + 2;
   g.total_blocks = logical_blocks + spare_blocks + translation_blocks + translation_spare;
+  return g;
+}
+
+// Multi-die variant: same sizing, then the parallel structure is applied and
+// the block count is rounded up to a whole number of blocks per die so every
+// die owns the same share of the device (uniform striping). The default
+// (1 × 1 × 1) leaves the block count untouched and is bit-identical to
+// MakeGeometry.
+inline FlashGeometry MakeGeometryParallel(uint64_t logical_bytes, uint32_t channels,
+                                          uint32_t dies_per_channel,
+                                          uint32_t planes_per_die = 1,
+                                          double over_provision = 0.15) {
+  FlashGeometry g = MakeGeometry(logical_bytes, over_provision);
+  g.channels = channels;
+  g.dies_per_channel = dies_per_channel;
+  g.planes_per_die = planes_per_die;
+  TPFTL_CHECK_MSG(g.ParallelLayoutValid(), "channels/dies/planes must be powers of two");
+  const uint64_t dies = g.total_dies();
+  g.total_blocks = (g.total_blocks + dies - 1) / dies * dies;
   return g;
 }
 

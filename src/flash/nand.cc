@@ -17,6 +17,8 @@ struct NandFlash::PowerSnapshot {
   std::vector<uint8_t> oob_kind;
   std::vector<uint8_t> bad;
   FlashStats stats;
+  std::vector<MicroSec> die_free_at;
+  std::vector<MicroSec> die_busy_us;
   uint64_t program_seq = 0;
 };
 
@@ -26,8 +28,15 @@ NandFlash::NandFlash(const FlashGeometry& geometry)
       oob_(geometry.total_pages(), ~0ULL),
       oob_seq_(geometry.total_pages(), 0),
       oob_kind_(geometry.total_pages(), static_cast<uint8_t>(OobKind::kNone)),
-      bad_(geometry.total_blocks, 0) {
+      bad_(geometry.total_blocks, 0),
+      multi_die_(geometry.total_dies() > 1),
+      die_free_at_(geometry.total_dies(), 0.0),
+      die_busy_us_(geometry.total_dies(), 0.0) {
   TPFTL_CHECK(geometry.total_blocks > 0);
+  TPFTL_CHECK_MSG(geometry.ParallelLayoutValid(),
+                  "channels/dies/planes must be powers of two");
+  TPFTL_CHECK_MSG(geometry.total_blocks % geometry.total_dies() == 0,
+                  "blocks must stripe uniformly across dies (see MakeGeometryParallel)");
 }
 
 NandFlash::~NandFlash() = default;
@@ -49,6 +58,9 @@ MicroSec NandFlash::ProgramPageAt(Ppn ppn, uint64_t oob_tag) {
   ++stats_.page_writes;
   stats_.busy_time_us += geometry_.page_write_us;
   obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
+  if (multi_die_) [[unlikely]] {
+    AdvanceDie(geometry_.DieOfBlock(block), geometry_.page_write_us);
+  }
   return geometry_.page_write_us;
 }
 
@@ -65,6 +77,9 @@ MicroSec NandFlash::ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_
     ++stats_.program_failures;
     stats_.busy_time_us += geometry_.page_write_us;
     obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
+    if (multi_die_) [[unlikely]] {
+      AdvanceDie(geometry_.DieOfBlock(block), geometry_.page_write_us);
+    }
     if (out_ppn != nullptr) {
       *out_ppn = kInvalidPpn;
     }
@@ -84,6 +99,9 @@ MicroSec NandFlash::ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_
   ++stats_.page_writes;
   stats_.busy_time_us += geometry_.page_write_us;
   obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
+  if (multi_die_) [[unlikely]] {
+    AdvanceDie(geometry_.DieOfBlock(block), geometry_.page_write_us);
+  }
   return geometry_.page_write_us;
 }
 
@@ -101,6 +119,9 @@ MicroSec NandFlash::EraseBlock(BlockId block) {
       ++stats_.erase_failures;
       stats_.busy_time_us += geometry_.block_erase_us;
       obs::ChargeFlash(obs::FlashOp::kErase, geometry_.block_erase_us);
+      if (multi_die_) [[unlikely]] {
+        AdvanceDie(geometry_.DieOfBlock(block), geometry_.block_erase_us);
+      }
       return geometry_.block_erase_us;
     }
   } else {
@@ -110,6 +131,9 @@ MicroSec NandFlash::EraseBlock(BlockId block) {
   ++stats_.block_erases;
   stats_.busy_time_us += geometry_.block_erase_us;
   obs::ChargeFlash(obs::FlashOp::kErase, geometry_.block_erase_us);
+  if (multi_die_) [[unlikely]] {
+    AdvanceDie(geometry_.DieOfBlock(block), geometry_.block_erase_us);
+  }
   return geometry_.block_erase_us;
 }
 
@@ -117,8 +141,9 @@ bool NandFlash::MaybeArmPowerCut(uint64_t op) {
   if (power_cut_ || !fault_->PowerCutReached(op)) {
     return false;
   }
-  snapshot_ = std::make_unique<PowerSnapshot>(
-      PowerSnapshot{arena_, oob_, oob_seq_, oob_kind_, bad_, stats_, program_seq_});
+  snapshot_ = std::make_unique<PowerSnapshot>(PowerSnapshot{
+      arena_, oob_, oob_seq_, oob_kind_, bad_, stats_, die_free_at_, die_busy_us_,
+      program_seq_});
   power_cut_ = true;
   return true;
 }
@@ -137,6 +162,8 @@ void NandFlash::RestoreToCutInstant() {
   oob_kind_ = std::move(snapshot_->oob_kind);
   bad_ = std::move(snapshot_->bad);
   stats_ = snapshot_->stats;
+  die_free_at_ = std::move(snapshot_->die_free_at);
+  die_busy_us_ = std::move(snapshot_->die_busy_us);
   program_seq_ = snapshot_->program_seq;
   snapshot_.reset();
   if (torn_ppn_ != kInvalidPpn) {

@@ -32,6 +32,7 @@
 #ifndef SRC_FLASH_NAND_H_
 #define SRC_FLASH_NAND_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -64,7 +65,6 @@ class NandFlash {
   // just-superseded translation pages during read-modify-write). Returns the
   // operation latency.
   MicroSec ReadPage(Ppn ppn) {
-    (void)ppn;  // Only inspected by the interior checks (no page payload).
     TPFTL_DCHECK(ppn < geometry_.total_pages());
     TPFTL_DCHECK_MSG(arena_.StateAt(geometry_.BlockOf(ppn), geometry_.OffsetOf(ppn)) !=
                          PageState::kFree,
@@ -72,6 +72,9 @@ class NandFlash {
     ++stats_.page_reads;
     stats_.busy_time_us += geometry_.page_read_us;
     obs::ChargeFlash(obs::FlashOp::kRead, geometry_.page_read_us);
+    if (multi_die_) [[unlikely]] {
+      AdvanceDie(geometry_.DieOf(ppn), geometry_.page_read_us);
+    }
     return geometry_.page_read_us;
   }
 
@@ -99,6 +102,9 @@ class NandFlash {
     ++stats_.page_writes;
     stats_.busy_time_us += geometry_.page_write_us;
     obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
+    if (multi_die_) [[unlikely]] {
+      AdvanceDie(geometry_.DieOfBlock(block), geometry_.page_write_us);
+    }
     return geometry_.page_write_us;
   }
 
@@ -164,7 +170,48 @@ class NandFlash {
   const FlashGeometry& geometry() const { return geometry_; }
 
   const FlashStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  void ResetStats() {
+    stats_.Reset();
+    std::fill(die_busy_us_.begin(), die_busy_us_.end(), 0.0);
+  }
+
+  // --- per-die timelines (geometry channels × dies) ---------------------
+  //
+  // Each die is an independent command queue with a busy-until timeline.
+  // The SSD layer calls BeginRequestAt(t) with the request's issue instant;
+  // every subsequent flash operation starts at max(t, its die's busy-until),
+  // occupies the die for its latency, and the request completes when its
+  // last operation does (request_finish_us). Operations on *different* dies
+  // therefore overlap; operations on the same die serialize. With one die
+  // (the default) the timelines are inert — the single-die replay path pays
+  // one predicted-not-taken branch per operation and its timing arithmetic
+  // is bit-identical to the pre-parallel device.
+
+  uint32_t total_dies() const { return static_cast<uint32_t>(die_free_at_.size()); }
+  bool multi_die() const { return multi_die_; }
+
+  // Starts a new timed request window at absolute device time `start_us`.
+  void BeginRequestAt(MicroSec start_us) {
+    request_now_us_ = start_us;
+    request_finish_us_ = start_us;
+  }
+  // Completion instant of the latest operation issued since BeginRequestAt.
+  MicroSec request_finish_us() const { return request_finish_us_; }
+
+  // Busy-until instant of one die, and the latest across all dies.
+  MicroSec die_free_at(uint32_t die) const {
+    TPFTL_DCHECK(die < die_free_at_.size());
+    return die_free_at_[die];
+  }
+  MicroSec max_die_free_at() const {
+    return *std::max_element(die_free_at_.begin(), die_free_at_.end());
+  }
+  // Cumulative busy time of one die since the last ResetStats (utilization
+  // numerator; the denominator is the caller's measurement window).
+  MicroSec die_busy_us(uint32_t die) const {
+    TPFTL_DCHECK(die < die_busy_us_.size());
+    return die_busy_us_[die];
+  }
 
   // Total erases across all blocks since construction (not reset by
   // ResetStats — lifetime analysis uses both views).
@@ -202,6 +249,17 @@ class NandFlash {
  private:
   struct PowerSnapshot;
 
+  // Books one operation of `latency` onto `die`'s timeline (multi-die only).
+  void AdvanceDie(uint32_t die, MicroSec latency) {
+    const MicroSec begin = std::max(request_now_us_, die_free_at_[die]);
+    const MicroSec end = begin + latency;
+    die_free_at_[die] = end;
+    die_busy_us_[die] += latency;
+    if (end > request_finish_us_) {
+      request_finish_us_ = end;
+    }
+  }
+
   MicroSec ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_ppn, OobKind kind);
   // Snapshots the device just before operation `op` when it is the cut
   // point. Returns true when this operation is the (newly or already) cut
@@ -216,6 +274,11 @@ class NandFlash {
   std::vector<uint8_t> oob_kind_;
   std::vector<uint8_t> bad_;  // Per-block bad flag (factory or failed erase).
   FlashStats stats_;
+  bool multi_die_ = false;                // geometry.total_dies() > 1.
+  std::vector<MicroSec> die_free_at_;     // Busy-until per die.
+  std::vector<MicroSec> die_busy_us_;     // Cumulative busy since ResetStats.
+  MicroSec request_now_us_ = 0.0;         // Issue instant (BeginRequestAt).
+  MicroSec request_finish_us_ = 0.0;      // Latest completion this request.
   uint64_t program_seq_ = 0;
   uint64_t op_index_ = 0;
   bool power_cut_ = false;

@@ -15,8 +15,12 @@ BlockManager::BlockManager(NandFlash* flash, uint64_t gc_threshold, GcPolicy pol
       gc_threshold_(gc_threshold),
       policy_(policy),
       wear_spread_limit_(wear_spread_limit),
+      dies_(flash->geometry().total_dies()),
       last_touched_(flash->geometry().total_blocks, 0),
+      free_by_die_(flash->geometry().total_dies()),
       pool_of_(flash->geometry().total_blocks, BlockPool::kNone),
+      active_data_(flash->geometry().total_dies()),
+      active_trans_(flash->geometry().total_dies()),
       bucket_head_(flash->geometry().pages_per_block + 1, kInvalidBlock),
       bucket_tail_(flash->geometry().pages_per_block + 1, kInvalidBlock),
       next_(flash->geometry().total_blocks, kInvalidBlock),
@@ -29,20 +33,47 @@ BlockManager::BlockManager(NandFlash* flash, uint64_t gc_threshold, GcPolicy pol
     if (flash_->IsBad(b)) {
       ++bad_blocks_;  // Factory-marked bad (FaultPlan::bad_blocks).
     } else {
-      free_blocks_.push_back(b);
+      free_by_die_[flash_->geometry().DieOfBlock(b)].push_back(b);
+      ++free_total_;
     }
   }
 }
 
-BlockId BlockManager::AllocateFreeBlock(BlockPool pool) {
+bool BlockManager::DieHasFreeBlock(uint32_t die) {
   // Skip blocks that went bad while queued (a plan installed mid-run).
-  while (!free_blocks_.empty() && flash_->IsBad(free_blocks_.front())) {
+  std::deque<BlockId>& free = free_by_die_[die];
+  while (!free.empty() && flash_->IsBad(free.front())) {
     ++bad_blocks_;
-    free_blocks_.pop_front();
+    --free_total_;
+    free.pop_front();
   }
-  TPFTL_CHECK_MSG(!free_blocks_.empty(), "flash out of free blocks — GC deadlock");
-  const BlockId block = free_blocks_.front();
-  free_blocks_.pop_front();
+  return !free.empty();
+}
+
+uint32_t BlockManager::PickProgramDie(BlockPool pool) {
+  if (dies_ == 1) {
+    return 0;  // Legacy single-die path: no cursor, no availability scan.
+  }
+  uint32_t& cursor = pool == BlockPool::kData ? next_die_data_ : next_die_trans_;
+  for (uint32_t i = 0; i < dies_; ++i) {
+    const uint32_t die = (cursor + i) & (dies_ - 1);
+    const ActiveBlock& active = ActiveOf(pool, die);
+    if ((active.id != kInvalidBlock && flash_->block(active.id).HasFreePage()) ||
+        DieHasFreeBlock(die)) {
+      cursor = (die + 1) & (dies_ - 1);
+      return die;
+    }
+  }
+  TPFTL_CHECK_MSG(false, "flash out of free blocks — GC deadlock");
+  return 0;
+}
+
+BlockId BlockManager::AllocateFreeBlock(BlockPool pool, uint32_t die) {
+  TPFTL_CHECK_MSG(DieHasFreeBlock(die), "flash out of free blocks — GC deadlock");
+  std::deque<BlockId>& free = free_by_die_[die];
+  const BlockId block = free.front();
+  free.pop_front();
+  --free_total_;
   pool_of_[block] = pool;
   if (pool == BlockPool::kData) {
     ++data_blocks_;
@@ -55,17 +86,18 @@ BlockId BlockManager::AllocateFreeBlock(BlockPool pool) {
 MicroSec BlockManager::Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn) {
   TPFTL_DCHECK(pool != BlockPool::kNone);
   const OobKind kind = pool == BlockPool::kData ? OobKind::kData : OobKind::kTranslation;
-  ActiveBlock& active = pool == BlockPool::kData ? active_data_ : active_trans_;
   MicroSec t = 0.0;
   for (;;) {
+    const uint32_t die = PickProgramDie(pool);
+    ActiveBlock& active = ActiveOf(pool, die);
     if (active.id == kInvalidBlock || !flash_->block(active.id).HasFreePage()) {
-      RetireIfFull(pool);
-      active.id = AllocateFreeBlock(pool);
+      RetireIfFull(pool, die);
+      active.id = AllocateFreeBlock(pool, die);
     }
     Ppn ppn = kInvalidPpn;
     t += flash_->ProgramPage(active.id, oob_tag, &ppn, kind);
     last_touched_[active.id] = ++op_clock_;
-    RetireIfFull(pool);
+    RetireIfFull(pool, die);
     if (ppn != kInvalidPpn) [[likely]] {
       if (out_ppn != nullptr) {
         *out_ppn = ppn;
@@ -73,12 +105,13 @@ MicroSec BlockManager::Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn) {
       return t;
     }
     // Injected program failure: the page was consumed as unreadable; retry
-    // on the next page (possibly of a freshly allocated block).
+    // on the next page (possibly of a freshly allocated block, and on a
+    // multi-die device possibly on the next die in the rotation).
   }
 }
 
-void BlockManager::RetireIfFull(BlockPool pool) {
-  ActiveBlock& active = pool == BlockPool::kData ? active_data_ : active_trans_;
+void BlockManager::RetireIfFull(BlockPool pool, uint32_t die) {
+  ActiveBlock& active = ActiveOf(pool, die);
   if (active.id != kInvalidBlock && !flash_->block(active.id).HasFreePage()) {
     BucketInsert(active.id);
     active.id = kInvalidBlock;
@@ -309,7 +342,8 @@ MicroSec BlockManager::EraseAndFree(BlockId block) {
     // pages are all invalid, so nothing is lost.)
     ++bad_blocks_;
   } else {
-    free_blocks_.push_back(block);
+    free_by_die_[flash_->geometry().DieOfBlock(block)].push_back(block);
+    ++free_total_;
   }
   return t;
 }
@@ -330,7 +364,10 @@ void BlockManager::RecoverFromScan(const OobScanResult& scan) {
   TPFTL_CHECK_MSG(candidate_count_ == 0 && data_blocks_ == 0 && trans_blocks_ == 0,
                   "recovery into a block manager that already allocated");
 
-  free_blocks_.clear();
+  for (std::deque<BlockId>& free : free_by_die_) {
+    free.clear();
+  }
+  free_total_ = 0;
   bad_blocks_ = 0;
 
   // Classify. Pool guesses come from the readable pages' OOB kind; a block
@@ -346,7 +383,8 @@ void BlockManager::RecoverFromScan(const OobScanResult& scan) {
       if (flash_->IsWornOut(b)) {
         ++bad_blocks_;
       } else {
-        free_blocks_.push_back(b);
+        free_by_die_[flash_->geometry().DieOfBlock(b)].push_back(b);
+        ++free_total_;
       }
       continue;
     }
@@ -361,18 +399,20 @@ void BlockManager::RecoverFromScan(const OobScanResult& scan) {
                : a < b;
   });
 
-  // The newest partially-written block of each pool resumes as the active
-  // block; every other allocated block becomes a GC candidate. (Normal
-  // operation leaves at most one partial block per pool — the active one at
-  // the cut — but recovery tolerates more; extra partials are bucketed, and
-  // GC simply skips their free pages.)
-  BlockId active_data = kInvalidBlock;
-  BlockId active_trans = kInvalidBlock;
+  // The newest partially-written block of each (pool, die) resumes as that
+  // die's active block; every other allocated block becomes a GC candidate.
+  // (Normal operation leaves at most one partial block per pool per die —
+  // the active one at the cut — but recovery tolerates more; extra partials
+  // are bucketed, and GC simply skips their free pages.)
+  std::vector<BlockId> active_data(dies_, kInvalidBlock);
+  std::vector<BlockId> active_trans(dies_, kInvalidBlock);
   for (const BlockId b : allocated) {  // Ascending seq: the last partial wins.
     if (scan.blocks[b].programmed == per_block) {
       continue;
     }
-    (scan.blocks[b].pool == OobKind::kTranslation ? active_trans : active_data) = b;
+    const uint32_t die = flash_->geometry().DieOfBlock(b);
+    (scan.blocks[b].pool == OobKind::kTranslation ? active_trans[die]
+                                                  : active_data[die]) = b;
   }
 
   for (const BlockId b : allocated) {
@@ -385,10 +425,11 @@ void BlockManager::RecoverFromScan(const OobScanResult& scan) {
       ++trans_blocks_;
     }
     last_touched_[b] = ++op_clock_;
-    if (b == active_data) {
-      active_data_.id = b;
-    } else if (b == active_trans) {
-      active_trans_.id = b;
+    const uint32_t die = flash_->geometry().DieOfBlock(b);
+    if (b == active_data[die]) {
+      active_data_[die].id = b;
+    } else if (b == active_trans[die]) {
+      active_trans_[die].id = b;
     } else {
       BucketInsert(b);
     }
@@ -433,21 +474,33 @@ bool BlockManager::CheckInvariants() const {
   }
   TPFTL_CHECK_MSG(hist_total == candidate_count_, "erase histogram out of sync");
 
-  for (const ActiveBlock* active : {&active_data_, &active_trans_}) {
-    if (active->id == kInvalidBlock) {
-      continue;
+  for (const std::vector<ActiveBlock>* actives : {&active_data_, &active_trans_}) {
+    for (uint32_t die = 0; die < dies_; ++die) {
+      const BlockId id = (*actives)[die].id;
+      if (id == kInvalidBlock) {
+        continue;
+      }
+      TPFTL_CHECK_MSG(flash_->geometry().DieOfBlock(id) == die,
+                      "active block filed under the wrong die");
+      TPFTL_CHECK_MSG(pool_of_[id] != BlockPool::kNone, "active block has no pool");
+      TPFTL_CHECK_MSG(bucket_of_[id] == kNotBucketed, "active block is bucketed");
+      TPFTL_CHECK_MSG(!seen[id], "active block double-tracked");
+      seen[id] = 1;
     }
-    TPFTL_CHECK_MSG(pool_of_[active->id] != BlockPool::kNone, "active block has no pool");
-    TPFTL_CHECK_MSG(bucket_of_[active->id] == kNotBucketed, "active block is bucketed");
-    TPFTL_CHECK_MSG(!seen[active->id], "active block double-tracked");
-    seen[active->id] = 1;
   }
-  for (const BlockId b : free_blocks_) {
-    TPFTL_CHECK_MSG(pool_of_[b] == BlockPool::kNone, "free block has a pool");
-    TPFTL_CHECK_MSG(bucket_of_[b] == kNotBucketed, "free block is bucketed");
-    TPFTL_CHECK_MSG(!seen[b], "free block double-tracked");
-    seen[b] = 1;
+  uint64_t free_seen = 0;
+  for (uint32_t die = 0; die < dies_; ++die) {
+    for (const BlockId b : free_by_die_[die]) {
+      TPFTL_CHECK_MSG(flash_->geometry().DieOfBlock(b) == die,
+                      "free block queued on the wrong die");
+      TPFTL_CHECK_MSG(pool_of_[b] == BlockPool::kNone, "free block has a pool");
+      TPFTL_CHECK_MSG(bucket_of_[b] == kNotBucketed, "free block is bucketed");
+      TPFTL_CHECK_MSG(!seen[b], "free block double-tracked");
+      seen[b] = 1;
+      ++free_seen;
+    }
   }
+  TPFTL_CHECK_MSG(free_seen == free_total_, "free-block total out of sync");
 
   // Pool counters, and page-state counter consistency per block.
   uint64_t data = 0;
@@ -476,12 +529,13 @@ bool BlockManager::CheckInvariants() const {
 
 uint64_t BlockManager::FreePagesUpperBound() const {
   const uint64_t per_block = flash_->geometry().pages_per_block;
-  uint64_t total = free_blocks_.size() * per_block;
-  if (active_data_.id != kInvalidBlock) {
-    total += flash_->block(active_data_.id).free_pages();
-  }
-  if (active_trans_.id != kInvalidBlock) {
-    total += flash_->block(active_trans_.id).free_pages();
+  uint64_t total = free_total_ * per_block;
+  for (const std::vector<ActiveBlock>* actives : {&active_data_, &active_trans_}) {
+    for (const ActiveBlock& active : *actives) {
+      if (active.id != kInvalidBlock) {
+        total += flash_->block(active.id).free_pages();
+      }
+    }
   }
   return total;
 }

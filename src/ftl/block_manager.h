@@ -1,8 +1,14 @@
 // Free-space management and GC victim selection.
 //
 // Flash blocks are partitioned dynamically into two pools (§4.1): data blocks
-// and translation blocks. Each pool has one active block that absorbs new
-// programs; retired (fully written) blocks become GC candidates.
+// and translation blocks. Each pool has one active block *per die* that
+// absorbs new programs; retired (fully written) blocks become GC candidates.
+// On a multi-die geometry the free list is split per die (a block's die is a
+// pure function of its id, see FlashGeometry::DieOfBlock) and consecutive
+// programs rotate round-robin across dies with space, so both data and
+// translation pages stripe across the device and NandFlash's per-die
+// timelines can overlap them. With one die everything collapses to the
+// original single-free-list, single-active-block behavior bit-identically.
 //
 // Candidates are kept in valid-count buckets implemented as intrusive
 // doubly-linked lists over flat per-block index arrays: an invalidation moves
@@ -78,7 +84,7 @@ class BlockManager {
   void Invalidate(Ppn ppn);
 
   // True when the caller must run garbage collection before more programs.
-  bool NeedsGc() const { return free_blocks_.size() <= gc_threshold_; }
+  bool NeedsGc() const { return free_total_ <= gc_threshold_; }
 
   // Victim per the configured policy, from either pool. Returns
   // kInvalidBlock when no candidate exists.
@@ -107,7 +113,9 @@ class BlockManager {
   bool CheckInvariants() const;
 
   BlockPool PoolOf(BlockId block) const;
-  uint64_t free_block_count() const { return free_blocks_.size(); }
+  uint64_t free_block_count() const { return free_total_; }
+  // Free blocks currently queued for one die (diagnostic; used by tests).
+  uint64_t free_block_count(uint32_t die) const { return free_by_die_[die].size(); }
   uint64_t gc_threshold() const { return gc_threshold_; }
   GcPolicy policy() const { return policy_; }
   uint64_t pool_block_count(BlockPool pool) const;
@@ -131,14 +139,23 @@ class BlockManager {
   // Sentinel bucket index for "not a candidate".
   static constexpr uint32_t kNotBucketed = ~0u;
 
-  void RetireIfFull(BlockPool pool);
+  void RetireIfFull(BlockPool pool, uint32_t die);
   void BucketInsert(BlockId block);
   void BucketErase(BlockId block);
   // Unlink/link pair specialized for an invalidation's v → v-1 move.
   void BucketMove(BlockId block, uint64_t new_valid);
   void ListPushFront(uint64_t bucket, BlockId block);
   void ListUnlink(uint64_t bucket, BlockId block);
-  BlockId AllocateFreeBlock(BlockPool pool);
+  ActiveBlock& ActiveOf(BlockPool pool, uint32_t die) {
+    return pool == BlockPool::kData ? active_data_[die] : active_trans_[die];
+  }
+  // Next die that can absorb a program for `pool`: round-robin over dies with
+  // active-block space or a free block, so programs stripe. With one die,
+  // returns 0 untouched (the legacy path). CHECK-fails when no die has space.
+  uint32_t PickProgramDie(BlockPool pool);
+  // Prunes bad blocks off the die's free-list head; true if a block remains.
+  bool DieHasFreeBlock(uint32_t die);
+  BlockId AllocateFreeBlock(BlockPool pool, uint32_t die);
   BlockId PickGreedy() const;
   BlockId PickCostBenefit() const;
   BlockId PickWearAware() const;
@@ -150,12 +167,16 @@ class BlockManager {
   uint64_t gc_threshold_;
   GcPolicy policy_;
   uint64_t wear_spread_limit_;
+  uint32_t dies_;                       // geometry().total_dies(), cached.
   uint64_t op_clock_ = 0;               // Logical time for cost-benefit age.
   std::vector<uint64_t> last_touched_;  // Per-block op_clock_ of last change.
-  std::deque<BlockId> free_blocks_;
+  std::vector<std::deque<BlockId>> free_by_die_;  // [die] → free blocks, id order.
+  uint64_t free_total_ = 0;             // Sum over free_by_die_ sizes.
   std::vector<BlockPool> pool_of_;
-  ActiveBlock active_data_;
-  ActiveBlock active_trans_;
+  std::vector<ActiveBlock> active_data_;   // [die] → active data block.
+  std::vector<ActiveBlock> active_trans_;  // [die] → active translation block.
+  uint32_t next_die_data_ = 0;   // Round-robin cursors (multi-die only).
+  uint32_t next_die_trans_ = 0;
 
   // Candidate buckets: head/tail per valid count, intrusive links per block.
   std::vector<BlockId> bucket_head_;   // [valid] → newest candidate.

@@ -1,12 +1,48 @@
 #include "src/ssd/runner.h"
 
 #include <algorithm>
+#include <functional>
 #include <mutex>
+#include <queue>
 
 #include "src/util/assert.h"
 #include "src/util/thread_pool.h"
 
 namespace tpftl {
+namespace {
+
+SsdConfig MakeSsdConfig(const ExperimentConfig& config) {
+  SsdConfig ssd_config;
+  ssd_config.logical_bytes = config.workload.address_space_bytes;
+  ssd_config.channels = config.channels;
+  ssd_config.dies_per_channel = config.dies_per_channel;
+  ssd_config.ftl_kind = config.ftl_kind;
+  ssd_config.tpftl_options = config.tpftl_options;
+  ssd_config.cache_bytes = config.cache_bytes;
+  ssd_config.gc_threshold = config.gc_threshold;
+  ssd_config.gc_policy = config.gc_policy;
+  ssd_config.write_buffer = config.write_buffer;
+  ssd_config.background_gc = config.background_gc;
+  ssd_config.trace_phases = config.trace_phases;
+  ssd_config.trace_span_requests = config.trace_span_requests;
+  return ssd_config;
+}
+
+void Precondition(Ssd& ssd, const ExperimentConfig& config) {
+  if (!config.precondition_fill) {
+    return;
+  }
+  if (config.precondition_shuffle_chunk > 0) {
+    ssd.FillShuffled(config.precondition_shuffle_chunk);
+  } else {
+    ssd.FillSequential();
+  }
+  if (config.precondition_age_fraction > 0.0) {
+    ssd.AgeRandom(config.precondition_age_fraction);
+  }
+}
+
+}  // namespace
 
 RunReport ExtractReport(const Ssd& ssd, const std::string& workload_name, uint64_t requests) {
   RunReport r;
@@ -42,29 +78,8 @@ RunReport ExtractReport(const Ssd& ssd, const std::string& workload_name, uint64
 
 RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
                    const RunObserver& observer) {
-  SsdConfig ssd_config;
-  ssd_config.logical_bytes = config.workload.address_space_bytes;
-  ssd_config.ftl_kind = config.ftl_kind;
-  ssd_config.tpftl_options = config.tpftl_options;
-  ssd_config.cache_bytes = config.cache_bytes;
-  ssd_config.gc_threshold = config.gc_threshold;
-  ssd_config.gc_policy = config.gc_policy;
-  ssd_config.write_buffer = config.write_buffer;
-  ssd_config.background_gc = config.background_gc;
-  ssd_config.trace_phases = config.trace_phases;
-  ssd_config.trace_span_requests = config.trace_span_requests;
-  Ssd ssd(ssd_config);
-
-  if (config.precondition_fill) {
-    if (config.precondition_shuffle_chunk > 0) {
-      ssd.FillShuffled(config.precondition_shuffle_chunk);
-    } else {
-      ssd.FillSequential();
-    }
-    if (config.precondition_age_fraction > 0.0) {
-      ssd.AgeRandom(config.precondition_age_fraction);
-    }
-  }
+  Ssd ssd(MakeSsdConfig(config));
+  Precondition(ssd, config);
 
   // Size warm-up from the trace's actual length when it is known: for
   // file-backed traces the configured request count routinely disagrees with
@@ -102,6 +117,64 @@ RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
     measured = replayed;
   }
   return ExtractReport(ssd, config.workload.name, measured);
+}
+
+ClosedLoopReport RunClosedLoop(const ExperimentConfig& config, TraceSource& trace,
+                               const ClosedLoopConfig& loop) {
+  TPFTL_CHECK(loop.queue_depth >= 1);
+  Ssd ssd(MakeSsdConfig(config));
+  Precondition(ssd, config);
+
+  // Min-heap of in-flight completion times; the next request is issued the
+  // instant the earliest one finishes. Seeding with queue_depth zeros puts
+  // the full window in flight at t = 0.
+  std::priority_queue<MicroSec, std::vector<MicroSec>, std::greater<MicroSec>>
+      completions;
+  for (uint32_t i = 0; i < loop.queue_depth; ++i) {
+    completions.push(0.0);
+  }
+
+  // A request's completion is its effective (epoch-clamped) arrival plus its
+  // response — both Submit timing paths define response relative to the
+  // effective arrival, so this is the exact finish instant.
+  const auto serve = [&](IoRequest& request) {
+    const MicroSec arrival = completions.top();
+    completions.pop();
+    request.arrival_us = arrival;
+    const MicroSec effective = std::max(arrival, ssd.stats_epoch_us());
+    const MicroSec response = ssd.Submit(request);
+    completions.push(effective + response);
+  };
+
+  trace.Rewind();
+  IoRequest request;
+  uint64_t warmed = 0;
+  while (warmed < loop.warmup_requests && trace.Next(&request)) {
+    serve(request);
+    ++warmed;
+  }
+  // Fresh measurement epoch at full depth: warm-up backlog stays physical
+  // (the dies are still busy) but is never billed to measured requests.
+  ssd.ResetStats();
+
+  uint64_t measured = 0;
+  while ((loop.measured_requests == 0 || measured < loop.measured_requests) &&
+         trace.Next(&request)) {
+    serve(request);
+    ++measured;
+  }
+
+  ClosedLoopReport out;
+  out.report = ExtractReport(ssd, config.workload.name, measured);
+  out.queue_depth = loop.queue_depth;
+  out.measured = measured;
+  out.makespan_us = ssd.device_free_at() - ssd.stats_epoch_us();
+  out.sim_requests_per_sec =
+      out.makespan_us > 0.0
+          ? static_cast<double>(measured) / out.makespan_us * 1e6
+          : 0.0;
+  out.die_utilization = ssd.DieUtilization();
+  return out;
 }
 
 SweepAggregate AggregateSweep(const std::vector<RunReport>& reports) {

@@ -21,6 +21,10 @@ struct ExperimentConfig {
   WorkloadConfig workload;
   FtlKind ftl_kind = FtlKind::kTpftl;
   TpftlOptions tpftl_options;
+  // Parallel NAND structure (SsdConfig::channels/dies_per_channel); the
+  // 1 × 1 default reproduces the flat single-die device bit-identically.
+  uint32_t channels = 1;
+  uint32_t dies_per_channel = 1;
   uint64_t cache_bytes = 0;  // 0 → paper default for the workload's capacity.
   uint64_t gc_threshold = 8;
   GcPolicy gc_policy = GcPolicy::kGreedy;
@@ -96,6 +100,38 @@ SweepAggregate AggregateSweep(const std::vector<RunReport>& reports);
 
 // Called after each measured request; `index` counts measured requests.
 using RunObserver = std::function<void(const Ssd& ssd, uint64_t index)>;
+
+// --- closed-loop (queue-depth) driving ---
+//
+// Instead of replaying trace arrival times (open loop), keep exactly
+// `queue_depth` requests outstanding: each request is issued the moment the
+// earliest in-flight request completes (min-heap of completion times). On a
+// multi-die device deeper queues let independent requests overlap on
+// different dies, which is the scaling the BENCH_e2e v2 sweep measures.
+struct ClosedLoopConfig {
+  uint32_t queue_depth = 1;
+  // Requests served at full depth before ResetStats. The reset moves the
+  // measurement epoch past the warm-up backlog, so queueing delay built up
+  // while warming can never pollute the measured responses (the per-QD
+  // warm-up fix for the closed-loop timing artifact).
+  uint64_t warmup_requests = 0;
+  uint64_t measured_requests = 0;  // 0 → the rest of the trace.
+};
+
+struct ClosedLoopReport {
+  RunReport report;  // Measured-window stats (post-warm-up).
+  uint32_t queue_depth = 1;
+  uint64_t measured = 0;
+  // Simulated time the measured window spanned, and the resulting
+  // simulated-time throughput (requests per simulated second).
+  MicroSec makespan_us = 0.0;
+  double sim_requests_per_sec = 0.0;
+  // Busy fraction per die over the measured window (Ssd::DieUtilization).
+  std::vector<double> die_utilization;
+};
+
+ClosedLoopReport RunClosedLoop(const ExperimentConfig& config, TraceSource& trace,
+                               const ClosedLoopConfig& loop);
 
 // Runs the experiment on its synthetic workload.
 RunReport RunExperiment(const ExperimentConfig& config, const RunObserver& observer = nullptr);

@@ -1,0 +1,202 @@
+#include "src/ssd/sharded.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+ShardedSsd::ShardedSsd(const ShardedConfig& config)
+    : pool_(std::max(
+          1u, std::min(config.threads == 0 ? config.shards : config.threads,
+                       config.shards))) {
+  TPFTL_CHECK_MSG(config.shards >= 1 && (config.shards & (config.shards - 1)) == 0,
+                  "shard count must be a power of two");
+  SsdConfig shard_config = config.base;
+  TPFTL_CHECK_MSG(config.base.logical_bytes % config.shards == 0,
+                  "logical capacity must split evenly across shards");
+  shard_config.logical_bytes = config.base.logical_bytes / config.shards;
+  if (config.base.cache_bytes != 0) {
+    shard_config.cache_bytes =
+        std::max<uint64_t>(1, config.base.cache_bytes / config.shards);
+  }
+  shards_.reserve(config.shards);
+  for (uint32_t s = 0; s < config.shards; ++s) {
+    shards_.push_back(std::make_unique<Ssd>(shard_config));
+  }
+  logical_pages_ = shards_[0]->logical_pages() * config.shards;
+  page_size_bytes_ = shards_[0]->geometry().page_size_bytes;
+
+  const uint32_t threads = pool_.thread_count();
+  workers_.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (uint32_t t = 0; t < threads; ++t) {
+    pool_.Submit([this, t] { WorkerLoop(t); });
+  }
+}
+
+ShardedSsd::~ShardedSsd() {
+  for (std::unique_ptr<Worker>& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    worker->stop = true;
+    worker->work_ready.notify_all();
+  }
+  pool_.Wait();  // Worker loops exit once their queues run dry.
+}
+
+void ShardedSsd::WorkerLoop(uint32_t worker_index) {
+  Worker& worker = *workers_[worker_index];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(worker.mutex);
+      worker.work_ready.wait(lock,
+                             [&] { return worker.stop || !worker.queue.empty(); });
+      if (worker.queue.empty()) {
+        return;  // stop requested and nothing left to serve.
+      }
+      job = worker.queue.front();
+      worker.queue.pop_front();
+    }
+    Ssd& ssd = *shards_[job.shard];
+    if (job.fill) [[unlikely]] {
+      ssd.FillSequential();
+    } else {
+      ssd.Submit(job.request);
+    }
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      if (--worker.pending == 0) {
+        worker.drained.notify_all();
+      }
+    }
+  }
+}
+
+void ShardedSsd::Enqueue(const Job& job) {
+  Worker& worker = *workers_[job.shard % workers_.size()];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  worker.queue.push_back(job);
+  ++worker.pending;
+  worker.work_ready.notify_one();
+}
+
+void ShardedSsd::SubmitRun(Lpn first, uint64_t pages, const IoRequest& request) {
+  const auto num_shards = static_cast<uint32_t>(shards_.size());
+  const Lpn last = first + pages - 1;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    // First global page at or after `first` owned by shard s.
+    const Lpn g0 =
+        first + ((s + num_shards - static_cast<uint32_t>(first % num_shards)) %
+                 num_shards);
+    if (g0 > last) {
+      continue;
+    }
+    // Globals g0, g0 + S, g0 + 2S, … are locals g0/S, g0/S + 1, … — one
+    // contiguous local run, expressible as an ordinary IoRequest.
+    const uint64_t count = (last - g0) / num_shards + 1;
+    Job job;
+    job.shard = s;
+    job.request = request;
+    job.request.offset_bytes = (g0 / num_shards) * page_size_bytes_;
+    job.request.size_bytes = count * page_size_bytes_;
+    Enqueue(job);
+  }
+}
+
+void ShardedSsd::Submit(const IoRequest& request) {
+  if (shards_.size() == 1) {
+    Job job;
+    job.shard = 0;
+    job.request = request;
+    Enqueue(job);
+    return;
+  }
+  // Mirror Ssd::Submit's wrapping: the first page wraps into the logical
+  // space, and a run crossing the end continues from page 0.
+  const Lpn first = request.FirstLpn(page_size_bytes_) % logical_pages_;
+  const uint64_t pages =
+      std::min(request.PageCount(page_size_bytes_), logical_pages_);
+  const uint64_t head = std::min(pages, logical_pages_ - first);
+  SubmitRun(first, head, request);
+  if (pages > head) {
+    SubmitRun(0, pages - head, request);
+  }
+}
+
+void ShardedSsd::Drain() {
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mutex);
+    worker->drained.wait(lock, [&] { return worker->pending == 0; });
+  }
+}
+
+void ShardedSsd::FillSequential() {
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    Job job;
+    job.shard = s;
+    job.fill = true;
+    Enqueue(job);
+  }
+  Drain();
+}
+
+void ShardedSsd::ResetStats() {
+  Drain();
+  for (const std::unique_ptr<Ssd>& shard : shards_) {
+    shard->ResetStats();
+  }
+}
+
+Ppn ShardedSsd::Probe(Lpn global_lpn) const {
+  const auto num_shards = static_cast<uint32_t>(shards_.size());
+  return shards_[global_lpn % num_shards]->ftl().Probe(global_lpn / num_shards);
+}
+
+void ShardedSsd::MergeMetricsInto(obs::MetricsRegistry* out) const {
+  for (const std::unique_ptr<Ssd>& shard : shards_) {
+    out->MergeFrom(shard->metrics());
+  }
+}
+
+uint64_t ShardedSsd::TotalRequestsServed() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<Ssd>& shard : shards_) {
+    total += shard->requests_served();
+  }
+  return total;
+}
+
+MicroSec ShardedSsd::MaxDeviceFreeAt() const {
+  MicroSec max = 0.0;
+  for (const std::unique_ptr<Ssd>& shard : shards_) {
+    max = std::max(max, shard->device_free_at());
+  }
+  return max;
+}
+
+MicroSec ShardedSsd::MinStatsEpoch() const {
+  MicroSec min = shards_[0]->stats_epoch_us();
+  for (const std::unique_ptr<Ssd>& shard : shards_) {
+    min = std::min(min, shard->stats_epoch_us());
+  }
+  return min;
+}
+
+std::vector<double> ShardedSsd::DieUtilization() const {
+  const MicroSec window = MaxDeviceFreeAt() - MinStatsEpoch();
+  std::vector<double> util;
+  for (const std::unique_ptr<Ssd>& shard : shards_) {
+    const uint32_t dies = shard->flash().total_dies();
+    for (uint32_t die = 0; die < dies; ++die) {
+      util.push_back(window <= 0.0
+                         ? 0.0
+                         : std::min(1.0, shard->flash().die_busy_us(die) / window));
+    }
+  }
+  return util;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,135 @@
+// Sharded concurrent SSD front-end.
+//
+// Partitions the device by LPN interleaving into S independent shards — each
+// shard is a complete Ssd (its own NAND dies, mapping cache, GTD/translation
+// store, and BlockManager), so there is no shared mutable FTL state and no
+// global lock anywhere on the hot path. Global LPN g lives on shard
+// g mod S at shard-local LPN g / S; interleaving (rather than range
+// splitting) spreads Zipf-hot low LPNs across all shards, and a contiguous
+// global page run still maps to one contiguous local run per shard, so every
+// sub-request is an ordinary IoRequest.
+//
+// Threading: N worker threads (run on the shared src/util/thread_pool), each
+// owning a disjoint set of shards (shard i → worker i mod N). The dispatcher
+// splits each host request into per-shard sub-requests and enqueues them on
+// the owning worker's FIFO queue. Because every shard is touched by exactly
+// one worker and each worker drains its queue in order, the per-shard
+// operation sequence — and therefore all host-visible state — is identical
+// for any thread count, including threads == 1. Only wall-clock changes.
+//
+// Simulated time advances independently per shard (each shard models its own
+// die timelines); aggregate throughput over a workload is
+// total-sub-requests / max-over-shards(busy horizon), computed by callers
+// from MaxDeviceFreeAt()/MinStatsEpoch().
+//
+// Stats: per-shard MetricsRegistry instances are merged exactly via
+// MetricsRegistry::MergeFrom (counters add, HDR histograms add bucket-wise),
+// so merged quantiles are what a single registry observing every sample
+// would report.
+
+#ifndef SRC_SSD_SHARDED_H_
+#define SRC_SSD_SHARDED_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/ssd/ssd.h"
+#include "src/util/thread_pool.h"
+
+namespace tpftl {
+
+struct ShardedConfig {
+  // Template for every shard. `logical_bytes` is the GLOBAL capacity; each
+  // shard gets logical_bytes / shards (must stay block-aligned). A non-zero
+  // cache_bytes is likewise split evenly. channels/dies_per_channel are
+  // per shard, so the device total is shards × channels × dies_per_channel
+  // dies.
+  SsdConfig base;
+  uint32_t shards = 1;   // Power of two.
+  uint32_t threads = 1;  // Worker threads; clamped to `shards`. 0 → shards.
+};
+
+class ShardedSsd {
+ public:
+  explicit ShardedSsd(const ShardedConfig& config);
+  ~ShardedSsd();
+
+  ShardedSsd(const ShardedSsd&) = delete;
+  ShardedSsd& operator=(const ShardedSsd&) = delete;
+
+  // Splits one host request into per-shard sub-requests and enqueues them.
+  // Asynchronous; call Drain() before inspecting any shard state. Must be
+  // called from one dispatching thread at a time.
+  void Submit(const IoRequest& request);
+
+  // Barrier: blocks until every enqueued sub-request has been served. After
+  // Drain() returns, shard state reads from the caller are race-free (the
+  // queue mutexes order them after the workers' writes).
+  void Drain();
+
+  // Parallel preconditioning: every shard fills its logical space
+  // sequentially, concurrently with the others. Includes a Drain().
+  void FillSequential();
+
+  // Drains, then resets every shard's statistics (new measurement epoch on
+  // each shard's own timeline).
+  void ResetStats();
+
+  // Physical mapping of a global LPN on its owning shard (Drain() first).
+  Ppn Probe(Lpn global_lpn) const;
+
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t threads() const { return static_cast<uint32_t>(workers_.size()); }
+  uint64_t logical_pages() const { return logical_pages_; }
+  Ssd& shard(uint32_t i) { return *shards_[i]; }
+  const Ssd& shard(uint32_t i) const { return *shards_[i]; }
+
+  // --- merged views (call after Drain) ---
+  // Exact merge of every shard's registry (includes "ssd.response_us")
+  // folded into `out` via MetricsRegistry::MergeFrom.
+  void MergeMetricsInto(obs::MetricsRegistry* out) const;
+  // Sub-requests served across all shards since the last ResetStats.
+  uint64_t TotalRequestsServed() const;
+  // Busy horizon / measurement epoch across shards, for aggregate
+  // throughput: ops / (MaxDeviceFreeAt() - MinStatsEpoch()).
+  MicroSec MaxDeviceFreeAt() const;
+  MicroSec MinStatsEpoch() const;
+  // Per-die busy fraction over the global measurement window, concatenated
+  // shard-major: entry s * dies_per_shard + d is shard s's die d.
+  std::vector<double> DieUtilization() const;
+
+ private:
+  struct Job {
+    uint32_t shard = 0;
+    bool fill = false;  // FillSequential marker instead of an I/O.
+    IoRequest request;
+  };
+  // One worker: a FIFO of jobs for the shards it owns. `pending` counts
+  // queued plus in-flight jobs so Drain can wait for true quiescence.
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable work_ready;
+    std::condition_variable drained;
+    std::deque<Job> queue;
+    uint64_t pending = 0;
+    bool stop = false;
+  };
+
+  void WorkerLoop(uint32_t worker_index);
+  void Enqueue(const Job& job);
+  // Per-shard split of one contiguous (non-wrapping) global page run.
+  void SubmitRun(Lpn first, uint64_t pages, const IoRequest& request);
+
+  uint64_t logical_pages_ = 0;     // Global (sum over shards).
+  uint64_t page_size_bytes_ = 0;
+  std::vector<std::unique_ptr<Ssd>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  ThreadPool pool_;  // Hosts the long-lived worker loops.
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_SSD_SHARDED_H_

@@ -10,7 +10,9 @@
 namespace tpftl {
 
 Ssd::Ssd(const SsdConfig& config)
-    : geometry_(MakeGeometry(config.logical_bytes, config.over_provision)),
+    : geometry_(MakeGeometryParallel(config.logical_bytes, config.channels,
+                                     config.dies_per_channel, config.planes_per_die,
+                                     config.over_provision)),
       flash_(geometry_),
       logical_pages_(config.logical_bytes / geometry_.page_size_bytes),
       write_buffer_(config.write_buffer),
@@ -29,27 +31,8 @@ Ssd::Ssd(const SsdConfig& config)
   ftl_ = CreateFtl(config.ftl_kind, env, config.tpftl_options);
 }
 
-MicroSec Ssd::Submit(const IoRequest& request) {
+MicroSec Ssd::ServiceRequestPages(const IoRequest& request) {
   const uint64_t page_size = geometry_.page_size_bytes;
-  ftl_->BeginRequest(request);
-
-  // Tracing sinks for this request. With trace_phases off both pointers stay
-  // null and every obs:: call below (and in the layers underneath) is a
-  // predicted-taken branch; either way the timing arithmetic is untouched.
-  // The sinks are Ssd-owned scratch so the disabled path does no per-request
-  // zeroing.
-  obs::PhaseTimes* times = nullptr;
-  obs::RequestSpans* spans = nullptr;
-  if (trace_phases_) [[unlikely]] {
-    scratch_times_.Reset();
-    times = &scratch_times_;
-    if (trace_log_.WantsMore()) {
-      scratch_spans_.Clear();
-      spans = &scratch_spans_;
-    }
-  }
-  obs::ScopedRequestContext trace_ctx(times, spans);
-
   MicroSec service = 0.0;
   const Lpn first = request.FirstLpn(page_size) % logical_pages_;
   const uint64_t pages = std::min(request.PageCount(page_size), logical_pages_);
@@ -81,23 +64,72 @@ MicroSec Ssd::Submit(const IoRequest& request) {
       }
     }
   }
+  return service;
+}
 
-  // Idle gap before this arrival: spend it on background GC if enabled.
-  if (background_gc_ && request.arrival_us > device_free_at_) {
-    obs::ScopedPhase phase(obs::Phase::kBackground, /*pin=*/true);
-    device_free_at_ += ftl_->BackgroundGc(request.arrival_us - device_free_at_);
+MicroSec Ssd::Submit(const IoRequest& request) {
+  const bool multi_die = flash_.multi_die();
+  ftl_->BeginRequest(request);
+
+  // Tracing sinks for this request. With trace_phases off both pointers stay
+  // null and every obs:: call below (and in the layers underneath) is a
+  // predicted-taken branch; either way the timing arithmetic is untouched.
+  // The sinks are Ssd-owned scratch so the disabled path does no per-request
+  // zeroing.
+  obs::PhaseTimes* times = nullptr;
+  obs::RequestSpans* spans = nullptr;
+  if (trace_phases_) [[unlikely]] {
+    scratch_times_.Reset();
+    times = &scratch_times_;
+    if (trace_log_.WantsMore()) {
+      scratch_spans_.Clear();
+      spans = &scratch_spans_;
+    }
+  }
+  obs::ScopedRequestContext trace_ctx(times, spans);
+
+  MicroSec effective_arrival = 0.0;
+  if (multi_die) [[unlikely]] {
+    // Multi-die timing runs the idle-gap background GC *before* this
+    // request's flash ops so its programs land earlier on the die timelines,
+    // and anchors the request on the timelines before any op executes.
+    if (background_gc_ && request.arrival_us > device_free_at_) {
+      obs::ScopedPhase phase(obs::Phase::kBackground, /*pin=*/true);
+      device_free_at_ += ftl_->BackgroundGc(request.arrival_us - device_free_at_);
+    }
+    effective_arrival = std::max(request.arrival_us, stats_epoch_us_);
+    flash_.BeginRequestAt(effective_arrival);
   }
 
-  // Measurement clamp: a request that arrived before the last ResetStats
-  // epoch is billed from the epoch, so queueing delay caused by warm-up-era
-  // service stays out of measured response times.
-  const MicroSec effective_arrival = std::max(request.arrival_us, stats_epoch_us_);
-  // FIFO queue: the device starts this request when it is free.
-  // device_free_at_ >= stats_epoch_us_ always, so clamping the arrival does
-  // not change the start time physics.
-  const MicroSec start = std::max(device_free_at_, effective_arrival);
-  device_free_at_ = start + service;
-  const MicroSec response = device_free_at_ - effective_arrival;
+  const MicroSec service = ServiceRequestPages(request);
+
+  MicroSec start = 0.0;
+  MicroSec finish = 0.0;
+  if (multi_die) [[unlikely]] {
+    // Dispatch is not the bottleneck: the request starts at its (clamped)
+    // arrival and each flash op queued on max(request progress, die busy
+    // horizon). Response is the overlapped makespan, not the serial sum.
+    start = effective_arrival;
+    finish = std::max(flash_.request_finish_us(), effective_arrival);
+    device_free_at_ = std::max(device_free_at_, finish);
+  } else {
+    // Idle gap before this arrival: spend it on background GC if enabled.
+    if (background_gc_ && request.arrival_us > device_free_at_) {
+      obs::ScopedPhase phase(obs::Phase::kBackground, /*pin=*/true);
+      device_free_at_ += ftl_->BackgroundGc(request.arrival_us - device_free_at_);
+    }
+    // Measurement clamp: a request that arrived before the last ResetStats
+    // epoch is billed from the epoch, so queueing delay caused by warm-up-era
+    // service stays out of measured response times.
+    effective_arrival = std::max(request.arrival_us, stats_epoch_us_);
+    // FIFO queue: the device starts this request when it is free.
+    // device_free_at_ >= stats_epoch_us_ always, so clamping the arrival does
+    // not change the start time physics.
+    start = std::max(device_free_at_, effective_arrival);
+    device_free_at_ = start + service;
+    finish = device_free_at_;
+  }
+  const MicroSec response = finish - effective_arrival;
   response_.Add(response);
   response_hist_->Add(response);
   if (trace_phases_) [[unlikely]] {
@@ -106,14 +138,16 @@ MicroSec Ssd::Submit(const IoRequest& request) {
     queue_us_total_ += queue_us;
     metrics_.histogram("ssd.queue_us")->Add(queue_us);
     if (spans != nullptr) {
+      const uint64_t page_size = geometry_.page_size_bytes;
       obs::RequestTraceRecord rec;
       rec.index = requests_served_;
-      rec.lpn = first;
-      rec.length = static_cast<uint32_t>(pages);
+      rec.lpn = request.FirstLpn(page_size) % logical_pages_;
+      rec.length =
+          static_cast<uint32_t>(std::min(request.PageCount(page_size), logical_pages_));
       rec.is_write = request.is_write();
       rec.arrival_us = effective_arrival;
       rec.start_us = start;
-      rec.finish_us = device_free_at_;
+      rec.finish_us = finish;
       rec.queue_us = queue_us;
       rec.phases = *times;
       rec.spans = spans->spans();
@@ -160,6 +194,21 @@ void Ssd::AgeRandom(double fraction, uint64_t seed) {
   for (uint64_t i = 0; i < writes; ++i) {
     ftl_->WritePage(rng.Below(logical_pages_));
   }
+}
+
+std::vector<double> Ssd::DieUtilization() const {
+  const uint32_t dies = flash_.total_dies();
+  std::vector<double> util(dies, 0.0);
+  const MicroSec window = device_free_at_ - stats_epoch_us_;
+  if (window <= 0.0) {
+    return util;
+  }
+  for (uint32_t die = 0; die < dies; ++die) {
+    // die_busy_us resets with the flash stats at ResetStats, so busy time
+    // and window cover the same measurement epoch.
+    util[die] = std::min(1.0, flash_.die_busy_us(die) / window);
+  }
+  return util;
 }
 
 void Ssd::ResetStats() {

@@ -19,6 +19,7 @@
 #define SRC_SSD_SSD_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/core/ftl_factory.h"
 #include "src/flash/nand.h"
@@ -34,6 +35,12 @@ namespace tpftl {
 struct SsdConfig {
   uint64_t logical_bytes = 512ULL << 20;
   double over_provision = 0.15;  // Table 3.
+  // Parallel NAND structure (powers of two; see geometry.h). The default
+  // 1 × 1 × 1 reproduces the paper's flat single-die device bit-identically;
+  // anything larger enables per-die overlapped timing in Submit.
+  uint32_t channels = 1;
+  uint32_t dies_per_channel = 1;
+  uint32_t planes_per_die = 1;
   FtlKind ftl_kind = FtlKind::kTpftl;
   TpftlOptions tpftl_options;
   // Mapping-cache budget including the GTD; 0 selects the paper's default
@@ -109,6 +116,14 @@ class Ssd {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  // Measurement epoch set by the last ResetStats, and the device-busy
+  // horizon (max request finish time seen so far).
+  MicroSec stats_epoch_us() const { return stats_epoch_us_; }
+  MicroSec device_free_at() const { return device_free_at_; }
+  // Fraction of the measured window (stats_epoch .. device_free_at) each die
+  // spent busy. All 1.0-or-less entries; one entry per die.
+  std::vector<double> DieUtilization() const;
+
   // Aggregate phase attribution since the last ResetStats (all zeros unless
   // trace_phases is on).
   const obs::PhaseTimes& phase_times() const { return phase_times_; }
@@ -118,6 +133,10 @@ class Ssd {
   const obs::RequestTraceLog& trace_log() const { return trace_log_; }
 
  private:
+  // The per-page FTL/write-buffer work of one request; returns the summed
+  // flash service time. Shared by the single-die and multi-die timing paths.
+  MicroSec ServiceRequestPages(const IoRequest& request);
+
   FlashGeometry geometry_;
   NandFlash flash_;
   uint64_t logical_pages_;

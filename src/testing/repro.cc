@@ -45,6 +45,11 @@ std::string SerializeRepro(const Repro& repro) {
   out << "cache_bytes " << p.cache_bytes << "\n";
   out << "total_blocks " << p.total_blocks << "\n";
   out << "gc_threshold " << p.gc_threshold << "\n";
+  if (p.dies != 1) {
+    // Written only for multi-die profiles so pre-parallel repro files stay
+    // byte-identical; absent key parses as the flat single-die default.
+    out << "dies " << p.dies << "\n";
+  }
   out << "program_fail_prob " << p.program_fail_prob << "\n";
   out << "erase_fail_prob " << p.erase_fail_prob << "\n";
   out << "write_buffer_pages " << p.write_buffer_pages << "\n";
@@ -124,6 +129,8 @@ bool ParseRepro(const std::string& text, Repro* out, std::string* error) {
       ok = static_cast<bool>(fields >> p.total_blocks);
     } else if (key == "gc_threshold") {
       ok = static_cast<bool>(fields >> p.gc_threshold);
+    } else if (key == "dies") {
+      ok = static_cast<bool>(fields >> p.dies);
     } else if (key == "program_fail_prob") {
       ok = static_cast<bool>(fields >> p.program_fail_prob);
     } else if (key == "erase_fail_prob") {

@@ -31,12 +31,23 @@ SimProfile ProfileByName(const std::string& name) {
     p.flush_prob = 0.04;
     return p;
   }
+  if (name == "parallel") {
+    // The powercut environment on a 4-die device: striping, per-die
+    // timelines, faults, buffered writes, and recovery all interleave.
+    p.dies = 4;
+    p.program_fail_prob = 0.005;
+    p.erase_fail_prob = 0.001;
+    p.power_cut_prob = 0.002;
+    p.write_buffer_pages = 12;
+    p.flush_prob = 0.03;
+    return p;
+  }
   TPFTL_CHECK_MSG(false, "unknown SimCheck profile");
   return p;
 }
 
 std::vector<std::string> ProfileNames() {
-  return {"plain", "faulty", "powercut", "buffered"};
+  return {"plain", "faulty", "powercut", "buffered", "parallel"};
 }
 
 const char* OpKindName(OpKind kind) {

@@ -47,6 +47,10 @@ struct SimProfile {
   uint64_t cache_bytes = 32 + 280;
   uint64_t total_blocks = 96;
   uint64_t gc_threshold = 6;
+  // Dies in the small geometry (power of two; total_blocks must divide
+  // evenly). 1 reproduces the flat device; the "parallel" profile raises it
+  // so striping and per-die timelines run under the model-checking oracle.
+  uint64_t dies = 1;
 
   // --- op mix (probabilities per op slot; the remainder becomes reads) ---
   double write_prob = 0.55;
@@ -87,6 +91,8 @@ struct SimProfile {
 //   powercut — faulty plus mid-stream power cuts with recovery, behind a
 //              small CFLRU write buffer (flush ops included).
 //   buffered — plain behind the write buffer, fault-free.
+//   parallel — powercut's fault/buffer environment on a 4-die geometry, so
+//              per-die striping and timelines face faults and recovery too.
 SimProfile ProfileByName(const std::string& name);
 std::vector<std::string> ProfileNames();
 

@@ -27,7 +27,8 @@ class Harness {
         profile_(profile),
         seed_(seed),
         world_(testing::MakeWorld(profile.logical_pages, profile.cache_bytes,
-                                  profile.total_blocks, profile.gc_threshold)),
+                                  profile.total_blocks, profile.gc_threshold,
+                                  profile.dies)),
         model_(profile.logical_pages),
         strict_(StrictOracleFor(kind)) {
     ftl_ = CreateFtl(kind_, world_.env);

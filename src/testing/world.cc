@@ -4,18 +4,19 @@
 
 namespace tpftl::testing {
 
-FlashGeometry SmallGeometry(uint64_t total_blocks) {
+FlashGeometry SmallGeometry(uint64_t total_blocks, uint64_t dies) {
   FlashGeometry g;
   g.page_size_bytes = 512;
   g.pages_per_block = 16;
   g.total_blocks = total_blocks;
+  g.dies_per_channel = static_cast<uint32_t>(dies);
   return g;
 }
 
 World MakeWorld(uint64_t logical_pages, uint64_t cache_bytes, uint64_t total_blocks,
-                uint64_t gc_threshold) {
+                uint64_t gc_threshold, uint64_t dies) {
   World w;
-  w.geometry = SmallGeometry(total_blocks);
+  w.geometry = SmallGeometry(total_blocks, dies);
   w.flash = std::make_unique<NandFlash>(w.geometry);
   w.env.flash = w.flash.get();
   w.env.logical_pages = logical_pages;

@@ -19,8 +19,9 @@ namespace tpftl::testing {
 
 // A small geometry: 512 B pages (128 entries per translation page), 16-page
 // blocks. Dynamics (multi-translation-page working sets, frequent GC) show
-// up within a few thousand operations.
-FlashGeometry SmallGeometry(uint64_t total_blocks = 96);
+// up within a few thousand operations. `dies` > 1 (a power of two dividing
+// total_blocks) makes it a multi-die device with per-die timelines.
+FlashGeometry SmallGeometry(uint64_t total_blocks = 96, uint64_t dies = 1);
 
 // A world bundles flash + env for one FTL under test.
 struct World {
@@ -30,7 +31,8 @@ struct World {
 };
 
 World MakeWorld(uint64_t logical_pages = 1024, uint64_t cache_bytes = 2048,
-                uint64_t total_blocks = 96, uint64_t gc_threshold = 6);
+                uint64_t total_blocks = 96, uint64_t gc_threshold = 6,
+                uint64_t dies = 1);
 
 // Drives `ftl` with `ops` random page reads/writes (write probability
 // `write_ratio`) while mirroring every write into a shadow map, verifying

@@ -86,7 +86,8 @@ INSTANTIATE_TEST_SUITE_P(
                           FtlKind::kSftl, FtlKind::kTpftl, FtlKind::kBlockFtl,
                           FtlKind::kFast, FtlKind::kZftl),
         ::testing::Values(std::string("plain"), std::string("faulty"),
-                          std::string("powercut"), std::string("buffered"))),
+                          std::string("powercut"), std::string("buffered"),
+                          std::string("parallel"))),
     [](const ::testing::TestParamInfo<Param>& info) {
       std::string name = std::string(FtlKindName(std::get<0>(info.param))) + "_" +
                          std::get<1>(info.param);

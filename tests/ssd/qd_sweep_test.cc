@@ -1,0 +1,135 @@
+// Closed-loop (queue-depth) driving over a multi-die device.
+//
+// Three properties pin down the BENCH_e2e v2 sweep machinery: deeper queues
+// scale simulated throughput on independent dies, the per-QD warm-up reset
+// keeps the warm-up backlog out of the measured latencies (the closed-loop
+// saturation artifact), and die-utilization accounting tracks queue depth.
+//
+// The scaling cases run read-only with a cache that covers every mapping so
+// each request touches exactly the dies holding its data pages — with
+// translation traffic or GC in the mix a single request already fans out
+// across dies, which is real overlap but hides the queue-depth effect these
+// tests isolate. A separate GC-heavy case covers the mixed path.
+
+#include <gtest/gtest.h>
+
+#include "src/ssd/runner.h"
+#include "src/workload/generator.h"
+
+namespace tpftl {
+namespace {
+
+ExperimentConfig ReadOnlyConfig(uint32_t dies) {
+  ExperimentConfig config;
+  config.workload.name = "qd-sweep";
+  config.workload.address_space_bytes = 32ULL << 20;
+  config.workload.num_requests = 8000;
+  config.workload.seed = 7;
+  config.workload.write_ratio = 0.0;
+  config.workload.zipf_theta = 0.0;  // Uniform: requests spread across dies.
+  config.ftl_kind = FtlKind::kDftl;
+  config.cache_bytes = 8ULL << 20;  // Covers all mappings: no trans traffic.
+  config.channels = 1;
+  config.dies_per_channel = dies;
+  config.warmup_fraction = 0.0;  // The closed loop does its own warm-up.
+  return config;
+}
+
+ClosedLoopReport DriveClosedLoop(const ExperimentConfig& config,
+                                 uint32_t queue_depth, uint64_t warmup,
+                                 uint64_t measured) {
+  SyntheticWorkload trace(config.workload);
+  ClosedLoopConfig loop;
+  loop.queue_depth = queue_depth;
+  loop.warmup_requests = warmup;
+  loop.measured_requests = measured;
+  return RunClosedLoop(config, trace, loop);
+}
+
+TEST(ClosedLoopTest, DeeperQueueScalesThroughputOnMultiDie) {
+  const ClosedLoopReport flat = DriveClosedLoop(ReadOnlyConfig(1), 1, 500, 4000);
+  const ExperimentConfig config = ReadOnlyConfig(4);
+  const ClosedLoopReport qd1 = DriveClosedLoop(config, 1, 500, 4000);
+  const ClosedLoopReport qd8 = DriveClosedLoop(config, 8, 500, 4000);
+  ASSERT_GT(qd1.sim_requests_per_sec, 0.0);
+  // Eight outstanding single-die requests over four independent dies must
+  // deliver well beyond what one outstanding request can.
+  EXPECT_GE(qd8.sim_requests_per_sec, 1.8 * qd1.sim_requests_per_sec)
+      << "QD1 " << qd1.sim_requests_per_sec << " req/s, QD8 "
+      << qd8.sim_requests_per_sec << " req/s";
+  // And the four-die device at depth must beat the flat device by ~the die
+  // count (3x leaves headroom for die-collision losses).
+  EXPECT_GE(qd8.sim_requests_per_sec, 3.0 * flat.sim_requests_per_sec)
+      << "flat " << flat.sim_requests_per_sec << " req/s, 4-die QD8 "
+      << qd8.sim_requests_per_sec << " req/s";
+  EXPECT_EQ(qd8.measured, 4000u);
+  EXPECT_LT(qd8.makespan_us, qd1.makespan_us);
+}
+
+TEST(ClosedLoopTest, SingleDieGainsNothingFromQueueDepth) {
+  const ExperimentConfig config = ReadOnlyConfig(1);
+  const ClosedLoopReport qd1 = DriveClosedLoop(config, 1, 200, 2000);
+  const ClosedLoopReport qd8 = DriveClosedLoop(config, 8, 200, 2000);
+  // One die serializes everything: deeper queues add queueing delay but the
+  // simulated throughput cannot move.
+  EXPECT_NEAR(qd8.sim_requests_per_sec, qd1.sim_requests_per_sec,
+              0.02 * qd1.sim_requests_per_sec);
+  EXPECT_GT(qd8.report.mean_response_us, 4.0 * qd1.report.mean_response_us);
+}
+
+// GC-heavy mixed traffic still benefits from dies even at QD1 (translation
+// reads, evictions, and GC migrations fan out within a request).
+TEST(ClosedLoopTest, MixedWriteTrafficStillScalesWithDies) {
+  ExperimentConfig flat = ReadOnlyConfig(1);
+  flat.cache_bytes = 0;  // Paper-default cache: translation traffic is live.
+  flat.workload.write_ratio = 0.25;
+  ExperimentConfig striped = flat;
+  striped.dies_per_channel = 4;
+  const ClosedLoopReport one = DriveClosedLoop(flat, 8, 500, 4000);
+  const ClosedLoopReport four = DriveClosedLoop(striped, 8, 500, 4000);
+  EXPECT_GE(four.sim_requests_per_sec, 1.5 * one.sim_requests_per_sec)
+      << "1-die " << one.sim_requests_per_sec << " req/s, 4-die "
+      << four.sim_requests_per_sec << " req/s";
+}
+
+// Regression for the saturated-queue warm-up artifact (ROADMAP item 5): in a
+// closed loop at deep QD the queue is permanently full, so without the
+// per-QD ResetStats the backlog accumulated during warm-up would bill every
+// measured request for queueing delay that grows with warm-up length. With
+// the epoch reset, measured mean response must be insensitive to how long
+// the warm-up ran (the workload is stationary read-only, so there is no
+// physical drift to excuse a difference).
+TEST(ClosedLoopTest, WarmupLengthDoesNotInflateMeasuredLatency) {
+  const ExperimentConfig config = ReadOnlyConfig(4);
+  const ClosedLoopReport short_warmup = DriveClosedLoop(config, 16, 200, 2500);
+  const ClosedLoopReport long_warmup = DriveClosedLoop(config, 16, 3000, 2500);
+  ASSERT_GT(short_warmup.report.mean_response_us, 0.0);
+  EXPECT_LE(long_warmup.report.mean_response_us,
+            1.25 * short_warmup.report.mean_response_us)
+      << "warm-up backlog leaked into the measured window: "
+      << long_warmup.report.mean_response_us << " us after 3000 warm-up vs "
+      << short_warmup.report.mean_response_us << " us after 200";
+}
+
+TEST(ClosedLoopTest, DieUtilizationTracksQueueDepth) {
+  const ExperimentConfig config = ReadOnlyConfig(4);
+  const ClosedLoopReport qd1 = DriveClosedLoop(config, 1, 500, 4000);
+  const ClosedLoopReport qd8 = DriveClosedLoop(config, 8, 500, 4000);
+  ASSERT_EQ(qd1.die_utilization.size(), 4u);
+  ASSERT_EQ(qd8.die_utilization.size(), 4u);
+  double busy1 = 0.0;
+  double busy8 = 0.0;
+  for (uint32_t d = 0; d < 4; ++d) {
+    EXPECT_GE(qd1.die_utilization[d], 0.0);
+    EXPECT_LE(qd1.die_utilization[d], 1.0);
+    EXPECT_LE(qd8.die_utilization[d], 1.0);
+    busy1 += qd1.die_utilization[d];
+    busy8 += qd8.die_utilization[d];
+  }
+  // Deep queues keep nearly all four dies busy; a lone request cannot.
+  EXPECT_GT(busy8, busy1);
+  EXPECT_GT(busy8, 3.0);
+}
+
+}  // namespace
+}  // namespace tpftl

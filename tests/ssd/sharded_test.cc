@@ -1,0 +1,220 @@
+// ShardedSsd: randomized differential against the single-device reference,
+// thread-count independence, LPN-interleaved routing, and exact stat merging.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/ssd/sharded.h"
+#include "src/ssd/ssd.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+namespace {
+
+constexpr uint64_t kLogicalBytes = 16ULL << 20;  // 4096 pages globally.
+constexpr uint64_t kPageSize = 4096;
+constexpr uint64_t kLogicalPages = kLogicalBytes / kPageSize;
+
+SsdConfig BaseConfig(FtlKind kind) {
+  SsdConfig config;
+  config.logical_bytes = kLogicalBytes;
+  config.ftl_kind = kind;
+  config.gc_threshold = 4;
+  return config;
+}
+
+// A deterministic mixed op stream: single- and multi-page reads, writes, and
+// trims over a hot-skewed address space, with monotone arrivals.
+std::vector<IoRequest> MakeStream(uint64_t ops, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IoRequest> stream;
+  stream.reserve(ops);
+  MicroSec clock = 0.0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    IoRequest r;
+    const Lpn lpn = rng.Chance(0.6) ? rng.Below(kLogicalPages / 8)
+                                    : rng.Below(kLogicalPages);
+    const uint64_t pages = 1 + rng.Below(6);  // Sub-request splits exercised.
+    r.offset_bytes = lpn * kPageSize;
+    r.size_bytes = pages * kPageSize;
+    const double dice = rng.NextDouble();
+    r.kind = dice < 0.55 ? IoKind::kWrite
+                         : (dice < 0.92 ? IoKind::kRead : IoKind::kTrim);
+    clock += rng.NextDouble() * 40.0;
+    r.arrival_us = clock;
+    stream.push_back(r);
+  }
+  return stream;
+}
+
+// Host-visible ground truth: which LPNs hold data after the stream.
+std::vector<bool> ShadowMapped(const std::vector<IoRequest>& stream) {
+  std::vector<bool> mapped(kLogicalPages, false);
+  for (const IoRequest& r : stream) {
+    if (r.kind == IoKind::kRead) {
+      continue;
+    }
+    const Lpn first = r.FirstLpn(kPageSize) % kLogicalPages;
+    const uint64_t pages = std::min(r.PageCount(kPageSize), kLogicalPages);
+    for (uint64_t i = 0; i < pages; ++i) {
+      mapped[(first + i) % kLogicalPages] = r.kind == IoKind::kWrite;
+    }
+  }
+  return mapped;
+}
+
+class ShardedDifferentialTest : public ::testing::TestWithParam<FtlKind> {};
+
+// The sharded front-end and a single flat device are fed the same op stream;
+// their host-visible mapped state must agree exactly (with each other and
+// with the shadow model), regardless of how GC and placement diverge inside.
+TEST_P(ShardedDifferentialTest, MatchesSingleDeviceReference) {
+  const FtlKind kind = GetParam();
+  const std::vector<IoRequest> stream = MakeStream(2500, 0xD1FF + static_cast<int>(kind));
+
+  Ssd reference(BaseConfig(kind));
+
+  ShardedConfig sharded_config;
+  sharded_config.base = BaseConfig(kind);
+  sharded_config.base.dies_per_channel = 2;  // Multi-die inside each shard.
+  sharded_config.shards = 4;
+  sharded_config.threads = 2;
+  ShardedSsd sharded(sharded_config);
+  ASSERT_EQ(sharded.logical_pages(), kLogicalPages);
+
+  for (const IoRequest& r : stream) {
+    reference.Submit(r);
+    sharded.Submit(r);
+  }
+  sharded.Drain();
+
+  const std::vector<bool> shadow = ShadowMapped(stream);
+  uint64_t mapped_count = 0;
+  for (Lpn lpn = 0; lpn < kLogicalPages; ++lpn) {
+    const bool ref_mapped = reference.ftl().Probe(lpn) != kInvalidPpn;
+    const bool sharded_mapped = sharded.Probe(lpn) != kInvalidPpn;
+    ASSERT_EQ(ref_mapped, shadow[lpn]) << "reference diverged at lpn " << lpn;
+    ASSERT_EQ(sharded_mapped, shadow[lpn]) << "sharded diverged at lpn " << lpn;
+    mapped_count += sharded_mapped ? 1 : 0;
+  }
+  EXPECT_GT(mapped_count, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFtls, ShardedDifferentialTest,
+    ::testing::Values(FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl,
+                      FtlKind::kSftl, FtlKind::kTpftl, FtlKind::kBlockFtl,
+                      FtlKind::kFast, FtlKind::kZftl),
+    [](const ::testing::TestParamInfo<FtlKind>& info) {
+      std::string name = FtlKindName(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// Worker-thread count must not change any host-visible state or any per-shard
+// statistic: each shard's op stream is identical, only wall-clock differs.
+TEST(ShardedSsdTest, ThreadCountDoesNotChangeStateOrStats) {
+  const std::vector<IoRequest> stream = MakeStream(1500, 0xBEEF);
+  auto run = [&](uint32_t threads) {
+    ShardedConfig config;
+    config.base = BaseConfig(FtlKind::kDftl);
+    config.shards = 4;
+    config.threads = threads;
+    auto sharded = std::make_unique<ShardedSsd>(config);
+    for (const IoRequest& r : stream) {
+      sharded->Submit(r);
+    }
+    sharded->Drain();
+    return sharded;
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  ASSERT_EQ(four->threads(), 4u);
+  for (Lpn lpn = 0; lpn < kLogicalPages; ++lpn) {
+    ASSERT_EQ(one->Probe(lpn), four->Probe(lpn)) << "lpn " << lpn;
+  }
+  ASSERT_EQ(one->TotalRequestsServed(), four->TotalRequestsServed());
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(one->shard(s).requests_served(), four->shard(s).requests_served());
+    EXPECT_EQ(one->shard(s).flash().stats().page_writes,
+              four->shard(s).flash().stats().page_writes);
+    EXPECT_EQ(one->shard(s).flash().stats().block_erases,
+              four->shard(s).flash().stats().block_erases);
+  }
+}
+
+// Interleaved routing: global LPN g lives on shard g mod S at local g / S.
+TEST(ShardedSsdTest, RoutesLpnsByInterleaving) {
+  ShardedConfig config;
+  config.base = BaseConfig(FtlKind::kOptimal);
+  config.shards = 4;
+  config.threads = 1;
+  ShardedSsd sharded(config);
+
+  const Lpn global = 4093;  // shard 1, local 1023.
+  IoRequest r;
+  r.offset_bytes = global * kPageSize;
+  r.size_bytes = kPageSize;
+  r.kind = IoKind::kWrite;
+  sharded.Submit(r);
+  sharded.Drain();
+
+  EXPECT_NE(sharded.Probe(global), kInvalidPpn);
+  EXPECT_NE(sharded.shard(global % 4).ftl().Probe(global / 4), kInvalidPpn);
+  for (uint32_t s = 0; s < 4; ++s) {
+    if (s != global % 4) {
+      EXPECT_EQ(sharded.shard(s).ftl().Probe(global / 4), kInvalidPpn);
+    }
+  }
+}
+
+// Merged registry == exact sum of per-shard registries (counts and totals).
+TEST(ShardedSsdTest, MergesPerShardMetricsExactly) {
+  ShardedConfig config;
+  config.base = BaseConfig(FtlKind::kTpftl);
+  config.shards = 4;
+  config.threads = 4;
+  ShardedSsd sharded(config);
+  for (const IoRequest& r : MakeStream(1200, 0xCAFE)) {
+    sharded.Submit(r);
+  }
+  sharded.Drain();
+
+  obs::MetricsRegistry merged;
+  sharded.MergeMetricsInto(&merged);
+  const obs::LatencyHistogram* hist = merged.FindHistogram("ssd.response_us");
+  ASSERT_NE(hist, nullptr);
+  uint64_t expect_count = 0;
+  double expect_sum = 0.0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    expect_count += sharded.shard(s).response_histogram().total();
+    expect_sum += sharded.shard(s).response_histogram().sum();
+  }
+  EXPECT_EQ(hist->total(), expect_count);
+  EXPECT_DOUBLE_EQ(hist->sum(), expect_sum);
+  EXPECT_EQ(expect_count, sharded.TotalRequestsServed());
+}
+
+// FillSequential preconditions every shard; afterwards every LPN is mapped.
+TEST(ShardedSsdTest, ParallelFillMapsEveryPage) {
+  ShardedConfig config;
+  config.base = BaseConfig(FtlKind::kDftl);
+  config.shards = 2;
+  config.threads = 2;
+  ShardedSsd sharded(config);
+  sharded.FillSequential();
+  for (Lpn lpn = 0; lpn < kLogicalPages; lpn += 7) {
+    ASSERT_NE(sharded.Probe(lpn), kInvalidPpn) << "lpn " << lpn;
+  }
+  sharded.ResetStats();
+  EXPECT_EQ(sharded.TotalRequestsServed(), 0u);
+}
+
+}  // namespace
+}  // namespace tpftl
