@@ -1,23 +1,28 @@
 // Extension — power-loss recovery cost (not a paper artifact).
 //
-// Measures what a crash costs each FTL: drive a uniform mixed workload, cut
-// power near the end of the run (flash/fault.h snapshot model), restore the
-// device to the cut instant, and time the OOB-scan reboot
-// (FtlEnv::recover_from_flash). Two views:
-//   1. All FTL kinds at a fixed write ratio — scan/rebuild split, mappings
-//      recovered, and the lost-window size per architecture.
-//   2. TPFTL across cache budgets spanning the working set — with a small
-//      cache, evictions batch-persist translation pages continuously and a
-//      cut loses almost nothing; once the cache holds the working set,
-//      nothing forces writeback, GC churn keeps every entry dirty, and the
-//      whole mapping is in the lost window. Recovery pays one translation-
-//      page rewrite per stale page, so its rebuild cost tracks dirtiness
-//      (DESIGN.md "Fault model and power-loss recovery").
+// Measures what a crash costs each FTL, and what checkpointed recovery
+// (src/ftl/checkpoint.h) buys back. Every run boots the SAME crashed flash
+// image twice — once replaying the metadata journal, once forced through the
+// full OOB scan — so the comparison is apples-to-apples per cut point:
+//   1. All FTL kinds at a fixed write ratio: checkpointed vs scan reboot
+//      time, journal replay length, dirty blocks rescanned.
+//   2. TPFTL across cache budgets spanning the working set (cache dirtiness
+//      drives the lost window and the checkpoint payload).
+//   3. Foreground cost: the same workload driven with checkpointing off vs
+//      on — the journal+checkpoint overhead must stay small (≤2%).
+//   4. Capacity sweep (DFTL, TPFTL) on sparse arena devices up to 1 TB:
+//      scan reboot grows linearly with device capacity while the
+//      checkpointed reboot tracks the dirty window and stays flat. The TB
+//      point is only representable at all because the backing arrays
+//      materialize on write (SsdConfig::sparse_segment_pages).
 //
 //   bench_ext_recovery [--json=F]   (default BENCH_recovery.json)
-// Knobs: TPFTL_BENCH_REQUESTS — operations per run (default 150000).
+// Knobs: TPFTL_BENCH_REQUESTS        — operations per run (default 150000).
+//        TPFTL_BENCH_MAX_CAPACITY_GB — cap the capacity sweep (default 1024;
+//                                      CI smoke uses 64 to bound RAM/wall).
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -29,6 +34,7 @@
 #include "src/flash/fault.h"
 #include "src/flash/nand.h"
 #include "src/ftl/recovery.h"
+#include "src/util/assert.h"
 #include "src/util/rng.h"
 
 namespace tpftl {
@@ -46,36 +52,103 @@ FlashGeometry BenchGeometry() {
 
 constexpr uint64_t kLogicalPages = 6144;  // 75% of the 8192 physical pages.
 
+uint64_t MaxCapacityGbFromEnv() {
+  const char* env = std::getenv("TPFTL_BENCH_MAX_CAPACITY_GB");
+  if (env != nullptr) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 1024;
+}
+
+// Checkpoint cadence per FTL family. Optimal/BlockFTL/FAST snapshot their
+// full table into every checkpoint record (they keep no flash-resident
+// translation pages), so each checkpoint is expensive: their cadence is
+// driven by the journal-record cap alone (the ops interval is parked high —
+// it would add cost without shrinking the dirty window). The demand FTLs
+// write small GTD/dirty deltas and afford a tight cadence, which is where
+// the headline reboot speedup comes from.
+CheckpointConfig PerKindCheckpoint(FtlKind kind) {
+  CheckpointConfig c;
+  c.enabled = true;
+  if (kind == FtlKind::kOptimal || kind == FtlKind::kBlockFtl || kind == FtlKind::kFast) {
+    c.interval_host_ops = 8192;
+    c.max_journal_records = 48;
+  } else {
+    c.interval_host_ops = 256;
+    c.max_journal_records = 24;
+  }
+  return c;
+}
+
+struct BootResult {
+  RecoveryReport report;
+  double wall_ms = 0.0;  // Host wall clock for the whole reboot.
+};
+
+// Simulated reboot time: metadata/OOB reading plus state re-persisting.
+double RebootMs(const RecoveryReport& r) {
+  return (r.scan_time_us + r.rebuild_time_us) / 1000.0;
+}
+
 struct RecoveryRun {
   std::string ftl;
   double write_ratio = 0.0;
   uint64_t cache_bytes = 0;
   uint64_t cut_op = 0;
-  RecoveryReport report;
-  double recover_wall_ms = 0.0;  // Host wall clock for the whole reboot.
+  uint64_t checkpoint_interval = 0;
+  BootResult ckpt;  // Journal-replay boot.
+  BootResult scan;  // Same image, full-scan boot (force_scan_recovery).
+
+  double speedup() const { return RebootMs(scan.report) / RebootMs(ckpt.report); }
 };
 
-void Drive(Ftl& ftl, NandFlash& flash, uint64_t ops, double write_ratio) {
+struct OverheadRun {
+  std::string ftl;
+  uint64_t checkpoint_interval = 0;
+  double baseline_ms = 0.0;      // Simulated service time, checkpointing off.
+  double checkpointed_ms = 0.0;  // Same workload, checkpointing on.
+
+  double overhead_pct() const {
+    return baseline_ms > 0.0 ? (checkpointed_ms - baseline_ms) / baseline_ms * 100.0 : 0.0;
+  }
+};
+
+struct CapacityRun {
+  std::string ftl;
+  uint64_t capacity_gb = 0;
+  uint64_t logical_pages = 0;
+  uint64_t footprint_pages = 0;  // Pages the bounded workload actually wrote.
+  uint64_t resident_segments = 0;
+  BootResult ckpt;
+  BootResult scan;
+
+  double speedup() const { return RebootMs(scan.report) / RebootMs(ckpt.report); }
+};
+
+MicroSec Drive(Ftl& ftl, NandFlash& flash, uint64_t ops, double write_ratio) {
   Rng rng(2024);
+  MicroSec service = 0.0;
   for (uint64_t i = 0; i < ops; ++i) {
     const Lpn lpn = rng.Below(kLogicalPages);
-    if (rng.Chance(write_ratio)) {
-      ftl.WritePage(lpn);
-    } else {
-      ftl.ReadPage(lpn);
-    }
+    service += rng.Chance(write_ratio) ? ftl.WritePage(lpn) : ftl.ReadPage(lpn);
     if (flash.power_cut_triggered()) {
-      return;
+      return service;
     }
   }
+  return service;
 }
 
 RecoveryRun MeasureOne(FtlKind kind, uint64_t ops, double write_ratio,
                        uint64_t cache_multiplier = 1) {
   const FlashGeometry geometry = BenchGeometry();
   const uint64_t cache_bytes = PaperCacheBytes(geometry, kLogicalPages) * cache_multiplier;
+  const CheckpointConfig ckpt_cfg = PerKindCheckpoint(kind);
 
   // Pass 1 (fault-free): learn where the workload's last flash op lands.
+  // Journaling is on, so the op index includes the metadata appends.
   uint64_t cut_op = 0;
   {
     NandFlash flash(geometry);
@@ -83,67 +156,200 @@ RecoveryRun MeasureOne(FtlKind kind, uint64_t ops, double write_ratio,
     env.flash = &flash;
     env.logical_pages = kLogicalPages;
     env.cache_bytes = cache_bytes;
+    env.checkpoint = ckpt_cfg;
     auto ftl = CreateFtl(kind, env);
     Drive(*ftl, flash, ops, write_ratio);
     cut_op = flash.op_index();  // Cut at the very last operation.
   }
 
-  // Pass 2: same run with the power cut armed, then a timed recovery boot.
-  NandFlash flash(geometry);
-  FaultPlan plan;
-  plan.power_cut_at_op = cut_op;
-  flash.InstallFaultPlan(plan);
-  FtlEnv env;
-  env.flash = &flash;
-  env.logical_pages = kLogicalPages;
-  env.cache_bytes = cache_bytes;
-  {
-    auto ftl = CreateFtl(kind, env);
-    Drive(*ftl, flash, ops, write_ratio);
-  }
-  flash.RestoreToCutInstant();
+  // One crashed world per boot flavor: identical drive (same seed, same cut
+  // op), then a timed recovery boot through the requested path.
+  const auto boot = [&](bool force_scan) {
+    NandFlash flash(geometry);
+    FaultPlan plan;
+    plan.power_cut_at_op = cut_op;
+    flash.InstallFaultPlan(plan);
+    FtlEnv env;
+    env.flash = &flash;
+    env.logical_pages = kLogicalPages;
+    env.cache_bytes = cache_bytes;
+    env.checkpoint = ckpt_cfg;
+    {
+      auto ftl = CreateFtl(kind, env);
+      Drive(*ftl, flash, ops, write_ratio);
+    }
+    flash.RestoreToCutInstant();
 
-  env.recover_from_flash = true;
-  const auto start = std::chrono::steady_clock::now();
-  auto recovered = CreateFtl(kind, env);
-  const std::chrono::duration<double, std::milli> elapsed =
-      std::chrono::steady_clock::now() - start;
+    env.recover_from_flash = true;
+    env.checkpoint.force_scan_recovery = force_scan;
+    const auto start = std::chrono::steady_clock::now();
+    auto recovered = CreateFtl(kind, env);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    BootResult result;
+    result.report = *recovered->recovery_report();
+    result.wall_ms = elapsed.count();
+    return result;
+  };
 
   RecoveryRun run;
   run.ftl = FtlKindName(kind);
   run.write_ratio = write_ratio;
   run.cache_bytes = cache_bytes;
   run.cut_op = cut_op;
-  run.report = *recovered->recovery_report();
-  run.recover_wall_ms = elapsed.count();
+  run.checkpoint_interval = ckpt_cfg.interval_host_ops;
+  run.ckpt = boot(/*force_scan=*/false);
+  run.scan = boot(/*force_scan=*/true);
+  // The two boots saw the same crashed image: they must agree on the state.
+  TPFTL_CHECK_MSG(run.ckpt.report.data_mappings == run.scan.report.data_mappings,
+                  "checkpointed and scan recovery disagree on the mapping count");
+  return run;
+}
+
+OverheadRun MeasureOverhead(FtlKind kind, uint64_t ops, double write_ratio) {
+  const FlashGeometry geometry = BenchGeometry();
+  const uint64_t cache_bytes = PaperCacheBytes(geometry, kLogicalPages);
+  const auto drive = [&](const CheckpointConfig& ckpt_cfg) {
+    NandFlash flash(geometry);
+    FtlEnv env;
+    env.flash = &flash;
+    env.logical_pages = kLogicalPages;
+    env.cache_bytes = cache_bytes;
+    env.checkpoint = ckpt_cfg;
+    auto ftl = CreateFtl(kind, env);
+    return Drive(*ftl, flash, ops, write_ratio);
+  };
+
+  OverheadRun run;
+  run.ftl = FtlKindName(kind);
+  const CheckpointConfig on = PerKindCheckpoint(kind);
+  run.checkpoint_interval = on.interval_host_ops;
+  run.baseline_ms = drive(CheckpointConfig{}) / 1000.0;
+  run.checkpointed_ms = drive(on) / 1000.0;
+  return run;
+}
+
+// Capacity sweep: a bounded workload (~1 GB footprint) on devices whose
+// virtual capacity grows to 1 TB. No cut — the point is the reboot-time
+// asymptotics, so each boot flavor drives its own identical fault-free world
+// and reboots it from flash.
+CapacityRun MeasureCapacity(FtlKind kind, uint64_t capacity_gb, uint64_t hot_updates) {
+  FlashGeometry g = MakeGeometry(capacity_gb << 30);
+  g.sparse_segment_pages = 1 << 16;  // 64Ki-page arena segments (multiple of
+                                     // the 1024-entry translation page).
+  const uint64_t logical_pages = (capacity_gb << 30) / g.page_size_bytes;
+  const uint64_t prefill = std::min<uint64_t>(logical_pages, 262144);  // ≤1 GB.
+
+  CheckpointConfig ckpt_cfg;
+  ckpt_cfg.enabled = true;
+  ckpt_cfg.interval_host_ops = 1024;
+  ckpt_cfg.max_journal_records = 64;
+
+  CapacityRun run;
+  run.ftl = FtlKindName(kind);
+  run.capacity_gb = capacity_gb;
+  run.logical_pages = logical_pages;
+  run.footprint_pages = prefill;
+
+  const auto boot = [&](bool force_scan) {
+    NandFlash flash(g);
+    FtlEnv env;
+    env.flash = &flash;
+    env.logical_pages = logical_pages;
+    env.cache_bytes = PaperCacheBytes(g, logical_pages);
+    env.checkpoint = ckpt_cfg;
+    {
+      auto ftl = CreateFtl(kind, env);
+      for (Lpn lpn = 0; lpn < prefill; ++lpn) {
+        ftl->WritePage(lpn);
+      }
+      Rng rng(7);
+      for (uint64_t i = 0; i < hot_updates; ++i) {
+        ftl->WritePage(rng.Below(prefill));
+      }
+    }
+    run.resident_segments = flash.ResidentSegments();
+
+    env.recover_from_flash = true;
+    env.checkpoint.force_scan_recovery = force_scan;
+    const auto start = std::chrono::steady_clock::now();
+    auto recovered = CreateFtl(kind, env);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    BootResult result;
+    result.report = *recovered->recovery_report();
+    result.wall_ms = elapsed.count();
+    return result;
+  };
+
+  run.ckpt = boot(/*force_scan=*/false);
+  run.scan = boot(/*force_scan=*/true);
+  TPFTL_CHECK_MSG(run.ckpt.report.data_mappings == run.scan.report.data_mappings,
+                  "checkpointed and scan recovery disagree on the mapping count");
   return run;
 }
 
 void AddRow(Table& table, const RecoveryRun& r, const std::string& first_column) {
-  table.AddRow({first_column, std::to_string(r.report.pages_scanned),
-                std::to_string(r.report.data_mappings),
-                std::to_string(r.report.translation_rewrites),
-                std::to_string(r.report.unpersisted_window),
-                FormatDouble(r.report.scan_time_us / 1000.0, 2),
-                FormatDouble(r.report.rebuild_time_us / 1000.0, 2),
-                FormatDouble(r.recover_wall_ms, 1)});
+  table.AddRow({first_column, std::to_string(r.scan.report.pages_scanned),
+                std::to_string(r.ckpt.report.pages_scanned),
+                std::to_string(r.ckpt.report.journal_records_replayed),
+                std::to_string(r.ckpt.report.blocks_rescanned),
+                FormatDouble(RebootMs(r.scan.report), 2),
+                FormatDouble(RebootMs(r.ckpt.report), 2),
+                FormatDouble(r.speedup(), 1) + "x"});
 }
 
-void WriteJson(const std::vector<RecoveryRun>& runs, std::ostream& os) {
-  os << "{\n  \"schema\": \"tpftl.bench_recovery.v1\",\n  \"runs\": [\n";
+void WriteJson(const std::vector<RecoveryRun>& runs,
+               const std::vector<OverheadRun>& overheads,
+               const std::vector<CapacityRun>& capacities, std::ostream& os) {
+  os << "{\n  \"schema\": \"tpftl.bench_recovery.v2\",\n  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const RecoveryRun& r = runs[i];
     os << "    {\"ftl\": \"" << r.ftl << "\", \"write_ratio\": " << FormatDouble(r.write_ratio, 2)
        << ", \"cache_bytes\": " << r.cache_bytes << ", \"cut_op\": " << r.cut_op
-       << ", \"pages_scanned\": " << r.report.pages_scanned
-       << ", \"torn_pages\": " << r.report.torn_pages
-       << ", \"data_mappings\": " << r.report.data_mappings
-       << ", \"translation_rewrites\": " << r.report.translation_rewrites
-       << ", \"unpersisted_window\": " << r.report.unpersisted_window
-       << ", \"scan_ms\": " << FormatDouble(r.report.scan_time_us / 1000.0, 3)
-       << ", \"rebuild_ms\": " << FormatDouble(r.report.rebuild_time_us / 1000.0, 3)
-       << ", \"recover_wall_ms\": " << FormatDouble(r.recover_wall_ms, 3) << "}"
+       << ", \"checkpoint_interval\": " << r.checkpoint_interval
+       << ", \"scan_pages_scanned\": " << r.scan.report.pages_scanned
+       << ", \"scan_ms\": " << FormatDouble(RebootMs(r.scan.report), 3)
+       << ", \"scan_wall_ms\": " << FormatDouble(r.scan.wall_ms, 3)
+       << ", \"ckpt_used_checkpoint\": " << (r.ckpt.report.used_checkpoint ? "true" : "false")
+       << ", \"ckpt_pages_scanned\": " << r.ckpt.report.pages_scanned
+       << ", \"ckpt_ms\": " << FormatDouble(RebootMs(r.ckpt.report), 3)
+       << ", \"ckpt_wall_ms\": " << FormatDouble(r.ckpt.wall_ms, 3)
+       << ", \"journal_records_replayed\": " << r.ckpt.report.journal_records_replayed
+       << ", \"blocks_rescanned\": " << r.ckpt.report.blocks_rescanned
+       << ", \"checkpoint_bytes_read\": " << r.ckpt.report.checkpoint_bytes_read
+       << ", \"data_mappings\": " << r.ckpt.report.data_mappings
+       << ", \"unpersisted_window\": " << r.ckpt.report.unpersisted_window
+       << ", \"reboot_speedup\": " << FormatDouble(r.speedup(), 2) << "}"
        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"foreground_overhead\": [\n";
+  for (size_t i = 0; i < overheads.size(); ++i) {
+    const OverheadRun& o = overheads[i];
+    os << "    {\"ftl\": \"" << o.ftl
+       << "\", \"checkpoint_interval\": " << o.checkpoint_interval
+       << ", \"baseline_ms\": " << FormatDouble(o.baseline_ms, 3)
+       << ", \"checkpointed_ms\": " << FormatDouble(o.checkpointed_ms, 3)
+       << ", \"overhead_pct\": " << FormatDouble(o.overhead_pct(), 3) << "}"
+       << (i + 1 < overheads.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"capacity_sweep\": [\n";
+  for (size_t i = 0; i < capacities.size(); ++i) {
+    const CapacityRun& c = capacities[i];
+    os << "    {\"ftl\": \"" << c.ftl << "\", \"capacity_gb\": " << c.capacity_gb
+       << ", \"logical_pages\": " << c.logical_pages
+       << ", \"footprint_pages\": " << c.footprint_pages
+       << ", \"resident_segments\": " << c.resident_segments
+       << ", \"scan_pages_scanned\": " << c.scan.report.pages_scanned
+       << ", \"scan_ms\": " << FormatDouble(RebootMs(c.scan.report), 3)
+       << ", \"scan_wall_ms\": " << FormatDouble(c.scan.wall_ms, 3)
+       << ", \"ckpt_ms\": " << FormatDouble(RebootMs(c.ckpt.report), 3)
+       << ", \"ckpt_wall_ms\": " << FormatDouble(c.ckpt.wall_ms, 3)
+       << ", \"journal_records_replayed\": " << c.ckpt.report.journal_records_replayed
+       << ", \"blocks_rescanned\": " << c.ckpt.report.blocks_rescanned
+       << ", \"checkpoint_bytes_read\": " << c.ckpt.report.checkpoint_bytes_read
+       << ", \"reboot_speedup\": " << FormatDouble(c.speedup(), 2) << "}"
+       << (i + 1 < capacities.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -160,12 +366,16 @@ int Main(int argc, char** argv) {
     }
   }
   const uint64_t ops = bench::RequestsFromEnv(150000);
-  const std::vector<std::string> columns = {"", "scanned", "mappings", "tp rewrites",
-                                            "lost win", "scan ms", "rebuild ms", "wall ms"};
+  const uint64_t max_capacity_gb = MaxCapacityGbFromEnv();
+  const std::vector<std::string> columns = {"",         "scan pages", "ckpt pages",
+                                            "replayed", "rescanned",  "scan ms",
+                                            "ckpt ms",  "speedup"};
   std::vector<RecoveryRun> runs;
+  std::vector<OverheadRun> overheads;
+  std::vector<CapacityRun> capacities;
 
-  Table by_ftl("Recovery after a power cut — all FTLs, 50% writes, " + std::to_string(ops) +
-               " ops");
+  Table by_ftl("Reboot after a power cut — checkpointed vs full scan, all FTLs, 50% writes, " +
+               std::to_string(ops) + " ops");
   by_ftl.SetColumns(columns);
   for (const FtlKind kind :
        {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl, FtlKind::kTpftl,
@@ -179,7 +389,7 @@ int Main(int argc, char** argv) {
 
   // The paper budget (1x) caches a few dozen entries; ~170x holds the whole
   // 6144-entry mapping. The sweep crosses that transition.
-  Table dirtiness("Recovery cost vs cache dirtiness — TPFTL across cache budgets, 50% writes");
+  Table dirtiness("Reboot cost vs cache dirtiness — TPFTL across cache budgets, 50% writes");
   dirtiness.SetColumns(columns);
   for (const uint64_t multiplier : {1, 16, 48, 96, 192}) {
     std::cerr << "  recovering TPFTL at " << multiplier << "x cache ..." << std::endl;
@@ -189,12 +399,51 @@ int Main(int argc, char** argv) {
   }
   bench::Emit(dirtiness);
 
+  Table overhead_table("Foreground cost of journaling + checkpoints — same workload, off vs on");
+  overhead_table.SetColumns({"", "interval", "baseline ms", "ckpt ms", "overhead %"});
+  for (const FtlKind kind :
+       {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl, FtlKind::kTpftl,
+        FtlKind::kBlockFtl, FtlKind::kFast, FtlKind::kZftl}) {
+    std::cerr << "  overhead " << FtlKindName(kind) << " ..." << std::endl;
+    OverheadRun o = MeasureOverhead(kind, ops, 0.5);
+    overhead_table.AddRow({o.ftl, std::to_string(o.checkpoint_interval),
+                           FormatDouble(o.baseline_ms, 1), FormatDouble(o.checkpointed_ms, 1),
+                           FormatDouble(o.overhead_pct(), 3)});
+    overheads.push_back(std::move(o));
+  }
+  bench::Emit(overhead_table);
+
+  Table capacity_table("Reboot time vs device capacity — 1 GB footprint, sparse arenas (max " +
+                       std::to_string(max_capacity_gb) + " GB)");
+  capacity_table.SetColumns({"", "capacity", "scan pages", "scan reboot s", "ckpt reboot ms",
+                             "resident segs", "speedup"});
+  const uint64_t hot_updates = std::min<uint64_t>(ops / 3, 50000);
+  for (const uint64_t gb : {4, 32, 256, 1024}) {
+    if (gb > max_capacity_gb) {
+      std::cerr << "  capacity " << gb << " GB skipped (TPFTL_BENCH_MAX_CAPACITY_GB="
+                << max_capacity_gb << ")" << std::endl;
+      continue;
+    }
+    for (const FtlKind kind : {FtlKind::kDftl, FtlKind::kTpftl}) {
+      std::cerr << "  capacity " << gb << " GB " << FtlKindName(kind) << " ..." << std::endl;
+      CapacityRun c = MeasureCapacity(kind, gb, hot_updates);
+      capacity_table.AddRow({c.ftl, std::to_string(gb) + " GB",
+                             std::to_string(c.scan.report.pages_scanned),
+                             FormatDouble(RebootMs(c.scan.report) / 1000.0, 1),
+                             FormatDouble(RebootMs(c.ckpt.report), 1),
+                             std::to_string(c.resident_segments),
+                             FormatDouble(c.speedup(), 0) + "x"});
+      capacities.push_back(std::move(c));
+    }
+  }
+  bench::Emit(capacity_table);
+
   std::ofstream out(json_path);
   if (!out) {
     std::cerr << "error: cannot write " << json_path << std::endl;
     return 1;
   }
-  WriteJson(runs, out);
+  WriteJson(runs, overheads, capacities, out);
   std::cerr << "wrote " << json_path << std::endl;
   return 0;
 }

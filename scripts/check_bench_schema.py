@@ -220,6 +220,111 @@ def _check_recovery(doc, path):
         )
 
 
+def _check_recovery_v2(doc, path):
+    # v2 replaces the v1 single-table layout: same-crashed-image reboot
+    # comparisons ("runs"), foreground overhead of enabling checkpointing
+    # ("foreground_overhead"), and the sparse-device capacity sweep
+    # ("capacity_sweep").
+    _require(isinstance(doc.get("runs"), list) and doc["runs"], path, "empty 'runs'")
+    for i, run in enumerate(doc["runs"]):
+        rpath = f"{path}.runs[{i}]"
+        _check_fields(
+            run,
+            {
+                "ftl": _STR,
+                "write_ratio": _NUM,
+                "cache_bytes": _INT,
+                "cut_op": _INT,
+                "checkpoint_interval": _INT,
+                "scan_pages_scanned": _INT,
+                "scan_ms": _NUM,
+                "scan_wall_ms": _NUM,
+                "ckpt_pages_scanned": _INT,
+                "ckpt_ms": _NUM,
+                "ckpt_wall_ms": _NUM,
+                "journal_records_replayed": _INT,
+                "blocks_rescanned": _INT,
+                "checkpoint_bytes_read": _INT,
+                "data_mappings": _INT,
+                "unpersisted_window": _INT,
+                "reboot_speedup": _NUM,
+            },
+            rpath,
+        )
+        # _check_fields rejects bools by design; this one really is a bool.
+        _require(
+            isinstance(run.get("ckpt_used_checkpoint"), bool),
+            rpath,
+            "field 'ckpt_used_checkpoint' must be a bool",
+        )
+        _require(
+            run["ckpt_used_checkpoint"],
+            rpath,
+            "checkpointed boot fell back to full scan — cadence misconfigured",
+        )
+        _require(
+            run["reboot_speedup"] > 1.0,
+            rpath,
+            f"reboot_speedup {run['reboot_speedup']} is not > 1",
+        )
+    _require(
+        isinstance(doc.get("foreground_overhead"), list) and doc["foreground_overhead"],
+        path,
+        "empty 'foreground_overhead'",
+    )
+    for i, row in enumerate(doc["foreground_overhead"]):
+        _check_fields(
+            row,
+            {
+                "ftl": _STR,
+                "checkpoint_interval": _INT,
+                "baseline_ms": _NUM,
+                "checkpointed_ms": _NUM,
+                "overhead_pct": _NUM,
+            },
+            f"{path}.foreground_overhead[{i}]",
+        )
+    _require(
+        isinstance(doc.get("capacity_sweep"), list) and doc["capacity_sweep"],
+        path,
+        "empty 'capacity_sweep'",
+    )
+    for i, row in enumerate(doc["capacity_sweep"]):
+        cpath = f"{path}.capacity_sweep[{i}]"
+        _check_fields(
+            row,
+            {
+                "ftl": _STR,
+                "capacity_gb": _INT,
+                "logical_pages": _INT,
+                "footprint_pages": _INT,
+                "resident_segments": _INT,
+                "scan_pages_scanned": _INT,
+                "scan_ms": _NUM,
+                "scan_wall_ms": _NUM,
+                "ckpt_ms": _NUM,
+                "ckpt_wall_ms": _NUM,
+                "journal_records_replayed": _INT,
+                "blocks_rescanned": _INT,
+                "checkpoint_bytes_read": _INT,
+                "reboot_speedup": _NUM,
+            },
+            cpath,
+        )
+        # The sparse-arena point: residency tracks the written footprint, not
+        # the virtual capacity, and the scan is billed for every page.
+        _require(
+            row["footprint_pages"] <= row["logical_pages"],
+            cpath,
+            "footprint_pages exceeds logical_pages",
+        )
+        _require(
+            row["scan_pages_scanned"] >= row["logical_pages"],
+            cpath,
+            "scan billed fewer pages than the logical capacity",
+        )
+
+
 def _check_trace_parse(doc, path):
     _require(isinstance(doc.get("results"), list) and doc["results"], path, "empty 'results'")
     for i, row in enumerate(doc["results"]):
@@ -236,6 +341,7 @@ _VALIDATORS = {
     "tpftl.bench_e2e.v2": _check_e2e_v2,
     "tpftl.bench_latency.v1": _check_latency,
     "tpftl.bench_recovery.v1": _check_recovery,
+    "tpftl.bench_recovery.v2": _check_recovery_v2,
     "tpftl.bench_trace_parse.v1": _check_trace_parse,
 }
 

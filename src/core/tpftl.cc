@@ -203,4 +203,16 @@ Ppn Tpftl::Probe(Lpn lpn) const {
   return translation_store().Persisted(lpn);
 }
 
+void Tpftl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
+  cache_.ForEachNode([this, out](Vtpn vtpn, uint64_t entries, uint64_t dirty) {
+    (void)entries;
+    if (dirty == 0) {
+      return;
+    }
+    for (const MappingUpdate& u : cache_.DirtyEntriesOf(vtpn)) {
+      out->push_back({u.lpn, u.ppn});
+    }
+  });
+}
+
 }  // namespace tpftl

@@ -61,6 +61,7 @@ class Tpftl : public DemandFtl {
   MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
   bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
   MicroSec GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates) override;
+  void CollectCheckpointDirty(std::vector<DirtyMapping>* out) override;
 
  private:
   // Writes back / drops one victim per the replacement policy; updates the

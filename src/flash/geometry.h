@@ -68,6 +68,16 @@ struct FlashGeometry {
   // translation page covers 1024 LPNs.
   uint64_t bytes_per_persisted_entry = 4;
 
+  // --- sparse (materialize-on-write) per-page state ---
+  // 0 (the default) keeps the per-page OOB arrays and the persisted-mapping
+  // mirror dense — flat arrays, the PR-2 hot-path layout. A power of two
+  // switches them to lazily materialized segments of this many pages, so a
+  // TB-scale virtual device only pays memory for the footprint it actually
+  // writes (util/segmented_array.h). Must be a multiple of
+  // entries_per_translation_page() so persisted-page spans never cross a
+  // segment boundary.
+  uint64_t sparse_segment_pages = 0;
+
   uint64_t total_pages() const { return total_blocks * pages_per_block; }
   uint64_t block_size_bytes() const { return page_size_bytes * pages_per_block; }
   uint64_t entries_per_translation_page() const {

@@ -1,0 +1,110 @@
+// The device metadata log: sequenced, checksummed records in a small
+// reserved region, surviving power cuts under the snapshot-restore model.
+//
+// Two record types build the checkpointed-recovery protocol (DESIGN.md
+// "Checkpointed recovery"):
+//
+//   kBlockDirty  — WAL record appended by NandFlash itself immediately
+//                  before the *first* program into a block within the
+//                  current checkpoint epoch. Replaying the tail of these
+//                  records names every block whose contents may have changed
+//                  since the last checkpoint — the dirty window recovery
+//                  rescans instead of the whole device.
+//   kCheckpoint  — an FTL-built snapshot of its durable directory state
+//                  (translation directory, block pools, dirty cached
+//                  entries; format in src/ftl/checkpoint.h). Appending one
+//                  atomically advances the journal epoch, so the next
+//                  program into any block re-journals it.
+//
+// Records carry their own contiguous sequence numbers (independent of the
+// page program sequence) and an FNV-1a checksum over (seq, type, payload).
+// A power cut can land inside an append: the record survives torn, with a
+// checksum that does not verify. Recovery validates the log front-to-back —
+// a single unverifiable FINAL record is a torn tail and is truncated (its
+// guarded operation never happened: the WAL record is written first), while
+// a bad checksum or sequence gap in the interior means corruption and forces
+// the full-scan fallback.
+
+#ifndef SRC_FLASH_META_H_
+#define SRC_FLASH_META_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tpftl {
+
+enum class MetaRecordType : uint8_t { kBlockDirty = 0, kCheckpoint = 1 };
+
+struct MetaRecord {
+  uint64_t seq = 0;  // Contiguous per-log sequence, starting at 1.
+  MetaRecordType type = MetaRecordType::kBlockDirty;
+  std::vector<uint64_t> payload;
+  uint64_t checksum = 0;
+
+  // Serialized size: seq + type + length + payload words + checksum.
+  uint64_t size_bytes() const { return (4 + payload.size()) * sizeof(uint64_t); }
+};
+
+// FNV-1a over the record header and payload words.
+inline uint64_t MetaChecksum(uint64_t seq, MetaRecordType type,
+                             const std::vector<uint64_t>& payload) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (i * 8)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(seq);
+  mix(static_cast<uint64_t>(type));
+  mix(payload.size());
+  for (const uint64_t word : payload) {
+    mix(word);
+  }
+  return h;
+}
+
+inline bool MetaRecordVerifies(const MetaRecord& r) {
+  return r.checksum == MetaChecksum(r.seq, r.type, r.payload);
+}
+
+// kBlockDirty payload: [block, oob_kind_of_first_program].
+inline std::vector<uint64_t> EncodeBlockDirty(uint64_t block, uint8_t kind) {
+  return {block, static_cast<uint64_t>(kind)};
+}
+
+// kCheckpoint payload: [G, D, G × (vtpn, ptpn, seq), D × (lpn, ppn, seq)].
+//
+// The G translation-directory triples are *deltas* — entries whose GTD slot
+// changed since the previous checkpoint. The device folds them into its
+// cumulative checkpoint-area directory atomically with the append (real FTLs
+// update map-block directories in place the same way), so a single record
+// stays proportional to the dirty window while recovery still reads a full
+// directory. The D data triples are the point-in-time dirty cached mappings
+// (not yet persisted to translation pages) and are replayed from the log.
+struct CheckpointView {
+  uint64_t gtd_count = 0;
+  uint64_t dirty_count = 0;
+  const uint64_t* gtd = nullptr;    // G triples, 3 words each.
+  const uint64_t* dirty = nullptr;  // D triples, 3 words each.
+};
+
+inline bool ParseCheckpointPayload(const std::vector<uint64_t>& payload, CheckpointView* view) {
+  if (payload.size() < 2) {
+    return false;
+  }
+  const uint64_t g = payload[0];
+  const uint64_t d = payload[1];
+  if (payload.size() != 2 + 3 * (g + d)) {
+    return false;
+  }
+  view->gtd_count = g;
+  view->dirty_count = d;
+  view->gtd = payload.data() + 2;
+  view->dirty = payload.data() + 2 + 3 * g;
+  return true;
+}
+
+}  // namespace tpftl
+
+#endif  // SRC_FLASH_META_H_

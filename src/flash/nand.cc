@@ -7,36 +7,66 @@
 
 namespace tpftl {
 
+namespace {
+// block_epoch_ sentinel: the block has no journal record in any live epoch
+// and must (re-)journal on its next program. Also the post-erase value — an
+// erased block can be re-allocated to a different pool, so the stale record
+// from before the erase must not suppress a fresh one with the new kind.
+constexpr uint64_t kNeverJournaled = ~0ULL;
+}  // namespace
+
 // Everything RestoreToCutInstant must roll back. op_index_ is deliberately
 // not part of the snapshot: operation indices keep advancing monotonically
 // across the cut so a plan can never re-fire.
 struct NandFlash::PowerSnapshot {
   PageStateArena arena;
-  std::vector<uint64_t> oob;
-  std::vector<uint64_t> oob_seq;
-  std::vector<uint8_t> oob_kind;
+  SegmentedArray<uint64_t> oob;
+  SegmentedArray<uint64_t> oob_seq;
+  SegmentedArray<uint8_t> oob_kind;
   std::vector<uint8_t> bad;
   FlashStats stats;
   std::vector<MicroSec> die_free_at;
   std::vector<MicroSec> die_busy_us;
   uint64_t program_seq = 0;
+  std::vector<MetaRecord> meta_log;
+  uint64_t meta_seq = 0;
+  uint64_t meta_epoch = 0;
+  std::vector<uint64_t> block_epoch;
+  std::vector<uint64_t> block_newest_seq;
+  std::vector<uint8_t> block_pool_kind;
+  uint64_t meta_records_since_checkpoint = 0;
+  SegmentedArray<Ppn> persisted;
+  SegmentedArray<Ppn> ckpt_gtd_ppn;
+  SegmentedArray<uint64_t> ckpt_gtd_seq;
 };
 
 NandFlash::NandFlash(const FlashGeometry& geometry)
     : geometry_(geometry),
       arena_(geometry.total_blocks, geometry.pages_per_block),
-      oob_(geometry.total_pages(), ~0ULL),
-      oob_seq_(geometry.total_pages(), 0),
-      oob_kind_(geometry.total_pages(), static_cast<uint8_t>(OobKind::kNone)),
+      oob_(geometry.total_pages(), ~0ULL, geometry.sparse_segment_pages),
+      oob_seq_(geometry.total_pages(), 0, geometry.sparse_segment_pages),
+      oob_kind_(geometry.total_pages(), static_cast<uint8_t>(OobKind::kNone),
+                geometry.sparse_segment_pages),
       bad_(geometry.total_blocks, 0),
       multi_die_(geometry.total_dies() > 1),
       die_free_at_(geometry.total_dies(), 0.0),
-      die_busy_us_(geometry.total_dies(), 0.0) {
+      die_busy_us_(geometry.total_dies(), 0.0),
+      block_epoch_(geometry.total_blocks, kNeverJournaled),
+      block_newest_seq_(geometry.total_blocks, 0),
+      block_pool_kind_(geometry.total_blocks, static_cast<uint8_t>(OobKind::kNone)),
+      persisted_(geometry.total_pages(), kInvalidPpn, geometry.sparse_segment_pages),
+      ckpt_gtd_ppn_(geometry.total_pages(), kInvalidPpn, geometry.sparse_segment_pages),
+      ckpt_gtd_seq_(geometry.total_pages(), 0, geometry.sparse_segment_pages) {
   TPFTL_CHECK(geometry.total_blocks > 0);
   TPFTL_CHECK_MSG(geometry.ParallelLayoutValid(),
                   "channels/dies/planes must be powers of two");
   TPFTL_CHECK_MSG(geometry.total_blocks % geometry.total_dies() == 0,
                   "blocks must stripe uniformly across dies (see MakeGeometryParallel)");
+  TPFTL_CHECK_MSG(geometry.sparse_segment_pages == 0 ||
+                      geometry.sparse_segment_pages %
+                              geometry.entries_per_translation_page() ==
+                          0,
+                  "sparse segments must hold whole translation-page spans");
 }
 
 NandFlash::~NandFlash() = default;
@@ -44,6 +74,9 @@ NandFlash::~NandFlash() = default;
 MicroSec NandFlash::ProgramPageAt(Ppn ppn, uint64_t oob_tag) {
   const BlockId block = geometry_.BlockOf(ppn);
   TPFTL_DCHECK(block < arena_.total_blocks());
+  if (journal_enabled_) [[unlikely]] {
+    MaybeJournalDirty(block, OobKind::kData);
+  }
   if (fault_ != nullptr) [[unlikely]] {
     if (MaybeArmPowerCut(++op_index_)) {
       torn_ppn_ = ppn;
@@ -52,9 +85,13 @@ MicroSec NandFlash::ProgramPageAt(Ppn ppn, uint64_t oob_tag) {
     ++op_index_;
   }
   arena_.block(block).ProgramAt(geometry_.OffsetOf(ppn));
-  oob_[ppn] = oob_tag;
-  oob_seq_[ppn] = ++program_seq_;
-  oob_kind_[ppn] = static_cast<uint8_t>(OobKind::kData);
+  oob_.Set(ppn, oob_tag);
+  oob_seq_.Set(ppn, ++program_seq_);
+  oob_kind_.Set(ppn, static_cast<uint8_t>(OobKind::kData));
+  block_newest_seq_[block] = program_seq_;
+  if (block_pool_kind_[block] == static_cast<uint8_t>(OobKind::kNone)) {
+    block_pool_kind_[block] = static_cast<uint8_t>(OobKind::kData);
+  }
   ++stats_.page_writes;
   stats_.busy_time_us += geometry_.page_write_us;
   obs::ChargeFlash(obs::FlashOp::kProgram, geometry_.page_write_us);
@@ -90,9 +127,13 @@ MicroSec NandFlash::ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_
   if (is_cut_op) {
     torn_ppn_ = ppn;
   }
-  oob_[ppn] = oob_tag;
-  oob_seq_[ppn] = ++program_seq_;
-  oob_kind_[ppn] = static_cast<uint8_t>(kind);
+  oob_.Set(ppn, oob_tag);
+  oob_seq_.Set(ppn, ++program_seq_);
+  oob_kind_.Set(ppn, static_cast<uint8_t>(kind));
+  block_newest_seq_[block] = program_seq_;
+  if (block_pool_kind_[block] == static_cast<uint8_t>(OobKind::kNone)) {
+    block_pool_kind_[block] = static_cast<uint8_t>(kind);
+  }
   if (out_ppn != nullptr) {
     *out_ppn = ppn;
   }
@@ -128,6 +169,11 @@ MicroSec NandFlash::EraseBlock(BlockId block) {
     ++op_index_;
   }
   arena_.block(block).Erase();
+  block_newest_seq_[block] = 0;
+  block_pool_kind_[block] = static_cast<uint8_t>(OobKind::kNone);
+  // The erased block can be re-allocated to any pool, so its pre-erase
+  // journal record (if any) must not suppress a fresh one.
+  block_epoch_[block] = kNeverJournaled;
   ++stats_.block_erases;
   stats_.busy_time_us += geometry_.block_erase_us;
   obs::ChargeFlash(obs::FlashOp::kErase, geometry_.block_erase_us);
@@ -137,21 +183,121 @@ MicroSec NandFlash::EraseBlock(BlockId block) {
   return geometry_.block_erase_us;
 }
 
+MicroSec NandFlash::AppendMetaRecord(MetaRecordType type, std::vector<uint64_t> payload) {
+  const uint64_t op = ++op_index_;
+  bool is_cut_op = false;
+  if (fault_ != nullptr) [[unlikely]] {
+    is_cut_op = MaybeArmPowerCut(op);
+  }
+  MetaRecord r;
+  r.seq = ++meta_seq_;
+  r.type = type;
+  r.payload = std::move(payload);
+  r.checksum = MetaChecksum(r.seq, r.type, r.payload);
+  if (is_cut_op) {
+    // The cut landed mid-append: RestoreToCutInstant re-appends the record
+    // torn (unverifiable checksum) on top of the rolled-back log.
+    torn_meta_ = true;
+    torn_meta_record_ = r;
+  }
+  if (type == MetaRecordType::kCheckpoint) {
+    // Atomic with the append: a torn checkpoint rolls the epoch, the
+    // directory folds and the record counter back too, so blocks keep
+    // journaling against the last *durable* checkpoint.
+    ++meta_epoch_;
+    meta_records_since_checkpoint_ = 0;
+    CheckpointView view;
+    TPFTL_CHECK_MSG(ParseCheckpointPayload(r.payload, &view),
+                    "malformed checkpoint payload");
+    for (uint64_t i = 0; i < view.gtd_count; ++i) {
+      const uint64_t* triple = view.gtd + 3 * i;
+      ckpt_gtd_ppn_.Set(triple[0], triple[1]);
+      ckpt_gtd_seq_.Set(triple[0], triple[2]);
+    }
+  } else {
+    ++meta_records_since_checkpoint_;
+  }
+  const uint64_t bytes = r.size_bytes();
+  meta_log_.push_back(std::move(r));
+  ++stats_.meta_appends;
+  stats_.meta_bytes_written += bytes;
+  // Records coalesce into the device's metadata page buffer: bill the
+  // byte-proportional share of a page program.
+  const MicroSec latency = geometry_.page_write_us * static_cast<double>(bytes) /
+                           static_cast<double>(geometry_.page_size_bytes);
+  stats_.busy_time_us += latency;
+  obs::ChargeFlash(obs::FlashOp::kProgram, latency);
+  obs::EmitInstant(type == MetaRecordType::kCheckpoint ? "checkpoint_flush"
+                                                       : "journal_append");
+  if (multi_die_) [[unlikely]] {
+    // The metadata region lives on die 0.
+    AdvanceDie(0, latency);
+  }
+  return latency;
+}
+
+MicroSec NandFlash::TrimMetaLogBefore(uint64_t before_seq) {
+  const uint64_t op = ++op_index_;
+  if (fault_ != nullptr) [[unlikely]] {
+    // Atomic superblock-pointer update: a cut discards the trim wholesale
+    // (the snapshot precedes the erase below); there is no torn-trim state.
+    MaybeArmPowerCut(op);
+  }
+  auto it = meta_log_.begin();
+  while (it != meta_log_.end() && it->seq < before_seq) {
+    ++it;
+  }
+  meta_log_.erase(meta_log_.begin(), it);
+  ++stats_.meta_trims;
+  const MicroSec latency = geometry_.page_write_us;  // One pointer-page update.
+  stats_.busy_time_us += latency;
+  obs::ChargeFlash(obs::FlashOp::kProgram, latency);
+  if (multi_die_) [[unlikely]] {
+    AdvanceDie(0, latency);
+  }
+  return latency;
+}
+
+void NandFlash::MaybeJournalDirty(BlockId block, OobKind kind) {
+  TPFTL_DCHECK(block < block_epoch_.size());
+  if (block_epoch_[block] == meta_epoch_) {
+    return;
+  }
+  AppendMetaRecord(MetaRecordType::kBlockDirty,
+                   EncodeBlockDirty(block, static_cast<uint8_t>(kind)));
+  // Marked only after the append: if a power cut tears the record, the mark
+  // lands past the snapshot and is rolled back with everything else, so the
+  // block journals again once power is restored.
+  block_epoch_[block] = meta_epoch_;
+}
+
+void NandFlash::TestOnlyCorruptMetaRecord(size_t index) {
+  TPFTL_CHECK(index < meta_log_.size());
+  meta_log_[index].checksum ^= 0x1;
+}
+
+void NandFlash::TestOnlyDropMetaRecord(size_t index) {
+  TPFTL_CHECK(index < meta_log_.size());
+  meta_log_.erase(meta_log_.begin() + static_cast<ptrdiff_t>(index));
+}
+
 bool NandFlash::MaybeArmPowerCut(uint64_t op) {
   if (power_cut_ || !fault_->PowerCutReached(op)) {
     return false;
   }
   snapshot_ = std::make_unique<PowerSnapshot>(PowerSnapshot{
       arena_, oob_, oob_seq_, oob_kind_, bad_, stats_, die_free_at_, die_busy_us_,
-      program_seq_});
+      program_seq_, meta_log_, meta_seq_, meta_epoch_, block_epoch_,
+      block_newest_seq_, block_pool_kind_, meta_records_since_checkpoint_,
+      persisted_, ckpt_gtd_ppn_, ckpt_gtd_seq_});
   power_cut_ = true;
   return true;
 }
 
 void NandFlash::TearPage(Ppn ppn) {
-  oob_[ppn] = ~0ULL;
-  oob_seq_[ppn] = 0;
-  oob_kind_[ppn] = static_cast<uint8_t>(OobKind::kNone);
+  oob_.Set(ppn, ~0ULL);
+  oob_seq_.Set(ppn, 0);
+  oob_kind_.Set(ppn, static_cast<uint8_t>(OobKind::kNone));
 }
 
 void NandFlash::RestoreToCutInstant() {
@@ -165,6 +311,16 @@ void NandFlash::RestoreToCutInstant() {
   die_free_at_ = std::move(snapshot_->die_free_at);
   die_busy_us_ = std::move(snapshot_->die_busy_us);
   program_seq_ = snapshot_->program_seq;
+  meta_log_ = std::move(snapshot_->meta_log);
+  meta_seq_ = snapshot_->meta_seq;
+  meta_epoch_ = snapshot_->meta_epoch;
+  block_epoch_ = std::move(snapshot_->block_epoch);
+  block_newest_seq_ = std::move(snapshot_->block_newest_seq);
+  block_pool_kind_ = std::move(snapshot_->block_pool_kind);
+  meta_records_since_checkpoint_ = snapshot_->meta_records_since_checkpoint;
+  persisted_ = std::move(snapshot_->persisted);
+  ckpt_gtd_ppn_ = std::move(snapshot_->ckpt_gtd_ppn);
+  ckpt_gtd_seq_ = std::move(snapshot_->ckpt_gtd_seq);
   snapshot_.reset();
   if (torn_ppn_ != kInvalidPpn) {
     // The interrupted program consumed its page without completing: after
@@ -173,6 +329,17 @@ void NandFlash::RestoreToCutInstant() {
     arena_.block(block).ProgramFailedAt(geometry_.OffsetOf(torn_ppn_));
     TearPage(torn_ppn_);
     torn_ppn_ = kInvalidPpn;
+  }
+  if (torn_meta_) {
+    // The interrupted append made it into the log without completing:
+    // re-append it with a checksum that does not verify. Recovery truncates
+    // it as the torn tail, and its epilogue checkpoint + trim drop it from
+    // the device for good.
+    MetaRecord r = std::move(torn_meta_record_);
+    r.seq = ++meta_seq_;
+    r.checksum = MetaChecksum(r.seq, r.type, r.payload) ^ 0x1;
+    meta_log_.push_back(std::move(r));
+    torn_meta_ = false;
   }
   power_cut_ = false;
   fault_.reset();  // Power is back; recovery runs fault-free.

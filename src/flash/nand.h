@@ -13,21 +13,34 @@
 //     of a migrated page; power-loss recovery scans all three to rebuild the
 //     mapping table, resolving conflicting copies by sequence number
 //     (seq 0 marks a torn/failed page whose OOB is unreadable);
+//   * a small reserved metadata region (flash/meta.h): an append-only log of
+//     sequenced, checksummed records that survives power cuts. With the
+//     journal enabled the device WAL-appends a kBlockDirty record before the
+//     first program into a block each checkpoint epoch, and FTLs append
+//     kCheckpoint records; checkpointed recovery replays only this tail
+//     instead of scanning the device. Appends are torn realistically by a
+//     power cut (the record survives with a failing checksum);
+//   * per-block summary metadata real devices keep in block headers: the
+//     newest successful program sequence per block (block_newest_seq), read
+//     without a per-page scan by checkpointed recovery;
+//   * the persisted-mapping mirror: the simulator carries no data payload,
+//     but translation pages' *contents* (LPN → PPN entries) are semantically
+//     load-bearing for recovery, so the device retains them durably —
+//     TranslationStore reads and writes them through the accessors below,
+//     and after a reboot they model on-demand translation-page reads;
 //   * injected faults and power loss via an installed FaultPlan (fault.h) —
 //     failed programs consume the page, failed erases mark the block bad,
 //     and a power cut snapshots the device so RestoreToCutInstant can roll
 //     flash back to the cut instant for crash-recovery testing.
 //
-// The simulator carries no page payload: experiments only need addresses and
-// timing. Correctness of the mapping layers is instead validated by tests
-// that mirror writes into a shadow map and compare against FTL lookups.
-//
 // Page states and per-block counters live in a single packed PageStateArena
 // (see block.h); the per-page operations below are inline array math so the
 // replay hot path has no call or pointer-chasing overhead — fault handling
-// is hidden behind one [[unlikely]] null check. Interior state checks are
-// TPFTL_DCHECK — compiled out of release replays, re-enabled by
-// -DTPFTL_HARDENED=ON (debug and CI builds).
+// is hidden behind one [[unlikely]] null check. Per-page OOB arrays and the
+// mirror are SegmentedArrays: dense flat storage by default (geometry
+// sparse_segment_pages == 0), materialize-on-write segments for TB-scale
+// virtual devices. Interior state checks are TPFTL_DCHECK — compiled out of
+// release replays, re-enabled by -DTPFTL_HARDENED=ON (debug and CI builds).
 
 #ifndef SRC_FLASH_NAND_H_
 #define SRC_FLASH_NAND_H_
@@ -35,14 +48,17 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/flash/block.h"
 #include "src/flash/geometry.h"
+#include "src/flash/meta.h"
 #include "src/flash/stats.h"
 #include "src/flash/types.h"
 #include "src/obs/phase.h"
 #include "src/util/assert.h"
+#include "src/util/segmented_array.h"
 
 namespace tpftl {
 
@@ -86,6 +102,9 @@ class NandFlash {
   // *out_ppn is set to kInvalidPpn — the caller retries on the next page.
   MicroSec ProgramPage(BlockId block, uint64_t oob_tag, Ppn* out_ppn,
                        OobKind kind = OobKind::kData) {
+    if (journal_enabled_) [[unlikely]] {
+      MaybeJournalDirty(block, kind);
+    }
     if (fault_ != nullptr) [[unlikely]] {
       return ProgramPageFaulty(block, oob_tag, out_ppn, kind);
     }
@@ -93,9 +112,13 @@ class NandFlash {
     ++op_index_;
     const uint64_t offset = arena_.block(block).Program();
     const Ppn ppn = geometry_.PpnOf(block, offset);
-    oob_[ppn] = oob_tag;
-    oob_seq_[ppn] = ++program_seq_;
-    oob_kind_[ppn] = static_cast<uint8_t>(kind);
+    oob_.Set(ppn, oob_tag);
+    oob_seq_.Set(ppn, ++program_seq_);
+    oob_kind_.Set(ppn, static_cast<uint8_t>(kind));
+    block_newest_seq_[block] = program_seq_;
+    if (block_pool_kind_[block] == static_cast<uint8_t>(OobKind::kNone)) {
+      block_pool_kind_[block] = static_cast<uint8_t>(kind);
+    }
     if (out_ppn != nullptr) {
       *out_ppn = ppn;
     }
@@ -138,23 +161,14 @@ class NandFlash {
   }
 
   // OOB tag of a programmed page.
-  uint64_t OobTag(Ppn ppn) const {
-    TPFTL_DCHECK(ppn < oob_.size());
-    return oob_[ppn];
-  }
+  uint64_t OobTag(Ppn ppn) const { return oob_.Get(ppn); }
 
   // OOB program sequence number (device-wide monotonic, starting at 1).
   // 0 = unreadable: the page was never programmed, or its program failed or
   // was torn by a power cut.
-  uint64_t OobSeq(Ppn ppn) const {
-    TPFTL_DCHECK(ppn < oob_seq_.size());
-    return oob_seq_[ppn];
-  }
+  uint64_t OobSeq(Ppn ppn) const { return oob_seq_.Get(ppn); }
 
-  OobKind OobKindOf(Ppn ppn) const {
-    TPFTL_DCHECK(ppn < oob_kind_.size());
-    return static_cast<OobKind>(oob_kind_[ppn]);
-  }
+  OobKind OobKindOf(Ppn ppn) const { return static_cast<OobKind>(oob_kind_.Get(ppn)); }
 
   PageState StateOf(Ppn ppn) const {
     TPFTL_DCHECK(ppn < geometry_.total_pages());
@@ -218,6 +232,89 @@ class NandFlash {
   uint64_t TotalEraseCount() const;
   uint64_t MaxEraseCount() const;
 
+  // --- metadata log, block summaries, persisted-mapping mirror ------------
+
+  // Turns the device-side dirty-block journal on: the first program into a
+  // block within each checkpoint epoch WAL-appends a kBlockDirty record
+  // before the program applies. FTLs enable this together with periodic
+  // checkpoints (FtlEnv::checkpoint); off by default — the journal branch is
+  // the only added hot-path cost, one predicted-not-taken test per program.
+  void EnableMetaJournal(bool on) { journal_enabled_ = on; }
+  bool meta_journal_enabled() const { return journal_enabled_; }
+
+  // Appends one record to the metadata log. A kCheckpoint record atomically
+  // advances the journal epoch (every block re-journals on its next
+  // program). This is a state-mutating device operation: a power cut can
+  // land on it, leaving the record torn (checksum does not verify) after
+  // RestoreToCutInstant. Billed byte-proportionally against the page-write
+  // rate (records are coalesced into the device's metadata page buffer).
+  // Returns the simulated latency.
+  MicroSec AppendMetaRecord(MetaRecordType type, std::vector<uint64_t> payload);
+
+  // Drops every record with seq < `before_seq` (checkpoint-prefix trim,
+  // issued after a new checkpoint lands). Atomic superblock-pointer update:
+  // a power cut on it discards it wholesale. Returns the latency.
+  MicroSec TrimMetaLogBefore(uint64_t before_seq);
+
+  const std::vector<MetaRecord>& meta_log() const { return meta_log_; }
+  uint64_t meta_epoch() const { return meta_epoch_; }
+
+  // Newest successful program sequence in the block, 0 after an erase (or
+  // never programmed / all programs torn). Kept in the block's header
+  // metadata by real devices; checkpointed recovery reads it instead of
+  // scanning every page's OOB for the per-block max.
+  uint64_t block_newest_seq(BlockId block) const {
+    TPFTL_DCHECK(block < block_newest_seq_.size());
+    return block_newest_seq_[block];
+  }
+
+  // Kind of the block's readable pages (kNone when erased, never programmed,
+  // or every program was torn) — the block-header twin of the OOB scan's
+  // per-block pool resolution. Blocks never mix kinds (erase-before-reuse).
+  OobKind block_pool_kind(BlockId block) const {
+    TPFTL_DCHECK(block < block_pool_kind_.size());
+    return static_cast<OobKind>(block_pool_kind_[block]);
+  }
+
+  // The cumulative checkpoint-area translation directory: VTPN → (PTPN, its
+  // program seq at checkpoint time), folded in from each kCheckpoint
+  // record's GTD deltas. kInvalidPpn / 0 for never-checkpointed entries.
+  Ppn checkpoint_gtd_ppn(Vtpn vtpn) const { return ckpt_gtd_ppn_.Get(vtpn); }
+  uint64_t checkpoint_gtd_seq(Vtpn vtpn) const { return ckpt_gtd_seq_.Get(vtpn); }
+
+  // Records appended since the last durable kCheckpoint append — the FTL's
+  // journal-length cap consults this to force an early checkpoint.
+  uint64_t meta_records_since_checkpoint() const { return meta_records_since_checkpoint_; }
+
+  // The persisted-mapping mirror: the durable LPN → PPN entry each
+  // translation page currently stores for `lpn` (kInvalidPpn = entry absent
+  // or persisted as unmapped). Written by TranslationStore as part of the
+  // translation-page programs that persist entries; rolled back with the
+  // rest of the device by a power cut. Reading it after a reboot models the
+  // on-demand translation-page read of a real demand-paged FTL.
+  Ppn PersistedMapping(Lpn lpn) const { return persisted_.Get(lpn); }
+  void SetPersistedMapping(Lpn lpn, Ppn ppn) { persisted_.Set(lpn, ppn); }
+  // Contiguous entries [first, first + count); count must stay within one
+  // translation page (segment sizes are multiples of the page entry count).
+  const Ppn* PersistedMappingSpan(Lpn first, uint64_t count) const {
+    return persisted_.Span(first, count);
+  }
+  const SegmentedArray<Ppn>& persisted_mirror() const { return persisted_; }
+
+  // Resident materialize-on-write segments across the sparse per-page
+  // arrays, the mirror, and the checkpoint directory (6 × 1 in dense mode).
+  uint64_t ResidentSegments() const {
+    return oob_.materialized_segments() + oob_seq_.materialized_segments() +
+           oob_kind_.materialized_segments() + persisted_.materialized_segments() +
+           ckpt_gtd_ppn_.materialized_segments() + ckpt_gtd_seq_.materialized_segments();
+  }
+
+  // Test hooks for the corruption-handling paths: flip a stored checksum
+  // (bit-rot; validation must stop there) or drop a record outright (a
+  // sequence gap; validation must fall back to the full scan).
+  void TestOnlyCorruptMetaRecord(size_t index);
+  void TestOnlyDropMetaRecord(size_t index);
+
   // --- fault injection & power loss (see fault.h) -------------------------
 
   // Installs a fault plan (replacing any previous one) and marks its listed
@@ -227,9 +324,9 @@ class NandFlash {
   // Removes the plan; already-marked bad blocks stay bad.
   void ClearFaultPlan();
 
-  // State-mutating operations (programs + erases) performed since
-  // construction; the index of the next operation is op_index() + 1. Fault
-  // plans address operations by this index.
+  // State-mutating operations (programs + erases + metadata appends/trims)
+  // performed since construction; the index of the next operation is
+  // op_index() + 1. Fault plans address operations by this index.
   uint64_t op_index() const { return op_index_; }
 
   // True once the plan's power cut fired. The device keeps operating
@@ -240,10 +337,11 @@ class NandFlash {
 
   // Rolls the device back to the instant of the power cut: all operations
   // from the cut onward are undone, and the cut operation itself leaves a
-  // torn page (programs) or an intact un-erased block (erases). Clears the
-  // fault plan — power is back, and recovery runs fault-free. The caller
-  // must discard the FTL that was driving the device and recover a fresh
-  // one from the surviving flash state.
+  // torn page (programs), a torn metadata record (appends) or an intact
+  // un-erased block (erases). Clears the fault plan — power is back, and
+  // recovery runs fault-free. The caller must discard the FTL that was
+  // driving the device and recover a fresh one from the surviving flash
+  // state.
   void RestoreToCutInstant();
 
  private:
@@ -261,6 +359,9 @@ class NandFlash {
   }
 
   MicroSec ProgramPageFaulty(BlockId block, uint64_t oob_tag, Ppn* out_ppn, OobKind kind);
+  // WAL half of the journal: first program into `block` this epoch appends
+  // its kBlockDirty record before the program applies.
+  void MaybeJournalDirty(BlockId block, OobKind kind);
   // Snapshots the device just before operation `op` when it is the cut
   // point. Returns true when this operation is the (newly or already) cut
   // one, i.e. it must be recorded as torn if it programs a page.
@@ -269,9 +370,9 @@ class NandFlash {
 
   FlashGeometry geometry_;
   PageStateArena arena_;
-  std::vector<uint64_t> oob_;
-  std::vector<uint64_t> oob_seq_;
-  std::vector<uint8_t> oob_kind_;
+  SegmentedArray<uint64_t> oob_;
+  SegmentedArray<uint64_t> oob_seq_;
+  SegmentedArray<uint8_t> oob_kind_;
   std::vector<uint8_t> bad_;  // Per-block bad flag (factory or failed erase).
   FlashStats stats_;
   bool multi_die_ = false;                // geometry.total_dies() > 1.
@@ -283,8 +384,23 @@ class NandFlash {
   uint64_t op_index_ = 0;
   bool power_cut_ = false;
   Ppn torn_ppn_ = kInvalidPpn;  // Page the cut operation was programming.
+  bool torn_meta_ = false;      // The cut operation was a metadata append.
+  MetaRecord torn_meta_record_;  // Its content, re-appended torn on restore.
   std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<PowerSnapshot> snapshot_;
+
+  // Metadata region + block summaries (see the class comment).
+  bool journal_enabled_ = false;
+  std::vector<MetaRecord> meta_log_;
+  uint64_t meta_seq_ = 0;    // Last record seq handed out (contiguous).
+  uint64_t meta_epoch_ = 0;  // Advances with every kCheckpoint append.
+  std::vector<uint64_t> block_epoch_;       // Epoch of each block's last journal record.
+  std::vector<uint64_t> block_newest_seq_;  // Per-block newest program seq.
+  std::vector<uint8_t> block_pool_kind_;    // Per-block kind of readable pages.
+  uint64_t meta_records_since_checkpoint_ = 0;
+  SegmentedArray<Ppn> persisted_;           // LPN → durable persisted entry.
+  SegmentedArray<Ppn> ckpt_gtd_ppn_;        // Checkpoint-area directory.
+  SegmentedArray<uint64_t> ckpt_gtd_seq_;
 };
 
 }  // namespace tpftl

@@ -23,6 +23,13 @@ struct FlashStats {
   // so the FTL-attribution cross-checks stay exact on fault-free runs.
   uint64_t program_failures = 0;
   uint64_t erase_failures = 0;
+  // Metadata-log traffic (flash/meta.h): journal/checkpoint record appends
+  // and their serialized bytes. Billed into busy time at the byte-
+  // proportional page-write rate, but kept out of page_writes so write-
+  // amplification and FTL-attribution cross-checks see data traffic only.
+  uint64_t meta_appends = 0;
+  uint64_t meta_bytes_written = 0;
+  uint64_t meta_trims = 0;
   MicroSec busy_time_us = 0.0;
 
   void Reset() { *this = FlashStats(); }

@@ -1,6 +1,8 @@
 #include "src/ftl/block_ftl.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/obs/phase.h"
@@ -11,8 +13,10 @@ namespace tpftl {
 BlockFtl::BlockFtl(const FtlEnv& env)
     : flash_(env.flash),
       pages_per_block_(env.flash->geometry().pages_per_block),
+      logical_pages_(env.logical_pages),
       map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock) {
   TPFTL_CHECK(env.logical_pages > 0);
+  ckpt_.Configure(flash_, env.checkpoint);
   if (env.recover_from_flash) {
     RecoverFromFlash(env.logical_pages);
     return;
@@ -24,21 +28,34 @@ BlockFtl::BlockFtl(const FtlEnv& env)
   }
   TPFTL_CHECK_MSG(free_blocks_.size() > map_.size(),
                   "block-level FTL needs at least one spare block");
+  if (ckpt_.enabled()) {
+    // Boot checkpoint on an empty device: the map is empty and there is no
+    // translation directory, so the record is a marker the journal can be
+    // trimmed against. Its cost is setup, not workload.
+    CommitCheckpoint();
+    flash_->ResetStats();
+  }
 }
 
 void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
   const FlashGeometry& g = flash_->geometry();
-  OobScanResult scan = ScanForRecovery(*flash_, logical_pages, /*translation_pages=*/0);
+  std::optional<OobScanResult> replayed;
+  if (ckpt_.enabled() && !ckpt_.config().force_scan_recovery) {
+    replayed = TryCheckpointRecovery(*flash_, logical_pages, /*translation_pages=*/0);
+  }
+  OobScanResult scan = replayed.has_value()
+                           ? *std::move(replayed)
+                           : ScanForRecovery(*flash_, logical_pages, /*translation_pages=*/0);
   // Every copy this FTL ever writes sits at its LPN's home offset, so the
   // winners must too; anything else means the scan or the FTL is broken.
   std::vector<uint8_t> holds_winners(g.total_blocks, 0);
   for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
-    if (scan.data_ppn[lpn] == kInvalidPpn) {
+    if (scan.data_ppn.Get(lpn) == kInvalidPpn) {
       continue;
     }
-    TPFTL_CHECK_MSG(g.OffsetOf(scan.data_ppn[lpn]) == OffsetOf(lpn),
+    TPFTL_CHECK_MSG(g.OffsetOf(scan.data_ppn.Get(lpn)) == OffsetOf(lpn),
                     "block-level winner off its home offset");
-    holds_winners[g.BlockOf(scan.data_ppn[lpn])] = 1;
+    holds_winners[g.BlockOf(scan.data_ppn.Get(lpn))] = 1;
   }
   // Blocks holding no live data go back to the free pool (erased first if
   // touched); bad or worn-out blocks are retired.
@@ -62,10 +79,10 @@ void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
     BlockId home = kInvalidBlock;
     bool split = false;
     for (Lpn lpn = first; lpn < last; ++lpn) {
-      if (scan.data_ppn[lpn] == kInvalidPpn) {
+      if (scan.data_ppn.Get(lpn) == kInvalidPpn) {
         continue;
       }
-      const BlockId b = g.BlockOf(scan.data_ppn[lpn]);
+      const BlockId b = g.BlockOf(scan.data_ppn.Get(lpn));
       if (home == kInvalidBlock) {
         home = b;
       } else if (home != b) {
@@ -82,7 +99,7 @@ void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
     const BlockId merged = AllocateBlock();
     std::vector<BlockId> sources;
     for (Lpn lpn = first; lpn < last; ++lpn) {
-      const Ppn src = scan.data_ppn[lpn];
+      const Ppn src = scan.data_ppn.Get(lpn);
       if (src == kInvalidPpn) {
         continue;
       }
@@ -111,9 +128,40 @@ void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
   for (BlockId b = 0; b < g.total_blocks; ++b) {
     scan.report.bad_blocks += flash_->IsBad(b) ? 1 : 0;
   }
+  if (ckpt_.enabled()) {
+    // Epilogue checkpoint: persists the rebuilt map and trims the journal
+    // (including any truncated torn record) so the next boot replays only
+    // what happens after this one.
+    std::vector<DirtyMapping> dirty;
+    CollectLiveMappings(&dirty);
+    scan.report.rebuild_time_us += ckpt_.Commit({}, dirty);
+  }
   recovery_report_ = scan.report;
   recovered_ = true;
   flash_->ResetStats();
+}
+
+MicroSec BlockFtl::CommitCheckpoint() {
+  std::vector<DirtyMapping> dirty;
+  CollectLiveMappings(&dirty);
+  return ckpt_.Commit({}, dirty);
+}
+
+void BlockFtl::CollectLiveMappings(std::vector<DirtyMapping>* out) const {
+  const FlashGeometry& g = flash_->geometry();
+  for (uint64_t lbn = 0; lbn < map_.size(); ++lbn) {
+    if (map_[lbn] == kInvalidBlock) {
+      continue;
+    }
+    const Lpn first = lbn * pages_per_block_;
+    const Lpn last = std::min(first + pages_per_block_, logical_pages_);
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      const Ppn ppn = g.PpnOf(map_[lbn], OffsetOf(lpn));
+      if (flash_->StateOf(ppn) == PageState::kValid) {
+        out->push_back({lpn, ppn});
+      }
+    }
+  }
 }
 
 void BlockFtl::ResetStats() {
@@ -136,15 +184,16 @@ MicroSec BlockFtl::ReadPage(Lpn lpn) {
   ++stats_.host_page_reads;
   ++stats_.lookups;
   ++stats_.hits;  // The block table is fully RAM-resident.
+  MicroSec t = MaybeCheckpoint();
   const BlockId pbn = map_[LbnOf(lpn)];
   if (pbn == kInvalidBlock) {
-    return 0.0;
+    return t;
   }
   const Ppn ppn = flash_->geometry().PpnOf(pbn, OffsetOf(lpn));
   if (flash_->StateOf(ppn) != PageState::kValid) {
-    return 0.0;  // Never-written page within a mapped block.
+    return t;  // Never-written page within a mapped block.
   }
-  return flash_->ReadPage(ppn);
+  return t + flash_->ReadPage(ppn);
 }
 
 MicroSec BlockFtl::WritePage(Lpn lpn) {
@@ -152,6 +201,7 @@ MicroSec BlockFtl::WritePage(Lpn lpn) {
   ++stats_.host_page_writes;
   ++stats_.lookups;
   ++stats_.hits;
+  MicroSec t = MaybeCheckpoint();
   const uint64_t lbn = LbnOf(lpn);
   const uint64_t offset = OffsetOf(lpn);
   if (map_[lbn] == kInvalidBlock) {
@@ -159,18 +209,19 @@ MicroSec BlockFtl::WritePage(Lpn lpn) {
   }
   const Ppn target = flash_->geometry().PpnOf(map_[lbn], offset);
   if (flash_->StateOf(target) == PageState::kFree) {
-    return flash_->ProgramPageAt(target, lpn);
+    return t + flash_->ProgramPageAt(target, lpn);
   }
-  return MergeAndWrite(lbn, offset, lpn);
+  return t + MergeAndWrite(lbn, offset, lpn);
 }
 
 MicroSec BlockFtl::TrimPage(Lpn lpn) {
   TPFTL_CHECK(LbnOf(lpn) < map_.size());
+  MicroSec t = MaybeCheckpoint();
   const Ppn ppn = Probe(lpn);
   if (ppn != kInvalidPpn) {
     flash_->InvalidatePage(ppn);
   }
-  return 0.0;
+  return t;
 }
 
 MicroSec BlockFtl::MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/flash/nand.h"
+#include "src/ftl/checkpoint.h"
 #include "src/ftl/demand_ftl.h"
 #include "src/ftl/ftl.h"
 #include "src/ftl/recovery.h"
@@ -54,11 +55,23 @@ class BlockFtl : public Ftl {
   // Copy-merges `lbn`'s block into a fresh block so `offset` becomes free
   // again, then programs the new data there.
   MicroSec MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn);
+  // The block table lives only in RAM, so every checkpoint snapshots the
+  // whole live mapping as dirty triples (same treatment as OptimalFtl).
+  void CollectLiveMappings(std::vector<DirtyMapping>* out) const;
+  MicroSec CommitCheckpoint();
+  MicroSec MaybeCheckpoint() {
+    if (!ckpt_.Due()) [[likely]] {
+      return 0.0;
+    }
+    return CommitCheckpoint();
+  }
 
   NandFlash* flash_;
   uint64_t pages_per_block_;
+  uint64_t logical_pages_;
   std::vector<BlockId> map_;  // LBN → physical block.
   std::deque<BlockId> free_blocks_;
+  CheckpointScheduler ckpt_;
   AtStats stats_;
   bool recovered_ = false;
   RecoveryReport recovery_report_;

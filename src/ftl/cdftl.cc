@@ -197,4 +197,18 @@ uint64_t Cdftl::cache_entry_count() const {
   return cmt_.size() + ctp_.size() * translation_store().entries_per_page();
 }
 
+void Cdftl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
+  for (const CmtEntry& e : cmt_) {
+    if (e.dirty) {
+      out->push_back({e.lpn, e.ppn});
+    }
+  }
+  const uint64_t entries = translation_store().entries_per_page();
+  for (const CtpPage& page : ctp_) {
+    for (const auto& [slot, ppn] : page.dirty_slots) {
+      out->push_back({page.vtpn * entries + slot, ppn});
+    }
+  }
+}
+
 }  // namespace tpftl

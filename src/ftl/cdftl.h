@@ -54,6 +54,7 @@ class Cdftl : public DemandFtl {
   MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
   bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
   MicroSec GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates) override;
+  void CollectCheckpointDirty(std::vector<DirtyMapping>* out) override;
 
  private:
   struct CmtEntry {

@@ -1,0 +1,309 @@
+#include "src/ftl/checkpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/flash/meta.h"
+#include "src/util/assert.h"
+
+namespace tpftl {
+namespace {
+
+// Serialized footprint of the metadata read at boot, billed at the device's
+// byte-proportional read rate: one (ptpn, seq) pair per directory entry and
+// one (newest_seq, pool/flags word) pair per block header.
+constexpr uint64_t kDirectoryEntryBytes = 16;
+constexpr uint64_t kBlockHeaderBytes = 16;
+
+// Validates the log front-to-back. On success returns the number of leading
+// records that are usable (a lone unverifiable final record — a torn append
+// — is excluded); returns false on interior corruption or a sequence gap.
+bool ValidateMetaLog(const std::vector<MetaRecord>& log, size_t* valid_count) {
+  for (size_t i = 0; i < log.size(); ++i) {
+    const bool contiguous = i == 0 || log[i].seq == log[i - 1].seq + 1;
+    if (!contiguous) {
+      return false;  // A gap means lost records — even at the tail.
+    }
+    if (!MetaRecordVerifies(log[i])) {
+      if (i + 1 == log.size()) {
+        *valid_count = i;  // Torn tail: its guarded op never happened.
+        return true;
+      }
+      return false;  // Interior corruption.
+    }
+  }
+  *valid_count = log.size();
+  return true;
+}
+
+}  // namespace
+
+MicroSec CheckpointScheduler::Commit(const std::vector<GtdDelta>& gtd_deltas,
+                                     const std::vector<DirtyMapping>& dirty) {
+  TPFTL_CHECK(cfg_.enabled && flash_ != nullptr);
+  ops_since_ = 0;
+  std::vector<uint64_t> payload;
+  payload.reserve(2 + 3 * (gtd_deltas.size() + dirty.size()));
+  payload.push_back(gtd_deltas.size());
+  payload.push_back(0);  // Patched below once cached TRIMs are filtered out.
+  for (const GtdDelta& d : gtd_deltas) {
+    TPFTL_CHECK(d.ptpn != kInvalidPtpn);
+    payload.push_back(d.vtpn);
+    payload.push_back(d.ptpn);
+    payload.push_back(flash_->OobSeq(d.ptpn));
+  }
+  uint64_t live = 0;
+  for (const DirtyMapping& m : dirty) {
+    if (m.ppn == kInvalidPpn) {
+      continue;  // Cached TRIM — recovery's validity cross-check re-derives it.
+    }
+    payload.push_back(m.lpn);
+    payload.push_back(m.ppn);
+    payload.push_back(flash_->OobSeq(m.ppn));
+    ++live;
+  }
+  payload[1] = live;
+  MicroSec t = flash_->AppendMetaRecord(MetaRecordType::kCheckpoint, std::move(payload));
+  // Trim strictly before the new checkpoint. If the append itself was cut,
+  // the trim lands after the cut instant and is rolled back with it, so the
+  // previous checkpoint (and the kBlockDirty tail covering everything since
+  // it) survives for recovery.
+  t += flash_->TrimMetaLogBefore(flash_->meta_log().back().seq);
+  return t;
+}
+
+std::optional<OobScanResult> TryCheckpointRecovery(const NandFlash& flash,
+                                                   uint64_t logical_pages,
+                                                   uint64_t translation_pages) {
+  const std::vector<MetaRecord>& log = flash.meta_log();
+  size_t valid_count = 0;
+  if (!ValidateMetaLog(log, &valid_count)) {
+    return std::nullopt;
+  }
+  size_t ckpt_idx = valid_count;
+  for (size_t i = 0; i < valid_count; ++i) {
+    if (log[i].type == MetaRecordType::kCheckpoint) {
+      ckpt_idx = i;
+    }
+  }
+  if (ckpt_idx == valid_count) {
+    return std::nullopt;  // Never checkpointed (or the only one tore).
+  }
+  CheckpointView ckpt;
+  TPFTL_CHECK(ParseCheckpointPayload(log[ckpt_idx].payload, &ckpt));
+
+  const FlashGeometry& g = flash.geometry();
+  const double byte_read_us = g.page_read_us / static_cast<double>(g.page_size_bytes);
+  OobScanResult r;
+  r.data_ppn = SegmentedArray<Ppn>(logical_pages, kInvalidPpn, g.sparse_segment_pages);
+  r.data_seq = SegmentedArray<uint64_t>(logical_pages, 0, g.sparse_segment_pages);
+  r.trans_ppn.assign(translation_pages, kInvalidPtpn);
+  r.trans_seq.assign(translation_pages, 0);
+  r.blocks.resize(g.total_blocks);
+  r.report.used_checkpoint = true;
+  r.report.journal_records_replayed = valid_count - ckpt_idx - 1;
+
+  // Reading and validating the log, the cumulative directory and the block
+  // headers is sequential metadata I/O, billed byte-proportionally.
+  uint64_t meta_bytes = 0;
+  for (size_t i = 0; i < valid_count; ++i) {
+    meta_bytes += log[i].size_bytes();
+  }
+  meta_bytes += translation_pages * kDirectoryEntryBytes;
+  meta_bytes += g.total_blocks * kBlockHeaderBytes;
+  r.report.checkpoint_bytes_read = meta_bytes;
+  r.report.scan_time_us += static_cast<double>(meta_bytes) * byte_read_us;
+
+  const auto consider_data = [&r](Lpn lpn, Ppn ppn, uint64_t seq) {
+    if (seq > r.data_seq.Get(lpn)) {
+      if (r.data_seq.Get(lpn) != 0) {
+        ++r.report.conflict_copies;
+      }
+      r.data_ppn.Set(lpn, ppn);
+      r.data_seq.Set(lpn, seq);
+    } else if (r.data_ppn.Get(lpn) != ppn) {
+      ++r.report.conflict_copies;
+    }
+  };
+  const auto consider_trans = [&r](Vtpn vtpn, Ptpn ptpn, uint64_t seq) {
+    if (seq > r.trans_seq[vtpn]) {
+      if (r.trans_seq[vtpn] != 0) {
+        ++r.report.conflict_copies;
+      }
+      r.trans_ppn[vtpn] = ptpn;
+      r.trans_seq[vtpn] = seq;
+    } else if (r.trans_ppn[vtpn] != ptpn) {
+      ++r.report.conflict_copies;
+    }
+  };
+  // A RAM-speed metadata entry is only a *claim* about a flash page; it
+  // counts as a candidate iff the page's live OOB still matches the claim
+  // (same program = same device-unique seq). Erased or reprogrammed pages
+  // fail this and newer copies always appear via the journaled-block rescan.
+  const auto verified = [&flash](Ppn ppn, uint64_t seq, uint64_t tag, OobKind kind) {
+    return flash.StateOf(ppn) != PageState::kFree && flash.OobSeq(ppn) == seq &&
+           flash.OobTag(ppn) == tag && flash.OobKindOf(ppn) == kind;
+  };
+
+  // 1. Pre-checkpoint translation winners: the cumulative directory.
+  for (Vtpn vtpn = 0; vtpn < translation_pages; ++vtpn) {
+    const Ptpn ptpn = flash.checkpoint_gtd_ppn(vtpn);
+    if (ptpn == kInvalidPtpn) {
+      continue;
+    }
+    const uint64_t seq = flash.checkpoint_gtd_seq(vtpn);
+    if (verified(ptpn, seq, vtpn, OobKind::kTranslation)) {
+      consider_trans(vtpn, ptpn, seq);
+    }
+  }
+
+  // 2. Pre-checkpoint persisted data mappings: the device mirror. Mirror
+  // entries name the newest *persisted* copy; by the unique-valid-copy
+  // invariant a still-valid entry is its LPN's winner outright. The walk
+  // skips unmaterialized segments, so sparse TB devices pay only for their
+  // written footprint. (The mirror models the translation pages' content;
+  // its bytes are not billed — a demand FTL reads translation pages lazily
+  // after boot, not during it.)
+  const SegmentedArray<Ppn>& mirror = flash.persisted_mirror();
+  const uint64_t seg_size = mirror.segment_size();
+  for (uint64_t s = mirror.NextMaterializedSegment(0); s < mirror.total_segments();
+       s = mirror.NextMaterializedSegment(s + 1)) {
+    const Lpn first = s * seg_size;
+    const Lpn last = std::min(first + seg_size, logical_pages);
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      const Ppn ppn = mirror.Get(lpn);
+      if (ppn == kInvalidPpn || flash.StateOf(ppn) != PageState::kValid) {
+        continue;  // Unmapped, or superseded/trimmed after it was persisted.
+      }
+      if (flash.OobTag(ppn) == lpn && flash.OobKindOf(ppn) == OobKind::kData) {
+        consider_data(lpn, ppn, flash.OobSeq(ppn));
+      }
+    }
+  }
+
+  // 3. Dirty cached mappings at checkpoint time, replayed from the record.
+  // An entry whose page was invalidated after the checkpoint still counts as
+  // a candidate (exactly as a scan would see the readable invalid copy); the
+  // final validity cross-check drops it like any other stale winner.
+  for (uint64_t i = 0; i < ckpt.dirty_count; ++i) {
+    const uint64_t* triple = ckpt.dirty + 3 * i;
+    const Lpn lpn = triple[0];
+    const Ppn ppn = triple[1];
+    const uint64_t seq = triple[2];
+    TPFTL_CHECK_MSG(lpn < logical_pages, "checkpoint dirty LPN outside the logical space");
+    if (verified(ppn, seq, lpn, OobKind::kData)) {
+      consider_data(lpn, ppn, seq);
+    }
+  }
+
+  // 4. The dirty window: rescan the OOB of every block journaled since the
+  // checkpoint — the only per-page flash reads of a checkpointed boot.
+  std::vector<uint8_t> block_seen(g.total_blocks, 0);
+  for (size_t i = ckpt_idx + 1; i < valid_count; ++i) {
+    if (log[i].type != MetaRecordType::kBlockDirty) {
+      continue;
+    }
+    const auto b = static_cast<BlockId>(log[i].payload[0]);
+    TPFTL_CHECK(b < g.total_blocks);
+    if (block_seen[b] != 0) {
+      continue;
+    }
+    block_seen[b] = 1;
+    ++r.report.blocks_rescanned;
+    const Block blk = flash.block(b);
+    // The whole block's OOB is reread (block-level FTLs program at home
+    // offsets, so free pages can be interior) — the rescan stays
+    // O(journaled blocks), not O(device).
+    for (uint64_t off = 0; off < g.pages_per_block; ++off) {
+      ++r.report.pages_scanned;
+      r.report.scan_time_us += g.page_read_us;
+      if (blk.StateOf(off) == PageState::kFree) {
+        continue;
+      }
+      const Ppn ppn = g.PpnOf(b, off);
+      const uint64_t seq = flash.OobSeq(ppn);
+      const OobKind kind = flash.OobKindOf(ppn);
+      if (seq == 0 || kind == OobKind::kNone) {
+        ++r.report.torn_pages;
+        continue;
+      }
+      const uint64_t tag = flash.OobTag(ppn);
+      if (kind == OobKind::kData) {
+        TPFTL_CHECK_MSG(tag < logical_pages, "data OOB tag outside the logical space");
+        consider_data(tag, ppn, seq);
+      } else {
+        TPFTL_CHECK_MSG(tag < translation_pages, "translation OOB tag outside the GTD");
+        consider_trans(tag, ppn, seq);
+      }
+    }
+  }
+
+  // 5. Block summaries straight from the device block headers — erase resets
+  // them and torn programs never touch them, so they equal what a scan of
+  // the readable pages would have summarized.
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    OobScanResult::BlockSummary& summary = r.blocks[b];
+    summary.programmed = g.pages_per_block - flash.block(b).free_pages();
+    if (summary.programmed == 0) {
+      continue;
+    }
+    summary.pool = flash.block_pool_kind(b);
+    summary.max_seq = flash.block_newest_seq(b);
+  }
+
+  // 6. Final cross-checks, identical to ScanForRecovery's epilogue. Winners
+  // only live in materialized segments, so the walk stays O(footprint).
+  for (uint64_t s = r.data_ppn.NextMaterializedSegment(0);
+       s < r.data_ppn.total_segments(); s = r.data_ppn.NextMaterializedSegment(s + 1)) {
+    const Lpn first = s * r.data_ppn.segment_size();
+    const Lpn last = std::min(first + r.data_ppn.segment_size(), logical_pages);
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      const Ppn winner = r.data_ppn.Get(lpn);
+      if (winner == kInvalidPpn) {
+        continue;
+      }
+      if (flash.StateOf(winner) != PageState::kValid) {
+        r.data_ppn.Set(lpn, kInvalidPpn);
+        r.data_seq.Set(lpn, 0);
+        ++r.report.stale_winners_dropped;
+      } else {
+        ++r.report.data_mappings;
+      }
+    }
+  }
+  for (Vtpn vtpn = 0; vtpn < translation_pages; ++vtpn) {
+    if (r.trans_ppn[vtpn] == kInvalidPtpn) {
+      continue;
+    }
+    TPFTL_CHECK_MSG(flash.StateOf(r.trans_ppn[vtpn]) == PageState::kValid,
+                    "newest translation page copy is not valid");
+    ++r.report.translation_pages_found;
+  }
+
+  // Agreement cross-check doubles as the reconstruction's self-check: a
+  // coverage bug (a winner the candidate sources missed) surfaces here as a
+  // valid page that is not its tag's winner. Untouched blocks skip free.
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    if (r.blocks[b].programmed == 0) {
+      continue;
+    }
+    const Block blk = flash.block(b);
+    for (uint64_t off = 0; off < g.pages_per_block; ++off) {
+      if (blk.StateOf(off) != PageState::kValid) {
+        continue;
+      }
+      const Ppn ppn = g.PpnOf(b, off);
+      const uint64_t tag = flash.OobTag(ppn);
+      if (flash.OobKindOf(ppn) == OobKind::kData) {
+        TPFTL_CHECK_MSG(r.data_ppn.Get(tag) == ppn, "valid data page is not its LPN's newest copy");
+      } else {
+        TPFTL_CHECK_MSG(flash.OobKindOf(ppn) == OobKind::kTranslation && r.trans_ppn[tag] == ppn,
+                        "valid page with unreadable OOB");
+      }
+    }
+  }
+
+  return r;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,126 @@
+// Checkpointed recovery: O(dirty-window) reboot instead of O(device) scan.
+//
+// The full-scan recovery (src/ftl/recovery.h) reads every programmed page's
+// OOB — perfect fidelity, but reboot time grows linearly with device
+// capacity. This module trades a small amount of foreground work for a
+// bounded reboot:
+//
+//   * NandFlash journals the first program into each block per checkpoint
+//     epoch (kBlockDirty WAL records — src/flash/meta.h);
+//   * the FTL periodically appends a kCheckpoint record carrying its
+//     translation-directory *deltas* and the point-in-time dirty cached
+//     mappings, then trims the log before it (CheckpointScheduler);
+//   * reboot replays the log tail: the cumulative checkpoint-area directory
+//     plus the device's persisted-mapping mirror and block headers provide
+//     the pre-checkpoint truth, and only the blocks named dirty since the
+//     checkpoint are rescanned (TryCheckpointRecovery).
+//
+// The reconstruction is bit-equivalent to ScanForRecovery's output arrays —
+// the differential tests in tests/integration/checkpoint_recovery_test.cc
+// prove it per FTL per cut point — so the scan remains both the oracle and
+// the fallback: an interior journal corruption, a sequence gap, or a missing
+// checkpoint makes TryCheckpointRecovery return nullopt and the caller runs
+// the full scan. A single unverifiable FINAL record is a torn append
+// (its guarded operation never happened — WAL order) and is truncated.
+//
+// Every candidate taken from RAM-speed metadata (mirror entries, directory
+// entries, checkpoint triples) is verified against the live OOB of the page
+// it names (same seq, tag, kind) before use, so state that went stale
+// through GC, erase, or reprogram can never override the journaled truth.
+
+#ifndef SRC_FTL_CHECKPOINT_H_
+#define SRC_FTL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/flash/nand.h"
+#include "src/flash/types.h"
+#include "src/ftl/recovery.h"
+
+namespace tpftl {
+
+// Knobs carried in FtlEnv. Disabled by default: the journal hook then costs
+// one predicted-not-taken branch per program (PR-4 budget).
+struct CheckpointConfig {
+  bool enabled = false;
+  // Append a checkpoint after this many host ops (reads/writes/trims)...
+  uint64_t interval_host_ops = 256;
+  // ...or sooner, once this many journal records accumulated — bounds the
+  // dirty window (and thus reboot rescan work) under write-heavy phases.
+  uint64_t max_journal_records = 24;
+  // Diagnostics: journal normally, but boot via the full scan (lets tests
+  // and benchmarks compare both recovery paths on identical flash images).
+  bool force_scan_recovery = false;
+};
+
+// One translation-directory delta: GTD slot `vtpn` now points at `ptpn`.
+struct GtdDelta {
+  Vtpn vtpn = kInvalidVtpn;
+  Ptpn ptpn = kInvalidPtpn;
+};
+
+// One dirty cached mapping at checkpoint time (not yet persisted to a
+// translation page). ppn == kInvalidPpn encodes a cached TRIM and is
+// dropped at append time — recovery's TRIM cross-check re-derives it.
+struct DirtyMapping {
+  Lpn lpn = kInvalidLpn;
+  Ppn ppn = kInvalidPpn;
+};
+
+// Owns the cadence policy and the append+trim commit sequence. One instance
+// per FTL; Configure() is a no-op unless cfg.enabled.
+class CheckpointScheduler {
+ public:
+  CheckpointScheduler() = default;
+
+  void Configure(NandFlash* flash, const CheckpointConfig& cfg) {
+    flash_ = flash;
+    cfg_ = cfg;
+    if (cfg.enabled) {
+      flash->EnableMetaJournal(true);
+    }
+  }
+
+  bool enabled() const { return cfg_.enabled; }
+  const CheckpointConfig& config() const { return cfg_; }
+
+  // Called once per host op. True when a checkpoint is due — either the op
+  // interval elapsed or the journal hit its record cap.
+  bool Due() {
+    if (!cfg_.enabled) [[likely]] {
+      return false;
+    }
+    ++ops_since_;
+    return ops_since_ >= cfg_.interval_host_ops ||
+           flash_->meta_records_since_checkpoint() >= cfg_.max_journal_records;
+  }
+
+  // Appends the kCheckpoint record ([G, D, triples] — src/flash/meta.h) and
+  // trims every record before it. Sequence numbers for the triples are read
+  // from the named pages' OOB, which is why commit must run while every
+  // delta still points at a live page. Returns the simulated flash time.
+  MicroSec Commit(const std::vector<GtdDelta>& gtd_deltas,
+                  const std::vector<DirtyMapping>& dirty);
+
+ private:
+  NandFlash* flash_ = nullptr;
+  CheckpointConfig cfg_;
+  uint64_t ops_since_ = 0;
+};
+
+// Attempts the checkpointed reboot. Returns an OobScanResult bit-equivalent
+// to ScanForRecovery's (arrays and block summaries; the report differs — it
+// bills directory reads and the journaled-block rescan instead of a device
+// scan). nullopt ⇒ the caller must fall back to the full scan:
+//   * empty log, or no checkpoint record in the valid prefix;
+//   * interior corruption: a bad checksum or a sequence gap anywhere but a
+//     lone torn final record (which is truncated instead).
+std::optional<OobScanResult> TryCheckpointRecovery(const NandFlash& flash,
+                                                   uint64_t logical_pages,
+                                                   uint64_t translation_pages);
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_CHECKPOINT_H_

@@ -1,6 +1,7 @@
 #include "src/ftl/demand_ftl.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "src/obs/phase.h"
@@ -20,6 +21,7 @@ DemandFtl::DemandFtl(const FtlEnv& env, bool uses_translation_store)
     : flash_(env.flash),
       bm_(env.flash, env.gc_threshold, env.gc_policy, env.wear_spread_limit),
       store_(&bm_, env.logical_pages),
+      uses_translation_store_(uses_translation_store),
       logical_pages_(env.logical_pages) {
   TPFTL_CHECK(env.flash != nullptr);
   TPFTL_CHECK(env.logical_pages > 0);
@@ -30,19 +32,39 @@ DemandFtl::DemandFtl(const FtlEnv& env, bool uses_translation_store)
   } else {
     entry_cache_budget_ = env.cache_bytes;
   }
+  // Enable journaling before any program so the first ops of a formatted (or
+  // recovered) device are covered from the start.
+  ckpt_.Configure(flash_, env.checkpoint);
   if (env.recover_from_flash) {
     RecoverFromFlash(uses_translation_store);
     return;
   }
   if (uses_translation_store) {
     store_.Format();
+  }
+  if (ckpt_.enabled()) {
+    // Boot checkpoint: absorbs Format()'s full-directory delta while the
+    // cost is still setup, so the first crash already recovers via the
+    // journal. Virtual dispatch resolves to the base CollectCheckpointDirty
+    // here (we are inside the base constructor) — correct by construction:
+    // no subclass cache holds entries yet.
+    CommitCheckpoint();
+  }
+  if (uses_translation_store || ckpt_.enabled()) {
     // Formatting cost is setup, not workload; start experiments clean.
     flash_->ResetStats();
   }
 }
 
 void DemandFtl::RecoverFromFlash(bool uses_translation_store) {
-  OobScanResult scan = ScanForRecovery(*flash_, logical_pages_, store_.translation_pages());
+  std::optional<OobScanResult> replayed;
+  if (ckpt_.enabled() && !ckpt_.config().force_scan_recovery) {
+    replayed = TryCheckpointRecovery(*flash_, logical_pages_, store_.translation_pages());
+  }
+  OobScanResult scan =
+      replayed.has_value()
+          ? *std::move(replayed)
+          : ScanForRecovery(*flash_, logical_pages_, store_.translation_pages());
   bm_.RecoverFromScan(scan);
   if (uses_translation_store) {
     store_.RecoverFromScan(scan, &scan.report);
@@ -55,6 +77,35 @@ void DemandFtl::RecoverFromFlash(bool uses_translation_store) {
   }
   scan.report.blocks_free = bm_.free_block_count();
   scan.report.bad_blocks = bm_.bad_block_count();
+  if (ckpt_.enabled()) {
+    // Recovery epilogue: checkpoint the recovered state and trim the log.
+    // This physically removes any truncated torn record — without it the
+    // re-appended tail would read as *interior* corruption at the next boot
+    // — and shrinks the next reboot's replay back to an empty window.
+    std::vector<GtdDelta> gtd;
+    std::vector<DirtyMapping> dirty;
+    if (uses_translation_store) {
+      store_.CollectGtdDeltas(&gtd);
+    } else {
+      // No translation pages exist: every recovered mapping lives only in
+      // RAM and data-page OOB, so all of them checkpoint as dirty. Mappings
+      // only live in materialized segments of the winner array.
+      const uint64_t seg = recovered_user_map_.segment_size();
+      for (uint64_t s = recovered_user_map_.NextMaterializedSegment(0);
+           s < recovered_user_map_.total_segments();
+           s = recovered_user_map_.NextMaterializedSegment(s + 1)) {
+        const Lpn first = s * seg;
+        const Lpn last = std::min(first + seg, recovered_user_map_.size());
+        for (Lpn lpn = first; lpn < last; ++lpn) {
+          const Ppn ppn = recovered_user_map_.Get(lpn);
+          if (ppn != kInvalidPpn) {
+            dirty.push_back({lpn, ppn});
+          }
+        }
+      }
+    }
+    scan.report.rebuild_time_us += ckpt_.Commit(gtd, dirty);
+  }
   recovery_report_ = scan.report;
   recovered_ = true;
   // Note: no RunGcIfNeeded() here — it dispatches policy hooks that the
@@ -83,6 +134,7 @@ MicroSec DemandFtl::ReadPage(Lpn lpn) {
   // Reads never consume free pages, but translation writebacks triggered by
   // the lookup can, so the GC check still runs.
   t += RunGcIfNeeded();
+  t += MaybeCheckpoint();
   return t;
 }
 
@@ -107,6 +159,7 @@ MicroSec DemandFtl::WritePage(Lpn lpn) {
     }
   }
   t += RunGcIfNeeded();
+  t += MaybeCheckpoint();
   return t;
 }
 
@@ -122,6 +175,7 @@ MicroSec DemandFtl::TrimPage(Lpn lpn) {
   }
   t += CommitMapping(lpn, kInvalidPpn);
   t += RunGcIfNeeded();
+  t += MaybeCheckpoint();
   return t;
 }
 
@@ -141,6 +195,16 @@ MicroSec DemandFtl::BackgroundGc(MicroSec budget_us) {
                                                     : CollectTranslationBlock(victim);
   }
   return spent;
+}
+
+MicroSec DemandFtl::CommitCheckpoint() {
+  std::vector<GtdDelta> gtd;
+  if (uses_translation_store_) {
+    store_.CollectGtdDeltas(&gtd);
+  }
+  std::vector<DirtyMapping> dirty;
+  CollectCheckpointDirty(&dirty);
+  return ckpt_.Commit(gtd, dirty);
 }
 
 MicroSec DemandFtl::RunGcIfNeeded() {

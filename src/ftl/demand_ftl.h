@@ -31,6 +31,7 @@
 
 #include "src/flash/nand.h"
 #include "src/ftl/block_manager.h"
+#include "src/ftl/checkpoint.h"
 #include "src/ftl/ftl.h"
 #include "src/ftl/recovery.h"
 #include "src/ftl/translation_store.h"
@@ -53,6 +54,10 @@ struct FtlEnv {
   // power cut) instead of formatting it: mappings and block bookkeeping are
   // rebuilt from page OOB areas, and recovery_report() describes the result.
   bool recover_from_flash = false;
+  // Checkpointed-recovery knobs (src/ftl/checkpoint.h). Disabled by default;
+  // when enabled, a recover_from_flash boot replays the metadata journal
+  // instead of scanning the device, falling back to the scan on corruption.
+  CheckpointConfig checkpoint;
 };
 
 // The paper's cache budget for a given logical capacity: the size of a
@@ -92,6 +97,13 @@ class DemandFtl : public Ftl {
 
   bool CheckInvariants() const override { return bm_.CheckInvariants(); }
 
+  // Drains GTD deltas + dirty cached mappings into a kCheckpoint record and
+  // trims the journal before it. The data path calls this when the scheduler
+  // says a checkpoint is due; tests call it to pin a checkpoint at a known
+  // instant. Requires env.checkpoint.enabled.
+  MicroSec CommitCheckpoint();
+  const CheckpointScheduler& checkpoint_scheduler() const { return ckpt_; }
+
   bool TestOnlySabotageDropCommits(Lpn lpn) final {
     sabotage_drop_commit_lpn_ = lpn;
     return true;
@@ -105,6 +117,13 @@ class DemandFtl : public Ftl {
   virtual MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) = 0;
   virtual bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) = 0;
   virtual MicroSec GcRewriteTranslation(Vtpn vtpn, std::vector<MappingUpdate>& updates);
+  // Point-in-time dirty cached mappings for a checkpoint: every LPN→PPN
+  // binding the cache holds that is not yet persisted to a translation page
+  // (cached TRIMs as ppn == kInvalidPpn; the scheduler filters them).
+  // Default: none. Optimal overrides with its full table — nothing of it is
+  // ever persisted. Called during base construction for the boot checkpoint,
+  // where the base default is exactly right: the cache is empty at format.
+  virtual void CollectCheckpointDirty(std::vector<DirtyMapping>* /*out*/) {}
 
   // --- services for subclasses -------------------------------------------
   BlockManager& bm() { return bm_; }
@@ -116,10 +135,16 @@ class DemandFtl : public Ftl {
   // For subclasses that bypass the TranslationStore (Optimal): the LPN→PPN
   // winners reconstructed by a recovery boot. Empty unless recover_from_flash
   // was set and uses_translation_store was false.
-  const std::vector<Ppn>& recovered_user_map() const { return recovered_user_map_; }
+  const SegmentedArray<Ppn>& recovered_user_map() const { return recovered_user_map_; }
 
  private:
   void RecoverFromFlash(bool uses_translation_store);
+  MicroSec MaybeCheckpoint() {
+    if (!ckpt_.Due()) [[likely]] {
+      return 0.0;
+    }
+    return CommitCheckpoint();
+  }
   MicroSec CollectOneBlock();
   MicroSec CollectDataBlock(BlockId victim);
   MicroSec CollectTranslationBlock(BlockId victim);
@@ -127,12 +152,14 @@ class DemandFtl : public Ftl {
   NandFlash* flash_;
   BlockManager bm_;
   TranslationStore store_;
+  CheckpointScheduler ckpt_;
+  bool uses_translation_store_;
   AtStats stats_;
   uint64_t logical_pages_;
   uint64_t entry_cache_budget_ = 0;
   bool recovered_ = false;
   RecoveryReport recovery_report_;
-  std::vector<Ppn> recovered_user_map_;
+  SegmentedArray<Ppn> recovered_user_map_;
   Lpn sabotage_drop_commit_lpn_ = kInvalidLpn;  // See TestOnlySabotageDropCommits.
 };
 

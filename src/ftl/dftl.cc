@@ -109,6 +109,16 @@ uint64_t Dftl::cache_entry_count() const { return index_.size(); }
 
 uint64_t Dftl::CachedTranslationPages() const { return OccupancyByPage().size(); }
 
+void Dftl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
+  for (const EntryList* list : {&probation_, &protected_}) {
+    for (const Entry& e : *list) {
+      if (e.dirty) {
+        out->push_back({e.lpn, e.ppn});
+      }
+    }
+  }
+}
+
 std::unordered_map<Vtpn, Dftl::PageOccupancy> Dftl::OccupancyByPage() const {
   std::unordered_map<Vtpn, PageOccupancy> result;
   for (const auto& [lpn, it] : index_) {

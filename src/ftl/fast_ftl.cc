@@ -1,6 +1,8 @@
 #include "src/ftl/fast_ftl.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "src/obs/phase.h"
 #include "src/util/assert.h"
@@ -10,11 +12,13 @@ namespace tpftl {
 FastFtl::FastFtl(const FtlEnv& env, const FastFtlOptions& options)
     : flash_(env.flash),
       pages_per_block_(env.flash->geometry().pages_per_block),
+      logical_pages_(env.logical_pages),
       map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock) {
   TPFTL_CHECK(env.logical_pages > 0);
   const auto by_fraction = static_cast<uint64_t>(
       static_cast<double>(map_.size()) * options.log_block_fraction);
   log_block_limit_ = std::max(options.min_log_blocks, by_fraction);
+  ckpt_.Configure(flash_, env.checkpoint);
   if (env.recover_from_flash) {
     RecoverFromFlash(env.logical_pages);
     return;
@@ -26,11 +30,22 @@ FastFtl::FastFtl(const FtlEnv& env, const FastFtlOptions& options)
   }
   TPFTL_CHECK_MSG(free_blocks_.size() > map_.size() + log_block_limit_ + 1,
                   "FAST needs data blocks + log blocks + one merge block");
+  if (ckpt_.enabled()) {
+    // Boot checkpoint on an empty device (see BlockFtl): marker only.
+    CommitCheckpoint();
+    flash_->ResetStats();
+  }
 }
 
 void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
   const FlashGeometry& g = flash_->geometry();
-  OobScanResult scan = ScanForRecovery(*flash_, logical_pages, /*translation_pages=*/0);
+  std::optional<OobScanResult> replayed;
+  if (ckpt_.enabled() && !ckpt_.config().force_scan_recovery) {
+    replayed = TryCheckpointRecovery(*flash_, logical_pages, /*translation_pages=*/0);
+  }
+  OobScanResult scan = replayed.has_value()
+                           ? *std::move(replayed)
+                           : ScanForRecovery(*flash_, logical_pages, /*translation_pages=*/0);
   // Classify each block by the winners it holds. A block whose winners all
   // sit at their home offsets within one logical block can serve as that
   // LBN's data block; everything else holding winners must be a log block.
@@ -41,7 +56,7 @@ void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
   };
   std::vector<BlockInfo> info(g.total_blocks);
   for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
-    const Ppn ppn = scan.data_ppn[lpn];
+    const Ppn ppn = scan.data_ppn.Get(lpn);
     if (ppn == kInvalidPpn) {
       continue;
     }
@@ -84,7 +99,7 @@ void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
   for (const BlockId b : logs) {
     log_blocks_.push_back(b);
     for (const Lpn lpn : info[b].winners) {
-      log_map_[lpn] = scan.data_ppn[lpn];
+      log_map_[lpn] = scan.data_ppn.Get(lpn);
     }
   }
   // Free pool: blocks with no live data, erased back to free (bad or
@@ -113,10 +128,46 @@ void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
   for (BlockId b = 0; b < g.total_blocks; ++b) {
     scan.report.bad_blocks += flash_->IsBad(b) ? 1 : 0;
   }
+  if (ckpt_.enabled()) {
+    // Epilogue checkpoint: persists the rebuilt tables and trims the journal
+    // (including any truncated torn record).
+    std::vector<DirtyMapping> dirty;
+    CollectLiveMappings(&dirty);
+    scan.report.rebuild_time_us += ckpt_.Commit({}, dirty);
+  }
   recovery_report_ = scan.report;
   recovered_ = true;
   stats_.Reset();
   flash_->ResetStats();
+}
+
+MicroSec FastFtl::CommitCheckpoint() {
+  std::vector<DirtyMapping> dirty;
+  CollectLiveMappings(&dirty);
+  return ckpt_.Commit({}, dirty);
+}
+
+void FastFtl::CollectLiveMappings(std::vector<DirtyMapping>* out) const {
+  const FlashGeometry& g = flash_->geometry();
+  for (const auto& [lpn, ppn] : log_map_) {
+    out->push_back({lpn, ppn});
+  }
+  for (uint64_t lbn = 0; lbn < map_.size(); ++lbn) {
+    if (map_[lbn] == kInvalidBlock) {
+      continue;
+    }
+    const Lpn first = lbn * pages_per_block_;
+    const Lpn last = std::min(first + pages_per_block_, logical_pages_);
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      if (log_map_.contains(lpn)) {
+        continue;  // A fresher log copy supersedes the in-place slot.
+      }
+      const Ppn ppn = g.PpnOf(map_[lbn], OffsetOf(lpn));
+      if (flash_->StateOf(ppn) == PageState::kValid) {
+        out->push_back({lpn, ppn});
+      }
+    }
+  }
 }
 
 void FastFtl::ResetStats() {
@@ -139,8 +190,9 @@ MicroSec FastFtl::ReadPage(Lpn lpn) {
   ++stats_.host_page_reads;
   ++stats_.lookups;
   ++stats_.hits;  // Block table and log map are RAM-resident.
+  MicroSec t = MaybeCheckpoint();
   const Ppn ppn = Probe(lpn);
-  return ppn == kInvalidPpn ? 0.0 : flash_->ReadPage(ppn);
+  return ppn == kInvalidPpn ? t : t + flash_->ReadPage(ppn);
 }
 
 MicroSec FastFtl::WritePage(Lpn lpn) {
@@ -148,6 +200,7 @@ MicroSec FastFtl::WritePage(Lpn lpn) {
   ++stats_.host_page_writes;
   ++stats_.lookups;
   ++stats_.hits;
+  MicroSec t = MaybeCheckpoint();
   const uint64_t lbn = LbnOf(lpn);
   const uint64_t offset = OffsetOf(lpn);
   // In-place path: slot still free and no fresher log copy exists.
@@ -157,24 +210,25 @@ MicroSec FastFtl::WritePage(Lpn lpn) {
     }
     const Ppn target = flash_->geometry().PpnOf(map_[lbn], offset);
     if (flash_->StateOf(target) == PageState::kFree) {
-      return flash_->ProgramPageAt(target, lpn);
+      return t + flash_->ProgramPageAt(target, lpn);
     }
   }
-  return AppendToLog(lpn);
+  return t + AppendToLog(lpn);
 }
 
 MicroSec FastFtl::TrimPage(Lpn lpn) {
   TPFTL_CHECK(LbnOf(lpn) < map_.size());
+  MicroSec t = MaybeCheckpoint();
   if (const auto it = log_map_.find(lpn); it != log_map_.end()) {
     flash_->InvalidatePage(it->second);
     log_map_.erase(it);
-    return 0.0;
+    return t;
   }
   const Ppn ppn = Probe(lpn);
   if (ppn != kInvalidPpn) {
     flash_->InvalidatePage(ppn);
   }
-  return 0.0;
+  return t;
 }
 
 MicroSec FastFtl::AppendToLog(Lpn lpn) {

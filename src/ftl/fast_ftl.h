@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/flash/nand.h"
+#include "src/ftl/checkpoint.h"
 #include "src/ftl/demand_ftl.h"
 #include "src/ftl/ftl.h"
 #include "src/ftl/recovery.h"
@@ -80,14 +81,26 @@ class FastFtl : public Ftl {
   // Rebuilds one logical block from its freshest page copies.
   MicroSec FullMergeLbn(uint64_t lbn);
   bool IsSwitchMergeable(BlockId log_block) const;
+  // Both the block table and the log map are RAM-only, so checkpoints carry
+  // the whole live mapping as dirty triples (same treatment as OptimalFtl).
+  void CollectLiveMappings(std::vector<DirtyMapping>* out) const;
+  MicroSec CommitCheckpoint();
+  MicroSec MaybeCheckpoint() {
+    if (!ckpt_.Due()) [[likely]] {
+      return 0.0;
+    }
+    return CommitCheckpoint();
+  }
 
   NandFlash* flash_;
   uint64_t pages_per_block_;
+  uint64_t logical_pages_;
   uint64_t log_block_limit_;
   std::vector<BlockId> map_;                 // LBN → data block.
   std::unordered_map<Lpn, Ppn> log_map_;     // Freshest log copy per LPN.
   std::deque<BlockId> log_blocks_;           // Oldest first; back is active.
   std::deque<BlockId> free_blocks_;
+  CheckpointScheduler ckpt_;
   AtStats stats_;
   uint64_t full_merges_ = 0;
   uint64_t switch_merges_ = 0;

@@ -8,7 +8,12 @@ OptimalFtl::OptimalFtl(const FtlEnv& env)
     : DemandFtl(env, /*uses_translation_store=*/false),
       table_(env.logical_pages, kInvalidPpn) {
   if (env.recover_from_flash) {
-    table_ = recovered_user_map();
+    // Optimal keeps a dense RAM table, so fill it from the (possibly sparse)
+    // recovered winner array element-wise.
+    const SegmentedArray<Ppn>& winners = recovered_user_map();
+    for (Lpn lpn = 0; lpn < winners.size(); ++lpn) {
+      table_[lpn] = winners.Get(lpn);
+    }
   }
 }
 
@@ -30,6 +35,14 @@ bool OptimalFtl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
   (void)extra_time;
   table_[lpn] = new_ppn;
   return true;
+}
+
+void OptimalFtl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
+  for (Lpn lpn = 0; lpn < table_.size(); ++lpn) {
+    if (table_[lpn] != kInvalidPpn) {
+      out->push_back({lpn, table_[lpn]});
+    }
+  }
 }
 
 Ppn OptimalFtl::Probe(Lpn lpn) const {

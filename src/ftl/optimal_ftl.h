@@ -25,6 +25,9 @@ class OptimalFtl : public DemandFtl {
   MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
   MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
   bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+  // The whole table: none of it is ever persisted to translation pages, so
+  // every live mapping is "dirty" in checkpoint terms.
+  void CollectCheckpointDirty(std::vector<DirtyMapping>* out) override;
 
  private:
   std::vector<Ppn> table_;

@@ -10,8 +10,8 @@ OobScanResult ScanForRecovery(const NandFlash& flash, uint64_t logical_pages,
                               uint64_t translation_pages) {
   const FlashGeometry& g = flash.geometry();
   OobScanResult r;
-  r.data_ppn.assign(logical_pages, kInvalidPpn);
-  r.data_seq.assign(logical_pages, 0);
+  r.data_ppn = SegmentedArray<Ppn>(logical_pages, kInvalidPpn, g.sparse_segment_pages);
+  r.data_seq = SegmentedArray<uint64_t>(logical_pages, 0, g.sparse_segment_pages);
   r.trans_ppn.assign(translation_pages, kInvalidPtpn);
   r.trans_seq.assign(translation_pages, 0);
   r.blocks.resize(g.total_blocks);
@@ -20,13 +20,16 @@ OobScanResult ScanForRecovery(const NandFlash& flash, uint64_t logical_pages,
     const Block blk = flash.block(b);
     OobScanResult::BlockSummary& summary = r.blocks[b];
     for (uint64_t off = 0; off < g.pages_per_block; ++off) {
+      // The scan trusts nothing but per-page OOB (it is the no-metadata
+      // fallback), so learning that a page is free still costs its OOB read
+      // — the full scan is O(device capacity), not O(programmed).
+      ++r.report.pages_scanned;
+      r.report.scan_time_us += g.page_read_us;  // OOB read billed as a page read.
       if (blk.StateOf(off) == PageState::kFree) {
         continue;
       }
       ++summary.programmed;
       const Ppn ppn = g.PpnOf(b, off);
-      ++r.report.pages_scanned;
-      r.report.scan_time_us += g.page_read_us;  // OOB read billed as a page read.
       const uint64_t seq = flash.OobSeq(ppn);
       const OobKind kind = flash.OobKindOf(ppn);
       if (seq == 0 || kind == OobKind::kNone) {
@@ -41,12 +44,12 @@ OobScanResult ScanForRecovery(const NandFlash& flash, uint64_t logical_pages,
       const uint64_t tag = flash.OobTag(ppn);
       if (kind == OobKind::kData) {
         TPFTL_CHECK_MSG(tag < logical_pages, "data OOB tag outside the logical space");
-        if (seq > r.data_seq[tag]) {
-          if (r.data_seq[tag] != 0) {
+        if (seq > r.data_seq.Get(tag)) {
+          if (r.data_seq.Get(tag) != 0) {
             ++r.report.conflict_copies;
           }
-          r.data_ppn[tag] = ppn;
-          r.data_seq[tag] = seq;
+          r.data_ppn.Set(tag, ppn);
+          r.data_seq.Set(tag, seq);
         } else {
           ++r.report.conflict_copies;
         }
@@ -66,17 +69,26 @@ OobScanResult ScanForRecovery(const NandFlash& flash, uint64_t logical_pages,
   }
 
   // TRIM cross-check: a winner whose page is no longer valid was
-  // deliberately unmapped after it was written — drop the mapping.
-  for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
-    if (r.data_ppn[lpn] == kInvalidPpn) {
-      continue;
-    }
-    if (flash.StateOf(r.data_ppn[lpn]) != PageState::kValid) {
-      r.data_ppn[lpn] = kInvalidPpn;
-      r.data_seq[lpn] = 0;
-      ++r.report.stale_winners_dropped;
-    } else {
-      ++r.report.data_mappings;
+  // deliberately unmapped after it was written — drop the mapping. Winners
+  // only live in materialized segments, so walk those instead of the whole
+  // logical space (RAM work, not billed flash time).
+  const uint64_t seg_pages = r.data_ppn.segment_size();
+  for (uint64_t s = r.data_ppn.NextMaterializedSegment(0);
+       s < r.data_ppn.total_segments(); s = r.data_ppn.NextMaterializedSegment(s + 1)) {
+    const Lpn first = s * seg_pages;
+    const Lpn last = std::min(first + seg_pages, logical_pages);
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      const Ppn winner = r.data_ppn.Get(lpn);
+      if (winner == kInvalidPpn) {
+        continue;
+      }
+      if (flash.StateOf(winner) != PageState::kValid) {
+        r.data_ppn.Set(lpn, kInvalidPpn);
+        r.data_seq.Set(lpn, 0);
+        ++r.report.stale_winners_dropped;
+      } else {
+        ++r.report.data_mappings;
+      }
     }
   }
   for (Vtpn vtpn = 0; vtpn < translation_pages; ++vtpn) {
@@ -101,7 +113,7 @@ OobScanResult ScanForRecovery(const NandFlash& flash, uint64_t logical_pages,
       const Ppn ppn = g.PpnOf(b, off);
       const uint64_t tag = flash.OobTag(ppn);
       if (flash.OobKindOf(ppn) == OobKind::kData) {
-        TPFTL_CHECK_MSG(r.data_ppn[tag] == ppn, "valid data page is not its LPN's newest copy");
+        TPFTL_CHECK_MSG(r.data_ppn.Get(tag) == ppn, "valid data page is not its LPN's newest copy");
       } else {
         TPFTL_CHECK_MSG(flash.OobKindOf(ppn) == OobKind::kTranslation && r.trans_ppn[tag] == ppn,
                         "valid page with unreadable OOB");

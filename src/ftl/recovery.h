@@ -33,12 +33,15 @@
 
 #include "src/flash/nand.h"
 #include "src/flash/types.h"
+#include "src/util/segmented_array.h"
 
 namespace tpftl {
 
 // What recovery found and did; exposed via Ftl::recovery_report().
 struct RecoveryReport {
-  uint64_t pages_scanned = 0;     // Programmed pages whose OOB was examined.
+  uint64_t pages_scanned = 0;     // Pages whose OOB was read (incl. free pages:
+                                  // a scan can't know a page is empty without
+                                  // reading it, so the full scan is O(device)).
   uint64_t torn_pages = 0;        // Unreadable pages (failed/torn programs).
   uint64_t data_mappings = 0;     // LPNs with a recovered mapping.
   uint64_t conflict_copies = 0;   // Superseded copies that lost by seq.
@@ -53,6 +56,11 @@ struct RecoveryReport {
   uint64_t bad_blocks = 0;        // Blocks retired (factory bad or worn).
   MicroSec scan_time_us = 0.0;    // Simulated flash time of the OOB scan.
   MicroSec rebuild_time_us = 0.0;  // Simulated flash time re-persisting state.
+  // --- checkpointed-recovery extensions (src/ftl/checkpoint.h) ------------
+  bool used_checkpoint = false;   // Directory + journal replay, not full scan.
+  uint64_t journal_records_replayed = 0;  // Meta records after the checkpoint.
+  uint64_t checkpoint_bytes_read = 0;     // Log + directory + header bytes.
+  uint64_t blocks_rescanned = 0;  // Journaled-dirty blocks whose OOB was reread.
 };
 
 // Raw OOB-scan output consumed by the per-FTL rebuild steps.
@@ -63,8 +71,12 @@ struct OobScanResult {
     uint64_t programmed = 0;
   };
 
-  std::vector<Ppn> data_ppn;        // LPN → winning copy (kInvalidPpn = unmapped).
-  std::vector<uint64_t> data_seq;   // LPN → winner's sequence number (0 = none).
+  // The per-LPN winner arrays follow the device's sparse layout (geometry
+  // sparse_segment_pages) so a TB-scale checkpointed boot never allocates
+  // O(logical) dense transients — only segments holding real winners
+  // materialize. The per-VTPN arrays stay dense: the GTD is small.
+  SegmentedArray<Ppn> data_ppn;     // LPN → winning copy (kInvalidPpn = unmapped).
+  SegmentedArray<uint64_t> data_seq;  // LPN → winner's sequence number (0 = none).
   std::vector<Ptpn> trans_ppn;      // VTPN → winning translation page.
   std::vector<uint64_t> trans_seq;
   std::vector<BlockSummary> blocks;

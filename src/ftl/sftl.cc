@@ -269,4 +269,16 @@ uint64_t Sftl::cache_entry_count() const {
   return pages_.size() * translation_store().entries_per_page() + buffer_.size();
 }
 
+void Sftl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
+  const uint64_t entries = translation_store().entries_per_page();
+  for (const Page& page : pages_) {
+    for (const auto& [slot, ppn] : page.dirty_slots) {
+      out->push_back({page.vtpn * entries + slot, ppn});
+    }
+  }
+  for (const auto& [lpn, ppn] : buffer_) {
+    out->push_back({lpn, ppn});
+  }
+}
+
 }  // namespace tpftl

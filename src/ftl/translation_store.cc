@@ -18,7 +18,7 @@ TranslationStore::TranslationStore(BlockManager* bm, uint64_t logical_pages)
       logical_pages_(logical_pages),
       entries_per_page_(bm->flash().geometry().entries_per_translation_page()),
       gtd_(TranslationPageCount(logical_pages, entries_per_page_)),
-      persisted_(gtd_.size() * entries_per_page_, kInvalidPpn) {
+      ckpt_dirty_flag_(gtd_.size(), 0) {
   TPFTL_CHECK(logical_pages > 0);
 }
 
@@ -28,6 +28,7 @@ void TranslationStore::Format() {
     Ppn ptpn = kInvalidPtpn;
     bm_->Program(BlockPool::kTranslation, vtpn, &ptpn);
     gtd_.Update(vtpn, ptpn);
+    MarkGtdDirty(vtpn);
   }
   formatted_ = true;
 }
@@ -35,28 +36,54 @@ void TranslationStore::Format() {
 void TranslationStore::RecoverFromScan(const OobScanResult& scan, RecoveryReport* report) {
   TPFTL_CHECK_MSG(!formatted_, "recovery into a formatted translation store");
   TPFTL_CHECK(scan.trans_ppn.size() == gtd_.size());
-  TPFTL_CHECK(scan.data_ppn.size() == persisted_.size());
+  TPFTL_CHECK(scan.data_ppn.size() == logical_pages_);
   formatted_ = true;  // Low-level rewrites below require it.
 
   // The reconstructed table: each LPN's winner from the data-page scan.
-  for (Lpn lpn = 0; lpn < persisted_.size(); ++lpn) {
-    persisted_[lpn] = scan.data_ppn[lpn];
+  // Both arrays share the device's segment layout, so the sync walks the
+  // union of materialized segments — a segment unmaterialized on both sides
+  // is all-unmapped on both sides and needs no work. This keeps recovery on
+  // a sparse TB device proportional to its footprint, not its capacity.
+  const SegmentedArray<Ppn>& mirror = flash().persisted_mirror();
+  // Dense mode: both MaterializedAt calls are trivially true and the walk
+  // degenerates to one flat pass. Sparse mode: the mirror and the scan share
+  // the geometry's segment size, so their boundaries align.
+  TPFTL_CHECK(scan.data_ppn.dense() ||
+              mirror.segment_size() == scan.data_ppn.segment_size());
+  const uint64_t seg_pages = scan.data_ppn.segment_size();
+  for (uint64_t s = 0; s < scan.data_ppn.total_segments(); ++s) {
+    const Lpn first = s * seg_pages;
+    if (!scan.data_ppn.MaterializedAt(first) && !mirror.MaterializedAt(first)) {
+      continue;
+    }
+    const Lpn last = std::min(first + seg_pages, logical_pages_);
+    const Ppn* winners = scan.data_ppn.Span(first, last - first);
+    for (Lpn lpn = first; lpn < last; ++lpn) {
+      flash().SetPersistedMapping(lpn, winners[lpn - first]);
+    }
   }
 
   for (Vtpn vtpn = 0; vtpn < gtd_.size(); ++vtpn) {
     const Ptpn survivor = scan.trans_ppn[vtpn];
     // Entries newer than the surviving flash copy of this translation page
     // were recovered from data OOB alone — the lost window batch-update
-    // writeback risks (§4.4). Re-persist such pages immediately.
+    // writeback risks (§4.4). Re-persist such pages immediately. A span
+    // never crosses a segment boundary (segment size is a multiple of the
+    // per-page entry count), and an unmaterialized segment holds seq 0
+    // everywhere, so the whole span can be skipped.
     uint64_t stale = 0;
     const uint64_t first = vtpn * entries_per_page_;
-    const uint64_t last = std::min(first + entries_per_page_, persisted_.size());
-    for (Lpn lpn = first; lpn < last; ++lpn) {
-      stale += scan.data_seq[lpn] > scan.trans_seq[vtpn] ? 1 : 0;
+    const uint64_t last = std::min(first + entries_per_page_, logical_pages_);
+    if (scan.data_seq.MaterializedAt(first)) {
+      const uint64_t* seqs = scan.data_seq.Span(first, last - first);
+      for (uint64_t i = 0; i < last - first; ++i) {
+        stale += seqs[i] > scan.trans_seq[vtpn] ? 1 : 0;
+      }
     }
     report->unpersisted_window += stale;
     if (survivor != kInvalidPtpn && stale == 0) {
       gtd_.Update(vtpn, survivor);
+      MarkGtdDirty(vtpn);
       continue;
     }
     // No RMW read: the OOB scan already paid for reading every page.
@@ -66,6 +93,7 @@ void TranslationStore::RecoverFromScan(const OobScanResult& scan, RecoveryReport
       bm_->Invalidate(survivor);
     }
     gtd_.Update(vtpn, new_ptpn);
+    MarkGtdDirty(vtpn);
     ++report->translation_rewrites;
   }
 }
@@ -87,14 +115,18 @@ TranslationStore::RewriteResult TranslationStore::RewriteTranslationPage(
     result.time += bm_->flash().ReadPage(old_ptpn);
     result.did_read = true;
   }
-  for (const MappingUpdate& u : updates) {
-    TPFTL_CHECK_MSG(VtpnOf(u.lpn) == vtpn, "update outside the rewritten translation page");
-    persisted_[u.lpn] = u.ppn;
-  }
   Ptpn new_ptpn = kInvalidPtpn;
   result.time += bm_->Program(BlockPool::kTranslation, vtpn, &new_ptpn);
+  // Mirror updates strictly after the program: a power cut during it rolls
+  // the device (mirror included) back to the pre-program state, so the
+  // mirror never claims persistence the flash does not have.
+  for (const MappingUpdate& u : updates) {
+    TPFTL_CHECK_MSG(VtpnOf(u.lpn) == vtpn, "update outside the rewritten translation page");
+    flash().SetPersistedMapping(u.lpn, u.ppn);
+  }
   bm_->Invalidate(old_ptpn);
   gtd_.Update(vtpn, new_ptpn);
+  MarkGtdDirty(vtpn);
   return result;
 }
 
@@ -107,17 +139,29 @@ MicroSec TranslationStore::MigrateTranslationPage(Ptpn ptpn) {
   t += bm_->Program(BlockPool::kTranslation, vtpn, &new_ptpn);
   bm_->Invalidate(ptpn);
   gtd_.Update(vtpn, new_ptpn);
+  MarkGtdDirty(vtpn);
   return t;
 }
 
 Ppn TranslationStore::Persisted(Lpn lpn) const {
-  TPFTL_CHECK(lpn < persisted_.size());
-  return persisted_[lpn];
+  TPFTL_CHECK(lpn < logical_pages_);
+  return flash().PersistedMapping(lpn);
 }
 
 std::span<const Ppn> TranslationStore::PersistedPage(Vtpn vtpn) const {
   TPFTL_CHECK(vtpn < gtd_.size());
-  return std::span<const Ppn>(persisted_).subspan(vtpn * entries_per_page_, entries_per_page_);
+  return std::span<const Ppn>(
+      flash().PersistedMappingSpan(vtpn * entries_per_page_, entries_per_page_),
+      entries_per_page_);
+}
+
+void TranslationStore::CollectGtdDeltas(std::vector<GtdDelta>* out) {
+  out->reserve(out->size() + ckpt_dirty_vtpns_.size());
+  for (const Vtpn vtpn : ckpt_dirty_vtpns_) {
+    out->push_back({vtpn, gtd_.Lookup(vtpn)});
+    ckpt_dirty_flag_[vtpn] = 0;
+  }
+  ckpt_dirty_vtpns_.clear();
 }
 
 }  // namespace tpftl

@@ -13,10 +13,17 @@
 // already holds the page's full content (S-FTL's whole-page cache) the read
 // is skipped.
 //
-// The store keeps an in-RAM mirror of the *persisted* table so that loads can
-// return entry values without simulating payloads. The mirror is NOT the
-// mapping cache: demand FTLs must pay a flash read before consulting it, and
-// tests verify that every consultation was paid for.
+// The mirror of the *persisted* table (entry values without simulating page
+// payloads) lives on the device (NandFlash::PersistedMapping) so that it is
+// segment-sparse on TB-scale geometries and rolls back with the power-cut
+// snapshot. The mirror is NOT the mapping cache: demand FTLs must pay a
+// flash read before consulting it, and tests verify that every consultation
+// was paid for. Mirror updates land *after* the page program they describe,
+// so a cut during the program never leaves the mirror ahead of flash.
+//
+// For checkpointing, the store tracks which GTD slots changed since the last
+// CollectGtdDeltas() drain; the scheduler folds those deltas into the
+// device's cumulative checkpoint directory (src/ftl/checkpoint.h).
 
 #ifndef SRC_FTL_TRANSLATION_STORE_H_
 #define SRC_FTL_TRANSLATION_STORE_H_
@@ -28,6 +35,7 @@
 
 #include "src/flash/types.h"
 #include "src/ftl/block_manager.h"
+#include "src/ftl/checkpoint.h"
 #include "src/ftl/gtd.h"
 #include "src/ftl/recovery.h"
 
@@ -85,6 +93,11 @@ class TranslationStore {
   // Persisted PPNs of one whole translation page (for whole-page caches).
   std::span<const Ppn> PersistedPage(Vtpn vtpn) const;
 
+  // Drains the set of GTD slots changed since the previous drain, as
+  // checkpoint deltas (current GTD value per dirty slot). Order follows
+  // first-dirtying; each slot appears at most once.
+  void CollectGtdDeltas(std::vector<GtdDelta>* out);
+
   const Gtd& gtd() const { return gtd_; }
   uint64_t translation_pages() const { return gtd_.size(); }
   uint64_t entries_per_page() const { return entries_per_page_; }
@@ -94,12 +107,23 @@ class TranslationStore {
   uint64_t SlotOf(Lpn lpn) const { return lpn % entries_per_page_; }
 
  private:
+  NandFlash& flash() { return bm_->flash(); }
+  const NandFlash& flash() const { return bm_->flash(); }
+  void MarkGtdDirty(Vtpn vtpn) {
+    if (ckpt_dirty_flag_[vtpn] == 0) {
+      ckpt_dirty_flag_[vtpn] = 1;
+      ckpt_dirty_vtpns_.push_back(vtpn);
+    }
+  }
+
   BlockManager* bm_;
   uint64_t logical_pages_;
   uint64_t entries_per_page_;
   Gtd gtd_;
-  std::vector<Ppn> persisted_;  // Mirror of flash-resident table, LPN-indexed.
   bool formatted_ = false;
+  // GTD slots changed since the last CollectGtdDeltas() drain.
+  std::vector<uint8_t> ckpt_dirty_flag_;
+  std::vector<Vtpn> ckpt_dirty_vtpns_;
 };
 
 }  // namespace tpftl

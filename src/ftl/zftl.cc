@@ -191,4 +191,18 @@ uint64_t Zftl::cache_entry_count() const {
          (tier2_vtpn_ != kInvalidVtpn ? translation_store().entries_per_page() : 0);
 }
 
+void Zftl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
+  for (const Tier1Entry& e : tier1_) {
+    if (e.dirty) {
+      out->push_back({e.lpn, e.ppn});
+    }
+  }
+  if (tier2_vtpn_ != kInvalidVtpn) {
+    const uint64_t entries = translation_store().entries_per_page();
+    for (const auto& [slot, ppn] : tier2_dirty_slots_) {
+      out->push_back({tier2_vtpn_ * entries + slot, ppn});
+    }
+  }
+}
+
 }  // namespace tpftl

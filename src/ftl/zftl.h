@@ -53,6 +53,7 @@ class Zftl : public DemandFtl {
   MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
   MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
   bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+  void CollectCheckpointDirty(std::vector<DirtyMapping>* out) override;
 
  private:
   struct Tier1Entry {

@@ -27,6 +27,10 @@ namespace tpftl::obs {
 class Counter {
  public:
   void Increment(uint64_t n = 1) { value_ += n; }
+  // Overwrite semantics, for counters mirrored from an authoritative source
+  // (e.g. device flash stats synced into the registry). MergeFrom still
+  // sums, which stays correct when each shard mirrors its own device.
+  void Set(uint64_t value) { value_ = value; }
   uint64_t value() const { return value_; }
   void Reset() { value_ = 0; }
   void MergeFrom(const Counter& other) { value_ += other.value_; }

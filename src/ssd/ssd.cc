@@ -8,17 +8,30 @@
 #include "src/util/rng.h"
 
 namespace tpftl {
+namespace {
+
+FlashGeometry BuildGeometry(const SsdConfig& config) {
+  FlashGeometry g =
+      MakeGeometryParallel(config.logical_bytes, config.channels,
+                           config.dies_per_channel, config.planes_per_die,
+                           config.over_provision);
+  g.sparse_segment_pages = config.sparse_segment_pages;
+  return g;
+}
+
+}  // namespace
 
 Ssd::Ssd(const SsdConfig& config)
-    : geometry_(MakeGeometryParallel(config.logical_bytes, config.channels,
-                                     config.dies_per_channel, config.planes_per_die,
-                                     config.over_provision)),
+    : geometry_(BuildGeometry(config)),
       flash_(geometry_),
       logical_pages_(config.logical_bytes / geometry_.page_size_bytes),
       write_buffer_(config.write_buffer),
       background_gc_(config.background_gc),
       trace_phases_(config.trace_phases),
       response_hist_(metrics_.histogram("ssd.response_us")),
+      journal_appends_(metrics_.counter("flash.journal_appends")),
+      checkpoint_bytes_(metrics_.counter("flash.checkpoint_bytes_written")),
+      resident_segments_(metrics_.gauge("flash.resident_segments")),
       trace_log_(config.trace_span_requests) {
   cache_bytes_ =
       config.cache_bytes != 0 ? config.cache_bytes : PaperCacheBytes(geometry_, logical_pages_);
@@ -28,7 +41,17 @@ Ssd::Ssd(const SsdConfig& config)
   env.cache_bytes = cache_bytes_;
   env.gc_threshold = config.gc_threshold;
   env.gc_policy = config.gc_policy;
+  env.checkpoint = config.checkpoint;
   ftl_ = CreateFtl(config.ftl_kind, env, config.tpftl_options);
+  SyncDeviceMetrics();  // Seed the resident-segments gauge at creation.
+}
+
+void Ssd::SyncDeviceMetrics() {
+  const FlashStats& s = flash_.stats();
+  synced_meta_appends_ = s.meta_appends;
+  journal_appends_->Set(s.meta_appends);
+  checkpoint_bytes_->Set(s.meta_bytes_written);
+  resident_segments_->Set(static_cast<double>(flash_.ResidentSegments()));
 }
 
 MicroSec Ssd::ServiceRequestPages(const IoRequest& request) {
@@ -157,6 +180,12 @@ MicroSec Ssd::Submit(const IoRequest& request) {
       trace_log_.NoteDropped();  // Log full: request served without spans.
     }
   }
+  // Mirror journal/checkpoint activity into the registry only when the
+  // device's meta-append count moved; with checkpointing disabled this is
+  // one always-equal load+compare per request.
+  if (flash_.stats().meta_appends != synced_meta_appends_) [[unlikely]] {
+    SyncDeviceMetrics();
+  }
   ++requests_served_;
   return response;
 }
@@ -216,6 +245,7 @@ void Ssd::ResetStats() {
   write_buffer_.ResetStats();
   response_.Reset();
   metrics_.ResetValues();  // Includes the response/queue histograms.
+  SyncDeviceMetrics();  // Flash counters just reset; re-seed the mirror.
   phase_times_.Reset();
   queue_us_total_ = 0.0;
   trace_log_.Clear();

@@ -23,6 +23,7 @@
 
 #include "src/core/ftl_factory.h"
 #include "src/flash/nand.h"
+#include "src/ftl/checkpoint.h"
 #include "src/obs/metrics.h"
 #include "src/obs/phase.h"
 #include "src/obs/trace_event.h"
@@ -61,6 +62,16 @@ struct SsdConfig {
   // With trace_phases on, additionally record span timelines for the first
   // N requests after each ResetStats, for WriteChromeTrace drill-down.
   uint64_t trace_span_requests = 0;
+  // Checkpointed recovery (src/ftl/checkpoint.h). Off by default; when
+  // enabled the device journals block-dirty records and checkpoints the
+  // translation directory, and the journal/checkpoint activity is exported
+  // through the metrics registry (see SyncDeviceMetrics).
+  CheckpointConfig checkpoint;
+  // 0 = dense backing arrays (the default; exact PR-2 behavior). A power of
+  // two enables materialize-on-write sparse arena segments of that many
+  // pages, for TB-scale virtual capacities whose written footprint is small.
+  // Must be a multiple of the geometry's entries-per-translation-page.
+  uint64_t sparse_segment_pages = 0;
 };
 
 class Ssd {
@@ -136,6 +147,11 @@ class Ssd {
   // The per-page FTL/write-buffer work of one request; returns the summed
   // flash service time. Shared by the single-die and multi-die timing paths.
   MicroSec ServiceRequestPages(const IoRequest& request);
+  // Mirrors the device's metadata-journal activity into the registry:
+  // flash.journal_appends / flash.checkpoint_bytes_written counters and the
+  // flash.resident_segments gauge. Called only when the flash meta-append
+  // count moved, so the checkpoint-disabled hot path pays one load+compare.
+  void SyncDeviceMetrics();
 
   FlashGeometry geometry_;
   NandFlash flash_;
@@ -154,6 +170,10 @@ class Ssd {
   RunningStats response_;
   obs::MetricsRegistry metrics_;
   obs::LatencyHistogram* response_hist_;  // metrics_["ssd.response_us"]
+  obs::Counter* journal_appends_;         // metrics_["flash.journal_appends"]
+  obs::Counter* checkpoint_bytes_;        // metrics_["flash.checkpoint_bytes_written"]
+  obs::Gauge* resident_segments_;         // metrics_["flash.resident_segments"]
+  uint64_t synced_meta_appends_ = 0;
   obs::PhaseTimes phase_times_;
   MicroSec queue_us_total_ = 0.0;
   obs::RequestTraceLog trace_log_;

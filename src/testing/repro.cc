@@ -53,6 +53,11 @@ std::string SerializeRepro(const Repro& repro) {
   out << "program_fail_prob " << p.program_fail_prob << "\n";
   out << "erase_fail_prob " << p.erase_fail_prob << "\n";
   out << "write_buffer_pages " << p.write_buffer_pages << "\n";
+  if (p.checkpoint_interval != 0) {
+    // Written only when checkpointing is on so older repro files stay
+    // byte-identical; absent key parses as disabled.
+    out << "checkpoint_interval " << p.checkpoint_interval << "\n";
+  }
   out << "deep_check_interval " << p.deep_check_interval << "\n";
   if (p.sabotage_drop_commit_lpn != kInvalidLpn) {
     out << "sabotage_drop_commit_lpn " << p.sabotage_drop_commit_lpn << "\n";
@@ -137,6 +142,8 @@ bool ParseRepro(const std::string& text, Repro* out, std::string* error) {
       ok = static_cast<bool>(fields >> p.erase_fail_prob);
     } else if (key == "write_buffer_pages") {
       ok = static_cast<bool>(fields >> p.write_buffer_pages);
+    } else if (key == "checkpoint_interval") {
+      ok = static_cast<bool>(fields >> p.checkpoint_interval);
     } else if (key == "deep_check_interval") {
       ok = static_cast<bool>(fields >> p.deep_check_interval);
     } else if (key == "sabotage_drop_commit_lpn") {

@@ -42,12 +42,24 @@ SimProfile ProfileByName(const std::string& name) {
     p.flush_prob = 0.03;
     return p;
   }
+  if (name == "checkpointed") {
+    // The powercut environment with checkpointed recovery enabled on a short
+    // cadence: checkpoint/journal meta appends are frequent enough that the
+    // randomly armed cuts tear them, not just the data-path programs.
+    p.program_fail_prob = 0.005;
+    p.erase_fail_prob = 0.001;
+    p.power_cut_prob = 0.002;
+    p.write_buffer_pages = 12;
+    p.flush_prob = 0.03;
+    p.checkpoint_interval = 40;
+    return p;
+  }
   TPFTL_CHECK_MSG(false, "unknown SimCheck profile");
   return p;
 }
 
 std::vector<std::string> ProfileNames() {
-  return {"plain", "faulty", "powercut", "buffered", "parallel"};
+  return {"plain", "faulty", "powercut", "buffered", "parallel", "checkpointed"};
 }
 
 const char* OpKindName(OpKind kind) {

@@ -75,6 +75,12 @@ struct SimProfile {
   // pages are volatile: a power cut loses them, and the model knows it. ---
   uint64_t write_buffer_pages = 0;
 
+  // Checkpointed recovery (src/ftl/checkpoint.h): 0 = disabled, otherwise the
+  // checkpoint cadence in host ops. Meta appends count as device ops, so the
+  // armed power cuts land inside checkpoint persistence and journal appends,
+  // not just between them.
+  uint64_t checkpoint_interval = 0;
+
   // Full-state sweep (every LPN + device accounting) every this many steps;
   // the touched-LPN oracle runs after every step regardless.
   uint64_t deep_check_interval = 64;
@@ -93,6 +99,8 @@ struct SimProfile {
 //   buffered — plain behind the write buffer, fault-free.
 //   parallel — powercut's fault/buffer environment on a 4-die geometry, so
 //              per-die striping and timelines face faults and recovery too.
+//   checkpointed — powercut's environment with checkpointed recovery on and
+//              a short cadence, so cuts tear checkpoint appends themselves.
 SimProfile ProfileByName(const std::string& name);
 std::vector<std::string> ProfileNames();
 

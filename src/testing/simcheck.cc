@@ -31,6 +31,10 @@ class Harness {
                                   profile.dies)),
         model_(profile.logical_pages),
         strict_(StrictOracleFor(kind)) {
+    if (profile_.checkpoint_interval != 0) {
+      world_.env.checkpoint.enabled = true;
+      world_.env.checkpoint.interval_host_ops = profile_.checkpoint_interval;
+    }
     ftl_ = CreateFtl(kind_, world_.env);
     ArmSabotage();
     InstallEnvPlan(FaultPlan::kNoPowerCut);

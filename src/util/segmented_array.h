@@ -1,0 +1,175 @@
+// Materialize-on-write segmented array for TB-scale sparse devices.
+//
+// A SegmentedArray<T> presents a flat array of `size` elements, all equal to
+// a default value, but allocates backing storage in fixed power-of-two
+// segments only when a segment is first written with a non-default value.
+// NandFlash uses it for the per-page OOB arrays and the persisted-mapping
+// mirror: a 1 TB device has hundreds of millions of pages, but a bounded
+// workload touches a tiny fraction of them, so the resident set stays
+// proportional to the written footprint instead of the virtual capacity
+// (ROADMAP item 2; the resident-segment count is exported as a gauge).
+//
+// Two layouts, chosen at construction:
+//   * segment_size == 0 — dense: one eagerly allocated segment covering the
+//     whole array. Reads and writes are a single indirection, so the replay
+//     hot path (PR 2) keeps its flat-array behavior on normal geometries.
+//   * segment_size == 1 << k — sparse: a table of lazily allocated segments.
+//     Writing the default value into an unmaterialized segment is a no-op,
+//     and Span() over an unmaterialized segment serves a shared all-default
+//     segment, so read-mostly consumers never force allocation.
+//
+// Deep-copyable on purpose: the power-cut snapshot (NandFlash) clones the
+// device state, and only materialized segments cost memory or copy time.
+
+#ifndef SRC_UTIL_SEGMENTED_ARRAY_H_
+#define SRC_UTIL_SEGMENTED_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+template <typename T>
+class SegmentedArray {
+ public:
+  // Empty dense array; assign a sized one before use.
+  SegmentedArray() : SegmentedArray(0, T{}) {}
+
+  // `segment_size` must be 0 (dense) or a power of two. All `size` elements
+  // start equal to `init`.
+  SegmentedArray(uint64_t size, T init, uint64_t segment_size = 0)
+      : size_(size), init_(init) {
+    if (segment_size == 0) {
+      segment_size_ = size > 0 ? size : 1;
+      shift_ = 0;  // Unused in dense mode.
+      segments_.resize(1);
+      segments_[0] = std::make_unique<std::vector<T>>(size_, init_);
+      dense_ = segments_[0]->data();
+      return;
+    }
+    TPFTL_CHECK_MSG((segment_size & (segment_size - 1)) == 0,
+                    "segment size must be a power of two");
+    segment_size_ = segment_size;
+    shift_ = 0;
+    while ((uint64_t{1} << shift_) < segment_size) {
+      ++shift_;
+    }
+    segments_.resize((size + segment_size - 1) / segment_size);
+    default_segment_.assign(segment_size_, init_);
+  }
+
+  SegmentedArray(const SegmentedArray& other)
+      : size_(other.size_),
+        init_(other.init_),
+        segment_size_(other.segment_size_),
+        shift_(other.shift_),
+        default_segment_(other.default_segment_) {
+    segments_.resize(other.segments_.size());
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      if (other.segments_[s] != nullptr) {
+        segments_[s] = std::make_unique<std::vector<T>>(*other.segments_[s]);
+      }
+    }
+    if (other.dense_ != nullptr) {
+      dense_ = segments_[0]->data();
+    }
+  }
+
+  SegmentedArray& operator=(const SegmentedArray& other) {
+    if (this != &other) {
+      SegmentedArray copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  SegmentedArray(SegmentedArray&&) noexcept = default;
+  SegmentedArray& operator=(SegmentedArray&&) noexcept = default;
+
+  uint64_t size() const { return size_; }
+
+  T Get(uint64_t i) const {
+    TPFTL_DCHECK(i < size_);
+    if (dense_ != nullptr) [[likely]] {
+      return dense_[i];
+    }
+    const auto& seg = segments_[i >> shift_];
+    return seg == nullptr ? init_ : (*seg)[i & (segment_size_ - 1)];
+  }
+
+  void Set(uint64_t i, T value) {
+    TPFTL_DCHECK(i < size_);
+    if (dense_ != nullptr) [[likely]] {
+      dense_[i] = value;
+      return;
+    }
+    auto& seg = segments_[i >> shift_];
+    if (seg == nullptr) {
+      if (value == init_) {
+        return;  // Writing the default never materializes a segment.
+      }
+      seg = std::make_unique<std::vector<T>>(segment_size_, init_);
+    }
+    (*seg)[i & (segment_size_ - 1)] = value;
+  }
+
+  // Contiguous read-only view of [start, start + count). The range must not
+  // cross a segment boundary; an unmaterialized range serves the shared
+  // all-default segment without allocating.
+  const T* Span(uint64_t start, [[maybe_unused]] uint64_t count) const {
+    TPFTL_DCHECK(start + count <= size_);
+    if (dense_ != nullptr) [[likely]] {
+      return dense_ + start;
+    }
+    const uint64_t offset = start & (segment_size_ - 1);
+    TPFTL_DCHECK_MSG(offset + count <= segment_size_, "span crosses a segment boundary");
+    const auto& seg = segments_[start >> shift_];
+    return seg == nullptr ? default_segment_.data() + offset : seg->data() + offset;
+  }
+
+  bool dense() const { return dense_ != nullptr; }
+  uint64_t segment_size() const { return segment_size_; }
+  uint64_t total_segments() const { return segments_.size(); }
+  uint64_t materialized_segments() const {
+    uint64_t n = 0;
+    for (const auto& seg : segments_) {
+      n += seg != nullptr ? 1 : 0;
+    }
+    return n;
+  }
+
+  // True when the segment holding element `i` is materialized (always true
+  // in dense mode). Elements of unmaterialized segments equal the default,
+  // so consumers can skip whole default-valued ranges without reading them.
+  bool MaterializedAt(uint64_t i) const {
+    TPFTL_DCHECK(i < size_);
+    return dense_ != nullptr || segments_[i >> shift_] != nullptr;
+  }
+
+  // Index of the next materialized segment at or after `from` (dense mode:
+  // segment 0 covers everything). total_segments() when none. Lets sparse
+  // consumers (recovery, digests) skip untouched capacity.
+  uint64_t NextMaterializedSegment(uint64_t from) const {
+    for (uint64_t s = from; s < segments_.size(); ++s) {
+      if (segments_[s] != nullptr) {
+        return s;
+      }
+    }
+    return segments_.size();
+  }
+
+ private:
+  uint64_t size_ = 0;
+  T init_{};
+  uint64_t segment_size_ = 0;
+  uint32_t shift_ = 0;
+  T* dense_ = nullptr;  // Fast path: set iff dense mode (single eager segment).
+  std::vector<std::unique_ptr<std::vector<T>>> segments_;
+  std::vector<T> default_segment_;  // Shared backing for unmaterialized spans.
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_UTIL_SEGMENTED_ARRAY_H_

@@ -1,0 +1,254 @@
+// Device metadata log: dirty-block journaling, checkpoint epochs, torn and
+// corrupted records, trims, billing, and power-cut rollback (flash/meta.h).
+
+#include <gtest/gtest.h>
+
+#include "src/flash/fault.h"
+#include "src/flash/meta.h"
+#include "src/flash/nand.h"
+#include "src/testing/world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::SmallGeometry;
+
+TEST(MetaLogTest, JournalsFirstProgramPerBlockPerEpoch) {
+  NandFlash flash(SmallGeometry(8));
+  flash.EnableMetaJournal(true);
+
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(2, 11, &ppn);
+  flash.ProgramPage(2, 12, &ppn);  // Same block, same epoch: no new record.
+  flash.ProgramPage(5, 13, &ppn, OobKind::kTranslation);
+
+  ASSERT_EQ(flash.meta_log().size(), 2u);
+  const MetaRecord& first = flash.meta_log()[0];
+  EXPECT_EQ(first.seq, 1u);
+  EXPECT_EQ(first.type, MetaRecordType::kBlockDirty);
+  ASSERT_EQ(first.payload.size(), 2u);
+  EXPECT_EQ(first.payload[0], 2u);
+  EXPECT_EQ(first.payload[1], static_cast<uint64_t>(OobKind::kData));
+  EXPECT_TRUE(MetaRecordVerifies(first));
+
+  const MetaRecord& second = flash.meta_log()[1];
+  EXPECT_EQ(second.seq, 2u);
+  EXPECT_EQ(second.payload[0], 5u);
+  EXPECT_EQ(second.payload[1], static_cast<uint64_t>(OobKind::kTranslation));
+
+  // A checkpoint advances the epoch: the next program re-journals its block.
+  flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {0, 0});
+  EXPECT_EQ(flash.meta_epoch(), 1u);
+  flash.ProgramPage(2, 14, &ppn);
+  ASSERT_EQ(flash.meta_log().size(), 4u);
+  EXPECT_EQ(flash.meta_log()[3].payload[0], 2u);
+  EXPECT_EQ(flash.meta_log()[3].seq, 4u);
+}
+
+TEST(MetaLogTest, JournalDisabledByDefault) {
+  NandFlash flash(SmallGeometry(8));
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);
+  EXPECT_TRUE(flash.meta_log().empty());
+  EXPECT_EQ(flash.stats().meta_appends, 0u);
+}
+
+TEST(MetaLogTest, EraseResetsBlockSummaryAndRejournalsWithNewKind) {
+  NandFlash flash(SmallGeometry(8));
+  flash.EnableMetaJournal(true);
+
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(3, 7, &ppn);
+  EXPECT_EQ(flash.block_newest_seq(3), flash.OobSeq(ppn));
+  flash.InvalidatePage(ppn);
+  flash.EraseBlock(3);
+  EXPECT_EQ(flash.block_newest_seq(3), 0u);
+
+  // Still the same epoch, but the erase cleared the block's journal mark:
+  // its re-allocation (possibly to a different pool) journals again.
+  flash.ProgramPage(3, 8, &ppn, OobKind::kTranslation);
+  ASSERT_EQ(flash.meta_log().size(), 2u);
+  EXPECT_EQ(flash.meta_log()[1].payload[0], 3u);
+  EXPECT_EQ(flash.meta_log()[1].payload[1], static_cast<uint64_t>(OobKind::kTranslation));
+  EXPECT_EQ(flash.block_newest_seq(3), flash.OobSeq(ppn));
+}
+
+TEST(MetaLogTest, AppendBillingIsByteProportionalAndSeparateFromPageWrites) {
+  NandFlash flash(SmallGeometry(8));
+  const FlashStats before = flash.stats();
+  const MicroSec t = flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {1, 0, 5, 7, 9});
+  const uint64_t bytes = flash.meta_log()[0].size_bytes();
+  EXPECT_EQ(bytes, 8u * (4u + 5u));
+  EXPECT_DOUBLE_EQ(t, flash.geometry().page_write_us * static_cast<double>(bytes) /
+                          static_cast<double>(flash.geometry().page_size_bytes));
+  EXPECT_EQ(flash.stats().meta_appends, 1u);
+  EXPECT_EQ(flash.stats().meta_bytes_written, bytes);
+  EXPECT_EQ(flash.stats().page_writes, before.page_writes);
+  EXPECT_DOUBLE_EQ(flash.stats().busy_time_us, before.busy_time_us + t);
+}
+
+TEST(MetaLogTest, TrimDropsRecordsBeforeSeq) {
+  NandFlash flash(SmallGeometry(8));
+  flash.AppendMetaRecord(MetaRecordType::kBlockDirty, {0, 1});
+  flash.AppendMetaRecord(MetaRecordType::kBlockDirty, {1, 1});
+  flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {0, 0});
+  flash.TrimMetaLogBefore(3);
+  ASSERT_EQ(flash.meta_log().size(), 1u);
+  EXPECT_EQ(flash.meta_log()[0].seq, 3u);
+  EXPECT_EQ(flash.meta_log()[0].type, MetaRecordType::kCheckpoint);
+  EXPECT_EQ(flash.stats().meta_trims, 1u);
+  // Seqs keep counting past the trim — no gap is introduced.
+  flash.AppendMetaRecord(MetaRecordType::kBlockDirty, {2, 1});
+  EXPECT_EQ(flash.meta_log()[1].seq, 4u);
+}
+
+TEST(MetaLogTest, PowerCutOnAppendLeavesTornTailAfterRestore) {
+  NandFlash flash(SmallGeometry(8));
+  flash.EnableMetaJournal(true);
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);  // Ops 1 (journal append) + 2 (program).
+
+  FaultPlan plan;
+  plan.power_cut_at_op = 3;  // The journal append for block 1.
+  flash.InstallFaultPlan(plan);
+  flash.ProgramPage(1, 2, &ppn);  // Append torn at op 3; program is op 4.
+  ASSERT_TRUE(flash.power_cut_triggered());
+  // Post-cut activity that must be rolled back wholesale.
+  flash.ProgramPage(4, 3, &ppn);
+
+  flash.RestoreToCutInstant();
+  ASSERT_EQ(flash.meta_log().size(), 2u);
+  EXPECT_TRUE(MetaRecordVerifies(flash.meta_log()[0]));
+  const MetaRecord& torn = flash.meta_log()[1];
+  EXPECT_EQ(torn.seq, 2u);
+  EXPECT_FALSE(MetaRecordVerifies(torn));
+  // The guarded program (op 4) never happened: WAL ordering holds.
+  EXPECT_EQ(flash.block(1).free_pages(), flash.geometry().pages_per_block);
+  EXPECT_EQ(flash.block(4).free_pages(), flash.geometry().pages_per_block);
+  // The torn append still consumed its sequence number.
+  flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {0, 0});
+  EXPECT_EQ(flash.meta_log().back().seq, 3u);
+}
+
+TEST(MetaLogTest, PowerCutOnTornCheckpointRollsEpochBack) {
+  NandFlash flash(SmallGeometry(8));
+  FaultPlan plan;
+  plan.power_cut_at_op = 1;
+  flash.InstallFaultPlan(plan);
+  flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {0, 0});
+  ASSERT_TRUE(flash.power_cut_triggered());
+  flash.RestoreToCutInstant();
+  EXPECT_EQ(flash.meta_epoch(), 0u);  // The torn checkpoint never counted.
+  ASSERT_EQ(flash.meta_log().size(), 1u);
+  EXPECT_FALSE(MetaRecordVerifies(flash.meta_log()[0]));
+}
+
+TEST(MetaLogTest, PowerCutOnTrimDiscardsItWholesale) {
+  NandFlash flash(SmallGeometry(8));
+  flash.AppendMetaRecord(MetaRecordType::kBlockDirty, {0, 1});
+  flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {0, 0});
+  FaultPlan plan;
+  plan.power_cut_at_op = 3;
+  flash.InstallFaultPlan(plan);
+  flash.TrimMetaLogBefore(2);
+  ASSERT_TRUE(flash.power_cut_triggered());
+  flash.RestoreToCutInstant();
+  ASSERT_EQ(flash.meta_log().size(), 2u);  // Trim rolled back; no torn state.
+  EXPECT_TRUE(MetaRecordVerifies(flash.meta_log()[0]));
+  EXPECT_TRUE(MetaRecordVerifies(flash.meta_log()[1]));
+}
+
+TEST(MetaLogTest, TestHooksModelBitRotAndSequenceGaps) {
+  NandFlash flash(SmallGeometry(8));
+  flash.AppendMetaRecord(MetaRecordType::kBlockDirty, {0, 1});
+  flash.AppendMetaRecord(MetaRecordType::kBlockDirty, {1, 1});
+  flash.AppendMetaRecord(MetaRecordType::kBlockDirty, {2, 1});
+
+  flash.TestOnlyCorruptMetaRecord(1);
+  EXPECT_TRUE(MetaRecordVerifies(flash.meta_log()[0]));
+  EXPECT_FALSE(MetaRecordVerifies(flash.meta_log()[1]));
+
+  flash.TestOnlyDropMetaRecord(1);
+  ASSERT_EQ(flash.meta_log().size(), 2u);
+  EXPECT_EQ(flash.meta_log()[0].seq, 1u);
+  EXPECT_EQ(flash.meta_log()[1].seq, 3u);  // Gap: 2 is missing.
+}
+
+TEST(MetaLogTest, CheckpointFoldsGtdDeltasIntoDirectory) {
+  NandFlash flash(SmallGeometry(8));
+  EXPECT_EQ(flash.checkpoint_gtd_ppn(0), kInvalidPpn);
+  flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {2, 0, /*vtpn=*/0, 10, 5,
+                                                       /*vtpn=*/3, 20, 6});
+  EXPECT_EQ(flash.checkpoint_gtd_ppn(0), 10u);
+  EXPECT_EQ(flash.checkpoint_gtd_seq(0), 5u);
+  EXPECT_EQ(flash.checkpoint_gtd_ppn(3), 20u);
+  EXPECT_EQ(flash.checkpoint_gtd_ppn(1), kInvalidPpn);
+
+  // Deltas are cumulative: the next checkpoint only touches what it names.
+  flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {1, 0, /*vtpn=*/0, 11, 7});
+  EXPECT_EQ(flash.checkpoint_gtd_ppn(0), 11u);
+  EXPECT_EQ(flash.checkpoint_gtd_ppn(3), 20u);
+  EXPECT_EQ(flash.meta_records_since_checkpoint(), 0u);
+
+  // A torn checkpoint's fold rolls back with the cut.
+  FaultPlan plan;
+  plan.power_cut_at_op = flash.op_index() + 1;
+  flash.InstallFaultPlan(plan);
+  flash.AppendMetaRecord(MetaRecordType::kCheckpoint, {1, 0, /*vtpn=*/0, 12, 8});
+  flash.RestoreToCutInstant();
+  EXPECT_EQ(flash.checkpoint_gtd_ppn(0), 11u);
+  EXPECT_FALSE(MetaRecordVerifies(flash.meta_log().back()));
+}
+
+TEST(MetaLogTest, BlockPoolKindTracksReadablePages) {
+  NandFlash flash(SmallGeometry(8));
+  EXPECT_EQ(flash.block_pool_kind(2), OobKind::kNone);
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(2, 1, &ppn, OobKind::kTranslation);
+  EXPECT_EQ(flash.block_pool_kind(2), OobKind::kTranslation);
+  flash.InvalidatePage(ppn);
+  flash.EraseBlock(2);
+  EXPECT_EQ(flash.block_pool_kind(2), OobKind::kNone);
+  flash.ProgramPage(2, 1, &ppn);
+  EXPECT_EQ(flash.block_pool_kind(2), OobKind::kData);
+
+  // A torn-only block stays kNone (no readable pages).
+  FaultPlan plan;
+  plan.fail_program_at = {flash.op_index() + 1};
+  flash.InstallFaultPlan(plan);
+  flash.ProgramPage(6, 9, &ppn);
+  EXPECT_EQ(ppn, kInvalidPpn);
+  EXPECT_EQ(flash.block_pool_kind(6), OobKind::kNone);
+  EXPECT_EQ(flash.block_newest_seq(6), 0u);
+}
+
+TEST(MetaLogTest, PersistedMirrorSurvivesOnlyUpToTheCut) {
+  NandFlash flash(SmallGeometry(8));
+  flash.SetPersistedMapping(5, 100);
+  EXPECT_EQ(flash.PersistedMapping(5), 100u);
+  EXPECT_EQ(flash.PersistedMapping(6), kInvalidPpn);
+
+  FaultPlan plan;
+  plan.power_cut_at_op = 1;
+  flash.InstallFaultPlan(plan);
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);  // The cut op.
+  flash.SetPersistedMapping(5, 200);  // After the cut: rolled back.
+  flash.RestoreToCutInstant();
+  EXPECT_EQ(flash.PersistedMapping(5), 100u);
+}
+
+TEST(MetaLogTest, SparseGeometryKeepsResidentSegmentsProportionalToFootprint) {
+  FlashGeometry g = SmallGeometry(64);
+  g.sparse_segment_pages = g.entries_per_translation_page();
+  NandFlash flash(g);
+  const uint64_t before = flash.ResidentSegments();
+  Ppn ppn = kInvalidPpn;
+  flash.ProgramPage(0, 1, &ppn);
+  EXPECT_GT(flash.ResidentSegments(), before);
+  EXPECT_LT(flash.ResidentSegments(), 6 * flash.geometry().total_pages() /
+                                          g.sparse_segment_pages);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -87,7 +87,7 @@ INSTANTIATE_TEST_SUITE_P(
                           FtlKind::kFast, FtlKind::kZftl),
         ::testing::Values(std::string("plain"), std::string("faulty"),
                           std::string("powercut"), std::string("buffered"),
-                          std::string("parallel"))),
+                          std::string("parallel"), std::string("checkpointed"))),
     [](const ::testing::TestParamInfo<Param>& info) {
       std::string name = std::string(FtlKindName(std::get<0>(info.param))) + "_" +
                          std::get<1>(info.param);

@@ -215,5 +215,69 @@ TEST(ObservabilityTest, ResetStatsStartsANewQueueingEpoch) {
   EXPECT_DOUBLE_EQ(ssd.response_stats().max(), 4 * S);
 }
 
+// Device-metrics mirror: with checkpointing enabled, journal/checkpoint
+// activity shows up in the registry; with it disabled, the mirrored counters
+// stay zero and a sparse device still reports its resident arena segments.
+TEST(ObservabilityTest, CheckpointActivityIsMirroredIntoMetrics) {
+  SsdConfig ssd_config;
+  ssd_config.logical_bytes = 16ULL << 20;
+  ssd_config.ftl_kind = FtlKind::kTpftl;
+  ssd_config.checkpoint.enabled = true;
+  ssd_config.checkpoint.interval_host_ops = 64;
+  Ssd ssd(ssd_config);
+
+  IoRequest req;
+  req.size_bytes = 4096;
+  req.kind = IoKind::kWrite;
+  req.arrival_us = 0.0;
+  for (int i = 0; i < 512; ++i) {
+    req.offset_bytes = static_cast<uint64_t>(i % 64) * 4096;
+    ssd.Submit(req);
+  }
+  obs::MetricsRegistry& m = ssd.metrics();
+  EXPECT_GT(m.counter("flash.journal_appends")->value(), 0u);
+  EXPECT_GT(m.counter("flash.checkpoint_bytes_written")->value(), 0u);
+  EXPECT_EQ(m.counter("flash.journal_appends")->value(),
+            ssd.flash().stats().meta_appends);
+  EXPECT_EQ(m.counter("flash.checkpoint_bytes_written")->value(),
+            ssd.flash().stats().meta_bytes_written);
+  // Dense device: every backing array is one eager segment.
+  EXPECT_GT(m.gauge("flash.resident_segments")->value(), 0.0);
+
+  // ResetStats clears the mirrored counters along with the flash stats.
+  ssd.ResetStats();
+  EXPECT_EQ(m.counter("flash.journal_appends")->value(), 0u);
+  EXPECT_EQ(m.counter("flash.checkpoint_bytes_written")->value(), 0u);
+}
+
+TEST(ObservabilityTest, SparseDeviceReportsResidentSegmentsNotCapacity) {
+  SsdConfig ssd_config;
+  ssd_config.logical_bytes = 1ULL << 30;  // 1 GB virtual.
+  ssd_config.ftl_kind = FtlKind::kDftl;
+  ssd_config.sparse_segment_pages = 1 << 12;  // 4096-page arena segments.
+  Ssd ssd(ssd_config);
+
+  const double before = ssd.metrics().gauge("flash.resident_segments")->value();
+  IoRequest req;
+  req.size_bytes = 4096;
+  req.kind = IoKind::kWrite;
+  req.arrival_us = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    req.offset_bytes = static_cast<uint64_t>(i) * 4096;
+    ssd.Submit(req);
+  }
+  // Force a sync without requiring checkpointing: ResetStats re-seeds the
+  // gauge from the device.
+  ssd.ResetStats();
+  const double after = ssd.metrics().gauge("flash.resident_segments")->value();
+  EXPECT_GT(after, 0.0);
+  EXPECT_GE(after, before);
+  // A 256-page footprint on a 1 GB device must stay far below the dense
+  // segment population (6 arrays × total_pages/4096 segments each).
+  const double dense_segments = 6.0 *
+      static_cast<double>(ssd.geometry().total_pages()) / 4096.0;
+  EXPECT_LT(after, dense_segments / 4.0);
+}
+
 }  // namespace
 }  // namespace tpftl

@@ -1,0 +1,111 @@
+#include "src/util/segmented_array.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "gtest/gtest.h"
+
+namespace tpftl {
+namespace {
+
+TEST(SegmentedArrayTest, DenseModeBehavesLikeFlatArray) {
+  SegmentedArray<uint64_t> a(100, 7);
+  EXPECT_TRUE(a.dense());
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a.total_segments(), 1u);
+  EXPECT_EQ(a.materialized_segments(), 1u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Get(i), 7u);
+  }
+  a.Set(3, 42);
+  a.Set(99, 43);
+  EXPECT_EQ(a.Get(3), 42u);
+  EXPECT_EQ(a.Get(99), 43u);
+  EXPECT_EQ(a.Span(3, 2)[0], 42u);
+}
+
+TEST(SegmentedArrayTest, SparseMaterializesOnlyWrittenSegments) {
+  SegmentedArray<uint32_t> a(1024, 5, 64);
+  EXPECT_FALSE(a.dense());
+  EXPECT_EQ(a.total_segments(), 16u);
+  EXPECT_EQ(a.materialized_segments(), 0u);
+
+  // Reads and default-valued writes never allocate.
+  EXPECT_EQ(a.Get(500), 5u);
+  a.Set(500, 5);
+  EXPECT_EQ(a.materialized_segments(), 0u);
+
+  a.Set(500, 9);
+  EXPECT_EQ(a.materialized_segments(), 1u);
+  EXPECT_EQ(a.Get(500), 9u);
+  EXPECT_EQ(a.Get(501), 5u);  // Same segment, still default.
+  EXPECT_EQ(a.Get(0), 5u);    // Different segment, untouched.
+
+  a.Set(1023, 11);
+  EXPECT_EQ(a.materialized_segments(), 2u);
+  EXPECT_EQ(a.Get(1023), 11u);
+}
+
+TEST(SegmentedArrayTest, SpanServesSharedDefaultSegmentWithoutAllocating) {
+  SegmentedArray<uint32_t> a(1024, 5, 64);
+  const uint32_t* span = a.Span(128, 64);
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(span[i], 5u);
+  }
+  EXPECT_EQ(a.materialized_segments(), 0u);
+
+  a.Set(130, 77);
+  const uint32_t* live = a.Span(128, 64);
+  EXPECT_EQ(live[2], 77u);
+  EXPECT_EQ(live[0], 5u);
+}
+
+TEST(SegmentedArrayTest, PartialTailSegment) {
+  SegmentedArray<uint8_t> a(100, 0, 64);  // Tail segment covers 36 elements.
+  EXPECT_EQ(a.total_segments(), 2u);
+  a.Set(99, 1);
+  EXPECT_EQ(a.Get(99), 1u);
+  EXPECT_EQ(a.materialized_segments(), 1u);
+}
+
+TEST(SegmentedArrayTest, DeepCopyIsIndependent) {
+  SegmentedArray<uint64_t> a(256, 0, 64);
+  a.Set(10, 100);
+  SegmentedArray<uint64_t> b(a);
+  b.Set(10, 200);
+  b.Set(200, 300);
+  EXPECT_EQ(a.Get(10), 100u);
+  EXPECT_EQ(a.Get(200), 0u);
+  EXPECT_EQ(a.materialized_segments(), 1u);
+  EXPECT_EQ(b.Get(10), 200u);
+  EXPECT_EQ(b.Get(200), 300u);
+  EXPECT_EQ(b.materialized_segments(), 2u);
+
+  // Copy-assign and move keep the dense fast path intact.
+  SegmentedArray<uint64_t> c(8, 1);
+  c = a;
+  EXPECT_EQ(c.Get(10), 100u);
+  SegmentedArray<uint64_t> d(std::move(c));
+  EXPECT_EQ(d.Get(10), 100u);
+
+  SegmentedArray<uint64_t> dense(16, 3);
+  dense.Set(4, 9);
+  SegmentedArray<uint64_t> dense_copy(dense);
+  EXPECT_TRUE(dense_copy.dense());
+  dense_copy.Set(4, 10);
+  EXPECT_EQ(dense.Get(4), 9u);
+  EXPECT_EQ(dense_copy.Get(4), 10u);
+}
+
+TEST(SegmentedArrayTest, NextMaterializedSegmentSkipsHoles) {
+  SegmentedArray<uint64_t> a(1024, 0, 64);
+  EXPECT_EQ(a.NextMaterializedSegment(0), a.total_segments());
+  a.Set(3 * 64, 1);
+  a.Set(9 * 64 + 5, 2);
+  EXPECT_EQ(a.NextMaterializedSegment(0), 3u);
+  EXPECT_EQ(a.NextMaterializedSegment(4), 9u);
+  EXPECT_EQ(a.NextMaterializedSegment(10), a.total_segments());
+}
+
+}  // namespace
+}  // namespace tpftl
