@@ -56,15 +56,17 @@ inline void Emit(const Table& table) {
 }
 
 // The comparison set of §5 (CDFTL was measured but dropped from the paper's
-// plots; it is included here as an extension).
+// plots; it and LearnedFTL are included here as extensions).
 inline std::vector<FtlKind> PaperFtls() {
-  return {FtlKind::kDftl, FtlKind::kTpftl, FtlKind::kSftl, FtlKind::kOptimal, FtlKind::kCdftl};
+  return {FtlKind::kDftl,    FtlKind::kTpftl, FtlKind::kSftl,
+          FtlKind::kOptimal, FtlKind::kCdftl, FtlKind::kLearned};
 }
 
 // Every implemented FTL, in factory-enum order.
 inline std::vector<FtlKind> AllFtls() {
-  return {FtlKind::kOptimal, FtlKind::kDftl,     FtlKind::kCdftl, FtlKind::kSftl,
-          FtlKind::kTpftl,   FtlKind::kBlockFtl, FtlKind::kFast,  FtlKind::kZftl};
+  return {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl,
+          FtlKind::kSftl,    FtlKind::kTpftl, FtlKind::kBlockFtl,
+          FtlKind::kFast,    FtlKind::kZftl,  FtlKind::kLearned};
 }
 
 // The GC-heavy end-to-end mix shared by bench_e2e_replay and

@@ -296,7 +296,6 @@ void WriteJson(const std::vector<E2eResult>& results, const std::vector<SweepPoi
        << ", \"ns_per_request\": " << FormatDouble(r.ns_per_request(), 0)
        << ", \"gc_time_share\": " << FormatDouble(r.gc_time_share, 4)
        << ",\n       \"p99_us\": " << FormatDouble(r.report.p99_response_us, 2)
-       << ", \"p99_log2_ub_us\": " << FormatDouble(r.report.p99_log2_ub_us, 0)
        << ",\n       \"hit_ratio\": " << FormatDouble(r.report.hit_ratio, 6)
        << ", \"prd\": " << FormatDouble(r.report.prd, 6)
        << ", \"write_amplification\": " << FormatDouble(r.report.write_amplification, 6)
@@ -386,19 +385,15 @@ int Main(int argc, char** argv) {
   std::vector<E2eResult> results;
   Table table("End-to-end replay throughput (" + config.workload.name + ")");
   table.SetColumns({"FTL", "requests", "wall s", "req/s", "ns/req", "GC share", "Hr", "WA",
-                    "erases", "p99 us", "old p99 ub"});
+                    "erases", "p99 us"});
   for (const FtlKind kind : kinds) {
     E2eResult r = ReplayOne(config, trace, kind);
-    // "old p99 ub" is what the retired log2-bucketed histogram would have
-    // reported as p99 (its bucket upper bound) — kept to surface how much the
-    // old quantiles overstated the tail.
     table.AddRow({r.ftl, std::to_string(r.requests), FormatDouble(r.wall_seconds, 2),
                   FormatDouble(r.requests_per_sec(), 0), FormatDouble(r.ns_per_request(), 0),
                   FormatDouble(r.gc_time_share, 3), FormatDouble(r.report.hit_ratio, 3),
                   FormatDouble(r.report.write_amplification, 3),
                   std::to_string(r.report.block_erases),
-                  FormatDouble(r.report.p99_response_us, 1),
-                  FormatDouble(r.report.p99_log2_ub_us, 0)});
+                  FormatDouble(r.report.p99_response_us, 1)});
     results.push_back(std::move(r));
   }
   bench::Emit(table);

@@ -105,6 +105,12 @@ void WriteJson(const std::vector<BreakdownRow>& rows, const std::string& label,
        << ", \"user_us\": " << FormatDouble(r.phase_mean_us(obs::Phase::kUser), 3)
        << ", \"gc_us\": " << FormatDouble(r.phase_mean_us(obs::Phase::kGc), 3)
        << ", \"flush_us\": " << FormatDouble(r.phase_mean_us(obs::Phase::kFlush), 3)
+       << ",\n       \"trans_reads\": " << r.report.trans_reads
+       << ", \"trans_writes\": " << r.report.trans_writes
+       << ", \"model_hits\": " << r.report.stats.model_hits
+       << ", \"model_misses\": " << r.report.stats.model_misses
+       << ", \"model_probe_reads\": " << r.report.stats.model_probe_reads
+       << ", \"model_retrains\": " << r.report.stats.model_retrains
        << ",\n       \"gc_victim_scans\": " << r.report.phases.gc_victim_scans
        << ", \"sum_check_ratio\": " << FormatDouble(r.sum_check_ratio(), 6) << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";

@@ -63,23 +63,18 @@ uint64_t MaxCapacityGbFromEnv() {
   return 1024;
 }
 
-// Checkpoint cadence per FTL family. Optimal/BlockFTL/FAST snapshot their
-// full table into every checkpoint record (they keep no flash-resident
-// translation pages), so each checkpoint is expensive: their cadence is
-// driven by the journal-record cap alone (the ops interval is parked high —
-// it would add cost without shrinking the dirty window). The demand FTLs
-// write small GTD/dirty deltas and afford a tight cadence, which is where
-// the headline reboot speedup comes from.
+// Checkpoint cadence. One tight cadence fits every FTL family now: the
+// RAM-table kinds (Optimal/BlockFTL/FAST) used to re-serialize their whole
+// live map into each record — forcing a parked-high interval and a wide
+// dirty window — but with the cumulative data directory they append only
+// the mappings changed since the previous checkpoint, the same
+// delta-per-record cost profile as the demand FTLs' GTD deltas.
 CheckpointConfig PerKindCheckpoint(FtlKind kind) {
+  (void)kind;
   CheckpointConfig c;
   c.enabled = true;
-  if (kind == FtlKind::kOptimal || kind == FtlKind::kBlockFtl || kind == FtlKind::kFast) {
-    c.interval_host_ops = 8192;
-    c.max_journal_records = 48;
-  } else {
-    c.interval_host_ops = 256;
-    c.max_journal_records = 24;
-  }
+  c.interval_host_ops = 256;
+  c.max_journal_records = 24;
   return c;
 }
 
@@ -377,9 +372,7 @@ int Main(int argc, char** argv) {
   Table by_ftl("Reboot after a power cut — checkpointed vs full scan, all FTLs, 50% writes, " +
                std::to_string(ops) + " ops");
   by_ftl.SetColumns(columns);
-  for (const FtlKind kind :
-       {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl, FtlKind::kTpftl,
-        FtlKind::kBlockFtl, FtlKind::kFast, FtlKind::kZftl}) {
+  for (const FtlKind kind : bench::AllFtls()) {
     std::cerr << "  recovering " << FtlKindName(kind) << " ..." << std::endl;
     RecoveryRun r = MeasureOne(kind, ops, 0.5);
     AddRow(by_ftl, r, r.ftl);
@@ -401,9 +394,7 @@ int Main(int argc, char** argv) {
 
   Table overhead_table("Foreground cost of journaling + checkpoints — same workload, off vs on");
   overhead_table.SetColumns({"", "interval", "baseline ms", "ckpt ms", "overhead %"});
-  for (const FtlKind kind :
-       {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl, FtlKind::kTpftl,
-        FtlKind::kBlockFtl, FtlKind::kFast, FtlKind::kZftl}) {
+  for (const FtlKind kind : bench::AllFtls()) {
     std::cerr << "  overhead " << FtlKindName(kind) << " ..." << std::endl;
     OverheadRun o = MeasureOverhead(kind, ops, 0.5);
     overhead_table.AddRow({o.ftl, std::to_string(o.checkpoint_interval),

@@ -39,7 +39,7 @@ int main() {
   const uint64_t requests = std::min<uint64_t>(RequestsFromEnv(), 150000);
   const std::vector<FtlKind> all = {FtlKind::kBlockFtl, FtlKind::kFast,  FtlKind::kZftl,
                                     FtlKind::kDftl,     FtlKind::kSftl,  FtlKind::kTpftl,
-                                    FtlKind::kOptimal};
+                                    FtlKind::kLearned,  FtlKind::kOptimal};
 
   for (const auto& workload :
        {MakeMix("sequential-write", 0.95, requests), MakeMix("random-write", 0.0, requests)}) {

@@ -25,6 +25,13 @@ def _require(cond, path, message):
         raise ValueError(f"{path}: {message}")
 
 
+# Fields that must never reappear in any bench artifact. p99_log2_ub_us was
+# the log2-bucket histogram upper bound — an estimator the sub-bucketed
+# histogram obsoleted and whose up-to-2x inflation kept getting quoted as a
+# real percentile.
+_BANNED_FIELDS = frozenset({"p99_log2_ub_us"})
+
+
 def _check_fields(obj, fields, path, optional=None):
     """fields: name -> type; every field must be present and typed.
 
@@ -32,6 +39,8 @@ def _check_fields(obj, fields, path, optional=None):
     schema after runs were already recorded).
     """
     _require(isinstance(obj, dict), path, f"expected object, got {type(obj).__name__}")
+    for name in _BANNED_FIELDS:
+        _require(name not in obj, path, f"banned field '{name}' present")
     for name, kind in fields.items():
         _require(name in obj, path, f"missing field '{name}'")
         _require(
@@ -91,9 +100,11 @@ def _check_e2e(doc, path):
             "trans_reads": _INT,
             "trans_writes": _INT,
         },
-        # Added with the observability layer; runs recorded earlier lack them.
-        optional_fields={"p99_us": _NUM, "p99_log2_ub_us": _NUM},
+        # Added with the observability layer; runs recorded earlier lack it.
+        optional_fields={"p99_us": _NUM},
     )
+    for i, run in enumerate(doc["runs"]):
+        _require_ftl_row(run["results"], "LearnedFTL", f"{path}.runs[{i}]")
 
 
 def _check_e2e_v2(doc, path):
@@ -151,6 +162,14 @@ def _check_e2e_v2(doc, path):
         _check_die_utilization(point, point["dies"], ppath)
 
 
+def _require_ftl_row(rows, ftl_name, path):
+    _require(
+        any(row.get("ftl") == ftl_name for row in rows),
+        path,
+        f"no '{ftl_name}' row — the bench must cover every implemented FTL",
+    )
+
+
 def _check_die_utilization(point, dies, path):
     util = point["die_utilization"]
     _require(len(util) == dies, path, f"die_utilization has {len(util)} entries for {dies} dies")
@@ -180,21 +199,38 @@ def _check_latency(doc, path):
             "user_us": _NUM,
             "gc_us": _NUM,
             "flush_us": _NUM,
+            "trans_reads": _INT,
+            "trans_writes": _INT,
+            "model_hits": _INT,
+            "model_misses": _INT,
+            "model_probe_reads": _INT,
+            "model_retrains": _INT,
             "gc_victim_scans": _INT,
             "sum_check_ratio": _NUM,
         },
     )
-    # The load-bearing invariant: queue + phase flash time reconstructs the
-    # measured response total within 0.1% for every FTL.
     for i, run in enumerate(doc["runs"]):
+        rpath = f"{path}.runs[{i}]"
+        _require_ftl_row(run["results"], "LearnedFTL", rpath)
         for j, row in enumerate(run["results"]):
+            # The load-bearing invariant: queue + phase flash time
+            # reconstructs the measured response total within 0.1%.
             ratio = row["sum_check_ratio"]
             _require(
                 0.999 <= ratio <= 1.001,
-                f"{path}.runs[{i}].results[{j}]",
+                f"{rpath}.results[{j}]",
                 f"sum_check_ratio {ratio} outside [0.999, 1.001] — "
                 "phase attribution does not reconstruct response time",
             )
+            # Learned-index counters only move for the learned FTL; a nonzero
+            # count elsewhere means stats plumbing leaked across FTLs.
+            if row["ftl"] != "LearnedFTL":
+                for field in ("model_hits", "model_misses", "model_probe_reads", "model_retrains"):
+                    _require(
+                        row[field] == 0,
+                        f"{rpath}.results[{j}]",
+                        f"model-free FTL {row['ftl']!r} has nonzero {field}",
+                    )
 
 
 def _check_recovery(doc, path):
@@ -267,6 +303,7 @@ def _check_recovery_v2(doc, path):
             rpath,
             f"reboot_speedup {run['reboot_speedup']} is not > 1",
         )
+    _require_ftl_row(doc["runs"], "LearnedFTL", f"{path}.runs")
     _require(
         isinstance(doc.get("foreground_overhead"), list) and doc["foreground_overhead"],
         path,

@@ -4,6 +4,7 @@
 #include "src/ftl/cdftl.h"
 #include "src/ftl/dftl.h"
 #include "src/ftl/fast_ftl.h"
+#include "src/ftl/learned_ftl.h"
 #include "src/ftl/optimal_ftl.h"
 #include "src/ftl/sftl.h"
 #include "src/ftl/zftl.h"
@@ -30,6 +31,8 @@ const char* FtlKindName(FtlKind kind) {
       return "FAST";
     case FtlKind::kZftl:
       return "ZFTL";
+    case FtlKind::kLearned:
+      return "LearnedFTL";
   }
   return "?";
 }
@@ -59,6 +62,9 @@ std::optional<FtlKind> FtlKindByName(const std::string& name) {
   if (EqualsIgnoreCase(name, "zftl")) {
     return FtlKind::kZftl;
   }
+  if (EqualsIgnoreCase(name, "learnedftl") || EqualsIgnoreCase(name, "learned")) {
+    return FtlKind::kLearned;
+  }
   return std::nullopt;
 }
 
@@ -81,6 +87,8 @@ std::unique_ptr<Ftl> CreateFtl(FtlKind kind, const FtlEnv& env,
       return std::make_unique<FastFtl>(env);
     case FtlKind::kZftl:
       return std::make_unique<Zftl>(env);
+    case FtlKind::kLearned:
+      return std::make_unique<LearnedFtl>(env);
   }
   TPFTL_CHECK_MSG(false, "unknown FTL kind");
   return nullptr;

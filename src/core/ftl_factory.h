@@ -13,7 +13,7 @@
 
 namespace tpftl {
 
-enum class FtlKind { kOptimal, kDftl, kCdftl, kSftl, kTpftl, kBlockFtl, kFast, kZftl };
+enum class FtlKind { kOptimal, kDftl, kCdftl, kSftl, kTpftl, kBlockFtl, kFast, kZftl, kLearned };
 
 const char* FtlKindName(FtlKind kind);
 std::optional<FtlKind> FtlKindByName(const std::string& name);

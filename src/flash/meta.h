@@ -73,7 +73,11 @@ inline std::vector<uint64_t> EncodeBlockDirty(uint64_t block, uint8_t kind) {
   return {block, static_cast<uint64_t>(kind)};
 }
 
-// kCheckpoint payload: [G, D, G × (vtpn, ptpn, seq), D × (lpn, ppn, seq)].
+// kCheckpoint payload, two layouts:
+//   legacy:  [G, D,        G × (vtpn, ptpn, seq), D × (lpn, ppn, seq)]
+//   flagged: [G, D, flags, G × (vtpn, ptpn, seq), D × (lpn, ppn, seq)]
+// The layouts are unambiguous — their sizes differ by exactly one word for
+// any (G, D) — and legacy parses as flags == 0.
 //
 // The G translation-directory triples are *deltas* — entries whose GTD slot
 // changed since the previous checkpoint. The device folds them into its
@@ -82,11 +86,24 @@ inline std::vector<uint64_t> EncodeBlockDirty(uint64_t block, uint8_t kind) {
 // stays proportional to the dirty window while recovery still reads a full
 // directory. The D data triples are the point-in-time dirty cached mappings
 // (not yet persisted to translation pages) and are replayed from the log.
+//
+// With kCheckpointFlagCumulativeData set (RAM-table FTLs — their whole map
+// is "dirty cache", nothing is ever persisted to translation pages), the D
+// triples are *deltas since the previous checkpoint* instead, folded into a
+// device-side cumulative data directory exactly like the GTD triples; a
+// triple with ppn == kInvalidPpn clears its entry (a TRIM or a mapping that
+// vanished). Recovery then reads the cumulative directory rather than
+// replaying one record's full map.
+constexpr uint64_t kCheckpointFlagCumulativeData = 1;
+
 struct CheckpointView {
   uint64_t gtd_count = 0;
   uint64_t dirty_count = 0;
+  uint64_t flags = 0;
   const uint64_t* gtd = nullptr;    // G triples, 3 words each.
   const uint64_t* dirty = nullptr;  // D triples, 3 words each.
+
+  bool cumulative_data() const { return (flags & kCheckpointFlagCumulativeData) != 0; }
 };
 
 inline bool ParseCheckpointPayload(const std::vector<uint64_t>& payload, CheckpointView* view) {
@@ -95,13 +112,20 @@ inline bool ParseCheckpointPayload(const std::vector<uint64_t>& payload, Checkpo
   }
   const uint64_t g = payload[0];
   const uint64_t d = payload[1];
-  if (payload.size() != 2 + 3 * (g + d)) {
+  uint64_t header = 0;
+  if (payload.size() == 2 + 3 * (g + d)) {
+    header = 2;
+    view->flags = 0;
+  } else if (payload.size() == 3 + 3 * (g + d)) {
+    header = 3;
+    view->flags = payload[2];
+  } else {
     return false;
   }
   view->gtd_count = g;
   view->dirty_count = d;
-  view->gtd = payload.data() + 2;
-  view->dirty = payload.data() + 2 + 3 * g;
+  view->gtd = payload.data() + header;
+  view->dirty = payload.data() + header + 3 * g;
   return true;
 }
 

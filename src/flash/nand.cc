@@ -38,6 +38,9 @@ struct NandFlash::PowerSnapshot {
   SegmentedArray<Ppn> persisted;
   SegmentedArray<Ppn> ckpt_gtd_ppn;
   SegmentedArray<uint64_t> ckpt_gtd_seq;
+  SegmentedArray<Ppn> ckpt_data_ppn;
+  SegmentedArray<uint64_t> ckpt_data_seq;
+  uint64_t ckpt_data_entries = 0;
 };
 
 NandFlash::NandFlash(const FlashGeometry& geometry)
@@ -56,7 +59,9 @@ NandFlash::NandFlash(const FlashGeometry& geometry)
       block_pool_kind_(geometry.total_blocks, static_cast<uint8_t>(OobKind::kNone)),
       persisted_(geometry.total_pages(), kInvalidPpn, geometry.sparse_segment_pages),
       ckpt_gtd_ppn_(geometry.total_pages(), kInvalidPpn, geometry.sparse_segment_pages),
-      ckpt_gtd_seq_(geometry.total_pages(), 0, geometry.sparse_segment_pages) {
+      ckpt_gtd_seq_(geometry.total_pages(), 0, geometry.sparse_segment_pages),
+      ckpt_data_ppn_(geometry.total_pages(), kInvalidPpn, geometry.sparse_segment_pages),
+      ckpt_data_seq_(geometry.total_pages(), 0, geometry.sparse_segment_pages) {
   TPFTL_CHECK(geometry.total_blocks > 0);
   TPFTL_CHECK_MSG(geometry.ParallelLayoutValid(),
                   "channels/dies/planes must be powers of two");
@@ -214,6 +219,29 @@ MicroSec NandFlash::AppendMetaRecord(MetaRecordType type, std::vector<uint64_t> 
       ckpt_gtd_ppn_.Set(triple[0], triple[1]);
       ckpt_gtd_seq_.Set(triple[0], triple[2]);
     }
+    if (view.cumulative_data()) {
+      // Cumulative-data mode: the dirty triples are deltas against the
+      // device-side data directory; fold them like the GTD triples. A
+      // kInvalidPpn triple clears its entry (TRIM / vanished mapping).
+      for (uint64_t i = 0; i < view.dirty_count; ++i) {
+        const uint64_t* triple = view.dirty + 3 * i;
+        const Lpn lpn = triple[0];
+        const bool was_live = ckpt_data_ppn_.Get(lpn) != kInvalidPpn;
+        if (triple[1] == kInvalidPpn) {
+          if (was_live) {
+            ckpt_data_ppn_.Set(lpn, kInvalidPpn);
+            ckpt_data_seq_.Set(lpn, 0);
+            --ckpt_data_entries_;
+          }
+        } else {
+          ckpt_data_ppn_.Set(lpn, triple[1]);
+          ckpt_data_seq_.Set(lpn, triple[2]);
+          if (!was_live) {
+            ++ckpt_data_entries_;
+          }
+        }
+      }
+    }
   } else {
     ++meta_records_since_checkpoint_;
   }
@@ -289,7 +317,8 @@ bool NandFlash::MaybeArmPowerCut(uint64_t op) {
       arena_, oob_, oob_seq_, oob_kind_, bad_, stats_, die_free_at_, die_busy_us_,
       program_seq_, meta_log_, meta_seq_, meta_epoch_, block_epoch_,
       block_newest_seq_, block_pool_kind_, meta_records_since_checkpoint_,
-      persisted_, ckpt_gtd_ppn_, ckpt_gtd_seq_});
+      persisted_, ckpt_gtd_ppn_, ckpt_gtd_seq_, ckpt_data_ppn_, ckpt_data_seq_,
+      ckpt_data_entries_});
   power_cut_ = true;
   return true;
 }
@@ -321,6 +350,9 @@ void NandFlash::RestoreToCutInstant() {
   persisted_ = std::move(snapshot_->persisted);
   ckpt_gtd_ppn_ = std::move(snapshot_->ckpt_gtd_ppn);
   ckpt_gtd_seq_ = std::move(snapshot_->ckpt_gtd_seq);
+  ckpt_data_ppn_ = std::move(snapshot_->ckpt_data_ppn);
+  ckpt_data_seq_ = std::move(snapshot_->ckpt_data_seq);
+  ckpt_data_entries_ = snapshot_->ckpt_data_entries;
   snapshot_.reset();
   if (torn_ppn_ != kInvalidPpn) {
     // The interrupted program consumed its page without completing: after

@@ -282,6 +282,16 @@ class NandFlash {
   Ppn checkpoint_gtd_ppn(Vtpn vtpn) const { return ckpt_gtd_ppn_.Get(vtpn); }
   uint64_t checkpoint_gtd_seq(Vtpn vtpn) const { return ckpt_gtd_seq_.Get(vtpn); }
 
+  // The cumulative checkpoint-area *data* directory: LPN → (PPN, seq), folded
+  // from kCheckpoint records carrying kCheckpointFlagCumulativeData (RAM-table
+  // FTLs — see src/flash/meta.h). Empty for FTLs that checkpoint through the
+  // GTD. checkpoint_data_entries() counts the live (non-cleared) entries so
+  // recovery can bill the directory read byte-proportionally.
+  Ppn checkpoint_data_ppn(Lpn lpn) const { return ckpt_data_ppn_.Get(lpn); }
+  uint64_t checkpoint_data_seq(Lpn lpn) const { return ckpt_data_seq_.Get(lpn); }
+  const SegmentedArray<Ppn>& checkpoint_data_mirror() const { return ckpt_data_ppn_; }
+  uint64_t checkpoint_data_entries() const { return ckpt_data_entries_; }
+
   // Records appended since the last durable kCheckpoint append — the FTL's
   // journal-length cap consults this to force an early checkpoint.
   uint64_t meta_records_since_checkpoint() const { return meta_records_since_checkpoint_; }
@@ -302,11 +312,12 @@ class NandFlash {
   const SegmentedArray<Ppn>& persisted_mirror() const { return persisted_; }
 
   // Resident materialize-on-write segments across the sparse per-page
-  // arrays, the mirror, and the checkpoint directory (6 × 1 in dense mode).
+  // arrays, the mirror, and the checkpoint directories (8 × 1 in dense mode).
   uint64_t ResidentSegments() const {
     return oob_.materialized_segments() + oob_seq_.materialized_segments() +
            oob_kind_.materialized_segments() + persisted_.materialized_segments() +
-           ckpt_gtd_ppn_.materialized_segments() + ckpt_gtd_seq_.materialized_segments();
+           ckpt_gtd_ppn_.materialized_segments() + ckpt_gtd_seq_.materialized_segments() +
+           ckpt_data_ppn_.materialized_segments() + ckpt_data_seq_.materialized_segments();
   }
 
   // Test hooks for the corruption-handling paths: flip a stored checksum
@@ -401,6 +412,9 @@ class NandFlash {
   SegmentedArray<Ppn> persisted_;           // LPN → durable persisted entry.
   SegmentedArray<Ppn> ckpt_gtd_ppn_;        // Checkpoint-area directory.
   SegmentedArray<uint64_t> ckpt_gtd_seq_;
+  SegmentedArray<Ppn> ckpt_data_ppn_;       // Cumulative data directory
+  SegmentedArray<uint64_t> ckpt_data_seq_;  // (RAM-table FTLs only).
+  uint64_t ckpt_data_entries_ = 0;          // Live entries in it.
 };
 
 }  // namespace tpftl

@@ -40,6 +40,12 @@ struct AtStats {
   uint64_t trans_reads_gc = 0;        // Translation page reads during GC.
   uint64_t trans_writes_gc = 0;       // Translation page writes during GC (= Ndt + Nmt).
 
+  // --- learned index (LearnedFTL only; zero for the other FTLs) ---
+  uint64_t model_hits = 0;         // CMT misses served by a verified prediction.
+  uint64_t model_misses = 0;       // Model covered the LPN but no probe verified.
+  uint64_t model_probe_reads = 0;  // Flash reads spent on failed probes.
+  uint64_t model_retrains = 0;     // Segment-training events (write + GC grouping).
+
   void Reset() { *this = AtStats(); }
 
   uint64_t user_page_accesses() const { return host_page_reads + host_page_writes; }  // Npa
@@ -53,6 +59,10 @@ struct AtStats {
   double gc_hit_ratio() const {  // Hgcr
     const uint64_t total = gc_hits + gc_misses;
     return total > 0 ? static_cast<double>(gc_hits) / static_cast<double>(total) : 0.0;
+  }
+  double model_hit_ratio() const {  // Of CMT misses where the model was consulted.
+    const uint64_t consulted = model_hits + model_misses;
+    return consulted > 0 ? static_cast<double>(model_hits) / static_cast<double>(consulted) : 0.0;
   }
   uint64_t trans_reads_total() const { return trans_reads_at + trans_reads_gc; }
   uint64_t trans_writes_total() const { return trans_writes_at + trans_writes_gc; }

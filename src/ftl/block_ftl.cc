@@ -16,7 +16,9 @@ BlockFtl::BlockFtl(const FtlEnv& env)
       logical_pages_(env.logical_pages),
       map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock) {
   TPFTL_CHECK(env.logical_pages > 0);
-  ckpt_.Configure(flash_, env.checkpoint);
+  CheckpointConfig ckpt_cfg = env.checkpoint;
+  ckpt_cfg.cumulative_data = true;  // RAM-only table: checkpoint deltas only.
+  ckpt_.Configure(flash_, ckpt_cfg);
   if (env.recover_from_flash) {
     RecoverFromFlash(env.logical_pages);
     return;
@@ -142,9 +144,16 @@ void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
 }
 
 MicroSec BlockFtl::CommitCheckpoint() {
+  // Deltas since the previous checkpoint: each dirty LPN's current mapping,
+  // or a clear triple (kInvalidPpn) when it no longer has one.
   std::vector<DirtyMapping> dirty;
-  CollectLiveMappings(&dirty);
-  return ckpt_.Commit({}, dirty);
+  dirty.reserve(ckpt_dirty_.size());
+  for (const Lpn lpn : ckpt_dirty_) {
+    dirty.push_back({lpn, Probe(lpn)});
+  }
+  const MicroSec t = ckpt_.Commit({}, dirty);
+  ckpt_dirty_.clear();
+  return t;
 }
 
 void BlockFtl::CollectLiveMappings(std::vector<DirtyMapping>* out) const {
@@ -209,6 +218,7 @@ MicroSec BlockFtl::WritePage(Lpn lpn) {
   }
   const Ppn target = flash_->geometry().PpnOf(map_[lbn], offset);
   if (flash_->StateOf(target) == PageState::kFree) {
+    MarkCheckpointDirty(lpn);
     return t + flash_->ProgramPageAt(target, lpn);
   }
   return t + MergeAndWrite(lbn, offset, lpn);
@@ -220,6 +230,7 @@ MicroSec BlockFtl::TrimPage(Lpn lpn) {
   const Ppn ppn = Probe(lpn);
   if (ppn != kInvalidPpn) {
     flash_->InvalidatePage(ppn);
+    MarkCheckpointDirty(lpn);
   }
   return t;
 }
@@ -239,6 +250,7 @@ MicroSec BlockFtl::MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn) {
         flash_->InvalidatePage(src);
       }
       obs::ScopedPhase user_phase(obs::Phase::kUser);
+      MarkCheckpointDirty(lpn);
       t += flash_->ProgramPageAt(g.PpnOf(new_block, o), lpn);
       continue;
     }
@@ -247,6 +259,7 @@ MicroSec BlockFtl::MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn) {
     }
     // Relocate the surviving page to its fixed offset in the new block.
     t += flash_->ReadPage(src);
+    MarkCheckpointDirty(static_cast<Lpn>(flash_->OobTag(src)));
     t += flash_->ProgramPageAt(g.PpnOf(new_block, o), flash_->OobTag(src));
     flash_->InvalidatePage(src);
     ++stats_.gc_data_migrations;

@@ -13,6 +13,7 @@
 #define SRC_FTL_BLOCK_FTL_H_
 
 #include <deque>
+#include <set>
 #include <vector>
 
 #include "src/flash/nand.h"
@@ -55,9 +56,17 @@ class BlockFtl : public Ftl {
   // Copy-merges `lbn`'s block into a fresh block so `offset` becomes free
   // again, then programs the new data there.
   MicroSec MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn);
-  // The block table lives only in RAM, so every checkpoint snapshots the
-  // whole live mapping as dirty triples (same treatment as OptimalFtl).
+  // The block table lives only in RAM, so checkpoints use the cumulative
+  // data directory (CheckpointConfig::cumulative_data): each record carries
+  // only the mappings changed since the previous one, TRIMs as clear
+  // triples. The recovery epilogue still folds the whole live mapping to
+  // rebuild the directory (same treatment as FastFtl and OptimalFtl).
   void CollectLiveMappings(std::vector<DirtyMapping>* out) const;
+  void MarkCheckpointDirty(Lpn lpn) {
+    if (ckpt_.enabled()) {
+      ckpt_dirty_.insert(lpn);
+    }
+  }
   MicroSec CommitCheckpoint();
   MicroSec MaybeCheckpoint() {
     if (!ckpt_.Due()) [[likely]] {
@@ -71,6 +80,9 @@ class BlockFtl : public Ftl {
   uint64_t logical_pages_;
   std::vector<BlockId> map_;  // LBN → physical block.
   std::deque<BlockId> free_blocks_;
+  // LPNs whose mapping changed since the last checkpoint (ordered, so the
+  // emitted triples are deterministic). Empty unless checkpointing.
+  std::set<Lpn> ckpt_dirty_;
   CheckpointScheduler ckpt_;
   AtStats stats_;
   bool recovered_ = false;

@@ -43,9 +43,12 @@ MicroSec CheckpointScheduler::Commit(const std::vector<GtdDelta>& gtd_deltas,
   TPFTL_CHECK(cfg_.enabled && flash_ != nullptr);
   ops_since_ = 0;
   std::vector<uint64_t> payload;
-  payload.reserve(2 + 3 * (gtd_deltas.size() + dirty.size()));
+  payload.reserve(3 + 3 * (gtd_deltas.size() + dirty.size()));
   payload.push_back(gtd_deltas.size());
   payload.push_back(0);  // Patched below once cached TRIMs are filtered out.
+  if (cfg_.cumulative_data) {
+    payload.push_back(kCheckpointFlagCumulativeData);
+  }
   for (const GtdDelta& d : gtd_deltas) {
     TPFTL_CHECK(d.ptpn != kInvalidPtpn);
     payload.push_back(d.vtpn);
@@ -55,7 +58,16 @@ MicroSec CheckpointScheduler::Commit(const std::vector<GtdDelta>& gtd_deltas,
   uint64_t live = 0;
   for (const DirtyMapping& m : dirty) {
     if (m.ppn == kInvalidPpn) {
-      continue;  // Cached TRIM — recovery's validity cross-check re-derives it.
+      if (!cfg_.cumulative_data) {
+        continue;  // Cached TRIM — recovery's validity cross-check re-derives it.
+      }
+      // Cumulative mode: the TRIM must clear its directory entry, or the
+      // stale pre-TRIM mapping would survive in the checkpoint area.
+      payload.push_back(m.lpn);
+      payload.push_back(kInvalidPpn);
+      payload.push_back(0);
+      ++live;
+      continue;
     }
     payload.push_back(m.lpn);
     payload.push_back(m.ppn);
@@ -110,6 +122,8 @@ std::optional<OobScanResult> TryCheckpointRecovery(const NandFlash& flash,
     meta_bytes += log[i].size_bytes();
   }
   meta_bytes += translation_pages * kDirectoryEntryBytes;
+  // Cumulative data directory (RAM-table FTLs; zero entries for the rest).
+  meta_bytes += flash.checkpoint_data_entries() * kDirectoryEntryBytes;
   meta_bytes += g.total_blocks * kBlockHeaderBytes;
   r.report.checkpoint_bytes_read = meta_bytes;
   r.report.scan_time_us += static_cast<double>(meta_bytes) * byte_read_us;
@@ -181,16 +195,44 @@ std::optional<OobScanResult> TryCheckpointRecovery(const NandFlash& flash,
     }
   }
 
+  // 2b. Pre-checkpoint data mappings of cumulative-data FTLs: the device's
+  // cumulative data directory (the RAM-table twin of step 1). The walk skips
+  // unmaterialized segments; the directory is empty for GTD-based FTLs.
+  if (ckpt.cumulative_data()) {
+    const SegmentedArray<Ppn>& dir = flash.checkpoint_data_mirror();
+    const uint64_t dir_seg = dir.segment_size();
+    for (uint64_t s = dir.NextMaterializedSegment(0); s < dir.total_segments();
+         s = dir.NextMaterializedSegment(s + 1)) {
+      const Lpn first = s * dir_seg;
+      const Lpn last = std::min(first + dir_seg, logical_pages);
+      for (Lpn lpn = first; lpn < last; ++lpn) {
+        const Ppn ppn = dir.Get(lpn);
+        if (ppn == kInvalidPpn) {
+          continue;
+        }
+        const uint64_t seq = flash.checkpoint_data_seq(lpn);
+        if (verified(ppn, seq, lpn, OobKind::kData)) {
+          consider_data(lpn, ppn, seq);
+        }
+      }
+    }
+  }
+
   // 3. Dirty cached mappings at checkpoint time, replayed from the record.
   // An entry whose page was invalidated after the checkpoint still counts as
   // a candidate (exactly as a scan would see the readable invalid copy); the
   // final validity cross-check drops it like any other stale winner.
+  // (Cumulative-data records fold into the directory step 2b already read;
+  // their clear triples carry kInvalidPpn and are skipped here.)
   for (uint64_t i = 0; i < ckpt.dirty_count; ++i) {
     const uint64_t* triple = ckpt.dirty + 3 * i;
     const Lpn lpn = triple[0];
     const Ppn ppn = triple[1];
     const uint64_t seq = triple[2];
     TPFTL_CHECK_MSG(lpn < logical_pages, "checkpoint dirty LPN outside the logical space");
+    if (ppn == kInvalidPpn) {
+      continue;  // Cumulative clear triple — nothing to consider.
+    }
     if (verified(ppn, seq, lpn, OobKind::kData)) {
       consider_data(lpn, ppn, seq);
     }

@@ -53,6 +53,13 @@ struct CheckpointConfig {
   // Diagnostics: journal normally, but boot via the full scan (lets tests
   // and benchmarks compare both recovery paths on identical flash images).
   bool force_scan_recovery = false;
+  // RAM-table FTLs (FAST, BlockFTL, Optimal): the dirty mappings handed to
+  // Commit are *deltas since the previous checkpoint* and fold into the
+  // device's cumulative data directory (kCheckpointFlagCumulativeData,
+  // src/flash/meta.h) instead of re-serializing the whole live map per
+  // record. Cached TRIMs then append as clear triples rather than being
+  // dropped. Set by the FTL itself, not by callers.
+  bool cumulative_data = false;
 };
 
 // One translation-directory delta: GTD slot `vtpn` now points at `ptpn`.

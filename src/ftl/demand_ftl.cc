@@ -231,20 +231,30 @@ MicroSec DemandFtl::CollectDataBlock(BlockId victim) {
   MicroSec t = 0.0;
 
   // Step 2 of a GC operation (§3.1): migrate the remaining valid pages and
-  // collect their mapping updates.
-  std::vector<MappingUpdate> updates;
+  // collect their mapping updates. The valid set is fixed before migrating
+  // (programs target the active block, never the victim), which lets a
+  // subclass ask for LPN-sorted migration order without changing semantics.
+  std::vector<MappingUpdate> live;
   for (uint64_t offset = 0; offset < g.pages_per_block; ++offset) {
     const Ppn ppn = g.PpnOf(victim, offset);
     if (flash_->StateOf(ppn) != PageState::kValid) {
       continue;
     }
-    const auto lpn = static_cast<Lpn>(flash_->OobTag(ppn));
-    t += flash_->ReadPage(ppn);
+    live.push_back({static_cast<Lpn>(flash_->OobTag(ppn)), ppn});
+  }
+  if (GcMigrateSorted()) {
+    std::sort(live.begin(), live.end(),
+              [](const MappingUpdate& a, const MappingUpdate& b) { return a.lpn < b.lpn; });
+  }
+  std::vector<MappingUpdate> updates;
+  updates.reserve(live.size());
+  for (const MappingUpdate& page : live) {
+    t += flash_->ReadPage(page.ppn);
     Ppn new_ppn = kInvalidPpn;
-    t += bm_.Program(BlockPool::kData, lpn, &new_ppn);
-    bm_.Invalidate(ppn);
+    t += bm_.Program(BlockPool::kData, page.lpn, &new_ppn);
+    bm_.Invalidate(page.ppn);
     ++stats_.gc_data_migrations;
-    updates.push_back({lpn, new_ppn});
+    updates.push_back({page.lpn, new_ppn});
   }
 
   // Update the migrated pages' mapping entries: in the cache when present

@@ -124,6 +124,11 @@ class DemandFtl : public Ftl {
   // ever persisted. Called during base construction for the boot checkpoint,
   // where the base default is exactly right: the cache is empty at format.
   virtual void CollectCheckpointDirty(std::vector<DirtyMapping>* /*out*/) {}
+  // When true, a data-block collection migrates the victim's valid pages in
+  // LPN order instead of physical offset order. The migrations all target the
+  // active block (never the victim), so the orders are interchangeable;
+  // LearnedFTL sorts so GC writes re-form model-friendly LPN→PPN runs.
+  virtual bool GcMigrateSorted() const { return false; }
 
   // --- services for subclasses -------------------------------------------
   BlockManager& bm() { return bm_; }

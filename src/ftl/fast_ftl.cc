@@ -18,7 +18,9 @@ FastFtl::FastFtl(const FtlEnv& env, const FastFtlOptions& options)
   const auto by_fraction = static_cast<uint64_t>(
       static_cast<double>(map_.size()) * options.log_block_fraction);
   log_block_limit_ = std::max(options.min_log_blocks, by_fraction);
-  ckpt_.Configure(flash_, env.checkpoint);
+  CheckpointConfig ckpt_cfg = env.checkpoint;
+  ckpt_cfg.cumulative_data = true;  // RAM-only tables: checkpoint deltas only.
+  ckpt_.Configure(flash_, ckpt_cfg);
   if (env.recover_from_flash) {
     RecoverFromFlash(env.logical_pages);
     return;
@@ -130,10 +132,13 @@ void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
   }
   if (ckpt_.enabled()) {
     // Epilogue checkpoint: persists the rebuilt tables and trims the journal
-    // (including any truncated torn record).
+    // (including any truncated torn record). The full live mapping folds
+    // into the cumulative directory, superseding any marks the log-overflow
+    // merges above produced.
     std::vector<DirtyMapping> dirty;
     CollectLiveMappings(&dirty);
     scan.report.rebuild_time_us += ckpt_.Commit({}, dirty);
+    ckpt_dirty_.clear();
   }
   recovery_report_ = scan.report;
   recovered_ = true;
@@ -142,9 +147,16 @@ void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
 }
 
 MicroSec FastFtl::CommitCheckpoint() {
+  // Deltas since the previous checkpoint: each dirty LPN's current mapping,
+  // or a clear triple (kInvalidPpn) when it no longer has one.
   std::vector<DirtyMapping> dirty;
-  CollectLiveMappings(&dirty);
-  return ckpt_.Commit({}, dirty);
+  dirty.reserve(ckpt_dirty_.size());
+  for (const Lpn lpn : ckpt_dirty_) {
+    dirty.push_back({lpn, Probe(lpn)});
+  }
+  const MicroSec t = ckpt_.Commit({}, dirty);
+  ckpt_dirty_.clear();
+  return t;
 }
 
 void FastFtl::CollectLiveMappings(std::vector<DirtyMapping>* out) const {
@@ -210,6 +222,7 @@ MicroSec FastFtl::WritePage(Lpn lpn) {
     }
     const Ppn target = flash_->geometry().PpnOf(map_[lbn], offset);
     if (flash_->StateOf(target) == PageState::kFree) {
+      MarkCheckpointDirty(lpn);
       return t + flash_->ProgramPageAt(target, lpn);
     }
   }
@@ -222,11 +235,13 @@ MicroSec FastFtl::TrimPage(Lpn lpn) {
   if (const auto it = log_map_.find(lpn); it != log_map_.end()) {
     flash_->InvalidatePage(it->second);
     log_map_.erase(it);
+    MarkCheckpointDirty(lpn);
     return t;
   }
   const Ppn ppn = Probe(lpn);
   if (ppn != kInvalidPpn) {
     flash_->InvalidatePage(ppn);
+    MarkCheckpointDirty(lpn);
   }
   return t;
 }
@@ -265,6 +280,7 @@ MicroSec FastFtl::AppendToLog(Lpn lpn) {
     }
     log_map_[lpn] = new_ppn;
   }
+  MarkCheckpointDirty(lpn);
   return t;
 }
 
@@ -296,7 +312,9 @@ MicroSec FastFtl::ReclaimOldestLog() {
   obs::ScopedPhase gc_phase(obs::Phase::kGc);
 
   if (IsSwitchMergeable(victim)) {
-    // The log block becomes the data block for its logical block.
+    // The log block becomes the data block for its logical block. No
+    // checkpoint-dirty marks: every page keeps its PPN, so no LPN's mapping
+    // actually changes.
     const auto first_lpn = static_cast<Lpn>(flash_->OobTag(flash_->geometry().PpnOf(victim, 0)));
     const uint64_t lbn = LbnOf(first_lpn);
     const BlockId old_data = map_[lbn];
@@ -366,6 +384,7 @@ MicroSec FastFtl::FullMergeLbn(uint64_t lbn) {
     t += flash_->ReadPage(source);
     t += flash_->ProgramPageAt(g.PpnOf(new_block, off), lpn);
     flash_->InvalidatePage(source);
+    MarkCheckpointDirty(lpn);
     ++stats_.gc_data_migrations;
     ++stats_.gc_hits;  // Mapping state is RAM-resident.
   }

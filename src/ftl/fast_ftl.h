@@ -23,6 +23,7 @@
 #define SRC_FTL_FAST_FTL_H_
 
 #include <deque>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -81,9 +82,20 @@ class FastFtl : public Ftl {
   // Rebuilds one logical block from its freshest page copies.
   MicroSec FullMergeLbn(uint64_t lbn);
   bool IsSwitchMergeable(BlockId log_block) const;
-  // Both the block table and the log map are RAM-only, so checkpoints carry
-  // the whole live mapping as dirty triples (same treatment as OptimalFtl).
+  // Both the block table and the log map are RAM-only, so checkpoints use
+  // the cumulative data directory (CheckpointConfig::cumulative_data): each
+  // record carries only the mappings changed since the previous one, TRIMs
+  // as clear triples. The recovery epilogue still folds the whole live
+  // mapping to rebuild the directory (same treatment as BlockFtl/OptimalFtl).
   void CollectLiveMappings(std::vector<DirtyMapping>* out) const;
+  // Records that `lpn`'s mapping changed. Every site that moves, creates or
+  // drops a copy calls this — except a switch merge, which re-homes the
+  // block without moving any page, so the mappings it covers are unchanged.
+  void MarkCheckpointDirty(Lpn lpn) {
+    if (ckpt_.enabled()) {
+      ckpt_dirty_.insert(lpn);
+    }
+  }
   MicroSec CommitCheckpoint();
   MicroSec MaybeCheckpoint() {
     if (!ckpt_.Due()) [[likely]] {
@@ -100,6 +112,9 @@ class FastFtl : public Ftl {
   std::unordered_map<Lpn, Ppn> log_map_;     // Freshest log copy per LPN.
   std::deque<BlockId> log_blocks_;           // Oldest first; back is active.
   std::deque<BlockId> free_blocks_;
+  // LPNs whose mapping changed since the last checkpoint (ordered, so the
+  // emitted triples are deterministic). Empty unless checkpointing.
+  std::set<Lpn> ckpt_dirty_;
   CheckpointScheduler ckpt_;
   AtStats stats_;
   uint64_t full_merges_ = 0;

@@ -1,0 +1,321 @@
+#include "src/ftl/learned_ftl.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+namespace {
+
+uint64_t ModelBudgetBytes(uint64_t entry_budget, double fraction) {
+  return static_cast<uint64_t>(static_cast<double>(entry_budget) * fraction);
+}
+
+}  // namespace
+
+LearnedFtl::LearnedFtl(const FtlEnv& env, const LearnedFtlOptions& options)
+    : DemandFtl(env, /*uses_translation_store=*/true),
+      options_(options),
+      model_(ModelBudgetBytes(entry_cache_budget_bytes(), options.model_budget_fraction)) {
+  const uint64_t model_bytes = model_.max_segments() * LearnedIndex::kSegmentBytes;
+  max_entries_ = (entry_cache_budget_bytes() - model_bytes) / options_.entry_bytes;
+  TPFTL_CHECK_MSG(max_entries_ >= 2, "cache budget too small for LearnedFTL");
+  index_.reserve(max_entries_ * 2);
+}
+
+MicroSec LearnedFtl::EvictOne() {
+  AtStats& s = mutable_stats();
+  TPFTL_CHECK_MSG(!lru_.empty(), "eviction from an empty cache");
+  auto victim = std::prev(lru_.end());
+  ++s.evictions;
+  MicroSec t = 0.0;
+  if (victim->dirty) {
+    ++s.dirty_evictions;
+    // Batched delayed updating (the LearnedFTL paper's eviction): every dirty
+    // CMT entry sharing the victim's translation page rides the same
+    // read-modify-write and stays resident clean, so a locality burst (a
+    // sequential chunk's entries all live on one page) costs one RMW instead
+    // of one per entry — DFTL's single-entry writeback is its worst tax here.
+    const Vtpn vtpn = store().VtpnOf(victim->lpn);
+    std::vector<MappingUpdate> updates;
+    for (Entry& e : lru_) {
+      if (e.dirty && store().VtpnOf(e.lpn) == vtpn) {
+        updates.push_back({e.lpn, e.ppn});
+        e.dirty = false;
+      }
+    }
+    const auto r = store().RewriteTranslationPage(vtpn, updates,
+                                                  /*have_full_content=*/false);
+    ++s.trans_reads_at;
+    ++s.trans_writes_at;
+    t += r.time;
+  }
+  index_.erase(victim->lpn);
+  lru_.erase(victim);
+  return t;
+}
+
+MicroSec LearnedFtl::ProbePredicted(const PlrSegment& seg, Lpn lpn, Ppn* found) {
+  NandFlash& nand = bm().flash();
+  const uint64_t total_pages = nand.geometry().total_pages();
+  const auto predicted = static_cast<int64_t>(seg.Predict(lpn));
+  AtStats& s = mutable_stats();
+  MicroSec t = 0.0;
+  // Nearest-first: offset 0, +1, -1, +2, -2, … out to the error bound.
+  const int64_t bound = static_cast<int64_t>(options_.error_bound);
+  for (int64_t k = 0; k <= 2 * bound; ++k) {
+    const int64_t offset = (k % 2 == 1) ? (k + 1) / 2 : -(k / 2);
+    const int64_t candidate = predicted + offset;
+    if (candidate < 0 || candidate >= static_cast<int64_t>(total_pages)) {
+      continue;
+    }
+    const auto ppn = static_cast<Ppn>(candidate);
+    if (nand.StateOf(ppn) == PageState::kFree) {
+      // The FTL knows every block's write frontier, so a probe of a
+      // never-programmed page is skipped without issuing a flash read.
+      continue;
+    }
+    if (nand.StateOf(ppn) == PageState::kValid && nand.OobKindOf(ppn) == OobKind::kData &&
+        nand.OobTag(ppn) == lpn) {
+      // Verified: the unique-valid-copy invariant makes this page the
+      // current mapping. Its read is the data read the caller bills, so
+      // only the failed probes above cost extra.
+      *found = ppn;
+      return t;
+    }
+    t += nand.ReadPage(ppn);  // Wrong page: a wasted, billed flash read.
+    ++s.model_probe_reads;
+  }
+  return t;
+}
+
+MicroSec LearnedFtl::Translate(Lpn lpn, bool is_write, Ppn* current) {
+  AtStats& s = mutable_stats();
+  ++s.lookups;
+  if (const auto it = index_.find(lpn); it != index_.end()) {
+    ++s.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *current = it->second->ppn;
+    return 0.0;
+  }
+  MicroSec t = 0.0;
+  // The model serves only read misses: a write needs a resident CMT entry for
+  // CommitMapping anyway, and a model probe would cost the same flash read as
+  // the translation-page read it replaces.
+  if (!is_write) {
+    if (const PlrSegment* seg = model_.Lookup(lpn)) {
+      Ppn predicted = kInvalidPpn;
+      t += ProbePredicted(*seg, lpn, &predicted);
+      if (predicted != kInvalidPpn) {
+        ++s.model_hits;
+        model_.Touch(lpn);  // Keep a segment serving a live scan at MRU.
+        *current = predicted;
+        return t;
+      }
+      ++s.model_misses;
+      // The segment mispredicted a covered LPN: it is stale (the page moved
+      // under an overwrite or GC since training). Keeping it would bill the
+      // same wasted probes on every future lookup in its span; the fresh
+      // harvest below re-learns whatever the span still maps linearly.
+      model_.EraseCovering(lpn);
+    }
+  }
+  ++s.misses;
+  t += store().ReadTranslationPage(store().VtpnOf(lpn));
+  ++s.trans_reads_at;
+  if (!is_write) {
+    // Read misses only: a write gains nothing from model coverage (the probe
+    // would cost the flash read it saves), and write-miss harvests — frequent
+    // under buffered flushes interleaved into scans — would churn the tiny
+    // segment FIFO faster than the scan consumes it.
+    HarvestPersistedPage(lpn);
+  }
+  const Ppn ppn = store().Persisted(lpn);
+  while (index_.size() >= max_entries_) {
+    t += EvictOne();
+  }
+  lru_.push_front(Entry{lpn, ppn, /*dirty=*/false});
+  index_[lpn] = lru_.begin();
+  *current = ppn;
+  return t;
+}
+
+MicroSec LearnedFtl::CommitMapping(Lpn lpn, Ppn new_ppn) {
+  const auto it = index_.find(lpn);
+  TPFTL_CHECK_MSG(it != index_.end(), "CommitMapping without a preceding Translate");
+  it->second->ppn = new_ppn;
+  it->second->dirty = true;
+  if (new_ppn != kInvalidPpn) {
+    Feed(lpn, new_ppn);
+  }
+  return 0.0;
+}
+
+bool LearnedFtl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
+  (void)extra_time;
+  // Every GC migration retrains, hit or miss: the sorted migration order
+  // re-forms runs and the model must follow the pages to their new block.
+  Feed(lpn, new_ppn);
+  const auto it = index_.find(lpn);
+  if (it == index_.end()) {
+    return false;
+  }
+  it->second->ppn = new_ppn;
+  it->second->dirty = true;
+  return true;
+}
+
+void LearnedFtl::HarvestPersistedPage(Lpn lpn) {
+  if (!model_.enabled()) {
+    return;
+  }
+  // The translation page just read into controller RAM holds the persisted
+  // PPNs of every LPN it covers, not only the one that missed — DFTL's
+  // selective caching throws the other entries away and re-reads the same
+  // page once per entry (the cost is brutal under sequential scans: a 32-page
+  // chunk is 32 reads of one translation page). Instead of caching them as
+  // entries, fit PLR segments over the span's sorted runs: the rest of the
+  // chunk then verifies through the model with zero extra flash traffic.
+  // Entries that are stale (a newer mapping lives dirty in the CMT) train
+  // predictions that simply fail OOB verification, so this costs time at
+  // worst, never correctness.
+  //
+  // Only the window *ahead* of the miss is harvested, and its segments are
+  // inserted farthest-first: scans ascend, the FIFO holds only a handful of
+  // segments, and whole-span left-to-right insertion would evict the very
+  // segment the next chunk page needs before it is ever looked up.
+  const auto span = store().PersistedPage(store().VtpnOf(lpn));
+  const Lpn base = store().VtpnOf(lpn) * flash().geometry().entries_per_translation_page();
+  const uint64_t slot = lpn - base;
+  const uint64_t end = std::min<uint64_t>(span.size(), slot + options_.harvest_window);
+  std::vector<PlrSegment> fitted;
+  std::vector<PlrPoint> run;
+  const auto fit = [&] {
+    if (run.size() >= options_.min_run_points) {
+      for (const PlrSegment& seg : TrainPlr(run, options_.error_bound, options_.min_run_points)) {
+        fitted.push_back(seg);
+      }
+    }
+    run.clear();
+  };
+  for (uint64_t i = slot; i < end; ++i) {
+    const Ppn ppn = span[i];
+    if (ppn == kInvalidPpn) {
+      fit();
+      continue;
+    }
+    if (!run.empty() && ppn <= run.back().ppn) {
+      fit();  // PPN order broke: the linear run ends here.
+    }
+    run.push_back({base + i, ppn});
+  }
+  fit();
+  for (auto it = fitted.rbegin(); it != fitted.rend(); ++it) {
+    model_.Insert(*it);
+  }
+  if (!fitted.empty()) {
+    ++mutable_stats().model_retrains;
+  }
+}
+
+void LearnedFtl::Feed(Lpn lpn, Ppn new_ppn) {
+  if (!model_.enabled()) {
+    return;
+  }
+  const FlashGeometry& g = flash().geometry();
+  const BlockId b = g.BlockOf(new_ppn);
+  auto it = accum_.find(b);
+  if (it != accum_.end() && !it->second.empty() && it->second.back().ppn >= new_ppn) {
+    // The block was erased and reused while samples from its previous life
+    // were still open (possible when injected program failures consume
+    // offsets unsampled). Finalize the old life before sampling the new one.
+    TrainBlock(b);
+    it = accum_.end();
+  }
+  if (it == accum_.end()) {
+    accum_.try_emplace(b);
+    accum_order_.push_back(b);
+    while (accum_.size() > options_.max_open_blocks) {
+      const BlockId oldest = accum_order_.front();
+      accum_order_.pop_front();
+      if (oldest != b && accum_.find(oldest) != accum_.end()) {
+        TrainBlock(oldest);
+      }
+    }
+    it = accum_.find(b);
+  }
+  it->second.push_back({lpn, new_ppn});
+  if (it->second.size() >= g.pages_per_block) {
+    TrainBlock(b);  // Block fully sampled: fit it now.
+  }
+}
+
+void LearnedFtl::TrainBlock(BlockId b) {
+  const auto it = accum_.find(b);
+  TPFTL_DCHECK(it != accum_.end());
+  std::vector<PlrPoint> samples = std::move(it->second);
+  accum_.erase(it);
+  // accum_order_ keeps stale ids until popped; compact when they pile up
+  // (e.g. sequential fills train full blocks without ever popping).
+  if (accum_order_.size() > 4 * (options_.max_open_blocks + 1)) {
+    std::deque<BlockId> live;
+    for (const BlockId id : accum_order_) {
+      if (accum_.find(id) != accum_.end()) {
+        live.push_back(id);
+      }
+    }
+    accum_order_.swap(live);
+  }
+  // Split into maximal strictly-increasing LPN runs. PPNs already ascend in
+  // program order; an overwrite landing in the same block repeats an LPN and
+  // breaks the run (its stale earlier sample can only train a prediction that
+  // fails OOB verification).
+  bool trained = false;
+  size_t i = 0;
+  while (i < samples.size()) {
+    size_t j = i + 1;
+    while (j < samples.size() && samples[j].lpn > samples[j - 1].lpn) {
+      ++j;
+    }
+    if (j - i >= options_.min_run_points) {
+      const std::vector<PlrPoint> run(samples.begin() + static_cast<ptrdiff_t>(i),
+                                      samples.begin() + static_cast<ptrdiff_t>(j));
+      for (const PlrSegment& seg : TrainPlr(run, options_.error_bound, options_.min_run_points)) {
+        model_.Insert(seg);
+        trained = true;
+      }
+    }
+    i = j;
+  }
+  if (trained) {
+    ++mutable_stats().model_retrains;
+  }
+}
+
+Ppn LearnedFtl::Probe(Lpn lpn) const {
+  if (const auto it = index_.find(lpn); it != index_.end()) {
+    return it->second->ppn;
+  }
+  // Deliberately not model-served: Probe is the correctness oracle's view and
+  // must reflect the durable mapping chain, not a learned shortcut.
+  return translation_store().Persisted(lpn);
+}
+
+uint64_t LearnedFtl::cache_bytes_used() const {
+  return index_.size() * options_.entry_bytes + model_.bytes_used();
+}
+
+uint64_t LearnedFtl::cache_entry_count() const {
+  return index_.size() + model_.segment_count();
+}
+
+void LearnedFtl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
+  for (const Entry& e : lru_) {
+    if (e.dirty) {
+      out->push_back({e.lpn, e.ppn});
+    }
+  }
+}
+
+}  // namespace tpftl

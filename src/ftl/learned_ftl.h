@@ -1,0 +1,123 @@
+// LearnedFTL — a learned page-level mapping FTL (arXiv 2303.13226).
+//
+// The mapping hierarchy is DFTL's GTD + translation pages + entry cache, with
+// a piecewise-linear learned index (src/ftl/plr.h) bolted onto the *read*
+// miss path. Blocks written from near-sorted streams yield LPN→PPN runs that
+// a 32-byte linear segment can index: on a read whose LPN misses the CMT but
+// falls inside a trained segment, the FTL probes the predicted physical page
+// (± the error bound) and verifies the hit against the page's OOB LPN tag —
+// the unique-valid-copy invariant makes a matching valid data page *the*
+// current mapping. A verified hit costs zero extra flash reads (the verifying
+// probe is the data read itself), eliminating DFTL's translation-page "double
+// read". Failed probes are billed as real flash reads; if no probe verifies,
+// the lookup falls back to the translation-page path, so a stale or wrong
+// segment can cost time but never correctness.
+//
+// Writes always take the DFTL path (a model probe would cost the same flash
+// read as the translation read — there is nothing to save), so CommitMapping
+// keeps DFTL's residency requirement and checkpoint/recovery semantics are
+// identical to DFTL's. The model is RAM-only, rebuilt from scratch by normal
+// operation after a reboot, and never consulted by Probe(), which keeps the
+// SimCheck strict oracle and the checkpoint bit-equivalence suite meaningful.
+//
+// Training: mapping commits accumulate per destination block; when a block's
+// sample set fills (or too many blocks are open) it is finalized — split into
+// strictly-increasing LPN runs, fitted with greedy PLR, inserted into the
+// budgeted segment index. GC keeps runs model-friendly: GcMigrateSorted()
+// makes the collector migrate a victim's survivors in LPN order, and each
+// migration retrains through the same accumulator. Two more rules keep the
+// tiny segment budget productive: every translation-page read *harvests* the
+// span it pulled into RAM (fitting segments over its sorted persisted runs,
+// so one miss covers the rest of a sequential chunk for free), and a segment
+// whose prediction fails OOB verification is erased on the spot — it is
+// provably stale, and the fallback's harvest re-learns the span's current
+// shape.
+
+#ifndef SRC_FTL_LEARNED_FTL_H_
+#define SRC_FTL_LEARNED_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ftl/demand_ftl.h"
+#include "src/ftl/plr.h"
+
+namespace tpftl {
+
+struct LearnedFtlOptions {
+  // Max |predicted - actual| page distance probed; also the PLR fit bound.
+  uint32_t error_bound = 2;
+  // Runs shorter than this train no segment.
+  uint64_t min_run_points = 4;
+  // Fraction of the entry-cache budget carved out for segments; the rest is
+  // the CMT.
+  double model_budget_fraction = 0.25;
+  // Open per-block sample sets kept before the oldest is force-finalized
+  // (multi-die striping keeps several blocks open at once).
+  uint64_t max_open_blocks = 4;
+  uint64_t entry_bytes = 8;  // CMT entry: 4 B LPN tag + 4 B PPN.
+  // Translation-page entries fitted ahead of a miss when its span is
+  // harvested (scans ascend; a window bounds the per-miss CPU work and keeps
+  // the harvest from flooding the segment FIFO).
+  uint64_t harvest_window = 128;
+};
+
+class LearnedFtl : public DemandFtl {
+ public:
+  explicit LearnedFtl(const FtlEnv& env, const LearnedFtlOptions& options = {});
+
+  std::string name() const override { return "LearnedFTL"; }
+  Ppn Probe(Lpn lpn) const override;
+  uint64_t cache_bytes_used() const override;
+  uint64_t cache_entry_count() const override;
+
+  uint64_t model_segment_count() const { return model_.segment_count(); }
+  const LearnedIndex& model() const { return model_; }
+
+ protected:
+  MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
+  MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
+  bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
+  void CollectCheckpointDirty(std::vector<DirtyMapping>* out) override;
+  bool GcMigrateSorted() const override { return true; }
+
+ private:
+  struct Entry {
+    Lpn lpn = kInvalidLpn;
+    Ppn ppn = kInvalidPpn;
+    bool dirty = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  MicroSec EvictOne();
+  // Probes the predicted page ± error_bound for a valid data page tagged
+  // `lpn`. On success sets *found and returns only the failed probes' cost:
+  // the successful probe is the data read the caller itself bills.
+  MicroSec ProbePredicted(const PlrSegment& seg, Lpn lpn, Ppn* found);
+  // Fits segments over the sorted runs of the translation-page span that a
+  // miss just read into RAM — free coverage for the rest of a sequential
+  // chunk, which would otherwise re-read the same translation page per entry.
+  void HarvestPersistedPage(Lpn lpn);
+  // Feeds one committed mapping into the per-block training accumulator.
+  void Feed(Lpn lpn, Ppn new_ppn);
+  // Fits and installs segments from block `b`'s accumulated samples.
+  void TrainBlock(BlockId b);
+
+  LearnedFtlOptions options_;
+  uint64_t max_entries_ = 0;
+  LearnedIndex model_;
+  EntryList lru_;  // CMT, MRU at front.
+  std::unordered_map<Lpn, EntryList::iterator> index_;
+
+  // Samples by destination block, in program (= PPN) order, finalized when a
+  // block fills or the open-set cap forces out the oldest.
+  std::unordered_map<BlockId, std::vector<PlrPoint>> accum_;
+  std::deque<BlockId> accum_order_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_LEARNED_FTL_H_

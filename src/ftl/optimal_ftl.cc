@@ -4,8 +4,13 @@
 
 namespace tpftl {
 
+FtlEnv OptimalFtl::WithCumulativeCheckpoints(FtlEnv env) {
+  env.checkpoint.cumulative_data = true;
+  return env;
+}
+
 OptimalFtl::OptimalFtl(const FtlEnv& env)
-    : DemandFtl(env, /*uses_translation_store=*/false),
+    : DemandFtl(WithCumulativeCheckpoints(env), /*uses_translation_store=*/false),
       table_(env.logical_pages, kInvalidPpn) {
   if (env.recover_from_flash) {
     // Optimal keeps a dense RAM table, so fill it from the (possibly sparse)
@@ -28,21 +33,30 @@ MicroSec OptimalFtl::Translate(Lpn lpn, bool is_write, Ppn* current) {
 
 MicroSec OptimalFtl::CommitMapping(Lpn lpn, Ppn new_ppn) {
   table_[lpn] = new_ppn;
+  if (checkpoint_scheduler().enabled()) {
+    ckpt_dirty_.insert(lpn);
+  }
   return 0.0;
 }
 
 bool OptimalFtl::GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) {
   (void)extra_time;
   table_[lpn] = new_ppn;
+  if (checkpoint_scheduler().enabled()) {
+    ckpt_dirty_.insert(lpn);
+  }
   return true;
 }
 
 void OptimalFtl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
-  for (Lpn lpn = 0; lpn < table_.size(); ++lpn) {
-    if (table_[lpn] != kInvalidPpn) {
-      out->push_back({lpn, table_[lpn]});
-    }
+  // Deltas since the previous checkpoint; table_[lpn] == kInvalidPpn encodes
+  // a TRIM and folds as a clear triple. A commit always follows this call,
+  // so draining the set here is safe.
+  out->reserve(out->size() + ckpt_dirty_.size());
+  for (const Lpn lpn : ckpt_dirty_) {
+    out->push_back({lpn, table_[lpn]});
   }
+  ckpt_dirty_.clear();
 }
 
 Ppn OptimalFtl::Probe(Lpn lpn) const {

@@ -6,6 +6,7 @@
 #ifndef SRC_FTL_OPTIMAL_FTL_H_
 #define SRC_FTL_OPTIMAL_FTL_H_
 
+#include <set>
 #include <vector>
 
 #include "src/ftl/demand_ftl.h"
@@ -25,12 +26,22 @@ class OptimalFtl : public DemandFtl {
   MicroSec Translate(Lpn lpn, bool is_write, Ppn* current) override;
   MicroSec CommitMapping(Lpn lpn, Ppn new_ppn) override;
   bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
-  // The whole table: none of it is ever persisted to translation pages, so
-  // every live mapping is "dirty" in checkpoint terms.
+  // Nothing is ever persisted to translation pages, so the whole table is
+  // "dirty" in checkpoint terms — but re-serializing it per record would make
+  // checkpoint cost O(live map). Instead the FTL opts into the cumulative
+  // data directory (CheckpointConfig::cumulative_data) and emits only the
+  // mappings changed since the previous checkpoint, TRIMs as clear triples.
   void CollectCheckpointDirty(std::vector<DirtyMapping>* out) override;
 
  private:
+  // Flips on cumulative-data checkpointing before the base constructor runs
+  // (the boot checkpoint and any recovery epilogue happen in there).
+  static FtlEnv WithCumulativeCheckpoints(FtlEnv env);
+
   std::vector<Ppn> table_;
+  // LPNs whose mapping changed since the last checkpoint (ordered, so the
+  // emitted triples are deterministic). Only tracked when checkpointing.
+  std::set<Lpn> ckpt_dirty_;
 };
 
 }  // namespace tpftl

@@ -1,0 +1,109 @@
+#include "src/ftl/plr.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+std::vector<PlrSegment> TrainPlr(const std::vector<PlrPoint>& run, uint32_t error_bound,
+                                 uint64_t min_run_points) {
+  std::vector<PlrSegment> out;
+  if (run.size() < std::max<uint64_t>(min_run_points, 2)) {
+    return out;
+  }
+  // The integer prediction rounds to nearest, so fit against a cone half a
+  // page tighter than the probe window: any point the cone admits still lands
+  // within ±error_bound after rounding.
+  const double eps = static_cast<double>(error_bound) - 0.5;
+  TPFTL_CHECK_MSG(eps > 0.0, "error bound must be at least 1 page");
+  size_t start = 0;
+  while (start < run.size()) {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    size_t end = start + 1;
+    for (; end < run.size(); ++end) {
+      TPFTL_DCHECK_MSG(run[end].lpn > run[end - 1].lpn && run[end].ppn > run[end - 1].ppn,
+                       "PLR run must be strictly increasing in lpn and ppn");
+      const auto dx = static_cast<double>(run[end].lpn - run[start].lpn);
+      const auto dy = static_cast<double>(run[end].ppn - run[start].ppn);
+      const double nlo = std::max(lo, (dy - eps) / dx);
+      const double nhi = std::min(hi, (dy + eps) / dx);
+      if (nlo > nhi) {
+        break;  // Cone emptied: the segment closes before this point.
+      }
+      lo = nlo;
+      hi = nhi;
+    }
+    if (end - start >= min_run_points) {
+      PlrSegment seg;
+      seg.first_lpn = run[start].lpn;
+      seg.last_lpn = run[end - 1].lpn;
+      seg.first_ppn = run[start].ppn;
+      seg.slope = (lo + hi) / 2.0;
+      out.push_back(seg);
+    }
+    start = end;
+  }
+  return out;
+}
+
+void LearnedIndex::Insert(const PlrSegment& seg) {
+  if (max_segments_ == 0) {
+    return;
+  }
+  // Erase older segments whose span intersects [first_lpn, last_lpn].
+  // Spans are disjoint and keyed by first_lpn, so every overlapping segment
+  // has first_lpn <= seg.last_lpn; walk left from the first key beyond the
+  // new span until one ends before it starts.
+  auto it = segments_.upper_bound(seg.last_lpn);
+  while (it != segments_.begin()) {
+    --it;
+    if (it->second.seg.last_lpn < seg.first_lpn) {
+      break;
+    }
+    lru_.erase(it->second.pos);
+    it = segments_.erase(it);
+  }
+  lru_.push_front(seg.first_lpn);
+  segments_[seg.first_lpn] = Slot{seg, lru_.begin()};
+  while (segments_.size() > max_segments_) {
+    segments_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void LearnedIndex::Touch(Lpn lpn) {
+  auto it = segments_.upper_bound(lpn);
+  if (it == segments_.begin()) {
+    return;
+  }
+  --it;
+  if (it->second.seg.Covers(lpn)) {
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+  }
+}
+
+void LearnedIndex::EraseCovering(Lpn lpn) {
+  auto it = segments_.upper_bound(lpn);
+  if (it == segments_.begin()) {
+    return;
+  }
+  --it;
+  if (it->second.seg.Covers(lpn)) {
+    lru_.erase(it->second.pos);
+    segments_.erase(it);
+  }
+}
+
+const PlrSegment* LearnedIndex::Lookup(Lpn lpn) const {
+  auto it = segments_.upper_bound(lpn);
+  if (it == segments_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return it->second.seg.Covers(lpn) ? &it->second.seg : nullptr;
+}
+
+}  // namespace tpftl

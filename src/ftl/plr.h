@@ -1,0 +1,107 @@
+// Piecewise-linear learned index over sorted LPN→PPN runs (LearnedFTL,
+// arXiv 2303.13226).
+//
+// A data block written from a sorted (or GC-sorted) stream holds pages whose
+// LPNs grow with their PPNs, so a straight line with a small error bound can
+// replace the per-entry mapping for the whole run. TrainPlr fits maximal
+// segments greedily: each segment anchors at its first point and narrows a
+// feasible-slope cone as points arrive; when the cone empties the segment is
+// closed and a new one starts. Every covered point is guaranteed to satisfy
+// |Predict(lpn) - ppn| <= error_bound (the cone is trained against
+// error_bound - 0.5 so integer rounding cannot break the guarantee).
+//
+// LearnedIndex stores the fitted segments ordered by first LPN, disjoint by
+// construction (inserting a segment erases any older overlapping ones), under
+// a byte budget with LRU eviction: a verified prediction touches its segment,
+// so a segment serving an in-flight scan outlives the churn of concurrent
+// training inserts. The replacement half stays deliberately simple beyond
+// that because a stale segment is harmless: its prediction fails OOB
+// verification and the lookup falls back to the translation-page path.
+
+#ifndef SRC_FTL_PLR_H_
+#define SRC_FTL_PLR_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/flash/types.h"
+
+namespace tpftl {
+
+// One training sample: lpn's current data page.
+struct PlrPoint {
+  Lpn lpn = kInvalidLpn;
+  Ppn ppn = kInvalidPpn;
+};
+
+// One fitted segment: covers LPNs in [first_lpn, last_lpn].
+struct PlrSegment {
+  Lpn first_lpn = kInvalidLpn;
+  Lpn last_lpn = kInvalidLpn;
+  Ppn first_ppn = kInvalidPpn;
+  double slope = 0.0;
+
+  Ppn Predict(Lpn lpn) const {
+    const auto dx = static_cast<double>(lpn - first_lpn);
+    const auto delta = static_cast<int64_t>(slope * dx + (slope * dx >= 0.0 ? 0.5 : -0.5));
+    return first_ppn + static_cast<Ppn>(delta);
+  }
+
+  bool Covers(Lpn lpn) const { return lpn >= first_lpn && lpn <= last_lpn; }
+};
+
+// Fits greedy maximal segments over `run`, which must be strictly increasing
+// in both lpn and ppn. Runs (and sub-segments) shorter than `min_run_points`
+// are dropped — a 32-byte segment predicting two pages is not worth its RAM.
+std::vector<PlrSegment> TrainPlr(const std::vector<PlrPoint>& run, uint32_t error_bound,
+                                 uint64_t min_run_points);
+
+class LearnedIndex {
+ public:
+  // Serialized footprint per segment: 4 B first LPN + 2 B run length + 4 B
+  // first PPN + 4 B fixed-point slope + 2 B pad.
+  static constexpr uint64_t kSegmentBytes = 16;
+
+  explicit LearnedIndex(uint64_t budget_bytes)
+      : max_segments_(budget_bytes / kSegmentBytes) {}
+
+  bool enabled() const { return max_segments_ > 0; }
+
+  // Inserts one fitted segment at MRU, erasing any older segments its LPN
+  // span overlaps, then LRU-evicts down to the budget.
+  void Insert(const PlrSegment& seg);
+
+  // Segment covering `lpn`, or nullptr. No side effects.
+  const PlrSegment* Lookup(Lpn lpn) const;
+
+  // Moves the segment covering `lpn` to MRU. Called after a verified
+  // prediction: a segment actively serving lookups must outlive the training
+  // inserts that churn the rest of the cache.
+  void Touch(Lpn lpn);
+
+  // Drops the segment covering `lpn`, if any. Called when a prediction fails
+  // OOB verification: the segment is provably stale for at least one covered
+  // LPN, and evicting it immediately stops every later lookup in its span
+  // from paying wasted probe reads.
+  void EraseCovering(Lpn lpn);
+
+  uint64_t segment_count() const { return segments_.size(); }
+  uint64_t bytes_used() const { return segments_.size() * kSegmentBytes; }
+  uint64_t max_segments() const { return max_segments_; }
+
+ private:
+  struct Slot {
+    PlrSegment seg;
+    std::list<Lpn>::iterator pos;  // This segment's entry in lru_.
+  };
+
+  uint64_t max_segments_;
+  std::map<Lpn, Slot> segments_;  // Keyed by first_lpn; disjoint spans.
+  std::list<Lpn> lru_;            // MRU at front; mirrors segments_'s keys.
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_PLR_H_

@@ -42,7 +42,6 @@ void WriteReportJson(const RunReport& r, std::ostream& os) {
   os << ",\"p90_response_us\":" << r.p90_response_us;
   os << ",\"p99_response_us\":" << r.p99_response_us;
   os << ",\"p999_response_us\":" << r.p999_response_us;
-  os << ",\"p99_log2_ub_us\":" << r.p99_log2_ub_us;
   os << ",\"max_response_us\":" << r.max_response_us;
   os << ",\"response_total_us\":" << r.response_total_us;
   os << ",\"trans_reads\":" << r.trans_reads;
@@ -66,6 +65,10 @@ void WriteReportJson(const RunReport& r, std::ostream& os) {
   os << ",\"gc_trans_migrations\":" << r.stats.gc_trans_migrations;
   os << ",\"gc_hits\":" << r.stats.gc_hits;
   os << ",\"gc_misses\":" << r.stats.gc_misses;
+  os << ",\"model_hits\":" << r.stats.model_hits;
+  os << ",\"model_misses\":" << r.stats.model_misses;
+  os << ",\"model_probe_reads\":" << r.stats.model_probe_reads;
+  os << ",\"model_retrains\":" << r.stats.model_retrains;
   os << "}";
   os << ",\"flash\":{";
   os << "\"page_reads\":" << r.flash.page_reads;

@@ -60,8 +60,6 @@ RunReport ExtractReport(const Ssd& ssd, const std::string& workload_name, uint64
   r.p90_response_us = hist.Quantile(0.90);
   r.p99_response_us = hist.Quantile(0.99);
   r.p999_response_us = hist.Quantile(0.999);
-  r.p99_log2_ub_us = static_cast<double>(
-      obs::Log2UpperBound(static_cast<uint64_t>(r.p99_response_us)));
   r.max_response_us = ssd.response_stats().max();
   r.response_total_us = ssd.response_stats().sum();
   r.response_hist = hist;

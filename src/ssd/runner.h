@@ -67,9 +67,6 @@ struct RunReport {
   double p90_response_us = 0.0;
   double p99_response_us = 0.0;
   double p999_response_us = 0.0;
-  // What the pre-obs log2-bucketed histogram would have reported as p99
-  // (bucket ceiling). Kept so benches can surface the old-vs-new delta.
-  double p99_log2_ub_us = 0.0;
   double max_response_us = 0.0;
   double response_total_us = 0.0;  // Sum of measured response times.
   uint64_t trans_reads = 0;

@@ -32,6 +32,9 @@ Ssd::Ssd(const SsdConfig& config)
       journal_appends_(metrics_.counter("flash.journal_appends")),
       checkpoint_bytes_(metrics_.counter("flash.checkpoint_bytes_written")),
       resident_segments_(metrics_.gauge("flash.resident_segments")),
+      model_hits_(metrics_.counter("ftl.model_hits")),
+      model_misses_(metrics_.counter("ftl.model_misses")),
+      model_retrains_(metrics_.counter("ftl.model_retrains")),
       trace_log_(config.trace_span_requests) {
   cache_bytes_ =
       config.cache_bytes != 0 ? config.cache_bytes : PaperCacheBytes(geometry_, logical_pages_);
@@ -52,6 +55,14 @@ void Ssd::SyncDeviceMetrics() {
   journal_appends_->Set(s.meta_appends);
   checkpoint_bytes_->Set(s.meta_bytes_written);
   resident_segments_->Set(static_cast<double>(flash_.ResidentSegments()));
+}
+
+void Ssd::SyncModelMetrics() {
+  const AtStats& s = ftl_->stats();
+  synced_model_lookups_ = s.model_hits + s.model_misses;
+  model_hits_->Set(s.model_hits);
+  model_misses_->Set(s.model_misses);
+  model_retrains_->Set(s.model_retrains);
 }
 
 MicroSec Ssd::ServiceRequestPages(const IoRequest& request) {
@@ -185,6 +196,13 @@ MicroSec Ssd::Submit(const IoRequest& request) {
   // one always-equal load+compare per request.
   if (flash_.stats().meta_appends != synced_meta_appends_) [[unlikely]] {
     SyncDeviceMetrics();
+  }
+  // Same treatment for the learned-index counters: every consultation bumps
+  // hits or misses, so for the eight model-free FTLs this stays one
+  // always-equal load+compare per request.
+  const AtStats& at = ftl_->stats();
+  if (at.model_hits + at.model_misses != synced_model_lookups_) [[unlikely]] {
+    SyncModelMetrics();
   }
   ++requests_served_;
   return response;

@@ -152,6 +152,9 @@ class Ssd {
   // flash.resident_segments gauge. Called only when the flash meta-append
   // count moved, so the checkpoint-disabled hot path pays one load+compare.
   void SyncDeviceMetrics();
+  // Mirrors the FTL's learned-index counters (ftl.model_hits / model_misses
+  // / model_retrains) into the registry; same moved-only gating.
+  void SyncModelMetrics();
 
   FlashGeometry geometry_;
   NandFlash flash_;
@@ -173,7 +176,11 @@ class Ssd {
   obs::Counter* journal_appends_;         // metrics_["flash.journal_appends"]
   obs::Counter* checkpoint_bytes_;        // metrics_["flash.checkpoint_bytes_written"]
   obs::Gauge* resident_segments_;         // metrics_["flash.resident_segments"]
+  obs::Counter* model_hits_;              // metrics_["ftl.model_hits"]
+  obs::Counter* model_misses_;            // metrics_["ftl.model_misses"]
+  obs::Counter* model_retrains_;          // metrics_["ftl.model_retrains"]
   uint64_t synced_meta_appends_ = 0;
+  uint64_t synced_model_lookups_ = 0;
   obs::PhaseTimes phase_times_;
   MicroSec queue_us_total_ = 0.0;
   obs::RequestTraceLog trace_log_;

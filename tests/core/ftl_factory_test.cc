@@ -9,7 +9,8 @@ namespace {
 
 TEST(FtlFactoryTest, NamesRoundTrip) {
   for (const FtlKind kind : {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl,
-                             FtlKind::kTpftl, FtlKind::kBlockFtl, FtlKind::kFast}) {
+                             FtlKind::kTpftl, FtlKind::kBlockFtl, FtlKind::kFast, FtlKind::kZftl,
+                             FtlKind::kLearned}) {
     const auto parsed = FtlKindByName(FtlKindName(kind));
     ASSERT_TRUE(parsed.has_value()) << FtlKindName(kind);
     EXPECT_EQ(*parsed, kind);
@@ -21,12 +22,15 @@ TEST(FtlFactoryTest, NameLookupIsCaseInsensitiveWithAliases) {
   EXPECT_EQ(FtlKindByName("sftl"), FtlKind::kSftl);
   EXPECT_EQ(FtlKindByName("S-FTL"), FtlKind::kSftl);
   EXPECT_EQ(FtlKindByName("block"), FtlKind::kBlockFtl);
+  EXPECT_EQ(FtlKindByName("learned"), FtlKind::kLearned);
+  EXPECT_EQ(FtlKindByName("LearnedFTL"), FtlKind::kLearned);
   EXPECT_FALSE(FtlKindByName("nvme").has_value());
 }
 
 TEST(FtlFactoryTest, CreatesEveryKind) {
   for (const FtlKind kind : {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl, FtlKind::kSftl,
-                             FtlKind::kTpftl, FtlKind::kBlockFtl, FtlKind::kFast}) {
+                             FtlKind::kTpftl, FtlKind::kBlockFtl, FtlKind::kFast, FtlKind::kZftl,
+                             FtlKind::kLearned}) {
     testing::World w = testing::MakeWorld(1024, 32 + 640);
     auto ftl = CreateFtl(kind, w.env);
     ASSERT_NE(ftl, nullptr);

@@ -1,0 +1,301 @@
+#include "src/ftl/learned_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/plr.h"
+#include "src/testing/world.h"
+
+namespace tpftl {
+namespace {
+
+using testing::DriveRandomOps;
+using testing::MakeWorld;
+using testing::World;
+
+// --- PLR segment training ---
+
+std::vector<PlrPoint> LinearRun(size_t n, Lpn first_lpn, Ppn first_ppn) {
+  std::vector<PlrPoint> run;
+  for (size_t i = 0; i < n; ++i) {
+    run.push_back({first_lpn + i, first_ppn + i});
+  }
+  return run;
+}
+
+TEST(PlrTest, PerfectRunFitsOneExactSegment) {
+  const auto run = LinearRun(16, 100, 5000);
+  const auto segs = TrainPlr(run, /*error_bound=*/2, /*min_run_points=*/4);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].first_lpn, 100u);
+  EXPECT_EQ(segs[0].last_lpn, 115u);
+  for (const PlrPoint& p : run) {
+    EXPECT_TRUE(segs[0].Covers(p.lpn));
+    EXPECT_EQ(segs[0].Predict(p.lpn), p.ppn);  // Slope 1: no rounding slack needed.
+  }
+}
+
+TEST(PlrTest, EveryCoveredPointIsWithinTheErrorBound) {
+  // Monotone but non-linear: stride alternates 1 and 3 in ppn.
+  std::vector<PlrPoint> run;
+  Ppn ppn = 200;
+  for (Lpn lpn = 0; lpn < 24; ++lpn) {
+    run.push_back({lpn, ppn});
+    ppn += (lpn % 2 == 0) ? 1 : 3;
+  }
+  const uint32_t bound = 2;
+  const auto segs = TrainPlr(run, bound, /*min_run_points=*/4);
+  ASSERT_FALSE(segs.empty());
+  for (const PlrPoint& p : run) {
+    for (const PlrSegment& seg : segs) {
+      if (!seg.Covers(p.lpn)) {
+        continue;
+      }
+      const auto predicted = static_cast<int64_t>(seg.Predict(p.lpn));
+      const auto actual = static_cast<int64_t>(p.ppn);
+      EXPECT_LE(std::abs(predicted - actual), static_cast<int64_t>(bound))
+          << "lpn " << p.lpn;
+    }
+  }
+}
+
+TEST(PlrTest, RunsShorterThanMinPointsTrainNothing) {
+  EXPECT_TRUE(TrainPlr(LinearRun(3, 0, 0), 2, /*min_run_points=*/4).empty());
+  EXPECT_TRUE(TrainPlr({}, 2, 4).empty());
+}
+
+TEST(PlrTest, IndexEvictsLruUnderBudgetAndErasesOverlaps) {
+  LearnedIndex index(2 * LearnedIndex::kSegmentBytes);  // Two segments.
+  ASSERT_TRUE(index.enabled());
+  const auto seg = [](Lpn first, Lpn last, Ppn ppn) {
+    PlrSegment s;
+    s.first_lpn = first;
+    s.last_lpn = last;
+    s.first_ppn = ppn;
+    s.slope = 1.0;
+    return s;
+  };
+  index.Insert(seg(0, 9, 100));
+  index.Insert(seg(20, 29, 200));
+  index.Insert(seg(40, 49, 300));  // Over budget: LRU evicts untouched [0, 9].
+  EXPECT_EQ(index.segment_count(), 2u);
+  EXPECT_EQ(index.Lookup(5), nullptr);
+  EXPECT_NE(index.Lookup(25), nullptr);
+  EXPECT_NE(index.Lookup(45), nullptr);
+  index.Insert(seg(25, 34, 400));  // Overlaps [20, 29]: the old segment goes.
+  EXPECT_EQ(index.segment_count(), 2u);
+  EXPECT_EQ(index.Lookup(21), nullptr);
+  ASSERT_NE(index.Lookup(30), nullptr);
+  EXPECT_EQ(index.Lookup(30)->first_ppn, 400u);
+}
+
+TEST(PlrTest, TouchedSegmentSurvivesInsertChurn) {
+  LearnedIndex index(2 * LearnedIndex::kSegmentBytes);  // Two segments.
+  const auto seg = [](Lpn first, Lpn last, Ppn ppn) {
+    PlrSegment s;
+    s.first_lpn = first;
+    s.last_lpn = last;
+    s.first_ppn = ppn;
+    s.slope = 1.0;
+    return s;
+  };
+  index.Insert(seg(0, 9, 100));
+  index.Insert(seg(20, 29, 200));
+  // A verified hit touches [0, 9]; the next insert must evict [20, 29], the
+  // true LRU, even though [0, 9] was inserted earlier.
+  index.Touch(5);
+  index.Insert(seg(40, 49, 300));
+  EXPECT_NE(index.Lookup(5), nullptr);
+  EXPECT_EQ(index.Lookup(25), nullptr);
+  EXPECT_NE(index.Lookup(45), nullptr);
+  // EraseCovering drops exactly the covering segment.
+  index.EraseCovering(45);
+  EXPECT_EQ(index.Lookup(45), nullptr);
+  EXPECT_NE(index.Lookup(5), nullptr);
+  EXPECT_EQ(index.segment_count(), 1u);
+}
+
+TEST(PlrTest, ZeroBudgetIndexStaysEmpty) {
+  LearnedIndex index(0);
+  EXPECT_FALSE(index.enabled());
+  PlrSegment s;
+  s.first_lpn = 0;
+  s.last_lpn = 9;
+  s.first_ppn = 0;
+  s.slope = 1.0;
+  index.Insert(s);
+  EXPECT_EQ(index.segment_count(), 0u);
+  EXPECT_EQ(index.Lookup(5), nullptr);
+}
+
+// --- LearnedFtl ---
+
+// 288 B cache = 32 B GTD (8 translation pages) + 256 B entry budget. With
+// model_budget_fraction 0.5 that is 8 segments (128 B) + a 16-entry CMT.
+World SmallLearnedWorld() { return MakeWorld(1024, /*cache_bytes=*/288); }
+
+LearnedFtlOptions TestOptions() {
+  LearnedFtlOptions o;
+  o.model_budget_fraction = 0.5;
+  return o;
+}
+
+// Fills LPNs [0, n) sequentially, then floods the CMT with reads of distant
+// unwritten LPNs so every entry from the fill is evicted and a subsequent
+// read must go through the model or the translation path.
+void FillAndEvict(LearnedFtl& ftl, Lpn n) {
+  for (Lpn lpn = 0; lpn < n; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  for (Lpn lpn = 500; lpn < 500 + 24; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+}
+
+TEST(LearnedFtlTest, SequentialFillTrainsSegments) {
+  World w = SmallLearnedWorld();
+  LearnedFtl ftl(w.env, TestOptions());
+  // 32 pages = two full 16-page blocks, each finalized as it fills.
+  for (Lpn lpn = 0; lpn < 32; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  EXPECT_GE(ftl.model_segment_count(), 2u);
+  EXPECT_GE(ftl.stats().model_retrains, 2u);
+}
+
+TEST(LearnedFtlTest, VerifiedModelHitCostsNoTranslationRead) {
+  World w = SmallLearnedWorld();
+  LearnedFtl ftl(w.env, TestOptions());
+  FillAndEvict(ftl, 32);
+  const AtStats before = ftl.stats();
+  const uint64_t flash_reads_before = w.flash->stats().page_reads;
+  ftl.ReadPage(5);
+  const AtStats& after = ftl.stats();
+  EXPECT_EQ(after.model_hits, before.model_hits + 1);
+  EXPECT_EQ(after.model_misses, before.model_misses);
+  // A sequential block trains an exact segment: the first probe verifies, and
+  // that probe *is* the data read — one flash read total, zero translation
+  // reads. DFTL's same miss costs two (translation page + data).
+  EXPECT_EQ(after.trans_reads_at, before.trans_reads_at);
+  EXPECT_EQ(after.model_probe_reads, before.model_probe_reads);
+  EXPECT_EQ(w.flash->stats().page_reads, flash_reads_before + 1);
+}
+
+TEST(LearnedFtlTest, StaleSegmentFallsBackToTranslationPath) {
+  World w = SmallLearnedWorld();
+  LearnedFtl ftl(w.env, TestOptions());
+  for (Lpn lpn = 0; lpn < 32; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  // Relocate LPN 5. The open accumulator has not finalized, so the segment
+  // covering [0, 15] still predicts 5's old (now invalid) page.
+  ftl.WritePage(5);
+  for (Lpn lpn = 500; lpn < 500 + 24; ++lpn) {
+    ftl.ReadPage(lpn);  // Evict every CMT entry from the fill.
+  }
+  const AtStats before = ftl.stats();
+  ftl.ReadPage(5);
+  const AtStats& after = ftl.stats();
+  // Every probe in the ±error_bound window fails OOB verification, so the
+  // lookup pays the probes *and* the translation read — slower, never wrong.
+  EXPECT_EQ(after.model_misses, before.model_misses + 1);
+  EXPECT_EQ(after.model_hits, before.model_hits);
+  EXPECT_GT(after.model_probe_reads, before.model_probe_reads);
+  EXPECT_EQ(after.trans_reads_at, before.trans_reads_at + 1);
+  const Ppn ppn = ftl.Probe(5);
+  ASSERT_NE(ppn, kInvalidPpn);
+  EXPECT_EQ(w.flash->OobTag(ppn), 5u);
+  EXPECT_EQ(w.flash->StateOf(ppn), PageState::kValid);
+}
+
+TEST(LearnedFtlTest, HarvestedSpanServesSequentialScan) {
+  World w = SmallLearnedWorld();
+  LearnedFtl ftl(w.env, TestOptions());
+  // 12 pages: less than one 16-page block, so write-path training never
+  // fires; the only way the model can learn this run is the harvest.
+  FillAndEvict(ftl, 12);
+  const AtStats before = ftl.stats();
+  ftl.ReadPage(0);  // Miss: one translation read, which harvests [0, 11].
+  EXPECT_EQ(ftl.stats().trans_reads_at, before.trans_reads_at + 1);
+  EXPECT_GT(ftl.model_segment_count(), 0u);
+  const uint64_t flash_reads_before = w.flash->stats().page_reads;
+  for (Lpn lpn = 1; lpn < 12; ++lpn) {
+    ftl.ReadPage(lpn);  // The harvested segment serves the rest of the scan.
+  }
+  const AtStats& after = ftl.stats();
+  EXPECT_EQ(after.model_hits, before.model_hits + 11);
+  EXPECT_EQ(after.trans_reads_at, before.trans_reads_at + 1);  // Still just one.
+  // A fresh sequential run predicts exactly: each read costs only its own
+  // data read, with no failed probes and no translation traffic.
+  EXPECT_EQ(after.model_probe_reads, before.model_probe_reads);
+  EXPECT_EQ(w.flash->stats().page_reads, flash_reads_before + 11);
+}
+
+TEST(LearnedFtlTest, FailedVerificationErasesTheStaleSegment) {
+  World w = SmallLearnedWorld();
+  LearnedFtl ftl(w.env, TestOptions());
+  for (Lpn lpn = 0; lpn < 32; ++lpn) {
+    ftl.WritePage(lpn);
+  }
+  ftl.WritePage(5);  // The trained segment over [0, 15] goes stale at 5.
+  for (Lpn lpn = 500; lpn < 500 + 24; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  ftl.ReadPage(5);  // Probes fail; the covering segment must be erased.
+  EXPECT_EQ(ftl.stats().model_misses, 1u);
+  EXPECT_GT(ftl.stats().model_probe_reads, 0u);
+  EXPECT_EQ(ftl.model().Lookup(5), nullptr);
+  // Evict 5's fresh CMT entry, then re-read: without the stale segment there
+  // is nothing left to probe — no new model miss, no new wasted reads.
+  const uint64_t probe_reads = ftl.stats().model_probe_reads;
+  for (Lpn lpn = 600; lpn < 600 + 24; ++lpn) {
+    ftl.ReadPage(lpn);
+  }
+  ftl.ReadPage(5);
+  EXPECT_EQ(ftl.stats().model_misses, 1u);
+  EXPECT_EQ(ftl.stats().model_probe_reads, probe_reads);
+  const Ppn ppn = ftl.Probe(5);
+  ASSERT_NE(ppn, kInvalidPpn);
+  EXPECT_EQ(w.flash->OobTag(ppn), 5u);
+}
+
+TEST(LearnedFtlTest, GcMigrationRetrainsTheModel) {
+  World w = MakeWorld(1024, /*cache_bytes=*/288, /*total_blocks=*/96,
+                      /*gc_threshold=*/6);
+  LearnedFtl ftl(w.env, TestOptions());
+  const uint64_t retrains_baseline = ftl.stats().model_retrains;
+  // Random overwrites over a small space force data-block GC; GcMigrateSorted
+  // moves survivors in LPN order, and every migration feeds the trainer.
+  const auto shadow = DriveRandomOps(ftl, /*logical_pages=*/512, /*ops=*/6000,
+                                     /*write_ratio=*/0.9, /*seed=*/1234);
+  ASSERT_GT(ftl.stats().gc_data_blocks, 0u);
+  EXPECT_GT(ftl.stats().model_retrains, retrains_baseline);
+  // The model never compromises correctness: the full shadow map agrees.
+  for (const auto& [lpn, written] : shadow) {
+    if (!written) {
+      continue;
+    }
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn) << "lpn " << lpn;
+    ASSERT_EQ(w.flash->OobTag(ppn), lpn);
+  }
+}
+
+TEST(LearnedFtlTest, ProbeNeverConsultsTheModel) {
+  World w = SmallLearnedWorld();
+  LearnedFtl ftl(w.env, TestOptions());
+  FillAndEvict(ftl, 32);
+  const AtStats before = ftl.stats();
+  // Probe is the oracle's view: it must read the durable chain (CMT or
+  // persisted table), never a learned shortcut, and must cost no stats.
+  for (Lpn lpn = 0; lpn < 32; ++lpn) {
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    EXPECT_EQ(w.flash->OobTag(ppn), lpn);
+  }
+  EXPECT_EQ(ftl.stats().model_hits, before.model_hits);
+  EXPECT_EQ(ftl.stats().model_probe_reads, before.model_probe_reads);
+  EXPECT_EQ(ftl.stats().lookups, before.lookups);
+}
+
+}  // namespace
+}  // namespace tpftl

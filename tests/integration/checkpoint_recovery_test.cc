@@ -350,7 +350,8 @@ INSTANTIATE_TEST_SUITE_P(AllFtls, CheckpointRecoveryTest,
                          ::testing::Values(FtlKind::kOptimal, FtlKind::kDftl,
                                            FtlKind::kCdftl, FtlKind::kSftl,
                                            FtlKind::kTpftl, FtlKind::kBlockFtl,
-                                           FtlKind::kFast, FtlKind::kZftl),
+                                           FtlKind::kFast, FtlKind::kZftl,
+                                           FtlKind::kLearned),
                          [](const ::testing::TestParamInfo<FtlKind>& param_info) {
                            std::string name = FtlKindName(param_info.param);
                            for (char& c : name) {

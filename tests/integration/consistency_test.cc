@@ -96,7 +96,10 @@ TEST_P(FtlConsistencyTest, StatsAreInternallyCoherent) {
   const AtStats& s = ftl->stats();
   EXPECT_EQ(s.host_page_reads, reads);
   EXPECT_EQ(s.host_page_writes, writes);
-  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  // Every lookup is a cache hit, a translation-path miss, or (LearnedFTL
+  // only) a verified model prediction; model *misses* fall through into the
+  // translation path and are already counted in `misses`.
+  EXPECT_EQ(s.hits + s.misses + s.model_hits, s.lookups);
   EXPECT_GE(s.lookups, reads + writes);
   EXPECT_LE(s.dirty_evictions, s.evictions);
   EXPECT_GE(s.hit_ratio(), 0.0);
@@ -142,6 +145,7 @@ INSTANTIATE_TEST_SUITE_P(
                       Flavor{"BlockFTL", FtlKind::kBlockFtl, ""},
                       Flavor{"FAST", FtlKind::kFast, ""},
                       Flavor{"ZFTL", FtlKind::kZftl, ""},
+                      Flavor{"LearnedFTL", FtlKind::kLearned, ""},
                       Flavor{"TPFTL_none", FtlKind::kTpftl, "--"},
                       Flavor{"TPFTL_b", FtlKind::kTpftl, "b"},
                       Flavor{"TPFTL_c", FtlKind::kTpftl, "c"},

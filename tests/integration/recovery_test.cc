@@ -74,7 +74,7 @@ TEST_P(RecoveryTest, OobScanReconstructsTheExactMapping) {
 INSTANTIATE_TEST_SUITE_P(AllFtls, RecoveryTest,
                          ::testing::Values(FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl,
                                            FtlKind::kSftl, FtlKind::kTpftl, FtlKind::kBlockFtl,
-                                           FtlKind::kFast, FtlKind::kZftl),
+                                           FtlKind::kFast, FtlKind::kZftl, FtlKind::kLearned),
                          [](const ::testing::TestParamInfo<FtlKind>& info) {
                            std::string name = FtlKindName(info.param);
                            for (char& c : name) {

@@ -84,7 +84,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl,
                           FtlKind::kSftl, FtlKind::kTpftl, FtlKind::kBlockFtl,
-                          FtlKind::kFast, FtlKind::kZftl),
+                          FtlKind::kFast, FtlKind::kZftl, FtlKind::kLearned),
         ::testing::Values(std::string("plain"), std::string("faulty"),
                           std::string("powercut"), std::string("buffered"),
                           std::string("parallel"), std::string("checkpointed"))),

@@ -38,7 +38,7 @@ WorkloadConfig GcHeavyWorkload() {
 TEST(ObservabilityTest, PhaseSumMatchesResponseTotal) {
   for (const FtlKind kind :
        {FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kTpftl, FtlKind::kBlockFtl,
-        FtlKind::kFast, FtlKind::kZftl}) {
+        FtlKind::kFast, FtlKind::kZftl, FtlKind::kLearned}) {
     ExperimentConfig config;
     config.workload = GcHeavyWorkload();
     config.ftl_kind = kind;

@@ -106,7 +106,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllFtls, ShardedDifferentialTest,
     ::testing::Values(FtlKind::kOptimal, FtlKind::kDftl, FtlKind::kCdftl,
                       FtlKind::kSftl, FtlKind::kTpftl, FtlKind::kBlockFtl,
-                      FtlKind::kFast, FtlKind::kZftl),
+                      FtlKind::kFast, FtlKind::kZftl, FtlKind::kLearned),
     [](const ::testing::TestParamInfo<FtlKind>& info) {
       std::string name = FtlKindName(info.param);
       for (char& c : name) {
