@@ -1,0 +1,429 @@
+// Extension — device-aging endurance harness (not a paper artifact).
+//
+// Quantifies what the GC-and-endurance subsystem buys: hot/cold write
+// streams (src/ftl/heat.h) and the wear-leveling policy layer (dynamic
+// least-worn allocation + static cold-data migration), across the FTL
+// families that survive aging. Three sections:
+//   1. Wear profile under fixed work: the same skewed churn (80% of writes
+//      hammer 1/8 of the space) on an unlimited-endurance device, per
+//      FTL × GC policy × {off, streams, streams+leveling}. Streams must cut
+//      write amplification; leveling must cut the erase-count max and
+//      variance. Merge-kind and stream-split counters ride along.
+//   2. End-of-life lifetime: the same matrix on an erase-limited device
+//      (every block dies after kMaxEraseCycles erases, worn blocks are
+//      bad-blocked), driven until the FTL latches worn_out(). The metric is
+//      lifetime host bytes written before the device dies.
+//   3. Capacity sweep: the skewed churn on sparse arena devices up to 1 TB —
+//      heat classification and wear bookkeeping must ride the materialized
+//      footprint, not the virtual capacity.
+//
+//   bench_ext_endurance [--json=F]   (default BENCH_endurance.json)
+// Knobs: TPFTL_BENCH_REQUESTS        — operations per run (default 60000).
+//        TPFTL_BENCH_MAX_CAPACITY_GB — cap the capacity sweep (default 1024;
+//                                      CI smoke uses 64 to bound RAM/wall).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/ftl_factory.h"
+#include "src/flash/nand.h"
+#include "src/util/assert.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+namespace {
+
+// Small enough that end-of-life is reachable in seconds, big enough for
+// steady-state GC and a real erase histogram.
+FlashGeometry BenchGeometry(uint64_t max_erase_cycles) {
+  FlashGeometry g;
+  g.page_size_bytes = 2048;
+  g.pages_per_block = 32;
+  g.total_blocks = 128;
+  g.max_erase_cycles = max_erase_cycles;
+  return g;
+}
+
+constexpr uint64_t kLogicalPages = 3072;  // 75% of the 4096 physical pages.
+// Small enough that the hot set's rewrite interval fits inside the log/GC
+// window of every contender — separation can only pay off if hot blocks get
+// a chance to self-invalidate before they are reclaimed.
+constexpr uint64_t kHotSetPages = kLogicalPages / 16;
+constexpr uint64_t kMaxEraseCycles = 16;  // EOL section only; 0 elsewhere.
+
+uint64_t MaxCapacityGbFromEnv() {
+  const char* env = std::getenv("TPFTL_BENCH_MAX_CAPACITY_GB");
+  if (env != nullptr) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 1024;
+}
+
+// The leveling-mode axis. "off" is the legacy single-stream FIFO build;
+// "streams" adds hot/cold separation only; "leveling" stacks the dynamic +
+// static wear-leveling policy layer on top of the streams.
+struct Mode {
+  const char* name;
+  uint32_t data_streams;
+  bool leveling;
+};
+
+constexpr Mode kModes[] = {
+    {"off", 1, false},
+    {"streams", 2, false},
+    {"leveling", 2, true},
+};
+
+void ApplyMode(FtlEnv& env, const Mode& mode) {
+  env.data_streams = mode.data_streams;
+  env.dynamic_leveling = mode.leveling;
+  env.static_leveling = mode.leveling;
+  env.static_level_threshold = 8;
+}
+
+// Erase-count distribution over every block of the device.
+struct EraseProfile {
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+EraseProfile ProfileErases(const NandFlash& flash) {
+  const uint64_t blocks = flash.geometry().total_blocks;
+  EraseProfile p;
+  p.min = ~0ULL;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (BlockId b = 0; b < blocks; ++b) {
+    const uint64_t e = flash.block(b).erase_count();
+    p.min = std::min(p.min, e);
+    p.max = std::max(p.max, e);
+    sum += static_cast<double>(e);
+    sum_sq += static_cast<double>(e) * static_cast<double>(e);
+  }
+  p.mean = sum / static_cast<double>(blocks);
+  p.variance = sum_sq / static_cast<double>(blocks) - p.mean * p.mean;
+  return p;
+}
+
+uint64_t RetiredBlocks(const NandFlash& flash) {
+  uint64_t n = 0;
+  for (BlockId b = 0; b < flash.geometry().total_blocks; ++b) {
+    if (flash.IsBad(b) || flash.IsWornOut(b)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+struct EnduranceRun {
+  std::string ftl;
+  std::string gc_policy;
+  std::string mode;
+  uint32_t data_streams = 1;
+  bool leveling = false;
+  uint64_t host_writes = 0;
+  uint64_t lifetime_bytes = 0;
+  bool reached_eol = false;
+  double wa = 0.0;
+  EraseProfile erase;
+  uint64_t retired_blocks = 0;
+  uint64_t static_level_blocks = 0;
+  uint64_t switch_merges = 0;
+  uint64_t partial_merges = 0;
+  uint64_t full_merges = 0;
+  std::vector<uint64_t> stream_writes;
+};
+
+// The skewed churn every section shares: 80% of writes land on the hottest
+// 1/8 of the logical space. Stops early once the device latches end-of-life.
+uint64_t DriveChurn(Ftl& ftl, uint64_t ops, Rng& rng) {
+  uint64_t writes = 0;
+  for (uint64_t i = 0; i < ops; ++i) {
+    if (ftl.worn_out()) {
+      break;
+    }
+    const Lpn lpn =
+        rng.Below(10) < 8 ? rng.Below(kHotSetPages) : rng.Below(kLogicalPages);
+    ftl.WritePage(lpn);
+    ++writes;
+  }
+  return writes;
+}
+
+EnduranceRun MeasureOne(FtlKind kind, GcPolicy policy, const char* policy_name,
+                        const Mode& mode, uint64_t ops,
+                        uint64_t max_erase_cycles) {
+  const FlashGeometry geometry = BenchGeometry(max_erase_cycles);
+  NandFlash flash(geometry);
+  FtlEnv env;
+  env.flash = &flash;
+  env.logical_pages = kLogicalPages;
+  env.cache_bytes = PaperCacheBytes(geometry, kLogicalPages);
+  env.gc_policy = policy;
+  ApplyMode(env, mode);
+  auto ftl = CreateFtl(kind, env);
+  flash.ResetStats();  // Exclude construction-time formatting.
+
+  Rng rng(2026);
+  EnduranceRun run;
+  run.host_writes = DriveChurn(*ftl, ops, rng);
+  run.ftl = FtlKindName(kind);
+  run.gc_policy = policy_name;
+  run.mode = mode.name;
+  run.data_streams = mode.data_streams;
+  run.leveling = mode.leveling;
+  run.lifetime_bytes = run.host_writes * geometry.page_size_bytes;
+  run.reached_eol = ftl->worn_out();
+  run.wa = ftl->stats().write_amplification();
+  run.erase = ProfileErases(flash);
+  run.retired_blocks = RetiredBlocks(flash);
+  run.static_level_blocks = ftl->stats().static_level_blocks;
+  run.switch_merges = ftl->stats().switch_merges;
+  run.partial_merges = ftl->stats().partial_merges;
+  run.full_merges = ftl->stats().full_merges;
+  run.stream_writes = ftl->stream_write_counts();
+  return run;
+}
+
+struct CapacityRun {
+  std::string ftl;
+  uint64_t capacity_gb = 0;
+  uint64_t logical_pages = 0;
+  uint64_t footprint_pages = 0;
+  uint64_t resident_segments = 0;
+  uint64_t host_writes = 0;
+  double wa = 0.0;
+  uint64_t erase_max = 0;
+  std::vector<uint64_t> stream_writes;
+};
+
+// TB-scale endurance bookkeeping: the same skewed churn bounded to a ~512 MB
+// footprint, with streams + leveling on, on sparse arena devices. The heat
+// map and wear accounting must stay proportional to the written footprint.
+CapacityRun MeasureCapacity(FtlKind kind, uint64_t capacity_gb, uint64_t ops) {
+  FlashGeometry g = MakeGeometry(capacity_gb << 30);
+  g.sparse_segment_pages = 1 << 16;  // 64Ki-page arena segments.
+  const uint64_t logical_pages = (capacity_gb << 30) / g.page_size_bytes;
+  const uint64_t footprint = std::min<uint64_t>(logical_pages, 131072);
+
+  NandFlash flash(g);
+  FtlEnv env;
+  env.flash = &flash;
+  env.logical_pages = logical_pages;
+  env.cache_bytes = PaperCacheBytes(g, logical_pages);
+  ApplyMode(env, kModes[2]);  // streams + leveling.
+  auto ftl = CreateFtl(kind, env);
+  flash.ResetStats();
+
+  for (Lpn lpn = 0; lpn < footprint; ++lpn) {
+    ftl->WritePage(lpn);
+  }
+  Rng rng(7);
+  for (uint64_t i = 0; i < ops; ++i) {
+    const Lpn lpn =
+        rng.Below(10) < 8 ? rng.Below(footprint / 8) : rng.Below(footprint);
+    ftl->WritePage(lpn);
+  }
+
+  CapacityRun run;
+  run.ftl = FtlKindName(kind);
+  run.capacity_gb = capacity_gb;
+  run.logical_pages = logical_pages;
+  run.footprint_pages = footprint;
+  run.resident_segments = flash.ResidentSegments();
+  run.host_writes = footprint + ops;
+  run.wa = ftl->stats().write_amplification();
+  run.erase_max = flash.MaxEraseCount();
+  run.stream_writes = ftl->stream_write_counts();
+  return run;
+}
+
+// The matrix: which GC policies are meaningful per FTL. The log/hybrid FTLs
+// (BlockFTL, FAST) run their native merge policy — the BlockManager victim
+// policy axis does not exist for them.
+struct MatrixEntry {
+  FtlKind kind;
+  GcPolicy policy;
+  const char* policy_name;
+};
+
+std::vector<MatrixEntry> Matrix() {
+  return {
+      {FtlKind::kDftl, GcPolicy::kGreedy, "greedy"},
+      {FtlKind::kDftl, GcPolicy::kWearAware, "wear-aware"},
+      {FtlKind::kLearned, GcPolicy::kGreedy, "greedy"},
+      {FtlKind::kLearned, GcPolicy::kWearAware, "wear-aware"},
+      {FtlKind::kBlockFtl, GcPolicy::kGreedy, "native"},
+      {FtlKind::kFast, GcPolicy::kGreedy, "native"},
+  };
+}
+
+std::string JsonUintArray(const std::vector<uint64_t>& v) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    out += std::to_string(v[i]);
+    if (i + 1 < v.size()) {
+      out += ", ";
+    }
+  }
+  return out + "]";
+}
+
+void WriteRunJson(const EnduranceRun& r, bool last, std::ostream& os) {
+  os << "    {\"ftl\": \"" << r.ftl << "\", \"gc_policy\": \"" << r.gc_policy
+     << "\", \"mode\": \"" << r.mode << "\", \"data_streams\": " << r.data_streams
+     << ", \"leveling\": " << (r.leveling ? "true" : "false")
+     << ", \"host_writes\": " << r.host_writes
+     << ", \"lifetime_bytes\": " << r.lifetime_bytes
+     << ", \"reached_eol\": " << (r.reached_eol ? "true" : "false")
+     << ", \"wa\": " << FormatDouble(r.wa, 3)
+     << ", \"erase_min\": " << r.erase.min << ", \"erase_max\": " << r.erase.max
+     << ", \"erase_mean\": " << FormatDouble(r.erase.mean, 3)
+     << ", \"erase_variance\": " << FormatDouble(r.erase.variance, 3)
+     << ", \"retired_blocks\": " << r.retired_blocks
+     << ", \"static_level_blocks\": " << r.static_level_blocks
+     << ", \"switch_merges\": " << r.switch_merges
+     << ", \"partial_merges\": " << r.partial_merges
+     << ", \"full_merges\": " << r.full_merges
+     << ", \"stream_writes\": " << JsonUintArray(r.stream_writes) << "}"
+     << (last ? "" : ",") << "\n";
+}
+
+void WriteJson(const std::vector<EnduranceRun>& wear,
+               const std::vector<EnduranceRun>& eol,
+               const std::vector<CapacityRun>& capacities, std::ostream& os) {
+  os << "{\n  \"schema\": \"tpftl.bench_endurance.v1\",\n"
+     << "  \"max_erase_cycles\": " << kMaxEraseCycles << ",\n"
+     << "  \"wear_profile\": [\n";
+  for (size_t i = 0; i < wear.size(); ++i) {
+    WriteRunJson(wear[i], i + 1 == wear.size(), os);
+  }
+  os << "  ],\n  \"end_of_life\": [\n";
+  for (size_t i = 0; i < eol.size(); ++i) {
+    WriteRunJson(eol[i], i + 1 == eol.size(), os);
+  }
+  os << "  ],\n  \"capacity_sweep\": [\n";
+  for (size_t i = 0; i < capacities.size(); ++i) {
+    const CapacityRun& c = capacities[i];
+    os << "    {\"ftl\": \"" << c.ftl << "\", \"capacity_gb\": " << c.capacity_gb
+       << ", \"logical_pages\": " << c.logical_pages
+       << ", \"footprint_pages\": " << c.footprint_pages
+       << ", \"resident_segments\": " << c.resident_segments
+       << ", \"host_writes\": " << c.host_writes
+       << ", \"wa\": " << FormatDouble(c.wa, 3)
+       << ", \"erase_max\": " << c.erase_max
+       << ", \"stream_writes\": " << JsonUintArray(c.stream_writes) << "}"
+       << (i + 1 < capacities.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+std::string RowLabel(const EnduranceRun& r) {
+  return r.ftl + "/" + r.gc_policy + "/" + r.mode;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_endurance.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::cerr << "usage: bench_ext_endurance [--json=F]" << std::endl;
+      return 1;
+    }
+  }
+  const uint64_t ops = bench::RequestsFromEnv(60000);
+  const uint64_t max_capacity_gb = MaxCapacityGbFromEnv();
+
+  std::vector<EnduranceRun> wear;
+  Table wear_table("Wear profile under fixed skewed churn — " + std::to_string(ops) +
+                   " writes, 80% on 1/16 of the space");
+  wear_table.SetColumns({"", "WA", "erase min", "erase mean", "erase max",
+                         "variance", "migrated", "stream split"});
+  for (const MatrixEntry& entry : Matrix()) {
+    for (const Mode& mode : kModes) {
+      std::cerr << "  wear " << FtlKindName(entry.kind) << "/" << entry.policy_name
+                << "/" << mode.name << " ..." << std::endl;
+      EnduranceRun r = MeasureOne(entry.kind, entry.policy, entry.policy_name,
+                                  mode, ops, /*max_erase_cycles=*/0);
+      std::string split;
+      for (size_t s = 0; s < r.stream_writes.size(); ++s) {
+        split += (s > 0 ? "/" : "") + std::to_string(r.stream_writes[s]);
+      }
+      wear_table.AddRow({RowLabel(r), FormatDouble(r.wa, 2), std::to_string(r.erase.min),
+                         FormatDouble(r.erase.mean, 1), std::to_string(r.erase.max),
+                         FormatDouble(r.erase.variance, 1),
+                         std::to_string(r.static_level_blocks), split});
+      wear.push_back(std::move(r));
+    }
+  }
+  bench::Emit(wear_table);
+
+  std::vector<EnduranceRun> eol;
+  Table eol_table("Lifetime to end-of-life — every block dies after " +
+                  std::to_string(kMaxEraseCycles) + " erases");
+  eol_table.SetColumns({"", "host writes", "lifetime MB", "WA", "retired", "EOL"});
+  const uint64_t eol_cap = ops * 20;  // Safety cap; EOL normally lands first.
+  for (const MatrixEntry& entry : Matrix()) {
+    for (const Mode& mode : kModes) {
+      std::cerr << "  EOL " << FtlKindName(entry.kind) << "/" << entry.policy_name
+                << "/" << mode.name << " ..." << std::endl;
+      EnduranceRun r = MeasureOne(entry.kind, entry.policy, entry.policy_name,
+                                  mode, eol_cap, kMaxEraseCycles);
+      eol_table.AddRow({RowLabel(r), std::to_string(r.host_writes),
+                        FormatDouble(static_cast<double>(r.lifetime_bytes) / (1 << 20), 1),
+                        FormatDouble(r.wa, 2), std::to_string(r.retired_blocks),
+                        r.reached_eol ? "yes" : "capped"});
+      eol.push_back(std::move(r));
+    }
+  }
+  bench::Emit(eol_table);
+
+  std::vector<CapacityRun> capacities;
+  Table capacity_table("Endurance bookkeeping vs device capacity — sparse arenas (max " +
+                       std::to_string(max_capacity_gb) + " GB)");
+  capacity_table.SetColumns({"", "capacity", "resident segs", "WA", "erase max",
+                             "host writes"});
+  const uint64_t churn_ops = std::min<uint64_t>(ops / 2, 40000);
+  for (const uint64_t gb : {4, 32, 256, 1024}) {
+    if (gb > max_capacity_gb) {
+      std::cerr << "  capacity " << gb << " GB skipped (TPFTL_BENCH_MAX_CAPACITY_GB="
+                << max_capacity_gb << ")" << std::endl;
+      continue;
+    }
+    std::cerr << "  capacity " << gb << " GB ..." << std::endl;
+    CapacityRun c = MeasureCapacity(FtlKind::kDftl, gb, churn_ops);
+    capacity_table.AddRow({c.ftl, std::to_string(gb) + " GB",
+                           std::to_string(c.resident_segments), FormatDouble(c.wa, 2),
+                           std::to_string(c.erase_max), std::to_string(c.host_writes)});
+    capacities.push_back(std::move(c));
+  }
+  bench::Emit(capacity_table);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << std::endl;
+    return 1;
+  }
+  WriteJson(wear, eol, capacities, out);
+  std::cerr << "wrote " << json_path << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpftl
+
+int main(int argc, char** argv) { return tpftl::Main(argc, argv); }

@@ -362,6 +362,137 @@ def _check_recovery_v2(doc, path):
         )
 
 
+_ENDURANCE_RUN_FIELDS = {
+    "ftl": _STR,
+    "gc_policy": _STR,
+    "mode": _STR,
+    "data_streams": _INT,
+    "host_writes": _INT,
+    "lifetime_bytes": _INT,
+    "wa": _NUM,
+    "erase_min": _INT,
+    "erase_max": _INT,
+    "erase_mean": _NUM,
+    "erase_variance": _NUM,
+    "retired_blocks": _INT,
+    "static_level_blocks": _INT,
+    "switch_merges": _INT,
+    "partial_merges": _INT,
+    "full_merges": _INT,
+    "stream_writes": list,
+}
+
+
+def _check_endurance_section(doc, key, path):
+    _require(isinstance(doc.get(key), list) and doc[key], path, f"empty '{key}'")
+    by_config = {}
+    for i, run in enumerate(doc[key]):
+        rpath = f"{path}.{key}[{i}]"
+        _check_fields(run, _ENDURANCE_RUN_FIELDS, rpath)
+        for name in ("leveling", "reached_eol"):
+            _require(isinstance(run.get(name), bool), rpath, f"field '{name}' must be a bool")
+        # WA sane: at least 1 by definition, and nothing pathological enough
+        # to suggest a broken GC loop.
+        _require(1.0 <= run["wa"] < 64.0, rpath, f"wa {run['wa']} outside [1, 64)")
+        _require(
+            run["erase_min"] <= run["erase_mean"] <= run["erase_max"],
+            rpath,
+            "erase min/mean/max are not ordered",
+        )
+        _require(
+            len(run["stream_writes"]) == run["data_streams"],
+            rpath,
+            f"stream_writes has {len(run['stream_writes'])} entries "
+            f"for {run['data_streams']} streams",
+        )
+        by_config.setdefault((run["ftl"], run["gc_policy"]), {})[run["mode"]] = run
+    for ftl in ("DFTL", "FAST", "BlockFTL", "LearnedFTL"):
+        _require_ftl_row(doc[key], ftl, f"{path}.{key}")
+    for (ftl, policy), modes in by_config.items():
+        cpath = f"{path}.{key}[{ftl}/{policy}]"
+        for mode in ("off", "streams", "leveling"):
+            _require(mode in modes, cpath, f"missing mode '{mode}'")
+    return by_config
+
+
+def _check_endurance(doc, path):
+    # Wear profile under fixed work: hot/cold separation must cut write
+    # amplification, and the leveling layer must flatten the erase
+    # distribution it rides on.
+    wear = _check_endurance_section(doc, "wear_profile", path)
+    for (ftl, policy), modes in wear.items():
+        cpath = f"{path}.wear_profile[{ftl}/{policy}]"
+        off, streams, leveling = modes["off"], modes["streams"], modes["leveling"]
+        _require(
+            streams["wa"] < off["wa"],
+            cpath,
+            f"hot/cold streams did not reduce WA ({off['wa']} -> {streams['wa']})",
+        )
+        _require(
+            leveling["erase_max"] < streams["erase_max"],
+            cpath,
+            f"leveling did not reduce the erase max "
+            f"({streams['erase_max']} -> {leveling['erase_max']})",
+        )
+        _require(
+            leveling["erase_mean"] < off["erase_mean"],
+            cpath,
+            f"streams+leveling did not reduce the erase mean "
+            f"({off['erase_mean']} -> {leveling['erase_mean']})",
+        )
+    # End-of-life: each stacked feature must not shorten the device's life,
+    # and the full stack must extend it.
+    eol = _check_endurance_section(doc, "end_of_life", path)
+    for (ftl, policy), modes in eol.items():
+        cpath = f"{path}.end_of_life[{ftl}/{policy}]"
+        for mode, run in modes.items():
+            _require(
+                run["reached_eol"],
+                f"{cpath}.{mode}",
+                "device never reached end-of-life (op cap too low?)",
+            )
+        _require(
+            modes["leveling"]["lifetime_bytes"] > modes["off"]["lifetime_bytes"],
+            cpath,
+            f"streams+leveling shortened the lifetime "
+            f"({modes['off']['lifetime_bytes']} -> {modes['leveling']['lifetime_bytes']})",
+        )
+        _require(
+            modes["streams"]["lifetime_bytes"] >= modes["off"]["lifetime_bytes"] * 0.95,
+            cpath,
+            "hot/cold streams alone materially shortened the lifetime",
+        )
+    _require(
+        isinstance(doc.get("capacity_sweep"), list) and doc["capacity_sweep"],
+        path,
+        "empty 'capacity_sweep'",
+    )
+    for i, row in enumerate(doc["capacity_sweep"]):
+        cpath = f"{path}.capacity_sweep[{i}]"
+        _check_fields(
+            row,
+            {
+                "ftl": _STR,
+                "capacity_gb": _INT,
+                "logical_pages": _INT,
+                "footprint_pages": _INT,
+                "resident_segments": _INT,
+                "host_writes": _INT,
+                "wa": _NUM,
+                "erase_max": _INT,
+                "stream_writes": list,
+            },
+            cpath,
+        )
+        _require(
+            row["footprint_pages"] <= row["logical_pages"],
+            cpath,
+            "footprint_pages exceeds logical_pages",
+        )
+        _require(row["resident_segments"] >= 1, cpath, "no resident arena segments")
+        _require(row["wa"] >= 1.0, cpath, f"wa {row['wa']} below 1")
+
+
 def _check_trace_parse(doc, path):
     _require(isinstance(doc.get("results"), list) and doc["results"], path, "empty 'results'")
     for i, row in enumerate(doc["results"]):
@@ -379,6 +510,7 @@ _VALIDATORS = {
     "tpftl.bench_latency.v1": _check_latency,
     "tpftl.bench_recovery.v1": _check_recovery,
     "tpftl.bench_recovery.v2": _check_recovery_v2,
+    "tpftl.bench_endurance.v1": _check_endurance,
     "tpftl.bench_trace_parse.v1": _check_trace_parse,
 }
 

@@ -39,6 +39,15 @@ struct AtStats {
   uint64_t gc_misses = 0;
   uint64_t trans_reads_gc = 0;        // Translation page reads during GC.
   uint64_t trans_writes_gc = 0;       // Translation page writes during GC (= Ndt + Nmt).
+  uint64_t static_level_blocks = 0;   // Cold blocks migrated by static wear leveling.
+
+  // --- merge kinds (log/hybrid FTLs: BlockFTL, FAST) ---
+  // A switch merge promotes a fully-written replacement/log block with zero
+  // copies; a partial merge copies only the home block's surviving pages; a
+  // full merge rebuilds a complete block from scattered sources.
+  uint64_t switch_merges = 0;
+  uint64_t partial_merges = 0;
+  uint64_t full_merges = 0;
 
   // --- learned index (LearnedFTL only; zero for the other FTLs) ---
   uint64_t model_hits = 0;         // CMT misses served by a verified prediction.

@@ -14,8 +14,14 @@ BlockFtl::BlockFtl(const FtlEnv& env)
     : flash_(env.flash),
       pages_per_block_(env.flash->geometry().pages_per_block),
       logical_pages_(env.logical_pages),
-      map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock) {
+      map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock),
+      stream_writes_(env.data_streams, 0),
+      dynamic_leveling_(env.dynamic_leveling) {
   TPFTL_CHECK(env.logical_pages > 0);
+  if (env.data_streams > 1) {
+    heat_ = std::make_unique<HeatClassifier>(env.logical_pages, env.data_streams,
+                                             flash_->geometry().sparse_segment_pages);
+  }
   CheckpointConfig ckpt_cfg = env.checkpoint;
   ckpt_cfg.cumulative_data = true;  // RAM-only table: checkpoint deltas only.
   ckpt_.Configure(flash_, ckpt_cfg);
@@ -73,12 +79,18 @@ void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
     }
     free_blocks_.push_back(b);
   }
-  // Re-attach each logical block. A cut mid-merge leaves winners split over
-  // the merge source and destination; finish the merge into a fresh block.
+  // Re-attach each logical block. A cut with an open replacement leaves
+  // winners split over the home and replacement blocks; finish the merge. The
+  // newest-written block is preferred as the merge target — when every winner
+  // outside it fits a free slot of it (the common replacement shape), the
+  // completion is a partial merge that allocates nothing; otherwise the block
+  // is rebuilt into a fresh one.
   for (uint64_t lbn = 0; lbn < map_.size(); ++lbn) {
     const Lpn first = lbn * pages_per_block_;
     const Lpn last = std::min(first + pages_per_block_, logical_pages);
     BlockId home = kInvalidBlock;
+    BlockId newest = kInvalidBlock;
+    uint64_t newest_seq = 0;
     bool split = false;
     for (Lpn lpn = first; lpn < last; ++lpn) {
       if (scan.data_ppn.Get(lpn) == kInvalidPpn) {
@@ -90,6 +102,10 @@ void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
       } else if (home != b) {
         split = true;
       }
+      if (newest == kInvalidBlock || scan.data_seq.Get(lpn) > newest_seq) {
+        newest = b;
+        newest_seq = scan.data_seq.Get(lpn);
+      }
     }
     if (home == kInvalidBlock) {
       continue;
@@ -98,19 +114,29 @@ void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
       map_[lbn] = home;
       continue;
     }
-    const BlockId merged = AllocateBlock();
+    bool absorbable = true;
+    for (Lpn lpn = first; lpn < last && absorbable; ++lpn) {
+      const Ppn src = scan.data_ppn.Get(lpn);
+      if (src == kInvalidPpn || g.BlockOf(src) == newest) {
+        continue;
+      }
+      absorbable = flash_->StateOf(g.PpnOf(newest, OffsetOf(lpn))) == PageState::kFree;
+    }
+    const BlockId merged = absorbable ? newest : AllocateBlock();
     std::vector<BlockId> sources;
     for (Lpn lpn = first; lpn < last; ++lpn) {
       const Ppn src = scan.data_ppn.Get(lpn);
       if (src == kInvalidPpn) {
         continue;
       }
-      recovery_report_.rebuild_time_us += flash_->ReadPage(src);
-      recovery_report_.rebuild_time_us +=
-          flash_->ProgramPageAt(g.PpnOf(merged, OffsetOf(lpn)), lpn);
-      flash_->InvalidatePage(src);
+      if (g.BlockOf(src) != merged) {
+        recovery_report_.rebuild_time_us += flash_->ReadPage(src);
+        recovery_report_.rebuild_time_us +=
+            flash_->ProgramPageAt(g.PpnOf(merged, OffsetOf(lpn)), lpn);
+        flash_->InvalidatePage(src);
+      }
       const BlockId sb = g.BlockOf(src);
-      if (std::find(sources.begin(), sources.end(), sb) == sources.end()) {
+      if (sb != merged && std::find(sources.begin(), sources.end(), sb) == sources.end()) {
         sources.push_back(sb);
       }
     }
@@ -130,6 +156,7 @@ void BlockFtl::RecoverFromFlash(uint64_t logical_pages) {
   for (BlockId b = 0; b < g.total_blocks; ++b) {
     scan.report.bad_blocks += flash_->IsBad(b) ? 1 : 0;
   }
+  retired_ = scan.report.bad_blocks;
   if (ckpt_.enabled()) {
     // Epilogue checkpoint: persists the rebuilt map and trims the journal
     // (including any truncated torn record) so the next boot replays only
@@ -181,11 +208,47 @@ void BlockFtl::ResetStats() {
 BlockId BlockFtl::AllocateBlock() {
   while (!free_blocks_.empty() && flash_->IsBad(free_blocks_.front())) {
     free_blocks_.pop_front();  // Retired since it was freed (injected fault).
+    ++retired_;
   }
   TPFTL_CHECK_MSG(!free_blocks_.empty(), "block-level FTL out of spare blocks");
-  const BlockId block = free_blocks_.front();
-  free_blocks_.pop_front();
+  uint64_t index = 0;
+  if (dynamic_leveling_) {
+    // Dynamic wear leveling: take the least-worn usable free block instead
+    // of rotating FIFO, so churn-heavy logical blocks stop re-landing on the
+    // same tired spares. FIFO stays the default for bit-identity.
+    uint64_t best = ~0ULL;
+    for (uint64_t i = 0; i < free_blocks_.size(); ++i) {
+      if (flash_->IsBad(free_blocks_[i])) {
+        continue;
+      }
+      const uint64_t erase = flash_->block(free_blocks_[i]).erase_count();
+      if (erase < best) {
+        best = erase;
+        index = i;
+      }
+    }
+  }
+  const BlockId block = free_blocks_[index];
+  free_blocks_.erase(free_blocks_.begin() + index);
   return block;
+}
+
+uint64_t BlockFtl::UsableFreeBlocks(uint64_t cap) const {
+  uint64_t n = 0;
+  for (const BlockId b : free_blocks_) {
+    if (!flash_->IsBad(b) && ++n >= cap) {
+      break;
+    }
+  }
+  return n;
+}
+
+bool BlockFtl::worn_out() const {
+  // A full-health device (no retirements) can never exhaust its spare pool.
+  // One write allocates at most a data block plus a replacement block, and
+  // each completed merge's home erase may retire instead of refreeing — so
+  // demand headroom for both allocations plus two retired erases.
+  return retired_ > 0 && UsableFreeBlocks(4) < 4;
 }
 
 MicroSec BlockFtl::ReadPage(Lpn lpn) {
@@ -194,15 +257,8 @@ MicroSec BlockFtl::ReadPage(Lpn lpn) {
   ++stats_.lookups;
   ++stats_.hits;  // The block table is fully RAM-resident.
   MicroSec t = MaybeCheckpoint();
-  const BlockId pbn = map_[LbnOf(lpn)];
-  if (pbn == kInvalidBlock) {
-    return t;
-  }
-  const Ppn ppn = flash_->geometry().PpnOf(pbn, OffsetOf(lpn));
-  if (flash_->StateOf(ppn) != PageState::kValid) {
-    return t;  // Never-written page within a mapped block.
-  }
-  return t + flash_->ReadPage(ppn);
+  const Ppn ppn = Probe(lpn);
+  return ppn == kInvalidPpn ? t : t + flash_->ReadPage(ppn);
 }
 
 MicroSec BlockFtl::WritePage(Lpn lpn) {
@@ -210,18 +266,39 @@ MicroSec BlockFtl::WritePage(Lpn lpn) {
   ++stats_.host_page_writes;
   ++stats_.lookups;
   ++stats_.hits;
+  const uint32_t stream = heat_ ? heat_->OnWrite(lpn) : 0;
+  ++stream_writes_[stream];
   MicroSec t = MaybeCheckpoint();
   const uint64_t lbn = LbnOf(lpn);
   const uint64_t offset = OffsetOf(lpn);
+  const FlashGeometry& g = flash_->geometry();
+  if (const auto it = replace_.find(lbn); it != replace_.end()) {
+    const Ppn slot = g.PpnOf(it->second, offset);
+    if (flash_->StateOf(slot) == PageState::kFree) {
+      // The overwrite lands at its home offset in the replacement; whichever
+      // copy was current (home slot, or nothing) is superseded.
+      if (map_[lbn] != kInvalidBlock) {
+        const Ppn old = g.PpnOf(map_[lbn], offset);
+        if (flash_->StateOf(old) == PageState::kValid) {
+          flash_->InvalidatePage(old);
+        }
+      }
+      MarkCheckpointDirty(lpn);
+      return t + flash_->ProgramPageAt(slot, lpn);
+    }
+    // The replacement slot itself is spent: collapse the pair first, then
+    // the write re-opens a fresh replacement below.
+    t += CompleteMerge(lbn);
+  }
   if (map_[lbn] == kInvalidBlock) {
     map_[lbn] = AllocateBlock();
   }
-  const Ppn target = flash_->geometry().PpnOf(map_[lbn], offset);
+  const Ppn target = g.PpnOf(map_[lbn], offset);
   if (flash_->StateOf(target) == PageState::kFree) {
     MarkCheckpointDirty(lpn);
     return t + flash_->ProgramPageAt(target, lpn);
   }
-  return t + MergeAndWrite(lbn, offset, lpn);
+  return t + WriteViaReplacement(lbn, offset, lpn);
 }
 
 MicroSec BlockFtl::TrimPage(Lpn lpn) {
@@ -235,50 +312,109 @@ MicroSec BlockFtl::TrimPage(Lpn lpn) {
   return t;
 }
 
-MicroSec BlockFtl::MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn) {
+MicroSec BlockFtl::WriteViaReplacement(uint64_t lbn, uint64_t offset, Lpn lpn) {
+  MicroSec t = 0.0;
+  if (replace_.size() >= kMaxOpenReplacements) {
+    t += CompleteMerge(PickCompletionVictim());
+  }
   const FlashGeometry& g = flash_->geometry();
-  const BlockId old_block = map_[lbn];
-  const BlockId new_block = AllocateBlock();
+  const BlockId repl = AllocateBlock();
+  replace_[lbn] = repl;
+  replace_order_.push_back(lbn);
+  const Ppn old = g.PpnOf(map_[lbn], offset);
+  if (flash_->StateOf(old) == PageState::kValid) {
+    flash_->InvalidatePage(old);
+  }
+  MarkCheckpointDirty(lpn);
+  t += flash_->ProgramPageAt(g.PpnOf(repl, offset), lpn);
+  return t;
+}
+
+uint64_t BlockFtl::PickCompletionVictim() const {
+  TPFTL_CHECK(!replace_order_.empty());
+  if (!heat_) {
+    return replace_order_.front();
+  }
+  // Coldest open logical block: the one whose hottest page maps to the
+  // coldest stream (least likely to absorb more overwrites soon). Ties keep
+  // FIFO order.
+  uint64_t best = replace_order_.front();
+  uint32_t best_cold = 0;
+  bool first = true;
+  for (const uint64_t lbn : replace_order_) {
+    const Lpn lo = lbn * pages_per_block_;
+    const Lpn hi = std::min(lo + pages_per_block_, logical_pages_);
+    uint32_t hottest = heat_->streams() - 1;
+    for (Lpn lpn = lo; lpn < hi; ++lpn) {
+      hottest = std::min(hottest, heat_->StreamOf(lpn));
+    }
+    if (first || hottest > best_cold) {
+      best = lbn;
+      best_cold = hottest;
+      first = false;
+    }
+  }
+  return best;
+}
+
+MicroSec BlockFtl::CompleteMerge(uint64_t lbn) {
+  const auto it = replace_.find(lbn);
+  TPFTL_CHECK(it != replace_.end());
+  const BlockId home = map_[lbn];
+  const BlockId repl = it->second;
+  replace_.erase(it);
+  replace_order_.erase(std::find(replace_order_.begin(), replace_order_.end(), lbn));
+  TPFTL_CHECK(home != kInvalidBlock);
+
+  const FlashGeometry& g = flash_->geometry();
   MicroSec t = 0.0;
   ++stats_.gc_data_blocks;
   obs::ScopedPhase gc_phase(obs::Phase::kGc);
-  for (uint64_t o = 0; o < pages_per_block_; ++o) {
-    const Ppn src = g.PpnOf(old_block, o);
-    if (o == offset) {
-      // The incoming write replaces this slot; the stale copy is dropped.
-      if (flash_->StateOf(src) == PageState::kValid) {
-        flash_->InvalidatePage(src);
+  if (flash_->block(home).valid_pages() == 0) {
+    ++stats_.switch_merges;  // Home fully superseded: zero copies.
+  } else {
+    // Partial merge: only the home survivors move, into replacement slots
+    // that are free by construction (a replacement write always supersedes
+    // its home copy, so a home-valid offset was never written there).
+    ++stats_.partial_merges;
+    for (uint64_t o = 0; o < pages_per_block_; ++o) {
+      const Ppn src = g.PpnOf(home, o);
+      if (flash_->StateOf(src) != PageState::kValid) {
+        continue;
       }
-      obs::ScopedPhase user_phase(obs::Phase::kUser);
-      MarkCheckpointDirty(lpn);
-      t += flash_->ProgramPageAt(g.PpnOf(new_block, o), lpn);
-      continue;
+      t += flash_->ReadPage(src);
+      MarkCheckpointDirty(static_cast<Lpn>(flash_->OobTag(src)));
+      t += flash_->ProgramPageAt(g.PpnOf(repl, o), flash_->OobTag(src));
+      flash_->InvalidatePage(src);
+      ++stats_.gc_data_migrations;
+      ++stats_.gc_hits;  // The RAM-resident table is always up to date.
     }
-    if (flash_->StateOf(src) != PageState::kValid) {
-      continue;
-    }
-    // Relocate the surviving page to its fixed offset in the new block.
-    t += flash_->ReadPage(src);
-    MarkCheckpointDirty(static_cast<Lpn>(flash_->OobTag(src)));
-    t += flash_->ProgramPageAt(g.PpnOf(new_block, o), flash_->OobTag(src));
-    flash_->InvalidatePage(src);
-    ++stats_.gc_data_migrations;
-    ++stats_.gc_hits;  // The RAM-resident table is always up to date.
   }
-  t += flash_->EraseBlock(old_block);
-  if (!flash_->IsBad(old_block) && !flash_->IsWornOut(old_block)) {
-    free_blocks_.push_back(old_block);
+  t += flash_->EraseBlock(home);
+  if (!flash_->IsBad(home) && !flash_->IsWornOut(home)) {
+    free_blocks_.push_back(home);
+  } else {
+    ++retired_;
   }
-  map_[lbn] = new_block;
+  map_[lbn] = repl;
   return t;
 }
 
 Ppn BlockFtl::Probe(Lpn lpn) const {
+  const FlashGeometry& g = flash_->geometry();
+  // At most one of the home and replacement copies is valid (a replacement
+  // write invalidates its home copy), so first-match is the winner.
+  if (const auto it = replace_.find(LbnOf(lpn)); it != replace_.end()) {
+    const Ppn ppn = g.PpnOf(it->second, OffsetOf(lpn));
+    if (flash_->StateOf(ppn) == PageState::kValid) {
+      return ppn;
+    }
+  }
   const BlockId pbn = map_[LbnOf(lpn)];
   if (pbn == kInvalidBlock) {
     return kInvalidPpn;
   }
-  const Ppn ppn = flash_->geometry().PpnOf(pbn, OffsetOf(lpn));
+  const Ppn ppn = g.PpnOf(pbn, OffsetOf(lpn));
   return flash_->StateOf(ppn) == PageState::kValid ? ppn : kInvalidPpn;
 }
 

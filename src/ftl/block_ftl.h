@@ -3,23 +3,33 @@
 // One mapping entry per flash block: a logical block maps to a physical
 // block and pages keep their in-block offsets, so the whole table fits in a
 // few kilobytes of RAM (this table's size is exactly the paper's mapping-
-// cache budget for the demand-based FTLs). The price is rigid placement:
-// overwriting a page whose slot is already programmed forces a full
-// copy-merge of the block, which is why block-level mapping collapses under
-// random writes. Included to complete the paper's FTL taxonomy and to derive
-// the cache-size arithmetic from a real implementation.
+// cache budget for the demand-based FTLs). Placement stays rigid — every
+// page copy sits at its home offset — but overwrites no longer force an
+// immediate full copy-merge: an overwritten logical block opens a
+// *replacement block* that absorbs subsequent overwrites at their home
+// offsets. The merge is deferred until the replacement slot itself is
+// overwritten (or the open-replacement cap forces one) and then takes the
+// cheapest applicable form: a *switch merge* (home fully superseded — the
+// replacement simply becomes the block, zero copies) or a *partial merge*
+// (only the home block's surviving pages are copied across). Full rebuilds
+// survive only in power-cut recovery. Block-level mapping still collapses
+// under wide random writes — the taxonomy point stands — but no longer pays
+// a 16-page merge for every single overwrite.
 
 #ifndef SRC_FTL_BLOCK_FTL_H_
 #define SRC_FTL_BLOCK_FTL_H_
 
 #include <deque>
+#include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/flash/nand.h"
 #include "src/ftl/checkpoint.h"
 #include "src/ftl/demand_ftl.h"
 #include "src/ftl/ftl.h"
+#include "src/ftl/heat.h"
 #include "src/ftl/recovery.h"
 
 namespace tpftl {
@@ -38,24 +48,41 @@ class BlockFtl : public Ftl {
   const AtStats& stats() const override { return stats_; }
   void ResetStats() override;
 
-  uint64_t cache_bytes_used() const override { return map_.size() * 4; }
-  uint64_t cache_entry_count() const override { return map_.size(); }
+  bool worn_out() const override;
+  std::vector<uint64_t> stream_write_counts() const override { return stream_writes_; }
+
+  // Block table plus one entry per open replacement block.
+  uint64_t cache_bytes_used() const override { return (map_.size() + replace_.size()) * 4; }
+  uint64_t cache_entry_count() const override { return map_.size() + replace_.size(); }
 
   const RecoveryReport* recovery_report() const override {
     return recovered_ ? &recovery_report_ : nullptr;
   }
 
  private:
+  // Open replacement blocks kept at once; exceeding it completes one merge.
+  static constexpr uint64_t kMaxOpenReplacements = 4;
+
   uint64_t LbnOf(Lpn lpn) const { return lpn / pages_per_block_; }
   uint64_t OffsetOf(Lpn lpn) const { return lpn % pages_per_block_; }
   BlockId AllocateBlock();
   // Rebuilds map_ and the free list from an OOB scan after a power cut. A
-  // cut mid-merge can leave a logical block's winners split across the merge
-  // source and destination; the merge is completed during recovery.
+  // cut can leave a logical block's winners split across its home and
+  // replacement blocks; the merge is completed during recovery, absorbing
+  // into the newer block when its free slots allow (else a fresh rebuild).
   void RecoverFromFlash(uint64_t logical_pages);
-  // Copy-merges `lbn`'s block into a fresh block so `offset` becomes free
-  // again, then programs the new data there.
-  MicroSec MergeAndWrite(uint64_t lbn, uint64_t offset, Lpn lpn);
+  // Opens a replacement block for `lbn` (completing another merge first if
+  // the cap demands) and programs the overwrite into it.
+  MicroSec WriteViaReplacement(uint64_t lbn, uint64_t offset, Lpn lpn);
+  // Collapses `lbn`'s replacement back to a single block: a switch merge
+  // when the home block holds no valid pages, else a partial merge copying
+  // the home survivors into the replacement's free slots.
+  MicroSec CompleteMerge(uint64_t lbn);
+  // Open replacement to complete under cap pressure: the coldest one by the
+  // heat classifier when streams are on, else the oldest.
+  uint64_t PickCompletionVictim() const;
+  // Non-bad blocks in the free pool, counted up to `cap` (worn-out probing).
+  uint64_t UsableFreeBlocks(uint64_t cap) const;
   // The block table lives only in RAM, so checkpoints use the cumulative
   // data directory (CheckpointConfig::cumulative_data): each record carries
   // only the mappings changed since the previous one, TRIMs as clear
@@ -79,7 +106,13 @@ class BlockFtl : public Ftl {
   uint64_t pages_per_block_;
   uint64_t logical_pages_;
   std::vector<BlockId> map_;  // LBN → physical block.
+  std::unordered_map<uint64_t, BlockId> replace_;  // LBN → open replacement.
+  std::deque<uint64_t> replace_order_;             // Open LBNs, oldest first.
   std::deque<BlockId> free_blocks_;
+  std::unique_ptr<HeatClassifier> heat_;  // Null when data_streams == 1.
+  std::vector<uint64_t> stream_writes_;   // [stream] → host data writes.
+  bool dynamic_leveling_ = false;  // Least-worn allocation instead of FIFO.
+  uint64_t retired_ = 0;  // Blocks lost to faults or endurance exhaustion.
   // LPNs whose mapping changed since the last checkpoint (ordered, so the
   // emitted triples are deterministic). Empty unless checkpointing.
   std::set<Lpn> ckpt_dirty_;

@@ -1,6 +1,7 @@
 #include "src/ftl/block_manager.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "src/ftl/recovery.h"
@@ -10,26 +11,32 @@
 namespace tpftl {
 
 BlockManager::BlockManager(NandFlash* flash, uint64_t gc_threshold, GcPolicy policy,
-                           uint64_t wear_spread_limit)
+                           uint64_t wear_spread_limit, const BlockManagerOptions& options)
     : flash_(flash),
       gc_threshold_(gc_threshold),
       policy_(policy),
       wear_spread_limit_(wear_spread_limit),
+      options_(options),
       dies_(flash->geometry().total_dies()),
       last_touched_(flash->geometry().total_blocks, 0),
       free_by_die_(flash->geometry().total_dies()),
       pool_of_(flash->geometry().total_blocks, BlockPool::kNone),
-      active_data_(flash->geometry().total_dies()),
+      active_data_(static_cast<uint64_t>(options.data_streams) *
+                   flash->geometry().total_dies()),
       active_trans_(flash->geometry().total_dies()),
+      next_die_data_(options.data_streams, 0),
+      stream_writes_(options.data_streams, 0),
       bucket_head_(flash->geometry().pages_per_block + 1, kInvalidBlock),
       bucket_tail_(flash->geometry().pages_per_block + 1, kInvalidBlock),
       next_(flash->geometry().total_blocks, kInvalidBlock),
       prev_(flash->geometry().total_blocks, kInvalidBlock),
       bucket_of_(flash->geometry().total_blocks, kNotBucketed) {
   TPFTL_CHECK(flash != nullptr);
+  TPFTL_CHECK_MSG(options_.data_streams >= 1, "need at least one data stream");
   const uint64_t total = flash_->geometry().total_blocks;
   TPFTL_CHECK_MSG(total > gc_threshold + 2, "geometry too small for the GC threshold");
   for (BlockId b = 0; b < total; ++b) {
+    max_erase_seen_ = std::max(max_erase_seen_, flash_->block(b).erase_count());
     if (flash_->IsBad(b)) {
       ++bad_blocks_;  // Factory-marked bad (FaultPlan::bad_blocks).
     } else {
@@ -50,14 +57,14 @@ bool BlockManager::DieHasFreeBlock(uint32_t die) {
   return !free.empty();
 }
 
-uint32_t BlockManager::PickProgramDie(BlockPool pool) {
+uint32_t BlockManager::PickProgramDie(BlockPool pool, uint32_t stream) {
   if (dies_ == 1) {
     return 0;  // Legacy single-die path: no cursor, no availability scan.
   }
-  uint32_t& cursor = pool == BlockPool::kData ? next_die_data_ : next_die_trans_;
+  uint32_t& cursor = pool == BlockPool::kData ? next_die_data_[stream] : next_die_trans_;
   for (uint32_t i = 0; i < dies_; ++i) {
     const uint32_t die = (cursor + i) & (dies_ - 1);
-    const ActiveBlock& active = ActiveOf(pool, die);
+    const ActiveBlock& active = ActiveOf(pool, die, stream);
     if ((active.id != kInvalidBlock && flash_->block(active.id).HasFreePage()) ||
         DieHasFreeBlock(die)) {
       cursor = (die + 1) & (dies_ - 1);
@@ -68,11 +75,40 @@ uint32_t BlockManager::PickProgramDie(BlockPool pool) {
   return 0;
 }
 
-BlockId BlockManager::AllocateFreeBlock(BlockPool pool, uint32_t die) {
+uint64_t BlockManager::PickFreeIndex(const std::deque<BlockId>& free, BlockPool pool,
+                                     uint32_t stream) const {
+  if (!options_.dynamic_leveling) {
+    return 0;  // Legacy FIFO order, bit-identical to the pre-leveling path.
+  }
+  // Hot data and translation pages will be invalidated soon: give them the
+  // least-worn free block so its erase counter catches up. The coldest data
+  // stream gets the most-worn block, which then rests under data that is
+  // rarely rewritten. Intermediate streams stay FIFO.
+  const bool hottest = pool == BlockPool::kTranslation || stream == 0;
+  const bool coldest =
+      pool == BlockPool::kData && options_.data_streams > 1 && stream == options_.data_streams - 1;
+  if (!hottest && !coldest) {
+    return 0;
+  }
+  uint64_t best = 0;
+  uint64_t best_erase = flash_->block(free[0]).erase_count();
+  for (uint64_t i = 1; i < free.size(); ++i) {
+    const uint64_t erase = flash_->block(free[i]).erase_count();
+    const bool better = hottest ? erase < best_erase : erase > best_erase;
+    if (better) {
+      best = i;
+      best_erase = erase;
+    }
+  }
+  return best;
+}
+
+BlockId BlockManager::AllocateFreeBlock(BlockPool pool, uint32_t die, uint32_t stream) {
   TPFTL_CHECK_MSG(DieHasFreeBlock(die), "flash out of free blocks — GC deadlock");
   std::deque<BlockId>& free = free_by_die_[die];
-  const BlockId block = free.front();
-  free.pop_front();
+  const uint64_t index = PickFreeIndex(free, pool, stream);
+  const BlockId block = free[index];
+  free.erase(free.begin() + static_cast<std::ptrdiff_t>(index));
   --free_total_;
   pool_of_[block] = pool;
   if (pool == BlockPool::kData) {
@@ -83,22 +119,26 @@ BlockId BlockManager::AllocateFreeBlock(BlockPool pool, uint32_t die) {
   return block;
 }
 
-MicroSec BlockManager::Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn) {
+MicroSec BlockManager::Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn, uint32_t stream) {
   TPFTL_DCHECK(pool != BlockPool::kNone);
+  TPFTL_DCHECK(pool != BlockPool::kData || stream < options_.data_streams);
   const OobKind kind = pool == BlockPool::kData ? OobKind::kData : OobKind::kTranslation;
   MicroSec t = 0.0;
   for (;;) {
-    const uint32_t die = PickProgramDie(pool);
-    ActiveBlock& active = ActiveOf(pool, die);
+    const uint32_t die = PickProgramDie(pool, stream);
+    ActiveBlock& active = ActiveOf(pool, die, stream);
     if (active.id == kInvalidBlock || !flash_->block(active.id).HasFreePage()) {
-      RetireIfFull(pool, die);
-      active.id = AllocateFreeBlock(pool, die);
+      RetireIfFull(pool, die, stream);
+      active.id = AllocateFreeBlock(pool, die, stream);
     }
     Ppn ppn = kInvalidPpn;
     t += flash_->ProgramPage(active.id, oob_tag, &ppn, kind);
     last_touched_[active.id] = ++op_clock_;
-    RetireIfFull(pool, die);
+    RetireIfFull(pool, die, stream);
     if (ppn != kInvalidPpn) [[likely]] {
+      if (pool == BlockPool::kData) {
+        ++stream_writes_[stream];
+      }
       if (out_ppn != nullptr) {
         *out_ppn = ppn;
       }
@@ -110,8 +150,8 @@ MicroSec BlockManager::Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn) {
   }
 }
 
-void BlockManager::RetireIfFull(BlockPool pool, uint32_t die) {
-  ActiveBlock& active = ActiveOf(pool, die);
+void BlockManager::RetireIfFull(BlockPool pool, uint32_t die, uint32_t stream) {
+  ActiveBlock& active = ActiveOf(pool, die, stream);
   if (active.id != kInvalidBlock && !flash_->block(active.id).HasFreePage()) {
     BucketInsert(active.id);
     active.id = kInvalidBlock;
@@ -330,6 +370,7 @@ MicroSec BlockManager::EraseAndFree(BlockId block) {
     BucketErase(block);
   }
   const MicroSec t = flash_->EraseBlock(block);
+  max_erase_seen_ = std::max(max_erase_seen_, flash_->block(block).erase_count());
   if (pool_of_[block] == BlockPool::kData) {
     --data_blocks_;
   } else {
@@ -346,6 +387,14 @@ MicroSec BlockManager::EraseAndFree(BlockId block) {
     ++free_total_;
   }
   return t;
+}
+
+bool BlockManager::StaticLevelWanted() const {
+  if (!options_.static_leveling || candidate_count_ == 0) {
+    return false;
+  }
+  const uint64_t min_erase = MinCandidateErase();
+  return max_erase_seen_ >= min_erase + options_.static_level_threshold;
 }
 
 BlockPool BlockManager::PoolOf(BlockId block) const {
@@ -375,6 +424,7 @@ void BlockManager::RecoverFromScan(const OobScanResult& scan) {
   // garbage, so the guess is consequence-free).
   std::vector<BlockId> allocated;
   for (BlockId b = 0; b < total; ++b) {
+    max_erase_seen_ = std::max(max_erase_seen_, flash_->block(b).erase_count());
     if (flash_->IsBad(b)) {
       ++bad_blocks_;
       continue;
@@ -399,20 +449,33 @@ void BlockManager::RecoverFromScan(const OobScanResult& scan) {
                : a < b;
   });
 
-  // The newest partially-written block of each (pool, die) resumes as that
-  // die's active block; every other allocated block becomes a GC candidate.
-  // (Normal operation leaves at most one partial block per pool per die —
-  // the active one at the cut — but recovery tolerates more; extra partials
-  // are bucketed, and GC simply skips their free pages.)
-  std::vector<BlockId> active_data(dies_, kInvalidBlock);
+  // The newest partially-written blocks of each (pool, die) resume as that
+  // die's active blocks — one per data stream (newest partial → stream 0,
+  // the hottest), one for translation; every other allocated block becomes a
+  // GC candidate. (Normal operation leaves at most data_streams + 1 partial
+  // blocks per die — the actives at the cut — but recovery tolerates more;
+  // extra partials are bucketed, and GC simply skips their free pages. With
+  // one stream this reduces exactly to the legacy newest-partial-wins rule.)
+  std::vector<std::vector<BlockId>> data_partials(dies_);  // Ascending seq.
   std::vector<BlockId> active_trans(dies_, kInvalidBlock);
   for (const BlockId b : allocated) {  // Ascending seq: the last partial wins.
     if (scan.blocks[b].programmed == per_block) {
       continue;
     }
     const uint32_t die = flash_->geometry().DieOfBlock(b);
-    (scan.blocks[b].pool == OobKind::kTranslation ? active_trans[die]
-                                                  : active_data[die]) = b;
+    if (scan.blocks[b].pool == OobKind::kTranslation) {
+      active_trans[die] = b;
+    } else {
+      data_partials[die].push_back(b);
+    }
+  }
+  std::vector<uint32_t> data_stream_of(total, kNotBucketed);
+  for (uint32_t die = 0; die < dies_; ++die) {
+    const std::vector<BlockId>& partials = data_partials[die];
+    const uint64_t take = std::min<uint64_t>(partials.size(), options_.data_streams);
+    for (uint64_t i = 0; i < take; ++i) {
+      data_stream_of[partials[partials.size() - 1 - i]] = static_cast<uint32_t>(i);
+    }
   }
 
   for (const BlockId b : allocated) {
@@ -426,8 +489,8 @@ void BlockManager::RecoverFromScan(const OobScanResult& scan) {
     }
     last_touched_[b] = ++op_clock_;
     const uint32_t die = flash_->geometry().DieOfBlock(b);
-    if (b == active_data[die]) {
-      active_data_[die].id = b;
+    if (pool == BlockPool::kData && data_stream_of[b] != kNotBucketed) {
+      ActiveOf(BlockPool::kData, die, data_stream_of[b]).id = b;
     } else if (b == active_trans[die]) {
       active_trans_[die].id = b;
     } else {
@@ -475,11 +538,12 @@ bool BlockManager::CheckInvariants() const {
   TPFTL_CHECK_MSG(hist_total == candidate_count_, "erase histogram out of sync");
 
   for (const std::vector<ActiveBlock>* actives : {&active_data_, &active_trans_}) {
-    for (uint32_t die = 0; die < dies_; ++die) {
-      const BlockId id = (*actives)[die].id;
+    for (uint64_t i = 0; i < actives->size(); ++i) {
+      const BlockId id = (*actives)[i].id;
       if (id == kInvalidBlock) {
         continue;
       }
+      const uint32_t die = static_cast<uint32_t>(i % dies_);  // [stream * dies_ + die] layout.
       TPFTL_CHECK_MSG(flash_->geometry().DieOfBlock(id) == die,
                       "active block filed under the wrong die");
       TPFTL_CHECK_MSG(pool_of_[id] != BlockPool::kNone, "active block has no pool");

@@ -63,12 +63,29 @@ enum class BlockPool : uint8_t { kNone = 0, kData = 1, kTranslation = 2 };
 // GC victim-selection policy (see the class comment for the mechanics).
 enum class GcPolicy : uint8_t { kGreedy = 0, kCostBenefit = 1, kWearAware = 2 };
 
+// Hot/cold stream and wear-leveling policy knobs. Everything defaults off:
+// one data stream, free blocks allocated in FIFO order, no migration trigger
+// — bit-identical to the pre-stream behavior.
+struct BlockManagerOptions {
+  // Open data blocks per die, one per temperature stream (0 = hottest).
+  // Translation programs always use a single dedicated active block per die.
+  uint32_t data_streams = 1;
+  // Dynamic wear leveling: allocate the least-worn free block for hot data
+  // and translation pages, the most-worn for cold data, instead of FIFO.
+  bool dynamic_leveling = false;
+  // Static wear leveling: expose a cold migration victim (the least-worn GC
+  // candidate) once the device-max erase count runs `static_level_threshold`
+  // ahead of the candidate minimum. The owning FTL drives the migration.
+  bool static_leveling = false;
+  uint64_t static_level_threshold = 64;
+};
+
 class BlockManager {
  public:
   // `gc_threshold` — GC is requested while the free-block count is at or
   // below this value. Caller drives the GC loop (it owns mapping updates).
   BlockManager(NandFlash* flash, uint64_t gc_threshold, GcPolicy policy = GcPolicy::kGreedy,
-               uint64_t wear_spread_limit = 16);
+               uint64_t wear_spread_limit = 16, const BlockManagerOptions& options = {});
 
   BlockManager(const BlockManager&) = delete;
   BlockManager& operator=(const BlockManager&) = delete;
@@ -77,7 +94,9 @@ class BlockManager {
   // active block from the free list when needed). Returns the flash latency.
   // Injected program failures (flash/fault.h) are absorbed here: the ruined
   // page is left consumed-invalid and the program retries on the next page.
-  MicroSec Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn);
+  // `stream` selects the temperature stream for data programs (< data_streams;
+  // ignored for the translation pool).
+  MicroSec Program(BlockPool pool, uint64_t oob_tag, Ppn* out_ppn, uint32_t stream = 0);
 
   // Invalidates a valid page and updates victim bookkeeping (an O(1)
   // intrusive-list move for bucketed blocks).
@@ -128,6 +147,24 @@ class BlockManager {
   // incrementally tracked, exposed for tests.
   uint64_t MinCandidateErase() const;
 
+  // Snapshot of the candidate erase-count histogram (index = erase count).
+  // Differential recovery tests recount this from flash and compare.
+  const std::vector<uint32_t>& candidate_erase_histogram() const { return erase_hist_; }
+  uint64_t candidate_count() const { return candidate_count_; }
+
+  uint32_t data_streams() const { return options_.data_streams; }
+  // Data pages programmed per temperature stream (size = data_streams).
+  const std::vector<uint64_t>& stream_write_counts() const { return stream_writes_; }
+
+  // True when static leveling is enabled and the device-max erase count has
+  // pulled static_level_threshold ahead of the candidate minimum: cold data
+  // is pinning a low-wear block out of the write rotation.
+  bool StaticLevelWanted() const;
+  // The migration victim for a static-leveling pass: the least-worn GC
+  // candidate. kInvalidBlock when there is none.
+  BlockId StaticLevelVictim() const { return LeastWornCandidate(); }
+  uint64_t max_erase_seen() const { return max_erase_seen_; }
+
   NandFlash& flash() { return *flash_; }
   const NandFlash& flash() const { return *flash_; }
 
@@ -139,23 +176,30 @@ class BlockManager {
   // Sentinel bucket index for "not a candidate".
   static constexpr uint32_t kNotBucketed = ~0u;
 
-  void RetireIfFull(BlockPool pool, uint32_t die);
+  void RetireIfFull(BlockPool pool, uint32_t die, uint32_t stream);
   void BucketInsert(BlockId block);
   void BucketErase(BlockId block);
   // Unlink/link pair specialized for an invalidation's v → v-1 move.
   void BucketMove(BlockId block, uint64_t new_valid);
   void ListPushFront(uint64_t bucket, BlockId block);
   void ListUnlink(uint64_t bucket, BlockId block);
-  ActiveBlock& ActiveOf(BlockPool pool, uint32_t die) {
-    return pool == BlockPool::kData ? active_data_[die] : active_trans_[die];
+  // Data actives are indexed [stream * dies_ + die]; translation has a single
+  // active per die (stream ignored).
+  ActiveBlock& ActiveOf(BlockPool pool, uint32_t die, uint32_t stream) {
+    return pool == BlockPool::kData ? active_data_[stream * dies_ + die] : active_trans_[die];
   }
-  // Next die that can absorb a program for `pool`: round-robin over dies with
-  // active-block space or a free block, so programs stripe. With one die,
-  // returns 0 untouched (the legacy path). CHECK-fails when no die has space.
-  uint32_t PickProgramDie(BlockPool pool);
+  // Next die that can absorb a program for (`pool`, `stream`): round-robin
+  // over dies with active-block space or a free block, so programs stripe.
+  // With one die, returns 0 untouched (the legacy path). CHECK-fails when no
+  // die has space.
+  uint32_t PickProgramDie(BlockPool pool, uint32_t stream);
   // Prunes bad blocks off the die's free-list head; true if a block remains.
   bool DieHasFreeBlock(uint32_t die);
-  BlockId AllocateFreeBlock(BlockPool pool, uint32_t die);
+  BlockId AllocateFreeBlock(BlockPool pool, uint32_t die, uint32_t stream);
+  // Position in the die's free deque to allocate from: front (FIFO) unless
+  // dynamic leveling steers by wear — least-worn for hot/translation
+  // allocations, most-worn for cold-stream data.
+  uint64_t PickFreeIndex(const std::deque<BlockId>& free, BlockPool pool, uint32_t stream) const;
   BlockId PickGreedy() const;
   BlockId PickCostBenefit() const;
   BlockId PickWearAware() const;
@@ -167,16 +211,19 @@ class BlockManager {
   uint64_t gc_threshold_;
   GcPolicy policy_;
   uint64_t wear_spread_limit_;
+  BlockManagerOptions options_;
   uint32_t dies_;                       // geometry().total_dies(), cached.
   uint64_t op_clock_ = 0;               // Logical time for cost-benefit age.
   std::vector<uint64_t> last_touched_;  // Per-block op_clock_ of last change.
   std::vector<std::deque<BlockId>> free_by_die_;  // [die] → free blocks, id order.
   uint64_t free_total_ = 0;             // Sum over free_by_die_ sizes.
   std::vector<BlockPool> pool_of_;
-  std::vector<ActiveBlock> active_data_;   // [die] → active data block.
+  std::vector<ActiveBlock> active_data_;   // [stream * dies_ + die] → active data block.
   std::vector<ActiveBlock> active_trans_;  // [die] → active translation block.
-  uint32_t next_die_data_ = 0;   // Round-robin cursors (multi-die only).
+  std::vector<uint32_t> next_die_data_;  // Round-robin cursors per stream (multi-die only).
   uint32_t next_die_trans_ = 0;
+  std::vector<uint64_t> stream_writes_;  // [stream] → data pages programmed.
+  uint64_t max_erase_seen_ = 0;  // Device-max erase count (static-level trigger).
 
   // Candidate buckets: head/tail per valid count, intrusive links per block.
   std::vector<BlockId> bucket_head_;   // [valid] → newest candidate.

@@ -19,12 +19,20 @@ uint64_t PaperCacheBytes(const FlashGeometry& geometry, uint64_t logical_pages) 
 
 DemandFtl::DemandFtl(const FtlEnv& env, bool uses_translation_store)
     : flash_(env.flash),
-      bm_(env.flash, env.gc_threshold, env.gc_policy, env.wear_spread_limit),
+      bm_(env.flash, env.gc_threshold, env.gc_policy, env.wear_spread_limit,
+          BlockManagerOptions{env.data_streams, env.dynamic_leveling, env.static_leveling,
+                              env.static_level_threshold}),
       store_(&bm_, env.logical_pages),
       uses_translation_store_(uses_translation_store),
-      logical_pages_(env.logical_pages) {
+      logical_pages_(env.logical_pages),
+      static_level_interval_(env.static_leveling ? env.static_level_interval : 0),
+      static_level_countdown_(static_level_interval_) {
   TPFTL_CHECK(env.flash != nullptr);
   TPFTL_CHECK(env.logical_pages > 0);
+  if (env.data_streams > 1) {
+    heat_ = std::make_unique<HeatClassifier>(env.logical_pages, env.data_streams,
+                                             flash_->geometry().sparse_segment_pages);
+  }
   if (uses_translation_store) {
     TPFTL_CHECK_MSG(env.cache_bytes >= store_.gtd().size_bytes(),
                     "cache budget smaller than the GTD");
@@ -148,7 +156,7 @@ MicroSec DemandFtl::WritePage(Lpn lpn) {
     t = Translate(lpn, /*is_write=*/true, &old_ppn);
   }
   Ppn new_ppn = kInvalidPpn;
-  t += bm_.Program(BlockPool::kData, lpn, &new_ppn);
+  t += bm_.Program(BlockPool::kData, lpn, &new_ppn, WriteStream(lpn));
   if (old_ppn != kInvalidPpn) {
     bm_.Invalidate(old_ppn);
   }
@@ -159,6 +167,7 @@ MicroSec DemandFtl::WritePage(Lpn lpn) {
     }
   }
   t += RunGcIfNeeded();
+  t += MaybeStaticLevel();
   t += MaybeCheckpoint();
   return t;
 }
@@ -180,19 +189,21 @@ MicroSec DemandFtl::TrimPage(Lpn lpn) {
 }
 
 MicroSec DemandFtl::BackgroundGc(MicroSec budget_us) {
+  if (worn_out()) [[unlikely]] {
+    return 0.0;
+  }
   MicroSec spent = 0.0;
   const uint64_t soft_watermark = bm_.gc_threshold() * 2;
   while (spent < budget_us && bm_.free_block_count() < soft_watermark) {
     const BlockId victim = bm_.PickVictim();
-    if (victim == kInvalidBlock) {
+    if (victim == kInvalidBlock || LowSpareMargin()) {
       break;
     }
     const uint64_t valid = flash_->block(victim).valid_pages();
     if (valid > flash_->geometry().pages_per_block * 3 / 4) {
       break;  // Only nearly-full blocks left; not worth idle churn.
     }
-    spent += bm_.PoolOf(victim) == BlockPool::kData ? CollectDataBlock(victim)
-                                                    : CollectTranslationBlock(victim);
+    spent += CollectBlock(victim);
   }
   return spent;
 }
@@ -208,21 +219,80 @@ MicroSec DemandFtl::CommitCheckpoint() {
 }
 
 MicroSec DemandFtl::RunGcIfNeeded() {
+  if (worn_) [[unlikely]] {
+    return 0.0;  // End of life: collecting could strand data mid-migration.
+  }
   MicroSec t = 0.0;
   obs::ScopedPhase phase(obs::Phase::kGc);
   while (bm_.NeedsGc()) {
-    t += CollectOneBlock();
+    const BlockId victim = bm_.PickVictim();
+    // Graceful end of life instead of a CHECK: once retirements have eaten
+    // the spare pool down to where no victim exists, or where a worst-case
+    // collection could exhaust the remaining free blocks mid-flight, latch
+    // worn-out and stop. A healthy device (no retired blocks) never takes
+    // this exit.
+    if (victim == kInvalidBlock || LowSpareMargin()) {
+      worn_ = true;
+      break;
+    }
+    t += CollectBlock(victim);
   }
   return t;
 }
 
-MicroSec DemandFtl::CollectOneBlock() {
-  const BlockId victim = bm_.PickVictim();
-  TPFTL_CHECK_MSG(victim != kInvalidBlock, "GC found no victim — geometry exhausted");
+bool DemandFtl::LowSpareMargin() const {
+  // Worst case for one collection: a block's worth of migrations fans out
+  // over every data stream (<= streams + 1 fresh data blocks at fill
+  // boundaries) while their mapping writebacks consume translation blocks
+  // (<= 2 more). Erases that retire their block return nothing to the pool,
+  // so completion is only guaranteed with that many spare blocks up front.
+  return bm_.bad_block_count() > 0 &&
+         bm_.free_block_count() < bm_.data_streams() + 3;
+}
+
+bool DemandFtl::worn_out() const {
+  if (worn_) {
+    return true;
+  }
+  // Lazy check for paths that age the device without tripping the GC latch
+  // (e.g. a recovery boot of an end-of-life device): with retired blocks and
+  // no headroom for a worst-case collection, the next write is unsafe.
+  return LowSpareMargin();
+}
+
+MicroSec DemandFtl::CollectBlock(BlockId victim) {
   if (bm_.PoolOf(victim) == BlockPool::kData) {
     return CollectDataBlock(victim);
   }
   return CollectTranslationBlock(victim);
+}
+
+MicroSec DemandFtl::MaybeStaticLevel() {
+  if (static_level_interval_ == 0 || worn_) [[likely]] {
+    return 0.0;
+  }
+  if (--static_level_countdown_ > 0) {
+    return 0.0;
+  }
+  static_level_countdown_ = static_level_interval_;
+  if (LowSpareMargin() || !bm_.StaticLevelWanted()) {
+    return 0.0;
+  }
+  const BlockId victim = bm_.StaticLevelVictim();
+  if (victim == kInvalidBlock) {
+    return 0.0;
+  }
+  obs::ScopedPhase phase(obs::Phase::kGc);
+  ++stats_.static_level_blocks;
+  return CollectBlock(victim);
+}
+
+uint32_t DemandFtl::WriteStream(Lpn lpn) {
+  return heat_ ? heat_->OnWrite(lpn) : 0;
+}
+
+uint32_t DemandFtl::RelocateStream(Lpn lpn) const {
+  return heat_ ? heat_->StreamOf(lpn) : 0;
 }
 
 MicroSec DemandFtl::CollectDataBlock(BlockId victim) {
@@ -251,7 +321,7 @@ MicroSec DemandFtl::CollectDataBlock(BlockId victim) {
   for (const MappingUpdate& page : live) {
     t += flash_->ReadPage(page.ppn);
     Ppn new_ppn = kInvalidPpn;
-    t += bm_.Program(BlockPool::kData, page.lpn, &new_ppn);
+    t += bm_.Program(BlockPool::kData, page.lpn, &new_ppn, RelocateStream(page.lpn));
     bm_.Invalidate(page.ppn);
     ++stats_.gc_data_migrations;
     updates.push_back({page.lpn, new_ppn});
@@ -272,6 +342,7 @@ MicroSec DemandFtl::CollectDataBlock(BlockId victim) {
     t += GcRewriteTranslation(vtpn, batch);
   }
 
+  OnGcEraseDataBlock(victim);
   t += bm_.EraseAndFree(victim);
   return t;
 }

@@ -26,6 +26,7 @@
 #define SRC_FTL_DEMAND_FTL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "src/ftl/block_manager.h"
 #include "src/ftl/checkpoint.h"
 #include "src/ftl/ftl.h"
+#include "src/ftl/heat.h"
 #include "src/ftl/recovery.h"
 #include "src/ftl/translation_store.h"
 
@@ -50,6 +52,18 @@ struct FtlEnv {
   // kWearAware only: max erase-count spread tolerated before a victim is
   // skipped in favor of a less-worn alternative.
   uint64_t wear_spread_limit = 16;
+  // Hot/cold write separation: open data blocks per temperature stream, fed
+  // by a per-LPN update-frequency classifier (src/ftl/heat.h). 1 = off
+  // (bit-identical to the single-stream behavior).
+  uint32_t data_streams = 1;
+  // Wear-leveling policy layer (both off by default for bit-identity):
+  // dynamic steers free-block allocation by wear; static migrates cold data
+  // out of low-erase blocks when the spread exceeds the threshold.
+  bool dynamic_leveling = false;
+  bool static_leveling = false;
+  uint64_t static_level_threshold = 64;
+  // Host writes between static-leveling spread checks.
+  uint64_t static_level_interval = 1024;
   // When true, the FTL boots by scanning the surviving flash state (after a
   // power cut) instead of formatting it: mappings and block bookkeeping are
   // rebuilt from page OOB areas, and recovery_report() describes the result.
@@ -82,6 +96,11 @@ class DemandFtl : public Ftl {
 
   const AtStats& stats() const final { return stats_; }
   void ResetStats() override;
+
+  bool worn_out() const final;
+  std::vector<uint64_t> stream_write_counts() const final {
+    return bm_.stream_write_counts();
+  }
 
   // Budget available to cached mapping entries after the GTD's share.
   uint64_t entry_cache_budget_bytes() const { return entry_cache_budget_; }
@@ -129,6 +148,12 @@ class DemandFtl : public Ftl {
   // active block (never the victim), so the orders are interchangeable;
   // LearnedFTL sorts so GC writes re-form model-friendly LPN→PPN runs.
   virtual bool GcMigrateSorted() const { return false; }
+  // Called just before a collected data block is erased, after its valid
+  // pages migrated and the mapping updates were applied. LearnedFTL uses it
+  // to invalidate cached model segments whose predictions point into the
+  // erased block — without it they linger until a failed verification evicts
+  // them, wasting probe reads on aged devices.
+  virtual void OnGcEraseDataBlock(BlockId victim) { (void)victim; }
 
   // --- services for subclasses -------------------------------------------
   BlockManager& bm() { return bm_; }
@@ -150,18 +175,33 @@ class DemandFtl : public Ftl {
     }
     return CommitCheckpoint();
   }
-  MicroSec CollectOneBlock();
+  MicroSec CollectBlock(BlockId victim);
   MicroSec CollectDataBlock(BlockId victim);
   MicroSec CollectTranslationBlock(BlockId victim);
+  // Static wear leveling: every static_level_interval host writes, when the
+  // erase spread exceeds the threshold, collect the least-worn candidate so
+  // its cold data migrates and the block rejoins the write rotation.
+  MicroSec MaybeStaticLevel();
+  // True when retirements have eaten the spare pool below the worst-case
+  // free-block cost of one collection; collecting past this would deadlock.
+  bool LowSpareMargin() const;
+  // Temperature stream for a host write (updates heat) / a relocation (reads
+  // heat without updating — relocation is not host activity).
+  uint32_t WriteStream(Lpn lpn);
+  uint32_t RelocateStream(Lpn lpn) const;
 
   NandFlash* flash_;
   BlockManager bm_;
   TranslationStore store_;
   CheckpointScheduler ckpt_;
+  std::unique_ptr<HeatClassifier> heat_;  // Null when data_streams == 1.
   bool uses_translation_store_;
   AtStats stats_;
   uint64_t logical_pages_;
   uint64_t entry_cache_budget_ = 0;
+  uint64_t static_level_interval_ = 0;  // 0 = static leveling off.
+  uint64_t static_level_countdown_ = 0;
+  bool worn_ = false;  // Latched by a GC pass that found no usable victim.
   bool recovered_ = false;
   RecoveryReport recovery_report_;
   SegmentedArray<Ppn> recovered_user_map_;

@@ -13,8 +13,15 @@ FastFtl::FastFtl(const FtlEnv& env, const FastFtlOptions& options)
     : flash_(env.flash),
       pages_per_block_(env.flash->geometry().pages_per_block),
       logical_pages_(env.logical_pages),
-      map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock) {
+      map_((env.logical_pages + pages_per_block_ - 1) / pages_per_block_, kInvalidBlock),
+      active_log_(env.data_streams, kInvalidBlock),
+      stream_writes_(env.data_streams, 0),
+      dynamic_leveling_(env.dynamic_leveling) {
   TPFTL_CHECK(env.logical_pages > 0);
+  if (env.data_streams > 1) {
+    heat_ = std::make_unique<HeatClassifier>(env.logical_pages, env.data_streams,
+                                             flash_->geometry().sparse_segment_pages);
+  }
   const auto by_fraction = static_cast<uint64_t>(
       static_cast<double>(map_.size()) * options.log_block_fraction);
   log_block_limit_ = std::max(options.min_log_blocks, by_fraction);
@@ -123,6 +130,10 @@ void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
   while (log_blocks_.size() > log_block_limit_) {
     recovery_report_.rebuild_time_us += ReclaimOldestLog();
   }
+  if (!log_blocks_.empty()) {
+    // The newest surviving log block resumes taking (hottest-stream) appends.
+    active_log_[0] = log_blocks_.back();
+  }
   scan.report.rebuild_time_us = recovery_report_.rebuild_time_us;
   // No flash-resident table: the reconstructed map is all unpersisted.
   scan.report.unpersisted_window = scan.report.data_mappings;
@@ -130,6 +141,7 @@ void FastFtl::RecoverFromFlash(uint64_t logical_pages) {
   for (BlockId b = 0; b < g.total_blocks; ++b) {
     scan.report.bad_blocks += flash_->IsBad(b) ? 1 : 0;
   }
+  retired_ = scan.report.bad_blocks;
   if (ckpt_.enabled()) {
     // Epilogue checkpoint: persists the rebuilt tables and trims the journal
     // (including any truncated torn record). The full live mapping folds
@@ -190,11 +202,50 @@ void FastFtl::ResetStats() {
 BlockId FastFtl::AllocateBlock() {
   while (!free_blocks_.empty() && flash_->IsBad(free_blocks_.front())) {
     free_blocks_.pop_front();  // Retired since it was freed (injected fault).
+    ++retired_;
   }
   TPFTL_CHECK_MSG(!free_blocks_.empty(), "FAST out of free blocks");
-  const BlockId block = free_blocks_.front();
-  free_blocks_.pop_front();
+  uint64_t index = 0;
+  if (dynamic_leveling_) {
+    // Dynamic wear leveling: take the least-worn usable free block instead
+    // of rotating FIFO, so the log-block churn stops re-landing on the same
+    // tired spares. FIFO stays the default for bit-identity.
+    uint64_t best = ~0ULL;
+    for (uint64_t i = 0; i < free_blocks_.size(); ++i) {
+      if (flash_->IsBad(free_blocks_[i])) {
+        continue;
+      }
+      const uint64_t erase = flash_->block(free_blocks_[i]).erase_count();
+      if (erase < best) {
+        best = erase;
+        index = i;
+      }
+    }
+  }
+  const BlockId block = free_blocks_[index];
+  free_blocks_.erase(free_blocks_.begin() + index);
   return block;
+}
+
+uint64_t FastFtl::UsableFreeBlocks(uint64_t cap) const {
+  uint64_t n = 0;
+  for (const BlockId b : free_blocks_) {
+    if (!flash_->IsBad(b) && ++n >= cap) {
+      break;
+    }
+  }
+  return n;
+}
+
+bool FastFtl::worn_out() const {
+  // A full-health device (no retirements) can never exhaust its spare pool.
+  // Once blocks have been lost, one append can reclaim the oldest log block
+  // via full merges of up to pages_per_block distinct logical blocks, each
+  // allocating a fresh block whose worn-out home may retire on erase — so
+  // completion is only guaranteed with that many spares plus the fresh log
+  // block itself.
+  const uint64_t margin = pages_per_block_ + 2;
+  return retired_ > 0 && UsableFreeBlocks(margin) < margin;
 }
 
 MicroSec FastFtl::ReadPage(Lpn lpn) {
@@ -212,6 +263,8 @@ MicroSec FastFtl::WritePage(Lpn lpn) {
   ++stats_.host_page_writes;
   ++stats_.lookups;
   ++stats_.hits;
+  const uint32_t stream = heat_ ? heat_->OnWrite(lpn) : 0;
+  ++stream_writes_[stream];
   MicroSec t = MaybeCheckpoint();
   const uint64_t lbn = LbnOf(lpn);
   const uint64_t offset = OffsetOf(lpn);
@@ -226,7 +279,7 @@ MicroSec FastFtl::WritePage(Lpn lpn) {
       return t + flash_->ProgramPageAt(target, lpn);
     }
   }
-  return t + AppendToLog(lpn);
+  return t + AppendToLog(lpn, stream);
 }
 
 MicroSec FastFtl::TrimPage(Lpn lpn) {
@@ -246,7 +299,7 @@ MicroSec FastFtl::TrimPage(Lpn lpn) {
   return t;
 }
 
-MicroSec FastFtl::AppendToLog(Lpn lpn) {
+MicroSec FastFtl::AppendToLog(Lpn lpn, uint32_t stream) {
   MicroSec t = 0.0;
   Ppn new_ppn = kInvalidPpn;
   do {
@@ -254,15 +307,23 @@ MicroSec FastFtl::AppendToLog(Lpn lpn) {
     // pages exist: recovery can demote an in-place-written data block (holes
     // below a high cursor) to a log block, and sequential programming cannot
     // reach those holes.
-    if (log_blocks_.empty() ||
-        flash_->block(log_blocks_.back()).write_cursor() >=
+    if (active_log_[stream] == kInvalidBlock ||
+        flash_->block(active_log_[stream]).write_cursor() >=
             flash_->geometry().pages_per_block) {
       if (log_blocks_.size() >= log_block_limit_) {
         t += ReclaimOldestLog();
       }
-      log_blocks_.push_back(AllocateBlock());
+      // Reclaim may have compacted survivors into a fresh block for this
+      // stream; only open another one if the cursor is still out of room.
+      if (active_log_[stream] == kInvalidBlock ||
+          flash_->block(active_log_[stream]).write_cursor() >=
+              flash_->geometry().pages_per_block) {
+        const BlockId fresh = AllocateBlock();
+        log_blocks_.push_back(fresh);
+        active_log_[stream] = fresh;
+      }
     }
-    t += flash_->ProgramPage(log_blocks_.back(), lpn, &new_ppn);
+    t += flash_->ProgramPage(active_log_[stream], lpn, &new_ppn);
     // An injected program failure consumes the page as unreadable; retry on
     // the next free page (possibly of a freshly allocated log block).
   } while (new_ppn == kInvalidPpn);
@@ -305,9 +366,58 @@ bool FastFtl::IsSwitchMergeable(BlockId log_block) const {
   return true;
 }
 
+BlockId FastFtl::PickReclaimLog() const {
+  // Single stream: strict FIFO, the classic FAST order (bit-identical).
+  if (active_log_.size() == 1) {
+    return log_blocks_.front();
+  }
+  // With hot/cold streams the oldest log block is often the slowly-filling
+  // cold one, whose scattered live LBNs each cost a full merge. Pick the
+  // cheapest reclaim instead: fewest distinct live logical blocks, skipping
+  // the streams' open append targets while any sealed block exists. Ties go
+  // to the oldest so the log still drains.
+  BlockId best = kInvalidBlock;
+  uint64_t best_cost = ~0ULL;
+  for (int pass = 0; pass < 2 && best == kInvalidBlock; ++pass) {
+    const bool allow_active = pass == 1;
+    for (const BlockId candidate : log_blocks_) {
+      const bool active =
+          std::find(active_log_.begin(), active_log_.end(), candidate) !=
+          active_log_.end();
+      if (active && !allow_active) {
+        continue;
+      }
+      std::vector<uint64_t> lbns;
+      for (uint64_t off = 0; off < pages_per_block_; ++off) {
+        const Ppn ppn = flash_->geometry().PpnOf(candidate, off);
+        if (flash_->StateOf(ppn) != PageState::kValid) {
+          continue;
+        }
+        const uint64_t lbn = LbnOf(static_cast<Lpn>(flash_->OobTag(ppn)));
+        if (std::find(lbns.begin(), lbns.end(), lbn) == lbns.end()) {
+          lbns.push_back(lbn);
+        }
+      }
+      const uint64_t cost = IsSwitchMergeable(candidate) ? 0 : lbns.size();
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = candidate;
+      }
+    }
+  }
+  return best;
+}
+
 MicroSec FastFtl::ReclaimOldestLog() {
   TPFTL_CHECK(!log_blocks_.empty());
-  const BlockId victim = log_blocks_.front();
+  const BlockId victim = PickReclaimLog();
+  // The victim may still be some stream's append target (e.g. the only log
+  // block); that stream reopens on its next append.
+  for (BlockId& active : active_log_) {
+    if (active == victim) {
+      active = kInvalidBlock;
+    }
+  }
   MicroSec t = 0.0;
   obs::ScopedPhase gc_phase(obs::Phase::kGc);
 
@@ -322,17 +432,51 @@ MicroSec FastFtl::ReclaimOldestLog() {
       log_map_.erase(first_lpn + off);
     }
     map_[lbn] = victim;
-    log_blocks_.pop_front();
+    log_blocks_.erase(std::find(log_blocks_.begin(), log_blocks_.end(), victim));
     if (old_data != kInvalidBlock) {
       // All its pages were superseded by the (complete) log block.
       TPFTL_CHECK(flash_->block(old_data).valid_pages() == 0);
       t += flash_->EraseBlock(old_data);
       if (!flash_->IsBad(old_data) && !flash_->IsWornOut(old_data)) {
         free_blocks_.push_back(old_data);
+      } else {
+        ++retired_;
       }
     }
-    ++switch_merges_;
+    ++stats_.switch_merges;
     return t;
+  }
+
+  // Log compaction (hot/cold builds only): a mostly-dead log block — the
+  // normal fate of a hot log once rewrites supersede its entries — is
+  // cheaper to clean by re-appending its few survivors than by full-merging
+  // every logical block they touch at pages_per_block copies each.
+  if (active_log_.size() > 1) {
+    std::vector<std::pair<Lpn, Ppn>> live;
+    for (uint64_t off = 0; off < pages_per_block_; ++off) {
+      const Ppn ppn = flash_->geometry().PpnOf(victim, off);
+      if (flash_->StateOf(ppn) == PageState::kValid) {
+        live.push_back({static_cast<Lpn>(flash_->OobTag(ppn)), ppn});
+      }
+    }
+    if (live.size() <= pages_per_block_ / 4) {
+      // Remove the victim first so compaction appends can open a fresh log
+      // block without re-entering reclaim.
+      log_blocks_.erase(std::find(log_blocks_.begin(), log_blocks_.end(), victim));
+      for (const auto& [lpn, source] : live) {
+        t += flash_->ReadPage(source);
+        t += CompactAppend(lpn, source);
+      }
+      TPFTL_CHECK(flash_->block(victim).valid_pages() == 0);
+      t += flash_->EraseBlock(victim);
+      if (!flash_->IsBad(victim) && !flash_->IsWornOut(victim)) {
+        free_blocks_.push_back(victim);
+      } else {
+        ++retired_;
+      }
+      ++stats_.partial_merges;
+      return t;
+    }
   }
 
   // Full merge: rebuild every logical block that has a valid page here.
@@ -354,8 +498,35 @@ MicroSec FastFtl::ReclaimOldestLog() {
   t += flash_->EraseBlock(victim);
   if (!flash_->IsBad(victim) && !flash_->IsWornOut(victim)) {
     free_blocks_.push_back(victim);
+  } else {
+    ++retired_;
   }
-  log_blocks_.pop_front();
+  log_blocks_.erase(std::find(log_blocks_.begin(), log_blocks_.end(), victim));
+  return t;
+}
+
+MicroSec FastFtl::CompactAppend(Lpn lpn, Ppn source) {
+  // A valid page in a log block is that LPN's freshest copy, so this append
+  // moves the log_map_ entry. StreamOf (not OnWrite): relocation is not host
+  // heat.
+  const uint32_t stream = heat_->StreamOf(lpn);
+  MicroSec t = 0.0;
+  Ppn new_ppn = kInvalidPpn;
+  do {
+    if (active_log_[stream] == kInvalidBlock ||
+        flash_->block(active_log_[stream]).write_cursor() >=
+            flash_->geometry().pages_per_block) {
+      const BlockId fresh = AllocateBlock();
+      log_blocks_.push_back(fresh);
+      active_log_[stream] = fresh;
+    }
+    t += flash_->ProgramPage(active_log_[stream], lpn, &new_ppn);
+  } while (new_ppn == kInvalidPpn);
+  flash_->InvalidatePage(source);
+  log_map_[lpn] = new_ppn;
+  MarkCheckpointDirty(lpn);
+  ++stats_.gc_data_migrations;
+  ++stats_.gc_hits;  // Mapping state is RAM-resident.
   return t;
 }
 
@@ -365,7 +536,7 @@ MicroSec FastFtl::FullMergeLbn(uint64_t lbn) {
   const BlockId old_data = map_[lbn];
   MicroSec t = 0.0;
   ++stats_.gc_data_blocks;
-  ++full_merges_;
+  ++stats_.full_merges;
   for (uint64_t off = 0; off < pages_per_block_; ++off) {
     const Lpn lpn = lbn * pages_per_block_ + off;
     Ppn source = kInvalidPpn;
@@ -393,6 +564,8 @@ MicroSec FastFtl::FullMergeLbn(uint64_t lbn) {
     t += flash_->EraseBlock(old_data);
     if (!flash_->IsBad(old_data) && !flash_->IsWornOut(old_data)) {
       free_blocks_.push_back(old_data);
+    } else {
+      ++retired_;
     }
   }
   map_[lbn] = new_block;

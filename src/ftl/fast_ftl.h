@@ -23,6 +23,7 @@
 #define SRC_FTL_FAST_FTL_H_
 
 #include <deque>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "src/ftl/checkpoint.h"
 #include "src/ftl/demand_ftl.h"
 #include "src/ftl/ftl.h"
+#include "src/ftl/heat.h"
 #include "src/ftl/recovery.h"
 
 namespace tpftl {
@@ -59,9 +61,12 @@ class FastFtl : public Ftl {
   }
   uint64_t cache_entry_count() const override { return map_.size() + log_map_.size(); }
 
+  bool worn_out() const override;
+  std::vector<uint64_t> stream_write_counts() const override { return stream_writes_; }
+
   uint64_t log_block_limit() const { return log_block_limit_; }
-  uint64_t full_merges() const { return full_merges_; }
-  uint64_t switch_merges() const { return switch_merges_; }
+  uint64_t full_merges() const { return stats_.full_merges; }
+  uint64_t switch_merges() const { return stats_.switch_merges; }
 
   const RecoveryReport* recovery_report() const override {
     return recovered_ ? &recovery_report_ : nullptr;
@@ -74,10 +79,16 @@ class FastFtl : public Ftl {
   // Rebuilds map_, the log set and the free list from an OOB scan after a
   // power cut, then reclaims any log overflow down to the limit.
   void RecoverFromFlash(uint64_t logical_pages);
-  // Appends to the active log block, opening a new one (and merging when at
-  // the limit) as needed.
-  MicroSec AppendToLog(Lpn lpn);
+  // Appends to `stream`'s active log block, opening a new one (and merging
+  // when at the limit) as needed. With hot/cold separation each temperature
+  // stream fills its own log block, so hot overwrites cluster — their blocks
+  // die (fully superseded) or switch-merge instead of forcing full merges.
+  MicroSec AppendToLog(Lpn lpn, uint32_t stream);
+  // Non-bad blocks in the free pool, counted up to `cap` (worn-out probing).
+  uint64_t UsableFreeBlocks(uint64_t cap) const;
   // Reclaims the oldest log block via switch or full merge.
+  BlockId PickReclaimLog() const;
+  MicroSec CompactAppend(Lpn lpn, Ppn source);
   MicroSec ReclaimOldestLog();
   // Rebuilds one logical block from its freshest page copies.
   MicroSec FullMergeLbn(uint64_t lbn);
@@ -110,15 +121,18 @@ class FastFtl : public Ftl {
   uint64_t log_block_limit_;
   std::vector<BlockId> map_;                 // LBN → data block.
   std::unordered_map<Lpn, Ppn> log_map_;     // Freshest log copy per LPN.
-  std::deque<BlockId> log_blocks_;           // Oldest first; back is active.
+  std::deque<BlockId> log_blocks_;           // Allocation order; front is reclaimed.
+  std::vector<BlockId> active_log_;          // [stream] → log block taking appends.
   std::deque<BlockId> free_blocks_;
+  std::unique_ptr<HeatClassifier> heat_;  // Null when data_streams == 1.
+  std::vector<uint64_t> stream_writes_;   // [stream] → host data writes.
+  bool dynamic_leveling_ = false;  // Least-worn allocation instead of FIFO.
+  uint64_t retired_ = 0;  // Blocks lost to faults or endurance exhaustion.
   // LPNs whose mapping changed since the last checkpoint (ordered, so the
   // emitted triples are deterministic). Empty unless checkpointing.
   std::set<Lpn> ckpt_dirty_;
   CheckpointScheduler ckpt_;
   AtStats stats_;
-  uint64_t full_merges_ = 0;
-  uint64_t switch_merges_ = 0;
   bool recovered_ = false;
   RecoveryReport recovery_report_;
 };

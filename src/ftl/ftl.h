@@ -9,6 +9,7 @@
 #define SRC_FTL_FTL_H_
 
 #include <string>
+#include <vector>
 
 #include "src/flash/types.h"
 #include "src/ftl/at_stats.h"
@@ -53,6 +54,19 @@ class Ftl {
 
   virtual const AtStats& stats() const = 0;
   virtual void ResetStats() = 0;
+
+  // True when the device has aged past serving new writes: so many blocks
+  // have been retired (erase failures or exhausted endurance budgets) that
+  // another write or GC pass could strand data. Reads remain valid forever.
+  // The driver contract is check-before-mutate: a WritePage/TrimPage issued
+  // while worn_out() was false completes normally; once it flips true the
+  // caller must stop issuing mutations. Default: never (unlimited-endurance
+  // geometries cannot exhaust the pool).
+  virtual bool worn_out() const { return false; }
+
+  // Host data pages written per temperature stream (hot/cold separation).
+  // Single-stream FTLs report one bucket; empty means streams are untracked.
+  virtual std::vector<uint64_t> stream_write_counts() const { return {}; }
 
   // Mapping-cache occupancy diagnostics (0 for FTLs without a cache budget).
   virtual uint64_t cache_bytes_used() const { return 0; }

@@ -1,0 +1,53 @@
+#include "src/ftl/heat.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+HeatClassifier::HeatClassifier(uint64_t logical_pages, uint32_t streams,
+                               uint64_t sparse_segment_pages)
+    : streams_(streams),
+      window_(std::max<uint64_t>(logical_pages / 4, 64)),
+      heat_(logical_pages, 0, sparse_segment_pages) {
+  TPFTL_CHECK_MSG(streams >= 1, "a heat classifier needs at least one stream");
+}
+
+uint16_t HeatClassifier::DecayedCount(Lpn lpn) const {
+  const uint16_t packed = heat_.Get(lpn);
+  const uint32_t stamp = packed >> 8;
+  const uint32_t delta = (epoch_ - stamp) & 0xFFu;
+  if (delta >= 8) {
+    return 0;  // Fully decayed (and absorbs the 256-epoch stamp wrap).
+  }
+  return static_cast<uint16_t>((packed & 0xFFu) >> delta);
+}
+
+uint32_t HeatClassifier::StreamFromCount(uint16_t count) const {
+  // Coldest by default; each doubling of the rewrite count earns one hotter
+  // tier. Two streams: count >= 2 is hot.
+  uint32_t stream = streams_ - 1;
+  uint16_t threshold = 2;
+  while (stream > 0 && count >= threshold) {
+    --stream;
+    threshold = static_cast<uint16_t>(threshold << 1);
+  }
+  return stream;
+}
+
+uint32_t HeatClassifier::OnWrite(Lpn lpn) {
+  ++writes_;
+  if (writes_ % window_ == 0) {
+    epoch_ = (epoch_ + 1) & 0xFFu;
+  }
+  const uint16_t count = std::min<uint16_t>(DecayedCount(lpn) + 1, 255);
+  heat_.Set(lpn, static_cast<uint16_t>((epoch_ << 8) | count));
+  return StreamFromCount(count);
+}
+
+uint32_t HeatClassifier::StreamOf(Lpn lpn) const {
+  return StreamFromCount(DecayedCount(lpn));
+}
+
+}  // namespace tpftl

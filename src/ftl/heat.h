@@ -1,0 +1,66 @@
+// Per-LPN update-frequency classification for hot/cold write streams.
+//
+// Separating frequently rewritten (hot) pages from rarely rewritten (cold)
+// ones into different open blocks makes GC victims polarized: hot blocks
+// self-invalidate almost completely before collection (cheap victims) while
+// cold blocks stay fully valid and are never ground through the GC loop.
+// The classifier is an exponential-decay write counter per LPN, packed into
+// 16 bits (8-bit saturating count + 8-bit epoch stamp) and decayed lazily:
+// instead of sweeping the whole array each decay window, the stored epoch is
+// compared on access and the count is right-shifted once per elapsed window.
+// Storage rides SegmentedArray, so on a TB-scale sparse device the heat map
+// materializes with the written footprint, not the virtual capacity.
+//
+// Stream indices are temperatures: 0 is the hottest, streams()-1 the
+// coldest. Thresholds double per tier, so with two streams an LPN written
+// twice within the recent window is hot; with more streams the hottest tiers
+// demand geometrically more rewrites.
+
+#ifndef SRC_FTL_HEAT_H_
+#define SRC_FTL_HEAT_H_
+
+#include <cstdint>
+
+#include "src/flash/types.h"
+#include "src/util/segmented_array.h"
+
+namespace tpftl {
+
+class HeatClassifier {
+ public:
+  // `streams` >= 1; `sparse_segment_pages` mirrors the device geometry (0 =
+  // dense backing). The decay window scales with the logical space so the
+  // "recent" horizon is a constant fraction of the device, not a wall-clock.
+  HeatClassifier(uint64_t logical_pages, uint32_t streams,
+                 uint64_t sparse_segment_pages = 0);
+
+  // Records a host write of `lpn` and returns its stream (post-update).
+  uint32_t OnWrite(Lpn lpn);
+
+  // Classifies without recording — GC migrations and leveling moves must not
+  // count as host heat, or relocation itself would keep cold data "hot".
+  uint32_t StreamOf(Lpn lpn) const;
+
+  uint32_t streams() const { return streams_; }
+  // RAM actually committed to the heat map: on a sparse device only the
+  // materialized segments count, mirroring the storage promise above.
+  uint64_t bytes_used() const {
+    return heat_.dense() ? heat_.size() * sizeof(uint16_t)
+                         : heat_.materialized_segments() * heat_.segment_size() *
+                               sizeof(uint16_t);
+  }
+
+ private:
+  uint16_t DecayedCount(Lpn lpn) const;
+  uint32_t StreamFromCount(uint16_t count) const;
+
+  uint32_t streams_;
+  uint64_t window_;     // Host writes per decay epoch.
+  uint64_t writes_ = 0;
+  uint32_t epoch_ = 0;  // Wraps at 256; deltas >= 8 zero the count anyway.
+  SegmentedArray<uint16_t> heat_;  // Low 8 bits count, high 8 bits epoch.
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_FTL_HEAT_H_

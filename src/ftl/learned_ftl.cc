@@ -318,4 +318,13 @@ void LearnedFtl::CollectCheckpointDirty(std::vector<DirtyMapping>* out) {
   }
 }
 
+void LearnedFtl::OnGcEraseDataBlock(BlockId victim) {
+  const FlashGeometry& g = flash().geometry();
+  const Ppn begin = g.PpnOf(victim, 0);
+  model_.ErasePpnRange(begin, begin + g.pages_per_block);
+  // Pending samples destined for the victim describe pages that no longer
+  // exist; accum_order_ tolerates the stale id until compaction.
+  accum_.erase(victim);
+}
+
 }  // namespace tpftl

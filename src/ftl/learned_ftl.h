@@ -83,6 +83,11 @@ class LearnedFtl : public DemandFtl {
   bool GcUpdateCached(Lpn lpn, Ppn new_ppn, MicroSec* extra_time) override;
   void CollectCheckpointDirty(std::vector<DirtyMapping>* out) override;
   bool GcMigrateSorted() const override { return true; }
+  // GC erased `victim`: every model segment predicting into it is stale for
+  // its whole span (the valid pages migrated out), as are pending training
+  // samples destined for it. Drop both instead of paying failed probe reads
+  // until piecemeal eviction catches up.
+  void OnGcEraseDataBlock(BlockId victim) override;
 
  private:
   struct Entry {

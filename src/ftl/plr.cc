@@ -97,6 +97,20 @@ void LearnedIndex::EraseCovering(Lpn lpn) {
   }
 }
 
+void LearnedIndex::ErasePpnRange(Ppn begin, Ppn end) {
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    const PlrSegment& s = it->second.seg;
+    // Runs ascend in both axes, so the predicted span is [first_ppn,
+    // Predict(last_lpn)] inclusive.
+    if (s.first_ppn < end && s.Predict(s.last_lpn) >= begin) {
+      lru_.erase(it->second.pos);
+      it = segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 const PlrSegment* LearnedIndex::Lookup(Lpn lpn) const {
   auto it = segments_.upper_bound(lpn);
   if (it == segments_.begin()) {

@@ -87,6 +87,12 @@ class LearnedIndex {
   // from paying wasted probe reads.
   void EraseCovering(Lpn lpn);
 
+  // Drops every segment whose predicted PPN span intersects [begin, end).
+  // Called when GC erases a data block: segments pointing into it are stale
+  // for their whole span (the valid pages just migrated out), and without
+  // this they linger until failed verifications evict them one by one.
+  void ErasePpnRange(Ppn begin, Ppn end);
+
   uint64_t segment_count() const { return segments_.size(); }
   uint64_t bytes_used() const { return segments_.size() * kSegmentBytes; }
   uint64_t max_segments() const { return max_segments_; }

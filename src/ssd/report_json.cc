@@ -50,6 +50,16 @@ void WriteReportJson(const RunReport& r, std::ostream& os) {
   os << ",\"cache_bytes_budget\":" << r.cache_bytes_budget;
   os << ",\"cache_bytes_used\":" << r.cache_bytes_used;
   os << ",\"cache_entries\":" << r.cache_entries;
+  os << ",\"erase_min\":" << r.erase_min;
+  os << ",\"erase_max\":" << r.erase_max;
+  os << ",\"erase_mean\":" << r.erase_mean;
+  os << ",\"erase_variance\":" << r.erase_variance;
+  os << ",\"bad_blocks\":" << r.bad_blocks;
+  os << ",\"stream_writes\":[";
+  for (size_t i = 0; i < r.stream_writes.size(); ++i) {
+    os << (i == 0 ? "" : ",") << r.stream_writes[i];
+  }
+  os << "]";
   os << ",\"stats\":{";
   os << "\"lookups\":" << r.stats.lookups;
   os << ",\"hits\":" << r.stats.hits;
@@ -65,6 +75,10 @@ void WriteReportJson(const RunReport& r, std::ostream& os) {
   os << ",\"gc_trans_migrations\":" << r.stats.gc_trans_migrations;
   os << ",\"gc_hits\":" << r.stats.gc_hits;
   os << ",\"gc_misses\":" << r.stats.gc_misses;
+  os << ",\"static_level_blocks\":" << r.stats.static_level_blocks;
+  os << ",\"switch_merges\":" << r.stats.switch_merges;
+  os << ",\"partial_merges\":" << r.stats.partial_merges;
+  os << ",\"full_merges\":" << r.stats.full_merges;
   os << ",\"model_hits\":" << r.stats.model_hits;
   os << ",\"model_misses\":" << r.stats.model_misses;
   os << ",\"model_probe_reads\":" << r.stats.model_probe_reads;

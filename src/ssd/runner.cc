@@ -25,6 +25,11 @@ SsdConfig MakeSsdConfig(const ExperimentConfig& config) {
   ssd_config.background_gc = config.background_gc;
   ssd_config.trace_phases = config.trace_phases;
   ssd_config.trace_span_requests = config.trace_span_requests;
+  ssd_config.max_erase_cycles = config.max_erase_cycles;
+  ssd_config.data_streams = config.data_streams;
+  ssd_config.dynamic_leveling = config.dynamic_leveling;
+  ssd_config.static_leveling = config.static_leveling;
+  ssd_config.static_level_threshold = config.static_level_threshold;
   return ssd_config;
 }
 
@@ -71,6 +76,30 @@ RunReport ExtractReport(const Ssd& ssd, const std::string& workload_name, uint64
   r.cache_bytes_budget = ssd.cache_bytes();
   r.cache_bytes_used = ssd.ftl().cache_bytes_used();
   r.cache_entries = ssd.ftl().cache_entry_count();
+  // Wear distribution straight off the device: lifetime erase counts, not
+  // stats-window deltas, so leveling effects are visible across resets.
+  const NandFlash& flash = ssd.flash();
+  const uint64_t total_blocks = ssd.geometry().total_blocks;
+  uint64_t min_e = ~0ULL;
+  uint64_t max_e = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (BlockId b = 0; b < total_blocks; ++b) {
+    const uint64_t e = flash.block(b).erase_count();
+    min_e = std::min(min_e, e);
+    max_e = std::max(max_e, e);
+    sum += static_cast<double>(e);
+    sum_sq += static_cast<double>(e) * static_cast<double>(e);
+    r.bad_blocks += flash.IsBad(b) ? 1 : 0;
+  }
+  r.erase_min = total_blocks > 0 ? min_e : 0;
+  r.erase_max = max_e;
+  if (total_blocks > 0) {
+    const double n = static_cast<double>(total_blocks);
+    r.erase_mean = sum / n;
+    r.erase_variance = std::max(0.0, sum_sq / n - r.erase_mean * r.erase_mean);
+  }
+  r.stream_writes = ssd.ftl().stream_write_counts();
   return r;
 }
 

@@ -48,6 +48,12 @@ struct ExperimentConfig {
   // Span timelines for the first N measured requests (Chrome-trace export
   // via Ssd::trace_log; requires trace_phases).
   uint64_t trace_span_requests = 0;
+  // Endurance and wear knobs (SsdConfig equivalents; all default off).
+  uint64_t max_erase_cycles = 0;
+  uint32_t data_streams = 1;
+  bool dynamic_leveling = false;
+  bool static_leveling = false;
+  uint64_t static_level_threshold = 64;
 };
 
 struct RunReport {
@@ -75,6 +81,15 @@ struct RunReport {
   uint64_t cache_bytes_budget = 0;
   uint64_t cache_bytes_used = 0;
   uint64_t cache_entries = 0;
+
+  // Wear distribution over all physical blocks at extraction time, and host
+  // data writes per temperature stream (empty when the FTL tracks none).
+  uint64_t erase_min = 0;
+  uint64_t erase_max = 0;
+  double erase_mean = 0.0;
+  double erase_variance = 0.0;
+  uint64_t bad_blocks = 0;
+  std::vector<uint64_t> stream_writes;
 
   // Full response-time distribution (copyable; merged by AggregateSweep).
   obs::LatencyHistogram response_hist;

@@ -16,6 +16,7 @@ FlashGeometry BuildGeometry(const SsdConfig& config) {
                            config.dies_per_channel, config.planes_per_die,
                            config.over_provision);
   g.sparse_segment_pages = config.sparse_segment_pages;
+  g.max_erase_cycles = config.max_erase_cycles;
   return g;
 }
 
@@ -45,6 +46,10 @@ Ssd::Ssd(const SsdConfig& config)
   env.gc_threshold = config.gc_threshold;
   env.gc_policy = config.gc_policy;
   env.checkpoint = config.checkpoint;
+  env.data_streams = config.data_streams;
+  env.dynamic_leveling = config.dynamic_leveling;
+  env.static_leveling = config.static_leveling;
+  env.static_level_threshold = config.static_level_threshold;
   ftl_ = CreateFtl(config.ftl_kind, env, config.tpftl_options);
   SyncDeviceMetrics();  // Seed the resident-segments gauge at creation.
 }

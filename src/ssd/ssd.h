@@ -72,6 +72,16 @@ struct SsdConfig {
   // pages, for TB-scale virtual capacities whose written footprint is small.
   // Must be a multiple of the geometry's entries-per-translation-page.
   uint64_t sparse_segment_pages = 0;
+  // Per-block endurance budget; 0 = unlimited (the default). A block whose
+  // erase count reaches the budget is retired as bad (flash/nand.h), so the
+  // device ages toward end of life (Ftl::worn_out).
+  uint64_t max_erase_cycles = 0;
+  // Hot/cold write streams and the wear-leveling policy layer (see FtlEnv).
+  // All default off for bit-identity with single-stream behavior.
+  uint32_t data_streams = 1;
+  bool dynamic_leveling = false;
+  bool static_leveling = false;
+  uint64_t static_level_threshold = 64;
 };
 
 class Ssd {

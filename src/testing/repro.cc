@@ -58,6 +58,22 @@ std::string SerializeRepro(const Repro& repro) {
     // byte-identical; absent key parses as disabled.
     out << "checkpoint_interval " << p.checkpoint_interval << "\n";
   }
+  if (p.max_erase_cycles != 0) {
+    // Aging knobs are written only when set so pre-aging repro files stay
+    // byte-identical; absent keys parse as the unlimited/single-stream
+    // defaults.
+    out << "max_erase_cycles " << p.max_erase_cycles << "\n";
+  }
+  if (p.data_streams != 1) {
+    out << "data_streams " << p.data_streams << "\n";
+  }
+  if (p.dynamic_leveling) {
+    out << "dynamic_leveling 1\n";
+  }
+  if (p.static_leveling) {
+    out << "static_leveling 1\n";
+    out << "static_level_threshold " << p.static_level_threshold << "\n";
+  }
   out << "deep_check_interval " << p.deep_check_interval << "\n";
   if (p.sabotage_drop_commit_lpn != kInvalidLpn) {
     out << "sabotage_drop_commit_lpn " << p.sabotage_drop_commit_lpn << "\n";
@@ -144,6 +160,20 @@ bool ParseRepro(const std::string& text, Repro* out, std::string* error) {
       ok = static_cast<bool>(fields >> p.write_buffer_pages);
     } else if (key == "checkpoint_interval") {
       ok = static_cast<bool>(fields >> p.checkpoint_interval);
+    } else if (key == "max_erase_cycles") {
+      ok = static_cast<bool>(fields >> p.max_erase_cycles);
+    } else if (key == "data_streams") {
+      ok = static_cast<bool>(fields >> p.data_streams);
+    } else if (key == "dynamic_leveling") {
+      int v = 0;
+      ok = static_cast<bool>(fields >> v);
+      p.dynamic_leveling = v != 0;
+    } else if (key == "static_leveling") {
+      int v = 0;
+      ok = static_cast<bool>(fields >> v);
+      p.static_leveling = v != 0;
+    } else if (key == "static_level_threshold") {
+      ok = static_cast<bool>(fields >> p.static_level_threshold);
     } else if (key == "deep_check_interval") {
       ok = static_cast<bool>(fields >> p.deep_check_interval);
     } else if (key == "sabotage_drop_commit_lpn") {

@@ -54,12 +54,32 @@ SimProfile ProfileByName(const std::string& name) {
     p.checkpoint_interval = 40;
     return p;
   }
+  if (name == "aging") {
+    // High-churn traffic (skewed toward a small hot set) on a device whose
+    // blocks retire after a handful of erases, with hot/cold streams and
+    // both wear-leveling modes on. Faults and power cuts included, so
+    // recovery has to rebuild stream actives and wear state on a device
+    // that already lost blocks. No write buffer: once the device is worn
+    // the harness stops mutating, and a buffer would hide that boundary.
+    p.program_fail_prob = 0.005;
+    p.erase_fail_prob = 0.001;
+    p.power_cut_prob = 0.002;
+    p.hot_fraction = 0.15;
+    p.hot_prob = 0.8;
+    p.max_erase_cycles = 8;
+    p.data_streams = 2;
+    p.dynamic_leveling = true;
+    p.static_leveling = true;
+    p.static_level_threshold = 4;
+    return p;
+  }
   TPFTL_CHECK_MSG(false, "unknown SimCheck profile");
   return p;
 }
 
 std::vector<std::string> ProfileNames() {
-  return {"plain", "faulty", "powercut", "buffered", "parallel", "checkpointed"};
+  return {"plain",    "faulty",       "powercut", "buffered",
+          "parallel", "checkpointed", "aging"};
 }
 
 const char* OpKindName(OpKind kind) {

@@ -81,6 +81,17 @@ struct SimProfile {
   // not just between them.
   uint64_t checkpoint_interval = 0;
 
+  // --- device aging (flash/nand.h erase budget + FtlEnv stream/leveling
+  // knobs). All default off so pre-aging repro files replay byte-identically.
+  // A non-zero erase budget retires worn blocks as bad; once the FTL reports
+  // worn_out() the harness stops issuing mutating ops (check-before-mutate),
+  // matching how a host treats a device at end of life. ---
+  uint64_t max_erase_cycles = 0;
+  uint64_t data_streams = 1;
+  bool dynamic_leveling = false;
+  bool static_leveling = false;
+  uint64_t static_level_threshold = 64;
+
   // Full-state sweep (every LPN + device accounting) every this many steps;
   // the touched-LPN oracle runs after every step regardless.
   uint64_t deep_check_interval = 64;
@@ -101,6 +112,11 @@ struct SimProfile {
 //              per-die striping and timelines face faults and recovery too.
 //   checkpointed — powercut's environment with checkpointed recovery on and
 //              a short cadence, so cuts tear checkpoint appends themselves.
+//   aging    — high-churn faulty/powercut traffic on a device with a small
+//              per-block erase budget, hot/cold streams, and both leveling
+//              modes on: blocks wear out and retire mid-run, recovery boots
+//              on a device with bad blocks, and the run may reach end of
+//              life (the harness then stops mutating).
 SimProfile ProfileByName(const std::string& name);
 std::vector<std::string> ProfileNames();
 

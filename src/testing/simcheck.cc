@@ -28,13 +28,17 @@ class Harness {
         seed_(seed),
         world_(testing::MakeWorld(profile.logical_pages, profile.cache_bytes,
                                   profile.total_blocks, profile.gc_threshold,
-                                  profile.dies)),
+                                  profile.dies, profile.max_erase_cycles)),
         model_(profile.logical_pages),
         strict_(StrictOracleFor(kind)) {
     if (profile_.checkpoint_interval != 0) {
       world_.env.checkpoint.enabled = true;
       world_.env.checkpoint.interval_host_ops = profile_.checkpoint_interval;
     }
+    world_.env.data_streams = static_cast<uint32_t>(profile_.data_streams);
+    world_.env.dynamic_leveling = profile_.dynamic_leveling;
+    world_.env.static_leveling = profile_.static_leveling;
+    world_.env.static_level_threshold = profile_.static_level_threshold;
     ftl_ = CreateFtl(kind_, world_.env);
     ArmSabotage();
     InstallEnvPlan(FaultPlan::kNoPowerCut);
@@ -120,6 +124,14 @@ class Harness {
   }
 
   void Execute(const SimOp& op) {
+    // Check-before-mutate (Ftl::worn_out): once the device reaches end of
+    // life, mutating ops are dropped — the model sees neither side, so the
+    // oracle keeps holding the frozen mapping to the durable history. Reads
+    // stay live (and stay checked) on a worn device.
+    if (ftl_->worn_out() && op.kind != OpKind::kRead &&
+        op.kind != OpKind::kPowerCut) {
+      return;
+    }
     switch (op.kind) {
       case OpKind::kWrite:
         if (buffer_->enabled()) {
@@ -137,7 +149,7 @@ class Harness {
         }
         ftl_->ReadPage(op.lpn);
         touched_.push_back(op.lpn);
-        if (buffer_->enabled()) {
+        if (buffer_->enabled() && !ftl_->worn_out()) {
           const Lpn evicted = buffer_->AdmitClean(op.lpn);
           if (evicted != kInvalidLpn) {
             WriteToFtl(evicted);

@@ -14,9 +14,10 @@ FlashGeometry SmallGeometry(uint64_t total_blocks, uint64_t dies) {
 }
 
 World MakeWorld(uint64_t logical_pages, uint64_t cache_bytes, uint64_t total_blocks,
-                uint64_t gc_threshold, uint64_t dies) {
+                uint64_t gc_threshold, uint64_t dies, uint64_t max_erase_cycles) {
   World w;
   w.geometry = SmallGeometry(total_blocks, dies);
+  w.geometry.max_erase_cycles = max_erase_cycles;
   w.flash = std::make_unique<NandFlash>(w.geometry);
   w.env.flash = w.flash.get();
   w.env.logical_pages = logical_pages;

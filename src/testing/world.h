@@ -30,9 +30,11 @@ struct World {
   FtlEnv env;
 };
 
+// `max_erase_cycles` is the per-block endurance budget baked into the
+// geometry (0 = unlimited); stream/leveling knobs ride on the returned env.
 World MakeWorld(uint64_t logical_pages = 1024, uint64_t cache_bytes = 2048,
                 uint64_t total_blocks = 96, uint64_t gc_threshold = 6,
-                uint64_t dies = 1);
+                uint64_t dies = 1, uint64_t max_erase_cycles = 0);
 
 // Drives `ftl` with `ops` random page reads/writes (write probability
 // `write_ratio`) while mirroring every write into a shadow map, verifying

@@ -1,0 +1,198 @@
+// Wear-aware recovery differential (the aging counterpart of
+// crash_consistency_test.cc): drive a wear-limited, fault-injected device
+// into mid-life, cut power at randomized instants, and rebuild a fresh
+// BlockManager from the surviving flash. The rebuilt candidate erase-count
+// histogram must equal a from-scratch recount over the scan — slot by slot,
+// not just in total — and the next wear-aware victim must be drawn from the
+// recounted candidate set. The reference classification is deliberately
+// reimplemented here in its simple direct form (sort partials, newest win)
+// rather than shared with RecoverFromScan, which is the code under test.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/ftl_factory.h"
+#include "src/flash/fault.h"
+#include "src/ftl/block_manager.h"
+#include "src/ftl/recovery.h"
+#include "src/testing/world.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+namespace {
+
+using testing::MakeWorld;
+using testing::World;
+
+constexpr uint64_t kLogicalPages = 1024;
+constexpr uint64_t kCacheBytes = 32 + 280;
+constexpr uint64_t kTotalBlocks = 96;
+constexpr uint64_t kTranslationPages = 8;  // 1024 LPNs / 128 per page.
+constexpr uint64_t kGcThreshold = 6;
+constexpr uint64_t kMaxEraseCycles = 12;
+constexpr uint32_t kStreams = 2;
+constexpr uint64_t kWorkloadOps = 6000;
+
+World AgingWorld() {
+  World w = MakeWorld(kLogicalPages, kCacheBytes, kTotalBlocks, kGcThreshold,
+                      /*dies=*/1, kMaxEraseCycles);
+  w.env.gc_policy = GcPolicy::kWearAware;
+  w.env.data_streams = kStreams;
+  return w;
+}
+
+// Write-heavy churn over a skewed working set: wears blocks unevenly so the
+// erase histogram has real spread by the time the cut lands. Stops at the
+// cut or once the device reports end-of-life.
+void DriveAgingWorkload(Ftl& ftl, NandFlash& flash, uint64_t ops) {
+  Rng rng(4242);
+  for (uint64_t i = 0; i < ops; ++i) {
+    if (flash.power_cut_triggered() || ftl.worn_out()) {
+      return;
+    }
+    const Lpn lpn = rng.Below(100) < 70 ? rng.Below(kLogicalPages / 8)
+                                        : rng.Below(kLogicalPages);
+    if (rng.Below(100) < 85) {
+      ftl.WritePage(lpn);
+    } else {
+      ftl.TrimPage(lpn);
+    }
+  }
+}
+
+// Independent recount of what RecoverFromScan must rebuild: the newest
+// partially-written data blocks (up to kStreams) and the newest translation
+// partial resume as actives; every other non-bad block with programmed pages
+// is a GC candidate, counted into the histogram at its current erase count.
+struct Reference {
+  std::set<BlockId> candidates;
+  std::vector<uint32_t> hist;
+  uint64_t min_erase = ~0ULL;
+};
+
+Reference Recount(const NandFlash& flash, const OobScanResult& scan) {
+  const FlashGeometry& g = flash.geometry();
+  Reference ref;
+  std::vector<std::pair<uint64_t, BlockId>> data_partials;   // (max_seq, id)
+  std::vector<std::pair<uint64_t, BlockId>> trans_partials;  // (max_seq, id)
+  for (BlockId b = 0; b < g.total_blocks; ++b) {
+    if (flash.IsBad(b) || scan.blocks[b].programmed == 0) {
+      continue;
+    }
+    if (scan.blocks[b].programmed < g.pages_per_block) {
+      auto& partials = scan.blocks[b].pool == OobKind::kTranslation
+                           ? trans_partials
+                           : data_partials;
+      partials.push_back({scan.blocks[b].max_seq, b});
+      continue;
+    }
+    ref.candidates.insert(b);
+  }
+  // The newest (up to kStreams) data partials and the newest translation
+  // partial resume as actives; any older partials re-enter the candidate
+  // buckets.
+  std::sort(data_partials.begin(), data_partials.end());
+  std::sort(trans_partials.begin(), trans_partials.end());
+  const uint64_t actives = std::min<uint64_t>(data_partials.size(), kStreams);
+  for (uint64_t i = 0; i < data_partials.size() - actives; ++i) {
+    ref.candidates.insert(data_partials[i].second);
+  }
+  for (uint64_t i = 0; i + 1 < trans_partials.size(); ++i) {
+    ref.candidates.insert(trans_partials[i].second);
+  }
+  for (const BlockId b : ref.candidates) {
+    const uint64_t erase = flash.block(b).erase_count();
+    if (erase >= ref.hist.size()) {
+      ref.hist.resize(erase + 1, 0);
+    }
+    ++ref.hist[erase];
+    ref.min_erase = std::min(ref.min_erase, erase);
+  }
+  return ref;
+}
+
+void ExpectHistogramMatches(const std::vector<uint32_t>& got,
+                            const std::vector<uint32_t>& want) {
+  const uint64_t slots = std::max(got.size(), want.size());
+  for (uint64_t e = 0; e < slots; ++e) {
+    const uint32_t g = e < got.size() ? got[e] : 0;
+    const uint32_t w = e < want.size() ? want[e] : 0;
+    EXPECT_EQ(g, w) << "erase-count slot " << e;
+  }
+}
+
+TEST(BlockManagerRecoveryTest, AgingCrashHistogramMatchesRecount) {
+  // Learn the op-index range from a fault-free reference run so cuts land
+  // mid-workload, after construction-time formatting.
+  uint64_t post_ctor_op = 0;
+  uint64_t end_op = 0;
+  {
+    World ref = AgingWorld();
+    auto ftl = CreateFtl(FtlKind::kDftl, ref.env);
+    post_ctor_op = ref.flash->op_index();
+    DriveAgingWorkload(*ftl, *ref.flash, kWorkloadOps);
+    end_op = ref.flash->op_index();
+  }
+  ASSERT_GT(end_op, post_ctor_op + 100);
+
+  Rng rng(1337);
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t cut_op = post_ctor_op + 1 + rng.Below(end_op - post_ctor_op);
+    World w = AgingWorld();
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.program_fail_prob = 0.002;
+    plan.erase_fail_prob = 0.001;
+    plan.power_cut_at_op = cut_op;
+    w.flash->InstallFaultPlan(plan);
+    {
+      auto crashed = CreateFtl(FtlKind::kDftl, w.env);
+      DriveAgingWorkload(*crashed, *w.flash, kWorkloadOps);
+      ASSERT_TRUE(w.flash->power_cut_triggered()) << "cut op " << cut_op;
+    }
+    w.flash->RestoreToCutInstant();
+
+    const OobScanResult scan =
+        ScanForRecovery(*w.flash, kLogicalPages, kTranslationPages);
+    const Reference ref = Recount(*w.flash, scan);
+
+    BlockManagerOptions options;
+    options.data_streams = kStreams;
+    BlockManager bm(w.flash.get(), kGcThreshold, GcPolicy::kWearAware,
+                    /*wear_spread_limit=*/16, options);
+    bm.RecoverFromScan(scan);
+
+    ASSERT_TRUE(bm.CheckInvariants()) << "cut op " << cut_op;
+    EXPECT_EQ(bm.candidate_count(), ref.candidates.size()) << "cut op " << cut_op;
+    ExpectHistogramMatches(bm.candidate_erase_histogram(), ref.hist);
+    EXPECT_EQ(bm.MinCandidateErase(), ref.min_erase) << "cut op " << cut_op;
+
+    // The next wear-aware victim must come from the recounted candidate set.
+    const BlockId victim = bm.PickVictim();
+    if (!ref.candidates.empty()) {
+      ASSERT_NE(victim, kInvalidBlock);
+      EXPECT_TRUE(ref.candidates.count(victim) != 0)
+          << "victim " << victim << " is not a recounted candidate";
+    } else {
+      EXPECT_EQ(victim, kInvalidBlock);
+    }
+
+    // Determinism: a second manager rebuilt from the same scan agrees on the
+    // histogram and the victim choice exactly.
+    BlockManager twin(w.flash.get(), kGcThreshold, GcPolicy::kWearAware,
+                      /*wear_spread_limit=*/16, options);
+    twin.RecoverFromScan(scan);
+    EXPECT_EQ(twin.candidate_count(), bm.candidate_count());
+    ExpectHistogramMatches(twin.candidate_erase_histogram(),
+                           bm.candidate_erase_histogram());
+    EXPECT_EQ(twin.PickVictim(), victim);
+  }
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,86 @@
+#include "src/ftl/heat.h"
+
+#include <gtest/gtest.h>
+
+namespace tpftl {
+namespace {
+
+// 256 LPNs → a 64-write decay window (the logical_pages / 4 floor).
+constexpr uint64_t kPages = 256;
+constexpr uint64_t kWindow = 64;
+
+TEST(HeatClassifierTest, UnwrittenPagesAreColdest) {
+  HeatClassifier heat(kPages, 3);
+  for (Lpn lpn = 0; lpn < kPages; lpn += 17) {
+    EXPECT_EQ(heat.StreamOf(lpn), 2u);
+  }
+}
+
+TEST(HeatClassifierTest, RepeatWritesClimbTheTiers) {
+  HeatClassifier heat(kPages, 3);
+  // Thresholds double per tier: 2 writes reach stream 1, 4 reach stream 0.
+  EXPECT_EQ(heat.OnWrite(9), 2u);
+  EXPECT_EQ(heat.OnWrite(9), 1u);
+  EXPECT_EQ(heat.OnWrite(9), 1u);
+  EXPECT_EQ(heat.OnWrite(9), 0u);
+  EXPECT_EQ(heat.StreamOf(9), 0u);
+  // A single write elsewhere stays cold.
+  EXPECT_EQ(heat.OnWrite(100), 2u);
+}
+
+TEST(HeatClassifierTest, StreamOfDoesNotRecordHeat) {
+  HeatClassifier heat(kPages, 2);
+  heat.OnWrite(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(heat.StreamOf(5), 1u);  // Classification never self-heats.
+  }
+  EXPECT_EQ(heat.OnWrite(5), 0u);  // The second real write goes hot.
+}
+
+TEST(HeatClassifierTest, IdleLpnsDecayBackToCold) {
+  HeatClassifier heat(kPages, 2);
+  heat.OnWrite(7);
+  heat.OnWrite(7);
+  ASSERT_EQ(heat.StreamOf(7), 0u);
+  // Let a full epoch of unrelated traffic pass: the count halves per epoch,
+  // so after one window LPN 7 drops below the hot threshold.
+  for (uint64_t i = 0; i < kWindow; ++i) {
+    heat.OnWrite(200);
+  }
+  EXPECT_EQ(heat.StreamOf(7), 1u);
+  // Eight epochs later the count is fully zeroed, stamp wrap included.
+  for (uint64_t i = 0; i < 8 * kWindow; ++i) {
+    heat.OnWrite(201);
+  }
+  EXPECT_EQ(heat.StreamOf(7), 1u);
+}
+
+TEST(HeatClassifierTest, CountSaturatesWithoutOverflow) {
+  HeatClassifier heat(kPages, 4);
+  for (int i = 0; i < 1000; ++i) {
+    heat.OnWrite(3);
+  }
+  EXPECT_EQ(heat.StreamOf(3), 0u);  // Pinned hottest, no 8-bit wrap to cold.
+}
+
+TEST(HeatClassifierTest, SingleStreamAlwaysReturnsZero) {
+  HeatClassifier heat(kPages, 1);
+  EXPECT_EQ(heat.OnWrite(0), 0u);
+  EXPECT_EQ(heat.StreamOf(0), 0u);
+  EXPECT_EQ(heat.StreamOf(42), 0u);
+}
+
+TEST(HeatClassifierTest, SparseBackingOnlyMaterializesTouchedSegments) {
+  // TB-scale shape: a huge logical space with a small sparse segment size.
+  const uint64_t logical = 1ULL << 32;
+  HeatClassifier heat(logical, 2, /*sparse_segment_pages=*/4096);
+  EXPECT_EQ(heat.bytes_used(), 0u);
+  heat.OnWrite(0);
+  heat.OnWrite(logical - 1);
+  // Two touched segments, not four billion entries.
+  EXPECT_EQ(heat.bytes_used(), 2u * 4096 * sizeof(uint16_t));
+  EXPECT_EQ(heat.StreamOf(123456789), 1u);  // Untouched space reads cold.
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -258,6 +258,39 @@ TEST(LearnedFtlTest, FailedVerificationErasesTheStaleSegment) {
   EXPECT_EQ(w.flash->OobTag(ppn), 5u);
 }
 
+TEST(LearnedFtlTest, GcEraseInvalidatesCoveringSegments) {
+  // Tiny device: GC fires after a few rounds of churn, long before segment
+  // LRU pressure could evict anything (only four distinct LPN ranges train).
+  World w = MakeWorld(/*logical_pages=*/64, /*cache_bytes=*/288,
+                      /*total_blocks=*/16, /*gc_threshold=*/4);
+  LearnedFtl ftl(w.env, TestOptions());
+  for (Lpn lpn = 0; lpn < 16; ++lpn) {
+    ftl.WritePage(lpn);  // Trains a segment over [0, 15] → the first block.
+  }
+  ASSERT_NE(ftl.model().Lookup(5), nullptr);
+  for (Lpn lpn = 0; lpn < 16; ++lpn) {
+    ftl.TrimPage(lpn);  // Fully invalid: the block is GC's cheapest victim.
+  }
+  ASSERT_NE(ftl.model().Lookup(5), nullptr);  // Trim alone keeps the segment.
+  // Churn the rest of the space until GC runs. Retraining [16, 63] only
+  // overlap-replaces those ranges — the [0, 15] segment can vanish solely
+  // through the GC-erase hook.
+  for (int round = 0; round < 64 && ftl.stats().gc_data_blocks == 0; ++round) {
+    for (Lpn lpn = 16; lpn < 64 && ftl.stats().gc_data_blocks == 0; ++lpn) {
+      ftl.WritePage(lpn);
+    }
+  }
+  ASSERT_GT(ftl.stats().gc_data_blocks, 0u);
+  // The erased block's covering segment is gone — no stale probes left — and
+  // live ranges still resolve through the model where trained.
+  EXPECT_EQ(ftl.model().Lookup(5), nullptr);
+  for (Lpn lpn = 16; lpn < 64; ++lpn) {
+    const Ppn ppn = ftl.Probe(lpn);
+    ASSERT_NE(ppn, kInvalidPpn) << "lpn " << lpn;
+    EXPECT_EQ(w.flash->OobTag(ppn), lpn);
+  }
+}
+
 TEST(LearnedFtlTest, GcMigrationRetrainsTheModel) {
   World w = MakeWorld(1024, /*cache_bytes=*/288, /*total_blocks=*/96,
                       /*gc_threshold=*/6);

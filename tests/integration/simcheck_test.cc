@@ -87,7 +87,8 @@ INSTANTIATE_TEST_SUITE_P(
                           FtlKind::kFast, FtlKind::kZftl, FtlKind::kLearned),
         ::testing::Values(std::string("plain"), std::string("faulty"),
                           std::string("powercut"), std::string("buffered"),
-                          std::string("parallel"), std::string("checkpointed"))),
+                          std::string("parallel"), std::string("checkpointed"),
+                          std::string("aging"))),
     [](const ::testing::TestParamInfo<Param>& info) {
       std::string name = std::string(FtlKindName(std::get<0>(info.param))) + "_" +
                          std::get<1>(info.param);

@@ -23,7 +23,17 @@ RunReport SampleReport() {
   r.block_erases = 3;
   r.stats.lookups = 1100;
   r.stats.hits = 960;
+  r.stats.static_level_blocks = 4;
+  r.stats.switch_merges = 11;
+  r.stats.partial_merges = 6;
+  r.stats.full_merges = 2;
   r.flash.page_writes = 1234;
+  r.erase_min = 1;
+  r.erase_max = 9;
+  r.erase_mean = 3.5;
+  r.erase_variance = 1.25;
+  r.bad_blocks = 2;
+  r.stream_writes = {700, 300};
   return r;
 }
 
@@ -35,7 +45,11 @@ TEST(ReportJsonTest, ContainsAllTopLevelFields) {
         "\"trans_reads\":42", "\"trans_writes\":7", "\"block_erases\":3",
         "\"lookups\":1100", "\"page_writes\":1234", "\"p50_response_us\":600.25",
         "\"p99_response_us\":5000.5", "\"phases\":", "\"queue_us\":1500",
-        "\"translation_us\":25", "\"translation_ops\":1", "\"gc_victim_scans\":0"}) {
+        "\"translation_us\":25", "\"translation_ops\":1", "\"gc_victim_scans\":0",
+        "\"erase_min\":1", "\"erase_max\":9", "\"erase_mean\":3.5",
+        "\"erase_variance\":1.25", "\"bad_blocks\":2", "\"stream_writes\":[700,300]",
+        "\"static_level_blocks\":4", "\"switch_merges\":11", "\"partial_merges\":6",
+        "\"full_merges\":2"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
   }
 }
