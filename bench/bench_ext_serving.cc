@@ -1,0 +1,330 @@
+// Extension — open-loop trace-serving harness (not a paper artifact).
+//
+// Every other bench replays a fixed request list as fast as the device can
+// drain it, which measures capacity but says nothing about sustained
+// production traffic. This harness drives the nine FTLs open loop
+// (src/ssd/runner.h RunServing) under multi-tenant arrival processes
+// (src/workload/arrival.h + tenant_mix.h) and reports offered-vs-achieved
+// rate, per-tenant latency quantiles, and the drop/backlog picture:
+//
+//   1. diurnal_3tenant — an OLTP tenant (YCSB-A, zipf 0.99) on a diurnal
+//      rate curve whose peak exceeds the device's capacity, a sequential
+//      ingest streamer, and a TRIM-heavy filesystem-aging tenant, each on
+//      its own LBA region. No admission control: overload shows up as
+//      queue backlog, not drops.
+//   2. burst — an on/off tenant whose ON-rate (20k rps) is far beyond any
+//      contender's capacity, next to a steady read-mostly victim tenant,
+//      with a 50 ms admission-queue bound. Every FTL drops during bursts;
+//      the victim's drop/latency numbers show the cross-tenant
+//      interference.
+//
+//   bench_ext_serving [--json=F] [--chrome-trace=F]
+// Knobs: TPFTL_BENCH_REQUESTS — offered requests per scenario (default
+//        45000, split across tenants). --chrome-trace dumps the first
+//        traced requests of TPFTL's diurnal run with one lane per tenant.
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/obs/trace_event.h"
+#include "src/ssd/runner.h"
+#include "src/util/assert.h"
+#include "src/util/str.h"
+#include "src/workload/arrival.h"
+#include "src/workload/tenant_mix.h"
+
+namespace tpftl {
+namespace {
+
+constexpr uint64_t kTenantSpaceBytes = 16ULL << 20;
+
+struct Scenario {
+  std::string name;
+  MicroSec max_queue_us = 0.0;
+  std::vector<TenantSpec> specs;
+};
+
+// Aggregate mean offered rate ~120 rps: below the point-op capacity of
+// every contender but, with the streamer/aging tenants' multi-page
+// requests, close enough to aggregate capacity that the diurnal peak
+// (1.5× the mean) pushes the slower FTLs into visible backlog.
+Scenario DiurnalScenario(uint64_t requests) {
+  Scenario s;
+  s.name = "diurnal_3tenant";
+  s.max_queue_us = 0.0;  // No admission control: backlog, not drops.
+  const uint64_t oltp_requests = requests * 70 / 100;
+  const uint64_t stream_requests = requests * 15 / 100;
+  const uint64_t aging_requests = requests - oltp_requests - stream_requests;
+  const double span_us = static_cast<double>(requests) * 8333.0;
+
+  TenantSpec oltp = YcsbTenant('A', kTenantSpaceBytes, oltp_requests, 101);
+  oltp.name = "oltp";
+  oltp.arrival.kind = ArrivalKind::kDiurnal;
+  oltp.arrival.seed = 11;
+  oltp.arrival.rate_rps = static_cast<double>(oltp_requests) / span_us * 1e6;
+  oltp.arrival.day_us = span_us / 3.0;  // Three simulated "days" per run.
+  oltp.arrival.peak_to_trough = 4.0;
+  s.specs.push_back(oltp);
+
+  TenantSpec stream =
+      StreamerTenant(kTenantSpaceBytes, stream_requests, 202);
+  stream.lba_offset_bytes = kTenantSpaceBytes;
+  stream.arrival.kind = ArrivalKind::kPoisson;
+  stream.arrival.seed = 22;
+  stream.arrival.rate_rps =
+      static_cast<double>(stream_requests) / span_us * 1e6;
+  s.specs.push_back(stream);
+
+  TenantSpec aging = AgingTenant(kTenantSpaceBytes, aging_requests, 303);
+  aging.lba_offset_bytes = 2 * kTenantSpaceBytes;
+  aging.arrival.kind = ArrivalKind::kPoisson;
+  aging.arrival.seed = 33;
+  aging.arrival.rate_rps =
+      static_cast<double>(aging_requests) / span_us * 1e6;
+  s.specs.push_back(aging);
+  return s;
+}
+
+// The burst tenant's ON-rate (20k rps of YCSB-A point ops) exceeds every
+// contender's capacity several times over, so the 50 ms admission bound
+// guarantees drops during bursts — for the burster *and* for the steady
+// victim that shares the queue.
+Scenario BurstScenario(uint64_t requests) {
+  Scenario s;
+  s.name = "burst";
+  s.max_queue_us = 50'000.0;
+  const uint64_t burst_requests = requests * 80 / 100;
+  const uint64_t victim_requests = requests - burst_requests;
+
+  TenantSpec burst = YcsbTenant('A', kTenantSpaceBytes, burst_requests, 404);
+  burst.name = "burst";
+  burst.arrival.kind = ArrivalKind::kOnOff;
+  burst.arrival.seed = 44;
+  burst.arrival.rate_rps = 20'000.0;
+  burst.arrival.mean_on_us = 100'000.0;
+  burst.arrival.mean_off_us = 400'000.0;
+  burst.arrival.off_rate_rps = 0.0;
+  s.specs.push_back(burst);
+
+  TenantSpec victim =
+      YcsbTenant('C', kTenantSpaceBytes, victim_requests, 505);
+  victim.name = "victim";
+  victim.lba_offset_bytes = kTenantSpaceBytes;
+  victim.arrival.kind = ArrivalKind::kPoisson;
+  victim.arrival.seed = 55;
+  // Matches the burster's effective span (duty cycle 0.2 → 4k rps), so
+  // both tenants stay active for the whole run.
+  victim.arrival.rate_rps = 1000.0;
+  s.specs.push_back(victim);
+  return s;
+}
+
+struct ServingRow {
+  std::string ftl;
+  ServingReport report;
+};
+
+ServingRow RunOne(const Scenario& scenario, FtlKind kind, uint64_t requests,
+                  const std::string& chrome_trace_path) {
+  TenantMixSource mix(scenario.specs);
+
+  ExperimentConfig config;
+  config.workload.name = scenario.name;
+  config.workload.address_space_bytes = mix.RequiredDeviceBytes();
+  config.workload.num_requests = requests;
+  config.ftl_kind = kind;
+  config.trace_phases = true;  // Per-tenant GC-time shares.
+  const bool want_trace = !chrome_trace_path.empty();
+  if (want_trace) {
+    config.trace_span_requests = 256;
+  }
+
+  ServingConfig serving;
+  serving.warmup_requests = requests / 10;
+  serving.max_queue_us = scenario.max_queue_us;
+  serving.tenant_count = mix.tenant_count();
+  serving.tenant_names = mix.TenantNames();
+
+  // The span log fills over the first traced requests after warm-up; dump
+  // it once full, from inside the run (the device dies with RunServing).
+  bool trace_written = false;
+  RunObserver observer;
+  if (want_trace) {
+    observer = [&](const Ssd& ssd, uint64_t index) {
+      if (!trace_written && index >= 2 * config.trace_span_requests) {
+        std::ofstream out(chrome_trace_path);
+        TPFTL_CHECK_MSG(static_cast<bool>(out),
+                        "cannot write the chrome trace file");
+        obs::WriteChromeTrace(out, ssd.trace_log(),
+                              std::string(FtlKindName(kind)) + " " +
+                                  scenario.name);
+        trace_written = true;
+      }
+    };
+  }
+
+  ServingRow row;
+  row.ftl = FtlKindName(kind);
+  row.report = RunServing(config, mix, serving, observer);
+  return row;
+}
+
+std::string JsonTenant(const TenantServingStats& t) {
+  std::string out = "{\"name\": \"" + t.name + "\"";
+  out += ", \"requests\": " + std::to_string(t.requests);
+  out += ", \"dropped\": " + std::to_string(t.dropped);
+  out += ", \"pages_read\": " + std::to_string(t.pages_read);
+  out += ", \"pages_written\": " + std::to_string(t.pages_written);
+  out += ", \"pages_trimmed\": " + std::to_string(t.pages_trimmed);
+  out += ", \"gc_migrations\": " + std::to_string(t.gc_migrations);
+  out += ", \"block_erases\": " + std::to_string(t.block_erases);
+  out += ", \"mean_us\": " + FormatDouble(t.mean_response_us, 3);
+  out += ", \"p50_us\": " + FormatDouble(t.p50_response_us, 3);
+  out += ", \"p90_us\": " + FormatDouble(t.p90_response_us, 3);
+  out += ", \"p99_us\": " + FormatDouble(t.p99_response_us, 3);
+  out += ", \"p999_us\": " + FormatDouble(t.p999_response_us, 3);
+  out += ", \"max_us\": " + FormatDouble(t.max_response_us, 3);
+  out += ", \"write_amp\": " + FormatDouble(t.write_amp, 4);
+  out += ", \"gc_time_share\": " + FormatDouble(t.gc_time_share, 4);
+  return out + "}";
+}
+
+void WriteRowJson(const ServingRow& row, bool last, std::ostream& os) {
+  const ServingReport& r = row.report;
+  const RunReport& rep = r.report;
+  const double service_us = rep.phases.ServiceUs();
+  const double gc_share =
+      service_us > 0.0 ? rep.phases.PhaseUs(obs::Phase::kGc) / service_us
+                       : 0.0;
+  os << "      {\"ftl\": \"" << row.ftl << "\""
+     << ", \"offered\": " << r.offered << ", \"served\": " << r.served
+     << ", \"dropped\": " << r.dropped
+     << ", \"offered_rps\": " << FormatDouble(r.offered_rps, 3)
+     << ", \"achieved_rps\": " << FormatDouble(r.achieved_rps, 3)
+     << ", \"arrival_span_us\": " << FormatDouble(r.arrival_span_us, 3)
+     << ", \"makespan_us\": " << FormatDouble(r.makespan_us, 3)
+     << ", \"peak_queue_us\": " << FormatDouble(r.peak_queue_us, 3)
+     << ", \"final_backlog_us\": " << FormatDouble(r.final_backlog_us, 3)
+     << ", \"mean_us\": " << FormatDouble(rep.mean_response_us, 3)
+     << ", \"p50_us\": " << FormatDouble(rep.p50_response_us, 3)
+     << ", \"p90_us\": " << FormatDouble(rep.p90_response_us, 3)
+     << ", \"p99_us\": " << FormatDouble(rep.p99_response_us, 3)
+     << ", \"p999_us\": " << FormatDouble(rep.p999_response_us, 3)
+     << ", \"max_us\": " << FormatDouble(rep.max_response_us, 3)
+     << ", \"wa\": " << FormatDouble(rep.write_amplification, 4)
+     << ", \"gc_time_share\": " << FormatDouble(gc_share, 4)
+     << ", \"tenants\": [";
+  for (size_t i = 0; i < r.tenants.size(); ++i) {
+    os << (i > 0 ? ", " : "") << JsonTenant(r.tenants[i]);
+  }
+  os << "]}" << (last ? "" : ",") << "\n";
+}
+
+void WriteScenarioJson(const Scenario& scenario,
+                       const std::vector<ServingRow>& rows, bool last,
+                       std::ostream& os) {
+  os << "    {\"scenario\": \"" << scenario.name << "\""
+     << ", \"max_queue_us\": " << FormatDouble(scenario.max_queue_us, 1)
+     << ", \"tenant_count\": " << scenario.specs.size() << ",\n"
+     << "     \"tenants\": [";
+  for (size_t i = 0; i < scenario.specs.size(); ++i) {
+    const TenantSpec& spec = scenario.specs[i];
+    os << (i > 0 ? ", " : "") << "{\"name\": \"" << spec.name
+       << "\", \"arrival\": \"" << ArrivalKindName(spec.arrival.kind)
+       << "\", \"rate_rps\": " << FormatDouble(spec.arrival.rate_rps, 3)
+       << ", \"requests\": " << spec.ops.num_requests << "}";
+  }
+  os << "],\n     \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    WriteRowJson(rows[i], i + 1 == rows.size(), os);
+  }
+  os << "     ]}" << (last ? "" : ",") << "\n";
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = "BENCH_serving.json";
+  std::string chrome_trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      chrome_trace_path = arg.substr(15);
+    } else {
+      std::cerr << "usage: bench_ext_serving [--json=F] [--chrome-trace=F]"
+                << std::endl;
+      return 1;
+    }
+  }
+  const uint64_t requests = bench::RequestsFromEnv(45000);
+
+  const std::vector<Scenario> scenarios = {DiurnalScenario(requests),
+                                           BurstScenario(requests)};
+  std::vector<std::vector<ServingRow>> results;
+  for (const Scenario& scenario : scenarios) {
+    std::vector<ServingRow> rows;
+    Table summary("Open-loop serving — " + scenario.name + " (" +
+                  std::to_string(requests) + " offered requests)");
+    summary.SetColumns({"", "offered rps", "achieved rps", "dropped",
+                        "peak queue ms", "backlog ms", "p50 us", "p99 us"});
+    Table qos("Per-tenant QoS — " + scenario.name);
+    qos.SetColumns({"", "requests", "dropped", "p50 us", "p99 us", "WA",
+                    "GC share"});
+    for (const FtlKind kind : bench::AllFtls()) {
+      std::cerr << "  serving " << scenario.name << " on "
+                << FtlKindName(kind) << " ..." << std::endl;
+      // The Chrome tenant-lane trace comes from TPFTL's diurnal run.
+      const bool trace_this = kind == FtlKind::kTpftl &&
+                              scenario.name == "diurnal_3tenant" &&
+                              !chrome_trace_path.empty();
+      ServingRow row = RunOne(scenario, kind, requests,
+                              trace_this ? chrome_trace_path : std::string());
+      const ServingReport& r = row.report;
+      summary.AddRow(
+          {row.ftl, FormatDouble(r.offered_rps, 1),
+           FormatDouble(r.achieved_rps, 1), std::to_string(r.dropped),
+           FormatDouble(r.peak_queue_us / 1000.0, 1),
+           FormatDouble(r.final_backlog_us / 1000.0, 1),
+           FormatDouble(r.report.p50_response_us, 1),
+           FormatDouble(r.report.p99_response_us, 1)});
+      for (const TenantServingStats& t : r.tenants) {
+        qos.AddRow({row.ftl + "/" + t.name, std::to_string(t.requests),
+                    std::to_string(t.dropped),
+                    FormatDouble(t.p50_response_us, 1),
+                    FormatDouble(t.p99_response_us, 1),
+                    FormatDouble(t.write_amp, 2),
+                    FormatDouble(t.gc_time_share, 3)});
+      }
+      rows.push_back(std::move(row));
+    }
+    bench::Emit(summary);
+    bench::Emit(qos);
+    results.push_back(std::move(rows));
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << std::endl;
+    return 1;
+  }
+  out << "{\n  \"schema\": \"tpftl.bench_serving.v1\",\n"
+      << "  \"requests\": " << requests << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    WriteScenarioJson(scenarios[i], results[i], i + 1 == scenarios.size(),
+                      out);
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << json_path << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpftl
+
+int main(int argc, char** argv) { return tpftl::Main(argc, argv); }

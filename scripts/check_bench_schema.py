@@ -493,6 +493,186 @@ def _check_endurance(doc, path):
         _require(row["wa"] >= 1.0, cpath, f"wa {row['wa']} below 1")
 
 
+_SERVING_QUANTILES = ("p50_us", "p90_us", "p99_us", "p999_us", "max_us")
+
+_SERVING_ROW_FIELDS = {
+    "ftl": _STR,
+    "offered": _INT,
+    "served": _INT,
+    "dropped": _INT,
+    "offered_rps": _NUM,
+    "achieved_rps": _NUM,
+    "arrival_span_us": _NUM,
+    "makespan_us": _NUM,
+    "peak_queue_us": _NUM,
+    "final_backlog_us": _NUM,
+    "mean_us": _NUM,
+    "p50_us": _NUM,
+    "p90_us": _NUM,
+    "p99_us": _NUM,
+    "p999_us": _NUM,
+    "max_us": _NUM,
+    "wa": _NUM,
+    "gc_time_share": _NUM,
+    "tenants": list,
+}
+
+_SERVING_TENANT_FIELDS = {
+    "name": _STR,
+    "requests": _INT,
+    "dropped": _INT,
+    "pages_read": _INT,
+    "pages_written": _INT,
+    "pages_trimmed": _INT,
+    "gc_migrations": _INT,
+    "block_erases": _INT,
+    "mean_us": _NUM,
+    "p50_us": _NUM,
+    "p90_us": _NUM,
+    "p99_us": _NUM,
+    "p999_us": _NUM,
+    "max_us": _NUM,
+    "write_amp": _NUM,
+    "gc_time_share": _NUM,
+}
+
+_SERVING_FTLS = (
+    "Optimal",
+    "DFTL",
+    "CDFTL",
+    "S-FTL",
+    "TPFTL",
+    "BlockFTL",
+    "FAST",
+    "ZFTL",
+    "LearnedFTL",
+)
+
+
+def _check_quantile_order(row, path):
+    values = [row[q] for q in _SERVING_QUANTILES]
+    for a, b, va, vb in zip(_SERVING_QUANTILES, _SERVING_QUANTILES[1:], values, values[1:]):
+        _require(va <= vb * 1.0000001, path, f"quantiles not monotone: {a}={va} > {b}={vb}")
+
+
+def _check_serving(doc, path):
+    _require(
+        isinstance(doc.get("scenarios"), list) and doc["scenarios"],
+        path,
+        "empty 'scenarios'",
+    )
+    scenario_names = set()
+    any_drops = False
+    max_tenants = 0
+    for i, scenario in enumerate(doc["scenarios"]):
+        spath = f"{path}.scenarios[{i}]"
+        _check_fields(
+            scenario,
+            {"scenario": _STR, "max_queue_us": _NUM, "tenant_count": _INT},
+            spath,
+        )
+        scenario_names.add(scenario["scenario"])
+        tenant_count = scenario["tenant_count"]
+        _require(tenant_count >= 2, spath, "a serving scenario needs >= 2 tenants")
+        max_tenants = max(max_tenants, tenant_count)
+        _require(
+            isinstance(scenario.get("tenants"), list)
+            and len(scenario["tenants"]) == tenant_count,
+            spath,
+            "'tenants' must list every tenant spec",
+        )
+        for j, spec in enumerate(scenario["tenants"]):
+            _check_fields(
+                spec,
+                {"name": _STR, "arrival": _STR, "rate_rps": _NUM, "requests": _INT},
+                f"{spath}.tenants[{j}]",
+            )
+        _require(
+            isinstance(scenario.get("results"), list) and scenario["results"],
+            spath,
+            "empty 'results'",
+        )
+        for ftl in _SERVING_FTLS:
+            _require_ftl_row(scenario["results"], ftl, spath)
+        for j, row in enumerate(scenario["results"]):
+            rpath = f"{spath}.results[{j}]"
+            _check_fields(row, _SERVING_ROW_FIELDS, rpath)
+            _check_quantile_order(row, rpath)
+            _require(
+                row["served"] + row["dropped"] == row["offered"],
+                rpath,
+                f"served {row['served']} + dropped {row['dropped']} != offered {row['offered']}",
+            )
+            if row["dropped"] > 0:
+                any_drops = True
+            _require(
+                scenario["max_queue_us"] > 0 or row["dropped"] == 0,
+                rpath,
+                "drops without admission control (max_queue_us == 0)",
+            )
+            # The achieved rate can never beat the offered rate (the device
+            # cannot serve requests that were not offered)...
+            _require(
+                row["achieved_rps"] <= row["offered_rps"] * 1.02,
+                rpath,
+                f"achieved_rps {row['achieved_rps']} exceeds offered_rps {row['offered_rps']}",
+            )
+            # ...and may only fall short of it at saturation: a run that
+            # dropped nothing and ended with negligible backlog must have
+            # achieved what was offered.
+            saturated = (
+                row["dropped"] > 0
+                or row["final_backlog_us"] > 0.1 * row["arrival_span_us"]
+            )
+            if not saturated:
+                _require(
+                    row["achieved_rps"] >= row["offered_rps"] * 0.9,
+                    rpath,
+                    f"unsaturated run achieved {row['achieved_rps']} rps "
+                    f"of {row['offered_rps']} offered",
+                )
+            _require(
+                len(row["tenants"]) == tenant_count,
+                rpath,
+                f"{len(row['tenants'])} tenant slices for {tenant_count} tenants",
+            )
+            sums = {"requests": 0, "dropped": 0}
+            for k, tenant in enumerate(row["tenants"]):
+                tpath = f"{rpath}.tenants[{k}]"
+                _check_fields(tenant, _SERVING_TENANT_FIELDS, tpath)
+                _check_quantile_order(tenant, tpath)
+                _require(
+                    0.0 <= tenant["gc_time_share"] <= 1.0,
+                    tpath,
+                    f"gc_time_share {tenant['gc_time_share']} outside [0, 1]",
+                )
+                sums["requests"] += tenant["requests"]
+                sums["dropped"] += tenant["dropped"]
+            # Per-tenant accounting is exact, not sampled: the lane sums
+            # must reproduce the global counts.
+            _require(
+                sums["requests"] == row["served"],
+                rpath,
+                f"tenant requests sum {sums['requests']} != served {row['served']}",
+            )
+            _require(
+                sums["dropped"] == row["dropped"],
+                rpath,
+                f"tenant dropped sum {sums['dropped']} != dropped {row['dropped']}",
+            )
+    _require(
+        "diurnal_3tenant" in scenario_names and "burst" in scenario_names,
+        path,
+        f"missing required scenarios (got {sorted(scenario_names)})",
+    )
+    _require(max_tenants >= 3, path, "no scenario exercises >= 3 tenants")
+    _require(
+        any_drops,
+        path,
+        "no run dropped anything — the burst scenario is not saturating",
+    )
+
+
 def _check_trace_parse(doc, path):
     _require(isinstance(doc.get("results"), list) and doc["results"], path, "empty 'results'")
     for i, row in enumerate(doc["results"]):
@@ -511,6 +691,7 @@ _VALIDATORS = {
     "tpftl.bench_recovery.v1": _check_recovery,
     "tpftl.bench_recovery.v2": _check_recovery_v2,
     "tpftl.bench_endurance.v1": _check_endurance,
+    "tpftl.bench_serving.v1": _check_serving,
     "tpftl.bench_trace_parse.v1": _check_trace_parse,
 }
 

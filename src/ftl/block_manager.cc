@@ -234,6 +234,19 @@ void BlockManager::BucketMove(BlockId block, uint64_t new_valid) {
   min_bucket_hint_ = std::min(min_bucket_hint_, new_valid);
 }
 
+bool BlockManager::HasReclaimableCandidate() const {
+  // Same bucket walk as PickGreedy, but stop short of the fully-valid
+  // bucket: a candidate there yields zero net pages when collected.
+  const uint64_t full = flash_->geometry().pages_per_block;
+  for (uint64_t v = min_bucket_hint_; v < full && v < bucket_tail_.size(); ++v) {
+    if (bucket_tail_[v] != kInvalidBlock) {
+      min_bucket_hint_ = v;
+      return true;
+    }
+  }
+  return false;
+}
+
 BlockId BlockManager::PickVictim() {
   obs::CountGcVictimScan();
   switch (policy_) {

@@ -105,6 +105,14 @@ class BlockManager {
   // True when the caller must run garbage collection before more programs.
   bool NeedsGc() const { return free_total_ <= gc_threshold_; }
 
+  // True when some candidate holds at least one invalid page, i.e. a
+  // collection can make net forward progress. When false, every candidate is
+  // fully valid and no amount of GC can raise the free-block count — a state
+  // tiny devices (or shards) reach when live data fills everything above the
+  // GC threshold. Callers must bail out of their GC loop instead of grinding
+  // fully-valid victims forever.
+  bool HasReclaimableCandidate() const;
+
   // Victim per the configured policy, from either pool. Returns
   // kInvalidBlock when no candidate exists.
   BlockId PickVictim();

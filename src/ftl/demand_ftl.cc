@@ -225,6 +225,14 @@ MicroSec DemandFtl::RunGcIfNeeded() {
   MicroSec t = 0.0;
   obs::ScopedPhase phase(obs::Phase::kGc);
   while (bm_.NeedsGc()) {
+    // Over-provisioning can sit at or below the GC threshold on small
+    // devices (a sharded front-end slices the spare pool along with the
+    // logical space). Once every candidate is fully valid, no collection
+    // can raise the free count — serve at whatever headroom is left
+    // instead of spinning on net-zero collections forever.
+    if (!bm_.HasReclaimableCandidate()) {
+      break;
+    }
     const BlockId victim = bm_.PickVictim();
     // Graceful end of life instead of a CHECK: once retirements have eaten
     // the spare pool down to where no victim exists, or where a worst-case

@@ -1,5 +1,6 @@
 #include "src/obs/trace_event.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -90,23 +91,37 @@ void WriteChromeTrace(std::ostream& out, const RequestTraceLog& log,
   EventWriter ev(out);
   out << "{\n\"traceEvents\": [";
 
-  ev.Open();
-  ev.Str("name", "process_name");
-  ev.Str("ph", "M");
-  ev.Int("pid", 1);
-  ev.Int("tid", 0);
-  ev.Raw("args", "{\"name\": \"");
-  WriteEscaped(out, label);
-  out << "\"}";
-  ev.Close();
+  // One process lane per tenant present in the log (pid = tenant + 1).
+  // Single-tenant logs emit exactly the one pid-1 lane they always did.
+  uint16_t max_tenant = 0;
+  for (const RequestTraceRecord& rec : log.records()) {
+    max_tenant = std::max(max_tenant, rec.tenant);
+  }
+  for (uint32_t tenant = 0; tenant <= max_tenant; ++tenant) {
+    ev.Open();
+    ev.Str("name", "process_name");
+    ev.Str("ph", "M");
+    ev.Int("pid", tenant + 1);
+    ev.Int("tid", 0);
+    ev.Raw("args", "{\"name\": \"");
+    WriteEscaped(out, label);
+    if (max_tenant > 0) {
+      char suffix[32];
+      std::snprintf(suffix, sizeof(suffix), " tenant %u", tenant);
+      WriteEscaped(out, suffix);
+    }
+    out << "\"}";
+    ev.Close();
+  }
 
   for (const RequestTraceRecord& rec : log.records()) {
+    const uint64_t pid = rec.tenant + 1u;
     const uint64_t tid = rec.index + 1;  // tid 0 is metadata.
 
     ev.Open();
     ev.Str("name", "thread_name");
     ev.Str("ph", "M");
-    ev.Int("pid", 1);
+    ev.Int("pid", pid);
     ev.Int("tid", tid);
     char tname[64];
     std::snprintf(tname, sizeof(tname), "req %" PRIu64 " %s lpn=%" PRIu64,
@@ -121,7 +136,7 @@ void WriteChromeTrace(std::ostream& out, const RequestTraceLog& log,
       ev.Str("name", "queue");
       ev.Str("ph", "X");
       ev.Str("cat", "queue");
-      ev.Int("pid", 1);
+      ev.Int("pid", pid);
       ev.Int("tid", tid);
       ev.Num("ts", rec.arrival_us);
       ev.Num("dur", rec.queue_us);
@@ -133,7 +148,7 @@ void WriteChromeTrace(std::ostream& out, const RequestTraceLog& log,
       ev.Str("name", PhaseName(span.phase));
       ev.Str("ph", "X");
       ev.Str("cat", "phase");
-      ev.Int("pid", 1);
+      ev.Int("pid", pid);
       ev.Int("tid", tid);
       ev.Num("ts", rec.start_us + span.start_us);
       ev.Num("dur", span.dur_us);
@@ -152,7 +167,7 @@ void WriteChromeTrace(std::ostream& out, const RequestTraceLog& log,
       ev.Str("ph", "i");
       ev.Str("cat", "event");
       ev.Str("s", "t");
-      ev.Int("pid", 1);
+      ev.Int("pid", pid);
       ev.Int("tid", tid);
       ev.Num("ts", rec.start_us + inst.at_us);
       ev.Close();

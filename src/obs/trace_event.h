@@ -81,6 +81,7 @@ struct RequestTraceRecord {
   uint64_t lpn = 0;         // First LPN of the request.
   uint32_t length = 0;      // Pages.
   bool is_write = false;
+  uint16_t tenant = 0;      // Tenant lane (0 unless tenant accounting is on).
   double arrival_us = 0.0;  // Stats-epoch-adjusted arrival.
   double start_us = 0.0;    // Device start (end of queueing).
   double finish_us = 0.0;
@@ -122,9 +123,12 @@ class RequestTraceLog {
   std::vector<RequestTraceRecord> records_;
 };
 
-// Writes the log as Chrome trace-event JSON. Each request gets one row
+// Writes the log as Chrome trace-event JSON. Requests are grouped into one
+// process lane per tenant (pid = tenant + 1; single-tenant logs collapse to
+// the one pid-1 lane) and each request gets one row within its lane
 // (tid = request index): a "queue" span from arrival to start, one span per
-// phase segment, and instant markers. `label` becomes the process name.
+// phase segment, and instant markers. `label` becomes the process name,
+// suffixed with the tenant id on lanes past the first.
 void WriteChromeTrace(std::ostream& out, const RequestTraceLog& log,
                       const std::string& label);
 

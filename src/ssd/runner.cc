@@ -147,7 +147,8 @@ RunReport RunTrace(const ExperimentConfig& config, TraceSource& trace,
 }
 
 ClosedLoopReport RunClosedLoop(const ExperimentConfig& config, TraceSource& trace,
-                               const ClosedLoopConfig& loop) {
+                               const ClosedLoopConfig& loop,
+                               const RunObserver& observer) {
   TPFTL_CHECK(loop.queue_depth >= 1);
   Ssd ssd(MakeSsdConfig(config));
   Precondition(ssd, config);
@@ -189,6 +190,9 @@ ClosedLoopReport RunClosedLoop(const ExperimentConfig& config, TraceSource& trac
          trace.Next(&request)) {
     serve(request);
     ++measured;
+    if (observer) {
+      observer(ssd, measured);
+    }
   }
 
   ClosedLoopReport out;
@@ -201,6 +205,116 @@ ClosedLoopReport RunClosedLoop(const ExperimentConfig& config, TraceSource& trac
           ? static_cast<double>(measured) / out.makespan_us * 1e6
           : 0.0;
   out.die_utilization = ssd.DieUtilization();
+  return out;
+}
+
+ServingReport RunServing(const ExperimentConfig& config, TraceSource& trace,
+                         const ServingConfig& serving,
+                         const RunObserver& observer) {
+  SsdConfig ssd_config = MakeSsdConfig(config);
+  ssd_config.tenant_count = serving.tenant_count;
+  Ssd ssd(ssd_config);
+  Precondition(ssd, config);
+
+  const uint32_t lanes = std::max<uint32_t>(1, serving.tenant_count);
+  std::vector<uint64_t> tenant_drops(lanes, 0);
+
+  // Admission check against the open-loop backlog this arrival would join.
+  // Drops happen *before* Submit, so the device (and its per-tenant
+  // accounting) only ever sees admitted requests.
+  const auto backlog_at = [&](const IoRequest& request) -> MicroSec {
+    const MicroSec effective =
+        std::max(request.arrival_us, ssd.stats_epoch_us());
+    return ssd.device_free_at() - effective;
+  };
+
+  trace.Rewind();
+  IoRequest request;
+  uint64_t warmed = 0;
+  while (warmed < serving.warmup_requests && trace.Next(&request)) {
+    if (serving.max_queue_us <= 0.0 ||
+        backlog_at(request) <= serving.max_queue_us) {
+      ssd.Submit(request);
+    }
+    ++warmed;
+  }
+  ssd.ResetStats();
+
+  ServingReport out;
+  MicroSec last_arrival_us = ssd.stats_epoch_us();
+  while (trace.Next(&request)) {
+    const MicroSec backlog = backlog_at(request);
+    out.peak_queue_us = std::max(out.peak_queue_us, backlog);
+    last_arrival_us =
+        std::max(last_arrival_us,
+                 std::max(request.arrival_us, ssd.stats_epoch_us()));
+    ++out.offered;
+    if (serving.max_queue_us > 0.0 && backlog > serving.max_queue_us) {
+      ++out.dropped;
+      ++tenant_drops[request.tenant < lanes ? request.tenant : 0];
+      continue;
+    }
+    ssd.Submit(request);
+    ++out.served;
+    if (observer) {
+      observer(ssd, out.served);
+    }
+  }
+
+  out.report = ExtractReport(ssd, config.workload.name, out.served);
+  out.arrival_span_us = last_arrival_us - ssd.stats_epoch_us();
+  out.makespan_us =
+      std::max(ssd.device_free_at(), last_arrival_us) - ssd.stats_epoch_us();
+  out.final_backlog_us = std::max(0.0, ssd.device_free_at() - last_arrival_us);
+  out.offered_rps = out.arrival_span_us > 0.0
+                        ? static_cast<double>(out.offered) /
+                              out.arrival_span_us * 1e6
+                        : 0.0;
+  out.achieved_rps = out.makespan_us > 0.0
+                         ? static_cast<double>(out.served) /
+                               out.makespan_us * 1e6
+                         : 0.0;
+
+  // Per-tenant slices from the device's registry lanes.
+  const double total_gc_us = ssd.phase_times().PhaseUs(obs::Phase::kGc);
+  const obs::MetricsRegistry& metrics = ssd.metrics();
+  const auto counter_value = [&](uint32_t t, std::string_view suffix) {
+    const obs::Counter* c = metrics.FindCounter(TenantMetricName(t, suffix));
+    return c != nullptr ? c->value() : 0;
+  };
+  for (uint32_t t = 0; t < serving.tenant_count; ++t) {
+    TenantServingStats ts;
+    ts.name = t < serving.tenant_names.size()
+                  ? serving.tenant_names[t]
+                  : "tenant-" + std::to_string(t);
+    ts.requests = counter_value(t, "requests");
+    ts.dropped = tenant_drops[t];
+    ts.pages_read = counter_value(t, "pages_read");
+    ts.pages_written = counter_value(t, "pages_written");
+    ts.pages_trimmed = counter_value(t, "pages_trimmed");
+    ts.gc_migrations = counter_value(t, "gc_migrations");
+    ts.block_erases = counter_value(t, "block_erases");
+    const obs::LatencyHistogram* hist =
+        metrics.FindHistogram(TenantMetricName(t, "response_us"));
+    if (hist != nullptr && hist->total() > 0) {
+      ts.mean_response_us = hist->Mean();
+      ts.p50_response_us = hist->Quantile(0.50);
+      ts.p90_response_us = hist->Quantile(0.90);
+      ts.p99_response_us = hist->Quantile(0.99);
+      ts.p999_response_us = hist->Quantile(0.999);
+      ts.max_response_us = hist->max();
+    }
+    ts.write_amp =
+        ts.pages_written > 0
+            ? static_cast<double>(ts.pages_written + ts.gc_migrations) /
+                  static_cast<double>(ts.pages_written)
+            : 1.0;
+    ts.gc_time_share =
+        total_gc_us > 0.0
+            ? ssd.tenant_phase_times(t).PhaseUs(obs::Phase::kGc) / total_gc_us
+            : 0.0;
+    out.tenants.push_back(std::move(ts));
+  }
   return out;
 }
 

@@ -143,7 +143,83 @@ struct ClosedLoopReport {
 };
 
 ClosedLoopReport RunClosedLoop(const ExperimentConfig& config, TraceSource& trace,
-                               const ClosedLoopConfig& loop);
+                               const ClosedLoopConfig& loop,
+                               const RunObserver& observer = nullptr);
+
+// --- open-loop (trace-serving) driving ---
+//
+// Replays the trace's own arrival clock: requests are submitted at their
+// arrival times whether or not the device has caught up, so queue backlog
+// builds and drains the way it does under production traffic (the
+// closed-loop driver instead *couples* arrivals to completions and can only
+// measure capacity). Pair with workload/arrival.h + workload/tenant_mix.h
+// for Poisson/diurnal/burst multi-tenant streams.
+struct ServingConfig {
+  // Requests replayed (same admission policy) before ResetStats.
+  uint64_t warmup_requests = 0;
+  // Admission control: a request arriving when the device is more than this
+  // far behind (device_free_at − arrival) is dropped, not served — the
+  // open-loop analogue of a filled-up submission queue. 0 = never drop.
+  MicroSec max_queue_us = 0.0;
+  // Per-tenant QoS lanes (SsdConfig::tenant_count). 0 = untagged traffic.
+  uint32_t tenant_count = 0;
+  // Display names for the lanes (TenantMixSource::TenantNames()); padded
+  // with "tenant-N" when shorter than tenant_count.
+  std::vector<std::string> tenant_names;
+};
+
+// Per-tenant slice of a serving run, extracted from the device's
+// TenantMetricName metrics. The counter sums across tenants equal the
+// run's global totals exactly (see the tenant-accounting tests).
+struct TenantServingStats {
+  std::string name;
+  uint64_t requests = 0;
+  uint64_t dropped = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  uint64_t pages_trimmed = 0;
+  uint64_t gc_migrations = 0;
+  uint64_t block_erases = 0;
+  double mean_response_us = 0.0;
+  double p50_response_us = 0.0;
+  double p90_response_us = 0.0;
+  double p99_response_us = 0.0;
+  double p999_response_us = 0.0;
+  double max_response_us = 0.0;
+  // Data-page write amplification attributed to this tenant's requests:
+  // (pages_written + gc_migrations) / pages_written; 1.0 when it wrote
+  // nothing.
+  double write_amp = 1.0;
+  // This tenant's share of the run's total GC flash time (0 when the run
+  // had trace_phases off or no GC ran).
+  double gc_time_share = 0.0;
+};
+
+struct ServingReport {
+  RunReport report;  // Measured-window stats (served requests only).
+  uint64_t offered = 0;  // Measured-window arrivals (served + dropped).
+  uint64_t served = 0;
+  uint64_t dropped = 0;
+  // Span of measured arrivals (last arrival − measurement epoch) and the
+  // offered rate over it.
+  MicroSec arrival_span_us = 0.0;
+  double offered_rps = 0.0;
+  // Time to drain everything (last finish − epoch) and the achieved rate
+  // over it. For an underloaded device makespan ≈ arrival span and
+  // achieved ≈ offered; under overload the makespan stretches past the
+  // arrival span and the achieved rate is the device's capacity.
+  MicroSec makespan_us = 0.0;
+  double achieved_rps = 0.0;
+  // Worst queueing backlog any measured arrival saw, and what was left
+  // when arrivals stopped.
+  MicroSec peak_queue_us = 0.0;
+  MicroSec final_backlog_us = 0.0;
+  std::vector<TenantServingStats> tenants;
+};
+
+ServingReport RunServing(const ExperimentConfig& config, TraceSource& trace,
+                         const ServingConfig& serving,
+                         const RunObserver& observer = nullptr);
 
 // Runs the experiment on its synthetic workload.
 RunReport RunExperiment(const ExperimentConfig& config, const RunObserver& observer = nullptr);

@@ -1,6 +1,7 @@
 #include "src/ssd/ssd.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "src/ftl/demand_ftl.h"
@@ -21,6 +22,14 @@ FlashGeometry BuildGeometry(const SsdConfig& config) {
 }
 
 }  // namespace
+
+std::string TenantMetricName(uint32_t tenant, std::string_view suffix) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ssd.tenant.%02u.", tenant);
+  std::string name(buf);
+  name.append(suffix);
+  return name;
+}
 
 Ssd::Ssd(const SsdConfig& config)
     : geometry_(BuildGeometry(config)),
@@ -51,6 +60,17 @@ Ssd::Ssd(const SsdConfig& config)
   env.static_leveling = config.static_leveling;
   env.static_level_threshold = config.static_level_threshold;
   ftl_ = CreateFtl(config.ftl_kind, env, config.tpftl_options);
+  tenants_.resize(config.tenant_count);
+  for (uint32_t t = 0; t < config.tenant_count; ++t) {
+    TenantMetrics& tm = tenants_[t];
+    tm.response = metrics_.histogram(TenantMetricName(t, "response_us"));
+    tm.requests = metrics_.counter(TenantMetricName(t, "requests"));
+    tm.pages_read = metrics_.counter(TenantMetricName(t, "pages_read"));
+    tm.pages_written = metrics_.counter(TenantMetricName(t, "pages_written"));
+    tm.pages_trimmed = metrics_.counter(TenantMetricName(t, "pages_trimmed"));
+    tm.gc_migrations = metrics_.counter(TenantMetricName(t, "gc_migrations"));
+    tm.block_erases = metrics_.counter(TenantMetricName(t, "block_erases"));
+  }
   SyncDeviceMetrics();  // Seed the resident-segments gauge at creation.
 }
 
@@ -108,6 +128,21 @@ MicroSec Ssd::ServiceRequestPages(const IoRequest& request) {
 
 MicroSec Ssd::Submit(const IoRequest& request) {
   const bool multi_die = flash_.multi_die();
+
+  // Tenant accounting: snapshot the device-wide GC/erase counters so the
+  // work this request triggers can be attributed to its tenant by delta.
+  // The deltas partition the globals exactly (every migration/erase happens
+  // inside exactly one Submit), which is what the exact-merge tests check.
+  uint64_t tenant_gc_before = 0;
+  uint64_t tenant_erases_before = 0;
+  if (!tenants_.empty()) [[unlikely]] {
+    TPFTL_CHECK_MSG(request.tenant < tenants_.size(),
+                    "IoRequest::tenant out of range for SsdConfig::tenant_count");
+    const AtStats& before = ftl_->stats();
+    tenant_gc_before = before.gc_data_migrations + before.gc_trans_migrations;
+    tenant_erases_before = flash_.stats().block_erases;
+  }
+
   ftl_->BeginRequest(request);
 
   // Tracing sinks for this request. With trace_phases off both pointers stay
@@ -171,6 +206,25 @@ MicroSec Ssd::Submit(const IoRequest& request) {
   const MicroSec response = finish - effective_arrival;
   response_.Add(response);
   response_hist_->Add(response);
+  if (!tenants_.empty()) [[unlikely]] {
+    TenantMetrics& tm = tenants_[request.tenant];
+    tm.response->Add(response);
+    tm.requests->Increment();
+    const uint64_t pages =
+        std::min(request.PageCount(geometry_.page_size_bytes), logical_pages_);
+    (request.is_trim()   ? tm.pages_trimmed
+     : request.is_write() ? tm.pages_written
+                          : tm.pages_read)
+        ->Increment(pages);
+    const AtStats& after = ftl_->stats();
+    tm.gc_migrations->Increment(after.gc_data_migrations +
+                                after.gc_trans_migrations - tenant_gc_before);
+    tm.block_erases->Increment(flash_.stats().block_erases -
+                               tenant_erases_before);
+    if (trace_phases_) {
+      tm.phases.Merge(scratch_times_);
+    }
+  }
   if (trace_phases_) [[unlikely]] {
     const MicroSec queue_us = start - effective_arrival;
     phase_times_.Merge(*times);
@@ -184,6 +238,7 @@ MicroSec Ssd::Submit(const IoRequest& request) {
       rec.length =
           static_cast<uint32_t>(std::min(request.PageCount(page_size), logical_pages_));
       rec.is_write = request.is_write();
+      rec.tenant = tenants_.empty() ? 0 : request.tenant;
       rec.arrival_us = effective_arrival;
       rec.start_us = start;
       rec.finish_us = finish;
@@ -267,8 +322,11 @@ void Ssd::ResetStats() {
   ftl_->ResetStats();  // Also resets the flash counters.
   write_buffer_.ResetStats();
   response_.Reset();
-  metrics_.ResetValues();  // Includes the response/queue histograms.
+  metrics_.ResetValues();  // Includes all per-tenant metrics.
   SyncDeviceMetrics();  // Flash counters just reset; re-seed the mirror.
+  for (TenantMetrics& tm : tenants_) {
+    tm.phases.Reset();
+  }
   phase_times_.Reset();
   queue_us_total_ = 0.0;
   trace_log_.Clear();

@@ -19,6 +19,8 @@
 #define SRC_SSD_SSD_H_
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/ftl_factory.h"
@@ -82,7 +84,19 @@ struct SsdConfig {
   bool dynamic_leveling = false;
   bool static_leveling = false;
   uint64_t static_level_threshold = 64;
+  // Per-tenant QoS accounting lanes. 0 (the default) disables it entirely:
+  // IoRequest::tenant is never consulted and Submit pays one predicted
+  // branch. When set, every request's tenant id must be < tenant_count and
+  // the registry grows per-tenant response histograms plus page/GC/erase
+  // counters under "ssd.tenant.NN.*" (see TenantMetricName), all of which
+  // merge exactly back to the global totals.
+  uint32_t tenant_count = 0;
 };
+
+// Registry name of a per-tenant metric: TenantMetricName(2, "response_us")
+// → "ssd.tenant.02.response_us". Zero-padded so registry (map) order equals
+// tenant order for up to 100 tenants.
+std::string TenantMetricName(uint32_t tenant, std::string_view suffix);
 
 class Ssd {
  public:
@@ -145,6 +159,17 @@ class Ssd {
   // spent busy. All 1.0-or-less entries; one entry per die.
   std::vector<double> DieUtilization() const;
 
+  // Per-tenant QoS accounting (SsdConfig::tenant_count lanes; 0 when off).
+  uint32_t tenant_count() const {
+    return static_cast<uint32_t>(tenants_.size());
+  }
+  // Phase attribution of tenant `t`'s requests since the last ResetStats
+  // (all zeros unless trace_phases is on). The registry holds the rest of
+  // the per-tenant metrics under TenantMetricName(t, ...).
+  const obs::PhaseTimes& tenant_phase_times(uint32_t tenant) const {
+    return tenants_[tenant].phases;
+  }
+
   // Aggregate phase attribution since the last ResetStats (all zeros unless
   // trace_phases is on).
   const obs::PhaseTimes& phase_times() const { return phase_times_; }
@@ -199,6 +224,22 @@ class Ssd {
   // path pays no per-request construction (touched only when trace_phases_).
   obs::PhaseTimes scratch_times_;
   obs::RequestSpans scratch_spans_;
+
+  // One accounting lane per tenant (empty unless SsdConfig::tenant_count).
+  // The registry pointers are cached at construction; the GC/erase counters
+  // are filled from before/after deltas of the FTL and flash stats inside
+  // Submit, so summing the lanes reproduces the globals exactly.
+  struct TenantMetrics {
+    obs::LatencyHistogram* response = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* pages_read = nullptr;
+    obs::Counter* pages_written = nullptr;
+    obs::Counter* pages_trimmed = nullptr;
+    obs::Counter* gc_migrations = nullptr;
+    obs::Counter* block_erases = nullptr;
+    obs::PhaseTimes phases;
+  };
+  std::vector<TenantMetrics> tenants_;
 };
 
 }  // namespace tpftl

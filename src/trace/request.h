@@ -21,6 +21,10 @@ struct IoRequest {
   uint64_t offset_bytes = 0;
   uint64_t size_bytes = 0;
   IoKind kind = IoKind::kRead;
+  // Originating tenant lane for multi-tenant serving (workload/tenant_mix.h).
+  // 0 for single-tenant traces; only consulted when SsdConfig::tenant_count
+  // is set, so plain replays pay nothing for it.
+  uint16_t tenant = 0;
 
   bool is_write() const { return kind == IoKind::kWrite; }
   bool is_trim() const { return kind == IoKind::kTrim; }

@@ -1,0 +1,144 @@
+#include "src/workload/arrival.h"
+
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Exponential variate with the given mean. log1p(-u) with u in [0,1) never
+// hits log(0), so the gap is always finite.
+double Exponential(Rng& rng, double mean) {
+  return -mean * std::log1p(-rng.NextDouble());
+}
+
+}  // namespace
+
+const char* ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+    case ArrivalKind::kOnOff:
+      return "onoff";
+  }
+  return "?";
+}
+
+PoissonArrivals::PoissonArrivals(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  TPFTL_CHECK_MSG(config.rate_rps > 0.0, "Poisson arrivals need rate_rps > 0");
+}
+
+MicroSec PoissonArrivals::NextUs() {
+  clock_us_ += Exponential(rng_, 1e6 / config_.rate_rps);
+  return clock_us_;
+}
+
+void PoissonArrivals::Rewind() {
+  rng_.Seed(config_.seed);
+  clock_us_ = 0.0;
+}
+
+DiurnalArrivals::DiurnalArrivals(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  TPFTL_CHECK_MSG(config.rate_rps > 0.0, "diurnal arrivals need rate_rps > 0");
+  TPFTL_CHECK_MSG(config.day_us > 0.0, "diurnal arrivals need day_us > 0");
+  TPFTL_CHECK_MSG(config.peak_to_trough >= 1.0,
+                  "peak_to_trough must be >= 1");
+  amplitude_ = (config.peak_to_trough - 1.0) / (config.peak_to_trough + 1.0);
+  peak_rate_rps_ = config.rate_rps * (1.0 + amplitude_);
+}
+
+double DiurnalArrivals::RateAt(MicroSec t_us) const {
+  const double phase = t_us / config_.day_us - config_.peak_phase;
+  return config_.rate_rps * (1.0 + amplitude_ * std::cos(2.0 * kPi * phase));
+}
+
+double DiurnalArrivals::DailyRequestCount() const {
+  return config_.rate_rps * config_.day_us / 1e6;
+}
+
+MicroSec DiurnalArrivals::NextUs() {
+  // Thinning (Lewis & Shedler): draw candidates from a homogeneous Poisson
+  // at the peak rate and accept each with probability rate(t)/peak — exact
+  // for any bounded rate curve.
+  const double mean_gap_us = 1e6 / peak_rate_rps_;
+  for (;;) {
+    clock_us_ += Exponential(rng_, mean_gap_us);
+    if (rng_.NextDouble() * peak_rate_rps_ <= RateAt(clock_us_)) {
+      return clock_us_;
+    }
+  }
+}
+
+void DiurnalArrivals::Rewind() {
+  rng_.Seed(config_.seed);
+  clock_us_ = 0.0;
+}
+
+OnOffArrivals::OnOffArrivals(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  TPFTL_CHECK_MSG(config.rate_rps > 0.0, "on/off arrivals need rate_rps > 0");
+  TPFTL_CHECK_MSG(config.mean_on_us > 0.0 && config.mean_off_us > 0.0,
+                  "on/off arrivals need positive segment means");
+  TPFTL_CHECK_MSG(config.off_rate_rps >= 0.0, "off_rate_rps must be >= 0");
+  StartSegment(/*on=*/true);
+}
+
+void OnOffArrivals::StartSegment(bool on) {
+  on_ = on;
+  segment_start_us_ = clock_us_;
+  const double mean = on ? config_.mean_on_us : config_.mean_off_us;
+  segment_end_us_ = clock_us_ + Exponential(rng_, mean);
+}
+
+MicroSec OnOffArrivals::NextUs() {
+  for (;;) {
+    const double rate = on_ ? config_.rate_rps : config_.off_rate_rps;
+    if (rate > 0.0) {
+      // Exponential gaps are memoryless, so re-drawing the gap at each
+      // segment boundary leaves the within-segment process exactly Poisson.
+      const double gap = Exponential(rng_, 1e6 / rate);
+      if (clock_us_ + gap <= segment_end_us_) {
+        clock_us_ += gap;
+        return clock_us_;
+      }
+    }
+    // No arrival before the segment ends: book the segment and flip state.
+    (on_ ? on_accum_us_ : off_accum_us_) += segment_end_us_ - segment_start_us_;
+    clock_us_ = segment_end_us_;
+    StartSegment(!on_);
+  }
+}
+
+void OnOffArrivals::Rewind() {
+  rng_.Seed(config_.seed);
+  clock_us_ = 0.0;
+  on_accum_us_ = 0.0;
+  off_accum_us_ = 0.0;
+  StartSegment(/*on=*/true);
+}
+
+double OnOffArrivals::on_time_us() const { return on_accum_us_; }
+
+double OnOffArrivals::off_time_us() const { return off_accum_us_; }
+
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(const ArrivalConfig& config) {
+  switch (config.kind) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonArrivals>(config);
+    case ArrivalKind::kDiurnal:
+      return std::make_unique<DiurnalArrivals>(config);
+    case ArrivalKind::kOnOff:
+      return std::make_unique<OnOffArrivals>(config);
+  }
+  TPFTL_CHECK_MSG(false, "unknown ArrivalKind");
+  return nullptr;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,140 @@
+// Open-loop arrival processes.
+//
+// The closed-loop replay (RunClosedLoop) measures capacity: it keeps the
+// queue saturated, so latency quantiles are dominated by backlog and say
+// nothing about what a user of a *non*-saturated device experiences.
+// Production traffic is open loop — requests arrive when they arrive,
+// whether or not the device is keeping up — so sustained-traffic behavior
+// (queue buildup, diurnal load, bursts) needs arrival processes that are
+// independent of service times.
+//
+// Three seeded, rewindable processes cover the shapes that matter:
+//
+//   * kPoisson — homogeneous Poisson at `rate_rps`: exponential
+//     inter-arrival gaps, CV = 1. The memoryless baseline.
+//   * kDiurnal — nonhomogeneous Poisson whose rate follows a daily cosine:
+//     rate(t) = rate_rps * (1 + a*cos(2π(t/day_us − peak_phase))) with
+//     a = (r−1)/(r+1) so peak/trough = `peak_to_trough` and the *mean* rate
+//     stays rate_rps (the curve integrates to rate_rps * day_us / 1e6
+//     requests per simulated day). Sampled by thinning against the peak
+//     rate, the textbook exact method for nonhomogeneous Poisson.
+//   * kOnOff — Markov-modulated burst process: exponentially distributed
+//     ON segments (mean `mean_on_us`) with Poisson arrivals at `rate_rps`,
+//     alternating with OFF segments (mean `mean_off_us`) at `off_rate_rps`
+//     (usually 0). Duty cycle = mean_on / (mean_on + mean_off).
+//
+// All randomness flows through util/Rng; same config + seed ⇒ identical
+// arrival sequence, and Rewind() restarts it exactly.
+
+#ifndef SRC_WORKLOAD_ARRIVAL_H_
+#define SRC_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/flash/types.h"
+#include "src/util/rng.h"
+
+namespace tpftl {
+
+enum class ArrivalKind : uint8_t { kPoisson = 0, kDiurnal = 1, kOnOff = 2 };
+
+const char* ArrivalKindName(ArrivalKind kind);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  uint64_t seed = 1;
+  // Mean arrival rate in requests per simulated second (Poisson/diurnal);
+  // the ON-segment rate for kOnOff.
+  double rate_rps = 1000.0;
+
+  // kDiurnal: period of the rate curve and its shape. peak_to_trough is the
+  // ratio of the peak rate to the trough rate (>= 1); peak_phase in [0,1)
+  // places the peak within the day (0 = day start).
+  double day_us = 86'400e6;
+  double peak_to_trough = 4.0;
+  double peak_phase = 0.0;
+
+  // kOnOff: mean segment lengths and the (usually zero) OFF-segment rate.
+  double mean_on_us = 100'000.0;
+  double mean_off_us = 400'000.0;
+  double off_rate_rps = 0.0;
+};
+
+// A stream of absolute, non-decreasing arrival timestamps starting at 0.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Returns the next arrival time (µs since stream start).
+  virtual MicroSec NextUs() = 0;
+
+  // Restarts the stream; the same timestamps replay exactly.
+  virtual void Rewind() = 0;
+};
+
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(const ArrivalConfig& config);
+
+  MicroSec NextUs() override;
+  void Rewind() override;
+
+ private:
+  ArrivalConfig config_;
+  Rng rng_;
+  double clock_us_ = 0.0;
+};
+
+class DiurnalArrivals : public ArrivalProcess {
+ public:
+  explicit DiurnalArrivals(const ArrivalConfig& config);
+
+  MicroSec NextUs() override;
+  void Rewind() override;
+
+  // Instantaneous rate (requests per second) at absolute time t.
+  double RateAt(MicroSec t_us) const;
+  // Requests one simulated day integrates to: rate_rps * day_us / 1e6.
+  double DailyRequestCount() const;
+
+ private:
+  ArrivalConfig config_;
+  double amplitude_;  // (r−1)/(r+1) for peak/trough ratio r.
+  double peak_rate_rps_;
+  Rng rng_;
+  double clock_us_ = 0.0;
+};
+
+class OnOffArrivals : public ArrivalProcess {
+ public:
+  explicit OnOffArrivals(const ArrivalConfig& config);
+
+  MicroSec NextUs() override;
+  void Rewind() override;
+
+  // Simulated time spent in *completed* ON / OFF segments. Exposed so tests
+  // can check the realized duty cycle against mean_on / (mean_on + mean_off);
+  // the still-open segment is excluded, which is negligible over many
+  // segments.
+  double on_time_us() const;
+  double off_time_us() const;
+
+ private:
+  void StartSegment(bool on);
+
+  ArrivalConfig config_;
+  Rng rng_;
+  double clock_us_ = 0.0;
+  double segment_start_us_ = 0.0;
+  double segment_end_us_ = 0.0;
+  bool on_ = true;
+  double on_accum_us_ = 0.0;   // Completed ON segments.
+  double off_accum_us_ = 0.0;  // Completed OFF segments.
+};
+
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(const ArrivalConfig& config);
+
+}  // namespace tpftl
+
+#endif  // SRC_WORKLOAD_ARRIVAL_H_

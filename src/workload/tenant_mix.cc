@@ -1,0 +1,216 @@
+#include "src/workload/tenant_mix.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/util/assert.h"
+
+namespace tpftl {
+
+TenantSpec YcsbTenant(char mix, uint64_t space_bytes, uint64_t requests,
+                      uint64_t seed) {
+  TenantSpec spec;
+  spec.name = std::string("ycsb-") + static_cast<char>(std::tolower(mix));
+  spec.ops.name = spec.name;
+  spec.ops.address_space_bytes = space_bytes;
+  spec.ops.num_requests = requests;
+  spec.ops.seed = seed;
+  switch (std::tolower(mix)) {
+    case 'a':
+      spec.ops.write_ratio = 0.5;
+      break;
+    case 'b':
+      spec.ops.write_ratio = 0.05;
+      break;
+    case 'c':
+      spec.ops.write_ratio = 0.0;
+      break;
+    default:
+      TPFTL_CHECK_MSG(false, "YcsbTenant mix must be 'A', 'B', or 'C'");
+  }
+  // Point operations on zipf-popular keys: page-sized requests, standard
+  // YCSB skew, small hot chunks so the hot set is key-shaped rather than
+  // table-shaped.
+  spec.ops.zipf_theta = 0.99;
+  spec.ops.chunk_pages = 4;
+  spec.ops.mean_random_bytes = 4096;
+  spec.ops.max_request_bytes = 16 * 1024;
+  spec.ops.seq_read_fraction = 0.0;
+  spec.ops.seq_write_fraction = 0.0;
+  return spec;
+}
+
+TenantSpec StreamerTenant(uint64_t space_bytes, uint64_t requests,
+                          uint64_t seed, double write_ratio) {
+  TenantSpec spec;
+  spec.name = "streamer";
+  spec.ops.name = spec.name;
+  spec.ops.address_space_bytes = space_bytes;
+  spec.ops.num_requests = requests;
+  spec.ops.seed = seed;
+  spec.ops.write_ratio = write_ratio;
+  spec.ops.seq_read_fraction = 1.0;
+  spec.ops.seq_write_fraction = 1.0;
+  spec.ops.mean_seq_bytes = 128 * 1024;
+  spec.ops.max_request_bytes = 512 * 1024;
+  spec.ops.mean_stream_pages = 2048;
+  return spec;
+}
+
+TenantSpec AgingTenant(uint64_t space_bytes, uint64_t requests,
+                       uint64_t seed) {
+  TenantSpec spec;
+  spec.name = "fs-aging";
+  spec.ops_kind = TenantSpec::Ops::kAging;
+  spec.ops.name = spec.name;
+  spec.ops.address_space_bytes = space_bytes;
+  spec.ops.num_requests = requests;
+  spec.ops.seed = seed;
+  spec.aging_extent_pages = 64;
+  spec.aging_trim_fraction = 0.35;
+  return spec;
+}
+
+AgingWorkload::AgingWorkload(const WorkloadConfig& config,
+                             uint64_t extent_pages, double trim_fraction)
+    : config_(config),
+      extent_pages_(extent_pages),
+      trim_fraction_(trim_fraction),
+      extent_count_(config.total_pages() / extent_pages),
+      rng_(config.seed),
+      live_slot_(extent_count_, -1) {
+  TPFTL_CHECK_MSG(extent_pages_ > 0, "aging extents need pages");
+  TPFTL_CHECK_MSG(extent_count_ >= 2,
+                  "aging space must hold at least two extents");
+  TPFTL_CHECK_MSG(trim_fraction_ >= 0.0 && trim_fraction_ < 1.0,
+                  "aging trim fraction must be in [0, 1)");
+  live_.reserve(extent_count_);
+}
+
+bool AgingWorkload::Next(IoRequest* out) {
+  if (emitted_ >= config_.num_requests) {
+    return false;
+  }
+  const uint64_t extent_bytes = extent_pages_ * config_.page_size;
+  uint64_t extent;
+  if (!live_.empty() && rng_.Chance(trim_fraction_)) {
+    // Delete a uniformly random live file (whole-extent TRIM).
+    const uint64_t pick = rng_.Below(live_.size());
+    extent = live_[pick];
+    live_[pick] = live_.back();
+    live_slot_[live_[pick]] = static_cast<int32_t>(pick);
+    live_.pop_back();
+    live_slot_[extent] = -1;
+    out->kind = IoKind::kTrim;
+  } else {
+    // (Re)write the next file in round-robin order.
+    extent = cursor_;
+    cursor_ = (cursor_ + 1) % extent_count_;
+    if (live_slot_[extent] < 0) {
+      live_slot_[extent] = static_cast<int32_t>(live_.size());
+      live_.push_back(static_cast<uint32_t>(extent));
+    }
+    out->kind = IoKind::kWrite;
+  }
+  out->offset_bytes = extent * extent_bytes;
+  out->size_bytes = extent_bytes;
+  out->arrival_us = 0.0;  // The tenant mix stamps the arrival clock.
+  out->tenant = 0;
+  ++emitted_;
+  return true;
+}
+
+void AgingWorkload::Rewind() {
+  rng_.Seed(config_.seed);
+  live_.clear();
+  std::fill(live_slot_.begin(), live_slot_.end(), -1);
+  cursor_ = 0;
+  emitted_ = 0;
+}
+
+TenantMixSource::TenantMixSource(std::vector<TenantSpec> specs)
+    : specs_(std::move(specs)) {
+  TPFTL_CHECK_MSG(!specs_.empty(), "tenant mix needs at least one tenant");
+  TPFTL_CHECK_MSG(specs_.size() <= UINT16_MAX, "too many tenants");
+  slots_.resize(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const TenantSpec& spec = specs_[i];
+    if (spec.ops_kind == TenantSpec::Ops::kAging) {
+      slots_[i].ops = std::make_unique<AgingWorkload>(
+          spec.ops, spec.aging_extent_pages, spec.aging_trim_fraction);
+    } else {
+      slots_[i].ops = std::make_unique<SyntheticWorkload>(spec.ops);
+    }
+    slots_[i].arrivals = MakeArrivalProcess(spec.arrival);
+    Refill(i);
+  }
+}
+
+void TenantMixSource::Refill(size_t i) {
+  Slot& slot = slots_[i];
+  slot.has_pending = slot.ops->Next(&slot.pending);
+  if (slot.has_pending) {
+    slot.pending.arrival_us = slot.arrivals->NextUs();
+    slot.pending.offset_bytes += specs_[i].lba_offset_bytes;
+    slot.pending.tenant = static_cast<uint16_t>(i);
+  }
+}
+
+bool TenantMixSource::Next(IoRequest* out) {
+  // Earliest pending arrival wins; ties break to the lowest tenant id so
+  // the interleaving is fully deterministic.
+  size_t best = slots_.size();
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].has_pending &&
+        (best == slots_.size() ||
+         slots_[i].pending.arrival_us < slots_[best].pending.arrival_us)) {
+      best = i;
+    }
+  }
+  if (best == slots_.size()) {
+    return false;
+  }
+  *out = slots_[best].pending;
+  Refill(best);
+  return true;
+}
+
+void TenantMixSource::Rewind() {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].ops->Rewind();
+    slots_[i].arrivals->Rewind();
+    Refill(i);
+  }
+}
+
+std::optional<uint64_t> TenantMixSource::SizeHint() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    const std::optional<uint64_t> hint = slot.ops->SizeHint();
+    if (!hint.has_value()) {
+      return std::nullopt;
+    }
+    total += *hint;
+  }
+  return total;
+}
+
+std::vector<std::string> TenantMixSource::TenantNames() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const TenantSpec& spec : specs_) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+uint64_t TenantMixSource::RequiredDeviceBytes() const {
+  uint64_t bytes = 0;
+  for (const TenantSpec& spec : specs_) {
+    bytes = std::max(bytes,
+                     spec.lba_offset_bytes + spec.ops.address_space_bytes);
+  }
+  return bytes;
+}
+
+}  // namespace tpftl

@@ -1,0 +1,143 @@
+// Multi-tenant open-loop frontend: interleaves per-tenant generators.
+//
+// A TenantMixSource merges N independent tenant streams into one
+// time-ordered TraceSource. Each tenant owns
+//
+//   * an op-shape generator — either a SyntheticWorkload (the existing
+//     zipf/sequential machinery, giving YCSB-like mixes and streamers) or
+//     the TRIM-heavy filesystem-aging generator defined here;
+//   * an open-loop ArrivalProcess (workload/arrival.h) that stamps the
+//     arrival clock, replacing the generator's own closed-form clock;
+//   * an LBA window: `lba_offset_bytes` places the tenant's
+//     `ops.address_space_bytes`-sized region on the shared device, so
+//     tenants can be disjoint (the usual multi-tenant carve-up) or overlap.
+//
+// Every emitted IoRequest carries its tenant id (IoRequest::tenant), which
+// the SSD layer uses for per-tenant QoS accounting when
+// SsdConfig::tenant_count is set. The merge is deterministic: same specs +
+// seeds ⇒ the identical interleaved stream, and Rewind() replays it.
+
+#ifndef SRC_WORKLOAD_TENANT_MIX_H_
+#define SRC_WORKLOAD_TENANT_MIX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_source.h"
+#include "src/workload/arrival.h"
+#include "src/workload/generator.h"
+
+namespace tpftl {
+
+struct TenantSpec {
+  std::string name = "tenant";
+
+  // Op-shape source. kSynthetic drives a SyntheticWorkload from `ops`;
+  // kAging drives the TRIM-heavy filesystem-aging generator (whole-extent
+  // file writes and deletes over ops.address_space_bytes, see AgingWorkload).
+  enum class Ops : uint8_t { kSynthetic = 0, kAging = 1 };
+  Ops ops_kind = Ops::kSynthetic;
+  WorkloadConfig ops;
+
+  ArrivalConfig arrival;
+
+  // Placement of the tenant's region on the shared device address space.
+  uint64_t lba_offset_bytes = 0;
+
+  // Aging-generator knobs (ops_kind == kAging): extent ("file") size in
+  // pages and the probability a request deletes a live extent instead of
+  // writing the next one.
+  uint64_t aging_extent_pages = 64;
+  double aging_trim_fraction = 0.35;
+};
+
+// --- presets -------------------------------------------------------------
+
+// YCSB-like keyed point-op mix over `space_bytes`: zipf(0.99) page-sized
+// ops. mix 'A' = 50% updates, 'B' = 5% updates, 'C' = read-only.
+TenantSpec YcsbTenant(char mix, uint64_t space_bytes, uint64_t requests,
+                      uint64_t seed);
+
+// Sequential streamer: large requests on long sequential streams
+// (write_ratio 1.0 = pure ingest, 0.0 = backup-style scan).
+TenantSpec StreamerTenant(uint64_t space_bytes, uint64_t requests,
+                          uint64_t seed, double write_ratio = 1.0);
+
+// TRIM-heavy filesystem aging: extent-granular file churn (see
+// AgingWorkload below).
+TenantSpec AgingTenant(uint64_t space_bytes, uint64_t requests,
+                       uint64_t seed);
+
+// --- TRIM-heavy filesystem-aging generator -------------------------------
+//
+// Models a filesystem aging a volume: files are `extent_pages`-sized
+// contiguous extents. Each step either deletes a uniformly random *live*
+// extent (probability `trim_fraction`, emitting a whole-extent TRIM) or
+// writes the next extent in round-robin order (a whole-extent sequential
+// write, re-creating the file if it was deleted). The invariants tests
+// lean on: TRIMs only ever target live extents, and the live set is exactly
+// determined by the emitted stream.
+class AgingWorkload : public TraceSource {
+ public:
+  AgingWorkload(const WorkloadConfig& config, uint64_t extent_pages,
+                double trim_fraction);
+
+  bool Next(IoRequest* out) override;
+  void Rewind() override;
+  std::optional<uint64_t> SizeHint() const override {
+    return config_.num_requests;
+  }
+
+  uint64_t extent_pages() const { return extent_pages_; }
+  uint64_t extent_count() const { return extent_count_; }
+
+ private:
+  WorkloadConfig config_;
+  uint64_t extent_pages_;
+  double trim_fraction_;
+  uint64_t extent_count_;
+  Rng rng_;
+  std::vector<uint32_t> live_;      // Live extent ids, unordered.
+  std::vector<int32_t> live_slot_;  // extent id → index in live_, or −1.
+  uint64_t cursor_ = 0;             // Next extent to (re)write.
+  uint64_t emitted_ = 0;
+};
+
+// --- the merged multi-tenant stream --------------------------------------
+
+class TenantMixSource : public TraceSource {
+ public:
+  explicit TenantMixSource(std::vector<TenantSpec> specs);
+
+  bool Next(IoRequest* out) override;
+  void Rewind() override;
+  std::optional<uint64_t> SizeHint() const override;
+
+  uint32_t tenant_count() const {
+    return static_cast<uint32_t>(specs_.size());
+  }
+  const TenantSpec& spec(uint32_t tenant) const { return specs_[tenant]; }
+  std::vector<std::string> TenantNames() const;
+
+  // Smallest device address space covering every tenant's LBA window.
+  uint64_t RequiredDeviceBytes() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<TraceSource> ops;
+    std::unique_ptr<ArrivalProcess> arrivals;
+    IoRequest pending;
+    bool has_pending = false;
+  };
+
+  void Refill(size_t i);
+
+  std::vector<TenantSpec> specs_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace tpftl
+
+#endif  // SRC_WORKLOAD_TENANT_MIX_H_

@@ -24,6 +24,18 @@ std::vector<Ppn> FillBlocks(BlockManager& bm, uint64_t count) {
   return ppns;
 }
 
+TEST(GcPolicyTest, ReclaimableCandidateTracksInvalidPages) {
+  NandFlash flash(SmallGeometry(8));
+  BlockManager bm(&flash, 1);
+  EXPECT_FALSE(bm.HasReclaimableCandidate());  // No candidates yet.
+  const auto ppns = FillBlocks(bm, 2);
+  // Candidates exist but every page is valid: collecting one nets zero
+  // free pages, so nothing is reclaimable.
+  EXPECT_FALSE(bm.HasReclaimableCandidate());
+  bm.Invalidate(ppns[0]);
+  EXPECT_TRUE(bm.HasReclaimableCandidate());
+}
+
 TEST(GcPolicyTest, CostBenefitPrefersOldGarbage) {
   NandFlash flash(SmallGeometry(8));
   BlockManager bm(&flash, 1, GcPolicy::kCostBenefit);

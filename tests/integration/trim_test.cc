@@ -6,6 +6,7 @@
 #include "src/ssd/ssd.h"
 #include "src/util/rng.h"
 #include "src/testing/world.h"
+#include "src/workload/tenant_mix.h"
 
 namespace tpftl {
 namespace {
@@ -90,6 +91,68 @@ INSTANTIATE_TEST_SUITE_P(AllFtls, TrimTest,
                            }
                            return name;
                          });
+
+// The serving harness's fs-aging preset (workload/tenant_mix.h) is a
+// TRIM-heavy stream of whole-extent file writes and deletes. Replaying it
+// against the device must leave exactly the model's live set mapped:
+// trimmed LPNs are never resurrected, every live LPN has a valid page
+// tagged with it, and a full physical recount of valid data pages matches
+// the model — for every FTL.
+TEST_P(TrimTest, AgingPresetNeverResurrectsTrimmedExtents) {
+  WorkloadConfig workload;
+  workload.address_space_bytes = 8ULL << 20;
+  workload.num_requests = 2000;
+  workload.seed = 123;
+  constexpr uint64_t kExtentPages = 32;
+  AgingWorkload aging(workload, kExtentPages, /*trim_fraction=*/0.4);
+
+  SsdConfig config;
+  config.logical_bytes = workload.address_space_bytes;
+  config.ftl_kind = GetParam();
+  Ssd ssd(config);
+
+  // Shadow model: which extents are live after the replayed stream.
+  std::vector<bool> live(aging.extent_count(), false);
+  const uint64_t extent_bytes = kExtentPages * workload.page_size;
+  IoRequest req;
+  uint64_t trims = 0;
+  while (aging.Next(&req)) {
+    ssd.Submit(req);
+    const uint64_t extent = req.offset_bytes / extent_bytes;
+    live[extent] = !req.is_trim();
+    trims += req.is_trim() ? 1 : 0;
+  }
+  ASSERT_GT(trims, 0u);
+
+  uint64_t model_live_pages = 0;
+  for (uint64_t extent = 0; extent < aging.extent_count(); ++extent) {
+    for (uint64_t i = 0; i < kExtentPages; ++i) {
+      const Lpn lpn = extent * kExtentPages + i;
+      const Ppn ppn = ssd.ftl().Probe(lpn);
+      if (live[extent]) {
+        ++model_live_pages;
+        ASSERT_NE(ppn, kInvalidPpn)
+            << FtlKindName(GetParam()) << " lost live lpn " << lpn;
+        ASSERT_EQ(ssd.flash().OobTag(ppn), lpn);
+        ASSERT_EQ(ssd.flash().StateOf(ppn), PageState::kValid);
+      } else {
+        ASSERT_EQ(ppn, kInvalidPpn)
+            << FtlKindName(GetParam()) << " resurrected trimmed lpn " << lpn;
+      }
+    }
+  }
+
+  // Full physical recount: the valid data pages on flash are exactly the
+  // model's live pages — no leaked valid copies anywhere.
+  uint64_t valid_data_pages = 0;
+  for (Ppn ppn = 0; ppn < ssd.geometry().total_pages(); ++ppn) {
+    if (ssd.flash().OobKindOf(ppn) == OobKind::kData &&
+        ssd.flash().StateOf(ppn) == PageState::kValid) {
+      ++valid_data_pages;
+    }
+  }
+  EXPECT_EQ(valid_data_pages, model_live_pages) << FtlKindName(GetParam());
+}
 
 TEST(TrimSsdTest, TrimRequestFlowsThroughTheDevice) {
   SsdConfig config;

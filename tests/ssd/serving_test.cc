@@ -1,0 +1,202 @@
+// Open-loop serving driver tests.
+//
+// The anchor is a differential: an open-loop replay whose offered rate is far
+// below device capacity never queues, so its per-request latencies and final
+// device state must match the closed-loop QD=1 driver request for request —
+// for every FTL. That pins RunServing's timing arithmetic (epoch clamping,
+// admission, extraction) to the already-trusted closed-loop path. The
+// remaining tests exercise what only an open loop can show: backlog growth
+// under overload and bounded-queue drops.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/ssd/runner.h"
+#include "src/trace/vector_trace.h"
+#include "src/workload/generator.h"
+
+namespace tpftl {
+namespace {
+
+constexpr FtlKind kAllFtls[] = {
+    FtlKind::kOptimal, FtlKind::kDftl,     FtlKind::kCdftl,
+    FtlKind::kSftl,    FtlKind::kTpftl,    FtlKind::kBlockFtl,
+    FtlKind::kFast,    FtlKind::kZftl,     FtlKind::kLearned,
+};
+
+WorkloadConfig MixedWorkload(uint64_t requests) {
+  WorkloadConfig c;
+  c.name = "serving-diff";
+  c.address_space_bytes = 16ULL << 20;
+  c.num_requests = requests;
+  c.seed = 77;
+  c.write_ratio = 0.7;
+  c.zipf_theta = 1.0;
+  c.chunk_pages = 16;
+  return c;
+}
+
+// The same op stream re-stamped with the given inter-arrival gap.
+VectorTrace TraceWithGap(const WorkloadConfig& workload, MicroSec gap_us) {
+  VectorTrace trace = MaterializeWorkload(workload);
+  MicroSec t = 0.0;
+  for (IoRequest& req : trace.mutable_requests()) {
+    t += gap_us;
+    req.arrival_us = t;
+  }
+  return trace;
+}
+
+// FNV-1a over the full logical→physical mapping (Probe is side-effect-free).
+uint64_t MappingDigest(const Ssd& ssd) {
+  uint64_t h = 1469598103934665603ULL;
+  for (Lpn lpn = 0; lpn < ssd.logical_pages(); ++lpn) {
+    h ^= static_cast<uint64_t>(ssd.ftl().Probe(lpn)) + 1;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(ServingDifferentialTest, UnderloadedOpenLoopMatchesClosedLoopQd1) {
+  constexpr uint64_t kRequests = 1200;
+  const WorkloadConfig workload = MixedWorkload(kRequests);
+  // 10 s between arrivals: service times are sub-millisecond even with GC,
+  // so the open-loop device is always idle when a request arrives.
+  VectorTrace trace = TraceWithGap(workload, 1e7);
+
+  for (const FtlKind kind : kAllFtls) {
+    SCOPED_TRACE(FtlKindName(kind));
+    ExperimentConfig config;
+    config.workload = workload;
+    config.ftl_kind = kind;
+
+    // Per-request latency = delta of the running response-time sum.
+    std::vector<double> open_lat, closed_lat;
+    uint64_t open_digest = 0, closed_digest = 0;
+
+    double open_prev = 0.0;
+    ServingConfig serving;  // warmup 0, never drop, untagged.
+    const ServingReport open = RunServing(
+        config, trace, serving,
+        [&](const Ssd& ssd, uint64_t index) {
+          const double sum = ssd.response_stats().sum();
+          open_lat.push_back(sum - open_prev);
+          open_prev = sum;
+          if (index == kRequests) {
+            open_digest = MappingDigest(ssd);
+          }
+        });
+
+    double closed_prev = 0.0;
+    ClosedLoopConfig loop;
+    loop.queue_depth = 1;
+    const ClosedLoopReport closed = RunClosedLoop(
+        config, trace, loop,
+        [&](const Ssd& ssd, uint64_t index) {
+          const double sum = ssd.response_stats().sum();
+          closed_lat.push_back(sum - closed_prev);
+          closed_prev = sum;
+          if (index == kRequests) {
+            closed_digest = MappingDigest(ssd);
+          }
+        });
+
+    // Nothing dropped, everything measured.
+    ASSERT_EQ(open.offered, kRequests);
+    ASSERT_EQ(open.served, kRequests);
+    ASSERT_EQ(open.dropped, 0u);
+    ASSERT_EQ(closed.measured, kRequests);
+
+    // Request-for-request identical latencies.
+    ASSERT_EQ(open_lat.size(), closed_lat.size());
+    for (size_t i = 0; i < open_lat.size(); ++i) {
+      ASSERT_DOUBLE_EQ(open_lat[i], closed_lat[i]) << "request " << i;
+    }
+
+    // Identical final device state and aggregate counters.
+    EXPECT_EQ(open_digest, closed_digest);
+    EXPECT_EQ(open.report.stats.host_page_writes,
+              closed.report.stats.host_page_writes);
+    EXPECT_EQ(open.report.stats.gc_data_migrations,
+              closed.report.stats.gc_data_migrations);
+    EXPECT_EQ(open.report.trans_reads, closed.report.trans_reads);
+    EXPECT_EQ(open.report.trans_writes, closed.report.trans_writes);
+    EXPECT_EQ(open.report.block_erases, closed.report.block_erases);
+    EXPECT_DOUBLE_EQ(open.report.mean_response_us,
+                     closed.report.mean_response_us);
+    EXPECT_DOUBLE_EQ(open.report.p99_response_us,
+                     closed.report.p99_response_us);
+
+    // An idle device never queues; the only residual work at the end is
+    // the final request itself, still in service when it arrived.
+    EXPECT_DOUBLE_EQ(open.peak_queue_us, 0.0);
+    EXPECT_DOUBLE_EQ(open.final_backlog_us, open_lat.back());
+    // Offered ≈ achieved (both spans end at the last event).
+    EXPECT_NEAR(open.achieved_rps, open.offered_rps,
+                open.offered_rps * 0.01);
+  }
+}
+
+TEST(ServingTest, OverloadBuildsBacklogAndCapsAchievedRate) {
+  const WorkloadConfig workload = MixedWorkload(2000);
+  // 10 µs between arrivals: far above capacity (a flash program alone is an
+  // order of magnitude slower), so backlog must grow without bound.
+  VectorTrace trace = TraceWithGap(workload, 10.0);
+
+  ExperimentConfig config;
+  config.workload = workload;
+  config.ftl_kind = FtlKind::kTpftl;
+  ServingConfig serving;  // max_queue 0: admit everything.
+  const ServingReport r = RunServing(config, trace, serving);
+
+  EXPECT_EQ(r.offered, 2000u);
+  EXPECT_EQ(r.served, 2000u);
+  EXPECT_EQ(r.dropped, 0u);
+  // The queue kept growing: the worst arrival saw a large backlog and the
+  // device was still draining when arrivals stopped.
+  EXPECT_GT(r.peak_queue_us, 10'000.0);
+  EXPECT_GT(r.final_backlog_us, 0.0);
+  EXPECT_GT(r.makespan_us, r.arrival_span_us);
+  EXPECT_LT(r.achieved_rps, r.offered_rps * 0.5);
+  // Open-loop latencies are dominated by queueing, not service.
+  EXPECT_GT(r.report.p99_response_us, r.peak_queue_us * 0.5);
+}
+
+TEST(ServingTest, BoundedQueueDropsInsteadOfQueueing) {
+  const WorkloadConfig workload = MixedWorkload(2000);
+  VectorTrace trace = TraceWithGap(workload, 10.0);
+
+  ExperimentConfig config;
+  config.workload = workload;
+  config.ftl_kind = FtlKind::kTpftl;
+  ServingConfig serving;
+  serving.max_queue_us = 20'000.0;
+  const ServingReport r = RunServing(config, trace, serving);
+
+  EXPECT_EQ(r.offered, 2000u);
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_EQ(r.served + r.dropped, r.offered);
+  EXPECT_EQ(r.report.requests, r.served);
+  // Served requests never saw more than the bound (plus one in-flight
+  // request's service time, which is why the assertion uses slack).
+  EXPECT_LT(r.report.max_response_us, 40'000.0);
+}
+
+TEST(ServingTest, WarmupRequestsAreNotMeasured) {
+  const WorkloadConfig workload = MixedWorkload(1000);
+  VectorTrace trace = TraceWithGap(workload, 1000.0);
+
+  ExperimentConfig config;
+  config.workload = workload;
+  config.ftl_kind = FtlKind::kDftl;
+  ServingConfig serving;
+  serving.warmup_requests = 400;
+  const ServingReport r = RunServing(config, trace, serving);
+  EXPECT_EQ(r.offered, 600u);
+  EXPECT_EQ(r.served, 600u);
+  EXPECT_EQ(r.report.requests, 600u);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -27,6 +27,31 @@ TEST(SsdTest, PaperConfigurationsMatchSection51) {
   EXPECT_EQ(PaperCacheBytes(g16, LogicalPages(g16, 16ULL << 30)), 278528u);
 }
 
+TEST(SsdTest, TinyDeviceBelowGcThresholdStillServes) {
+  // A 6 MiB device gets a 4-block spare pool — below the default GC
+  // threshold of 8 — so NeedsGc() is permanently true once the logical
+  // space is full. GC must recognise that every candidate is fully valid
+  // and serve at the remaining headroom instead of livelocking on net-zero
+  // collections. (This is exactly the state a sharded front-end puts small
+  // shards in: the spare pool is sliced along with the logical space.)
+  SsdConfig config;
+  config.logical_bytes = 6ULL << 20;
+  config.ftl_kind = FtlKind::kTpftl;
+  Ssd ssd(config);
+  ssd.FillSequential();
+  IoRequest req;
+  req.kind = IoKind::kWrite;
+  req.size_bytes = 4096;
+  for (int i = 0; i < 2000; ++i) {
+    req.offset_bytes = (static_cast<uint64_t>(i) * 37 % ssd.logical_pages()) * 4096;
+    ssd.Submit(req);
+  }
+  EXPECT_EQ(ssd.requests_served(), 2000u);
+  for (Lpn lpn = 0; lpn < ssd.logical_pages(); ++lpn) {
+    ASSERT_NE(ssd.ftl().Probe(lpn), kInvalidPpn) << "lpn " << lpn;
+  }
+}
+
 TEST(SsdTest, SubmitSplitsRequestIntoPageAccesses) {
   Ssd ssd(SmallSsd());
   IoRequest req;

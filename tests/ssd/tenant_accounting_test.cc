@@ -1,0 +1,207 @@
+// Per-tenant QoS accounting: the property the serving harness leans on is
+// that the tenant lanes are an exact partition of the device's global
+// statistics — response histograms merge bucket-wise to the global
+// distribution, and every page/GC/erase counter sums to the global total.
+// Checked on the flat device and through the sharded front-end's registry
+// merge, plus the Chrome-trace tenant-lane export.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/trace_event.h"
+#include "src/ssd/sharded.h"
+#include "src/ssd/ssd.h"
+#include "src/workload/tenant_mix.h"
+
+namespace tpftl {
+namespace {
+
+constexpr uint64_t kMiB = 1ULL << 20;
+
+// Write-heavy three-tenant mix (YCSB-A churn, pure-ingest streamer, and the
+// TRIM-heavy ager) on disjoint 8 MiB windows: exercises reads, writes,
+// trims, and — on a preconditioned device — plenty of GC.
+std::vector<TenantSpec> MixSpecs(uint64_t requests) {
+  std::vector<TenantSpec> specs;
+  specs.push_back(YcsbTenant('A', 8 * kMiB, requests, 11));
+  specs[0].arrival.rate_rps = 5000.0;
+  specs.push_back(StreamerTenant(8 * kMiB, requests / 2, 22));
+  specs[1].lba_offset_bytes = 8 * kMiB;
+  specs[1].arrival.seed = 2;
+  specs[1].arrival.rate_rps = 2000.0;
+  specs.push_back(AgingTenant(8 * kMiB, requests / 2, 33));
+  specs[2].lba_offset_bytes = 16 * kMiB;
+  specs[2].arrival.seed = 3;
+  specs[2].arrival.rate_rps = 2000.0;
+  return specs;
+}
+
+uint64_t TenantCounter(const obs::MetricsRegistry& metrics, uint32_t tenant,
+                       std::string_view suffix) {
+  const obs::Counter* c =
+      metrics.FindCounter(TenantMetricName(tenant, suffix));
+  return c != nullptr ? c->value() : 0;
+}
+
+TEST(TenantAccountingTest, LanesPartitionTheGlobalsExactly) {
+  TenantMixSource mix(MixSpecs(3000));
+  SsdConfig config;
+  config.logical_bytes = mix.RequiredDeviceBytes();
+  config.ftl_kind = FtlKind::kTpftl;
+  config.tenant_count = mix.tenant_count();
+  config.trace_phases = true;
+  Ssd ssd(config);
+  ssd.FillSequential();
+  ssd.ResetStats();
+
+  IoRequest req;
+  uint64_t submitted = 0;
+  while (mix.Next(&req)) {
+    ssd.Submit(req);
+    ++submitted;
+  }
+  ASSERT_EQ(submitted, 3000u + 1500u + 1500u);
+
+  const obs::MetricsRegistry& metrics = ssd.metrics();
+
+  // Counters: each lane sums to the matching global, exactly.
+  uint64_t requests = 0, written = 0, trimmed = 0, gc = 0, erases = 0;
+  obs::LatencyHistogram merged;
+  double gc_us = 0.0;
+  for (uint32_t t = 0; t < ssd.tenant_count(); ++t) {
+    requests += TenantCounter(metrics, t, "requests");
+    written += TenantCounter(metrics, t, "pages_written");
+    trimmed += TenantCounter(metrics, t, "pages_trimmed");
+    gc += TenantCounter(metrics, t, "gc_migrations");
+    erases += TenantCounter(metrics, t, "block_erases");
+    merged.MergeFrom(
+        *metrics.FindHistogram(TenantMetricName(t, "response_us")));
+    gc_us += ssd.tenant_phase_times(t).PhaseUs(obs::Phase::kGc);
+  }
+  EXPECT_EQ(requests, ssd.requests_served());
+  EXPECT_EQ(written, ssd.ftl().stats().host_page_writes);
+  EXPECT_GT(trimmed, 0u);
+  EXPECT_EQ(gc, ssd.ftl().stats().gc_data_migrations +
+                    ssd.ftl().stats().gc_trans_migrations);
+  EXPECT_GT(gc, 0u) << "mix too gentle: no GC means the delta attribution "
+                       "path went untested";
+  EXPECT_EQ(erases, ssd.flash().stats().block_erases);
+
+  // Histograms: bucket-wise merge reproduces the global distribution.
+  const obs::LatencyHistogram& global = ssd.response_histogram();
+  EXPECT_EQ(merged.total(), global.total());
+  EXPECT_DOUBLE_EQ(merged.min(), global.min());
+  EXPECT_DOUBLE_EQ(merged.max(), global.max());
+  EXPECT_NEAR(merged.sum(), global.sum(), global.sum() * 1e-12);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), global.Quantile(q)) << "q=" << q;
+  }
+
+  // Phase attribution: tenant GC times sum to the device's GC phase.
+  EXPECT_DOUBLE_EQ(gc_us, ssd.phase_times().PhaseUs(obs::Phase::kGc));
+}
+
+TEST(TenantAccountingTest, ResetStatsClearsTheLanes) {
+  TenantMixSource mix(MixSpecs(500));
+  SsdConfig config;
+  config.logical_bytes = mix.RequiredDeviceBytes();
+  config.tenant_count = mix.tenant_count();
+  Ssd ssd(config);
+  IoRequest req;
+  while (mix.Next(&req)) {
+    ssd.Submit(req);
+  }
+  ASSERT_GT(TenantCounter(ssd.metrics(), 0, "requests"), 0u);
+  ssd.ResetStats();
+  for (uint32_t t = 0; t < ssd.tenant_count(); ++t) {
+    EXPECT_EQ(TenantCounter(ssd.metrics(), t, "requests"), 0u);
+    EXPECT_EQ(
+        ssd.metrics().FindHistogram(TenantMetricName(t, "response_us"))->total(),
+        0u);
+  }
+}
+
+TEST(TenantAccountingTest, ShardedFrontEndMergesLanesExactly) {
+  // The same partition property must survive the sharded front-end: each
+  // shard accounts its own sub-requests, and MergeMetricsInto must fold the
+  // lanes into totals that match the summed shard globals.
+  TenantMixSource mix(MixSpecs(2000));
+  ShardedConfig config;
+  config.base.logical_bytes = mix.RequiredDeviceBytes();
+  config.base.tenant_count = mix.tenant_count();
+  config.shards = 4;
+  config.threads = 2;
+  ShardedSsd ssd(config);
+  ssd.FillSequential();
+  ssd.ResetStats();
+
+  IoRequest req;
+  while (mix.Next(&req)) {
+    ssd.Submit(req);
+  }
+  ssd.Drain();
+
+  obs::MetricsRegistry merged;
+  ssd.MergeMetricsInto(&merged);
+
+  uint64_t lane_requests = 0, lane_written = 0, lane_erases = 0;
+  obs::LatencyHistogram lane_hist;
+  for (uint32_t t = 0; t < mix.tenant_count(); ++t) {
+    lane_requests += TenantCounter(merged, t, "requests");
+    lane_written += TenantCounter(merged, t, "pages_written");
+    lane_erases += TenantCounter(merged, t, "block_erases");
+    lane_hist.MergeFrom(
+        *merged.FindHistogram(TenantMetricName(t, "response_us")));
+  }
+
+  uint64_t global_written = 0, global_erases = 0;
+  for (uint32_t s = 0; s < ssd.shards(); ++s) {
+    global_written += ssd.shard(s).ftl().stats().host_page_writes;
+    global_erases += ssd.shard(s).flash().stats().block_erases;
+  }
+  EXPECT_EQ(lane_requests, ssd.TotalRequestsServed());
+  EXPECT_EQ(lane_written, global_written);
+  EXPECT_EQ(lane_erases, global_erases);
+
+  const obs::LatencyHistogram* global_hist =
+      merged.FindHistogram("ssd.response_us");
+  ASSERT_NE(global_hist, nullptr);
+  EXPECT_EQ(lane_hist.total(), global_hist->total());
+  EXPECT_DOUBLE_EQ(lane_hist.max(), global_hist->max());
+  for (const double q : {0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(lane_hist.Quantile(q), global_hist->Quantile(q));
+  }
+}
+
+TEST(TenantAccountingTest, ChromeTraceGetsOneLanePerTenant) {
+  TenantMixSource mix(MixSpecs(200));
+  SsdConfig config;
+  config.logical_bytes = mix.RequiredDeviceBytes();
+  config.tenant_count = mix.tenant_count();
+  config.trace_phases = true;
+  config.trace_span_requests = 64;
+  Ssd ssd(config);
+  IoRequest req;
+  while (mix.Next(&req)) {
+    ssd.Submit(req);
+  }
+
+  // Records carry their tenant, and the export names one process per lane.
+  bool saw_nonzero_tenant = false;
+  for (const obs::RequestTraceRecord& rec : ssd.trace_log().records()) {
+    saw_nonzero_tenant |= rec.tenant != 0;
+  }
+  ASSERT_TRUE(saw_nonzero_tenant);
+
+  std::ostringstream out;
+  obs::WriteChromeTrace(out, ssd.trace_log(), "serving");
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"serving tenant 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpftl

@@ -1,0 +1,213 @@
+// Statistical tests for the open-loop arrival processes.
+//
+// These generators are the trust anchor for every serving-harness claim, so
+// each one gets checked against its defining statistics, not just smoked:
+// Poisson inter-arrival mean and CV, the diurnal curve's integral over whole
+// days, and the on/off process's duty cycle. Tolerances are set several
+// standard errors wide at the sample sizes used, so the tests are
+// deterministic in practice (and exactly reproducible: fixed seeds).
+
+#include "src/workload/arrival.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tpftl {
+namespace {
+
+std::vector<MicroSec> Draw(ArrivalProcess& p, size_t n) {
+  std::vector<MicroSec> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(p.NextUs());
+  }
+  return out;
+}
+
+ArrivalConfig ConfigFor(ArrivalKind kind) {
+  ArrivalConfig c;
+  c.kind = kind;
+  c.seed = 1234;
+  c.rate_rps = 5000.0;
+  c.day_us = 1e6;  // Compressed one-second "day" for the diurnal kind.
+  c.peak_to_trough = 4.0;
+  c.mean_on_us = 10'000.0;
+  c.mean_off_us = 30'000.0;
+  return c;
+}
+
+TEST(ArrivalDeterminismTest, SameSeedSameStream) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kDiurnal, ArrivalKind::kOnOff}) {
+    SCOPED_TRACE(ArrivalKindName(kind));
+    const ArrivalConfig config = ConfigFor(kind);
+    auto a = MakeArrivalProcess(config);
+    auto b = MakeArrivalProcess(config);
+    const std::vector<MicroSec> sa = Draw(*a, 5000);
+    const std::vector<MicroSec> sb = Draw(*b, 5000);
+    ASSERT_EQ(sa, sb);
+
+    // Rewind replays the exact same timestamps.
+    a->Rewind();
+    EXPECT_EQ(Draw(*a, 5000), sa);
+
+    // A different seed produces a different stream.
+    ArrivalConfig other = config;
+    other.seed = 4321;
+    EXPECT_NE(Draw(*MakeArrivalProcess(other), 5000), sa);
+  }
+}
+
+TEST(ArrivalDeterminismTest, StrictlyIncreasing) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kDiurnal, ArrivalKind::kOnOff}) {
+    SCOPED_TRACE(ArrivalKindName(kind));
+    auto p = MakeArrivalProcess(ConfigFor(kind));
+    MicroSec prev = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+      const MicroSec t = p->NextUs();
+      ASSERT_GT(t, prev);
+      prev = t;
+    }
+  }
+}
+
+TEST(PoissonArrivalsTest, InterarrivalMeanAndCv) {
+  ArrivalConfig config = ConfigFor(ArrivalKind::kPoisson);
+  config.rate_rps = 2000.0;  // Mean gap 500 µs.
+  PoissonArrivals p(config);
+
+  constexpr size_t kSamples = 100'000;
+  const std::vector<MicroSec> arrivals = Draw(p, kSamples);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  MicroSec prev = 0.0;
+  for (const MicroSec t : arrivals) {
+    const double gap = t - prev;
+    sum += gap;
+    sum_sq += gap * gap;
+    prev = t;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sum_sq / kSamples - mean * mean;
+  const double cv = std::sqrt(variance) / mean;
+
+  // Standard error of the mean at n=100k is ~0.32% of the mean; 2% is >6σ.
+  EXPECT_NEAR(mean, 500.0, 500.0 * 0.02);
+  // Exponential gaps have CV exactly 1.
+  EXPECT_NEAR(cv, 1.0, 0.03);
+}
+
+TEST(DiurnalArrivalsTest, IntegratesToDailyRequestCount) {
+  ArrivalConfig config = ConfigFor(ArrivalKind::kDiurnal);
+  config.rate_rps = 2000.0;
+  config.day_us = 1e6;
+  DiurnalArrivals p(config);
+  EXPECT_DOUBLE_EQ(p.DailyRequestCount(), 2000.0);
+
+  // Count arrivals over 50 whole days; the nonhomogeneous rate must
+  // integrate to DailyRequestCount() per day (thinning preserves the mean).
+  constexpr int kDays = 50;
+  const double horizon_us = kDays * config.day_us;
+  uint64_t count = 0;
+  while (p.NextUs() <= horizon_us) {
+    ++count;
+  }
+  const double per_day = static_cast<double>(count) / kDays;
+  // ~100k arrivals total → SE ≈ 0.32%; 2% is far outside noise.
+  EXPECT_NEAR(per_day, p.DailyRequestCount(), p.DailyRequestCount() * 0.02);
+}
+
+TEST(DiurnalArrivalsTest, RateFollowsTheCurve) {
+  ArrivalConfig config = ConfigFor(ArrivalKind::kDiurnal);
+  config.rate_rps = 2000.0;
+  config.day_us = 1e6;
+  config.peak_to_trough = 4.0;
+  config.peak_phase = 0.0;  // Peak at the start of each day.
+  DiurnalArrivals p(config);
+
+  // The configured curve itself: peak/trough ratio and mean preserved.
+  EXPECT_NEAR(p.RateAt(0.0) / p.RateAt(config.day_us / 2), 4.0, 1e-9);
+  EXPECT_NEAR((p.RateAt(0.0) + p.RateAt(config.day_us / 2)) / 2.0,
+              config.rate_rps, 1e-9);
+
+  // Empirically: quarter-day bins around the peak vs around the trough.
+  // With a = 0.6 each quarter integrates to 0.25 ± 0.6·sqrt(2)/(2π) of a
+  // day's arrivals, so the peak quarter carries ~3.35x the trough quarter.
+  constexpr int kDays = 50;
+  const double horizon_us = kDays * config.day_us;
+  uint64_t peak_bin = 0;
+  uint64_t trough_bin = 0;
+  for (;;) {
+    const MicroSec t = p.NextUs();
+    if (t > horizon_us) {
+      break;
+    }
+    const double phase = std::fmod(t, config.day_us) / config.day_us;
+    if (phase < 0.125 || phase >= 0.875) {
+      ++peak_bin;
+    } else if (phase >= 0.375 && phase < 0.625) {
+      ++trough_bin;
+    }
+  }
+  ASSERT_GT(trough_bin, 0u);
+  const double ratio =
+      static_cast<double>(peak_bin) / static_cast<double>(trough_bin);
+  // Analytic ratio of the two quarter-day integrals (~25 SE of margin).
+  EXPECT_NEAR(ratio, 3.35, 0.25);
+}
+
+TEST(OnOffArrivalsTest, DutyCycleMatchesSpec) {
+  ArrivalConfig config = ConfigFor(ArrivalKind::kOnOff);
+  config.rate_rps = 10'000.0;   // ~100 arrivals per mean ON segment.
+  config.mean_on_us = 10'000.0;
+  config.mean_off_us = 30'000.0;  // Duty cycle 0.25.
+  config.off_rate_rps = 0.0;
+  OnOffArrivals p(config);
+
+  // Drive through ~2000 ON/OFF cycles.
+  Draw(p, 200'000);
+  const double on = p.on_time_us();
+  const double off = p.off_time_us();
+  ASSERT_GT(on, 0.0);
+  ASSERT_GT(off, 0.0);
+  const double duty = on / (on + off);
+  // ~2000 exponential segments each way → SE of the duty ratio ≈ 0.006.
+  EXPECT_NEAR(duty, 0.25, 0.03);
+  EXPECT_NEAR(on / (on + off) * (config.mean_on_us + config.mean_off_us) /
+                  config.mean_on_us,
+              1.0, 0.12);
+}
+
+TEST(OnOffArrivalsTest, BurstsAreDenseAndGapsAreSilent) {
+  ArrivalConfig config = ConfigFor(ArrivalKind::kOnOff);
+  config.rate_rps = 10'000.0;
+  config.mean_on_us = 10'000.0;
+  config.mean_off_us = 30'000.0;
+  config.off_rate_rps = 0.0;
+  OnOffArrivals p(config);
+
+  // With off_rate 0, every inter-arrival gap is either a within-burst gap
+  // (mean 100 µs) or spans at least one full OFF segment. Count gaps well
+  // beyond the within-burst scale: their share must match the chance a gap
+  // crosses a segment boundary (~1 in 100), not Poisson tail odds.
+  const std::vector<MicroSec> arrivals = Draw(p, 100'000);
+  uint64_t long_gaps = 0;
+  MicroSec prev = 0.0;
+  for (const MicroSec t : arrivals) {
+    if (t - prev > 5'000.0) {
+      ++long_gaps;
+    }
+    prev = t;
+  }
+  const double share = static_cast<double>(long_gaps) / arrivals.size();
+  // Pure Poisson at 10k rps would see e^-50 ≈ 0 such gaps; the burst
+  // process sees one per ON segment (~1%).
+  EXPECT_GT(share, 0.003);
+  EXPECT_LT(share, 0.03);
+}
+
+}  // namespace
+}  // namespace tpftl

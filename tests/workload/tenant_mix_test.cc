@@ -1,0 +1,206 @@
+// Tests for the multi-tenant open-loop frontend and the TRIM-heavy
+// filesystem-aging generator.
+
+#include "src/workload/tenant_mix.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/trace/request.h"
+
+namespace tpftl {
+namespace {
+
+constexpr uint64_t kMiB = 1ULL << 20;
+
+std::vector<TenantSpec> ThreeTenantSpecs(uint64_t requests) {
+  std::vector<TenantSpec> specs;
+  specs.push_back(YcsbTenant('A', 8 * kMiB, requests, 101));
+  specs[0].arrival.kind = ArrivalKind::kDiurnal;
+  specs[0].arrival.seed = 11;
+  specs[0].arrival.rate_rps = 2000.0;
+  specs[0].arrival.day_us = 1e6;
+
+  specs.push_back(StreamerTenant(8 * kMiB, requests / 2, 202));
+  specs[1].lba_offset_bytes = 8 * kMiB;
+  specs[1].arrival.seed = 22;
+  specs[1].arrival.rate_rps = 500.0;
+
+  specs.push_back(AgingTenant(8 * kMiB, requests / 2, 303));
+  specs[2].lba_offset_bytes = 16 * kMiB;
+  specs[2].arrival.kind = ArrivalKind::kOnOff;
+  specs[2].arrival.seed = 33;
+  specs[2].arrival.rate_rps = 4000.0;
+  return specs;
+}
+
+std::vector<IoRequest> DrainAll(TraceSource& src) {
+  std::vector<IoRequest> out;
+  IoRequest req;
+  while (src.Next(&req)) {
+    out.push_back(req);
+  }
+  return out;
+}
+
+bool SameRequest(const IoRequest& a, const IoRequest& b) {
+  return a.arrival_us == b.arrival_us && a.offset_bytes == b.offset_bytes &&
+         a.size_bytes == b.size_bytes && a.kind == b.kind &&
+         a.tenant == b.tenant;
+}
+
+TEST(TenantMixTest, DeterministicAndRewindable) {
+  TenantMixSource a(ThreeTenantSpecs(2000));
+  TenantMixSource b(ThreeTenantSpecs(2000));
+  const std::vector<IoRequest> sa = DrainAll(a);
+  const std::vector<IoRequest> sb = DrainAll(b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_TRUE(SameRequest(sa[i], sb[i])) << "request " << i;
+  }
+  a.Rewind();
+  const std::vector<IoRequest> sc = DrainAll(a);
+  ASSERT_EQ(sa.size(), sc.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_TRUE(SameRequest(sa[i], sc[i])) << "request " << i;
+  }
+}
+
+TEST(TenantMixTest, MergeIsTimeOrderedAndComplete) {
+  TenantMixSource mix(ThreeTenantSpecs(2000));
+  ASSERT_EQ(mix.tenant_count(), 3u);
+  ASSERT_TRUE(mix.SizeHint().has_value());
+  EXPECT_EQ(*mix.SizeHint(), 2000u + 1000u + 1000u);
+
+  const std::vector<IoRequest> stream = DrainAll(mix);
+  EXPECT_EQ(stream.size(), 4000u);
+
+  std::vector<uint64_t> per_tenant(3, 0);
+  MicroSec prev = -1.0;
+  for (const IoRequest& req : stream) {
+    EXPECT_GE(req.arrival_us, prev);
+    prev = req.arrival_us;
+    ASSERT_LT(req.tenant, 3);
+    ++per_tenant[req.tenant];
+  }
+  EXPECT_EQ(per_tenant[0], 2000u);
+  EXPECT_EQ(per_tenant[1], 1000u);
+  EXPECT_EQ(per_tenant[2], 1000u);
+}
+
+TEST(TenantMixTest, RequestsStayInsideTenantLbaWindows) {
+  TenantMixSource mix(ThreeTenantSpecs(2000));
+  const std::vector<IoRequest> stream = DrainAll(mix);
+  for (const IoRequest& req : stream) {
+    const TenantSpec& spec = mix.spec(req.tenant);
+    EXPECT_GE(req.offset_bytes, spec.lba_offset_bytes);
+    EXPECT_LE(req.offset_bytes + req.size_bytes,
+              spec.lba_offset_bytes + spec.ops.address_space_bytes)
+        << "tenant " << req.tenant;
+  }
+  EXPECT_EQ(mix.RequiredDeviceBytes(), 24 * kMiB);
+}
+
+// Each tenant's substream must be exactly the standalone generator's stream,
+// shifted by the LBA offset and re-stamped with the arrival process — the
+// merge may not perturb op shapes.
+TEST(TenantMixTest, SubstreamMatchesStandaloneGenerator) {
+  const std::vector<TenantSpec> specs = ThreeTenantSpecs(2000);
+  TenantMixSource mix(specs);
+  const std::vector<IoRequest> stream = DrainAll(mix);
+
+  // Tenant 1 is synthetic (the streamer): compare against its own generator.
+  SyntheticWorkload standalone(specs[1].ops);
+  auto arrivals = MakeArrivalProcess(specs[1].arrival);
+  IoRequest want;
+  size_t matched = 0;
+  for (const IoRequest& got : stream) {
+    if (got.tenant != 1) {
+      continue;
+    }
+    ASSERT_TRUE(standalone.Next(&want));
+    EXPECT_EQ(got.offset_bytes, want.offset_bytes + specs[1].lba_offset_bytes);
+    EXPECT_EQ(got.size_bytes, want.size_bytes);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_DOUBLE_EQ(got.arrival_us, arrivals->NextUs());
+    ++matched;
+  }
+  EXPECT_EQ(matched, 1000u);
+  EXPECT_FALSE(standalone.Next(&want));
+}
+
+TEST(AgingWorkloadTest, ExtentGranularChurnWithLiveOnlyTrims) {
+  WorkloadConfig config;
+  config.address_space_bytes = 16 * kMiB;
+  config.num_requests = 5000;
+  config.seed = 7;
+  AgingWorkload aging(config, /*extent_pages=*/64, /*trim_fraction=*/0.35);
+  const uint64_t extent_bytes = 64 * config.page_size;
+  ASSERT_EQ(aging.extent_count(), 16 * kMiB / extent_bytes);
+
+  std::vector<bool> live(aging.extent_count(), false);
+  uint64_t trims = 0;
+  IoRequest req;
+  uint64_t seen = 0;
+  while (aging.Next(&req)) {
+    ++seen;
+    // Whole-extent, extent-aligned ops only.
+    ASSERT_EQ(req.offset_bytes % extent_bytes, 0u);
+    ASSERT_EQ(req.size_bytes, extent_bytes);
+    const uint64_t extent = req.offset_bytes / extent_bytes;
+    ASSERT_LT(extent, aging.extent_count());
+    if (req.is_trim()) {
+      // TRIMs must only ever target live extents.
+      ASSERT_TRUE(live[extent]) << "trimmed a dead extent " << extent;
+      live[extent] = false;
+      ++trims;
+    } else {
+      ASSERT_EQ(req.kind, IoKind::kWrite);
+      live[extent] = true;
+    }
+  }
+  EXPECT_EQ(seen, 5000u);
+  // Realized TRIM share tracks the configured fraction (loose: early steps
+  // have an empty live set and must write).
+  const double trim_share = static_cast<double>(trims) / seen;
+  EXPECT_GT(trim_share, 0.25);
+  EXPECT_LT(trim_share, 0.45);
+}
+
+TEST(AgingWorkloadTest, DeterministicRewind) {
+  WorkloadConfig config;
+  config.address_space_bytes = 4 * kMiB;
+  config.num_requests = 1000;
+  config.seed = 9;
+  AgingWorkload aging(config, 16, 0.35);
+  const std::vector<IoRequest> first = DrainAll(aging);
+  aging.Rewind();
+  const std::vector<IoRequest> second = DrainAll(aging);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(SameRequest(first[i], second[i])) << "request " << i;
+  }
+}
+
+TEST(TenantPresetTest, PresetsMatchTheirContracts) {
+  const TenantSpec a = YcsbTenant('A', 8 * kMiB, 1000, 1);
+  EXPECT_DOUBLE_EQ(a.ops.write_ratio, 0.5);
+  const TenantSpec b = YcsbTenant('b', 8 * kMiB, 1000, 1);
+  EXPECT_DOUBLE_EQ(b.ops.write_ratio, 0.05);
+  const TenantSpec c = YcsbTenant('C', 8 * kMiB, 1000, 1);
+  EXPECT_DOUBLE_EQ(c.ops.write_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(c.ops.zipf_theta, 0.99);
+
+  const TenantSpec s = StreamerTenant(8 * kMiB, 1000, 1, 1.0);
+  EXPECT_DOUBLE_EQ(s.ops.write_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(s.ops.seq_write_fraction, 1.0);
+
+  const TenantSpec g = AgingTenant(8 * kMiB, 1000, 1);
+  EXPECT_EQ(g.ops_kind, TenantSpec::Ops::kAging);
+  EXPECT_GT(g.aging_trim_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace tpftl
